@@ -1,0 +1,112 @@
+//! Contention-free reference network.
+//!
+//! [`IdealNetwork`] delivers every packet after a fixed latency plus its
+//! own serialization time, with no queueing anywhere. It is *not* used by
+//! the main experiments — it exists so ablations can separate NIU-side
+//! costs from network-side costs, and so tests have an analytically exact
+//! baseline.
+
+use crate::network::LinkParams;
+use crate::packet::Packet;
+use sv_sim::{EventQueue, Time};
+
+/// A network with infinite internal bandwidth: per-packet latency is
+/// `fixed_latency_ns + serialize_ns(wire_bytes)` and packets never queue
+/// (not even at the source).
+#[derive(Debug)]
+pub struct IdealNetwork<P> {
+    /// Fixed latency ns.
+    pub fixed_latency_ns: u64,
+    /// Timing/geometry parameters.
+    pub params: LinkParams,
+    nodes: usize,
+    events: EventQueue<Packet<P>>,
+    delivered: Vec<(Time, Packet<P>)>,
+}
+
+impl<P> IdealNetwork<P> {
+    /// An ideal network over `nodes` endpoints.
+    pub fn new(nodes: usize, fixed_latency_ns: u64, params: LinkParams) -> Self {
+        IdealNetwork {
+            fixed_latency_ns,
+            params,
+            nodes,
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Inject a packet; it will be delivered after the fixed pipe delay.
+    pub fn inject(&mut self, now: Time, mut packet: Packet<P>) {
+        assert!((packet.dst as usize) < self.nodes);
+        packet.injected_at = now;
+        let at = now.plus(self.fixed_latency_ns + self.params.serialize_ns(packet.wire_bytes));
+        self.events.push(at, packet);
+    }
+
+    /// Time of the next delivery, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Move every packet due at or before `until` to the delivered list.
+    pub fn advance(&mut self, until: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, p) = self.events.pop().expect("peeked");
+            self.delivered.push((t, p));
+        }
+    }
+
+    /// Drain delivered packets in delivery order.
+    pub fn take_delivered(&mut self) -> Vec<(Time, Packet<P>)> {
+        std::mem::take(&mut self.delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Priority;
+
+    #[test]
+    fn fixed_latency_plus_serialization() {
+        let mut n = IdealNetwork::new(2, 500, LinkParams::default());
+        n.inject(Time::ZERO, Packet::new(0, 1, Priority::Low, 88, ()));
+        n.advance(Time::from_ns(10_000));
+        let got = n.take_delivered();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0.ns(), 500 + 600);
+    }
+
+    #[test]
+    fn no_contention_between_flows() {
+        let mut n = IdealNetwork::new(3, 100, LinkParams::default());
+        // Two packets to the same destination at the same instant arrive
+        // at the same instant: the ideal network has no shared resources.
+        n.inject(Time::ZERO, Packet::new(0, 2, Priority::Low, 88, 1u8));
+        n.inject(Time::ZERO, Packet::new(1, 2, Priority::Low, 88, 2u8));
+        n.advance(Time::from_ns(10_000));
+        let got = n.take_delivered();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, got[1].0);
+    }
+
+    #[test]
+    fn advance_respects_bound() {
+        let mut n = IdealNetwork::new(2, 1000, LinkParams::default());
+        n.inject(Time::ZERO, Packet::new(0, 1, Priority::High, 0, ()));
+        n.advance(Time::from_ns(10));
+        assert!(n.take_delivered().is_empty());
+        assert!(n.next_event_time().is_some());
+        n.advance(Time::from_ns(100_000));
+        assert_eq!(n.take_delivered().len(), 1);
+    }
+}

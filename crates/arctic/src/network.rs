@@ -1,0 +1,483 @@
+//! Event-driven packet-level network model.
+//!
+//! Every directed link of the fat tree is a serializing resource: a packet
+//! occupies the link for `wire_bytes / bandwidth` and then spends the
+//! per-hop `router_latency_ns` crossing into the next switch's output
+//! stage. Each link keeps two output queues (one per `Priority`);
+//! whenever the link frees, the high-priority queue is drained first —
+//! this is how Arctic's two-priority discipline keeps protocol replies
+//! from queueing behind bulk requests.
+//!
+//! The network runs its own internal event queue; the owning machine calls
+//! [`Network::advance`] with an upper time bound and collects deliveries.
+
+use crate::packet::{NodeId, Packet};
+use crate::topology::{FatTree, LinkId, RoutingPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use sv_sim::stats::{Counter, Summary};
+use sv_sim::{EventQueue, Time};
+
+/// Link timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Serialization cost as a rational `ns_num/ns_den` nanoseconds per
+    /// byte. Arctic: 160 MB/s = 6.25 ns/B = 25/4.
+    pub ns_per_byte_num: u64,
+    /// Ns per byte den.
+    pub ns_per_byte_den: u64,
+    /// Fixed per-hop cost (switch traversal + wire propagation), ns.
+    pub router_latency_ns: u64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            ns_per_byte_num: 25,
+            ns_per_byte_den: 4,
+            router_latency_ns: 60,
+        }
+    }
+}
+
+impl LinkParams {
+    /// Serialization time of `bytes` on one link, rounded up to whole ns.
+    #[inline]
+    pub fn serialize_ns(&self, bytes: u32) -> u64 {
+        (bytes as u64 * self.ns_per_byte_num).div_ceil(self.ns_per_byte_den)
+    }
+
+    /// Link bandwidth in MB/s (for reports).
+    pub fn bandwidth_mb_s(&self) -> f64 {
+        1e9 / (self.ns_per_byte_num as f64 / self.ns_per_byte_den as f64) / 1e6
+    }
+}
+
+/// Per-link running state.
+#[derive(Debug)]
+struct LinkState {
+    /// Time the transmitter frees.
+    busy_until: Time,
+    /// Output queues by priority index (0 = high).
+    queues: [VecDeque<usize>; 2],
+    /// Whether a Dispatch event for this link is already pending — the
+    /// dedup that keeps event count linear in packets regardless of
+    /// queue depth.
+    dispatch_scheduled: bool,
+    /// High-water mark across both queues.
+    high_water: usize,
+    /// Bytes pushed through this link.
+    bytes: u64,
+}
+
+impl LinkState {
+    fn new() -> Self {
+        LinkState {
+            busy_until: Time::ZERO,
+            queues: [VecDeque::new(), VecDeque::new()],
+            dispatch_scheduled: false,
+            high_water: 0,
+            bytes: 0,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+}
+
+/// A packet travelling its route.
+#[derive(Debug)]
+struct InFlight<P> {
+    packet: Packet<P>,
+    route: Vec<LinkId>,
+    /// Index of the next link to traverse.
+    hop: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    /// The link may be able to start transmitting.
+    Dispatch(LinkId),
+    /// A packet finished traversing link `route[hop]` and arrives at the
+    /// next queueing point (or its destination).
+    Arrive { flight: usize },
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Packets injected.
+    pub injected: Counter,
+    /// Packets delivered.
+    pub delivered: Counter,
+    /// End-to-end packet latency (inject -> deliver), ns.
+    pub latency: Summary,
+    /// Total payload+header bytes delivered.
+    pub bytes_delivered: u64,
+    /// Highest output-queue occupancy seen on any link.
+    pub max_link_queue: usize,
+}
+
+/// The Arctic network simulator.
+///
+/// `P` is the structured payload type (opaque to the network).
+#[derive(Debug)]
+pub struct Network<P> {
+    /// Fat-tree topology.
+    pub topology: FatTree,
+    /// Timing/geometry parameters.
+    pub params: LinkParams,
+    /// Routing policy in force.
+    pub policy: RoutingPolicy,
+    links: Vec<LinkState>,
+    flights: Vec<Option<InFlight<P>>>,
+    free_slots: Vec<usize>,
+    events: EventQueue<NetEvent>,
+    delivered: Vec<(Time, Packet<P>)>,
+    route_salt: u64,
+    /// Running statistics.
+    pub stats: NetworkStats,
+}
+
+impl<P> Network<P> {
+    /// Build a network spanning `nodes` endpoints.
+    pub fn new(nodes: usize, params: LinkParams, policy: RoutingPolicy) -> Self {
+        let topology = FatTree::build(nodes);
+        let links = (0..topology.link_count()).map(|_| LinkState::new()).collect();
+        Network {
+            topology,
+            params,
+            policy,
+            links,
+            flights: Vec::new(),
+            free_slots: Vec::new(),
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            route_salt: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.topology.nodes
+    }
+
+    /// Inject a packet at time `now`. The packet begins queueing on the
+    /// node's uplink immediately.
+    pub fn inject(&mut self, now: Time, mut packet: Packet<P>) {
+        assert_ne!(packet.src, packet.dst, "network cannot loop back to self");
+        packet.injected_at = now;
+        self.stats.injected.bump();
+        let salt = self.route_salt;
+        self.route_salt = self.route_salt.wrapping_add(1);
+        let (src, dst) = (packet.src, packet.dst);
+        let policy = self.policy;
+        let route = self.topology.route(src, dst, |level| {
+            let per_packet_salt = match policy {
+                RoutingPolicy::Fixed => return 0,
+                RoutingPolicy::HashSpread => salt,
+                RoutingPolicy::FlowHash => 0,
+            };
+            // Deterministic spread over (src, dst, [sequence,] level),
+            // through a full avalanche finalizer (a weak mix here
+            // collapses distinct flows onto one up port).
+            let mut h = per_packet_salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((src as u64) << 32)
+                ^ ((dst as u64) << 16)
+                ^ level as u64;
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            (h >> 32) as u32
+        });
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.flights.push(None);
+                self.flights.len() - 1
+            }
+        };
+        self.flights[slot] = Some(InFlight { packet, route, hop: 0 });
+        self.enqueue_on_link(now, slot);
+    }
+
+    /// Put flight `slot` on the output queue of its current link and poke
+    /// the dispatcher.
+    fn enqueue_on_link(&mut self, now: Time, slot: usize) {
+        let (link_id, prio) = {
+            let f = self.flights[slot].as_ref().expect("live flight");
+            (f.route[f.hop], f.packet.priority)
+        };
+        let link = &mut self.links[link_id];
+        link.queues[prio.index()].push_back(slot);
+        let q = link.queued();
+        if q > link.high_water {
+            link.high_water = q;
+            if q > self.stats.max_link_queue {
+                self.stats.max_link_queue = q;
+            }
+        }
+        if !link.dispatch_scheduled {
+            link.dispatch_scheduled = true;
+            let at = now.max_of(link.busy_until);
+            self.events.push(at, NetEvent::Dispatch(link_id));
+        }
+    }
+
+    /// Time of the next internal event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Process all internal events with `time <= until`; deliveries are
+    /// appended to an internal list retrieved with [`Network::take_delivered`].
+    pub fn advance(&mut self, until: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            match ev {
+                NetEvent::Dispatch(link_id) => self.dispatch(now, link_id),
+                NetEvent::Arrive { flight } => self.arrive(now, flight),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, link_id: LinkId) {
+        let link = &mut self.links[link_id];
+        link.dispatch_scheduled = false;
+        if link.busy_until > now {
+            // Raced with a just-started transmission; retry when free.
+            if link.queued() > 0 {
+                link.dispatch_scheduled = true;
+                self.events.push(link.busy_until, NetEvent::Dispatch(link_id));
+            }
+            return;
+        }
+        // High priority first.
+        let slot = match link.queues[0].pop_front().or_else(|| link.queues[1].pop_front()) {
+            Some(s) => s,
+            None => return,
+        };
+        let bytes = self.flights[slot].as_ref().expect("live flight").packet.wire_bytes;
+        let ser = self.params.serialize_ns(bytes);
+        link.busy_until = now.plus(ser);
+        link.bytes += bytes as u64;
+        let arrive_at = now.plus(ser + self.params.router_latency_ns);
+        self.events.push(arrive_at, NetEvent::Arrive { flight: slot });
+        if link.queued() > 0 {
+            link.dispatch_scheduled = true;
+            let free = link.busy_until;
+            self.events.push(free, NetEvent::Dispatch(link_id));
+        }
+    }
+
+    fn arrive(&mut self, now: Time, slot: usize) {
+        let done = {
+            let f = self.flights[slot].as_mut().expect("live flight");
+            f.hop += 1;
+            f.hop >= f.route.len()
+        };
+        if done {
+            let f = self.flights[slot].take().expect("live flight");
+            self.free_slots.push(slot);
+            self.stats.delivered.bump();
+            self.stats.bytes_delivered += f.packet.wire_bytes as u64;
+            self.stats.latency.record(now.since(f.packet.injected_at));
+            self.delivered.push((now, f.packet));
+        } else {
+            self.enqueue_on_link(now, slot);
+        }
+    }
+
+    /// Drain packets delivered since the last call, in delivery order.
+    pub fn take_delivered(&mut self) -> Vec<(Time, Packet<P>)> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Whether any packets are still queued or in flight.
+    pub fn quiescent(&self) -> bool {
+        self.events.is_empty() && self.delivered.is_empty()
+    }
+
+    /// Minimum possible one-way latency for a `wire_bytes`-byte packet
+    /// between `s` and `d` on an idle network (analytic; used by tests and
+    /// the bench harness to sanity-check measurements).
+    pub fn ideal_latency_ns(&self, s: NodeId, d: NodeId, wire_bytes: u32) -> u64 {
+        let hops = self.topology.hop_count(s, d) as u64;
+        hops * (self.params.serialize_ns(wire_bytes) + self.params.router_latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Priority, PACKET_HEADER_BYTES};
+
+    fn net(nodes: usize) -> Network<u32> {
+        Network::new(nodes, LinkParams::default(), RoutingPolicy::HashSpread)
+    }
+
+    fn run_until_quiet(n: &mut Network<u32>) -> Vec<(Time, Packet<u32>)> {
+        let mut out = Vec::new();
+        while let Some(t) = n.next_event_time() {
+            n.advance(t);
+            out.extend(n.take_delivered());
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_delivery_latency_matches_model() {
+        let mut n = net(2);
+        let p = Packet::new(0, 1, Priority::Low, 88, 7u32);
+        n.inject(Time::ZERO, p);
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), 1);
+        let (t, p) = &got[0];
+        assert_eq!(p.payload, 7);
+        // 2 hops, each: serialize 96B at 6.25 ns/B = 600 ns + 60 ns router.
+        assert_eq!(t.ns(), 2 * (600 + 60));
+        assert_eq!(n.ideal_latency_ns(0, 1, 96), 1320);
+    }
+
+    #[test]
+    fn serialization_throughput_bounds_stream() {
+        // Stream many packets from 0 to 1: delivery spacing must equal the
+        // serialization time of one packet (pipelined across the two hops).
+        let mut n = net(2);
+        for i in 0..50u32 {
+            n.inject(Time::ZERO, Packet::new(0, 1, Priority::Low, 88, i));
+        }
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), 50);
+        // In-order delivery for a single flow.
+        for (i, (_, p)) in got.iter().enumerate() {
+            assert_eq!(p.payload, i as u32);
+        }
+        let spacing = got[10].0.since(got[9].0);
+        assert_eq!(spacing, 600, "spacing must equal per-link serialization");
+        // Sustained goodput: 88 payload bytes per 600 ns ≈ 146.7 MB/s < 160.
+        let t_first = got[0].0;
+        let t_last = got.last().unwrap().0;
+        let mbs = sv_sim::stats::mb_per_s(88 * 49, t_last.since(t_first));
+        assert!((mbs - 146.6).abs() < 1.0, "{mbs}");
+    }
+
+    #[test]
+    fn high_priority_overtakes_queued_low() {
+        let mut n = net(2);
+        // Fill the uplink with low-priority packets, then inject one high.
+        for i in 0..10u32 {
+            n.inject(Time::ZERO, Packet::new(0, 1, Priority::Low, 88, i));
+        }
+        n.inject(Time::from_ns(1), Packet::new(0, 1, Priority::High, 8, 999));
+        let got = run_until_quiet(&mut n);
+        let pos = got.iter().position(|(_, p)| p.payload == 999).unwrap();
+        assert!(
+            pos <= 2,
+            "high-priority packet delivered at position {pos}, expected near-front"
+        );
+    }
+
+    #[test]
+    fn cross_traffic_contends_on_shared_downlink() {
+        // Two senders to the same destination halve each other's goodput.
+        let mut n = net(4);
+        for i in 0..20u32 {
+            n.inject(Time::ZERO, Packet::new(0, 3, Priority::Low, 88, i));
+            n.inject(Time::ZERO, Packet::new(1, 3, Priority::Low, 88, 1000 + i));
+        }
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), 40);
+        // Delivery timestamps mark packet *ends*, so rate over the span
+        // from first to last delivery covers all but the first packet.
+        let total_bytes: u64 = got.iter().skip(1).map(|(_, p)| p.wire_bytes as u64).sum();
+        let span = got.last().unwrap().0.since(got[0].0);
+        let mbs = sv_sim::stats::mb_per_s(total_bytes, span);
+        // The shared switch->node link caps aggregate at one link bandwidth.
+        assert!(mbs <= 161.0, "aggregate {mbs} MB/s exceeds link rate");
+    }
+
+    #[test]
+    fn sixteen_node_all_pairs_delivers_everything() {
+        let mut n = net(16);
+        let mut expect = 0;
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if s != d {
+                    n.inject(Time::ZERO, Packet::new(s, d, Priority::Low, 32, (s as u32) << 16 | d as u32));
+                    expect += 1;
+                }
+            }
+        }
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), expect);
+        assert_eq!(n.stats.delivered.get(), expect as u64);
+        for (_, p) in &got {
+            assert_eq!(p.payload, (p.src as u32) << 16 | p.dst as u32);
+        }
+    }
+
+    #[test]
+    fn header_only_packet_times() {
+        let mut n = net(2);
+        n.inject(Time::ZERO, Packet::new(1, 0, Priority::High, 0, 0));
+        let got = run_until_quiet(&mut n);
+        let ser = LinkParams::default().serialize_ns(PACKET_HEADER_BYTES);
+        assert_eq!(got[0].0.ns(), 2 * (ser + 60));
+    }
+
+    #[test]
+    fn hash_spread_beats_fixed_routing_under_uniform_load() {
+        // 16 nodes, random permutation traffic climbing to the top level;
+        // fixed routing funnels everything through up-port 0.
+        let mk = |policy| {
+            let mut n: Network<u32> =
+                Network::new(16, LinkParams::default(), policy);
+            for rep in 0..8u32 {
+                for s in 0..16u16 {
+                    let d = (s + 4 + (rep as u16 % 3) * 4) % 16; // crosses leaves
+                    if d != s {
+                        n.inject(Time::ZERO, Packet::new(s, d, Priority::Low, 88, rep));
+                    }
+                }
+            }
+            let mut last = Time::ZERO;
+            while let Some(t) = n.next_event_time() {
+                n.advance(t);
+                for (dt, _) in n.take_delivered() {
+                    last = last.max_of(dt);
+                }
+            }
+            last.ns()
+        };
+        let fixed = mk(RoutingPolicy::Fixed);
+        let spread = mk(RoutingPolicy::HashSpread);
+        assert!(
+            spread < fixed,
+            "spread routing ({spread} ns) should finish before fixed ({fixed} ns)"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut n = net(16);
+            for s in 0..16u16 {
+                for k in 0..5u32 {
+                    n.inject(Time::from_ns(k as u64 * 10), Packet::new(s, (s + 5) % 16, Priority::Low, 64, k));
+                }
+            }
+            run_until_quiet(&mut n)
+                .into_iter()
+                .map(|(t, p)| (t.ns(), p.src, p.dst, p.payload))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

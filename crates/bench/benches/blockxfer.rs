@@ -1,0 +1,37 @@
+//! Criterion wall-clock benchmarks of the block-transfer simulations —
+//! they track the *simulator's* performance per approach (the simulated
+//! metrics come from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::SystemParams;
+
+fn bench_blockxfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blockxfer_16KiB");
+    g.sample_size(10);
+    for a in [
+        Approach::ApDirect,
+        Approach::SpManaged,
+        Approach::BlockHw,
+        Approach::OptimisticSp,
+        Approach::OptimisticHw,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{a:?}")), &a, |b, &a| {
+            b.iter(|| {
+                run_block_transfer(
+                    SystemParams::default(),
+                    XferSpec {
+                        approach: a,
+                        len: 16 * 1024,
+                        verify: false,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blockxfer);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wall-clock benchmarks of the message-path simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use voyager::workloads::{basic_ping_pong, basic_stream, express_ping_pong, express_stream};
+use voyager::SystemParams;
+
+fn bench_messages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messages");
+    g.sample_size(10);
+    g.bench_function("basic_ping_pong_10", |b| {
+        b.iter(|| basic_ping_pong(SystemParams::default(), 10))
+    });
+    g.bench_function("express_ping_pong_10", |b| {
+        b.iter(|| express_ping_pong(SystemParams::default(), 10))
+    });
+    g.bench_function("basic_stream_100x88B", |b| {
+        b.iter(|| basic_stream(SystemParams::default(), 100, 88, None))
+    });
+    g.bench_function("express_stream_100", |b| {
+        b.iter(|| express_stream(SystemParams::default(), 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

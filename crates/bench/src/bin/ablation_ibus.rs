@@ -1,0 +1,60 @@
+//! **Ablation A6** — IBus bandwidth (paper §4: the IBus is "the central
+//! data-path that connects CTRL to the SRAMs and the network. Almost all
+//! data that flows through the NIU will cross the IBus at least once ...
+//! it is a critical resource in the system").
+//!
+//! Sweeping the IBus width shows when it becomes the bottleneck: at
+//! 2 B/cycle (132 MB/s, barely above the link) the block path and the
+//! message stream both throttle; at the default 8 B/cycle the link is
+//! the limit and further IBus width buys nothing.
+
+use sv_bench::print_table;
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::workloads::basic_stream;
+use voyager::SystemParams;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut bw_at = Vec::new();
+    for width in [2u64, 4, 8, 16] {
+        let mut params = SystemParams::default();
+        params.niu.ibus_bytes_per_cycle = width;
+        let a3 = run_block_transfer(
+            params,
+            XferSpec {
+                approach: Approach::BlockHw,
+                len: 256 * 1024,
+                verify: true,
+            },
+        );
+        assert!(a3.verified);
+        let stream = basic_stream(params, 300, 88, None);
+        let ibus_mb_s = width as f64 * 66.0;
+        rows.push(vec![
+            format!("{width} B/cyc ({ibus_mb_s:.0} MB/s)"),
+            format!("{:.1}", a3.bandwidth_mb_s),
+            format!("{:.1}", stream.bandwidth_mb_s),
+            format!("{:.0}k", stream.msg_rate_per_s / 1e3),
+        ]);
+        bw_at.push((width, a3.bandwidth_mb_s));
+    }
+    print_table(
+        "A6: IBus width sweep (256 KiB block transfer + 88B message stream)",
+        &["IBus width", "A3 BW MB/s", "stream BW MB/s", "stream rate"],
+        &rows,
+    );
+
+    let narrow = bw_at[0].1;
+    let default = bw_at.iter().find(|&&(w, _)| w == 8).expect("default").1;
+    let wide = bw_at[3].1;
+    assert!(
+        narrow < 0.9 * default,
+        "a 2B/cycle IBus must throttle the block path: {narrow:.1} vs {default:.1}"
+    );
+    assert!(
+        (wide - default).abs() / default < 0.05,
+        "beyond the link rate, IBus width must not matter: {wide:.1} vs {default:.1}"
+    );
+    println!("\nshape check: narrow IBus bottlenecks the NIU; the default keeps the link as the limit ✓");
+}

@@ -1,0 +1,91 @@
+//! **Ablation A4** — sensitivity to firmware handler cost (paper §6/§7:
+//! "firmware engine occupancy is extremely important and can strongly
+//! color experimental results"; the FLASH/S3.mp comparison).
+//!
+//! Every firmware handler cost is scaled from 0.25× to 4×. The
+//! sP-managed transfer (approach 2) degrades with firmware speed; the
+//! hardware block transfer (approach 3) is insensitive — demonstrating
+//! why an evaluation platform needs the *option* of hardware
+//! implementations to avoid firmware-occupancy artifacts.
+
+use sv_bench::print_table;
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::SystemParams;
+
+fn main() {
+    let len = 128 * 1024;
+    let mut rows = Vec::new();
+    let mut a2_fast = 0.0;
+    let mut a2_slow = 0.0;
+    let mut a3_fast = 0.0;
+    let mut a3_slow = 0.0;
+    for scale in [25u64, 50, 100, 200, 400] {
+        let params = {
+            let mut p = SystemParams::default();
+            p.fw = p.fw.scaled(scale);
+            p
+        };
+        let a2 = run_block_transfer(
+            params,
+            XferSpec {
+                approach: Approach::SpManaged,
+                len,
+                verify: true,
+            },
+        );
+        let a3 = run_block_transfer(
+            params,
+            XferSpec {
+                approach: Approach::BlockHw,
+                len,
+                verify: true,
+            },
+        );
+        assert!(a2.verified && a3.verified);
+        if scale == 25 {
+            a2_fast = a2.bandwidth_mb_s;
+            a3_fast = a3.bandwidth_mb_s;
+        }
+        if scale == 400 {
+            a2_slow = a2.bandwidth_mb_s;
+            a3_slow = a3.bandwidth_mb_s;
+        }
+        rows.push(vec![
+            format!("{:.2}x", scale as f64 / 100.0),
+            format!("{:.1}", a2.bandwidth_mb_s),
+            format!("{:.0}", a2.sp_busy_ns as f64 / 1000.0),
+            format!("{:.1}", a3.bandwidth_mb_s),
+            format!("{:.0}", a3.sp_busy_ns as f64 / 1000.0),
+        ]);
+    }
+    print_table(
+        "A4: firmware-cost sensitivity (128 KiB transfer)",
+        &[
+            "fw cost scale",
+            "A2 BW MB/s",
+            "A2 sP busy us",
+            "A3 BW MB/s",
+            "A3 sP busy us",
+        ],
+        &rows,
+    );
+
+    let a2_drop = (a2_fast - a2_slow) / a2_fast;
+    let a3_drop = (a3_fast - a3_slow) / a3_fast;
+    assert!(
+        a2_drop > 0.3,
+        "A2 should degrade >30% over a 16x firmware slowdown, dropped {:.0}%",
+        a2_drop * 100.0
+    );
+    assert!(
+        a3_drop < 0.10,
+        "A3 should be nearly insensitive, dropped {:.0}%",
+        a3_drop * 100.0
+    );
+    println!(
+        "\nshape check: 16x firmware slowdown costs A2 {:.0}% of its bandwidth, A3 only {:.0}% ✓",
+        a2_drop * 100.0,
+        a3_drop * 100.0
+    );
+}

@@ -1,0 +1,41 @@
+//! **Figure 3** — block-transfer latency of approaches 1–3 vs transfer
+//! size (paper §6). Latency is sender-start to receiver completion
+//! notification (for approach 1, the receiver finishing its copy).
+//!
+//! Paper claims this reproduces: approach 1 worst at every size;
+//! approach 3 best; approach 2 between.
+
+use sv_bench::{approach_name, assert_verified, by_approach, print_table, sweep, us, FIG3_SIZES, PAPER_APPROACHES};
+use voyager::SystemParams;
+
+fn main() {
+    let params = SystemParams::default();
+    let points = sweep(params, &PAPER_APPROACHES, &FIG3_SIZES, true);
+    assert_verified(&points);
+    let groups = by_approach(points);
+
+    let mut rows = Vec::new();
+    for (i, &size) in FIG3_SIZES.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        for (_, pts) in &groups {
+            row.push(us(pts[i].latency_notify_ns));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["bytes"];
+    let names: Vec<String> = groups
+        .iter()
+        .map(|(a, _)| format!("{} (us)", approach_name(*a)))
+        .collect();
+    header.extend(names.iter().map(|s| s.as_str()));
+    print_table("Figure 3: block-transfer latency", &header, &rows);
+
+    // Shape assertions (the paper's qualitative result).
+    for (i, &size) in FIG3_SIZES.iter().enumerate() {
+        let a1 = groups[0].1[i].latency_notify_ns;
+        let a2 = groups[1].1[i].latency_notify_ns;
+        let a3 = groups[2].1[i].latency_notify_ns;
+        assert!(a1 > a2 && a2 > a3, "ordering violated at {size} B");
+    }
+    println!("\nshape check: A1 > A2 > A3 at every size ✓");
+}

@@ -1,0 +1,47 @@
+//! **Figure 4** — block-transfer bandwidth of approaches 1–3 vs transfer
+//! size (paper §6).
+//!
+//! Paper claims this reproduces: approach 3 "can read and transmit at
+//! almost maximum hardware speeds" (here the ceiling is 128 MB/s: 64
+//! data bytes per 80-byte wire packet on the 160 MB/s Arctic link);
+//! approach 2 lower; approach 1 worst because the data crosses each aP
+//! bus twice per side.
+
+use sv_bench::{approach_name, assert_verified, by_approach, print_table, sweep, FIG4_SIZES, PAPER_APPROACHES};
+use voyager::SystemParams;
+
+fn main() {
+    let params = SystemParams::default();
+    let points = sweep(params, &PAPER_APPROACHES, &FIG4_SIZES, true);
+    assert_verified(&points);
+    let groups = by_approach(points);
+
+    let mut rows = Vec::new();
+    for (i, &size) in FIG4_SIZES.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        for (_, pts) in &groups {
+            row.push(format!("{:.1}", pts[i].bandwidth_mb_s));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["bytes"];
+    let names: Vec<String> = groups
+        .iter()
+        .map(|(a, _)| format!("{} (MB/s)", approach_name(*a)))
+        .collect();
+    header.extend(names.iter().map(|s| s.as_str()));
+    print_table("Figure 4: block-transfer bandwidth", &header, &rows);
+
+    // Shape assertions at asymptotic sizes.
+    let last = FIG4_SIZES.len() - 1;
+    let a1 = groups[0].1[last].bandwidth_mb_s;
+    let a2 = groups[1].1[last].bandwidth_mb_s;
+    let a3 = groups[2].1[last].bandwidth_mb_s;
+    assert!(a3 > a2 && a2 > a1, "asymptotic ordering violated");
+    assert!(a3 > 0.85 * 128.0, "A3 should approach the 128 MB/s ceiling, got {a3:.1}");
+    println!(
+        "\nshape check: asymptotic bandwidths A3 {a3:.1} > A2 {a2:.1} > A1 {a1:.1} MB/s; \
+         A3 at {:.0}% of hardware ceiling ✓",
+        100.0 * a3 / 128.0
+    );
+}

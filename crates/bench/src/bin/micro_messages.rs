@@ -1,0 +1,122 @@
+//! **Table T1** — message-mechanism microbenchmarks backing the paper's
+//! §5 mechanism descriptions: one-way/round-trip latency and streaming
+//! rate/bandwidth of Express, Basic (several sizes), Basic+TagOn, and
+//! the DMA mechanism.
+
+use sv_bench::print_table;
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::workloads::{basic_ping_pong, basic_stream, express_ping_pong, express_stream};
+use voyager::SystemParams;
+
+fn main() {
+    let p = SystemParams::default();
+    let iters = 50;
+    let msgs = 400;
+
+    let (exp_ow, exp_rtt) = express_ping_pong(p, iters);
+    let (bas_ow, bas_rtt) = basic_ping_pong(p, iters);
+
+    let mut rows = vec![
+        vec![
+            "express ping-pong".to_string(),
+            "5".into(),
+            exp_ow.to_string(),
+            exp_rtt.to_string(),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "basic ping-pong".to_string(),
+            "8".into(),
+            bas_ow.to_string(),
+            bas_rtt.to_string(),
+            "-".into(),
+            "-".into(),
+        ],
+    ];
+
+    let e = express_stream(p, msgs);
+    rows.push(vec![
+        e.mechanism.clone(),
+        e.payload_bytes.to_string(),
+        e.one_way_ns.to_string(),
+        "-".into(),
+        format!("{:.0}k", e.msg_rate_per_s / 1e3),
+        format!("{:.1}", e.bandwidth_mb_s),
+    ]);
+    for payload in [8usize, 32, 88] {
+        let r = basic_stream(p, msgs, payload, None);
+        rows.push(vec![
+            r.mechanism.clone(),
+            r.payload_bytes.to_string(),
+            r.one_way_ns.to_string(),
+            "-".into(),
+            format!("{:.0}k", r.msg_rate_per_s / 1e3),
+            format!("{:.1}", r.bandwidth_mb_s),
+        ]);
+    }
+    for (payload, tagon) in [(8usize, 48usize), (8, 80)] {
+        let r = basic_stream(p, msgs, payload, Some(tagon));
+        rows.push(vec![
+            r.mechanism.clone(),
+            r.payload_bytes.to_string(),
+            r.one_way_ns.to_string(),
+            "-".into(),
+            format!("{:.0}k", r.msg_rate_per_s / 1e3),
+            format!("{:.1}", r.bandwidth_mb_s),
+        ]);
+    }
+
+    // DMA mechanism (firmware-managed block transfer) as a "message"
+    // mechanism: per-transfer latency for a page, streaming bandwidth at
+    // 256 KiB.
+    let dma_page = run_block_transfer(
+        p,
+        XferSpec {
+            approach: Approach::SpManaged,
+            len: 4096,
+            verify: true,
+        },
+    );
+    let dma_big = run_block_transfer(
+        p,
+        XferSpec {
+            approach: Approach::SpManaged,
+            len: 262144,
+            verify: true,
+        },
+    );
+    rows.push(vec![
+        "DMA (4 KiB)".into(),
+        "4096".into(),
+        dma_page.latency_notify_ns.to_string(),
+        "-".into(),
+        "-".into(),
+        format!("{:.1}", dma_page.bandwidth_mb_s),
+    ]);
+    rows.push(vec![
+        "DMA (256 KiB)".into(),
+        "262144".into(),
+        dma_big.latency_notify_ns.to_string(),
+        "-".into(),
+        "-".into(),
+        format!("{:.1}", dma_big.bandwidth_mb_s),
+    ]);
+
+    print_table(
+        "T1: message-mechanism microbenchmarks",
+        &[
+            "mechanism",
+            "payload B",
+            "1-way ns",
+            "rtt ns",
+            "rate msg/s",
+            "BW MB/s",
+        ],
+        &rows,
+    );
+
+    assert!(exp_ow < bas_ow, "Express must have lower latency than Basic");
+    println!("\nshape check: express one-way < basic one-way ✓");
+}

@@ -1,0 +1,63 @@
+//! **Table T3** — processor-occupancy accounting per transfer approach
+//! (paper §6 discussion: approach 1 consumes the aPs, approach 2 shifts
+//! the burden to the sPs, approach 3 leaves both "minimal to nil";
+//! "firmware engine occupancy is extremely important and can strongly
+//! color experimental results").
+
+use sv_bench::{approach_name, print_table, us};
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::SystemParams;
+
+fn main() {
+    let p = SystemParams::default();
+    let len = 256 * 1024;
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for a in [
+        Approach::ApDirect,
+        Approach::SpManaged,
+        Approach::BlockHw,
+        Approach::OptimisticSp,
+        Approach::OptimisticHw,
+    ] {
+        let pt = run_block_transfer(
+            p,
+            XferSpec {
+                approach: a,
+                len,
+                verify: true,
+            },
+        );
+        rows.push(vec![
+            approach_name(a as u8).to_string(),
+            us(pt.latency_notify_ns),
+            us(pt.sender_ap_busy_ns),
+            us(pt.receiver_ap_busy_ns),
+            us(pt.sp_busy_ns),
+            format!(
+                "{:.0}%",
+                100.0 * pt.sp_busy_ns as f64 / pt.latency_use_ns.max(1) as f64
+            ),
+        ]);
+        points.push(pt);
+    }
+    print_table(
+        "T3: occupancy for a 256 KiB transfer",
+        &[
+            "approach",
+            "latency (us)",
+            "sender aP busy (us)",
+            "receiver aP busy (us)",
+            "total sP busy (us)",
+            "sP duty",
+        ],
+        &rows,
+    );
+
+    let (a1, a2, a3) = (&points[0], &points[1], &points[2]);
+    assert_eq!(a1.sp_busy_ns, 0);
+    assert!(a2.sp_busy_ns > 20 * a3.sp_busy_ns);
+    assert!(a1.sender_ap_busy_ns > 10 * a3.sender_ap_busy_ns);
+    println!("\nshape check: A1 burns aP, A2 burns sP, A3 burns neither ✓");
+}

@@ -1,0 +1,161 @@
+//! Shared harness code for the benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure or table of the
+//! paper (see `DESIGN.md`'s experiment index); this module holds the
+//! common sweep glue and plain-text table formatting so every binary
+//! prints comparable output.
+
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::metrics::XferPoint;
+use voyager::sweep::parallel_map;
+use voyager::SystemParams;
+
+/// Transfer sizes for the latency sweep (Figure 3): 64 B – 256 KiB.
+pub const FIG3_SIZES: [u32; 13] = [
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144,
+];
+
+/// Transfer sizes for the bandwidth sweep (Figure 4): 1 KiB – 1 MiB.
+pub const FIG4_SIZES: [u32; 11] = [
+    1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576,
+];
+
+/// The three approaches the paper measured.
+pub const PAPER_APPROACHES: [Approach; 3] =
+    [Approach::ApDirect, Approach::SpManaged, Approach::BlockHw];
+
+/// The optimistic extensions (approaches 4 and 5).
+pub const OPTIMISTIC_APPROACHES: [Approach; 2] =
+    [Approach::OptimisticSp, Approach::OptimisticHw];
+
+/// Sweep `(approach, size)` pairs in parallel.
+pub fn sweep(
+    params: SystemParams,
+    approaches: &[Approach],
+    sizes: &[u32],
+    verify: bool,
+) -> Vec<XferPoint> {
+    let specs: Vec<XferSpec> = approaches
+        .iter()
+        .flat_map(|&approach| {
+            sizes.iter().map(move |&len| XferSpec {
+                approach,
+                len,
+                verify,
+            })
+        })
+        .collect();
+    parallel_map(specs, move |spec| run_block_transfer(params, spec))
+}
+
+/// Group sweep results by approach, preserving size order.
+pub fn by_approach(points: Vec<XferPoint>) -> Vec<(u8, Vec<XferPoint>)> {
+    let mut out: Vec<(u8, Vec<XferPoint>)> = Vec::new();
+    for p in points {
+        match out.iter_mut().find(|(a, _)| *a == p.approach) {
+            Some((_, v)) => v.push(p),
+            None => out.push((p.approach, vec![p])),
+        }
+    }
+    out
+}
+
+/// Render a plain-text table: header row + aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Human label for an approach number.
+pub fn approach_name(a: u8) -> &'static str {
+    match a {
+        1 => "A1 aP-direct",
+        2 => "A2 sP-managed",
+        3 => "A3 block-hw",
+        4 => "A4 optimistic-sP",
+        5 => "A5 optimistic-hw",
+        _ => "?",
+    }
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+/// Check every point verified; a bench must not silently report numbers
+/// from a broken transfer.
+pub fn assert_verified(points: &[XferPoint]) {
+    for p in points {
+        assert!(
+            p.verified,
+            "approach {} size {} failed verification",
+            p.approach, p.bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(a: u8, b: u32) -> XferPoint {
+        XferPoint {
+            approach: a,
+            bytes: b,
+            latency_notify_ns: 0,
+            latency_use_ns: 0,
+            bandwidth_mb_s: 0.0,
+            sender_ap_busy_ns: 0,
+            receiver_ap_busy_ns: 0,
+            sp_busy_ns: 0,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn grouping_preserves_order() {
+        let g = by_approach(vec![mk(1, 64), mk(1, 128), mk(3, 64)]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, 1);
+        assert_eq!(g[0].1.len(), 2);
+        assert_eq!(g[1].0, 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(1500), "1.5");
+        assert_eq!(approach_name(3), "A3 block-hw");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed verification")]
+    fn unverified_points_abort() {
+        let mut p = mk(2, 64);
+        p.verified = false;
+        assert_verified(&[p]);
+    }
+}

@@ -1,0 +1,507 @@
+//! Layer-0 library: user-level programs over the NIU's memory-mapped
+//! interface.
+//!
+//! Each type here is a [`Program`] that drives the communication
+//! mechanisms exactly the way user code on the real machine would —
+//! composing messages with stores into the mapped aSRAM window, updating
+//! queue pointers with address-encoded stores, polling shadow pointers,
+//! launching Express messages with single stores. Nothing in this module
+//! touches simulator internals; everything goes through loads and stores.
+
+use crate::app::{AppEventKind, Env, Program, Step, StoreData};
+use crate::machine::{NodeLib, USER_SCRATCH};
+use bytes::Bytes;
+use sv_firmware::proto::{self, XferReq};
+use sv_niu::msg::{express, MsgHeader, TAGON_LARGE, TAGON_SMALL};
+use sv_niu::niu::decode_rx_slot;
+
+/// Gap between polls of an empty queue, ns (amortizes bus traffic the
+/// way a real polling loop's loop overhead does).
+const POLL_GAP_NS: u64 = 30;
+
+/// One message for [`SendBasic`].
+#[derive(Debug, Clone)]
+pub struct BasicMsg {
+    /// Destination (virtual unless RAW).
+    pub dest: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Optional TagOn attachment (must be 48 or 80 bytes; written to the
+    /// user scratch region first, then picked up by CTRL).
+    pub tagon: Option<Vec<u8>>,
+}
+
+impl BasicMsg {
+    /// A plain message.
+    pub fn new(dest: u16, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= 88, "Basic payload is at most 88 bytes");
+        BasicMsg {
+            dest,
+            payload,
+            tagon: None,
+        }
+    }
+
+    /// Attach TagOn data (48 or 80 bytes).
+    pub fn with_tagon(mut self, tagon: Vec<u8>) -> Self {
+        assert!(
+            tagon.len() == TAGON_SMALL as usize || tagon.len() == TAGON_LARGE as usize,
+            "TagOn attachments are 1.5 or 2.5 cache lines (48 or 80 bytes)"
+        );
+        assert!(self.payload.len() + tagon.len() <= 88);
+        self.tagon = Some(tagon);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SendState {
+    Next,
+    PollSpace,
+    WriteTagon { off: u32 },
+    WriteHeader,
+    WritePayload { off: u32 },
+    PtrUpdate,
+}
+
+/// Send a sequence of Basic messages on the user transmit queue.
+pub struct SendBasic {
+    lib: NodeLib,
+    items: std::collections::VecDeque<BasicMsg>,
+    state: SendState,
+    producer: u16,
+    consumer_seen: u16,
+}
+
+impl SendBasic {
+    /// Send `items` in order.
+    pub fn new(lib: &NodeLib, items: Vec<BasicMsg>) -> Self {
+        Self::resuming(lib, items, 0)
+    }
+
+    /// Like [`SendBasic::new`], but resuming from an existing producer
+    /// position — required when a long-lived application sends in phases,
+    /// because the hardware queue's pointers persist across program
+    /// objects.
+    pub fn resuming(lib: &NodeLib, items: Vec<BasicMsg>, producer: u16) -> Self {
+        // A fresh queue needs no space check; a resumed one polls the
+        // consumer shadow before its first compose (conservative: we do
+        // not know how much the NIU has drained).
+        let consumer_seen = if producer == 0 {
+            0
+        } else {
+            producer.wrapping_sub(lib.basic_tx.entries)
+        };
+        SendBasic {
+            lib: *lib,
+            items: items.into(),
+            state: SendState::Next,
+            producer,
+            consumer_seen,
+        }
+    }
+
+    /// Convenience: one plain message to node `dest`'s user queue.
+    pub fn to_node(lib: &NodeLib, dest: u16, payload: Vec<u8>) -> Self {
+        let d = lib.user_dest(dest);
+        Self::new(lib, vec![BasicMsg::new(d, payload)])
+    }
+
+    fn cur(&self) -> &BasicMsg {
+        self.items.front().expect("current message")
+    }
+}
+
+impl Program for SendBasic {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            match self.state {
+                SendState::Next => {
+                    if self.items.is_empty() {
+                        return Step::Done;
+                    }
+                    if self.producer.wrapping_sub(self.consumer_seen)
+                        >= self.lib.basic_tx.entries
+                    {
+                        self.state = SendState::PollSpace;
+                        return Step::Load {
+                            addr: self.lib.asram(self.lib.basic_tx.shadow_off),
+                            bytes: 8,
+                        };
+                    }
+                    self.state = if self.cur().tagon.is_some() {
+                        SendState::WriteTagon { off: 0 }
+                    } else {
+                        SendState::WriteHeader
+                    };
+                }
+                SendState::PollSpace => {
+                    self.consumer_seen = env.last_load as u16;
+                    if self.producer.wrapping_sub(self.consumer_seen)
+                        >= self.lib.basic_tx.entries
+                    {
+                        // Still full: poll again after a beat.
+                        self.state = SendState::Next;
+                        return Step::Compute(POLL_GAP_NS);
+                    }
+                    self.state = if self.cur().tagon.is_some() {
+                        SendState::WriteTagon { off: 0 }
+                    } else {
+                        SendState::WriteHeader
+                    };
+                }
+                SendState::WriteTagon { off } => {
+                    let tagon = self.cur().tagon.as_ref().expect("tagon state");
+                    if (off as usize) < tagon.len() {
+                        let end = (off as usize + 8).min(tagon.len());
+                        let chunk = tagon[off as usize..end].to_vec();
+                        self.state = SendState::WriteTagon { off: off + 8 };
+                        return Step::Store {
+                            addr: self.lib.asram(USER_SCRATCH + off),
+                            data: StoreData::Bytes(chunk),
+                        };
+                    }
+                    self.state = SendState::WriteHeader;
+                }
+                SendState::WriteHeader => {
+                    let msg = self.cur();
+                    let mut hdr = MsgHeader::basic(msg.dest, msg.payload.len() as u8);
+                    if let Some(t) = &msg.tagon {
+                        hdr = hdr.with_tagon(USER_SCRATCH, t.len() as u8);
+                    }
+                    let slot = self.lib.basic_tx.slot_off(self.producer);
+                    self.state = SendState::WritePayload { off: 0 };
+                    return Step::Store {
+                        addr: self.lib.asram(slot),
+                        data: StoreData::Bytes(hdr.encode().to_vec()),
+                    };
+                }
+                SendState::WritePayload { off } => {
+                    let msg = self.cur();
+                    if (off as usize) < msg.payload.len() {
+                        let end = (off as usize + 8).min(msg.payload.len());
+                        let chunk = msg.payload[off as usize..end].to_vec();
+                        let slot = self.lib.basic_tx.slot_off(self.producer);
+                        self.state = SendState::WritePayload { off: off + 8 };
+                        return Step::Store {
+                            addr: self.lib.asram(slot + 8 + off),
+                            data: StoreData::Bytes(chunk),
+                        };
+                    }
+                    self.state = SendState::PtrUpdate;
+                }
+                SendState::PtrUpdate => {
+                    let msg = self.items.pop_front().expect("message");
+                    self.producer = self.producer.wrapping_add(1);
+                    let q = self.lib.basic_tx.q;
+                    let bytes =
+                        (msg.payload.len() + msg.tagon.map_or(0, |t| t.len())) as u32;
+                    env.emit(AppEventKind::Sent {
+                        q,
+                        dest: msg.dest,
+                        bytes,
+                    });
+                    self.state = SendState::Next;
+                    // All information rides in the address.
+                    return Step::Store {
+                        addr: self.lib.map.ptr_update_addr(false, q, self.producer),
+                        data: StoreData::U64(0),
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RecvState {
+    Poll,
+    CheckPoll,
+    ReadHeader,
+    CheckHeader,
+    ReadBody { off: u32 },
+    PtrUpdate,
+}
+
+/// Receive `expect` Basic messages from the user receive queue,
+/// recording [`AppEventKind::Received`] (and `NotifyReceived` for
+/// transfer-notification payloads).
+pub struct RecvBasic {
+    lib: NodeLib,
+    expect: usize,
+    got: usize,
+    state: RecvState,
+    consumer: u16,
+    producer_seen: u16,
+    cur_src: u16,
+    cur_len: u32,
+    buf: Vec<u8>,
+}
+
+impl RecvBasic {
+    /// Expect `expect` messages, then finish.
+    pub fn expecting(lib: &NodeLib, expect: usize) -> Self {
+        Self::resuming(lib, expect, 0)
+    }
+
+    /// Like [`RecvBasic::expecting`], but resuming from an existing
+    /// consumer position. Long-lived applications that receive in phases
+    /// must carry the queue cursor across phases — the hardware queue's
+    /// pointers persist even though the program object does not.
+    pub fn resuming(lib: &NodeLib, expect: usize, consumer: u16) -> Self {
+        RecvBasic {
+            lib: *lib,
+            expect,
+            got: 0,
+            state: RecvState::Poll,
+            consumer,
+            producer_seen: consumer,
+            cur_src: 0,
+            cur_len: 0,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Program for RecvBasic {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            match self.state {
+                RecvState::Poll => {
+                    if self.got >= self.expect {
+                        return Step::Done;
+                    }
+                    if self.consumer != self.producer_seen {
+                        self.state = RecvState::ReadHeader;
+                        continue;
+                    }
+                    self.state = RecvState::CheckPoll;
+                    return Step::Load {
+                        addr: self.lib.asram(self.lib.basic_rx.shadow_off),
+                        bytes: 8,
+                    };
+                }
+                RecvState::CheckPoll => {
+                    self.producer_seen = env.last_load as u16;
+                    if self.consumer == self.producer_seen {
+                        self.state = RecvState::Poll;
+                        return Step::Compute(POLL_GAP_NS);
+                    }
+                    self.state = RecvState::ReadHeader;
+                }
+                RecvState::ReadHeader => {
+                    let slot = self.lib.basic_rx.slot_off(self.consumer);
+                    self.state = RecvState::CheckHeader;
+                    return Step::Load {
+                        addr: self.lib.asram(slot),
+                        bytes: 8,
+                    };
+                }
+                RecvState::CheckHeader => {
+                    let hdr = env.last_load.to_le_bytes();
+                    let (src, _lq, len) = decode_rx_slot(&hdr);
+                    self.cur_src = src;
+                    self.cur_len = len as u32;
+                    self.buf.clear();
+                    self.state = RecvState::ReadBody { off: 0 };
+                }
+                RecvState::ReadBody { off } => {
+                    if off > 0 {
+                        // Collect the previous load's bytes.
+                        let take = (self.cur_len - (off - 8)).min(8) as usize;
+                        self.buf
+                            .extend_from_slice(&env.last_load.to_le_bytes()[..take]);
+                    }
+                    if off < self.cur_len {
+                        let slot = self.lib.basic_rx.slot_off(self.consumer);
+                        self.state = RecvState::ReadBody { off: off + 8 };
+                        return Step::Load {
+                            addr: self.lib.asram(slot + 8 + off),
+                            bytes: 8,
+                        };
+                    }
+                    let data = Bytes::from(std::mem::take(&mut self.buf));
+                    if let Some(xid) = proto::decode_notify(&data) {
+                        env.emit(AppEventKind::NotifyReceived { xfer_id: xid });
+                    }
+                    env.emit(AppEventKind::Received {
+                        q: self.lib.basic_rx.q,
+                        src: self.cur_src,
+                        data,
+                    });
+                    self.got += 1;
+                    self.state = RecvState::PtrUpdate;
+                }
+                RecvState::PtrUpdate => {
+                    self.consumer = self.consumer.wrapping_add(1);
+                    let q = self.lib.basic_rx.q;
+                    self.state = RecvState::Poll;
+                    return Step::Store {
+                        addr: self.lib.map.ptr_update_addr(true, q, self.consumer),
+                        data: StoreData::U64(0),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Send Express messages: one uncached store each.
+pub struct SendExpress {
+    lib: NodeLib,
+    items: std::collections::VecDeque<(u16, u8, u32)>,
+}
+
+impl SendExpress {
+    /// Send `(virtual dest, tag, word)` triples.
+    pub fn new(lib: &NodeLib, items: Vec<(u16, u8, u32)>) -> Self {
+        SendExpress {
+            lib: *lib,
+            items: items.into(),
+        }
+    }
+}
+
+impl Program for SendExpress {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        let Some((dest, tag, word)) = self.items.pop_front() else {
+            return Step::Done;
+        };
+        env.emit(AppEventKind::Sent {
+            q: self.lib.express_tx_q,
+            dest,
+            bytes: 5,
+        });
+        Step::Store {
+            addr: self.lib.map.express_tx_addr(self.lib.express_tx_q, dest, tag),
+            data: StoreData::Bytes(word.to_le_bytes().to_vec()),
+        }
+    }
+}
+
+/// Receive `expect` Express messages: one uncached load each (polling
+/// with the canonical-empty convention).
+pub struct RecvExpress {
+    lib: NodeLib,
+    expect: usize,
+    got: usize,
+    primed: bool,
+}
+
+impl RecvExpress {
+    /// Expect `expect` Express messages.
+    pub fn expecting(lib: &NodeLib, expect: usize) -> Self {
+        RecvExpress {
+            lib: *lib,
+            expect,
+            got: 0,
+            primed: false,
+        }
+    }
+}
+
+impl Program for RecvExpress {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        if self.primed {
+            self.primed = false;
+            match express::unpack_rx(env.last_load) {
+                Some((src, tag, word)) => {
+                    env.emit(AppEventKind::ExpressReceived { src, tag, word });
+                    self.got += 1;
+                }
+                None => {
+                    return Step::Compute(POLL_GAP_NS);
+                }
+            }
+        }
+        if self.got >= self.expect {
+            return Step::Done;
+        }
+        self.primed = true;
+        Step::Load {
+            addr: self.lib.map.express_rx_addr(self.lib.express_rx_q),
+            bytes: 8,
+        }
+    }
+}
+
+/// Issue a block-transfer request to the local sP (the DMA mechanism):
+/// a single Basic message into the local service queue.
+pub fn request_transfer(lib: &NodeLib, req: &XferReq) -> SendBasic {
+    let dest = lib.svc_dest(lib.node);
+    SendBasic::new(lib, vec![BasicMsg::new(dest, req.encode().to_vec())])
+}
+
+/// Issue a tracked-region flush request (the diff-ing extension): ship
+/// only the clsSRAM-recorded dirty lines of a write-tracked region.
+pub fn request_flush(lib: &NodeLib, req: &sv_firmware::proto::XferFlush) -> SendBasic {
+    let dest = lib.svc_dest(lib.node);
+    SendBasic::new(lib, vec![BasicMsg::new(dest, req.encode().to_vec())])
+}
+
+/// Read a memory region through the caches (one load per cache line),
+/// emitting [`AppEventKind::RegionDone`] when finished. Under S-COMA
+/// gating this stalls on lines that have not arrived — the measured
+/// "time to use" of optimistic transfers.
+pub struct ReadRegion {
+    addr: u64,
+    len: u32,
+    off: u32,
+}
+
+impl ReadRegion {
+    /// Read `[addr, addr+len)`.
+    pub fn new(addr: u64, len: u32) -> Self {
+        ReadRegion { addr, len, off: 0 }
+    }
+}
+
+impl Program for ReadRegion {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        if self.off < self.len {
+            let a = self.addr + self.off as u64;
+            self.off += 32;
+            return Step::Load { addr: a, bytes: 8 };
+        }
+        env.emit(AppEventKind::RegionDone {
+            addr: self.addr,
+            len: self.len,
+        });
+        Step::Done
+    }
+}
+
+/// Write a pattern to a memory region through the caches (8 bytes per
+/// store), emitting [`AppEventKind::RegionDone`] when finished.
+pub struct WriteRegion {
+    addr: u64,
+    data: Vec<u8>,
+    off: usize,
+}
+
+impl WriteRegion {
+    /// Write `data` at `addr` (length must be a multiple of 8).
+    pub fn new(addr: u64, data: Vec<u8>) -> Self {
+        assert_eq!(data.len() % 8, 0);
+        WriteRegion { addr, data, off: 0 }
+    }
+}
+
+impl Program for WriteRegion {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        if self.off < self.data.len() {
+            let chunk = self.data[self.off..self.off + 8].to_vec();
+            let a = self.addr + self.off as u64;
+            self.off += 8;
+            return Step::Store {
+                addr: a,
+                data: StoreData::Bytes(chunk),
+            };
+        }
+        env.emit(AppEventKind::RegionDone {
+            addr: self.addr,
+            len: self.data.len() as u32,
+        });
+        Step::Done
+    }
+}

@@ -1,0 +1,238 @@
+//! The application-processor program VM.
+//!
+//! An aP "application" is a [`Program`]: a state machine that, each time
+//! the core is ready, yields one [`Step`] — compute for some time, issue
+//! a load, issue a store, or finish. The node executes the step against
+//! the simulated memory system with full timing (cache hits, bus
+//! transactions, NIU claims, S-COMA retries), so a program's performance
+//! is determined by the machine exactly as on real hardware.
+//!
+//! Programs record [`AppEvent`]s; benches and tests read the event log
+//! for both data verification and timestamps.
+
+use bytes::Bytes;
+use sv_sim::Time;
+
+/// What a program asks the core to do next.
+#[derive(Debug, Clone, PartialEq)]
+// Variant fields are named self-descriptively; the variants themselves
+// are documented above each one.
+#[allow(missing_docs)]
+pub enum Step {
+    /// Execute for `ns` nanoseconds without touching memory.
+    Compute(u64),
+    /// Load `bytes` (1–8) from `addr`. The result is delivered in
+    /// [`Env::last_load`] at the next step.
+    Load { addr: u64, bytes: u32 },
+    /// Store `data` at `addr` (1–8 bytes).
+    Store { addr: u64, data: StoreData },
+    /// Nothing to do right now; step again next tick (used sparingly —
+    /// polling loops should issue real loads).
+    Idle,
+    /// The program has finished.
+    Done,
+}
+
+/// Store payload: an integer word or explicit bytes (≤ 8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreData {
+    /// U64.
+    U64(u64),
+    /// Total bytes moved.
+    Bytes(Vec<u8>),
+}
+
+impl StoreData {
+    /// Width of the store in bytes.
+    pub fn len(&self) -> u32 {
+        match self {
+            StoreData::U64(_) => 8,
+            StoreData::Bytes(b) => b.len() as u32,
+        }
+    }
+
+    /// Whether the store carries no bytes (never true for valid stores).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes to write.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            StoreData::U64(v) => v.to_le_bytes().to_vec(),
+            StoreData::Bytes(b) => b.clone(),
+        }
+    }
+}
+
+/// Events recorded by programs (with simulation timestamps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEvent {
+    /// Timestamp.
+    pub at: Time,
+    /// Bus-operation kind.
+    pub kind: AppEventKind,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone, PartialEq)]
+// Variant fields are named self-descriptively; the variants themselves
+// are documented above each one.
+#[allow(missing_docs)]
+pub enum AppEventKind {
+    /// A message was fully composed and launched.
+    Sent { q: u8, dest: u16, bytes: u32 },
+    /// A message was received and read out: `(queue, source, payload)`.
+    Received { q: u8, src: u16, data: Bytes },
+    /// An express message was received: `(src, tag, word)`.
+    ExpressReceived { src: u16, tag: u8, word: [u8; 4] },
+    /// A transfer-completion notification arrived.
+    NotifyReceived { xfer_id: u16 },
+    /// A region read/write finished (used for latency-to-use metrics).
+    RegionDone { addr: u64, len: u32 },
+    /// The program ran to completion.
+    ProgramDone,
+    /// A computed result (collectives report through this).
+    Result { label: &'static str, value: u64 },
+    /// Free-form marker for tests.
+    Marker(&'static str),
+}
+
+/// Per-step context handed to programs.
+pub struct Env<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// This node's id.
+    pub node: u16,
+    /// Result of the previous [`Step::Load`].
+    pub last_load: u64,
+    /// Event sink.
+    pub events: &'a mut Vec<AppEvent>,
+}
+
+impl Env<'_> {
+    /// Record an event at the current time.
+    pub fn emit(&mut self, kind: AppEventKind) {
+        self.events.push(AppEvent { at: self.now, kind });
+    }
+}
+
+/// An application program.
+pub trait Program: Send {
+    /// Produce the next step. Called once per engagement; `env.last_load`
+    /// holds the result of the previous load.
+    fn step(&mut self, env: &mut Env<'_>) -> Step;
+}
+
+/// Run `programs` one after another.
+pub struct Seq {
+    parts: Vec<Box<dyn Program>>,
+    idx: usize,
+}
+
+impl Seq {
+    /// A sequential composition.
+    pub fn new(parts: Vec<Box<dyn Program>>) -> Self {
+        Seq { parts, idx: 0 }
+    }
+}
+
+impl Program for Seq {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        while self.idx < self.parts.len() {
+            match self.parts[self.idx].step(env) {
+                Step::Done => self.idx += 1,
+                s => return s,
+            }
+        }
+        Step::Done
+    }
+}
+
+/// Compute for a fixed time, then finish.
+pub struct Delay(pub u64);
+
+impl Program for Delay {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        let _ = env;
+        if self.0 == 0 {
+            return Step::Done;
+        }
+        let d = self.0;
+        self.0 = 0;
+        Step::Compute(d)
+    }
+}
+
+/// A program built from a closure returning steps (for tests and ad-hoc
+/// drivers).
+pub struct FnProgram<F: FnMut(&mut Env<'_>) -> Step + Send>(pub F);
+
+impl<F: FnMut(&mut Env<'_>) -> Step + Send> Program for FnProgram<F> {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        self.0(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_steps(p: &mut dyn Program, n: usize) -> Vec<Step> {
+        let mut events = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let mut env = Env {
+                now: Time::ZERO,
+                node: 0,
+                last_load: 0,
+                events: &mut events,
+            };
+            let s = p.step(&mut env);
+            let done = s == Step::Done;
+            out.push(s);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn store_data_width() {
+        assert_eq!(StoreData::U64(5).len(), 8);
+        assert_eq!(StoreData::Bytes(vec![1, 2, 3]).len(), 3);
+        assert_eq!(StoreData::U64(5).to_bytes(), 5u64.to_le_bytes().to_vec());
+        assert!(!StoreData::U64(0).is_empty());
+    }
+
+    #[test]
+    fn seq_runs_parts_in_order() {
+        let mut s = Seq::new(vec![Box::new(Delay(10)), Box::new(Delay(20))]);
+        let steps = run_steps(&mut s, 10);
+        assert_eq!(
+            steps,
+            vec![Step::Compute(10), Step::Compute(20), Step::Done]
+        );
+    }
+
+    #[test]
+    fn delay_is_one_shot() {
+        let mut d = Delay(7);
+        let steps = run_steps(&mut d, 5);
+        assert_eq!(steps, vec![Step::Compute(7), Step::Done]);
+    }
+
+    #[test]
+    fn env_emit_stamps_time() {
+        let mut events = Vec::new();
+        let mut env = Env {
+            now: Time::from_ns(99),
+            node: 1,
+            last_load: 0,
+            events: &mut events,
+        };
+        env.emit(AppEventKind::Marker("x"));
+        assert_eq!(events[0].at, Time::from_ns(99));
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # voyager — the assembled StarT-Voyager machine
+//!
+//! This crate glues the substrates into the full system the paper
+//! describes — a cluster of 604e SMP nodes, each with its memory bus,
+//! caches, DRAM, NIU and service processor, joined by the Arctic fat
+//! tree — and exposes the **layer-0 library**: the user-level view of
+//! the communication mechanisms (Basic, Express, TagOn, DMA, NUMA,
+//! S-COMA) plus the five block-transfer implementations of the paper's
+//! evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use voyager::{Machine, SystemParams};
+//! use voyager::api::{RecvBasic, SendBasic};
+//!
+//! let mut m = Machine::new(2, SystemParams::default());
+//! // Node 0 sends one Basic message to node 1's user queue.
+//! m.load_program(0, SendBasic::to_node(&m.lib(0), 1, b"hello, voyager".to_vec()));
+//! m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+//! m.run_to_quiescence();
+//! let msgs = m.received_messages(1);
+//! assert_eq!(&msgs[0].1[..], b"hello, voyager");
+//! ```
+//!
+//! ## Structure
+//!
+//! - [`params`]: every timing constant of the machine in one place.
+//! - [`app`]: the application-processor program VM — programs are state
+//!   machines that issue loads, stores and compute delays against the
+//!   simulated memory system, so the *same* workload runs over every
+//!   communication mechanism, as on the real machine.
+//! - [`node`]: one node — aP core + L1/L2 + bus + DRAM + NIU + sP
+//!   firmware — advanced on the 66 MHz bus clock.
+//! - [`machine`]: cluster assembly, queue/translation conventions, the
+//!   run loop, and measurement accessors.
+//! - [`api`]: layer-0 library programs (Basic/Express send & receive,
+//!   block-transfer requests, region readers/writers, notify waiters).
+//! - [`blockxfer`]: the five block-transfer implementations and the
+//!   experiment driver that measures them.
+//! - [`workloads`]: multi-node traffic generators (ping-pong, streams,
+//!   all-to-all) used by tests and the network ablation.
+//! - [`metrics`]: serializable experiment records.
+//! - [`sweep`]: parallel parameter sweeps for the bench harness.
+
+pub mod api;
+pub mod app;
+pub mod blockxfer;
+pub mod collectives;
+pub mod machine;
+pub mod metrics;
+pub mod node;
+pub mod params;
+pub mod report;
+pub mod sweep;
+pub mod workloads;
+
+pub use app::{AppEvent, AppEventKind, Env, Program, Step};
+pub use machine::{Machine, NodeLib};
+pub use metrics::{XferMeasurement, XferPoint};
+pub use node::Node;
+pub use params::SystemParams;
+
+// Re-export the substrate crates so downstream users need only `voyager`.
+pub use sv_arctic as arctic;
+pub use sv_firmware as firmware;
+pub use sv_membus as membus;
+pub use sv_niu as niu;
+pub use sv_sim as sim;

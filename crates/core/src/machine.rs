@@ -1,0 +1,552 @@
+//! Cluster assembly and run loop.
+//!
+//! [`Machine::new`] builds `n` nodes and the Arctic network, and installs
+//! the default queue/translation conventions every example and benchmark
+//! uses:
+//!
+//! | Logical queue | Hardware slot | Consumer | Purpose |
+//! |---|---|---|---|
+//! | 0 | rx 0 (sSRAM buffer) | sP firmware | service queue (DMA requests, protocol traffic) |
+//! | 1 | rx 1 (aSRAM, shadow pointer) | aP polls | user Basic messages + transfer notifications |
+//! | 2 | rx 2 (Express, 8-byte entries) | aP loads | user Express messages |
+//! | — | rx 15 | sP firmware | receive-queue-cache miss/overflow queue |
+//!
+//! Transmit: tx 1 = user Basic (translated), tx 2 = user Express.
+//! The translation table maps virtual destination `d` to node `d`'s user
+//! queue, `0x100 + d` to node `d`'s service queue, and `0x200 + d` to
+//! node `d`'s Express queue — the OS-installed protection boundary.
+
+use crate::app::{AppEvent, AppEventKind, Program};
+use crate::node::Node;
+use crate::params::SystemParams;
+use bytes::Bytes;
+use sv_arctic::Network;
+use sv_niu::msg::NetPayload;
+use sv_niu::queues::{QueueBuffer, RxFullPolicy, RxService};
+use sv_niu::translate::XlateEntry;
+use sv_niu::{QueueId, SramSel};
+use sv_sim::{Clock, Time};
+
+/// Virtual-destination bases installed in every node's translation table.
+pub mod dest {
+    /// `USER + d` → node `d`, logical queue 1 (user Basic).
+    pub const USER: u16 = 0;
+    /// `SVC + d` → node `d`, logical queue 0 (sP service).
+    pub const SVC: u16 = 0x100;
+    /// `EXPRESS + d` → node `d`, logical queue 2 (user Express).
+    pub const EXPRESS: u16 = 0x200;
+}
+
+/// aSRAM offsets of the pointer shadows.
+pub mod shadow {
+    /// Base of the shadow block.
+    pub const BASE: u32 = 0x1C000;
+    /// Receive-queue producer shadow for queue `q`.
+    pub fn rx_producer(q: u8) -> u32 {
+        BASE + q as u32 * 8
+    }
+    /// Transmit-queue consumer shadow for queue `q`.
+    pub fn tx_consumer(q: u8) -> u32 {
+        BASE + 0x100 + q as u32 * 8
+    }
+}
+
+/// aSRAM scratch region available to user programs (TagOn staging).
+pub const USER_SCRATCH: u32 = 0x1B000;
+
+/// A read-only view of one queue as the user library sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueView {
+    /// Queue index.
+    pub q: u8,
+    /// Buffer base offset in aSRAM.
+    pub base: u32,
+    /// Number of entries.
+    pub entries: u16,
+    /// Entry bytes.
+    pub entry_bytes: u32,
+    /// aSRAM offset of the relevant shadow pointer.
+    pub shadow_off: u32,
+}
+
+impl QueueView {
+    /// aSRAM offset of the slot for free-running pointer `ptr`.
+    pub fn slot_off(&self, ptr: u16) -> u32 {
+        self.base + (ptr % self.entries) as u32 * self.entry_bytes
+    }
+}
+
+/// The layer-0 library's description of one node (addresses, queue
+/// geometry, destination conventions). Copyable; programs embed it.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeLib {
+    /// Destination node.
+    pub node: u16,
+    /// Number of nodes in the machine.
+    pub nodes: u16,
+    /// Physical address map.
+    pub map: sv_niu::AddressMap,
+    /// Basic tx.
+    pub basic_tx: QueueView,
+    /// Basic rx.
+    pub basic_rx: QueueView,
+    /// Express tx q.
+    pub express_tx_q: u8,
+    /// Express rx q.
+    pub express_rx_q: u8,
+}
+
+impl NodeLib {
+    /// Physical address of aSRAM offset `off`.
+    pub fn asram(&self, off: u32) -> u64 {
+        self.map.asram_addr(off)
+    }
+
+    /// Virtual destination of node `d`'s user queue.
+    pub fn user_dest(&self, d: u16) -> u16 {
+        dest::USER + d
+    }
+
+    /// Virtual destination of node `d`'s service queue.
+    pub fn svc_dest(&self, d: u16) -> u16 {
+        dest::SVC + d
+    }
+
+    /// Virtual destination of node `d`'s Express queue.
+    pub fn express_dest(&self, d: u16) -> u16 {
+        dest::EXPRESS + d
+    }
+}
+
+/// The assembled machine.
+pub struct Machine {
+    /// Timing/geometry parameters.
+    pub params: SystemParams,
+    /// Number of nodes in the machine.
+    pub nodes: Vec<Node>,
+    /// Network-level statistics.
+    pub network: Network<NetPayload>,
+    /// When set, packets bypass the Arctic model and travel through a
+    /// contention-free fixed-latency pipe — the network-cost ablation
+    /// (`Machine::new_ideal`).
+    ideal: Option<sv_arctic::IdealNetwork<NetPayload>>,
+    clock: Clock,
+    cycle: u64,
+    /// Current simulated time (updated every step).
+    pub now: Time,
+}
+
+impl Machine {
+    /// Build an `n`-node machine with the default conventions installed.
+    pub fn new(n: usize, params: SystemParams) -> Self {
+        assert!(n >= 1, "a machine needs at least one node");
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|i| Node::new(i as u16, n as u16, params))
+            .collect();
+        for node in &mut nodes {
+            Self::configure_node(node, n as u16);
+        }
+        let network = Network::new(n.max(2), params.link, params.routing);
+        Machine {
+            params,
+            nodes,
+            network,
+            ideal: None,
+            clock: params.bus_clock(),
+            cycle: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Build a machine whose network is an ideal (contention-free,
+    /// fixed-latency) pipe instead of the Arctic model — used to isolate
+    /// NIU-side costs from network-side costs.
+    pub fn new_ideal(n: usize, params: SystemParams, fixed_latency_ns: u64) -> Self {
+        let mut m = Self::new(n, params);
+        m.ideal = Some(sv_arctic::IdealNetwork::new(
+            n.max(2),
+            fixed_latency_ns,
+            params.link,
+        ));
+        m
+    }
+
+    fn configure_node(node: &mut Node, nodes: u16) {
+        let niu = &mut node.niu;
+        // rx 0: sP service queue in sSRAM.
+        {
+            let q = &mut niu.ctrl.rx[0];
+            q.buf = QueueBuffer {
+                sram: SramSel::S,
+                base: 0x4000,
+                entries: 16,
+                entry_bytes: 96,
+            };
+            q.service = RxService::SpPolled;
+            q.full_policy = RxFullPolicy::Retry;
+        }
+        // rx 1: user Basic queue, aP-polled with producer shadow.
+        {
+            let q = &mut niu.ctrl.rx[1];
+            q.service = RxService::ApPolled;
+            q.shadow_addr = Some((SramSel::A, shadow::rx_producer(1)));
+            q.full_policy = RxFullPolicy::Retry;
+        }
+        // rx 2: user Express queue (8-byte entries).
+        {
+            let q = &mut niu.ctrl.rx[2];
+            q.express = true;
+            q.buf.entry_bytes = 8;
+            q.buf.entries = 64;
+            q.service = RxService::ApPolled;
+            // Retry (hold the packet, backpressuring the network) keeps
+            // express streams lossless; Drop is exercised by unit tests.
+            q.full_policy = RxFullPolicy::Retry;
+        }
+        // rx 15: miss/overflow queue, firmware-serviced, in sSRAM.
+        {
+            let miss = niu.params.miss_queue_slot;
+            let q = &mut niu.ctrl.rx[miss];
+            q.buf = QueueBuffer {
+                sram: SramSel::S,
+                base: 0x5000,
+                entries: 16,
+                entry_bytes: 96,
+            };
+            q.service = RxService::SpPolled;
+            q.full_policy = RxFullPolicy::Drop;
+        }
+        // tx 1: user Basic queue with consumer shadow.
+        niu.ctrl.tx[1].shadow_addr = Some((SramSel::A, shadow::tx_consumer(1)));
+        // tx 2: user Express queue.
+        {
+            let q = &mut niu.ctrl.tx[2];
+            q.express = true;
+            q.buf.entry_bytes = 8;
+            q.buf.entries = 64;
+        }
+        // Receive-queue cache: hot logical queues resident.
+        niu.ctrl.rx_cache.bind(0, QueueId(0));
+        niu.ctrl.rx_cache.bind(1, QueueId(1));
+        niu.ctrl.rx_cache.bind(2, QueueId(2));
+        // Translation table: the three destination classes for every node.
+        for d in 0..nodes {
+            for (base, lq, high) in [
+                (dest::USER, 1u16, false),
+                (dest::SVC, 0u16, false),
+                (dest::EXPRESS, 2u16, false),
+            ] {
+                niu.ctrl.xlate.install(
+                    base + d,
+                    XlateEntry {
+                        valid: true,
+                        node: d,
+                        logical_q: lq,
+                        high_priority: high,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The library view of node `i`.
+    pub fn lib(&self, i: u16) -> NodeLib {
+        let node = &self.nodes[i as usize];
+        let tx1 = &node.niu.ctrl.tx[1];
+        let rx1 = &node.niu.ctrl.rx[1];
+        NodeLib {
+            node: i,
+            nodes: self.nodes.len() as u16,
+            map: self.params.map,
+            basic_tx: QueueView {
+                q: 1,
+                base: tx1.buf.base,
+                entries: tx1.buf.entries,
+                entry_bytes: tx1.buf.entry_bytes,
+                shadow_off: shadow::tx_consumer(1),
+            },
+            basic_rx: QueueView {
+                q: 1,
+                base: rx1.buf.base,
+                entries: rx1.buf.entries,
+                entry_bytes: rx1.buf.entry_bytes,
+                shadow_off: shadow::rx_producer(1),
+            },
+            express_tx_q: 2,
+            express_rx_q: 2,
+        }
+    }
+
+    /// Load a program onto node `i`'s application processor.
+    pub fn load_program(&mut self, i: u16, p: impl Program + 'static) {
+        self.nodes[i as usize].load_program(Box::new(p));
+    }
+
+    /// Advance one bus cycle.
+    pub fn step(&mut self) {
+        let now = self.clock.edge(self.cycle);
+        self.now = now;
+        let delivered = match &mut self.ideal {
+            Some(ideal) => {
+                ideal.advance(now);
+                ideal.take_delivered()
+            }
+            None => {
+                self.network.advance(now);
+                self.network.take_delivered()
+            }
+        };
+        for (_, pkt) in delivered {
+            let node = &mut self.nodes[pkt.dst as usize];
+            if node.tracer.enabled() {
+                node.tracer.record(
+                    now,
+                    sv_sim::trace::Subsys::Net,
+                    format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                );
+            }
+            node.niu.push_arrival(pkt.payload);
+        }
+        let cycle = self.cycle;
+        for node in &mut self.nodes {
+            node.tick(cycle, now);
+        }
+        for node in &mut self.nodes {
+            while let Some(pkt) = node.niu.pop_ready_packet(cycle) {
+                if node.tracer.enabled() {
+                    node.tracer.record(
+                        now,
+                        sv_sim::trace::Subsys::Net,
+                        format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
+                    );
+                }
+                match &mut self.ideal {
+                    Some(ideal) => ideal.inject(now, pkt),
+                    None => self.network.inject(now, pkt),
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Run for `ns` nanoseconds of simulated time.
+    pub fn run_for(&mut self, ns: u64) {
+        let until = self.now.plus(ns);
+        while self.clock.edge(self.cycle) <= until {
+            self.step();
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        let net_quiet = match &self.ideal {
+            Some(ideal) => ideal.next_event_time().is_none(),
+            None => self.network.next_event_time().is_none(),
+        };
+        net_quiet && self.nodes.iter().all(|n| !n.has_work())
+    }
+
+    /// Run until nothing in the machine has work left, or `max_ns` of
+    /// simulated time elapse. Returns the quiescence time, or `Err` with
+    /// the cap time if the machine never settled (protocol hang).
+    pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
+        let cap = self.now.plus(max_ns);
+        loop {
+            for _ in 0..32 {
+                self.step();
+            }
+            if self.quiescent() {
+                return Ok(self.now);
+            }
+            if self.now > cap {
+                return Err(self.now);
+            }
+        }
+    }
+
+    /// Run to quiescence with a generous default cap (1 s of simulated
+    /// time); panics on a hang, which always indicates a protocol bug.
+    pub fn run_to_quiescence(&mut self) -> Time {
+        match self.run_to_quiescence_capped(1_000_000_000) {
+            Ok(t) => t,
+            Err(t) => panic!("machine failed to quiesce by {t}"),
+        }
+    }
+
+    /// Turn the debugging tracer of node `i` on or off. While enabled,
+    /// the node records application memory operations, bus completions /
+    /// ARTRYs, and packet movement into a ring buffer retrievable with
+    /// [`Machine::trace`].
+    pub fn enable_tracing(&mut self, i: u16, on: bool) {
+        self.nodes[i as usize].tracer.set_enabled(on);
+    }
+
+    /// Render node `i`'s retained trace, optionally filtered by
+    /// subsystem.
+    pub fn trace(&self, i: u16, filter: Option<sv_sim::trace::Subsys>) -> String {
+        self.nodes[i as usize].tracer.render(filter)
+    }
+
+    /// Event log of node `i`.
+    pub fn events(&self, i: u16) -> &[AppEvent] {
+        &self.nodes[i as usize].events
+    }
+
+    /// All Basic messages received by node `i`: `(source, payload)`.
+    pub fn received_messages(&self, i: u16) -> Vec<(u16, Bytes)> {
+        self.events(i)
+            .iter()
+            .filter_map(|e| match &e.kind {
+                AppEventKind::Received { src, data, .. } => Some((*src, data.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Timestamp of the first event matching `f` on node `i`.
+    pub fn event_time(&self, i: u16, f: impl Fn(&AppEventKind) -> bool) -> Option<Time> {
+        self.events(i).iter().find(|e| f(&e.kind)).map(|e| e.at)
+    }
+
+    /// Total sP busy time across all nodes, ns.
+    pub fn total_sp_busy_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.fw.occupancy.busy_ns).sum()
+    }
+
+    /// Map a reflective-memory window (paper §5 extension): stores into
+    /// `[reflect_base + local_off, +len)` at node `a` propagate to
+    /// `[peer_addr, +len)` at node `b`. `hw` selects the enhanced-aBIU
+    /// hardware path; otherwise the sP forwards each update.
+    pub fn map_reflective(
+        &mut self,
+        a: u16,
+        local_off: u64,
+        b: u16,
+        peer_addr: u64,
+        len: u64,
+        hw: bool,
+    ) {
+        let abiu = &mut self.nodes[a as usize].niu.abiu;
+        abiu.reflect_hw = hw;
+        abiu.reflect_windows.push(sv_niu::abiu::ReflectiveWindow {
+            local_off,
+            len,
+            peer: b,
+            peer_base: peer_addr,
+        });
+    }
+
+    /// Put node `i`'s aBIU into write-tracking mode (the diff-ing
+    /// extension): S-COMA-region writes are recorded in clsSRAM instead
+    /// of gated, for later [`crate::api::request_flush`].
+    pub fn enable_write_tracking(&mut self, i: u16) {
+        self.nodes[i as usize].niu.abiu.write_tracking = true;
+    }
+
+    /// Convenience: write bytes directly into node `i`'s memory (test
+    /// and benchmark setup; costs nothing, like pre-loaded data).
+    pub fn mem_write(&mut self, i: u16, addr: u64, data: &[u8]) {
+        self.nodes[i as usize].mem.write(addr, data);
+    }
+
+    /// Convenience: read bytes from node `i`'s memory.
+    pub fn mem_read(&self, i: u16, addr: u64, len: usize) -> Vec<u8> {
+        self.nodes[i as usize].mem.read_vec(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_installs_conventions() {
+        let m = Machine::new(4, SystemParams::default());
+        assert_eq!(m.nodes.len(), 4);
+        let lib = m.lib(2);
+        assert_eq!(lib.node, 2);
+        assert_eq!(lib.user_dest(3), 3);
+        assert_eq!(lib.svc_dest(1), 0x101);
+        assert_eq!(lib.express_dest(0), 0x200);
+        // Service queue is sP-polled in sSRAM.
+        let n0 = &m.nodes[0];
+        assert_eq!(n0.niu.ctrl.rx[0].buf.sram, SramSel::S);
+        assert_eq!(n0.niu.ctrl.rx[0].service, RxService::SpPolled);
+        assert!(n0.niu.ctrl.tx[2].express);
+    }
+
+    #[test]
+    fn empty_machine_quiesces_immediately() {
+        let mut m = Machine::new(2, SystemParams::default());
+        let t = m.run_to_quiescence();
+        assert!(t.ns() < 10_000);
+    }
+
+    #[test]
+    fn run_for_advances_time() {
+        let mut m = Machine::new(2, SystemParams::default());
+        m.run_for(1000);
+        assert!(m.now.ns() >= 1000);
+    }
+
+    #[test]
+    fn ideal_network_isolates_niu_costs() {
+        use crate::api::{RecvBasic, SendBasic};
+        let run = |ideal: bool| {
+            let p = SystemParams::default();
+            let mut m = if ideal {
+                Machine::new_ideal(2, p, 100)
+            } else {
+                Machine::new(2, p)
+            };
+            m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![9u8; 88]));
+            m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+            let t = m.run_to_quiescence().ns();
+            assert_eq!(m.received_messages(1).len(), 1);
+            t
+        };
+        let arctic = run(false);
+        let ideal = run(true);
+        // The ideal pipe (100 ns) is much faster than two real hops
+        // (~1.3 us); the residual is NIU + aP cost on both sides.
+        assert!(ideal < arctic, "ideal {ideal} !< arctic {arctic}");
+        assert!(arctic - ideal > 800, "network cost visible: {arctic} vs {ideal}");
+    }
+
+    #[test]
+    fn tracing_captures_the_message_path() {
+        use crate::api::{RecvBasic, SendBasic};
+        let mut m = Machine::new(2, SystemParams::default());
+        m.enable_tracing(0, true);
+        m.enable_tracing(1, true);
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![1u8; 16]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        let t0 = m.trace(0, None);
+        assert!(t0.contains("store"), "sender stores traced:\n{t0}");
+        assert!(t0.contains("tx 24B to node 1"), "packet egress traced:\n{t0}");
+        let t1_net = m.trace(1, Some(sv_sim::trace::Subsys::Net));
+        assert!(t1_net.contains("rx 24B from node 0"));
+        let t1_bus = m.trace(1, Some(sv_sim::trace::Subsys::Bus));
+        assert!(t1_bus.contains("done SingleRead"), "receiver polls traced");
+        // Disabled tracer records nothing further.
+        m.enable_tracing(0, false);
+        let before = m.nodes[0].tracer.total_recorded();
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![2u8; 16]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        assert_eq!(m.nodes[0].tracer.total_recorded(), before);
+    }
+
+    #[test]
+    fn queue_view_slots() {
+        let v = QueueView {
+            q: 1,
+            base: 0x1000,
+            entries: 32,
+            entry_bytes: 96,
+            shadow_off: 0,
+        };
+        assert_eq!(v.slot_off(0), 0x1000);
+        assert_eq!(v.slot_off(33), 0x1000 + 96);
+    }
+}

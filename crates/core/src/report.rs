@@ -1,0 +1,191 @@
+//! Machine-wide utilization reporting.
+//!
+//! The paper's platform pitch is *observability*: running real workloads
+//! while watching where the cycles go (aP vs sP vs bus vs IBus vs
+//! links). [`Machine::report`](crate::Machine::report) snapshots every
+//! resource's utilization over the run so far; benches and examples
+//! print it, and tests assert the balances the paper describes.
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Utilization snapshot of one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Destination node.
+    pub node: u16,
+    /// aP time spent computing (program work + per-step overheads), ns.
+    pub ap_compute_ns: u64,
+    /// aP time stalled on memory operations, ns.
+    pub ap_stall_ns: u64,
+    /// aP busy fraction of the run.
+    pub ap_utilization: f64,
+    /// sP busy time, ns.
+    pub sp_busy_ns: u64,
+    /// sP busy fraction of the run.
+    pub sp_utilization: f64,
+    /// Memory-bus data-beat cycles.
+    pub bus_data_cycles: u64,
+    /// Data-bus busy fraction of the run.
+    pub bus_utilization: f64,
+    /// NIU IBus busy cycles.
+    pub ibus_busy_cycles: u64,
+    /// IBus busy fraction of the run.
+    pub ibus_utilization: f64,
+    /// L1 data-cache hit rate (of cacheable accesses).
+    pub l1_hit_rate: f64,
+    /// Messages this NIU launched.
+    pub msgs_launched: u64,
+    /// Messages this NIU delivered into receive queues.
+    pub msgs_delivered: u64,
+    /// ARTRY retries the aP suffered (S-COMA stalls etc.).
+    pub ap_retries: u64,
+}
+
+/// Network-level snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+    /// Mean packet latency ns.
+    pub mean_packet_latency_ns: f64,
+    /// Max link queue.
+    pub max_link_queue: usize,
+}
+
+/// Whole-machine snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineReport {
+    /// Sim time ns.
+    pub sim_time_ns: u64,
+    /// Number of nodes in the machine.
+    pub nodes: Vec<NodeReport>,
+    /// Network-level statistics.
+    pub network: NetworkReport,
+}
+
+impl Machine {
+    /// Snapshot every resource's utilization over the run so far.
+    pub fn report(&self) -> MachineReport {
+        let window = self.now.ns().max(1);
+        let bus_cycle_ns = 1000.0 / self.params.bus_mhz as f64;
+        let total_cycles = (window as f64 / bus_cycle_ns).max(1.0);
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let l1h = n.stats.l1_hits.get();
+                let l1_total = l1h + n.stats.l2_hits.get() + n.stats.bus_ops_issued.get();
+                NodeReport {
+                    node: n.id,
+                    ap_compute_ns: n.stats.cpu_compute_ns,
+                    ap_stall_ns: n.stats.cpu_mem_stall_ns,
+                    ap_utilization: (n.stats.cpu_compute_ns + n.stats.cpu_mem_stall_ns) as f64
+                        / window as f64,
+                    sp_busy_ns: n.fw.occupancy.busy_ns,
+                    sp_utilization: n.fw.occupancy.busy_ns as f64 / window as f64,
+                    bus_data_cycles: n.bus.stats.data_cycles,
+                    bus_utilization: n.bus.stats.data_cycles as f64 / total_cycles,
+                    ibus_busy_cycles: n.niu.ctrl.ibus.busy_cycles,
+                    ibus_utilization: n.niu.ctrl.ibus.busy_cycles as f64 / total_cycles,
+                    l1_hit_rate: if l1_total == 0 {
+                        0.0
+                    } else {
+                        l1h as f64 / l1_total as f64
+                    },
+                    msgs_launched: n.niu.ctrl.stats.msgs_launched.get(),
+                    msgs_delivered: n.niu.ctrl.stats.msgs_delivered.get(),
+                    ap_retries: n.stats.ap_retries.get(),
+                }
+            })
+            .collect();
+        MachineReport {
+            sim_time_ns: self.now.ns(),
+            nodes,
+            network: NetworkReport {
+                packets_delivered: self.network.stats.delivered.get(),
+                bytes_delivered: self.network.stats.bytes_delivered,
+                mean_packet_latency_ns: self.network.stats.latency.mean().unwrap_or(0.0),
+                max_link_queue: self.network.stats.max_link_queue,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "machine report @ {} us", self.sim_time_ns / 1000)?;
+        writeln!(
+            f,
+            "{:>4} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7}",
+            "node", "aP cmp us", "aP stl us", "aP%", "sP%", "bus%", "ibus%", "L1 hit", "retries"
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "{:>4} {:>8} {:>8} {:>6.1}% {:>6.1}% {:>6.1}% {:>5.1}% {:>5.0}% {:>7}",
+                n.node,
+                n.ap_compute_ns / 1000,
+                n.ap_stall_ns / 1000,
+                100.0 * n.ap_utilization,
+                100.0 * n.sp_utilization,
+                100.0 * n.bus_utilization,
+                100.0 * n.ibus_utilization,
+                100.0 * n.l1_hit_rate,
+                n.ap_retries
+            )?;
+        }
+        writeln!(
+            f,
+            "network: {} packets, {} bytes, mean latency {:.0} ns, deepest link queue {}",
+            self.network.packets_delivered,
+            self.network.bytes_delivered,
+            self.network.mean_packet_latency_ns,
+            self.network.max_link_queue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{RecvBasic, SendBasic};
+    use crate::SystemParams;
+
+    #[test]
+    fn report_reflects_activity() {
+        let mut m = Machine::new(2, SystemParams::default());
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![7u8; 64]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        let r = m.report();
+        assert_eq!(r.nodes.len(), 2);
+        assert_eq!(r.network.packets_delivered, 1);
+        assert!(r.network.bytes_delivered >= 64);
+        assert_eq!(r.nodes[0].msgs_launched, 1);
+        assert_eq!(r.nodes[1].msgs_delivered, 1);
+        assert!(r.nodes[0].ap_utilization > 0.0 && r.nodes[0].ap_utilization <= 1.0);
+        assert!(r.nodes[0].bus_utilization > 0.0);
+        assert!(r.nodes[0].ibus_utilization > 0.0);
+        // Nothing ran on the sPs.
+        assert_eq!(r.nodes[0].sp_busy_ns, 0);
+        // Rendering never panics and mentions the network line.
+        let text = r.to_string();
+        assert!(text.contains("network: 1 packets"));
+    }
+
+    #[test]
+    fn idle_machine_report_is_all_zero() {
+        let mut m = Machine::new(2, SystemParams::default());
+        m.run_for(1000);
+        let r = m.report();
+        for n in &r.nodes {
+            assert_eq!(n.ap_compute_ns, 0);
+            assert_eq!(n.bus_data_cycles, 0);
+            assert_eq!(n.msgs_launched, 0);
+        }
+        assert_eq!(r.network.packets_delivered, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Parallel parameter sweeps.
+//!
+//! Each simulation point is single-threaded and deterministic; sweeps
+//! over sizes/approaches/parameters are embarrassingly parallel. The
+//! bench harness fans points out over worker threads with a crossbeam
+//! channel and reassembles results in input order.
+
+/// Map `f` over `inputs` in parallel, preserving order.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
+    for pair in inputs.into_iter().enumerate() {
+        in_tx.send(pair).expect("open channel");
+    }
+    drop(in_tx);
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
+        for _ in 0..threads {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, input)) = in_rx.recv() {
+                    out_tx.send((i, f(input))).expect("collector alive");
+                }
+            });
+        }
+        drop(out_tx);
+        while let Ok((i, o)) = out_rx.recv() {
+            out[i] = Some(o);
+        }
+    });
+    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: u32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_once_per_input() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map((0..37).collect(), |x: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+}

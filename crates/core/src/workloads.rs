@@ -1,0 +1,481 @@
+//! Multi-node workload generators and microbenchmark drivers.
+//!
+//! These functions build a machine, run a canonical traffic pattern and
+//! return measurements. They back experiment tables T1 (message
+//! microbenchmarks), T2 (shared-memory operation costs) and A3 (network
+//! scaling), and double as heavyweight integration tests.
+
+use crate::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
+use crate::app::{AppEventKind, Env, Program, Step, StoreData};
+use crate::machine::{Machine, NodeLib};
+use crate::metrics::MsgMicro;
+use crate::params::SystemParams;
+use sv_niu::msg::MsgHeader;
+use sv_sim::Time;
+
+// =========================================================================
+// Ping-pong programs
+// =========================================================================
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PpState {
+    Send,
+    SendPayload,
+    SendPtr,
+    Poll,
+    CheckPoll,
+    ReadBody,
+    Collect,
+    ConsumePtr,
+}
+
+/// Basic-message ping-pong (8-byte payload). The initiator sends first;
+/// each side alternates send/receive for `iters` rounds.
+pub struct PingPongBasic {
+    lib: NodeLib,
+    peer: u16,
+    iters: u32,
+    round: u32,
+    initiator: bool,
+    state: PpState,
+    producer: u16,
+    consumer: u16,
+    producer_seen: u16,
+}
+
+impl PingPongBasic {
+    /// Build one side of the ping-pong.
+    pub fn new(lib: &NodeLib, peer: u16, iters: u32, initiator: bool) -> Self {
+        PingPongBasic {
+            lib: *lib,
+            peer,
+            iters,
+            round: 0,
+            initiator,
+            state: if initiator { PpState::Send } else { PpState::Poll },
+            producer: 0,
+            consumer: 0,
+            producer_seen: 0,
+        }
+    }
+}
+
+impl Program for PingPongBasic {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            match self.state {
+                PpState::Send => {
+                    if self.round >= self.iters {
+                        return Step::Done;
+                    }
+                    let dest = self.lib.user_dest(self.peer);
+                    let hdr = MsgHeader::basic(dest, 8);
+                    let slot = self.lib.basic_tx.slot_off(self.producer);
+                    self.state = PpState::SendPayload;
+                    return Step::Store {
+                        addr: self.lib.asram(slot),
+                        data: StoreData::Bytes(hdr.encode().to_vec()),
+                    };
+                }
+                PpState::SendPayload => {
+                    let slot = self.lib.basic_tx.slot_off(self.producer);
+                    self.state = PpState::SendPtr;
+                    return Step::Store {
+                        addr: self.lib.asram(slot + 8),
+                        data: StoreData::U64(self.round as u64),
+                    };
+                }
+                PpState::SendPtr => {
+                    self.producer = self.producer.wrapping_add(1);
+                    let q = self.lib.basic_tx.q;
+                    // Initiator now waits for the echo; responder is done
+                    // with this round.
+                    self.state = if self.initiator {
+                        PpState::Poll
+                    } else {
+                        self.round += 1;
+                        PpState::Poll
+                    };
+                    if !self.initiator && self.round >= self.iters {
+                        // Final echo sent; finish after the pointer update.
+                        self.state = PpState::Send; // will return Done next
+                        self.round = self.iters;
+                    }
+                    return Step::Store {
+                        addr: self.lib.map.ptr_update_addr(false, q, self.producer),
+                        data: StoreData::U64(0),
+                    };
+                }
+                PpState::Poll => {
+                    if self.consumer != self.producer_seen {
+                        self.state = PpState::ReadBody;
+                        continue;
+                    }
+                    self.state = PpState::CheckPoll;
+                    return Step::Load {
+                        addr: self.lib.asram(self.lib.basic_rx.shadow_off),
+                        bytes: 8,
+                    };
+                }
+                PpState::CheckPoll => {
+                    self.producer_seen = env.last_load as u16;
+                    if self.consumer == self.producer_seen {
+                        self.state = PpState::Poll;
+                        return Step::Compute(30);
+                    }
+                    self.state = PpState::ReadBody;
+                }
+                PpState::ReadBody => {
+                    let slot = self.lib.basic_rx.slot_off(self.consumer);
+                    self.state = PpState::Collect;
+                    return Step::Load {
+                        addr: self.lib.asram(slot + 8),
+                        bytes: 8,
+                    };
+                }
+                PpState::Collect => {
+                    self.state = PpState::ConsumePtr;
+                }
+                PpState::ConsumePtr => {
+                    self.consumer = self.consumer.wrapping_add(1);
+                    let q = self.lib.basic_rx.q;
+                    if self.initiator {
+                        self.round += 1;
+                        self.state = PpState::Send;
+                    } else {
+                        self.state = PpState::Send;
+                    }
+                    return Step::Store {
+                        addr: self.lib.map.ptr_update_addr(true, q, self.consumer),
+                        data: StoreData::U64(0),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Express-message ping-pong: one store to send, polling loads to
+/// receive.
+pub struct PingPongExpress {
+    lib: NodeLib,
+    peer: u16,
+    iters: u32,
+    round: u32,
+    initiator: bool,
+    waiting: bool,
+    primed: bool,
+}
+
+impl PingPongExpress {
+    /// Build one side.
+    pub fn new(lib: &NodeLib, peer: u16, iters: u32, initiator: bool) -> Self {
+        PingPongExpress {
+            lib: *lib,
+            peer,
+            iters,
+            round: 0,
+            initiator,
+            waiting: !initiator,
+            primed: false,
+        }
+    }
+}
+
+impl Program for PingPongExpress {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            if self.round >= self.iters {
+                return Step::Done;
+            }
+            if self.waiting {
+                if self.primed {
+                    self.primed = false;
+                    if sv_niu::msg::express::unpack_rx(env.last_load).is_none() {
+                        return Step::Compute(30);
+                    }
+                    self.waiting = false;
+                    if self.initiator {
+                        self.round += 1;
+                    }
+                    continue;
+                }
+                self.primed = true;
+                return Step::Load {
+                    addr: self.lib.map.express_rx_addr(self.lib.express_rx_q),
+                    bytes: 8,
+                };
+            }
+            // Send.
+            let dest = self.lib.express_dest(self.peer);
+            self.waiting = true;
+            if !self.initiator {
+                self.round += 1;
+            }
+            return Step::Store {
+                addr: self
+                    .lib
+                    .map
+                    .express_tx_addr(self.lib.express_tx_q, dest, self.round as u8),
+                data: StoreData::Bytes({ self.round }.to_le_bytes().to_vec()),
+            };
+        }
+    }
+}
+
+// =========================================================================
+// Measurement drivers
+// =========================================================================
+
+fn program_done_time(m: &Machine, node: u16) -> Time {
+    m.event_time(node, |k| matches!(k, AppEventKind::ProgramDone))
+        .expect("program finished")
+}
+
+/// Basic-message ping-pong: returns `(one-way ns, round-trip ns)`.
+pub fn basic_ping_pong(params: SystemParams, iters: u32) -> (u64, u64) {
+    let mut m = Machine::new(2, params);
+    m.load_program(0, PingPongBasic::new(&m.lib(0), 1, iters, true));
+    m.load_program(1, PingPongBasic::new(&m.lib(1), 0, iters, false));
+    m.run_to_quiescence();
+    let total = program_done_time(&m, 0).ns();
+    let rtt = total / iters as u64;
+    (rtt / 2, rtt)
+}
+
+/// Express-message ping-pong: returns `(one-way ns, round-trip ns)`.
+pub fn express_ping_pong(params: SystemParams, iters: u32) -> (u64, u64) {
+    let mut m = Machine::new(2, params);
+    m.load_program(0, PingPongExpress::new(&m.lib(0), 1, iters, true));
+    m.load_program(1, PingPongExpress::new(&m.lib(1), 0, iters, false));
+    m.run_to_quiescence();
+    let total = program_done_time(&m, 0).ns();
+    let rtt = total / iters as u64;
+    (rtt / 2, rtt)
+}
+
+/// One-way Basic message stream (optionally with TagOn attachments).
+pub fn basic_stream(
+    params: SystemParams,
+    msgs: u32,
+    payload_len: usize,
+    tagon_len: Option<usize>,
+) -> MsgMicro {
+    let mut m = Machine::new(2, params);
+    let lib0 = m.lib(0);
+    let items: Vec<BasicMsg> = (0..msgs)
+        .map(|i| {
+            let mut msg = BasicMsg::new(lib0.user_dest(1), vec![(i & 0xFF) as u8; payload_len]);
+            if let Some(t) = tagon_len {
+                msg = msg.with_tagon(vec![0xA5u8; t]);
+            }
+            msg
+        })
+        .collect();
+    let per_msg_bytes = (payload_len + tagon_len.unwrap_or(0)) as u32;
+    m.load_program(0, SendBasic::new(&lib0, items));
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), msgs as usize));
+    m.run_to_quiescence();
+    let dur = program_done_time(&m, 1).ns().max(1);
+    MsgMicro {
+        mechanism: match tagon_len {
+            Some(t) => format!("basic+tagon{t}"),
+            None => format!("basic-{payload_len}B"),
+        },
+        one_way_ns: dur / msgs as u64,
+        round_trip_ns: 0,
+        msg_rate_per_s: msgs as f64 / (dur as f64 / 1e9),
+        bandwidth_mb_s: sv_sim::stats::mb_per_s(per_msg_bytes as u64 * msgs as u64, dur),
+        payload_bytes: per_msg_bytes,
+    }
+}
+
+/// One-way Express message stream.
+pub fn express_stream(params: SystemParams, msgs: u32) -> MsgMicro {
+    let mut m = Machine::new(2, params);
+    let lib0 = m.lib(0);
+    let items: Vec<(u16, u8, u32)> = (0..msgs)
+        .map(|i| (lib0.express_dest(1), (i & 0xFF) as u8, i))
+        .collect();
+    m.load_program(0, SendExpress::new(&lib0, items));
+    m.load_program(1, RecvExpress::expecting(&m.lib(1), msgs as usize));
+    m.run_to_quiescence();
+    let dur = program_done_time(&m, 1).ns().max(1);
+    MsgMicro {
+        mechanism: "express".into(),
+        one_way_ns: dur / msgs as u64,
+        round_trip_ns: 0,
+        msg_rate_per_s: msgs as f64 / (dur as f64 / 1e9),
+        bandwidth_mb_s: sv_sim::stats::mb_per_s(5 * msgs as u64, dur),
+        payload_bytes: 5,
+    }
+}
+
+/// All-to-all Basic traffic on an `n`-node machine; returns
+/// `(completion ns, aggregate payload MB/s)`.
+pub fn all_to_all(params: SystemParams, n: usize, per_pair: u32, payload_len: usize) -> (u64, f64) {
+    let mut m = Machine::new(n, params);
+    for i in 0..n as u16 {
+        let lib = m.lib(i);
+        let mut items = Vec::new();
+        for round in 0..per_pair {
+            for d in 0..n as u16 {
+                if d != i {
+                    items.push(BasicMsg::new(
+                        lib.user_dest(d),
+                        vec![(round & 0xFF) as u8; payload_len],
+                    ));
+                }
+            }
+        }
+        m.load_program(
+            i,
+            crate::app::Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(
+                    &lib,
+                    per_pair as usize * (n - 1),
+                )),
+            ]),
+        );
+    }
+    m.run_to_quiescence();
+    let dur = (0..n as u16)
+        .map(|i| program_done_time(&m, i).ns())
+        .max()
+        .expect("nodes")
+        .max(1);
+    let total_bytes = (n * (n - 1)) as u64 * per_pair as u64 * payload_len as u64;
+    (dur, sv_sim::stats::mb_per_s(total_bytes, dur))
+}
+
+// =========================================================================
+// Shared-memory probes (experiment T2)
+// =========================================================================
+
+/// A single timed load or store, bracketed by markers.
+pub struct Probe {
+    addr: u64,
+    write: bool,
+    phase: u8,
+}
+
+impl Probe {
+    /// A timed load of `addr`.
+    pub fn load(addr: u64) -> Self {
+        Probe {
+            addr,
+            write: false,
+            phase: 0,
+        }
+    }
+
+    /// A timed store to `addr`.
+    pub fn store(addr: u64) -> Self {
+        Probe {
+            addr,
+            write: true,
+            phase: 0,
+        }
+    }
+}
+
+impl Program for Probe {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                env.emit(AppEventKind::Marker("probe-start"));
+                if self.write {
+                    Step::Store {
+                        addr: self.addr,
+                        data: StoreData::U64(0xD00D),
+                    }
+                } else {
+                    Step::Load {
+                        addr: self.addr,
+                        bytes: 8,
+                    }
+                }
+            }
+            1 => {
+                self.phase = 2;
+                env.emit(AppEventKind::Marker("probe-end"));
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+/// Latency of the `k`-th probe on node `i` (marker pair), ns.
+pub fn probe_latency(m: &Machine, i: u16, k: usize) -> u64 {
+    let starts: Vec<Time> = m
+        .events(i)
+        .iter()
+        .filter(|e| e.kind == AppEventKind::Marker("probe-start"))
+        .map(|e| e.at)
+        .collect();
+    let ends: Vec<Time> = m
+        .events(i)
+        .iter()
+        .filter(|e| e.kind == AppEventKind::Marker("probe-end"))
+        .map(|e| e.at)
+        .collect();
+    ends[k].since(starts[k])
+}
+
+/// NUMA load latency: `remote` selects a page homed on the other node.
+pub fn numa_load_latency(params: SystemParams, remote: bool) -> u64 {
+    let mut m = Machine::new(2, params);
+    let addr = params.map.numa_base + if remote { 0x1000 } else { 0 };
+    m.load_program(0, Probe::load(addr));
+    m.run_to_quiescence();
+    probe_latency(&m, 0, 0)
+}
+
+/// NUMA store completion latency (posted; measures the bus handoff).
+pub fn numa_store_latency(params: SystemParams, remote: bool) -> u64 {
+    let mut m = Machine::new(2, params);
+    let addr = params.map.numa_base + if remote { 0x1000 } else { 0 };
+    m.load_program(0, Probe::store(addr));
+    m.run_to_quiescence();
+    probe_latency(&m, 0, 0)
+}
+
+/// S-COMA latencies on a 2-node machine, for an address homed at node 1:
+/// `(read miss 2-hop, read after grant with cold caches, write upgrade)`.
+pub fn scoma_latencies(params: SystemParams) -> (u64, u64, u64) {
+    let mut m = Machine::new(2, params);
+    let addr = params.map.scoma_base + 0x1000; // page 1 → home node 1
+    m.nodes[1].mem.fill_pattern(addr, 32, 7);
+    // Probe 1: read miss (2-hop protocol).
+    m.load_program(0, Probe::load(addr));
+    m.run_to_quiescence();
+    let miss = probe_latency(&m, 0, 0);
+    // Probe 2: read again with cold caches — clsSRAM hit, local DRAM.
+    m.nodes[0].flush_caches();
+    m.load_program(0, Probe::load(addr));
+    m.run_to_quiescence();
+    let hit = probe_latency(&m, 0, 1);
+    // Probe 3: write (upgrade ReadOnly → ReadWrite).
+    m.load_program(0, Probe::store(addr));
+    m.run_to_quiescence();
+    let upgrade = probe_latency(&m, 0, 2);
+    (miss, hit, upgrade)
+}
+
+/// S-COMA 3-hop read: node 0 owns the line dirty, home is node 1, node 2
+/// reads (recall path). Returns the reader's latency.
+pub fn scoma_read_3hop(params: SystemParams) -> u64 {
+    let mut m = Machine::new(4, params);
+    let addr = params.map.scoma_base + 0x1000; // home node 1
+    m.nodes[1].mem.fill_pattern(addr, 32, 9);
+    // Node 0 takes ownership by writing.
+    m.load_program(0, Probe::store(addr));
+    m.run_to_quiescence();
+    // Node 2 reads: home must recall from node 0.
+    m.load_program(2, Probe::load(addr));
+    m.run_to_quiescence();
+    probe_latency(&m, 2, 0)
+}

@@ -1,0 +1,331 @@
+//! The firmware dispatch engine.
+//!
+//! The sP runs a classic poll loop: check the aBIU→sBIU request queue,
+//! then the service receive queue, then the miss queue, then step any
+//! active transfer state machines — handling **one work item per
+//! engagement** and charging its cost to the occupancy model. While a
+//! handler's cost has not elapsed, the sP does nothing else; that
+//! occupancy is precisely what distinguishes transfer approaches 2 and 3
+//! in the paper's evaluation.
+
+use crate::params::FwParams;
+use crate::proto::op;
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+use sv_niu::abiu::SpRequest;
+use sv_niu::{LocalCmd, Niu, NiuInterrupt, QueueId};
+use sv_sim::stats::{Counter, Occupancy};
+
+/// Command queue the firmware uses for ordered service-queue work
+/// (writes + consumer updates).
+pub const Q_SVC: usize = 0;
+/// Command queue used for protocol work (NUMA/S-COMA staging and sends).
+pub const Q_PROTO: usize = 1;
+
+/// sSRAM staging offsets (firmware scratch).
+pub mod staging {
+    /// NUMA read-reply composition (meta + data).
+    pub const NUMA_READ: u32 = 0x1000;
+    /// NUMA write landing.
+    pub const NUMA_WRITE: u32 = 0x1040;
+    /// S-COMA recall/writeback composition.
+    pub const SCOMA_RECALL: u32 = 0x1080;
+    /// S-COMA home writeback landing + grant source.
+    pub const SCOMA_WB: u32 = 0x10C0;
+    /// S-COMA home grant staging (clean grants).
+    pub const SCOMA_GRANT: u32 = 0x1100;
+}
+
+/// aSRAM staging offsets (within `[96 KiB, 128 KiB)`, see `Ctrl::new`).
+pub mod asram_staging {
+    /// Approach-2 sender staging, one slot per command queue.
+    pub const A2: [u32; 2] = [0x18000, 0x18800];
+    /// Block-operation staging (approaches 3-5), one page.
+    pub const BLOCK: u32 = 0x1A000;
+}
+
+/// Static firmware configuration (conventions shared by all nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct FwConfig {
+    /// This node's id.
+    pub node: u16,
+    /// Total nodes in the machine.
+    pub nodes: u16,
+    /// Hardware rx queue bound as the sP service queue.
+    pub svc_q: QueueId,
+    /// Logical queue number of every node's sP service queue.
+    pub svc_lq: u16,
+    /// Page size used for block-operation chunking and home interleave.
+    pub page: u32,
+}
+
+impl FwConfig {
+    /// Default conventions: service queue = hardware slot 0 = logical 0.
+    pub fn new(node: u16, nodes: u16) -> Self {
+        FwConfig {
+            node,
+            nodes,
+            svc_q: QueueId(0),
+            svc_lq: 0,
+            page: 4096,
+        }
+    }
+
+    /// Home node of a NUMA address (page-interleaved).
+    pub fn numa_home(&self, addr: u64) -> u16 {
+        ((addr >> 12) % self.nodes as u64) as u16
+    }
+
+    /// Home node of an S-COMA line (page-interleaved over the region).
+    pub fn scoma_home(&self, line: u64) -> u16 {
+        (((line * sv_membus::CACHE_LINE) >> 12) % self.nodes as u64) as u16
+    }
+}
+
+/// Aggregate firmware statistics.
+#[derive(Debug, Default)]
+pub struct FwStats {
+    /// Work items handled.
+    pub handled: Counter,
+    /// Svc msgs.
+    pub svc_msgs: Counter,
+    /// Miss msgs.
+    pub miss_msgs: Counter,
+    /// Violations seen.
+    pub violations_seen: Counter,
+}
+
+/// One node's firmware.
+#[derive(Debug)]
+pub struct Firmware {
+    /// Node configuration.
+    pub cfg: FwConfig,
+    /// Timing/geometry parameters.
+    pub params: FwParams,
+    busy_until: u64,
+    /// Accumulated busy time.
+    pub occupancy: Occupancy,
+    /// Running statistics.
+    pub stats: FwStats,
+    /// Our cursor into the service queue (the CTRL consumer pointer is
+    /// advanced by in-order RxPtrUpdate commands so slots are not
+    /// recycled under pending bus writes).
+    svc_ptr: u16,
+    /// Block-transfer service state.
+    pub xfer: crate::xfer::XferService,
+    /// NUMA protocol state and statistics.
+    pub numa: crate::numa::NumaService,
+    /// S-COMA directory and statistics.
+    pub scoma: crate::scoma::ScomaService,
+    /// Software (DRAM-resident) receive queues fed by the miss queue.
+    pub sw_rx: HashMap<u16, VecDeque<(u16, Bytes)>>,
+}
+
+impl Firmware {
+    /// Firmware for one node.
+    pub fn new(cfg: FwConfig, params: FwParams) -> Self {
+        Firmware {
+            cfg,
+            params,
+            busy_until: 0,
+            occupancy: Occupancy::default(),
+            stats: FwStats::default(),
+            svc_ptr: 0,
+            xfer: Default::default(),
+            numa: Default::default(),
+            scoma: Default::default(),
+            sw_rx: HashMap::new(),
+        }
+    }
+
+    /// Charge `base` cycles (after ablation scaling) of sP occupancy
+    /// starting at `cycle`.
+    pub(crate) fn charge(&mut self, cycle: u64, base: u64) {
+        let c = self.params.cost(base);
+        self.busy_until = cycle + c;
+        self.occupancy.busy(c * 15); // 66 MHz bus cycle ≈ 15 ns
+        self.stats.handled.bump();
+    }
+
+    /// Whether the firmware is mid-handler at `cycle`.
+    pub fn is_busy(&self, cycle: u64) -> bool {
+        self.busy_until > cycle
+    }
+
+    /// Whether the firmware holds unfinished protocol/transfer state.
+    pub fn has_work(&self, niu: &Niu) -> bool {
+        self.xfer.has_work()
+            || niu.sp_requests_pending() > 0
+            || self.scoma.has_pending()
+            || self.svc_pending(niu)
+    }
+
+    fn svc_pending(&self, niu: &Niu) -> bool {
+        let q = &niu.ctrl.rx[self.cfg.svc_q.0 as usize];
+        self.svc_ptr != q.producer
+    }
+
+    /// One firmware engagement: poll sources in priority order, handle at
+    /// most one item.
+    pub fn tick(&mut self, cycle: u64, niu: &mut Niu) {
+        // Interrupt lines are edge-triggered bookkeeping, free to drain.
+        for int in niu.take_interrupts() {
+            if let NiuInterrupt::TxViolation(_) = int {
+                self.stats.violations_seen.bump();
+            }
+        }
+        if self.busy_until > cycle {
+            return;
+        }
+        // Handlers need room for the commands they push.
+        if niu.sp().cmd_depth(Q_SVC) > 48 || niu.sp().cmd_depth(Q_PROTO) > 48 {
+            self.busy_until = cycle + 4;
+            return;
+        }
+        // 1. aBIU→sBIU requests (coherence misses, violations).
+        if let Some(req) = niu.sp().pop_request() {
+            self.handle_sp_request(cycle, req, niu);
+            return;
+        }
+        // 2. Service queue messages.
+        if self.step_service_queue(cycle, niu) {
+            return;
+        }
+        // 3. Miss/overflow queue.
+        if self.step_miss_queue(cycle, niu) {
+            return;
+        }
+        // 4. Active transfer state machines.
+        self.step_xfers(cycle, niu);
+    }
+
+    fn handle_sp_request(&mut self, cycle: u64, req: SpRequest, niu: &mut Niu) {
+        match req {
+            SpRequest::NumaLoad { addr, .. } => self.numa_on_load_miss(cycle, addr, niu),
+            SpRequest::NumaStore { addr, data } => {
+                self.numa_on_store(cycle, addr, data, niu)
+            }
+            SpRequest::ScomaMiss { line, write } => {
+                self.scoma_on_local_miss(cycle, line, write, niu)
+            }
+            SpRequest::Violation { .. } => {
+                // OS policy decision; we record it and leave the queue
+                // disabled (tests re-enable explicitly).
+                self.charge(cycle, self.params.dispatch_cycles);
+            }
+            SpRequest::ReflectStore {
+                peer,
+                peer_addr,
+                data,
+            } => {
+                // Firmware-mode reflective memory: ship the captured
+                // store as a remote write.
+                niu.sp().push_cmd(
+                    Q_PROTO,
+                    LocalCmd::SendRemoteCmd {
+                        node: peer,
+                        cmd: sv_niu::msg::RemoteCmdKind::WriteDram {
+                            addr: peer_addr,
+                            data,
+                        },
+                    },
+                );
+                self.charge(cycle, self.params.reflect_fw_cycles);
+            }
+        }
+    }
+
+    /// Process one service-queue message; returns whether one was handled.
+    fn step_service_queue(&mut self, cycle: u64, niu: &mut Niu) -> bool {
+        let svc_q = self.cfg.svc_q;
+        let Some((src, _lq, data, sel, payload_addr)) = niu.sp().msg_at(svc_q, self.svc_ptr)
+        else {
+            return false;
+        };
+        self.stats.svc_msgs.bump();
+        let opcode = data.first().copied().unwrap_or(0);
+        // Most handlers copy what they need out of the slot, so the slot
+        // can be freed immediately; XFER_DATA's bus write reads the slot
+        // in place and frees it with an in-order pointer update.
+        let needs_slot = opcode == op::XFER_DATA;
+        self.svc_ptr = self.svc_ptr.wrapping_add(1);
+        if !needs_slot {
+            let ptr = self.svc_ptr;
+            niu.sp().push_cmd(Q_SVC, LocalCmd::RxPtrUpdate { q: svc_q, consumer: ptr });
+        }
+        match opcode {
+            op::XFER_REQ => self.xfer_on_request(cycle, &data, niu),
+            op::XFER_DATA => {
+                let ptr = self.svc_ptr;
+                self.xfer_on_data(cycle, src, &data, sel, payload_addr, ptr, niu)
+            }
+            op::XFER_SETUP => self.xfer_on_setup(cycle, src, &data, niu),
+            op::XFER_PAGE => self.xfer_on_page(cycle, src, &data, niu),
+            op::XFER_GO => self.xfer_on_go(cycle, &data, niu),
+            op::XFER_FLUSH => self.xfer_on_flush(cycle, &data, niu),
+            op::NUMA_READ => self.numa_on_home_read(cycle, src, &data, niu),
+            op::NUMA_WRITE => self.numa_on_home_write(cycle, &data, niu),
+            op::NUMA_DATA => self.numa_on_data(cycle, &data, niu),
+            op::SCOMA_READ => self.scoma_on_home_req(cycle, src, &data, false, niu),
+            op::SCOMA_WRITE => self.scoma_on_home_req(cycle, src, &data, true, niu),
+            op::SCOMA_RECALL => self.scoma_on_recall(cycle, src, &data, niu),
+            op::SCOMA_WB => self.scoma_on_writeback(cycle, src, &data, niu),
+            op::SCOMA_INV => self.scoma_on_inv(cycle, src, &data, niu),
+            op::SCOMA_INV_ACK => self.scoma_on_inv_ack(cycle, &data, niu),
+            _ => {
+                // Unknown opcode: drop with a dispatch charge.
+                self.charge(cycle, self.params.dispatch_cycles);
+            }
+        }
+        true
+    }
+
+    /// Service one diverted message from the miss/overflow queue into the
+    /// software queues; returns whether one was handled.
+    fn step_miss_queue(&mut self, cycle: u64, niu: &mut Niu) -> bool {
+        let miss_q = QueueId(niu.params.miss_queue_slot as u8);
+        if miss_q == self.cfg.svc_q {
+            return false;
+        }
+        let Some((src, lq, data)) = niu.sp().read_msg(miss_q) else {
+            return false;
+        };
+        self.stats.miss_msgs.bump();
+        self.sw_rx.entry(lq).or_default().push_back((src, data));
+        self.charge(cycle, self.params.miss_service_cycles);
+        true
+    }
+
+    /// Pop a message from a software (miss-serviced) queue. The caller
+    /// (the aP library slow path) charges its own cost.
+    pub fn sw_rx_pop(&mut self, lq: u16) -> Option<(u16, Bytes)> {
+        self.sw_rx.get_mut(&lq)?.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_are_page_interleaved() {
+        let cfg = FwConfig::new(0, 4);
+        assert_eq!(cfg.numa_home(0x8000_0000), 0);
+        assert_eq!(cfg.numa_home(0x8000_1000), 1);
+        assert_eq!(cfg.numa_home(0x8000_4000), 0);
+        // Lines 0..127 live on page 0 → home 0; 128.. → home 1.
+        assert_eq!(cfg.scoma_home(0), 0);
+        assert_eq!(cfg.scoma_home(127), 0);
+        assert_eq!(cfg.scoma_home(128), 1);
+    }
+
+    #[test]
+    fn charge_scales_and_accumulates() {
+        let mut fw = Firmware::new(FwConfig::new(0, 2), FwParams::default().scaled(200));
+        fw.charge(100, 10);
+        assert!(fw.is_busy(119));
+        assert!(!fw.is_busy(120));
+        assert_eq!(fw.occupancy.busy_ns, 20 * 15);
+        assert_eq!(fw.stats.handled.get(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # sv-firmware — service-processor firmware
+//!
+//! The sP — the embedded 604 on the NIU — runs the firmware that gives
+//! StarT-Voyager its flexibility: shared-memory protocols, DMA
+//! orchestration, receive-queue miss handling, and the block-transfer
+//! implementations the paper's experiments compare. This crate models
+//! that firmware as an explicit event-handler machine with an **occupancy
+//! cost model**: every handler charges sP cycles, and the accumulated
+//! busy time is what the paper's discussion ("firmware engine occupancy
+//! is extremely important and can strongly color experimental results")
+//! is about.
+//!
+//! Modules:
+//! - [`params`]: per-handler cost model (swept by ablation A4).
+//! - [`proto`]: the wire formats of all firmware-to-firmware messages.
+//! - [`engine`]: the dispatch loop — one work item per engagement, drawn
+//!   from the aBIU→sBIU request queue, the sP service receive queue, the
+//!   miss queue, and active transfer state machines.
+//! - [`numa`]: home-based NUMA — remote loads/stores forwarded by the
+//!   aBIU are satisfied by the home node's firmware.
+//! - [`scoma`]: the S-COMA MSI directory protocol — local DRAM as an L3
+//!   cache, clsSRAM states checked by the aBIU, misses resolved by homes
+//!   with recalls/invalidations, data delivered by remote commands.
+//! - [`xfer`]: block-transfer approaches 2–5 (approach 1 never enters
+//!   firmware; it lives in the aP library).
+
+pub mod engine;
+pub mod numa;
+pub mod params;
+pub mod proto;
+pub mod scoma;
+pub mod xfer;
+
+pub use engine::{Firmware, FwConfig};
+pub use params::FwParams;

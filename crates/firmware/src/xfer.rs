@@ -1,0 +1,644 @@
+//! Block-transfer firmware: approaches 2–5 of the paper's evaluation.
+//!
+//! | Approach | Sender side | Receiver side |
+//! |---|---|---|
+//! | 2 | firmware issues `BusRead` + TagOn `SendDirect` per chunk, alternating the two command queues for overlap | firmware issues `BusWrite` straight out of the receive slot + an in-order pointer update per chunk; completion notify after the queue quiesces |
+//! | 3 | firmware issues one chained `Block(ReadTx)` per page; the hardware streams | none — data lands through the remote command queue; the notify rides the same ordered stream after the last page |
+//! | 4 | as 3, but each page's `ReadTx` carries a page marker to the *receiver's sP*, which updates clsSRAM states as data arrives and notifies the job early at 25% | per-page `SetClsRange(ReadWrite)` + early notify |
+//! | 5 | as 3 with `set_cls` delegated to the destination aBIU (`WriteDramSetCls`), early notify attached to the page crossing 25% | setup only (`SetClsRange(Pending)` + GO) |
+//!
+//! Approach 1 involves no firmware at all: the aP library packetizes into
+//! Basic messages itself (see `voyager::blockxfer`).
+
+use crate::engine::{asram_staging, Firmware, Q_PROTO, Q_SVC};
+use crate::proto::{
+    encode_addr_msg, encode_notify, op, Approach, XferData, XferPage, XferReq, XferSetup,
+    XFER_DATA_LEN,
+};
+use bytes::Bytes;
+use std::collections::HashMap;
+use sv_arctic::Priority;
+use sv_membus::CACHE_LINE;
+use sv_niu::{BlockOp, ClsState, LocalCmd, Niu, SramSel};
+use sv_sim::stats::Counter;
+
+/// Approach-2 chunk size: the XferData header (18 B) plus the chunk must
+/// fit the 88-byte packet payload.
+pub const A2_CHUNK: u32 = 64;
+
+/// Sender progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendPhase {
+    /// Approaches 4/5: waiting for the receiver's GO after setup.
+    WaitGo,
+    Streaming,
+}
+
+/// One outbound transfer.
+#[derive(Debug)]
+pub struct SendXfer {
+    /// The originating request.
+    pub req: XferReq,
+    /// Bytes sent so far.
+    pub sent: u32,
+    phase: SendPhase,
+    /// Approach 2: which command queue takes the next chunk.
+    toggle: usize,
+    /// Approach 5: the early notify has been attached to a page.
+    notify25_sent: bool,
+}
+
+/// One inbound transfer (approach 2 data tracking, approach 4 state
+/// management).
+#[derive(Debug)]
+pub struct RecvXfer {
+    /// Total transfer size in bytes.
+    pub total: u32,
+    /// Bytes received so far.
+    pub received: u32,
+    /// Logical queue that receives the completion notification.
+    pub notify_lq: u16,
+    /// Transfer approach (1-5).
+    pub approach: u8,
+    /// Whether the (early) notification has been delivered.
+    pub notified: bool,
+    /// Approach 2: all data seen; notify once the write queue quiesces.
+    want_quiesce_notify: bool,
+}
+
+/// An active tracked-region flush (the diff-ing extension): a sweep over
+/// the clsSRAM recording of `[base, +len)`, shipping only dirty lines.
+#[derive(Debug)]
+pub struct FlushXfer {
+    /// Transfer identifier.
+    pub xfer_id: u16,
+    /// First clsSRAM line of the region.
+    pub first_line: u64,
+    /// Lines in the region.
+    pub count: u64,
+    /// Next line to examine.
+    pub cursor: u64,
+    /// Region base address.
+    pub base: u64,
+    /// Destination byte address.
+    pub dst_addr: u64,
+    /// Destination node.
+    pub dst_node: u16,
+    /// Logical queue that receives the completion notification.
+    pub notify_lq: u16,
+    /// Lines sent.
+    pub lines_sent: u64,
+}
+
+/// Transfer service state + statistics.
+#[derive(Debug, Default)]
+pub struct XferService {
+    sends: Vec<SendXfer>,
+    recvs: HashMap<(u16, u16), RecvXfer>,
+    flushes: Vec<FlushXfer>,
+    rr: usize,
+    /// Transfer requests accepted.
+    pub requests: Counter,
+    /// Completed sends.
+    pub completed_sends: Counter,
+    /// Chunks sent.
+    pub chunks_sent: Counter,
+    /// Pages issued.
+    pub pages_issued: Counter,
+    /// Completion notifications sent.
+    pub notifies: Counter,
+    /// Dirty lines shipped by tracked-region flushes.
+    pub flush_lines_sent: Counter,
+    /// Clean lines skipped by tracked-region flushes (the bytes diff-ing
+    /// saved).
+    pub flush_lines_skipped: Counter,
+}
+
+impl XferService {
+    /// Whether any transfer is still in flight on this node.
+    pub fn has_work(&self) -> bool {
+        !self.sends.is_empty() || !self.recvs.is_empty() || !self.flushes.is_empty()
+    }
+}
+
+impl Firmware {
+    /// A local aP asked for a block transfer.
+    pub(crate) fn xfer_on_request(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
+        let Some(req) = XferReq::decode(data) else {
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        };
+        assert_eq!(req.src_addr % 8, 0, "transfers must be 8-byte aligned");
+        assert_eq!(req.dst_addr % 8, 0, "transfers must be 8-byte aligned");
+        assert_eq!(req.len % 8, 0, "transfer length must be a multiple of 8");
+        self.xfer.requests.bump();
+        let phase = match req.approach {
+            Approach::SpManaged | Approach::BlockHw => SendPhase::Streaming,
+            Approach::OptimisticSp | Approach::OptimisticHw => {
+                assert_eq!(
+                    req.len % CACHE_LINE as u32,
+                    0,
+                    "optimistic transfers are line-granular"
+                );
+                let svc_lq = self.cfg.svc_lq;
+                let setup = XferSetup {
+                    xfer_id: req.xfer_id,
+                    dst_addr: req.dst_addr,
+                    len: req.len,
+                    notify_lq: req.notify_lq,
+                    approach: req.approach as u8,
+                };
+                niu.sp().push_cmd(
+                    Q_PROTO,
+                    LocalCmd::SendDirect {
+                        node: req.dst_node,
+                        logical_q: svc_lq,
+                        priority: Priority::Low,
+                        data: setup.encode(),
+                        tagon: None,
+                    },
+                );
+                SendPhase::WaitGo
+            }
+            Approach::ApDirect => {
+                // Approach 1 never enters firmware; a request here is a
+                // library bug.
+                self.charge(cycle, self.params.dispatch_cycles);
+                return;
+            }
+        };
+        self.xfer.sends.push(SendXfer {
+            req,
+            sent: 0,
+            phase,
+            toggle: 0,
+            notify25_sent: false,
+        });
+        self.charge(cycle, self.params.xfer_setup_cycles);
+    }
+
+    /// Approach 4/5 receiver: prepare the destination region.
+    pub(crate) fn xfer_on_setup(&mut self, cycle: u64, src: u16, data: &Bytes, niu: &mut Niu) {
+        let Some(s) = XferSetup::decode(data) else {
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        };
+        let first = niu.map.scoma_line(s.dst_addr);
+        let count = (s.len as u64) / CACHE_LINE;
+        let svc_lq = self.cfg.svc_lq;
+        let mut sp = niu.sp();
+        sp.push_cmd(
+            Q_PROTO,
+            LocalCmd::SetClsRange {
+                first,
+                count,
+                state: ClsState::Pending,
+            },
+        );
+        // GO is ordered after the range update in the same queue, so the
+        // sender can never race data ahead of the gating states.
+        sp.push_cmd(
+            Q_PROTO,
+            LocalCmd::SendDirect {
+                node: src,
+                logical_q: svc_lq,
+                priority: Priority::High,
+                data: encode_addr_msg(op::XFER_GO, s.xfer_id as u64),
+                tagon: None,
+            },
+        );
+        if s.approach == Approach::OptimisticSp as u8 {
+            self.xfer.recvs.insert(
+                (src, s.xfer_id),
+                RecvXfer {
+                    total: s.len,
+                    received: 0,
+                    notify_lq: s.notify_lq,
+                    approach: 4,
+                    notified: false,
+                    want_quiesce_notify: false,
+                },
+            );
+        }
+        self.charge(cycle, self.params.xfer_setup_cycles);
+    }
+
+    /// Approach 4/5 sender: receiver says go.
+    pub(crate) fn xfer_on_go(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
+        let _ = niu;
+        if let Some((_, xfer_id)) = crate::proto::decode_addr_msg(data) {
+            for s in &mut self.xfer.sends {
+                if s.req.xfer_id == xfer_id as u16 && s.phase == SendPhase::WaitGo {
+                    s.phase = SendPhase::Streaming;
+                    break;
+                }
+            }
+        }
+        self.charge(cycle, self.params.dispatch_cycles);
+    }
+
+    /// Approach 2 receiver: one data chunk arrived in the service queue.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn xfer_on_data(
+        &mut self,
+        cycle: u64,
+        src: u16,
+        data: &Bytes,
+        sel: SramSel,
+        payload_addr: u32,
+        next_ptr: u16,
+        niu: &mut Niu,
+    ) {
+        let svc_q = self.cfg.svc_q;
+        let Some(hdr) = XferData::decode(data) else {
+            // Still must free the slot.
+            niu.sp().push_cmd(
+                Q_SVC,
+                LocalCmd::RxPtrUpdate {
+                    q: svc_q,
+                    consumer: next_ptr,
+                },
+            );
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        };
+        let chunk = (data.len() - XFER_DATA_LEN) as u32;
+        let entry = self
+            .xfer
+            .recvs
+            .entry((src, hdr.xfer_id))
+            .or_insert(RecvXfer {
+                total: hdr.total,
+                received: 0,
+                notify_lq: hdr.notify_lq,
+                approach: 2,
+                notified: false,
+                want_quiesce_notify: false,
+            });
+        entry.received += chunk;
+        if entry.received >= entry.total {
+            entry.want_quiesce_notify = true;
+        }
+        // Write the chunk from the receive slot straight into DRAM, then
+        // free the slot — ordered, so the buffer cannot be recycled under
+        // the bus write.
+        let mut sp = niu.sp();
+        sp.push_cmd(
+            Q_SVC,
+            LocalCmd::BusWrite {
+                dram_addr: hdr.dst_addr,
+                sram: sel,
+                sram_addr: payload_addr + XFER_DATA_LEN as u32,
+                len: chunk,
+            },
+        );
+        sp.push_cmd(
+            Q_SVC,
+            LocalCmd::RxPtrUpdate {
+                q: svc_q,
+                consumer: next_ptr,
+            },
+        );
+        self.charge(cycle, self.params.dma_recv_chunk_cycles);
+    }
+
+    /// Approach 4 receiver: a page of data has landed (marker is ordered
+    /// behind the data on the remote-command stream).
+    pub(crate) fn xfer_on_page(&mut self, cycle: u64, src: u16, data: &Bytes, niu: &mut Niu) {
+        let Some(p) = XferPage::decode(data) else {
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        };
+        let first = niu.map.scoma_line(p.addr);
+        let count = (p.len as u64) / CACHE_LINE;
+        niu.sp().push_cmd(
+            Q_PROTO,
+            LocalCmd::SetClsRange {
+                first,
+                count,
+                state: ClsState::ReadWrite,
+            },
+        );
+        let node = self.cfg.node;
+        let mut notify = None;
+        let mut done = false;
+        if let Some(entry) = self.xfer.recvs.get_mut(&(src, p.xfer_id)) {
+            entry.received += p.len;
+            if !entry.notified && entry.received as u64 * 4 >= entry.total as u64 {
+                entry.notified = true;
+                notify = Some((entry.notify_lq, p.xfer_id));
+            }
+            done = entry.received >= entry.total;
+        }
+        if let Some((lq, xid)) = notify {
+            self.xfer.notifies.bump();
+            // Ordered after the SetClsRange above: by the time the job
+            // sees the notify, the early states are in place.
+            niu.sp().push_cmd(
+                Q_PROTO,
+                LocalCmd::SendDirect {
+                    node,
+                    logical_q: lq,
+                    priority: Priority::Low,
+                    data: encode_notify(xid),
+                    tagon: None,
+                },
+            );
+        }
+        if done {
+            self.xfer.recvs.remove(&(src, p.xfer_id));
+        }
+        self.charge(cycle, self.params.a4_page_cycles);
+    }
+
+    /// A local aP requested a tracked-region flush.
+    pub(crate) fn xfer_on_flush(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
+        let Some(f) = crate::proto::XferFlush::decode(data) else {
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        };
+        assert_eq!(f.base % CACHE_LINE, 0, "flush regions are line-aligned");
+        assert_eq!(f.len as u64 % CACHE_LINE, 0);
+        let first_line = niu.map.scoma_line(f.base);
+        self.xfer.flushes.push(FlushXfer {
+            xfer_id: f.xfer_id,
+            first_line,
+            count: f.len as u64 / CACHE_LINE,
+            cursor: 0,
+            base: f.base,
+            dst_addr: f.dst_addr,
+            dst_node: f.dst_node,
+            notify_lq: f.notify_lq,
+            lines_sent: 0,
+        });
+        self.charge(cycle, self.params.xfer_setup_cycles);
+    }
+
+    /// Make one unit of progress on an active flush; returns whether
+    /// work was done.
+    fn step_one_flush(&mut self, cycle: u64, niu: &mut Niu) -> bool {
+        if self.xfer.flushes.is_empty() {
+            return false;
+        }
+        if niu.sp().cmd_depth(Q_PROTO) > 40 {
+            return false;
+        }
+        let scan_rate = self.params.flush_scan_lines_per_cycle.max(1);
+        // Sweep clean lines until a dirty one (or the end) is found.
+        let mut scanned = 0u64;
+        let mut skipped = 0u64;
+        let mut dirty: Option<u64> = None;
+        {
+            let f = &mut self.xfer.flushes[0];
+            while f.cursor < f.count {
+                let line = f.first_line + f.cursor;
+                scanned += 1;
+                if niu.clssram.get(line) == ClsState::ReadWrite {
+                    dirty = Some(f.cursor);
+                    break;
+                }
+                f.cursor += 1;
+                skipped += 1;
+                if scanned >= 16 * scan_rate {
+                    break; // bounded work per engagement
+                }
+            }
+        }
+        self.xfer.flush_lines_skipped.add(skipped);
+        let f = &mut self.xfer.flushes[0];
+        match dirty {
+            Some(off_lines) => {
+                let off = off_lines * CACHE_LINE;
+                let line = f.first_line + off_lines;
+                let (node, src, dst) = (f.dst_node, f.base + off, f.dst_addr + off);
+                f.cursor += 1;
+                f.lines_sent += 1;
+                self.xfer.flush_lines_sent.bump();
+                let st = crate::engine::staging::SCOMA_GRANT;
+                let mut sp = niu.sp();
+                // Read the line (snoop-pushing any dirty cached copy),
+                // ship it, and mark it clean — ordered.
+                sp.push_cmd(
+                    Q_PROTO,
+                    LocalCmd::BusRead {
+                        dram_addr: src,
+                        sram: SramSel::S,
+                        sram_addr: st,
+                        len: CACHE_LINE as u32,
+                    },
+                );
+                sp.push_cmd(
+                    Q_PROTO,
+                    LocalCmd::SendRemoteWrite {
+                        node,
+                        remote_addr: dst,
+                        sram: SramSel::S,
+                        sram_addr: st,
+                        len: CACHE_LINE as u32,
+                        set_cls: None,
+                    },
+                );
+                sp.push_cmd(
+                    Q_PROTO,
+                    LocalCmd::SetCls {
+                        line,
+                        state: ClsState::Invalid,
+                    },
+                );
+                self.charge(
+                    cycle,
+                    self.params.flush_line_cycles + scanned / scan_rate,
+                );
+                true
+            }
+            None => {
+                if f.cursor >= f.count {
+                    // Sweep complete: notify the requesting job (ordered
+                    // after the final line's commands in the same queue).
+                    let (node, lq, xid) = (self.cfg.node, f.notify_lq, f.xfer_id);
+                    self.xfer.flushes.remove(0);
+                    self.xfer.notifies.bump();
+                    niu.sp().push_cmd(
+                        Q_PROTO,
+                        LocalCmd::SendDirect {
+                            node,
+                            logical_q: lq,
+                            priority: Priority::Low,
+                            data: encode_notify(xid),
+                            tagon: None,
+                        },
+                    );
+                    self.charge(cycle, self.params.notify_cycles);
+                } else {
+                    // Scanned a clean stretch; charge the sweep.
+                    self.charge(cycle, (scanned / scan_rate).max(1));
+                }
+                true
+            }
+        }
+    }
+
+    /// Step active transfers: one unit of progress per engagement.
+    pub(crate) fn step_xfers(&mut self, cycle: u64, niu: &mut Niu) {
+        if self.step_one_flush(cycle, niu) {
+            return;
+        }
+        // Approach-2 completion notifies waiting for queue quiescence.
+        let quiescent = niu.sp().cmd_quiescent(Q_SVC);
+        if quiescent {
+            let node = self.cfg.node;
+            let mut fire = None;
+            for (k, e) in self.xfer.recvs.iter_mut() {
+                if e.want_quiesce_notify && !e.notified {
+                    e.notified = true;
+                    fire = Some((*k, e.notify_lq));
+                    break;
+                }
+            }
+            if let Some((k, lq)) = fire {
+                self.xfer.notifies.bump();
+                niu.sp().push_cmd(
+                    Q_PROTO,
+                    LocalCmd::SendDirect {
+                        node,
+                        logical_q: lq,
+                        priority: Priority::Low,
+                        data: encode_notify(k.1),
+                        tagon: None,
+                    },
+                );
+                self.xfer.recvs.remove(&k);
+                self.charge(cycle, self.params.notify_cycles);
+                return;
+            }
+        }
+        if self.xfer.sends.is_empty() {
+            return;
+        }
+        let n = self.xfer.sends.len();
+        for k in 0..n {
+            let i = (self.xfer.rr + k) % n;
+            if self.step_one_send(cycle, i, niu) {
+                self.xfer.rr = (i + 1) % n.max(1);
+                return;
+            }
+        }
+    }
+
+    /// Try to make progress on send `i`; returns whether work was done.
+    fn step_one_send(&mut self, cycle: u64, i: usize, niu: &mut Niu) -> bool {
+        let (approach, phase, sent, total) = {
+            let s = &self.xfer.sends[i];
+            (s.req.approach, s.phase, s.sent, s.req.len)
+        };
+        if phase != SendPhase::Streaming {
+            return false;
+        }
+        match approach {
+            Approach::SpManaged => {
+                let qi = self.xfer.sends[i].toggle;
+                if niu.sp().cmd_depth(qi) > 40 {
+                    return false;
+                }
+                let s = &mut self.xfer.sends[i];
+                s.toggle ^= 1;
+                let stage = asram_staging::A2[qi];
+                let chunk = A2_CHUNK.min(total - sent);
+                let hdr = XferData {
+                    xfer_id: s.req.xfer_id,
+                    dst_addr: s.req.dst_addr + sent as u64,
+                    total,
+                    notify_lq: s.req.notify_lq,
+                };
+                let (src_addr, dst_node) = (s.req.src_addr, s.req.dst_node);
+                s.sent += chunk;
+                let done = s.sent >= total;
+                let svc_lq = self.cfg.svc_lq;
+                let mut sp = niu.sp();
+                sp.push_cmd(
+                    qi,
+                    LocalCmd::BusRead {
+                        dram_addr: src_addr + sent as u64,
+                        sram: SramSel::A,
+                        sram_addr: stage,
+                        len: chunk,
+                    },
+                );
+                sp.push_cmd(
+                    qi,
+                    LocalCmd::SendDirect {
+                        node: dst_node,
+                        logical_q: svc_lq,
+                        priority: Priority::Low,
+                        data: hdr.encode(),
+                        tagon: Some((SramSel::A, stage, chunk as u8)),
+                    },
+                );
+                self.xfer.chunks_sent.bump();
+                if done {
+                    self.xfer.sends.remove(i);
+                    self.xfer.completed_sends.bump();
+                }
+                self.charge(cycle, self.params.dma_chunk_cycles);
+                true
+            }
+            Approach::BlockHw | Approach::OptimisticSp | Approach::OptimisticHw => {
+                // One chained block operation per page; wait for the units.
+                if niu.ctrl.block_read.is_some() || niu.ctrl.block_tx.is_some() {
+                    return false;
+                }
+                if niu.sp().cmd_depth(Q_PROTO) > 40 {
+                    return false;
+                }
+                let page = self.cfg.page;
+                let svc_lq = self.cfg.svc_lq;
+                let s = &mut self.xfer.sends[i];
+                let page_len = page.min(total - sent);
+                let last = sent + page_len >= total;
+                let notify = match approach {
+                    Approach::BlockHw => last.then(|| (s.req.notify_lq, encode_notify(s.req.xfer_id))),
+                    Approach::OptimisticSp => Some((
+                        svc_lq,
+                        XferPage {
+                            xfer_id: s.req.xfer_id,
+                            addr: s.req.dst_addr + sent as u64,
+                            len: page_len,
+                        }
+                        .encode(),
+                    )),
+                    Approach::OptimisticHw => {
+                        let quarter = (total as u64).div_ceil(4);
+                        if !s.notify25_sent && (sent + page_len) as u64 >= quarter {
+                            s.notify25_sent = true;
+                            Some((s.req.notify_lq, encode_notify(s.req.xfer_id)))
+                        } else {
+                            None
+                        }
+                    }
+                    Approach::SpManaged | Approach::ApDirect => unreachable!(),
+                };
+                let set_cls = (approach == Approach::OptimisticHw).then_some(ClsState::ReadWrite);
+                let op = BlockOp::ReadTx {
+                    dram_addr: s.req.src_addr + sent as u64,
+                    len: page_len,
+                    sram_addr: asram_staging::BLOCK,
+                    node: s.req.dst_node,
+                    remote_addr: s.req.dst_addr + sent as u64,
+                    set_cls,
+                    notify,
+                };
+                s.sent += page_len;
+                let done = s.sent >= total;
+                niu.sp().push_cmd(Q_PROTO, LocalCmd::Block(op));
+                self.xfer.pages_issued.bump();
+                if done {
+                    self.xfer.sends.remove(i);
+                    self.xfer.completed_sends.bump();
+                }
+                self.charge(cycle, self.params.block_issue_cycles);
+                true
+            }
+            Approach::ApDirect => false,
+        }
+    }
+}

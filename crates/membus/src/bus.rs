@@ -1,0 +1,355 @@
+//! Split-transaction snoopy bus.
+//!
+//! The bus is advanced one 66 MHz bus cycle at a time by the owning node.
+//! Protocol per transaction:
+//!
+//! 1. **Arbitration + address tenure** — one tenure at a time, FIFO among
+//!    requests, lasting [`BusParams::addr_tenure_cycles`].
+//! 2. **Snoop window** — at the tenure's final cycle the bus emits
+//!    [`BusEvent::Snoop`]; the orchestrator shows the operation to every
+//!    snooper (caches, aBIU, memory controller), merges their
+//!    [`SnoopVerdict`]s and calls [`Bus::resolve_snoop`] *within the same
+//!    cycle*, mirroring the wired-OR ARTRY/SHD lines of the 60X bus.
+//! 3. **ARTRY** — the tenure is cancelled and automatically re-arbitrated
+//!    after [`BusParams::retry_delay_cycles`] (the 604's behaviour; the
+//!    retry loop consumes address bandwidth but no data bandwidth, which
+//!    is exactly the cost S-COMA stalls impose on the real machine).
+//! 4. **Data tenure** — data transfers are scheduled on the shared data
+//!    bus in address-tenure order, starting no earlier than the supplier's
+//!    latency allows, each occupying `beats + turnaround` cycles.
+//!    [`BusEvent::Completed`] fires when the last beat lands.
+//!
+//! Address tenures pipeline with data tenures (split transaction), so a
+//! burst-read stream saturates the data bus, not the address bus.
+
+use crate::op::{BusOp, SnoopVerdict};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use sv_sim::stats::Counter;
+
+/// Bus timing parameters, in bus cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusParams {
+    /// Arbitration + address + snoop-response window.
+    pub addr_tenure_cycles: u64,
+    /// Delay before an ARTRY'd master re-requests.
+    pub retry_delay_cycles: u64,
+    /// Dead cycle between consecutive data tenures.
+    pub data_turnaround_cycles: u64,
+}
+
+impl Default for BusParams {
+    fn default() -> Self {
+        BusParams {
+            addr_tenure_cycles: 3,
+            retry_delay_cycles: 4,
+            data_turnaround_cycles: 1,
+        }
+    }
+}
+
+/// Events reported by [`Bus::tick`] / [`Bus::resolve_snoop`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BusEvent {
+    /// The snoop window of this operation is open; the orchestrator must
+    /// call [`Bus::resolve_snoop`] before the next tick.
+    Snoop(BusOp),
+    /// The operation was ARTRY'd and will re-arbitrate automatically.
+    Retried(BusOp),
+    /// The operation finished (last data beat, or end of the snoop window
+    /// for address-only operations). The verdict is included so masters
+    /// can see SHD (install Shared vs Exclusive).
+    Completed(BusOp, SnoopVerdict),
+}
+
+/// Running bus statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Address tenures started.
+    pub tenures: Counter,
+    /// ARTRY retries observed.
+    pub retries: Counter,
+    /// Transactions completed.
+    pub completions: Counter,
+    /// Busy data-bus cycles (beats only, excluding turnaround).
+    pub data_cycles: u64,
+    /// Total bytes moved on the data bus.
+    pub data_bytes: u64,
+}
+
+/// The bus state machine. See module docs for the protocol.
+#[derive(Debug)]
+pub struct Bus {
+    /// Timing/geometry parameters.
+    pub params: BusParams,
+    queue: VecDeque<BusOp>,
+    retry_wait: Vec<(u64, BusOp)>,
+    addr_phase: Option<(BusOp, u64)>,
+    snoop_pending: bool,
+    data_free: u64,
+    inflight: VecDeque<(u64, BusOp, SnoopVerdict)>,
+    /// Running statistics.
+    pub stats: BusStats,
+}
+
+impl Bus {
+    /// A bus with the given timing parameters.
+    pub fn new(params: BusParams) -> Self {
+        Bus {
+            params,
+            queue: VecDeque::new(),
+            retry_wait: Vec::new(),
+            addr_phase: None,
+            snoop_pending: false,
+            data_free: 0,
+            inflight: VecDeque::new(),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Enqueue a transaction request (the master keeps its own outstanding
+    /// limit; the bus accepts any number).
+    pub fn request(&mut self, op: BusOp) {
+        self.queue.push_back(op);
+    }
+
+    /// Whether any work (queued, retrying, in tenure, or in data phase)
+    /// remains.
+    pub fn busy(&self) -> bool {
+        !self.queue.is_empty()
+            || !self.retry_wait.is_empty()
+            || self.addr_phase.is_some()
+            || !self.inflight.is_empty()
+    }
+
+    /// Number of requests waiting for an address tenure.
+    pub fn queued(&self) -> usize {
+        self.queue.len() + self.retry_wait.len()
+    }
+
+    /// Advance to bus cycle `cycle`. Must be called with strictly
+    /// increasing cycles; any [`BusEvent::Snoop`] emitted must be resolved
+    /// via [`Bus::resolve_snoop`] before the next call.
+    pub fn tick(&mut self, cycle: u64) -> Vec<BusEvent> {
+        assert!(
+            !self.snoop_pending,
+            "previous snoop window was never resolved"
+        );
+        let mut out = Vec::new();
+
+        // Re-arm retried operations whose delay has elapsed.
+        if !self.retry_wait.is_empty() {
+            let mut i = 0;
+            while i < self.retry_wait.len() {
+                if self.retry_wait[i].0 <= cycle {
+                    let (_, op) = self.retry_wait.remove(i);
+                    self.queue.push_back(op);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Complete finished data tenures (in order).
+        while let Some(&(end, op, verdict)) = self.inflight.front() {
+            if end <= cycle {
+                self.inflight.pop_front();
+                self.stats.completions.bump();
+                out.push(BusEvent::Completed(op, verdict));
+            } else {
+                break;
+            }
+        }
+
+        // Address tenure progress.
+        if let Some((op, end)) = self.addr_phase {
+            if end <= cycle {
+                self.snoop_pending = true;
+                out.push(BusEvent::Snoop(op));
+            }
+        } else if let Some(op) = self.queue.pop_front() {
+            self.stats.tenures.bump();
+            self.addr_phase = Some((op, cycle + self.params.addr_tenure_cycles));
+        }
+
+        out
+    }
+
+    /// Resolve the open snoop window with the merged verdict. Returns any
+    /// immediately produced events (retry or address-only completion).
+    pub fn resolve_snoop(&mut self, cycle: u64, verdict: SnoopVerdict) -> Vec<BusEvent> {
+        assert!(self.snoop_pending, "no snoop window open");
+        self.snoop_pending = false;
+        let (op, _) = self.addr_phase.take().expect("tenure present");
+        let mut out = Vec::new();
+
+        if verdict.artry {
+            self.stats.retries.bump();
+            self.retry_wait
+                .push((cycle + self.params.retry_delay_cycles, op));
+            out.push(BusEvent::Retried(op));
+            return out;
+        }
+
+        let beats = op.beats();
+        if beats == 0 {
+            // Address-only operations complete with the snoop window.
+            self.stats.completions.bump();
+            out.push(BusEvent::Completed(op, verdict));
+            return out;
+        }
+
+        let start = self.data_free.max(cycle + verdict.supply_latency);
+        let end = start + beats;
+        self.data_free = end + self.params.data_turnaround_cycles;
+        self.stats.data_cycles += beats;
+        self.stats.data_bytes += op.bytes as u64;
+        self.inflight.push_back((end, op, verdict));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BusOpKind, MasterId};
+
+    /// Drive the bus with a fixed snoop verdict until quiescent, returning
+    /// completion times by tag.
+    fn run(bus: &mut Bus, verdict: impl Fn(&BusOp) -> SnoopVerdict, max_cycles: u64) -> Vec<(u64, u64)> {
+        let mut done = Vec::new();
+        for c in 0..max_cycles {
+            let evs = bus.tick(c);
+            for ev in evs {
+                match ev {
+                    BusEvent::Snoop(op) => {
+                        let evs2 = bus.resolve_snoop(c, verdict(&op));
+                        for e in evs2 {
+                            if let BusEvent::Completed(op, _) = e {
+                                done.push((c, op.tag));
+                            }
+                        }
+                    }
+                    BusEvent::Completed(op, _) => done.push((c, op.tag)),
+                    BusEvent::Retried(_) => {}
+                }
+            }
+            if !bus.busy() {
+                break;
+            }
+        }
+        done
+    }
+
+    fn dram_verdict(latency: u64) -> impl Fn(&BusOp) -> SnoopVerdict {
+        move |_| SnoopVerdict {
+            artry: false,
+            shared: false,
+            supply_latency: latency,
+        }
+    }
+
+    #[test]
+    fn single_burst_read_timeline() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::burst(BusOpKind::Read, 0x1000, MasterId::Ap, 7));
+        let done = run(&mut bus, dram_verdict(8), 100);
+        assert_eq!(done.len(), 1);
+        // Tenure starts cycle 0, snoop at cycle 3, data starts 3+8=11,
+        // 4 beats end at 15, completion observed at tick 15.
+        assert_eq!(done[0], (15, 7));
+        assert_eq!(bus.stats.tenures.get(), 1);
+        assert_eq!(bus.stats.data_bytes, 32);
+    }
+
+    #[test]
+    fn address_only_completes_at_snoop() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::addr_only(BusOpKind::Kill, 0x40, MasterId::Ap, 1));
+        let done = run(&mut bus, dram_verdict(0), 100);
+        assert_eq!(done, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn pipelined_bursts_limited_by_data_bus() {
+        // Many back-to-back line reads: steady state is one line per
+        // (4 beats + 1 turnaround) = 5 cycles once DRAM latency is hidden.
+        let mut bus = Bus::new(BusParams::default());
+        for i in 0..10 {
+            bus.request(BusOp::burst(BusOpKind::Read, i * 32, MasterId::Ap, i));
+        }
+        let done = run(&mut bus, dram_verdict(8), 300);
+        assert_eq!(done.len(), 10);
+        // Completion spacing in steady state: limited by the address bus
+        // here (one tenure per 3-cycle window... data bus needs 5).
+        let d9 = done[9].0;
+        let d8 = done[8].0;
+        assert_eq!(d9 - d8, 5, "steady-state line rate must be data-bus bound");
+    }
+
+    #[test]
+    fn artry_requeues_and_eventually_completes() {
+        // ARTRY the op twice, then let it pass.
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::burst(BusOpKind::Read, 0, MasterId::Ap, 3));
+        let artry_left = std::cell::Cell::new(2);
+        let done = run(
+            &mut bus,
+            move |_| {
+                if artry_left.get() > 0 {
+                    artry_left.set(artry_left.get() - 1);
+                    SnoopVerdict::retry()
+                } else {
+                    SnoopVerdict::default()
+                }
+            },
+            200,
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(bus.stats.retries.get(), 2);
+        // Each retry costs tenure(3) + delay(4); two retries push the
+        // final snoop to cycle 3 + 2*(4+1+3)... verify it completed late.
+        assert!(done[0].0 > 15, "retries must delay completion: {:?}", done);
+    }
+
+    #[test]
+    fn fifo_ordering_of_masters() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::burst(BusOpKind::Read, 0, MasterId::Ap, 0));
+        bus.request(BusOp::burst(BusOpKind::Read, 64, MasterId::ABiu, 1));
+        bus.request(BusOp::burst(BusOpKind::Read, 128, MasterId::Ap, 2));
+        let done = run(&mut bus, dram_verdict(2), 200);
+        let tags: Vec<u64> = done.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_beat_writes_are_cheap() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::single(BusOpKind::SingleWrite, 0x10, 8, MasterId::Ap, 0));
+        let done = run(&mut bus, dram_verdict(0), 50);
+        // Snoop at 3, one beat ends at 4.
+        assert_eq!(done[0].0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "never resolved")]
+    fn unresolved_snoop_is_a_bug() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::burst(BusOpKind::Read, 0, MasterId::Ap, 0));
+        for c in 0..10 {
+            let _ = bus.tick(c); // never resolves the snoop window
+        }
+    }
+
+    #[test]
+    fn queued_counts_retries() {
+        let mut bus = Bus::new(BusParams::default());
+        bus.request(BusOp::burst(BusOpKind::Read, 0, MasterId::Ap, 0));
+        assert_eq!(bus.queued(), 1);
+        let evs = bus.tick(0);
+        assert!(evs.is_empty());
+        assert_eq!(bus.queued(), 0); // now in tenure
+        assert!(bus.busy());
+    }
+}

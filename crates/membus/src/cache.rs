@@ -1,0 +1,414 @@
+//! Set-associative snoopy MESI cache.
+//!
+//! Used for the 604e's L1 data cache and the in-line L2. The cache is a
+//! *timing and coherence-state* model: functional data lives in the
+//! node's [`crate::dram::MemoryArray`] and is logically written through at
+//! completion instants (the simulation is globally ordered, so
+//! write-through functional data with MESI-governed timing is
+//! indistinguishable from a writeback data model — while being far
+//! simpler). What the MESI states govern is what the paper's experiments
+//! measure: which accesses hit locally and which become bus transactions.
+//!
+//! Snoop behaviour on an external operation follows the 604 discipline,
+//! with cache-to-cache supply modeled as a supplier latency rather than
+//! an ARTRY-writeback-retry loop (timing-equivalent to first order, and
+//! it keeps ARTRY free for its load-bearing role in S-COMA).
+
+use crate::op::{line_of, Addr, BusOpKind, SnoopVerdict, CACHE_LINE};
+use serde::{Deserialize, Serialize};
+use sv_sim::stats::Counter;
+
+/// MESI coherence states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mesi {
+    /// Exclusive and dirty.
+    Modified,
+    /// Sole clean copy.
+    Exclusive,
+    /// Another agent holds the line (drives SHD).
+    Shared,
+    /// No valid copy.
+    Invalid,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Size bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cycles a snoop hit needs before this cache can supply a modified
+    /// line to the bus.
+    pub push_latency_cycles: u64,
+}
+
+impl CacheParams {
+    /// 604e L1 data cache: 32 KB, 4-way.
+    pub fn l1_604e() -> Self {
+        CacheParams {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            push_latency_cycles: 2,
+        }
+    }
+
+    /// 512 KB in-line L2 card, direct-mapped.
+    pub fn l2_voyager() -> Self {
+        CacheParams {
+            size_bytes: 512 * 1024,
+            ways: 1,
+            push_latency_cycles: 3,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        (self.size_bytes / CACHE_LINE) as usize / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    state: Mesi,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+    /// Lines evicted.
+    pub evictions: Counter,
+    /// Dirty evictions.
+    pub dirty_evictions: Counter,
+    /// Snoop hits.
+    pub snoop_hits: Counter,
+    /// Snoop pushes.
+    pub snoop_pushes: Counter,
+}
+
+/// Outcome of snooping an external bus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnoopOutcome {
+    /// Merged snoop verdict.
+    pub verdict: SnoopVerdict,
+    /// A modified line was pushed out; the owning node should count a
+    /// writeback (functional data is already in memory — see module docs).
+    pub pushed_dirty: bool,
+}
+
+/// One level of snoopy MESI cache.
+#[derive(Debug)]
+pub struct SnoopyCache {
+    /// Timing/geometry parameters.
+    pub params: CacheParams,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    /// Running statistics.
+    pub stats: CacheStats,
+}
+
+impl SnoopyCache {
+    /// An empty cache with the given geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = (0..params.sets())
+            .map(|_| {
+                (0..params.ways)
+                    .map(|_| Way {
+                        tag: u64::MAX,
+                        state: Mesi::Invalid,
+                        lru: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        SnoopyCache {
+            params,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: Addr) -> (usize, u64) {
+        let line = line_of(addr) / CACHE_LINE;
+        let set = (line as usize) % self.sets.len();
+        (set, line)
+    }
+
+    /// Current state of the line containing `addr`, without touching LRU.
+    pub fn peek(&self, addr: Addr) -> Mesi {
+        let (set, tag) = self.index(addr);
+        self.sets[set]
+            .iter()
+            .find(|w| w.tag == tag && w.state != Mesi::Invalid)
+            .map(|w| w.state)
+            .unwrap_or(Mesi::Invalid)
+    }
+
+    /// Look up `addr`, updating LRU and hit/miss statistics.
+    pub fn lookup(&mut self, addr: Addr) -> Mesi {
+        self.tick += 1;
+        let (set, tag) = self.index(addr);
+        let tick = self.tick;
+        for w in &mut self.sets[set] {
+            if w.tag == tag && w.state != Mesi::Invalid {
+                w.lru = tick;
+                self.stats.hits.bump();
+                return w.state;
+            }
+        }
+        self.stats.misses.bump();
+        Mesi::Invalid
+    }
+
+    /// Change the state of a resident line (e.g. S→M after a Kill). No-op
+    /// if the line is absent.
+    pub fn set_state(&mut self, addr: Addr, state: Mesi) {
+        let (set, tag) = self.index(addr);
+        for w in &mut self.sets[set] {
+            if w.tag == tag && w.state != Mesi::Invalid {
+                w.state = state;
+                return;
+            }
+        }
+    }
+
+    /// Install a line in `state`, evicting the LRU way if the set is full.
+    /// Returns the evicted line `(addr, was_dirty)` if any.
+    pub fn install(&mut self, addr: Addr, state: Mesi) -> Option<(Addr, bool)> {
+        assert_ne!(state, Mesi::Invalid);
+        self.tick += 1;
+        let (set, tag) = self.index(addr);
+        let tick = self.tick;
+        let ways = &mut self.sets[set];
+        // Already resident: just update.
+        if let Some(w) = ways.iter_mut().find(|w| w.tag == tag && w.state != Mesi::Invalid) {
+            w.state = state;
+            w.lru = tick;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = ways.iter_mut().find(|w| w.state == Mesi::Invalid) {
+            *w = Way { tag, state, lru: tick };
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("nonzero ways");
+        let evicted_addr = victim.tag * CACHE_LINE;
+        let dirty = victim.state == Mesi::Modified;
+        *victim = Way { tag, state, lru: tick };
+        self.stats.evictions.bump();
+        if dirty {
+            self.stats.dirty_evictions.bump();
+        }
+        Some((evicted_addr, dirty))
+    }
+
+    /// Drop the line containing `addr`; returns whether it was dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let (set, tag) = self.index(addr);
+        for w in &mut self.sets[set] {
+            if w.tag == tag && w.state != Mesi::Invalid {
+                let dirty = w.state == Mesi::Modified;
+                w.state = Mesi::Invalid;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// React to an external bus operation (issued by another master).
+    pub fn snoop(&mut self, kind: BusOpKind, addr: Addr) -> SnoopOutcome {
+        let (set, tag) = self.index(addr);
+        let push_latency = self.params.push_latency_cycles;
+        let way = self.sets[set]
+            .iter_mut()
+            .find(|w| w.tag == tag && w.state != Mesi::Invalid);
+        let Some(w) = way else {
+            return SnoopOutcome::default();
+        };
+        self.stats.snoop_hits.bump();
+        let mut out = SnoopOutcome::default();
+        match kind {
+            BusOpKind::Read | BusOpKind::SingleRead => {
+                if w.state == Mesi::Modified {
+                    out.pushed_dirty = true;
+                    out.verdict.supply_latency = push_latency;
+                    self.stats.snoop_pushes.bump();
+                }
+                w.state = Mesi::Shared;
+                out.verdict.shared = true;
+            }
+            BusOpKind::Rwitm | BusOpKind::Flush | BusOpKind::SingleWrite | BusOpKind::WriteLine => {
+                if w.state == Mesi::Modified {
+                    out.pushed_dirty = true;
+                    out.verdict.supply_latency = push_latency;
+                    self.stats.snoop_pushes.bump();
+                }
+                w.state = Mesi::Invalid;
+            }
+            BusOpKind::Kill => {
+                // Kill is only legal when no other cache holds M; losing
+                // dirty data here would be a protocol bug upstream.
+                debug_assert_ne!(w.state, Mesi::Modified, "Kill hit a Modified line");
+                w.state = Mesi::Invalid;
+            }
+            BusOpKind::Clean => {
+                if w.state == Mesi::Modified {
+                    out.pushed_dirty = true;
+                    out.verdict.supply_latency = push_latency;
+                    self.stats.snoop_pushes.bump();
+                }
+                w.state = Mesi::Shared;
+                out.verdict.shared = true;
+            }
+        }
+        out
+    }
+
+    /// Number of resident (non-invalid) lines; test/diagnostic helper.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.state != Mesi::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SnoopyCache {
+        // 8 sets x 2 ways x 32B = 512 B.
+        SnoopyCache::new(CacheParams {
+            size_bytes: 512,
+            ways: 2,
+            push_latency_cycles: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x100), Mesi::Invalid);
+        c.install(0x100, Mesi::Exclusive);
+        assert_eq!(c.lookup(0x100), Mesi::Exclusive);
+        assert_eq!(c.lookup(0x11f), Mesi::Exclusive); // same line
+        assert_eq!(c.stats.hits.get(), 2);
+        assert_eq!(c.stats.misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recent() {
+        let mut c = small();
+        // Set stride is 8 lines * 32 B = 256 B.
+        c.install(0x000, Mesi::Exclusive);
+        c.install(0x100, Mesi::Exclusive); // same set, second way
+        c.lookup(0x000); // make 0x000 most recent
+        let evicted = c.install(0x200, Mesi::Exclusive).expect("eviction");
+        assert_eq!(evicted, (0x100, false));
+        assert_eq!(c.peek(0x000), Mesi::Exclusive);
+        assert_eq!(c.peek(0x100), Mesi::Invalid);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small();
+        c.install(0x000, Mesi::Modified);
+        c.install(0x100, Mesi::Exclusive);
+        let (addr, dirty) = c.install(0x200, Mesi::Exclusive).unwrap();
+        assert_eq!(addr, 0x000);
+        assert!(dirty);
+        assert_eq!(c.stats.dirty_evictions.get(), 1);
+    }
+
+    #[test]
+    fn snoop_read_demotes_and_supplies() {
+        let mut c = small();
+        c.install(0x40, Mesi::Modified);
+        let o = c.snoop(BusOpKind::Read, 0x40);
+        assert!(o.pushed_dirty);
+        assert!(o.verdict.shared);
+        assert_eq!(o.verdict.supply_latency, 2);
+        assert_eq!(c.peek(0x40), Mesi::Shared);
+        // Second read: shared, no push.
+        let o2 = c.snoop(BusOpKind::Read, 0x40);
+        assert!(!o2.pushed_dirty);
+        assert!(o2.verdict.shared);
+    }
+
+    #[test]
+    fn snoop_rwitm_invalidates() {
+        let mut c = small();
+        c.install(0x40, Mesi::Shared);
+        let o = c.snoop(BusOpKind::Rwitm, 0x40);
+        assert!(!o.pushed_dirty);
+        assert_eq!(c.peek(0x40), Mesi::Invalid);
+    }
+
+    #[test]
+    fn snoop_single_write_pushes_modified() {
+        // The remote command queue writing into DRAM must flush the aP's
+        // dirty copy first; the cache reacts to the snooped single write.
+        let mut c = small();
+        c.install(0x80, Mesi::Modified);
+        let o = c.snoop(BusOpKind::SingleWrite, 0x84);
+        assert!(o.pushed_dirty);
+        assert_eq!(c.peek(0x80), Mesi::Invalid);
+    }
+
+    #[test]
+    fn snoop_miss_is_silent() {
+        let mut c = small();
+        let o = c.snoop(BusOpKind::Read, 0x40);
+        assert_eq!(o, SnoopOutcome::default());
+        assert_eq!(c.stats.snoop_hits.get(), 0);
+    }
+
+    #[test]
+    fn set_state_upgrade() {
+        let mut c = small();
+        c.install(0x40, Mesi::Shared);
+        c.set_state(0x40, Mesi::Modified);
+        assert_eq!(c.peek(0x40), Mesi::Modified);
+        c.set_state(0x999999, Mesi::Modified); // absent: no-op
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = small();
+        c.install(0x40, Mesi::Modified);
+        assert_eq!(c.invalidate(0x40), Some(true));
+        assert_eq!(c.invalidate(0x40), None);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn reinstall_updates_in_place() {
+        let mut c = small();
+        c.install(0x40, Mesi::Shared);
+        assert!(c.install(0x40, Mesi::Modified).is_none());
+        assert_eq!(c.peek(0x40), Mesi::Modified);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn geometry_604e() {
+        let l1 = SnoopyCache::new(CacheParams::l1_604e());
+        assert_eq!(l1.sets.len(), 256);
+        let l2 = SnoopyCache::new(CacheParams::l2_voyager());
+        assert_eq!(l2.sets.len(), 16384);
+    }
+}

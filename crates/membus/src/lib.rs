@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # sv-membus — PowerPC 60X-style memory bus model
+//!
+//! StarT-Voyager plugs its NIU into the second processor slot of an
+//! unmodified 604e SMP, so every communication mechanism in the paper is
+//! ultimately a sequence of **coherent memory-bus transactions**. This
+//! crate models that bus and the devices on it:
+//!
+//! - [`op`]: the bus operation vocabulary (burst reads, read-with-intent-
+//!   to-modify, kills, uncached single-beat operations…), masters, and
+//!   snoop verdicts including **ARTRY** (address retry) — the mechanism
+//!   S-COMA leans on to stall the aP until remote data arrives.
+//! - [`bus`]: a split-transaction, pipelined bus: one address tenure at a
+//!   time, a snoop window resolved by the node orchestrator, and a shared
+//!   data bus scheduled in address-tenure order. The bus is a pure
+//!   timing/ordering machine; data movement is performed functionally by
+//!   the orchestrator at completion instants.
+//! - [`cache`]: set-associative snoopy MESI caches with LRU replacement,
+//!   composed into the 604e's L1 + in-line L2 hierarchy by the core crate.
+//! - [`dram`]: the memory controller timing model and [`dram::MemoryArray`],
+//!   a sparse byte-addressable store used for functional data.
+//!
+//! Determinism: every structure here is advanced explicitly by the owning
+//! node; there is no interior mutability and no hidden ordering.
+
+pub mod bus;
+pub mod cache;
+pub mod dram;
+pub mod op;
+
+pub use bus::{Bus, BusEvent, BusParams, BusStats};
+pub use cache::{CacheParams, Mesi, SnoopOutcome, SnoopyCache};
+pub use dram::{DramParams, DramTimer, MemoryArray};
+pub use op::{Addr, BusOp, BusOpKind, MasterId, SnoopVerdict, BEAT_BYTES, CACHE_LINE};

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # sv-niu — the StarT-Voyager Network Interface Unit
+//!
+//! The NIU occupies the second processor slot of each node's 604e SMP and
+//! is the paper's central artifact. This crate models its entire internal
+//! structure:
+//!
+//! | Hardware | Module | Role |
+//! |---|---|---|
+//! | CTRL ASIC | [`ctrl`] | core NIU (layer 2): 16 tx / 16 rx hardware queues, two ordered local command queues, a remote command queue, destination translation & protection, receive-queue caching with a miss queue, transmit-priority arbitration, block-read / block-transmit units, IBus arbitration |
+//! | aBIU FPGA | [`abiu`] | layer 1, aP side: watches every aP bus operation, services the memory-mapped NIU regions (message buffers, pointer updates, Express compose/receive), performs the clsSRAM S-COMA state check, forwards NUMA traffic to the sP, and masters the aP bus on behalf of CTRL |
+//! | sBIU FPGA + sP | [`SpPort`] on [`Niu`] | layer 1, sP side: the immediate-command interface and command-queue access the firmware crate drives |
+//! | aSRAM / sSRAM | [`sram`] | dual-ported message buffer memories (one port on a 604 bus, one on the IBus) |
+//! | clsSRAM | [`sram::ClsSram`] | per-cache-line S-COMA state bits, read on every aP bus operation |
+//! | TxU / RxU | FIFOs in [`Niu`] | staging to/from the Arctic network |
+//!
+//! ## Modeling approach
+//!
+//! The NIU is advanced on the 66 MHz bus clock by the owning node. Each
+//! internal engine (tx, rx, the two command queues, the remote-command
+//! engine, the two block units) is a state machine guarded by a
+//! `busy_until` cycle; every piece of data that moves inside the NIU
+//! crosses the **IBus**, a single serializing resource — exactly the
+//! contention structure the paper describes ("the IBus … is a critical
+//! resource"). Costs are parameterized in [`params::NiuParams`].
+//!
+//! Interaction with the node is explicit and synchronous:
+//! - the node shows the NIU every aP bus operation (snoop + completion),
+//! - the NIU emits aP bus-master requests ([`abiu::AbiuRequest`]) that the
+//!   node issues on the bus and completes with functional data movement,
+//! - the NIU emits network packets and consumes arrivals through the
+//!   TxU/RxU FIFOs,
+//! - the sP (firmware crate) manipulates the NIU through [`SpPort`].
+
+pub mod abiu;
+pub mod addrmap;
+pub mod cmd;
+pub mod ctrl;
+pub mod msg;
+pub mod niu;
+pub mod params;
+pub mod queues;
+pub mod sram;
+pub mod translate;
+
+pub use abiu::{AbiuRequest, ClaimKind, DataMove};
+pub use addrmap::AddressMap;
+pub use cmd::{BlockOp, LocalCmd, RemoteCommand};
+pub use msg::{MsgFlags, MsgHeader, NetPayload};
+pub use niu::{Niu, NiuInterrupt, SpPort};
+pub use params::NiuParams;
+pub use queues::{QueueId, RxFullPolicy, RxService};
+pub use sram::{ClsSram, ClsState, Sram, SramSel};

@@ -1,0 +1,364 @@
+//! Message formats.
+//!
+//! A message in a transmit/receive queue occupies up to 96 bytes of SRAM:
+//! an 8-byte header followed by up to 88 bytes of payload. The header is
+//! genuinely encoded/decoded to bytes — the aP composes messages with
+//! stores and the tests verify the bit-level round trip — while the
+//! network payload travels as structured [`NetPayload`] (the wire size is
+//! what matters for timing; see `sv-arctic`).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use sv_arctic::Priority;
+
+/// Maximum payload bytes of a Basic message.
+pub const MAX_MSG_PAYLOAD: usize = 88;
+
+/// Payload bytes of an Express message (one byte rides in the address,
+/// four in the data — "a five-byte payload").
+pub const EXPRESS_PAYLOAD: usize = 5;
+
+/// TagOn sizes: an extra 1.5 or 2.5 cache lines of SRAM data.
+pub const TAGON_SMALL: u8 = 48;
+/// Large TagOn attachment size (2.5 lines).
+pub const TAGON_LARGE: u8 = 80;
+
+/// A little local macro giving us the few bitflags operations we need
+/// without an external crate.
+macro_rules! bitflags_lite {
+    ($(#[$m:meta])* pub struct $name:ident : $ty:ty { $($(#[$fm:meta])* const $f:ident = $v:expr;)* }) => {
+        $(#[$m])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+        pub struct $name(pub $ty);
+        impl $name {
+            $( $(#[$fm])* pub const $f: $name = $name($v); )*
+            /// No flags set.
+            pub const fn empty() -> Self { $name(0) }
+            /// Whether every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool { self.0 & other.0 == other.0 }
+            /// Union of two flag sets.
+            pub const fn union(self, other: $name) -> Self { $name(self.0 | other.0) }
+        }
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, o: $name) -> $name { $name(self.0 | o.0) }
+        }
+    };
+}
+
+bitflags_lite!(
+    /// Header flag bits.
+    pub struct MsgFlags: u8 {
+        /// Payload is extended with TagOn data fetched from SRAM by CTRL.
+        const TAGON = 1 << 0;
+        /// Raw message: destination is a physical (node, queue, priority)
+        /// triple; translation and protection are bypassed (privileged).
+        const RAW = 1 << 1;
+        /// Request the high network priority (raw messages only; translated
+        /// messages take priority from the translation table).
+        const PRIO_HIGH = 1 << 2;
+    }
+);
+
+/// Decoded message header (8 bytes in SRAM).
+///
+/// Layout: `dest:u16 | len:u8 | flags:u8 | tagon_len:u8 | _pad:u8 | tagon_addr:u16*16`
+/// — the TagOn address is stored in 16-byte SRAM granules so it fits 16
+/// bits, matching the "pointer in the message description" of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgHeader {
+    /// Virtual destination (translated), or for RAW messages the packed
+    /// physical destination `node << 8 | queue`.
+    pub dest: u16,
+    /// Payload length in bytes (0..=88), excluding TagOn data.
+    pub len: u8,
+    /// Flag bits.
+    pub flags: MsgFlags,
+    /// TagOn attachment length in bytes (48 or 80 when TAGON set).
+    pub tagon_len: u8,
+    /// TagOn source address in SRAM, in 16-byte granules.
+    pub tagon_granule: u16,
+}
+
+impl MsgHeader {
+    /// A plain translated message header.
+    pub fn basic(dest: u16, len: u8) -> Self {
+        assert!(len as usize <= MAX_MSG_PAYLOAD);
+        MsgHeader {
+            dest,
+            len,
+            flags: MsgFlags::empty(),
+            tagon_len: 0,
+            tagon_granule: 0,
+        }
+    }
+
+    /// Attach TagOn data at SRAM byte address `sram_addr` (16-byte aligned).
+    pub fn with_tagon(mut self, sram_addr: u32, tagon_len: u8) -> Self {
+        assert!(tagon_len == TAGON_SMALL || tagon_len == TAGON_LARGE);
+        assert_eq!(sram_addr % 16, 0, "TagOn source must be 16-byte aligned");
+        self.flags = self.flags | MsgFlags::TAGON;
+        self.tagon_len = tagon_len;
+        self.tagon_granule = (sram_addr / 16) as u16;
+        self
+    }
+
+    /// TagOn source byte address.
+    pub fn tagon_addr(&self) -> u32 {
+        self.tagon_granule as u32 * 16
+    }
+
+    /// Encode to the 8-byte SRAM representation.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0..2].copy_from_slice(&self.dest.to_le_bytes());
+        b[2] = self.len;
+        b[3] = self.flags.0;
+        b[4] = self.tagon_len;
+        b[6..8].copy_from_slice(&self.tagon_granule.to_le_bytes());
+        b
+    }
+
+    /// Decode from the 8-byte SRAM representation.
+    pub fn decode(b: &[u8; 8]) -> Self {
+        MsgHeader {
+            dest: u16::from_le_bytes([b[0], b[1]]),
+            len: b[2],
+            flags: MsgFlags(b[3]),
+            tagon_len: b[4],
+            tagon_granule: u16::from_le_bytes([b[6], b[7]]),
+        }
+    }
+
+    /// Pack a raw physical destination.
+    pub fn raw_dest(node: u16, queue: u8) -> u16 {
+        (node << 8) | queue as u16
+    }
+
+    /// Unpack a raw physical destination.
+    pub fn split_raw_dest(dest: u16) -> (u16, u8) {
+        (dest >> 8, (dest & 0xFF) as u8)
+    }
+}
+
+/// A command executed by the *destination* NIU's remote command queue —
+/// how block transfers and S-COMA data replies land in DRAM without
+/// firmware involvement on the receive side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Variant fields are named self-descriptively; the variants themselves
+// are documented above each one.
+#[allow(missing_docs)]
+pub enum RemoteCmdKind {
+    /// Write `data` into destination DRAM at `addr` (via aBIU bus ops).
+    WriteDram { addr: u64, data: Bytes },
+    /// Set a clsSRAM line state (approach 4/5 support, S-COMA grants).
+    SetCls { line: u64, state: u8 },
+    /// Write DRAM then set the covering clsSRAM lines — the approach-5
+    /// aBIU extension, one command so hardware does both.
+    WriteDramSetCls { addr: u64, data: Bytes, state: u8 },
+    /// Deliver a message into the given logical receive queue. Sent on
+    /// the same ordered remote-command stream as the data it completes,
+    /// which is how block transfers guarantee notify-after-data.
+    Notify { logical_q: u16, data: Bytes },
+}
+
+impl RemoteCmdKind {
+    /// Bytes this command occupies in a packet payload (8-byte command
+    /// descriptor + data).
+    pub fn payload_bytes(&self) -> u32 {
+        match self {
+            RemoteCmdKind::WriteDram { data, .. } => 8 + data.len() as u32,
+            RemoteCmdKind::SetCls { .. } => 8,
+            RemoteCmdKind::WriteDramSetCls { data, .. } => 8 + data.len() as u32,
+            RemoteCmdKind::Notify { data, .. } => 8 + data.len() as u32,
+        }
+    }
+}
+
+/// What a StarT-Voyager packet carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Variant fields are named self-descriptively; the variants themselves
+// are documented above each one.
+#[allow(missing_docs)]
+pub enum NetPayload {
+    /// An application / firmware message bound for a receive queue.
+    Msg {
+        /// Source node.
+        src: u16,
+        /// Logical destination receive queue on the target node.
+        logical_q: u16,
+        /// Payload bytes (message body, TagOn already appended).
+        data: Bytes,
+    },
+    /// A remote command bound for the remote command queue.
+    RemoteCmd {
+        /// Source node.
+        src: u16,
+        /// The remote command.
+        cmd: RemoteCmdKind,
+    },
+}
+
+impl NetPayload {
+    /// Payload size on the wire (the 8-byte packet header is added by
+    /// `sv-arctic`).
+    pub fn payload_bytes(&self) -> u32 {
+        match self {
+            NetPayload::Msg { data, .. } => data.len() as u32,
+            NetPayload::RemoteCmd { cmd, .. } => cmd.payload_bytes(),
+        }
+    }
+
+    /// Network priority this payload travels at, honoring the paper's
+    /// discipline: remote commands (data replies / completions) ride the
+    /// high-priority network so they can never deadlock behind requests.
+    pub fn natural_priority(&self) -> Priority {
+        match self {
+            NetPayload::Msg { .. } => Priority::Low,
+            NetPayload::RemoteCmd { .. } => Priority::High,
+        }
+    }
+}
+
+/// Express message encodings. Part of the payload and the destination ride
+/// in the *address* of a single uncached store; the remaining four payload
+/// bytes are the store data.
+pub mod express {
+    /// Encode the address offset (within the Express-TX region) for a
+    /// store launching an express message: `dest` (logical destination),
+    /// `tag` (the address-carried payload byte).
+    pub fn tx_offset(dest: u16, tag: u8) -> u64 {
+        // Offsets are 8-byte aligned stores: [dest:10][tag:8][align:3].
+        ((dest as u64 & 0x3FF) << 11) | ((tag as u64) << 3)
+    }
+
+    /// Decode `(dest, tag)` from an Express-TX offset.
+    pub fn decode_tx_offset(off: u64) -> (u16, u8) {
+        (((off >> 11) & 0x3FF) as u16, ((off >> 3) & 0xFF) as u8)
+    }
+
+    /// Pack a received express message into the 8 bytes returned by the
+    /// receive load: `[valid:1][src:15][tag:8][data:4bytes]`.
+    pub fn pack_rx(src: u16, tag: u8, data: [u8; 4]) -> u64 {
+        let mut v: u64 = 1 << 63;
+        v |= ((src as u64) & 0x7FFF) << 40;
+        v |= (tag as u64) << 32;
+        v |= u32::from_le_bytes(data) as u64;
+        v
+    }
+
+    /// Pack an express *transmit-queue entry* as composed by the aBIU
+    /// from the captured store address (dest, tag) and data word.
+    pub fn pack_tx_entry(dest: u16, tag: u8, data: [u8; 4]) -> u64 {
+        ((dest as u64) << 48) | ((tag as u64) << 40) | u32::from_le_bytes(data) as u64
+    }
+
+    /// Unpack an express transmit-queue entry.
+    pub fn unpack_tx_entry(v: u64) -> (u16, u8, [u8; 4]) {
+        (
+            (v >> 48) as u16,
+            ((v >> 40) & 0xFF) as u8,
+            (v as u32).to_le_bytes(),
+        )
+    }
+
+    /// The canonical empty value returned when no message is available.
+    pub const RX_EMPTY: u64 = 0;
+
+    /// Unpack a receive value; `None` if it is the canonical empty.
+    pub fn unpack_rx(v: u64) -> Option<(u16, u8, [u8; 4])> {
+        if v >> 63 == 0 {
+            return None;
+        }
+        let src = ((v >> 40) & 0x7FFF) as u16;
+        let tag = ((v >> 32) & 0xFF) as u8;
+        let data = (v as u32).to_le_bytes();
+        Some((src, tag, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MsgHeader::basic(0x123, 88).with_tagon(0x400, TAGON_LARGE);
+        let e = h.encode();
+        assert_eq!(MsgHeader::decode(&e), h);
+        assert_eq!(h.tagon_addr(), 0x400);
+        assert!(h.flags.contains(MsgFlags::TAGON));
+    }
+
+    #[test]
+    fn raw_dest_packing() {
+        let d = MsgHeader::raw_dest(5, 9);
+        assert_eq!(MsgHeader::split_raw_dest(d), (5, 9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_payload_rejected() {
+        let _ = MsgHeader::basic(0, 89);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-byte aligned")]
+    fn tagon_alignment_enforced() {
+        let _ = MsgHeader::basic(0, 0).with_tagon(0x401, TAGON_SMALL);
+    }
+
+    #[test]
+    fn remote_cmd_sizes() {
+        let w = RemoteCmdKind::WriteDram {
+            addr: 0x1000,
+            data: Bytes::from(vec![0u8; 64]),
+        };
+        assert_eq!(w.payload_bytes(), 72);
+        let s = RemoteCmdKind::SetCls { line: 3, state: 1 };
+        assert_eq!(s.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn payload_priorities() {
+        let m = NetPayload::Msg {
+            src: 0,
+            logical_q: 1,
+            data: Bytes::from_static(b"hi"),
+        };
+        assert_eq!(m.natural_priority(), Priority::Low);
+        assert_eq!(m.payload_bytes(), 2);
+        let r = NetPayload::RemoteCmd {
+            src: 0,
+            cmd: RemoteCmdKind::SetCls { line: 0, state: 0 },
+        };
+        assert_eq!(r.natural_priority(), Priority::High);
+    }
+
+    #[test]
+    fn express_tx_offset_roundtrip() {
+        for dest in [0u16, 1, 255, 1023] {
+            for tag in [0u8, 7, 255] {
+                let off = express::tx_offset(dest, tag);
+                assert_eq!(off % 8, 0, "stores are 8-byte aligned");
+                assert_eq!(express::decode_tx_offset(off), (dest, tag));
+            }
+        }
+    }
+
+    #[test]
+    fn express_rx_roundtrip() {
+        let v = express::pack_rx(42, 9, [1, 2, 3, 4]);
+        assert_eq!(express::unpack_rx(v), Some((42, 9, [1, 2, 3, 4])));
+        assert_eq!(express::unpack_rx(express::RX_EMPTY), None);
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = MsgFlags::TAGON | MsgFlags::RAW;
+        assert!(f.contains(MsgFlags::TAGON));
+        assert!(f.contains(MsgFlags::RAW));
+        assert!(!f.contains(MsgFlags::PRIO_HIGH));
+        assert!(MsgFlags::empty().union(MsgFlags::RAW).contains(MsgFlags::RAW));
+    }
+}

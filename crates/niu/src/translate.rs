@@ -1,0 +1,261 @@
+//! Destination translation and receive-queue caching.
+//!
+//! **Transmit side**: after the per-queue AND/OR mask, the virtual
+//! destination indexes a translation table kept in sSRAM. Each entry
+//! yields the physical node, the logical receive queue at that node, the
+//! network priority, and a valid bit — the protection boundary: a process
+//! can only name destinations its OS installed in the table slice its
+//! masks confine it to.
+//!
+//! **Receive side**: the logical receive-queue namespace (256 queues) is
+//! larger than the 16 hardware queues, so CTRL performs a cache-tag-style
+//! lookup mapping logical → hardware queue. Misses go to the
+//! firmware-serviced miss queue, which is how the machine supports many
+//! logical destinations (multitasking) with bounded hardware.
+
+use crate::queues::QueueId;
+use serde::{Deserialize, Serialize};
+use sv_arctic::Priority;
+use sv_sim::stats::Counter;
+
+/// One translation-table entry (8 bytes in sSRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XlateEntry {
+    /// Whether the entry is valid.
+    pub valid: bool,
+    /// Physical destination node.
+    pub node: u16,
+    /// Logical receive queue at the destination.
+    pub logical_q: u16,
+    /// Network priority class for this destination.
+    pub high_priority: bool,
+}
+
+impl XlateEntry {
+    /// Encode to the 8-byte sSRAM representation.
+    pub fn encode(&self) -> u64 {
+        (self.valid as u64)
+            | ((self.high_priority as u64) << 1)
+            | ((self.node as u64) << 16)
+            | ((self.logical_q as u64) << 32)
+    }
+
+    /// Decode from the 8-byte sSRAM representation.
+    pub fn decode(v: u64) -> Self {
+        XlateEntry {
+            valid: v & 1 != 0,
+            high_priority: v & 2 != 0,
+            node: (v >> 16) as u16,
+            logical_q: (v >> 32) as u16,
+        }
+    }
+
+    /// Network priority of this entry.
+    pub fn priority(&self) -> Priority {
+        if self.high_priority {
+            Priority::High
+        } else {
+            Priority::Low
+        }
+    }
+}
+
+/// The transmit-side translation table. The table semantically lives in
+/// sSRAM (and the lookup is charged an IBus access by the tx engine);
+/// contents are kept structured here.
+#[derive(Debug, Clone)]
+pub struct XlateTable {
+    entries: Vec<XlateEntry>,
+    /// Lookups performed.
+    pub lookups: Counter,
+    /// Translation faults (protection violations).
+    pub faults: Counter,
+}
+
+impl XlateTable {
+    /// A table of `size` invalid entries.
+    pub fn new(size: usize) -> Self {
+        XlateTable {
+            entries: vec![
+                XlateEntry {
+                    valid: false,
+                    node: 0,
+                    logical_q: 0,
+                    high_priority: false
+                };
+                size
+            ],
+            lookups: Counter::default(),
+            faults: Counter::default(),
+        }
+    }
+
+    /// Install an entry (privileged: OS/firmware only).
+    pub fn install(&mut self, virt: u16, entry: XlateEntry) {
+        self.entries[virt as usize] = entry;
+    }
+
+    /// Translate a masked virtual destination. `None` is a protection
+    /// fault (invalid entry or out-of-table index).
+    pub fn lookup(&mut self, virt: u16) -> Option<XlateEntry> {
+        self.lookups.bump();
+        let e = self.entries.get(virt as usize).copied();
+        match e {
+            Some(e) if e.valid => Some(e),
+            _ => {
+                self.faults.bump();
+                None
+            }
+        }
+    }
+
+    /// Table capacity.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero capacity (never true in practice; for
+    /// clippy's benefit).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Receive-side logical→hardware queue cache.
+///
+/// `bindings[logical]` gives the hardware queue currently caching that
+/// logical queue, if any. Binding changes are privileged operations
+/// performed by firmware when it decides to swap the hot set.
+#[derive(Debug, Clone)]
+pub struct RxQueueCache {
+    bindings: Vec<Option<QueueId>>,
+    /// Reverse map: which logical queue each hardware slot serves.
+    reverse: Vec<Option<u16>>,
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+}
+
+impl RxQueueCache {
+    /// A cache over `logical` logical queues and `hw` hardware slots.
+    pub fn new(logical: usize, hw: usize) -> Self {
+        RxQueueCache {
+            bindings: vec![None; logical],
+            reverse: vec![None; hw],
+            hits: Counter::default(),
+            misses: Counter::default(),
+        }
+    }
+
+    /// Bind logical queue `l` to hardware slot `hw`, unbinding whatever
+    /// occupied either side before.
+    pub fn bind(&mut self, l: u16, hw: QueueId) {
+        if let Some(old) = self.reverse[hw.0 as usize] {
+            self.bindings[old as usize] = None;
+        }
+        if let Some(oldhw) = self.bindings[l as usize] {
+            self.reverse[oldhw.0 as usize] = None;
+        }
+        self.bindings[l as usize] = Some(hw);
+        self.reverse[hw.0 as usize] = Some(l);
+    }
+
+    /// Remove the binding of logical queue `l`, if any.
+    pub fn unbind(&mut self, l: u16) {
+        if let Some(hw) = self.bindings[l as usize].take() {
+            self.reverse[hw.0 as usize] = None;
+        }
+    }
+
+    /// The tag lookup performed on every arrival: hardware slot caching
+    /// logical queue `l`, or `None` (miss → firmware's miss queue).
+    pub fn translate(&mut self, l: u16) -> Option<QueueId> {
+        let r = self.bindings.get(l as usize).copied().flatten();
+        match r {
+            Some(q) => {
+                self.hits.bump();
+                Some(q)
+            }
+            None => {
+                self.misses.bump();
+                None
+            }
+        }
+    }
+
+    /// Logical queue currently bound to hardware slot `hw`.
+    pub fn bound_logical(&self, hw: QueueId) -> Option<u16> {
+        self.reverse[hw.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xlate_entry_roundtrip() {
+        let e = XlateEntry {
+            valid: true,
+            node: 0xBEEF,
+            logical_q: 0x1234,
+            high_priority: true,
+        };
+        assert_eq!(XlateEntry::decode(e.encode()), e);
+        assert_eq!(e.priority(), Priority::High);
+    }
+
+    #[test]
+    fn table_lookup_and_fault() {
+        let mut t = XlateTable::new(16);
+        t.install(
+            3,
+            XlateEntry {
+                valid: true,
+                node: 1,
+                logical_q: 7,
+                high_priority: false,
+            },
+        );
+        assert_eq!(t.lookup(3).unwrap().node, 1);
+        assert!(t.lookup(4).is_none(), "invalid entry faults");
+        assert!(t.lookup(99).is_none(), "out of range faults");
+        assert_eq!(t.faults.get(), 2);
+        assert_eq!(t.lookups.get(), 3);
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn rx_cache_bind_translate() {
+        let mut c = RxQueueCache::new(256, 16);
+        assert_eq!(c.translate(10), None);
+        c.bind(10, QueueId(2));
+        assert_eq!(c.translate(10), Some(QueueId(2)));
+        assert_eq!(c.bound_logical(QueueId(2)), Some(10));
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 1);
+    }
+
+    #[test]
+    fn rebinding_evicts_both_sides() {
+        let mut c = RxQueueCache::new(256, 16);
+        c.bind(10, QueueId(2));
+        c.bind(11, QueueId(2)); // steals the slot
+        assert_eq!(c.translate(10), None);
+        assert_eq!(c.translate(11), Some(QueueId(2)));
+        c.bind(11, QueueId(3)); // moves to a new slot
+        assert_eq!(c.bound_logical(QueueId(2)), None);
+        assert_eq!(c.translate(11), Some(QueueId(3)));
+    }
+
+    #[test]
+    fn unbind() {
+        let mut c = RxQueueCache::new(256, 16);
+        c.bind(5, QueueId(1));
+        c.unbind(5);
+        assert_eq!(c.translate(5), None);
+        assert_eq!(c.bound_logical(QueueId(1)), None);
+        c.unbind(5); // idempotent
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # sv-sim — deterministic simulation kernel
+//!
+//! Foundation crate for the StarT-Voyager full-system simulator. It provides
+//! the small set of domain-independent building blocks every other crate
+//! rests on:
+//!
+//! - [`time`]: nanosecond-resolution simulated time and clock-domain
+//!   conversion ([`Time`], [`Clock`]).
+//! - [`queue`]: a deterministic event queue with stable FIFO tie-breaking
+//!   ([`EventQueue`]).
+//! - [`rng`]: a seedable, splittable pseudo-random generator
+//!   ([`DetRng`]) so that every experiment is exactly reproducible.
+//! - [`stats`]: counters, occupancy trackers, log-scale histograms and
+//!   latency/bandwidth summaries used by the measurement harness.
+//! - [`fifo`]: bounded FIFO models with occupancy statistics, the shape of
+//!   every hardware queue in the NIU.
+//! - [`trace`]: a lightweight ring-buffer tracer for debugging simulations.
+//!
+//! Design note: the simulator deliberately avoids trait-object component
+//! graphs. Substrate crates expose plain state machines; the top-level
+//! `voyager::Machine` owns all state and drives it. This crate therefore
+//! contains *mechanism*, never *policy*.
+
+pub mod fifo;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use fifo::BoundedFifo;
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use time::{Clock, Time, NS_PER_SEC, NS_PER_US};

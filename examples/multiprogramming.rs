@@ -1,0 +1,91 @@
+//! Multiprogramming and protection: several "jobs" share the NIU at
+//! once — bulk transfer traffic, latency-sensitive Express pings, and a
+//! misbehaving process whose invalid destination shuts its queue down
+//! without disturbing anyone else. This is the scenario the paper's
+//! protected multi-queue design exists for.
+//!
+//! Run with: `cargo run --release -p sv-examples --bin multiprogramming`
+
+use voyager::api::{request_transfer, BasicMsg, RecvBasic, SendBasic};
+use voyager::app::Seq;
+use voyager::firmware::proto::{Approach, XferReq};
+use voyager::{Machine, SystemParams};
+
+fn main() {
+    let params = SystemParams::default();
+    let mut m = Machine::new(4, params);
+
+    // Job A (node 0): a 64 KiB hardware block transfer to node 1.
+    let len = 64 * 1024u32;
+    m.nodes[0].mem.fill_pattern(0x10_0000, len as usize, 7);
+    let lib0 = m.lib(0);
+    m.load_program(
+        0,
+        request_transfer(
+            &lib0,
+            &XferReq {
+                approach: Approach::BlockHw,
+                xfer_id: 1,
+                src_addr: 0x10_0000,
+                dst_addr: 0x20_0000,
+                len,
+                dst_node: 1,
+                notify_lq: 1,
+            },
+        ),
+    );
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+
+    // Job B (node 2): chatty small messages to node 3 while the bulk
+    // transfer runs.
+    let lib2 = m.lib(2);
+    let items: Vec<BasicMsg> = (0..40u8)
+        .map(|i| BasicMsg::new(lib2.user_dest(3), vec![i; 16]))
+        .collect();
+    m.load_program(2, SendBasic::new(&lib2, items));
+
+    // Job C (node 3): receives job B's messages — and also hosts a
+    // misbehaving sender: its second tx queue tries an uninstalled
+    // destination, which must shut down *that queue only*.
+    let lib3 = m.lib(3);
+    m.load_program(
+        3,
+        Seq::new(vec![
+            Box::new(SendBasic::new(
+                &lib3,
+                vec![BasicMsg::new(0x3F0, b"no such destination".to_vec())],
+            )),
+            Box::new(RecvBasic::expecting(&lib3, 40)),
+        ]),
+    );
+
+    let end = m.run_to_quiescence();
+    println!("all jobs finished at {end}\n");
+
+    // Job A landed its data:
+    let ok = m.mem_read(1, 0x20_0000, len as usize) == m.mem_read(0, 0x10_0000, len as usize);
+    println!("job A: 64 KiB block transfer verified: {ok}");
+
+    // Job B's messages all arrived despite the concurrent bulk stream:
+    println!(
+        "job B: node 3 received {} chat messages",
+        m.received_messages(3).len()
+    );
+
+    // Job C's violation was contained:
+    let n3 = &m.nodes[3];
+    println!(
+        "job C: protection violation shut down node 3's tx queue 1 (enabled={}, violations={}), \
+         while its *receives* kept working",
+        n3.niu.ctrl.tx[1].enabled,
+        n3.niu.ctrl.tx[1].violations.get()
+    );
+    println!(
+        "       firmware saw the violation interrupt: {}",
+        n3.fw.stats.violations_seen.get()
+    );
+    assert!(ok);
+    assert_eq!(m.received_messages(3).len(), 40);
+    assert!(!n3.niu.ctrl.tx[1].enabled);
+    println!("\nisolation held: one job's fault never touched the others' traffic.");
+}

@@ -1,0 +1,114 @@
+//! Collective-operation integration tests: barrier, broadcast and
+//! all-reduce over Express messages on 2–16 nodes.
+
+use voyager::app::AppEventKind;
+use voyager::collectives::{barrier, AllReduce, Broadcast, ReduceOp};
+use voyager::{Machine, SystemParams};
+
+fn result_of(m: &Machine, node: u16, label: &str) -> u64 {
+    m.events(node)
+        .iter()
+        .find_map(|e| match e.kind {
+            AppEventKind::Result { label: l, value } if l == label => Some(value),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("node {node} produced no '{label}' result"))
+}
+
+#[test]
+fn allreduce_sum_over_sizes() {
+    for n in [2usize, 4, 8, 16] {
+        let mut m = Machine::new(n, SystemParams::default());
+        for i in 0..n as u16 {
+            let lib = m.lib(i);
+            m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, (i as u64 + 1) * 10));
+        }
+        m.run_to_quiescence();
+        let want: u64 = (1..=n as u64).map(|i| i * 10).sum();
+        for i in 0..n as u16 {
+            assert_eq!(result_of(&m, i, "allreduce"), want, "node {i} of {n}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_min_max() {
+    let values = [42u64, 7, 99, 13];
+    for (op, want) in [(ReduceOp::Min, 7u64), (ReduceOp::Max, 99)] {
+        let mut m = Machine::new(4, SystemParams::default());
+        for i in 0..4u16 {
+            let lib = m.lib(i);
+            m.load_program(i, AllReduce::new(&lib, op, values[i as usize]));
+        }
+        m.run_to_quiescence();
+        for i in 0..4u16 {
+            assert_eq!(result_of(&m, i, "allreduce"), want);
+        }
+    }
+}
+
+#[test]
+fn allreduce_large_values_use_both_halves() {
+    let mut m = Machine::new(2, SystemParams::default());
+    let a = 0xDEAD_BEEF_0000_0001u64;
+    let b = 0x0000_0001_CAFE_F00Du64;
+    for (i, v) in [(0u16, a), (1, b)] {
+        let lib = m.lib(i);
+        m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, v));
+    }
+    m.run_to_quiescence();
+    assert_eq!(result_of(&m, 0, "allreduce"), a.wrapping_add(b));
+    assert_eq!(result_of(&m, 1, "allreduce"), a.wrapping_add(b));
+}
+
+#[test]
+fn barrier_completes_on_sixteen_nodes() {
+    let mut m = Machine::new(16, SystemParams::default());
+    for i in 0..16u16 {
+        let lib = m.lib(i);
+        m.load_program(i, barrier(&lib));
+    }
+    let t = m.run_to_quiescence();
+    assert!(t.ns() > 0 && t.ns() < 1_000_000, "barrier took {t}");
+    // A 16-node dissemination needs 4 rounds x 2 express msgs per node.
+    assert!(m.network.stats.delivered.get() >= 16 * 4);
+}
+
+#[test]
+fn broadcast_from_every_root() {
+    for n in [2usize, 4, 7, 16] {
+        for root in [0u16, (n as u16) - 1, (n as u16) / 2] {
+            let mut m = Machine::new(n, SystemParams::default());
+            let secret = 0xABCD_0000 + root as u64;
+            for i in 0..n as u16 {
+                let lib = m.lib(i);
+                m.load_program(i, Broadcast::new(&lib, root, secret));
+            }
+            m.run_to_quiescence();
+            for i in 0..n as u16 {
+                assert_eq!(
+                    result_of(&m, i, "broadcast"),
+                    secret,
+                    "node {i}, {n} nodes, root {root}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn barrier_latency_scales_logarithmically() {
+    let time_for = |n: usize| {
+        let mut m = Machine::new(n, SystemParams::default());
+        for i in 0..n as u16 {
+            let lib = m.lib(i);
+            m.load_program(i, barrier(&lib));
+        }
+        m.run_to_quiescence().ns()
+    };
+    let t2 = time_for(2);
+    let t16 = time_for(16);
+    // 4 rounds vs 1 round: clearly more, but far less than 8x.
+    assert!(t16 > t2, "{t16} !> {t2}");
+    assert!(t16 < 8 * t2, "barrier must scale ~log: {t16} vs {t2}");
+}

@@ -1,0 +1,124 @@
+//! Reproducibility: the entire machine must be bit-for-bit deterministic
+//! from its parameters — the property every measurement in this
+//! repository rests on.
+
+use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+use voyager::blockxfer::{run_block_transfer, XferSpec};
+use voyager::firmware::proto::Approach;
+use voyager::{Machine, SystemParams};
+
+fn event_fingerprint(m: &Machine, node: u16) -> Vec<(u64, String)> {
+    m.events(node)
+        .iter()
+        .map(|e| (e.at.ns(), format!("{:?}", e.kind)))
+        .collect()
+}
+
+#[test]
+fn identical_runs_produce_identical_event_logs() {
+    let run = || {
+        let mut m = Machine::new(4, SystemParams::default());
+        for i in 0..4u16 {
+            let lib = m.lib(i);
+            let items: Vec<BasicMsg> = (0..8u16)
+                .flat_map(|r| {
+                    (0..4u16).filter(|&d| d != i).map(move |d| (r, d))
+                })
+                .map(|(r, d)| BasicMsg::new(lib.user_dest(d), vec![r as u8; 24]))
+                .collect();
+            m.load_program(
+                i,
+                voyager::app::Seq::new(vec![
+                    Box::new(SendBasic::new(&lib, items)),
+                    Box::new(RecvBasic::expecting(&lib, 24)),
+                ]),
+            );
+        }
+        let t = m.run_to_quiescence();
+        let logs: Vec<_> = (0..4).map(|i| event_fingerprint(&m, i)).collect();
+        (t.ns(), logs)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "quiescence time must be identical");
+    assert_eq!(a.1, b.1, "event logs must be identical");
+}
+
+#[test]
+fn block_transfers_are_deterministic() {
+    for approach in [Approach::SpManaged, Approach::BlockHw, Approach::OptimisticHw] {
+        let p1 = run_block_transfer(
+            SystemParams::default(),
+            XferSpec {
+                approach,
+                len: 32 * 1024,
+                verify: true,
+            },
+        );
+        let p2 = run_block_transfer(
+            SystemParams::default(),
+            XferSpec {
+                approach,
+                len: 32 * 1024,
+                verify: true,
+            },
+        );
+        assert_eq!(p1.latency_notify_ns, p2.latency_notify_ns, "{approach:?}");
+        assert_eq!(p1.latency_use_ns, p2.latency_use_ns, "{approach:?}");
+        assert_eq!(p1.sp_busy_ns, p2.sp_busy_ns, "{approach:?}");
+    }
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    // The sweep harness must not perturb results: each point is an
+    // isolated deterministic simulation.
+    let sizes = [1024u32, 4096, 16384];
+    let serial: Vec<u64> = sizes
+        .iter()
+        .map(|&len| {
+            run_block_transfer(
+                SystemParams::default(),
+                XferSpec {
+                    approach: Approach::BlockHw,
+                    len,
+                    verify: false,
+                },
+            )
+            .latency_notify_ns
+        })
+        .collect();
+    let parallel: Vec<u64> = voyager::sweep::parallel_map(sizes.to_vec(), |len| {
+        run_block_transfer(
+            SystemParams::default(),
+            XferSpec {
+                approach: Approach::BlockHw,
+                len,
+                verify: false,
+            },
+        )
+        .latency_notify_ns
+    });
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn seed_changes_workload_but_not_mechanics() {
+    // Different seeds change generated data patterns, never protocol
+    // behaviour: transfers still verify.
+    for seed in [1u64, 99, 0xFFFF_FFFF] {
+        let params = SystemParams {
+            seed,
+            ..SystemParams::default()
+        };
+        let p = run_block_transfer(
+            params,
+            XferSpec {
+                approach: Approach::SpManaged,
+                len: 4096,
+                verify: true,
+            },
+        );
+        assert!(p.verified, "seed {seed}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests over the core data structures and, at the top,
+//! whole-machine transfer integrity for arbitrary sizes and patterns.
+
+use proptest::prelude::*;
+use sv_arctic::topology::{Endpoint, FatTree};
+use sv_membus::{BusOpKind, CacheParams, MemoryArray, Mesi, SnoopyCache};
+use sv_niu::msg::{express, MsgFlags, MsgHeader};
+use sv_sim::{DetRng, EventQueue, Time};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MemoryArray behaves exactly like a flat byte map under arbitrary
+    /// interleavings of reads and writes.
+    #[test]
+    fn memory_array_matches_reference(ops in proptest::collection::vec(
+        (0u64..20_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..60)) {
+        let mut mem = MemoryArray::new();
+        let mut reference = std::collections::HashMap::<u64, u8>::new();
+        for (addr, data) in &ops {
+            mem.write(*addr, data);
+            for (i, b) in data.iter().enumerate() {
+                reference.insert(*addr + i as u64, *b);
+            }
+        }
+        for (addr, data) in &ops {
+            let got = mem.read_vec(*addr, data.len());
+            let want: Vec<u8> = (0..data.len() as u64)
+                .map(|i| reference.get(&(*addr + i)).copied().unwrap_or(0))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Every route in every fat tree is a contiguous path of the right
+    /// length from source to destination, for arbitrary up-port choices.
+    #[test]
+    fn fat_tree_routes_are_always_valid(
+        nodes in 2usize..64,
+        s in 0u16..64,
+        d in 0u16..64,
+        sel in any::<u32>(),
+    ) {
+        let s = s % nodes as u16;
+        let d = d % nodes as u16;
+        prop_assume!(s != d);
+        let t = FatTree::build(nodes);
+        let r = t.route(s, d, |lvl| sel.rotate_left(lvl * 7));
+        prop_assert_eq!(r.len(), t.hop_count(s, d));
+        prop_assert_eq!(t.links[r[0]].from, Endpoint::Node(s));
+        for w in r.windows(2) {
+            prop_assert_eq!(t.links[w[0]].to, t.links[w[1]].from);
+        }
+        prop_assert_eq!(t.links[*r.last().unwrap()].to, Endpoint::Node(d));
+    }
+
+    /// Message header encoding round-trips for every field combination.
+    #[test]
+    fn msg_header_roundtrips(dest in any::<u16>(), len in 0u8..=88,
+                             flags in 0u8..8, granule in any::<u16>(),
+                             tlen in prop_oneof![Just(48u8), Just(80u8)]) {
+        let h = MsgHeader {
+            dest,
+            len,
+            flags: MsgFlags(flags),
+            tagon_len: tlen,
+            tagon_granule: granule,
+        };
+        prop_assert_eq!(MsgHeader::decode(&h.encode()), h);
+    }
+
+    /// Express codecs round-trip over their whole domains.
+    #[test]
+    fn express_codecs_roundtrip(dest in 0u16..1024, tag in any::<u8>(),
+                                src in 0u16..0x8000, data in any::<[u8; 4]>()) {
+        let off = express::tx_offset(dest, tag);
+        prop_assert_eq!(express::decode_tx_offset(off), (dest, tag));
+        let packed = express::pack_rx(src, tag, data);
+        prop_assert_eq!(express::unpack_rx(packed), Some((src, tag, data)));
+        let entry = express::pack_tx_entry(dest, tag, data);
+        prop_assert_eq!(express::unpack_tx_entry(entry), (dest, tag, data));
+    }
+
+    /// The event queue dequeues in nondecreasing time order with FIFO
+    /// tie-breaking, for arbitrary push sequences.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time(t), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li);
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// A snoopy cache never reports more resident lines than its
+    /// capacity, and lookups after install always hit.
+    #[test]
+    fn cache_capacity_invariant(addrs in proptest::collection::vec(0u64..0x40_000, 1..300)) {
+        let mut c = SnoopyCache::new(CacheParams {
+            size_bytes: 2048,
+            ways: 2,
+            push_latency_cycles: 1,
+        });
+        for &a in &addrs {
+            c.install(a, Mesi::Exclusive);
+            prop_assert_ne!(c.peek(a), Mesi::Invalid, "just-installed line resident");
+            prop_assert!(c.resident_lines() <= 64);
+        }
+    }
+
+    /// Snooping an external RWITM always leaves the line invalid,
+    /// whatever state it was in.
+    #[test]
+    fn rwitm_snoop_invalidates(addr in 0u64..0x10_000,
+                               state in prop_oneof![
+                                   Just(Mesi::Modified), Just(Mesi::Exclusive), Just(Mesi::Shared)]) {
+        let mut c = SnoopyCache::new(CacheParams::l1_604e());
+        c.install(addr, state);
+        let _ = c.snoop(BusOpKind::Rwitm, addr);
+        prop_assert_eq!(c.peek(addr), Mesi::Invalid);
+    }
+
+    /// The deterministic RNG's `below` is always in range and `split`
+    /// streams never correlate exactly.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(bound) < bound);
+        }
+        let mut a = DetRng::new(seed);
+        let mut b = a.split();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}
+
+proptest! {
+    // Whole-machine cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any 8-byte-aligned transfer size moves data intact under the
+    /// firmware-managed and hardware block paths.
+    #[test]
+    fn arbitrary_size_transfers_verify(len8 in 1u32..1500, hw in any::<bool>()) {
+        let len = len8 * 8;
+        let approach = if hw {
+            voyager::firmware::proto::Approach::BlockHw
+        } else {
+            voyager::firmware::proto::Approach::SpManaged
+        };
+        let p = voyager::blockxfer::run_block_transfer(
+            voyager::SystemParams::default(),
+            voyager::blockxfer::XferSpec { approach, len, verify: true },
+        );
+        prop_assert!(p.verified, "{:?} at {} bytes", approach, len);
+    }
+
+    /// All-reduce computes the right answer for arbitrary contributions
+    /// on arbitrary power-of-two machines.
+    #[test]
+    fn allreduce_is_correct_for_random_inputs(
+        log_n in 1u32..4,
+        values in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        use voyager::collectives::{AllReduce, ReduceOp};
+        use voyager::app::AppEventKind;
+        let n = 1usize << log_n;
+        let mut m = voyager::Machine::new(n, voyager::SystemParams::default());
+        for i in 0..n as u16 {
+            let lib = m.lib(i);
+            m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, values[i as usize]));
+        }
+        m.run_to_quiescence();
+        let want = values[..n]
+            .iter()
+            .fold(0u64, |a, &b| a.wrapping_add(b));
+        for i in 0..n as u16 {
+            let got = m
+                .events(i)
+                .iter()
+                .find_map(|e| match e.kind {
+                    AppEventKind::Result { value, .. } => Some(value),
+                    _ => None,
+                })
+                .expect("result");
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Reflective windows propagate arbitrary 8-byte-aligned store
+    /// sequences exactly, in both firmware and hardware modes.
+    #[test]
+    fn reflective_stores_propagate_random_offsets(
+        offs in proptest::collection::vec(0u64..512, 1..12),
+        hw in any::<bool>(),
+    ) {
+        use voyager::app::{Env, FnProgram, Step, StoreData};
+        let p = voyager::SystemParams::default();
+        let mut m = voyager::Machine::new(2, p);
+        m.map_reflective(0, 0, 1, 0x30_0000, 4096, hw);
+        let base = p.map.reflect_base;
+        let mut queue: std::collections::VecDeque<Step> = offs
+            .iter()
+            .map(|&o| Step::Store {
+                addr: base + o * 8,
+                data: StoreData::U64(0xAA00 + o),
+            })
+            .collect();
+        m.load_program(
+            0,
+            FnProgram(move |_e: &mut Env<'_>| queue.pop_front().unwrap_or(Step::Done)),
+        );
+        m.run_to_quiescence();
+        for &o in &offs {
+            prop_assert_eq!(m.nodes[1].mem.read_u64(0x30_0000 + o * 8), 0xAA00 + o);
+        }
+    }
+
+    /// Arbitrary payload contents survive the Basic message path intact.
+    #[test]
+    fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..=88), 1..6)) {
+        use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+        let mut m = voyager::Machine::new(2, voyager::SystemParams::default());
+        let lib0 = m.lib(0);
+        let items: Vec<BasicMsg> = payloads
+            .iter()
+            .map(|p| BasicMsg::new(lib0.user_dest(1), p.clone()))
+            .collect();
+        let n = items.len();
+        m.load_program(0, SendBasic::new(&lib0, items));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), n));
+        m.run_to_quiescence();
+        let msgs = m.received_messages(1);
+        prop_assert_eq!(msgs.len(), n);
+        for (got, want) in msgs.iter().zip(&payloads) {
+            prop_assert_eq!(&got.1[..], &want[..]);
+        }
+    }
+}

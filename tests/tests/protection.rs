@@ -1,0 +1,192 @@
+//! Protection, translation and receive-queue-caching integration tests —
+//! the core-NIU features the paper argues distinguish StarT-Voyager from
+//! contemporaneous NIs.
+
+use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+use voyager::{Machine, SystemParams};
+
+fn machine(n: usize) -> Machine {
+    Machine::new(n, SystemParams::default())
+}
+
+#[test]
+fn invalid_destination_shuts_down_queue_without_sending() {
+    let mut m = machine(2);
+    let lib0 = m.lib(0);
+    // 0x3FF is not installed in the translation table.
+    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x3FF, b"evil".to_vec())]));
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 0));
+    // The sender's program completes (its stores all succeed — the fault
+    // fires at launch time inside CTRL); run until the violation lands.
+    m.run_for(100_000);
+    let n0 = &m.nodes[0];
+    assert!(!n0.niu.ctrl.tx[1].enabled, "queue shut down");
+    assert_eq!(n0.niu.ctrl.tx[1].violations.get(), 1);
+    assert_eq!(n0.niu.ctrl.stats.violations.get(), 1);
+    assert_eq!(n0.fw.stats.violations_seen.get(), 1, "firmware was interrupted");
+    assert_eq!(m.network.stats.injected.get(), 0, "nothing escaped");
+    assert_eq!(m.received_messages(1).len(), 0);
+}
+
+#[test]
+fn and_or_masks_confine_destinations() {
+    // The OS confines the process on node 0 to destinations 0x000-0x0FF
+    // by masking the high byte — a message "to 0x1FF" actually goes to
+    // the masked destination.
+    let mut m = machine(2);
+    m.nodes[0].niu.ctrl.tx[1].and_mask = 0x00FF;
+    m.nodes[0].niu.ctrl.tx[1].or_mask = 0x0000;
+    let lib0 = m.lib(0);
+    // User names 0x101 (node 1's *service* queue!) but the mask turns it
+    // into 0x001 — node 1's user queue. Protection holds.
+    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x101, b"x".to_vec())]));
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+    m.run_to_quiescence();
+    let msgs = m.received_messages(1);
+    assert_eq!(msgs.len(), 1, "delivered to the masked (user) destination");
+    assert_eq!(m.nodes[1].fw.stats.svc_msgs.get(), 0, "service queue untouched");
+}
+
+#[test]
+fn queue_recovers_after_firmware_reinstalls_translation() {
+    let mut m = machine(2);
+    let lib0 = m.lib(0);
+    m.load_program(
+        0,
+        SendBasic::new(
+            &lib0,
+            vec![
+                BasicMsg::new(0x3FE, b"bad".to_vec()),
+                BasicMsg::new(lib0.user_dest(1), b"good".to_vec()),
+            ],
+        ),
+    );
+    m.run_for(200_000);
+    assert!(!m.nodes[0].niu.ctrl.tx[1].enabled);
+    // "OS" installs the missing entry and re-enables the queue; the
+    // stuck head message now launches, followed by the good one.
+    m.nodes[0].niu.ctrl.xlate.install(
+        0x3FE,
+        sv_niu::translate::XlateEntry {
+            valid: true,
+            node: 1,
+            logical_q: 1,
+            high_priority: false,
+        },
+    );
+    m.nodes[0].niu.ctrl.tx[1].enabled = true;
+    // While the queue was shut down it ignored the second message's
+    // pointer update (the program composed it into slot 1 regardless);
+    // recovery restores the producer, exactly what the OS would do from
+    // the faulting process's library state.
+    m.nodes[0].niu.ctrl.tx[1].producer = 2;
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 2));
+    m.run_to_quiescence();
+    let msgs = m.received_messages(1);
+    assert_eq!(msgs.len(), 2);
+    assert_eq!(&msgs[0].1[..], b"bad");
+    assert_eq!(&msgs[1].1[..], b"good");
+}
+
+#[test]
+fn unbound_logical_queue_goes_to_miss_queue_and_software() {
+    let mut m = machine(2);
+    // Install a translation to an unbound logical queue (42).
+    m.nodes[0].niu.ctrl.xlate.install(
+        0x50,
+        sv_niu::translate::XlateEntry {
+            valid: true,
+            node: 1,
+            logical_q: 42,
+            high_priority: false,
+        },
+    );
+    let lib0 = m.lib(0);
+    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"stray".to_vec())]));
+    m.run_to_quiescence();
+    let n1 = &mut m.nodes[1];
+    assert_eq!(n1.niu.ctrl.rx_cache.misses.get(), 1);
+    assert_eq!(n1.fw.stats.miss_msgs.get(), 1, "firmware serviced the miss");
+    // The message is retrievable from the software queue.
+    let (src, data) = n1.fw.sw_rx_pop(42).expect("software-queued message");
+    assert_eq!(src, 0);
+    assert_eq!(&data[..], b"stray");
+    assert!(n1.fw.sw_rx_pop(42).is_none());
+}
+
+#[test]
+fn binding_a_logical_queue_moves_it_to_hardware() {
+    let mut m = machine(2);
+    // Bind logical 42 into hardware slot 5 on node 1 beforehand.
+    m.nodes[1].niu.ctrl.rx_cache.bind(42, sv_niu::QueueId(5));
+    m.nodes[1].niu.ctrl.rx[5].service = sv_niu::RxService::SpPolled;
+    m.nodes[0].niu.ctrl.xlate.install(
+        0x50,
+        sv_niu::translate::XlateEntry {
+            valid: true,
+            node: 1,
+            logical_q: 42,
+            high_priority: false,
+        },
+    );
+    let lib0 = m.lib(0);
+    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"hw".to_vec())]));
+    m.run_to_quiescence();
+    let n1 = &mut m.nodes[1];
+    assert_eq!(n1.niu.ctrl.rx[5].pending(), 1, "went to the bound slot");
+    assert_eq!(n1.fw.stats.miss_msgs.get(), 0);
+    let (_, lq, data) = n1.niu.sp().read_msg(sv_niu::QueueId(5)).unwrap();
+    assert_eq!(lq, 42);
+    assert_eq!(&data[..], b"hw");
+}
+
+#[test]
+fn transmit_priority_register_reorders_launches() {
+    // Two queues with pending messages; the high-priority queue's
+    // message reaches the network first even though it was composed
+    // second. We drive the queues directly (privileged setup) to avoid
+    // program interleaving noise.
+    let mut m = machine(2);
+    {
+        let n0 = &mut m.nodes[0];
+        let compose = |niu: &mut sv_niu::Niu, qi: usize, dest: u16, body: &[u8]| {
+            let (sel, slot) = {
+                let q = &niu.ctrl.tx[qi];
+                (q.buf.sram, q.buf.slot_addr(q.producer))
+            };
+            let hdr = sv_niu::MsgHeader::basic(dest, body.len() as u8);
+            match sel {
+                sv_niu::SramSel::A => {
+                    niu.asram.write(slot, &hdr.encode());
+                    niu.asram.write(slot + 8, body);
+                }
+                sv_niu::SramSel::S => {
+                    niu.ssram.write(slot, &hdr.encode());
+                    niu.ssram.write(slot + 8, body);
+                }
+            }
+            niu.ctrl.tx[qi].producer = niu.ctrl.tx[qi].producer.wrapping_add(1);
+        };
+        compose(&mut n0.niu, 1, 1, b"low");
+        compose(&mut n0.niu, 3, 1, b"high");
+        n0.niu.ctrl.tx[3].priority = 5;
+    }
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 2));
+    m.run_to_quiescence();
+    let msgs = m.received_messages(1);
+    assert_eq!(msgs.len(), 2);
+    assert_eq!(&msgs[0].1[..], b"high", "priority queue launched first");
+    assert_eq!(&msgs[1].1[..], b"low");
+}
+
+#[test]
+fn express_tx_backpressure_is_lossless() {
+    // Fire far more express messages than the 64-entry queue holds with
+    // the transmit engine racing to drain: the full-queue store retry
+    // must make the stream lossless.
+    let p = SystemParams::default();
+    let r = voyager::workloads::express_stream(p, 500);
+    assert!(r.msg_rate_per_s > 100_000.0);
+    // (express_stream asserts delivery of all 500 internally via the
+    // receiver's expectation; reaching here means nothing was lost.)
+}

@@ -1,0 +1,189 @@
+//! Whole-system workload tests — the paper's closing pitch: "the
+//! investigations will not be confined to single program simulations,
+//! but system workload level studies." Every mechanism runs at once on
+//! one machine and they must neither corrupt each other nor deadlock.
+
+use voyager::api::{request_transfer, BasicMsg, RecvBasic, SendBasic};
+use voyager::app::{AppEventKind, Env, FnProgram, Seq, Step, StoreData};
+use voyager::collectives::{AllReduce, ReduceOp};
+use voyager::firmware::proto::{Approach, XferReq};
+use voyager::workloads::Probe;
+use voyager::{Machine, SystemParams};
+
+#[test]
+fn everything_at_once_on_eight_nodes() {
+    let p = SystemParams::default();
+    let mut m = Machine::new(8, p);
+    let len = 16 * 1024u32;
+
+    // Pair (0 -> 1): hardware block transfer.
+    m.nodes[0].mem.fill_pattern(0x10_0000, len as usize, 1);
+    let lib0 = m.lib(0);
+    m.load_program(
+        0,
+        request_transfer(
+            &lib0,
+            &XferReq {
+                approach: Approach::BlockHw,
+                xfer_id: 1,
+                src_addr: 0x10_0000,
+                dst_addr: 0x20_0000,
+                len,
+                dst_node: 1,
+                notify_lq: 1,
+            },
+        ),
+    );
+    m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+
+    // Pair (2 -> 3): sP-managed transfer.
+    m.nodes[2].mem.fill_pattern(0x10_0000, len as usize, 2);
+    let lib2 = m.lib(2);
+    m.load_program(
+        2,
+        request_transfer(
+            &lib2,
+            &XferReq {
+                approach: Approach::SpManaged,
+                xfer_id: 2,
+                src_addr: 0x10_0000,
+                dst_addr: 0x20_0000,
+                len,
+                dst_node: 3,
+                notify_lq: 1,
+            },
+        ),
+    );
+    m.load_program(3, RecvBasic::expecting(&m.lib(3), 1));
+
+    // Pair (4 <-> 5): chatty bidirectional Basic messages.
+    for (a, b) in [(4u16, 5u16), (5, 4)] {
+        let lib = m.lib(a);
+        let items: Vec<BasicMsg> = (0..30u8)
+            .map(|i| BasicMsg::new(lib.user_dest(b), vec![a as u8, i]))
+            .collect();
+        m.load_program(
+            a,
+            Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, 30)),
+            ]),
+        );
+    }
+
+    // Pair (6, 7): S-COMA traffic — 6 writes lines homed on 7, 7 reads
+    // lines homed elsewhere.
+    let scoma = p.map.scoma_base;
+    m.load_program(
+        6,
+        FnProgram({
+            let mut i = 0u64;
+            move |_e: &mut Env<'_>| {
+                if i >= 8 {
+                    return Step::Done;
+                }
+                let addr = scoma + 0x7000 + i * 32; // page 7 → home node 7
+                i += 1;
+                Step::Store {
+                    addr,
+                    data: StoreData::U64(i),
+                }
+            }
+        }),
+    );
+    m.load_program(7, Probe::load(scoma + 0x6000)); // page 6 → home node 6
+
+    m.run_to_quiescence();
+
+    // Every job finished correctly.
+    let want0 = m.nodes[0].mem.read_vec(0x10_0000, len as usize);
+    assert_eq!(m.nodes[1].mem.read_vec(0x20_0000, len as usize), want0);
+    let want2 = m.nodes[2].mem.read_vec(0x10_0000, len as usize);
+    assert_eq!(m.nodes[3].mem.read_vec(0x20_0000, len as usize), want2);
+    assert_eq!(m.received_messages(4).len(), 30);
+    assert_eq!(m.received_messages(5).len(), 30);
+    for i in 0..8u64 {
+        assert_eq!(m.nodes[6].mem.read_u64(scoma + 0x7000 + i * 32), i + 1);
+    }
+    // S-COMA state consistent: node 6 owns its written lines.
+    let line0 = p.map.scoma_line(scoma + 0x7000);
+    assert_eq!(m.nodes[6].niu.clssram.get(line0), sv_niu::ClsState::ReadWrite);
+}
+
+#[test]
+fn collective_after_transfers_barrier_style() {
+    // A bulk-synchronous pattern: each node transfers to its neighbor,
+    // waits for its own incoming notify, then all-reduces a checksum of
+    // what it received. The reduce can only be correct if every transfer
+    // completed first.
+    let p = SystemParams::default();
+    let n = 4u16;
+    let mut m = Machine::new(n as usize, p);
+    let len = 4096u32;
+    for i in 0..n {
+        m.nodes[i as usize]
+            .mem
+            .fill_pattern(0x10_0000, len as usize, 100 + i as u64);
+    }
+    for i in 0..n {
+        let lib = m.lib(i);
+        let req = XferReq {
+            approach: Approach::BlockHw,
+            xfer_id: i,
+            src_addr: 0x10_0000,
+            dst_addr: 0x20_0000,
+            len,
+            dst_node: (i + 1) % n,
+            notify_lq: 1,
+        };
+        m.load_program(
+            i,
+            Seq::new(vec![
+                Box::new(request_transfer(&lib, &req)),
+                Box::new(RecvBasic::expecting(&lib, 1)),
+                // Contribute 1 to a sum: result must be n at every node.
+                Box::new(AllReduce::new(&lib, ReduceOp::Sum, 1)),
+            ]),
+        );
+    }
+    m.run_to_quiescence();
+    for i in 0..n {
+        let got = m
+            .events(i)
+            .iter()
+            .find_map(|e| match e.kind {
+                AppEventKind::Result { value, .. } => Some(value),
+                _ => None,
+            })
+            .expect("allreduce result");
+        assert_eq!(got, n as u64, "node {i}");
+        // And the data it received is its predecessor's buffer.
+        let pred = (i + n - 1) % n;
+        let want = m.nodes[pred as usize].mem.read_vec(0x10_0000, len as usize);
+        assert_eq!(m.nodes[i as usize].mem.read_vec(0x20_0000, len as usize), want);
+    }
+}
+
+#[test]
+fn sustained_mixed_load_is_deterministic() {
+    let run = || {
+        let p = SystemParams::default();
+        let mut m = Machine::new(8, p);
+        for i in 0..8u16 {
+            let lib = m.lib(i);
+            let items: Vec<BasicMsg> = (0..12u16)
+                .map(|k| BasicMsg::new(lib.user_dest((i + 1 + k % 7) % 8), vec![k as u8; 40]))
+                .collect();
+            m.load_program(
+                i,
+                Seq::new(vec![
+                    Box::new(SendBasic::new(&lib, items)),
+                    Box::new(RecvBasic::expecting(&lib, 12)),
+                    Box::new(AllReduce::new(&lib, ReduceOp::Max, i as u64)),
+                ]),
+            );
+        }
+        m.run_to_quiescence().ns()
+    };
+    assert_eq!(run(), run());
+}
