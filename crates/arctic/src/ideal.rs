@@ -13,7 +13,7 @@ use sv_sim::{EventQueue, Time};
 /// A network with infinite internal bandwidth: per-packet latency is
 /// `fixed_latency_ns + serialize_ns(wire_bytes)` and packets never queue
 /// (not even at the source).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IdealNetwork<P> {
     /// Fixed latency ns.
     pub fixed_latency_ns: u64,
@@ -68,6 +68,14 @@ impl<P> IdealNetwork<P> {
     /// Drain delivered packets in delivery order.
     pub fn take_delivered(&mut self) -> Vec<(Time, Packet<P>)> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Conservative lookahead: the ideal pipe has no shared resources, so
+    /// an injection at `t` affects exactly one delivery, at
+    /// `t + fixed_latency_ns + serialize_ns(wire)`, which is at least
+    /// this bound (every packet carries the header).
+    pub fn lookahead_ns(&self) -> u64 {
+        self.fixed_latency_ns + self.params.serialize_ns(crate::packet::PACKET_HEADER_BYTES)
     }
 }
 

@@ -54,7 +54,7 @@ impl LinkParams {
 }
 
 /// Per-link running state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinkState {
     /// Time the transmitter frees.
     busy_until: Time,
@@ -87,7 +87,7 @@ impl LinkState {
 }
 
 /// A packet travelling its route.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InFlight<P> {
     packet: Packet<P>,
     route: Vec<LinkId>,
@@ -121,8 +121,11 @@ pub struct NetworkStats {
 
 /// The Arctic network simulator.
 ///
-/// `P` is the structured payload type (opaque to the network).
-#[derive(Debug)]
+/// `P` is the structured payload type (opaque to the network). The model
+/// is `Clone` so a conservative parallel run loop can advance a
+/// throwaway copy ahead of the committed state to harvest a window's
+/// deliveries (see `voyager`'s machine run loop).
+#[derive(Debug, Clone)]
 pub struct Network<P> {
     /// Fat-tree topology.
     pub topology: FatTree,
@@ -144,7 +147,9 @@ impl<P> Network<P> {
     /// Build a network spanning `nodes` endpoints.
     pub fn new(nodes: usize, params: LinkParams, policy: RoutingPolicy) -> Self {
         let topology = FatTree::build(nodes);
-        let links = (0..topology.link_count()).map(|_| LinkState::new()).collect();
+        let links = (0..topology.link_count())
+            .map(|_| LinkState::new())
+            .collect();
         Network {
             topology,
             params,
@@ -183,8 +188,7 @@ impl<P> Network<P> {
             // Deterministic spread over (src, dst, [sequence,] level),
             // through a full avalanche finalizer (a weak mix here
             // collapses distinct flows onto one up port).
-            let mut h = per_packet_salt
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            let mut h = per_packet_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ ((src as u64) << 32)
                 ^ ((dst as u64) << 16)
                 ^ level as u64;
@@ -200,7 +204,11 @@ impl<P> Network<P> {
                 self.flights.len() - 1
             }
         };
-        self.flights[slot] = Some(InFlight { packet, route, hop: 0 });
+        self.flights[slot] = Some(InFlight {
+            packet,
+            route,
+            hop: 0,
+        });
         self.enqueue_on_link(now, slot);
     }
 
@@ -254,21 +262,30 @@ impl<P> Network<P> {
             // Raced with a just-started transmission; retry when free.
             if link.queued() > 0 {
                 link.dispatch_scheduled = true;
-                self.events.push(link.busy_until, NetEvent::Dispatch(link_id));
+                self.events
+                    .push(link.busy_until, NetEvent::Dispatch(link_id));
             }
             return;
         }
         // High priority first.
-        let slot = match link.queues[0].pop_front().or_else(|| link.queues[1].pop_front()) {
+        let slot = match link.queues[0]
+            .pop_front()
+            .or_else(|| link.queues[1].pop_front())
+        {
             Some(s) => s,
             None => return,
         };
-        let bytes = self.flights[slot].as_ref().expect("live flight").packet.wire_bytes;
+        let bytes = self.flights[slot]
+            .as_ref()
+            .expect("live flight")
+            .packet
+            .wire_bytes;
         let ser = self.params.serialize_ns(bytes);
         link.busy_until = now.plus(ser);
         link.bytes += bytes as u64;
         let arrive_at = now.plus(ser + self.params.router_latency_ns);
-        self.events.push(arrive_at, NetEvent::Arrive { flight: slot });
+        self.events
+            .push(arrive_at, NetEvent::Arrive { flight: slot });
         if link.queued() > 0 {
             link.dispatch_scheduled = true;
             let free = link.busy_until;
@@ -310,6 +327,25 @@ impl<P> Network<P> {
     pub fn ideal_latency_ns(&self, s: NodeId, d: NodeId, wire_bytes: u32) -> u64 {
         let hops = self.topology.hop_count(s, d) as u64;
         hops * (self.params.serialize_ns(wire_bytes) + self.params.router_latency_ns)
+    }
+
+    /// Conservative lookahead: a packet injected at time `t` cannot
+    /// change *any* delivery (its own or, through link contention,
+    /// another packet's) earlier than `t + lookahead_ns()`.
+    ///
+    /// Justification: every route has at least two hops, so the injected
+    /// packet itself delivers no earlier than two full
+    /// `serialize + router` terms after injection. For it to perturb
+    /// another packet it must win arbitration on some link L; if L is its
+    /// first hop (the source's private uplink) the displaced packet still
+    /// has L's serialization plus at least one further hop ahead of it,
+    /// and if L is a later hop the injected packet first spent a full hop
+    /// reaching L. Either way the earliest perturbed delivery is bounded
+    /// below by two minimum hop times. Window-parallel execution relies
+    /// on this bound; see `DESIGN.md`.
+    pub fn lookahead_ns(&self) -> u64 {
+        2 * (self.params.serialize_ns(crate::packet::PACKET_HEADER_BYTES)
+            + self.params.router_latency_ns)
     }
 }
 
@@ -410,7 +446,10 @@ mod tests {
         for s in 0..16u16 {
             for d in 0..16u16 {
                 if s != d {
-                    n.inject(Time::ZERO, Packet::new(s, d, Priority::Low, 32, (s as u32) << 16 | d as u32));
+                    n.inject(
+                        Time::ZERO,
+                        Packet::new(s, d, Priority::Low, 32, (s as u32) << 16 | d as u32),
+                    );
                     expect += 1;
                 }
             }
@@ -437,8 +476,7 @@ mod tests {
         // 16 nodes, random permutation traffic climbing to the top level;
         // fixed routing funnels everything through up-port 0.
         let mk = |policy| {
-            let mut n: Network<u32> =
-                Network::new(16, LinkParams::default(), policy);
+            let mut n: Network<u32> = Network::new(16, LinkParams::default(), policy);
             for rep in 0..8u32 {
                 for s in 0..16u16 {
                     let d = (s + 4 + (rep as u16 % 3) * 4) % 16; // crosses leaves
@@ -470,7 +508,10 @@ mod tests {
             let mut n = net(16);
             for s in 0..16u16 {
                 for k in 0..5u32 {
-                    n.inject(Time::from_ns(k as u64 * 10), Packet::new(s, (s + 5) % 16, Priority::Low, 64, k));
+                    n.inject(
+                        Time::from_ns(k as u64 * 10),
+                        Packet::new(s, (s + 5) % 16, Priority::Low, 64, k),
+                    );
                 }
             }
             run_until_quiet(&mut n)

@@ -62,7 +62,13 @@ impl<P> Packet<P> {
     /// is added automatically). Panics if the payload exceeds
     /// [`MAX_PAYLOAD_BYTES`] — oversized transfers must be packetized by
     /// the NIU before injection, as in the hardware.
-    pub fn new(src: NodeId, dst: NodeId, priority: Priority, payload_bytes: u32, payload: P) -> Self {
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        payload_bytes: u32,
+        payload: P,
+    ) -> Self {
         assert!(
             payload_bytes <= MAX_PAYLOAD_BYTES,
             "payload {payload_bytes} exceeds Arctic maximum {MAX_PAYLOAD_BYTES}"

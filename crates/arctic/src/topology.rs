@@ -148,15 +148,24 @@ impl FatTree {
                 let mut up_ids = [0usize; RADIX];
                 let mut down_ids = [0usize; RADIX];
                 for u in 0..RADIX as u32 {
-                    let lower = Endpoint::Switch { level: l as u8, label: w };
+                    let lower = Endpoint::Switch {
+                        level: l as u8,
+                        label: w,
+                    };
                     let upper = Endpoint::Switch {
                         level: (l + 1) as u8,
                         label: replace_digit(w, l, u),
                     };
                     up_ids[u as usize] = links.len();
-                    links.push(Link { from: lower, to: upper });
+                    links.push(Link {
+                        from: lower,
+                        to: upper,
+                    });
                     down_ids[u as usize] = links.len();
-                    links.push(Link { from: upper, to: lower });
+                    links.push(Link {
+                        from: upper,
+                        to: lower,
+                    });
                 }
                 ups.push(up_ids);
                 downs.push(down_ids);
@@ -210,12 +219,7 @@ impl FatTree {
     ///
     /// `selector` provides the free up-port choice for each climbed level
     /// (called with the level index, must return a value `< RADIX`).
-    pub fn route(
-        &self,
-        s: NodeId,
-        d: NodeId,
-        mut selector: impl FnMut(u32) -> u32,
-    ) -> Vec<LinkId> {
+    pub fn route(&self, s: NodeId, d: NodeId, mut selector: impl FnMut(u32) -> u32) -> Vec<LinkId> {
         assert!((s as usize) < self.nodes && (d as usize) < self.nodes);
         assert_ne!(s, d, "route to self");
         let climb = self.climb_levels(s, d);

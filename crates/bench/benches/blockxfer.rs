@@ -17,18 +17,22 @@ fn bench_blockxfer(c: &mut Criterion) {
         Approach::OptimisticSp,
         Approach::OptimisticHw,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{a:?}")), &a, |b, &a| {
-            b.iter(|| {
-                run_block_transfer(
-                    SystemParams::default(),
-                    XferSpec {
-                        approach: a,
-                        len: 16 * 1024,
-                        verify: false,
-                    },
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{a:?}")),
+            &a,
+            |b, &a| {
+                b.iter(|| {
+                    run_block_transfer(
+                        SystemParams::default(),
+                        XferSpec {
+                            approach: a,
+                            len: 16 * 1024,
+                            verify: false,
+                        },
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -30,7 +30,7 @@ impl Program for Stores {
 /// `(flush time ns, lines sent)`.
 fn tracked_flush(stride: u64) -> (u64, u64) {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.enable_write_tracking(0);
     let base = p.map.scoma_base;
     m.nodes[0].mem.fill_pattern(base, REGION as usize, 11);
@@ -103,7 +103,13 @@ fn main() {
     ]);
     print_table(
         "A5: tracked-flush vs full-region transfer (64 KiB region)",
-        &["dirty fraction", "lines sent", "bytes sent", "time (us)", "speedup vs full copy"],
+        &[
+            "dirty fraction",
+            "lines sent",
+            "bytes sent",
+            "time (us)",
+            "speedup vs full copy",
+        ],
         &rows,
     );
 

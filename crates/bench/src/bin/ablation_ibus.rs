@@ -56,5 +56,7 @@ fn main() {
         (wide - default).abs() / default < 0.05,
         "beyond the link rate, IBus width must not matter: {wide:.1} vs {default:.1}"
     );
-    println!("\nshape check: narrow IBus bottlenecks the NIU; the default keeps the link as the limit ✓");
+    println!(
+        "\nshape check: narrow IBus bottlenecks the NIU; the default keeps the link as the limit ✓"
+    );
 }

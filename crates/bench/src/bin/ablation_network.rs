@@ -31,7 +31,7 @@ fn main() {
     let p = SystemParams::default();
     let mut rows = Vec::new();
     for (label, dst) in [("same leaf (2 hops)", 1u16), ("cross tree (4 hops)", 15u16)] {
-        let mut m = Machine::new(16, p);
+        let mut m = Machine::builder(16).params(p).build();
         m.load_program(
             0,
             voyager::workloads::PingPongBasic::new(&m.lib(0), dst, 30, true),
@@ -47,7 +47,11 @@ fn main() {
             .ns();
         rows.push(vec![label.to_string(), (total / 60).to_string()]);
     }
-    print_table("A3b: one-way latency vs distance (16 nodes)", &["path", "ns"], &rows);
+    print_table(
+        "A3b: one-way latency vs distance (16 nodes)",
+        &["path", "ns"],
+        &rows,
+    );
 
     // Path diversity: every node streams a hardware block transfer to a
     // cross-leaf partner simultaneously — traffic that saturates the
@@ -66,7 +70,10 @@ fn main() {
         };
         let dur = cross_leaf_block_storm(params);
         results.push(dur);
-        rows.push(vec![name.to_string(), format!("{:.1}", dur as f64 / 1000.0)]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", dur as f64 / 1000.0),
+        ]);
     }
     print_table(
         "A3c: routing policy under a 16-node cross-leaf block-transfer storm (64 KiB each)",
@@ -88,7 +95,7 @@ fn cross_leaf_block_storm(params: SystemParams) -> u64 {
     use voyager::api::{request_transfer, RecvBasic};
     use voyager::app::Seq;
     use voyager::firmware::proto::{Approach, XferReq};
-    let mut m = Machine::new(16, params);
+    let mut m = Machine::builder(16).params(params).build();
     let len = 64 * 1024u32;
     for i in 0..16u16 {
         m.nodes[i as usize]

@@ -37,7 +37,7 @@ fn compose(niu: &mut Niu, qi: usize, dest: u16, body: &[u8]) {
 /// Returns `(urgent arrival position 1-based, urgent latency ns)`.
 fn run(urgent_priority: u8) -> (usize, u64) {
     let params = SystemParams::default();
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     {
         let n0 = &mut m.nodes[0];
         n0.niu.ctrl.tx[1].priority = 3; // bulk queue priority

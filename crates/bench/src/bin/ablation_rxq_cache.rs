@@ -21,7 +21,7 @@ const HW_SLOTS: &[u8] = &[3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
 
 fn run(k: usize) -> (f64, u64, u64) {
     let params = SystemParams::default();
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     // Lossless miss queue for clean accounting.
     let miss = m.nodes[1].niu.params.miss_queue_slot;
     m.nodes[1].niu.ctrl.rx[miss].full_policy = RxFullPolicy::Retry;

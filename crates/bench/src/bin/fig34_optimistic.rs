@@ -9,7 +9,9 @@
 //! that have not arrived); approach 5 removes the per-page sP work of
 //! approach 4.
 
-use sv_bench::{approach_name, assert_verified, by_approach, print_table, sweep, us, OPTIMISTIC_APPROACHES};
+use sv_bench::{
+    approach_name, assert_verified, by_approach, print_table, sweep, us, OPTIMISTIC_APPROACHES,
+};
 use voyager::firmware::proto::Approach;
 use voyager::SystemParams;
 
@@ -82,5 +84,7 @@ fn main() {
         }
     }
     assert!(a5[last].sp_busy_ns < a4[last].sp_busy_ns);
-    println!("\nshape check: early notify < A3 completion; overlap reduces time-to-use; A5 sP < A4 sP ✓");
+    println!(
+        "\nshape check: early notify < A3 completion; overlap reduces time-to-use; A5 sP < A4 sP ✓"
+    );
 }

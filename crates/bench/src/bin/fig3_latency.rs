@@ -5,7 +5,10 @@
 //! Paper claims this reproduces: approach 1 worst at every size;
 //! approach 3 best; approach 2 between.
 
-use sv_bench::{approach_name, assert_verified, by_approach, print_table, sweep, us, FIG3_SIZES, PAPER_APPROACHES};
+use sv_bench::{
+    approach_name, assert_verified, by_approach, print_table, sweep, us, FIG3_SIZES,
+    PAPER_APPROACHES,
+};
 use voyager::SystemParams;
 
 fn main() {

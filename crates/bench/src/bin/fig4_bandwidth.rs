@@ -7,7 +7,9 @@
 //! approach 2 lower; approach 1 worst because the data crosses each aP
 //! bus twice per side.
 
-use sv_bench::{approach_name, assert_verified, by_approach, print_table, sweep, FIG4_SIZES, PAPER_APPROACHES};
+use sv_bench::{
+    approach_name, assert_verified, by_approach, print_table, sweep, FIG4_SIZES, PAPER_APPROACHES,
+};
 use voyager::SystemParams;
 
 fn main() {
@@ -38,7 +40,10 @@ fn main() {
     let a2 = groups[1].1[last].bandwidth_mb_s;
     let a3 = groups[2].1[last].bandwidth_mb_s;
     assert!(a3 > a2 && a2 > a1, "asymptotic ordering violated");
-    assert!(a3 > 0.85 * 128.0, "A3 should approach the 128 MB/s ceiling, got {a3:.1}");
+    assert!(
+        a3 > 0.85 * 128.0,
+        "A3 should approach the 128 MB/s ceiling, got {a3:.1}"
+    );
     println!(
         "\nshape check: asymptotic bandwidths A3 {a3:.1} > A2 {a2:.1} > A1 {a1:.1} MB/s; \
          A3 at {:.0}% of hardware ceiling ✓",

@@ -117,6 +117,9 @@ fn main() {
         &rows,
     );
 
-    assert!(exp_ow < bas_ow, "Express must have lower latency than Basic");
+    assert!(
+        exp_ow < bas_ow,
+        "Express must have lower latency than Basic"
+    );
     println!("\nshape check: express one-way < basic one-way ✓");
 }

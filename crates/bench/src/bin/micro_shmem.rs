@@ -3,9 +3,7 @@
 //! S-COMA miss/hit/upgrade/recall latencies.
 
 use sv_bench::print_table;
-use voyager::workloads::{
-    numa_load_latency, numa_store_latency, scoma_latencies, scoma_read_3hop,
-};
+use voyager::workloads::{numa_load_latency, numa_store_latency, scoma_latencies, scoma_read_3hop};
 use voyager::SystemParams;
 
 fn main() {
@@ -20,12 +18,25 @@ fn main() {
         vec!["NUMA load, home local".into(), numa_local.to_string()],
         vec!["NUMA load, home remote".into(), numa_remote.to_string()],
         vec!["NUMA store (posted)".into(), numa_store.to_string()],
-        vec!["S-COMA read, clsSRAM hit (local DRAM)".into(), hit.to_string()],
-        vec!["S-COMA read miss, 2-hop (home clean)".into(), miss2.to_string()],
-        vec!["S-COMA read miss, 3-hop (owner recall)".into(), miss3.to_string()],
+        vec![
+            "S-COMA read, clsSRAM hit (local DRAM)".into(),
+            hit.to_string(),
+        ],
+        vec![
+            "S-COMA read miss, 2-hop (home clean)".into(),
+            miss2.to_string(),
+        ],
+        vec![
+            "S-COMA read miss, 3-hop (owner recall)".into(),
+            miss3.to_string(),
+        ],
         vec!["S-COMA write upgrade (RO->RW)".into(), upgrade.to_string()],
     ];
-    print_table("T2: shared-memory operation latencies", &["operation", "ns"], &rows);
+    print_table(
+        "T2: shared-memory operation latencies",
+        &["operation", "ns"],
+        &rows,
+    );
 
     assert!(hit < miss2, "local hit must beat protocol miss");
     assert!(miss2 < miss3, "2-hop must beat 3-hop recall");

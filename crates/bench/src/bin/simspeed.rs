@@ -1,0 +1,116 @@
+//! Simulation speed: simulated nanoseconds per wall-clock second.
+//!
+//! Runs one idle-heavy workload — a message ring where every node
+//! computes for a long stretch between sends, so most bus cycles are
+//! dead time — under the three run loops (cycle-stepped, idle-skipping
+//! event-driven, and lookahead-windowed parallel) and reports how much
+//! simulated time each retires per second of wall clock. The event
+//! loops must reproduce the cycle-stepped quiescence time exactly;
+//! the bin asserts it.
+//!
+//! Usage: `cargo run --release -p sv-bench --bin simspeed`
+
+use std::time::Instant;
+
+use sv_bench::print_table;
+use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+use voyager::app::{Delay, Seq};
+use voyager::{Machine, MachineBuilder, Program};
+
+/// Compute gap between rounds, in ns. At 66 MHz this is ~3300 bus
+/// cycles of idle per ~2 us of messaging — the regime the event loop
+/// is built for.
+const GAP_NS: u64 = 50_000;
+const ROUNDS: u16 = 30;
+
+/// A ring: each node computes for `GAP_NS`, sends one Basic message to
+/// its successor, then receives one from its predecessor, `ROUNDS`
+/// times over.
+fn load_ring(m: &mut Machine, n: u16) {
+    for i in 0..n {
+        let lib = m.lib(i);
+        let next = (i + 1) % n;
+        let mut parts: Vec<Box<dyn Program>> = Vec::new();
+        for r in 0..ROUNDS {
+            let msg = BasicMsg::new(lib.user_dest(next), vec![r as u8; 16]);
+            parts.push(Box::new(Delay(GAP_NS)));
+            parts.push(Box::new(SendBasic::resuming(&lib, vec![msg], r)));
+            parts.push(Box::new(RecvBasic::resuming(&lib, 1, r)));
+        }
+        m.load_program(i, Seq::new(parts));
+    }
+}
+
+/// Run the ring to quiescence; return (simulated ns, wall seconds).
+fn measure(builder: MachineBuilder, n: u16) -> (u64, f64) {
+    let mut m = builder.build();
+    load_ring(&mut m, n);
+    let start = Instant::now();
+    let t = m.run_to_quiescence();
+    (t.ns(), start.elapsed().as_secs_f64())
+}
+
+fn fmt_rate(sim_ns: u64, wall_s: f64) -> (f64, String) {
+    let rate = sim_ns as f64 / wall_s;
+    (rate, format!("{:.1}", rate / 1e6))
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+
+    let mut rows = Vec::new();
+    let mut speedup_8 = (0.0f64, 0.0f64);
+    for n in [2u16, 8, 32] {
+        // Warm up allocator / thread pool effects once per size.
+        let _ = measure(Machine::builder(n.into()), n);
+
+        let (t_step, w_step) = measure(Machine::builder(n.into()).cycle_stepped(), n);
+        let (t_ev, w_ev) = measure(Machine::builder(n.into()).threads(1), n);
+        let (t_par, w_par) = measure(Machine::builder(n.into()).threads(workers), n);
+        assert_eq!(
+            t_step, t_ev,
+            "event loop must match cycle-stepped time ({n} nodes)"
+        );
+        assert_eq!(
+            t_step, t_par,
+            "parallel loop must match cycle-stepped time ({n} nodes)"
+        );
+
+        let (r_step, s_step) = fmt_rate(t_step, w_step);
+        let (r_ev, s_ev) = fmt_rate(t_ev, w_ev);
+        let (r_par, s_par) = fmt_rate(t_par, w_par);
+        if n == 8 {
+            speedup_8 = (r_ev / r_step, r_par / r_step);
+        }
+        rows.push(vec![
+            n.to_string(),
+            t_step.to_string(),
+            s_step,
+            s_ev,
+            s_par,
+            format!("{:.2}x", r_ev / r_step),
+            format!("{:.2}x", r_par / r_step),
+        ]);
+    }
+
+    print_table(
+        &format!("simulation speed, idle-heavy ring (sim-Mns per wall-second; {workers} workers)"),
+        &[
+            "nodes",
+            "sim ns",
+            "stepped",
+            "event",
+            "parallel",
+            "event/stepped",
+            "par/stepped",
+        ],
+        &rows,
+    );
+    println!(
+        "\n8-node speedup over cycle-stepped: event {:.2}x, parallel {:.2}x",
+        speedup_8.0, speedup_8.1
+    );
+}

@@ -26,8 +26,7 @@ pub const PAPER_APPROACHES: [Approach; 3] =
     [Approach::ApDirect, Approach::SpManaged, Approach::BlockHw];
 
 /// The optimistic extensions (approaches 4 and 5).
-pub const OPTIMISTIC_APPROACHES: [Approach; 2] =
-    [Approach::OptimisticSp, Approach::OptimisticHw];
+pub const OPTIMISTIC_APPROACHES: [Approach; 2] = [Approach::OptimisticSp, Approach::OptimisticHw];
 
 /// Sweep `(approach, size)` pairs in parallel.
 pub fn sweep(

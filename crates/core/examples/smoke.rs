@@ -3,10 +3,12 @@ use voyager::{Machine, SystemParams};
 
 fn main() {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let lib0 = m.lib(0);
     let msgs = 300u32;
-    let items: Vec<BasicMsg> = (0..msgs).map(|i| BasicMsg::new(lib0.user_dest(1), vec![(i & 0xFF) as u8; 88])).collect();
+    let items: Vec<BasicMsg> = (0..msgs)
+        .map(|i| BasicMsg::new(lib0.user_dest(1), vec![(i & 0xFF) as u8; 88]))
+        .collect();
     m.load_program(0, SendBasic::new(&lib0, items));
     m.load_program(1, RecvBasic::expecting(&m.lib(1), msgs as usize));
     match m.run_to_quiescence_capped(100_000_000) {
@@ -15,12 +17,35 @@ fn main() {
             println!("HUNG at {t}");
             for i in 0..2 {
                 let n = &m.nodes[i];
-                println!("node{i}: prog_done={} bus_busy={} niu_work={} fw_work={}",
-                    n.program_done(), n.bus.busy(), n.niu.has_work(), n.fw.has_work(&n.niu));
-                println!("  tx1: prod={} cons={} enabled={}", n.niu.ctrl.tx[1].producer, n.niu.ctrl.tx[1].consumer, n.niu.ctrl.tx[1].enabled);
-                println!("  rx1: prod={} cons={} recvd={} dropped={} diverted={}", n.niu.ctrl.rx[1].producer, n.niu.ctrl.rx[1].consumer, n.niu.ctrl.rx[1].received.get(), n.niu.ctrl.rx[1].dropped.get(), n.niu.ctrl.rx[1].diverted.get());
-                println!("  rx15: pending={} fw_miss_msgs={}", n.niu.ctrl.rx[15].pending(), n.fw.stats.miss_msgs.get());
-                println!("  events={} received_events={}", n.events.len(), m.received_messages(i as u16).len());
+                println!(
+                    "node{i}: prog_done={} bus_busy={} niu_work={} fw_work={}",
+                    n.program_done(),
+                    n.bus.busy(),
+                    n.niu.has_work(),
+                    n.fw.has_work(&n.niu)
+                );
+                println!(
+                    "  tx1: prod={} cons={} enabled={}",
+                    n.niu.ctrl.tx[1].producer, n.niu.ctrl.tx[1].consumer, n.niu.ctrl.tx[1].enabled
+                );
+                println!(
+                    "  rx1: prod={} cons={} recvd={} dropped={} diverted={}",
+                    n.niu.ctrl.rx[1].producer,
+                    n.niu.ctrl.rx[1].consumer,
+                    n.niu.ctrl.rx[1].received.get(),
+                    n.niu.ctrl.rx[1].dropped.get(),
+                    n.niu.ctrl.rx[1].diverted.get()
+                );
+                println!(
+                    "  rx15: pending={} fw_miss_msgs={}",
+                    n.niu.ctrl.rx[15].pending(),
+                    n.fw.stats.miss_msgs.get()
+                );
+                println!(
+                    "  events={} received_events={}",
+                    n.events.len(),
+                    m.received_messages(i as u16).len()
+                );
             }
         }
     }

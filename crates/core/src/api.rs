@@ -19,6 +19,73 @@ use sv_niu::niu::decode_rx_slot;
 /// way a real polling loop's loop overhead does).
 const POLL_GAP_NS: u64 = 30;
 
+/// What a layer-0 library call can reject. The panicking constructors
+/// ([`BasicMsg::new`], [`SendBasic::to_node`], …) delegate to `try_`
+/// variants returning this, so applications that build messages from
+/// untrusted sizes can handle the failure instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// Basic payloads are at most 88 bytes on the wire.
+    PayloadTooLarge {
+        /// Offending payload length.
+        len: usize,
+        /// The format's limit.
+        max: usize,
+    },
+    /// TagOn attachments are exactly 1.5 or 2.5 cache lines.
+    BadTagOnSize {
+        /// Offending attachment length.
+        len: usize,
+    },
+    /// Payload plus TagOn attachment exceed one Basic message.
+    MessageTooLarge {
+        /// Payload length.
+        payload: usize,
+        /// Attachment length.
+        tagon: usize,
+        /// Combined limit.
+        max: usize,
+    },
+    /// The destination node does not exist in this machine.
+    DestinationOutOfRange {
+        /// Requested node.
+        dest: u16,
+        /// Number of nodes in the machine.
+        nodes: u16,
+    },
+}
+
+impl core::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            ApiError::PayloadTooLarge { len, max } => {
+                write!(f, "Basic payload is at most {max} bytes (got {len})")
+            }
+            ApiError::BadTagOnSize { len } => write!(
+                f,
+                "TagOn attachments are 1.5 or 2.5 cache lines (48 or 80 bytes), got {len}"
+            ),
+            ApiError::MessageTooLarge {
+                payload,
+                tagon,
+                max,
+            } => write!(
+                f,
+                "payload ({payload}B) + TagOn ({tagon}B) exceed the {max}B Basic message"
+            ),
+            ApiError::DestinationOutOfRange { dest, nodes } => {
+                write!(
+                    f,
+                    "destination node {dest} out of range (machine has {nodes})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
 /// One message for [`SendBasic`].
 #[derive(Debug, Clone)]
 pub struct BasicMsg {
@@ -31,26 +98,52 @@ pub struct BasicMsg {
     pub tagon: Option<Vec<u8>>,
 }
 
+/// Hard wire-format limit of one Basic message (header excluded).
+const BASIC_MAX: usize = 88;
+
 impl BasicMsg {
-    /// A plain message.
+    /// A plain message. Panics on an over-long payload; see
+    /// [`BasicMsg::try_new`] for the checked form.
     pub fn new(dest: u16, payload: Vec<u8>) -> Self {
-        assert!(payload.len() <= 88, "Basic payload is at most 88 bytes");
-        BasicMsg {
+        Self::try_new(dest, payload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A plain message, rejecting payloads over 88 bytes.
+    pub fn try_new(dest: u16, payload: Vec<u8>) -> Result<Self, ApiError> {
+        if payload.len() > BASIC_MAX {
+            return Err(ApiError::PayloadTooLarge {
+                len: payload.len(),
+                max: BASIC_MAX,
+            });
+        }
+        Ok(BasicMsg {
             dest,
             payload,
             tagon: None,
-        }
+        })
     }
 
-    /// Attach TagOn data (48 or 80 bytes).
-    pub fn with_tagon(mut self, tagon: Vec<u8>) -> Self {
-        assert!(
-            tagon.len() == TAGON_SMALL as usize || tagon.len() == TAGON_LARGE as usize,
-            "TagOn attachments are 1.5 or 2.5 cache lines (48 or 80 bytes)"
-        );
-        assert!(self.payload.len() + tagon.len() <= 88);
+    /// Attach TagOn data (48 or 80 bytes). Panics on a bad size; see
+    /// [`BasicMsg::try_with_tagon`] for the checked form.
+    pub fn with_tagon(self, tagon: Vec<u8>) -> Self {
+        self.try_with_tagon(tagon).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Attach TagOn data, rejecting sizes other than 48/80 bytes and
+    /// combinations that overflow the message.
+    pub fn try_with_tagon(mut self, tagon: Vec<u8>) -> Result<Self, ApiError> {
+        if tagon.len() != TAGON_SMALL as usize && tagon.len() != TAGON_LARGE as usize {
+            return Err(ApiError::BadTagOnSize { len: tagon.len() });
+        }
+        if self.payload.len() + tagon.len() > BASIC_MAX {
+            return Err(ApiError::MessageTooLarge {
+                payload: self.payload.len(),
+                tagon: tagon.len(),
+                max: BASIC_MAX,
+            });
+        }
         self.tagon = Some(tagon);
-        self
+        Ok(self)
     }
 }
 
@@ -84,14 +177,16 @@ impl SendBasic {
     /// because the hardware queue's pointers persist across program
     /// objects.
     pub fn resuming(lib: &NodeLib, items: Vec<BasicMsg>, producer: u16) -> Self {
-        // A fresh queue needs no space check; a resumed one polls the
-        // consumer shadow before its first compose (conservative: we do
-        // not know how much the NIU has drained).
-        let consumer_seen = if producer == 0 {
-            0
-        } else {
-            producer.wrapping_sub(lib.basic_tx.entries)
-        };
+        // A queue that may have wrapped polls the consumer shadow before
+        // its first compose (conservative: we do not know how much the
+        // NIU has drained). A queue that has seen fewer than `entries`
+        // messages in its lifetime can never be full — the consumer is
+        // at least 0 — so no initial poll is needed. `saturating_sub`
+        // encodes exactly that; the previous `wrapping_sub` made
+        // `producer - consumer_seen` equal `entries` for every resumed
+        // producer in `1..entries`, forcing a useless shadow poll (and
+        // its bus traffic) on every phased send.
+        let consumer_seen = producer.saturating_sub(lib.basic_tx.entries);
         SendBasic {
             lib: *lib,
             items: items.into(),
@@ -102,9 +197,23 @@ impl SendBasic {
     }
 
     /// Convenience: one plain message to node `dest`'s user queue.
+    /// Panics on a bad destination or payload; see
+    /// [`SendBasic::try_to_node`] for the checked form.
     pub fn to_node(lib: &NodeLib, dest: u16, payload: Vec<u8>) -> Self {
+        Self::try_to_node(lib, dest, payload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`SendBasic::to_node`]: rejects destinations
+    /// outside the machine and over-long payloads.
+    pub fn try_to_node(lib: &NodeLib, dest: u16, payload: Vec<u8>) -> Result<Self, ApiError> {
+        if dest >= lib.nodes {
+            return Err(ApiError::DestinationOutOfRange {
+                dest,
+                nodes: lib.nodes,
+            });
+        }
         let d = lib.user_dest(dest);
-        Self::new(lib, vec![BasicMsg::new(d, payload)])
+        Ok(Self::new(lib, vec![BasicMsg::try_new(d, payload)?]))
     }
 
     fn cur(&self) -> &BasicMsg {
@@ -120,9 +229,7 @@ impl Program for SendBasic {
                     if self.items.is_empty() {
                         return Step::Done;
                     }
-                    if self.producer.wrapping_sub(self.consumer_seen)
-                        >= self.lib.basic_tx.entries
-                    {
+                    if self.producer.wrapping_sub(self.consumer_seen) >= self.lib.basic_tx.entries {
                         self.state = SendState::PollSpace;
                         return Step::Load {
                             addr: self.lib.asram(self.lib.basic_tx.shadow_off),
@@ -137,9 +244,7 @@ impl Program for SendBasic {
                 }
                 SendState::PollSpace => {
                     self.consumer_seen = env.last_load as u16;
-                    if self.producer.wrapping_sub(self.consumer_seen)
-                        >= self.lib.basic_tx.entries
-                    {
+                    if self.producer.wrapping_sub(self.consumer_seen) >= self.lib.basic_tx.entries {
                         // Still full: poll again after a beat.
                         self.state = SendState::Next;
                         return Step::Compute(POLL_GAP_NS);
@@ -194,8 +299,7 @@ impl Program for SendBasic {
                     let msg = self.items.pop_front().expect("message");
                     self.producer = self.producer.wrapping_add(1);
                     let q = self.lib.basic_tx.q;
-                    let bytes =
-                        (msg.payload.len() + msg.tagon.map_or(0, |t| t.len())) as u32;
+                    let bytes = (msg.payload.len() + msg.tagon.map_or(0, |t| t.len())) as u32;
                     env.emit(AppEventKind::Sent {
                         q,
                         dest: msg.dest,
@@ -373,7 +477,10 @@ impl Program for SendExpress {
             bytes: 5,
         });
         Step::Store {
-            addr: self.lib.map.express_tx_addr(self.lib.express_tx_q, dest, tag),
+            addr: self
+                .lib
+                .map
+                .express_tx_addr(self.lib.express_tx_q, dest, tag),
             data: StoreData::Bytes(word.to_le_bytes().to_vec()),
         }
     }
@@ -503,5 +610,51 @@ impl Program for WriteRegion {
             len: self.data.len() as u32,
         });
         Step::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn resuming_below_queue_depth_needs_no_initial_poll() {
+        // Regression: `wrapping_sub` made `producer - consumer_seen`
+        // equal the queue depth for every producer in 1..entries, so a
+        // phased send always began with a pointless shadow poll. A queue
+        // that has carried fewer than `entries` messages can never be
+        // full (the consumer cannot run backwards from 0).
+        let m = Machine::builder(2).build();
+        let lib = m.lib(0);
+        let entries = lib.basic_tx.entries;
+        for producer in [1, 2, entries / 2, entries - 1] {
+            let s = SendBasic::resuming(&lib, vec![], producer);
+            assert!(
+                s.producer.wrapping_sub(s.consumer_seen) < entries,
+                "producer {producer} must not force a poll"
+            );
+        }
+        // At or past one full wrap the consumer really is unknown: the
+        // conservative poll must stay.
+        for producer in [entries, entries + 1, entries * 3] {
+            let s = SendBasic::resuming(&lib, vec![], producer);
+            assert!(
+                s.producer.wrapping_sub(s.consumer_seen) >= entries,
+                "producer {producer} must poll the shadow first"
+            );
+        }
+    }
+
+    #[test]
+    fn api_error_display_is_stable() {
+        assert_eq!(
+            ApiError::PayloadTooLarge { len: 90, max: 88 }.to_string(),
+            "Basic payload is at most 88 bytes (got 90)"
+        );
+        assert_eq!(
+            ApiError::DestinationOutOfRange { dest: 9, nodes: 4 }.to_string(),
+            "destination node 9 out of range (machine has 4)"
+        );
     }
 }

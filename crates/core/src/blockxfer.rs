@@ -32,9 +32,7 @@ pub const A1_CHUNK: u32 = 80;
 /// Destination address for an approach.
 pub fn dst_addr_for(params: &SystemParams, approach: Approach) -> u64 {
     match approach {
-        Approach::OptimisticSp | Approach::OptimisticHw => {
-            params.map.scoma_base + DST_SCOMA_OFF
-        }
+        Approach::OptimisticSp | Approach::OptimisticHw => params.map.scoma_base + DST_SCOMA_OFF,
         _ => DST_ADDR_DRAM,
     }
 }
@@ -101,9 +99,7 @@ impl Program for A1Send {
                     if self.sent >= self.len {
                         return Step::Done;
                     }
-                    if self.producer.wrapping_sub(self.consumer_seen)
-                        >= self.lib.basic_tx.entries
-                    {
+                    if self.producer.wrapping_sub(self.consumer_seen) >= self.lib.basic_tx.entries {
                         self.state = A1SendState::PollSpace;
                         return Step::Load {
                             addr: self.lib.asram(self.lib.basic_tx.shadow_off),
@@ -116,9 +112,7 @@ impl Program for A1Send {
                 A1SendState::PollSpace => {
                     self.consumer_seen = env.last_load as u16;
                     self.state = A1SendState::Next;
-                    if self.producer.wrapping_sub(self.consumer_seen)
-                        >= self.lib.basic_tx.entries
-                    {
+                    if self.producer.wrapping_sub(self.consumer_seen) >= self.lib.basic_tx.entries {
                         return Step::Compute(30);
                     }
                 }
@@ -337,7 +331,7 @@ pub struct XferSpec {
 /// Run one block transfer between node 0 (sender) and node 1 (receiver)
 /// and measure it.
 pub fn run_block_transfer(params: SystemParams, spec: XferSpec) -> XferPoint {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let pattern_seed = params.seed ^ spec.len as u64;
     m.nodes[0]
         .mem
@@ -380,17 +374,17 @@ pub fn run_block_transfer(params: SystemParams, spec: XferSpec) -> XferPoint {
 
     let end = match m.run_to_quiescence_capped(10_000_000_000) {
         Ok(t) => t,
-        Err(t) => panic!(
-            "approach {:?} size {} hung at {t}",
-            spec.approach, spec.len
-        ),
+        Err(t) => panic!("approach {:?} size {} hung at {t}", spec.approach, spec.len),
     };
 
     let notify = m
         .event_time(1, |k| matches!(k, AppEventKind::NotifyReceived { .. }))
         .unwrap_or(end);
     let used = m
-        .event_time(1, |k| matches!(k, AppEventKind::RegionDone { addr, .. } if *addr == dst))
+        .event_time(
+            1,
+            |k| matches!(k, AppEventKind::RegionDone { addr, .. } if *addr == dst),
+        )
         .unwrap_or(end);
     let sender_done = m
         .event_time(0, |k| matches!(k, AppEventKind::ProgramDone))

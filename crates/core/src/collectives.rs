@@ -173,7 +173,11 @@ impl AllReduce {
             value,
             round: 0,
             rounds,
-            phase: if rounds == 0 { Phase::Done } else { Phase::Send },
+            phase: if rounds == 0 {
+                Phase::Done
+            } else {
+                Phase::Send
+            },
         }
     }
 

@@ -15,11 +15,11 @@
 //! use voyager::{Machine, SystemParams};
 //! use voyager::api::{RecvBasic, SendBasic};
 //!
-//! let mut m = Machine::new(2, SystemParams::default());
+//! let mut m = Machine::builder(2).params(SystemParams::default()).build();
 //! // Node 0 sends one Basic message to node 1's user queue.
 //! m.load_program(0, SendBasic::to_node(&m.lib(0), 1, b"hello, voyager".to_vec()));
 //! m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
-//! m.run_to_quiescence();
+//! assert!(m.run().is_quiesced());
 //! let msgs = m.received_messages(1);
 //! assert_eq!(&msgs[0].1[..], b"hello, voyager");
 //! ```
@@ -33,8 +33,10 @@
 //!   communication mechanism, as on the real machine.
 //! - [`node`]: one node — aP core + L1/L2 + bus + DRAM + NIU + sP
 //!   firmware — advanced on the 66 MHz bus clock.
-//! - [`machine`]: cluster assembly, queue/translation conventions, the
-//!   run loop, and measurement accessors.
+//! - [`machine`]: cluster assembly ([`Machine::builder`]),
+//!   queue/translation conventions, and measurement accessors.
+//! - [`runloop`]: the run loops — cycle-stepped, idle-skipping
+//!   event-driven, and lookahead-windowed parallel — all bit-identical.
 //! - [`api`]: layer-0 library programs (Basic/Express send & receive,
 //!   block-transfer requests, region readers/writers, notify waiters).
 //! - [`blockxfer`]: the five block-transfer implementations and the
@@ -53,14 +55,17 @@ pub mod metrics;
 pub mod node;
 pub mod params;
 pub mod report;
+pub mod runloop;
 pub mod sweep;
 pub mod workloads;
 
+pub use api::ApiError;
 pub use app::{AppEvent, AppEventKind, Env, Program, Step};
-pub use machine::{Machine, NodeLib};
+pub use machine::{Machine, MachineBuilder, NodeLib};
 pub use metrics::{XferMeasurement, XferPoint};
 pub use node::Node;
 pub use params::SystemParams;
+pub use runloop::{RunMode, RunOutcome};
 
 // Re-export the substrate crates so downstream users need only `voyager`.
 pub use sv_arctic as arctic;

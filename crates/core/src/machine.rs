@@ -1,8 +1,8 @@
-//! Cluster assembly and run loop.
+//! Cluster assembly and configuration.
 //!
-//! [`Machine::new`] builds `n` nodes and the Arctic network, and installs
-//! the default queue/translation conventions every example and benchmark
-//! uses:
+//! [`Machine::builder`] builds `n` nodes and the Arctic network, and
+//! installs the default queue/translation conventions every example and
+//! benchmark uses:
 //!
 //! | Logical queue | Hardware slot | Consumer | Purpose |
 //! |---|---|---|---|
@@ -15,10 +15,24 @@
 //! The translation table maps virtual destination `d` to node `d`'s user
 //! queue, `0x100 + d` to node `d`'s service queue, and `0x200 + d` to
 //! node `d`'s Express queue — the OS-installed protection boundary.
+//!
+//! ```
+//! use voyager::{Machine, SystemParams};
+//!
+//! let mut m = Machine::builder(4)
+//!     .params(SystemParams::default())
+//!     .threads(2)
+//!     .build();
+//! assert!(m.run().is_quiesced());
+//! ```
+//!
+//! The run loops themselves (cycle-stepped, event-driven, windowed
+//! parallel) live in [`crate::runloop`].
 
 use crate::app::{AppEvent, AppEventKind, Program};
 use crate::node::Node;
 use crate::params::SystemParams;
+use crate::runloop::RunMode;
 use bytes::Bytes;
 use sv_arctic::Network;
 use sv_niu::msg::NetPayload;
@@ -128,17 +142,103 @@ pub struct Machine {
     pub network: Network<NetPayload>,
     /// When set, packets bypass the Arctic model and travel through a
     /// contention-free fixed-latency pipe — the network-cost ablation
-    /// (`Machine::new_ideal`).
-    ideal: Option<sv_arctic::IdealNetwork<NetPayload>>,
-    clock: Clock,
-    cycle: u64,
+    /// ([`MachineBuilder::ideal_network`]).
+    pub(crate) ideal: Option<sv_arctic::IdealNetwork<NetPayload>>,
+    pub(crate) clock: Clock,
+    pub(crate) cycle: u64,
+    pub(crate) mode: RunMode,
     /// Current simulated time (updated every step).
     pub now: Time,
 }
 
+/// Configures and assembles a [`Machine`]. Created by
+/// [`Machine::builder`]; every knob has a sensible default, so
+/// `Machine::builder(n).build()` is a complete machine.
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    n: usize,
+    params: SystemParams,
+    ideal_latency_ns: Option<u64>,
+    traced_nodes: Vec<u16>,
+    mode: RunMode,
+}
+
+impl MachineBuilder {
+    /// Replace the full parameter set (timing, link, routing, seeds).
+    pub fn params(mut self, params: SystemParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Use an ideal (contention-free, fixed-latency) pipe instead of the
+    /// Arctic model — the ablation that isolates NIU-side costs from
+    /// network-side costs.
+    pub fn ideal_network(mut self, fixed_latency_ns: u64) -> Self {
+        self.ideal_latency_ns = Some(fixed_latency_ns);
+        self
+    }
+
+    /// Select the Arctic route-spreading policy (network topology knob).
+    pub fn topology(mut self, routing: sv_arctic::RoutingPolicy) -> Self {
+        self.params.routing = routing;
+        self
+    }
+
+    /// Enable the debugging tracer of node `i` from cycle 0. May be
+    /// called once per node of interest.
+    pub fn tracing(mut self, i: u16) -> Self {
+        self.traced_nodes.push(i);
+        self
+    }
+
+    /// Shard the nodes across `k` worker threads inside lookahead-bounded
+    /// windows. `0` and `1` both mean sequential. Results are identical
+    /// for every value — see [`crate::runloop`].
+    pub fn threads(mut self, k: usize) -> Self {
+        self.mode = RunMode::Event { threads: k };
+        self
+    }
+
+    /// Use the original tick-every-cycle loop instead of the event-driven
+    /// one. The two are bit-identical; this exists for cross-checking and
+    /// for measuring the event loop's speedup.
+    pub fn cycle_stepped(mut self) -> Self {
+        self.mode = RunMode::CycleStepped;
+        self
+    }
+
+    /// Assemble the machine.
+    pub fn build(self) -> Machine {
+        let mut m = Machine::assemble(self.n, self.params, self.mode);
+        if let Some(latency) = self.ideal_latency_ns {
+            m.ideal = Some(sv_arctic::IdealNetwork::new(
+                self.n.max(2),
+                latency,
+                self.params.link,
+            ));
+        }
+        for i in self.traced_nodes {
+            m.enable_tracing(i, true);
+        }
+        m
+    }
+}
+
 impl Machine {
-    /// Build an `n`-node machine with the default conventions installed.
-    pub fn new(n: usize, params: SystemParams) -> Self {
+    /// Start configuring an `n`-node machine with the default conventions
+    /// installed. Runs event-driven on one thread unless configured
+    /// otherwise.
+    pub fn builder(n: usize) -> MachineBuilder {
+        MachineBuilder {
+            n,
+            params: SystemParams::default(),
+            ideal_latency_ns: None,
+            traced_nodes: Vec::new(),
+            mode: RunMode::default(),
+        }
+    }
+
+    fn assemble(n: usize, params: SystemParams, mode: RunMode) -> Self {
         assert!(n >= 1, "a machine needs at least one node");
         let mut nodes: Vec<Node> = (0..n)
             .map(|i| Node::new(i as u16, n as u16, params))
@@ -154,21 +254,46 @@ impl Machine {
             ideal: None,
             clock: params.bus_clock(),
             cycle: 0,
+            mode,
             now: Time::ZERO,
         }
     }
 
+    /// Build an `n`-node machine with the default conventions installed.
+    #[deprecated(since = "0.2.0", note = "use Machine::builder(n).params(p).build()")]
+    pub fn new(n: usize, params: SystemParams) -> Self {
+        // The legacy constructors keep the legacy loop, so old call sites
+        // observe exactly the old behaviour (which the event modes are
+        // tested to reproduce anyway).
+        Self::assemble(n, params, RunMode::CycleStepped)
+    }
+
     /// Build a machine whose network is an ideal (contention-free,
-    /// fixed-latency) pipe instead of the Arctic model — used to isolate
-    /// NIU-side costs from network-side costs.
+    /// fixed-latency) pipe instead of the Arctic model.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Machine::builder(n).params(p).ideal_network(latency_ns).build()"
+    )]
     pub fn new_ideal(n: usize, params: SystemParams, fixed_latency_ns: u64) -> Self {
-        let mut m = Self::new(n, params);
+        let mut m = Self::assemble(n, params, RunMode::CycleStepped);
         m.ideal = Some(sv_arctic::IdealNetwork::new(
             n.max(2),
             fixed_latency_ns,
             params.link,
         ));
         m
+    }
+
+    /// How this machine advances time. Set via [`MachineBuilder::threads`]
+    /// / [`MachineBuilder::cycle_stepped`] or [`Machine::set_run_mode`].
+    pub fn run_mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// Switch run modes mid-flight. Safe at any point: all modes maintain
+    /// the same machine-state invariants between calls.
+    pub fn set_run_mode(&mut self, mode: RunMode) {
+        self.mode = mode;
     }
 
     fn configure_node(node: &mut Node, nodes: u16) {
@@ -329,47 +454,14 @@ impl Machine {
         self.cycle += 1;
     }
 
-    /// Run for `ns` nanoseconds of simulated time.
-    pub fn run_for(&mut self, ns: u64) {
-        let until = self.now.plus(ns);
-        while self.clock.edge(self.cycle) <= until {
-            self.step();
-        }
-    }
-
-    fn quiescent(&self) -> bool {
+    /// True when nothing in the machine has work left: no packets in
+    /// flight and every node's engines are drained.
+    pub(crate) fn quiescent(&self) -> bool {
         let net_quiet = match &self.ideal {
             Some(ideal) => ideal.next_event_time().is_none(),
             None => self.network.next_event_time().is_none(),
         };
         net_quiet && self.nodes.iter().all(|n| !n.has_work())
-    }
-
-    /// Run until nothing in the machine has work left, or `max_ns` of
-    /// simulated time elapse. Returns the quiescence time, or `Err` with
-    /// the cap time if the machine never settled (protocol hang).
-    pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
-        let cap = self.now.plus(max_ns);
-        loop {
-            for _ in 0..32 {
-                self.step();
-            }
-            if self.quiescent() {
-                return Ok(self.now);
-            }
-            if self.now > cap {
-                return Err(self.now);
-            }
-        }
-    }
-
-    /// Run to quiescence with a generous default cap (1 s of simulated
-    /// time); panics on a hang, which always indicates a protocol bug.
-    pub fn run_to_quiescence(&mut self) -> Time {
-        match self.run_to_quiescence_capped(1_000_000_000) {
-            Ok(t) => t,
-            Err(t) => panic!("machine failed to quiesce by {t}"),
-        }
     }
 
     /// Turn the debugging tracer of node `i` on or off. While enabled,
@@ -460,7 +552,7 @@ mod tests {
 
     #[test]
     fn construction_installs_conventions() {
-        let m = Machine::new(4, SystemParams::default());
+        let m = Machine::builder(4).build();
         assert_eq!(m.nodes.len(), 4);
         let lib = m.lib(2);
         assert_eq!(lib.node, 2);
@@ -476,28 +568,36 @@ mod tests {
 
     #[test]
     fn empty_machine_quiesces_immediately() {
-        let mut m = Machine::new(2, SystemParams::default());
+        let mut m = Machine::builder(2).build();
         let t = m.run_to_quiescence();
         assert!(t.ns() < 10_000);
     }
 
     #[test]
     fn run_for_advances_time() {
-        let mut m = Machine::new(2, SystemParams::default());
+        let mut m = Machine::builder(2).build();
         m.run_for(1000);
         assert!(m.now.ns() >= 1000);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_assemble() {
+        let m = Machine::new(3, SystemParams::default());
+        assert_eq!(m.nodes.len(), 3);
+        assert_eq!(m.run_mode(), crate::runloop::RunMode::CycleStepped);
+        let mut mi = Machine::new_ideal(2, SystemParams::default(), 100);
+        assert!(mi.ideal.is_some());
+        mi.run_for(500);
+        assert!(mi.now.ns() >= 500);
     }
 
     #[test]
     fn ideal_network_isolates_niu_costs() {
         use crate::api::{RecvBasic, SendBasic};
         let run = |ideal: bool| {
-            let p = SystemParams::default();
-            let mut m = if ideal {
-                Machine::new_ideal(2, p, 100)
-            } else {
-                Machine::new(2, p)
-            };
+            let b = Machine::builder(2);
+            let mut m = if ideal { b.ideal_network(100) } else { b }.build();
             m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![9u8; 88]));
             m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
             let t = m.run_to_quiescence().ns();
@@ -509,21 +609,25 @@ mod tests {
         // The ideal pipe (100 ns) is much faster than two real hops
         // (~1.3 us); the residual is NIU + aP cost on both sides.
         assert!(ideal < arctic, "ideal {ideal} !< arctic {arctic}");
-        assert!(arctic - ideal > 800, "network cost visible: {arctic} vs {ideal}");
+        assert!(
+            arctic - ideal > 800,
+            "network cost visible: {arctic} vs {ideal}"
+        );
     }
 
     #[test]
     fn tracing_captures_the_message_path() {
         use crate::api::{RecvBasic, SendBasic};
-        let mut m = Machine::new(2, SystemParams::default());
-        m.enable_tracing(0, true);
-        m.enable_tracing(1, true);
+        let mut m = Machine::builder(2).tracing(0).tracing(1).build();
         m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![1u8; 16]));
         m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
         m.run_to_quiescence();
         let t0 = m.trace(0, None);
         assert!(t0.contains("store"), "sender stores traced:\n{t0}");
-        assert!(t0.contains("tx 24B to node 1"), "packet egress traced:\n{t0}");
+        assert!(
+            t0.contains("tx 24B to node 1"),
+            "packet egress traced:\n{t0}"
+        );
         let t1_net = m.trace(1, Some(sv_sim::trace::Subsys::Net));
         assert!(t1_net.contains("rx 24B from node 0"));
         let t1_bus = m.trace(1, Some(sv_sim::trace::Subsys::Bus));

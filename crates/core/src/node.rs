@@ -175,6 +175,37 @@ impl Node {
         t
     }
 
+    /// Earliest bus cycle >= `cycle` at which [`Node::tick`] can change
+    /// state, or `None` when the node is fully idle until an external
+    /// event (a packet arrival) reaches it. Conservative in the safe
+    /// direction: a tick at a cycle where every engine's gate still
+    /// blocks is a pure no-op, so reporting too-early cycles cannot
+    /// change behaviour, only cost time.
+    pub fn next_event_cycle(&self, cycle: u64, clock: &sv_sim::Clock) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |c: u64| {
+            let c = c.max(cycle);
+            next = Some(next.map_or(c, |n: u64| n.min(c)));
+        };
+        match self.cpu {
+            CpuState::Ready => consider(cycle),
+            CpuState::Computing { until } => consider(clock.edge_at_or_after(until)),
+            // WaitMem resolves via a bus completion (covered below);
+            // Done/Unloaded never act.
+            CpuState::WaitMem | CpuState::Done | CpuState::Unloaded => {}
+        }
+        if let Some(c) = self.bus.next_event_cycle(cycle) {
+            consider(c);
+        }
+        if let Some(c) = self.niu.next_event_cycle(cycle) {
+            consider(c);
+        }
+        if let Some(c) = self.fw.next_wake(cycle, &self.niu) {
+            consider(c);
+        }
+        next
+    }
+
     /// Advance the node to bus cycle `cycle` (absolute time `now`).
     pub fn tick(&mut self, cycle: u64, now: Time) {
         self.cpu_step(now);
@@ -222,7 +253,9 @@ impl Node {
                 };
             }
             Step::Idle => {
-                self.cpu = CpuState::Computing { until: now.plus(15) };
+                self.cpu = CpuState::Computing {
+                    until: now.plus(15),
+                };
             }
             Step::Done => {
                 self.events.push(AppEvent {
@@ -636,7 +669,10 @@ mod tests {
 
     #[test]
     fn cached_load_fills_both_levels() {
-        let mut n = node_with(vec![Step::Load { addr: 0x1000, bytes: 8 }]);
+        let mut n = node_with(vec![Step::Load {
+            addr: 0x1000,
+            bytes: 8,
+        }]);
         n.mem.write_u64(0x1000, 77);
         run(&mut n, 200);
         assert!(n.program_done());
@@ -650,8 +686,14 @@ mod tests {
     #[test]
     fn second_load_hits_l1_without_bus_traffic() {
         let mut n = node_with(vec![
-            Step::Load { addr: 0x1000, bytes: 8 },
-            Step::Load { addr: 0x1008, bytes: 8 }, // same line
+            Step::Load {
+                addr: 0x1000,
+                bytes: 8,
+            },
+            Step::Load {
+                addr: 0x1008,
+                bytes: 8,
+            }, // same line
         ]);
         run(&mut n, 300);
         assert!(n.program_done());
@@ -694,19 +736,17 @@ mod tests {
         // other; the dirty victim must be written back on the bus.
         let mut n = Node::new(0, 1, SystemParams::default());
         let l2_bytes = n.params.l2.size_bytes;
-        n.load_program(Box::new(Ops(
-            vec![
-                Step::Store {
-                    addr: 0x3000,
-                    data: StoreData::U64(1),
-                },
-                Step::Load {
-                    addr: 0x3000 + l2_bytes,
-                    bytes: 8,
-                },
-            ]
-            .into(),
-        )));
+        n.load_program(Box::new(Ops(vec![
+            Step::Store {
+                addr: 0x3000,
+                data: StoreData::U64(1),
+            },
+            Step::Load {
+                addr: 0x3000 + l2_bytes,
+                bytes: 8,
+            },
+        ]
+        .into())));
         run(&mut n, 400);
         assert!(n.program_done());
         assert_eq!(n.stats.castouts.get(), 1);
@@ -759,10 +799,17 @@ mod tests {
     #[test]
     fn partial_width_loads() {
         let mut n = node_with(vec![
-            Step::Load { addr: 0x1003, bytes: 1 },
-            Step::Load { addr: 0x1000, bytes: 4 },
+            Step::Load {
+                addr: 0x1003,
+                bytes: 1,
+            },
+            Step::Load {
+                addr: 0x1000,
+                bytes: 4,
+            },
         ]);
-        n.mem.write(0x1000, &[0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22]);
+        n.mem
+            .write(0x1000, &[0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22]);
         run(&mut n, 300);
         assert!(n.program_done());
         assert_eq!(n.last_load, 0xDDCCBBAA);

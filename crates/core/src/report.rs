@@ -152,11 +152,10 @@ impl std::fmt::Display for MachineReport {
 mod tests {
     use super::*;
     use crate::api::{RecvBasic, SendBasic};
-    use crate::SystemParams;
 
     #[test]
     fn report_reflects_activity() {
-        let mut m = Machine::new(2, SystemParams::default());
+        let mut m = Machine::builder(2).build();
         m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![7u8; 64]));
         m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
         m.run_to_quiescence();
@@ -178,7 +177,7 @@ mod tests {
 
     #[test]
     fn idle_machine_report_is_all_zero() {
-        let mut m = Machine::new(2, SystemParams::default());
+        let mut m = Machine::builder(2).build();
         m.run_for(1000);
         let r = m.report();
         for n in &r.nodes {

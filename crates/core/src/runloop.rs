@@ -1,0 +1,660 @@
+//! The machine's run loops: cycle-stepped, event-driven, and parallel.
+//!
+//! The original run loop ([`RunMode::CycleStepped`]) ticks every node on
+//! every 66 MHz bus cycle. That is simple and obviously correct, but most
+//! cycles in realistic workloads are *idle*: every engine's gate is
+//! blocked (a busy-timer has not expired, a queue is empty, a window is
+//! full), so the tick mutates nothing. The event-driven loop
+//! ([`RunMode::Event`]) exploits exactly that property:
+//!
+//! **Superset execution.** Every per-cycle engine in the machine (CPU
+//! step, bus pipeline, NIU engines, sP firmware) is a pure check when its
+//! gate is blocked. Ticking a component on a cycle where it has nothing
+//! to do is a no-op, so executing a *superset* of the state-changing
+//! cycles is always safe; only *skipping* a state-changing cycle is not.
+//! Each component therefore exposes a conservative `next_event_cycle`
+//! (see [`crate::node::Node::next_event_cycle`]): the earliest future
+//! cycle at which it *might* change state. The event loop advances
+//! directly to the minimum over all nodes and the network, executes that
+//! one cycle with the exact same per-cycle sequence as the stepped loop,
+//! and recomputes. The two loops are bit-identical by construction, which
+//! the equivalence tests in `tests/` assert end to end.
+//!
+//! **Parallel windows.** With `threads > 1` the event loop additionally
+//! shards the nodes across worker threads. Nodes only interact through
+//! the network, and the network has a *lookahead* `L`
+//! ([`sv_arctic::Network::lookahead_ns`]): a packet injected at time `t`
+//! cannot affect any delivery before `t + L`. Execution therefore
+//! proceeds in conservative windows `[w0, w1)` whose span is strictly
+//! less than `L`:
+//!
+//! 1. **Harvest** — the committed network (already advanced to the window
+//!    start) is cloned and advanced to the window end; everything it
+//!    delivers is scheduled onto the owning shard at the exact cycle the
+//!    sequential loop would deliver it. Injections made *inside* the
+//!    window cannot produce deliveries inside it (that is the lookahead
+//!    invariant), so this pre-computed schedule is complete.
+//! 2. **Execute** — each worker runs its shard's event cycles and arrival
+//!    cycles for the window, recording packet injections as
+//!    `(cycle, node, seq)`.
+//! 3. **Commit** — the main thread merges all injections in the global
+//!    order the sequential loop would have produced (cycle, then node
+//!    index, then per-node FIFO) and replays them into the committed
+//!    network, interleaved with `advance` calls so link arbitration sees
+//!    events in time order. The deliveries this produces are exactly the
+//!    harvest of the *next* windows.
+//!
+//! Every step of the protocol is deterministic — the merge order is a
+//! pure function of simulation state, never of thread scheduling — so an
+//! `N`-thread run is bit-identical to the 1-thread run, which in turn is
+//! bit-identical to the cycle-stepped run.
+
+use crate::machine::Machine;
+use crate::node::Node;
+use crossbeam::channel;
+use sv_arctic::{IdealNetwork, Network, Packet};
+use sv_niu::msg::NetPayload;
+use sv_sim::{Clock, Time};
+
+/// How [`Machine`] advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Tick every node on every bus cycle — the original loop. Kept as
+    /// the reference implementation; the event modes are checked
+    /// bit-identical against it.
+    CycleStepped,
+    /// Advance directly from event to event, skipping idle cycles.
+    /// `threads > 1` additionally shards nodes across that many worker
+    /// threads, synchronized in lookahead-bounded windows. Results are
+    /// identical for every `threads` value.
+    Event {
+        /// Worker thread count; `0` and `1` both mean sequential.
+        threads: usize,
+    },
+}
+
+impl Default for RunMode {
+    fn default() -> Self {
+        RunMode::Event { threads: 1 }
+    }
+}
+
+/// What a capped run ended with. Produced by [`Machine::run`] and
+/// [`Machine::run_capped`] — the non-panicking alternative to
+/// [`Machine::run_to_quiescence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Hung outcome usually indicates a protocol bug"]
+pub enum RunOutcome {
+    /// Every component drained; the time is the quiescence time.
+    Quiesced(Time),
+    /// The cap elapsed with work still pending (protocol hang); the time
+    /// is where the run stopped.
+    Hung(Time),
+}
+
+impl RunOutcome {
+    /// The simulated time the run ended at, regardless of outcome.
+    pub fn time(self) -> Time {
+        match self {
+            RunOutcome::Quiesced(t) | RunOutcome::Hung(t) => t,
+        }
+    }
+
+    /// True if the machine drained.
+    pub fn is_quiesced(self) -> bool {
+        matches!(self, RunOutcome::Quiesced(_))
+    }
+
+    /// The quiescence time; panics on [`RunOutcome::Hung`].
+    #[track_caller]
+    pub fn expect_quiesced(self) -> Time {
+        match self {
+            RunOutcome::Quiesced(t) => t,
+            RunOutcome::Hung(t) => panic!("machine failed to quiesce by {t}"),
+        }
+    }
+}
+
+impl Machine {
+    /// Earliest cycle (`>= self.cycle`) at which any node or the network
+    /// might change state, or `None` if the machine is idle forever.
+    pub(crate) fn next_exec_cycle(&self) -> Option<u64> {
+        let c = self.cycle;
+        let mut next: Option<u64> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.next_event_cycle(c, &self.clock))
+            .min();
+        let net = match &self.ideal {
+            Some(ideal) => ideal.next_event_time(),
+            None => self.network.next_event_time(),
+        };
+        if let Some(t) = net {
+            let nc = self.clock.edge_at_or_after(t).max(c);
+            next = Some(next.map_or(nc, |n| n.min(nc)));
+        }
+        next
+    }
+
+    /// Event-driven advance to `target` (exclusive): execute exactly the
+    /// cycles in `[self.cycle, target)` on which something can happen.
+    fn advance_event_to(&mut self, target: u64) {
+        while let Some(c) = self.next_exec_cycle() {
+            if c >= target {
+                break;
+            }
+            self.cycle = c;
+            self.step();
+        }
+        self.land_on(target);
+    }
+
+    /// Jump to `target` without executing anything, maintaining the
+    /// `now == edge(cycle - 1)` invariant the stepped loop establishes.
+    fn land_on(&mut self, target: u64) {
+        debug_assert!(
+            self.next_exec_cycle().is_none_or(|c| c >= target),
+            "landing past an executable cycle"
+        );
+        if target > self.cycle {
+            self.cycle = target;
+        }
+        if self.cycle > 0 {
+            self.now = self.clock.edge(self.cycle - 1);
+        }
+    }
+
+    /// Advance to `target` in the given event mode.
+    fn advance_chunk(&mut self, target: u64, threads: usize) {
+        if threads > 1 && self.nodes.len() > 1 {
+            self.advance_windowed_to(target, threads);
+        } else {
+            self.advance_event_to(target);
+        }
+    }
+
+    /// Run for `ns` nanoseconds of simulated time.
+    pub fn run_for(&mut self, ns: u64) {
+        let until = self.now.plus(ns);
+        match self.mode {
+            RunMode::CycleStepped => {
+                while self.clock.edge(self.cycle) <= until {
+                    self.step();
+                }
+            }
+            RunMode::Event { threads } => {
+                // First cycle whose edge lies beyond `until` — exactly
+                // where the stepped loop stops.
+                let target = self.clock.edge_at_or_after(until.plus(1));
+                self.advance_chunk(target.max(self.cycle), threads);
+            }
+        }
+    }
+
+    /// Run until nothing in the machine has work left, or `max_ns` of
+    /// simulated time elapse. Returns the quiescence time, or `Err` with
+    /// the cap time if the machine never settled (protocol hang).
+    pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
+        let RunMode::Event { threads } = self.mode else {
+            // The original loop, verbatim: quiescence is only evaluated
+            // every 32 cycles, which the event modes reproduce.
+            let cap = self.now.plus(max_ns);
+            loop {
+                for _ in 0..32 {
+                    self.step();
+                }
+                if self.quiescent() {
+                    return Ok(self.now);
+                }
+                if self.now > cap {
+                    return Err(self.now);
+                }
+            }
+        };
+        let cap = self.now.plus(max_ns);
+        let c0 = self.cycle;
+        // First boundary b = c0 + 32k (k >= 1) with edge(b - 1) > cap:
+        // the stepped loop reports a hang at the first such boundary.
+        let cap_cycle = self.clock.edge_at_or_after(cap.plus(1));
+        let k_cap = (cap_cycle + 1).saturating_sub(c0).div_ceil(32).max(1);
+        let b_cap = c0 + 32 * k_cap;
+        if threads > 1 && self.nodes.len() > 1 {
+            return self.run_to_quiescence_windowed(threads, c0, b_cap);
+        }
+        let mut boundary = c0;
+        loop {
+            boundary += 32;
+            self.advance_chunk(boundary, threads);
+            if self.quiescent() {
+                return Ok(self.now);
+            }
+            if self.now > cap {
+                return Err(self.now);
+            }
+            match self.next_exec_cycle() {
+                None => {
+                    // Nothing will ever run again and the machine is not
+                    // quiescent: a guaranteed hang. Idle straight to the
+                    // boundary where the stepped loop would notice.
+                    self.land_on(b_cap);
+                    return Err(self.now);
+                }
+                Some(nx) if nx >= boundary + 32 => {
+                    // Whole chunks of idle time: state is frozen until
+                    // `nx`, so every skipped boundary check would see the
+                    // same non-quiescent machine. Jump to the last
+                    // boundary at or before `nx` (or to the cap boundary
+                    // if that comes first).
+                    let jump = (c0 + (nx - c0) / 32 * 32).min(b_cap);
+                    if jump > boundary {
+                        self.land_on(jump);
+                        boundary = jump;
+                        if self.now > cap {
+                            return Err(self.now);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The parallel variant of the capped quiescence loop.
+    ///
+    /// Spawning a worker scope every 32 cycles would drown the run in
+    /// thread overhead, so instead of checking quiescence at every
+    /// 32-cycle boundary this advances in long strides and *reconstructs*
+    /// the boundary the stepped loop would have stopped at: machine state
+    /// is frozen after the last executed cycle `c_last`, so if the
+    /// machine is quiescent at the stride end it has been quiescent at
+    /// every boundary past `c_last` — and at none before (quiescence is
+    /// absorbing: a quiescent machine can never execute again). The first
+    /// boundary `b` with `b - 1 >= c_last` is therefore exactly where the
+    /// stepped loop returns, and the cursor is rewound to it.
+    fn run_to_quiescence_windowed(
+        &mut self,
+        threads: usize,
+        c0: u64,
+        b_cap: u64,
+    ) -> Result<Time, Time> {
+        // Strides only bound how often the worker scope is re-spawned;
+        // past quiescence a stride executes nothing, so overshooting is
+        // free and the boundary reconstruction keeps results exact.
+        const STRIDE: u64 = 1 << 16;
+        let boundary_after = |c_last: Option<u64>| {
+            let k = c_last.map_or(1, |cl| (cl + 1).saturating_sub(c0).div_ceil(32).max(1));
+            c0 + 32 * k
+        };
+        let mut last_exec: Option<u64> = None;
+        loop {
+            match self.next_exec_cycle() {
+                // Nothing can ever run again: either the machine drained
+                // (report the boundary just past the last real work) or
+                // it is hung with silent work pending (report the cap).
+                None => {
+                    return if self.quiescent() {
+                        let b_q = boundary_after(last_exec);
+                        debug_assert!(b_q <= b_cap);
+                        self.cycle = b_q;
+                        self.now = self.clock.edge(b_q - 1);
+                        Ok(self.now)
+                    } else {
+                        self.land_on(b_cap);
+                        Err(self.now)
+                    };
+                }
+                // The next event lies past the cap boundary: the stepped
+                // loop reaches the cap in this exact state and gives up.
+                Some(nx) if nx >= b_cap => {
+                    self.land_on(b_cap);
+                    return Err(self.now);
+                }
+                Some(nx) => {
+                    let k = (nx + STRIDE).saturating_sub(c0).div_ceil(32).max(1);
+                    let target = (c0 + 32 * k).min(b_cap);
+                    let le = self.advance_windowed_to(target, threads);
+                    if let Some(l) = le {
+                        last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
+                    }
+                    if self.quiescent() {
+                        let b_q = boundary_after(last_exec);
+                        debug_assert!(b_q <= target);
+                        self.cycle = b_q;
+                        self.now = self.clock.edge(b_q - 1);
+                        return Ok(self.now);
+                    }
+                    if target == b_cap {
+                        return Err(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run to quiescence with a generous default cap (1 s of simulated
+    /// time); panics on a hang, which always indicates a protocol bug.
+    /// Prefer [`Machine::run`] where a hang should be handled.
+    pub fn run_to_quiescence(&mut self) -> Time {
+        self.run_capped(1_000_000_000).expect_quiesced()
+    }
+
+    /// Run to quiescence with the default 1 s cap, reporting a hang as a
+    /// value instead of panicking.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_capped(1_000_000_000)
+    }
+
+    /// Run to quiescence or until `max_ns` of simulated time elapse.
+    pub fn run_capped(&mut self, max_ns: u64) -> RunOutcome {
+        match self.run_to_quiescence_capped(max_ns) {
+            Ok(t) => RunOutcome::Quiesced(t),
+            Err(t) => RunOutcome::Hung(t),
+        }
+    }
+
+    /// Largest window span (in bus cycles) safe under lookahead `la_ns`:
+    /// `edge(c + w - 1) - edge(c) < la_ns` for every `c`, so injections
+    /// inside a window can never produce deliveries inside it.
+    fn window_cycles(&self, la_ns: u64) -> u64 {
+        // edge(k) - edge(0) <= edge(w) + 1 for any k-span of w cycles
+        // (floor jitter), so requiring edge(w) <= la_ns - 1 suffices.
+        self.clock
+            .edge_at_or_after(Time::from_ns(la_ns))
+            .saturating_sub(1)
+            .max(1)
+    }
+
+    /// Windowed parallel advance to `target` (exclusive). Returns the
+    /// last cycle on which anything executed, if any did.
+    fn advance_windowed_to(&mut self, target: u64, threads: usize) -> Option<u64> {
+        if target <= self.cycle {
+            self.land_on(target);
+            return None;
+        }
+        let la_ns = match &self.ideal {
+            Some(ideal) => ideal.lookahead_ns(),
+            None => self.network.lookahead_ns(),
+        };
+        let window = self.window_cycles(la_ns);
+        let clock = self.clock;
+        let start = self.cycle;
+        let last_exec = match &mut self.ideal {
+            Some(ideal) => run_windows(
+                &mut self.nodes,
+                ideal,
+                clock,
+                start,
+                target,
+                threads,
+                window,
+            ),
+            None => run_windows(
+                &mut self.nodes,
+                &mut self.network,
+                clock,
+                start,
+                target,
+                threads,
+                window,
+            ),
+        };
+        self.cycle = target;
+        self.now = clock.edge(target - 1);
+        last_exec
+    }
+}
+
+/// The two network models, as the windowed executor sees them.
+trait NetModel: Clone {
+    fn next_event_time(&self) -> Option<Time>;
+    fn advance(&mut self, until: Time);
+    fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)>;
+    fn inject(&mut self, now: Time, pkt: Packet<NetPayload>);
+}
+
+impl NetModel for Network<NetPayload> {
+    fn next_event_time(&self) -> Option<Time> {
+        Network::next_event_time(self)
+    }
+    fn advance(&mut self, until: Time) {
+        Network::advance(self, until)
+    }
+    fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)> {
+        Network::take_delivered(self)
+    }
+    fn inject(&mut self, now: Time, pkt: Packet<NetPayload>) {
+        Network::inject(self, now, pkt)
+    }
+}
+
+impl NetModel for IdealNetwork<NetPayload> {
+    fn next_event_time(&self) -> Option<Time> {
+        IdealNetwork::next_event_time(self)
+    }
+    fn advance(&mut self, until: Time) {
+        IdealNetwork::advance(self, until)
+    }
+    fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)> {
+        IdealNetwork::take_delivered(self)
+    }
+    fn inject(&mut self, now: Time, pkt: Packet<NetPayload>) {
+        IdealNetwork::inject(self, now, pkt)
+    }
+}
+
+/// One window of work for a shard: execute `[w0, w1)`, with `arrivals`
+/// pre-scheduled at their exact delivery cycles (ascending).
+enum ShardCmd {
+    Window {
+        w0: u64,
+        w1: u64,
+        arrivals: Vec<(u64, Packet<NetPayload>)>,
+    },
+    Exit,
+}
+
+/// A shard's report at the window barrier.
+struct ShardOut {
+    shard: usize,
+    /// Packets popped from NIUs this window: `(cycle, node id, packet)`,
+    /// in per-node FIFO order.
+    injections: Vec<(u64, u16, Packet<NetPayload>)>,
+    /// The shard's next event cycle at the window end (state is frozen
+    /// until the shard executes again, so this stays valid across
+    /// windows the shard sits out).
+    next_wake: Option<u64>,
+    /// Last cycle this shard executed in the window, if any.
+    last_exec: Option<u64>,
+}
+
+/// Drive `nodes` from cycle `start` to `target` in lookahead-bounded
+/// windows across `threads` workers. See the module docs for the
+/// protocol and its determinism argument.
+fn run_windows<N: NetModel>(
+    nodes: &mut [Node],
+    net: &mut N,
+    clock: Clock,
+    start: u64,
+    target: u64,
+    threads: usize,
+    window: u64,
+) -> Option<u64> {
+    let n = nodes.len();
+    let chunk = n.div_ceil(threads.clamp(1, n));
+    let shard_of = |dst: u16| dst as usize / chunk;
+    let mut wakes: Vec<Option<u64>> = nodes
+        .chunks(chunk)
+        .map(|s| {
+            s.iter()
+                .filter_map(|nd| nd.next_event_cycle(start, &clock))
+                .min()
+        })
+        .collect();
+    let shard_count = wakes.len();
+    let mut last_exec: Option<u64> = None;
+    std::thread::scope(|scope| {
+        let (out_tx, out_rx) = channel::unbounded::<ShardOut>();
+        let mut cmd_txs = Vec::with_capacity(shard_count);
+        for (si, shard) in nodes.chunks_mut(chunk).enumerate() {
+            let (tx, rx) = channel::unbounded::<ShardCmd>();
+            cmd_txs.push(tx);
+            let out_tx = out_tx.clone();
+            scope.spawn(move || shard_worker(si, shard, clock, rx, out_tx));
+        }
+        let mut w0 = start;
+        loop {
+            // Skip stretches where no shard and no network event can
+            // fire: whole idle windows cost nothing.
+            let mut gmin = net
+                .next_event_time()
+                .map(|t| clock.edge_at_or_after(t).max(w0));
+            for w in wakes.iter().flatten() {
+                gmin = Some(gmin.map_or(*w, |g| g.min(*w)));
+            }
+            match gmin {
+                Some(g) if g < target => w0 = g.max(w0),
+                _ => break,
+            }
+            let w1 = (w0 + window).min(target);
+            let horizon = clock.edge(w1 - 1);
+            // Harvest: everything the committed network will deliver in
+            // this window, scheduled at exact delivery cycles. Window
+            // spans are below the lookahead bound, so this window's own
+            // injections cannot add to the set.
+            let mut per_shard: Vec<Vec<(u64, Packet<NetPayload>)>> = vec![Vec::new(); shard_count];
+            let mut harvested = 0usize;
+            if net.next_event_time().is_some_and(|t| t <= horizon) {
+                let mut probe = net.clone();
+                probe.advance(horizon);
+                for (t, pkt) in probe.take_delivered() {
+                    let c = clock.edge_at_or_after(t).max(w0);
+                    debug_assert!(c < w1, "delivery past the window end");
+                    harvested += 1;
+                    per_shard[shard_of(pkt.dst)].push((c, pkt));
+                }
+            }
+            for (si, tx) in cmd_txs.iter().enumerate() {
+                tx.send(ShardCmd::Window {
+                    w0,
+                    w1,
+                    arrivals: std::mem::take(&mut per_shard[si]),
+                })
+                .expect("shard worker exited early");
+            }
+            let mut injections: Vec<(u64, u16, Packet<NetPayload>)> = Vec::new();
+            for _ in 0..shard_count {
+                let out = out_rx.recv().expect("shard worker died");
+                wakes[out.shard] = out.next_wake;
+                if let Some(l) = out.last_exec {
+                    last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
+                }
+                injections.extend(out.injections);
+            }
+            // Commit: replay injections in the order the sequential loop
+            // would have produced them (cycle, then node index, then
+            // per-node FIFO — the sort is stable), interleaving network
+            // advances so arbitration sees events in time order.
+            injections.sort_by_key(|&(c, src, _)| (c, src));
+            let mut advanced_to: Option<u64> = None;
+            for (c, _, pkt) in injections {
+                if advanced_to != Some(c) {
+                    net.advance(clock.edge(c));
+                    advanced_to = Some(c);
+                }
+                net.inject(clock.edge(c), pkt);
+            }
+            net.advance(horizon);
+            // These deliveries are exactly the set harvested above and
+            // already executed by the workers.
+            let replayed = net.take_delivered();
+            debug_assert_eq!(replayed.len(), harvested, "commit/harvest disagree");
+            drop(replayed);
+            w0 = w1;
+        }
+        for tx in &cmd_txs {
+            let _ = tx.send(ShardCmd::Exit);
+        }
+    });
+    last_exec
+}
+
+/// Worker loop: execute windows for one contiguous shard of nodes.
+fn shard_worker(
+    si: usize,
+    shard: &mut [Node],
+    clock: Clock,
+    rx: channel::Receiver<ShardCmd>,
+    out: channel::Sender<ShardOut>,
+) {
+    while let Ok(ShardCmd::Window { w0, w1, arrivals }) = rx.recv() {
+        let mut injections = Vec::new();
+        let mut last_exec = None;
+        let mut arr = arrivals.into_iter().peekable();
+        let mut c = w0;
+        loop {
+            // Next cycle on which this shard can act: its own engines'
+            // wake-ups plus pre-scheduled packet arrivals.
+            let mut nx = shard
+                .iter()
+                .filter_map(|nd| nd.next_event_cycle(c, &clock))
+                .min();
+            if let Some(&(ac, _)) = arr.peek() {
+                nx = Some(nx.map_or(ac, |v| v.min(ac)));
+            }
+            let Some(ce) = nx else { break };
+            if ce >= w1 {
+                break;
+            }
+            let now = clock.edge(ce);
+            // Same per-cycle sequence as Machine::step, restricted to
+            // this shard: deliveries, then ticks, then egress.
+            while arr.peek().is_some_and(|&(ac, _)| ac == ce) {
+                let (_, pkt) = arr.next().expect("peeked");
+                let node = shard
+                    .iter_mut()
+                    .find(|nd| nd.id == pkt.dst)
+                    .expect("arrival routed to the wrong shard");
+                if node.tracer.enabled() {
+                    node.tracer.record(
+                        now,
+                        sv_sim::trace::Subsys::Net,
+                        format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                    );
+                }
+                node.niu.push_arrival(pkt.payload);
+            }
+            for node in shard.iter_mut() {
+                node.tick(ce, now);
+            }
+            for node in shard.iter_mut() {
+                while let Some(pkt) = node.niu.pop_ready_packet(ce) {
+                    if node.tracer.enabled() {
+                        node.tracer.record(
+                            now,
+                            sv_sim::trace::Subsys::Net,
+                            format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
+                        );
+                    }
+                    injections.push((ce, node.id, pkt));
+                }
+            }
+            last_exec = Some(ce);
+            c = ce + 1;
+        }
+        let next_wake = shard
+            .iter()
+            .filter_map(|nd| nd.next_event_cycle(w1, &clock))
+            .min();
+        if out
+            .send(ShardOut {
+                shard: si,
+                injections,
+                next_wake,
+                last_exec,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}

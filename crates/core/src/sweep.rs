@@ -46,7 +46,9 @@ where
             out[i] = Some(o);
         }
     });
-    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

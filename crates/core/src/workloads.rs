@@ -52,7 +52,11 @@ impl PingPongBasic {
             iters,
             round: 0,
             initiator,
-            state: if initiator { PpState::Send } else { PpState::Poll },
+            state: if initiator {
+                PpState::Send
+            } else {
+                PpState::Poll
+            },
             producer: 0,
             consumer: 0,
             producer_seen: 0,
@@ -234,7 +238,7 @@ fn program_done_time(m: &Machine, node: u16) -> Time {
 
 /// Basic-message ping-pong: returns `(one-way ns, round-trip ns)`.
 pub fn basic_ping_pong(params: SystemParams, iters: u32) -> (u64, u64) {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     m.load_program(0, PingPongBasic::new(&m.lib(0), 1, iters, true));
     m.load_program(1, PingPongBasic::new(&m.lib(1), 0, iters, false));
     m.run_to_quiescence();
@@ -245,7 +249,7 @@ pub fn basic_ping_pong(params: SystemParams, iters: u32) -> (u64, u64) {
 
 /// Express-message ping-pong: returns `(one-way ns, round-trip ns)`.
 pub fn express_ping_pong(params: SystemParams, iters: u32) -> (u64, u64) {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     m.load_program(0, PingPongExpress::new(&m.lib(0), 1, iters, true));
     m.load_program(1, PingPongExpress::new(&m.lib(1), 0, iters, false));
     m.run_to_quiescence();
@@ -261,7 +265,7 @@ pub fn basic_stream(
     payload_len: usize,
     tagon_len: Option<usize>,
 ) -> MsgMicro {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let lib0 = m.lib(0);
     let items: Vec<BasicMsg> = (0..msgs)
         .map(|i| {
@@ -292,7 +296,7 @@ pub fn basic_stream(
 
 /// One-way Express message stream.
 pub fn express_stream(params: SystemParams, msgs: u32) -> MsgMicro {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let lib0 = m.lib(0);
     let items: Vec<(u16, u8, u32)> = (0..msgs)
         .map(|i| (lib0.express_dest(1), (i & 0xFF) as u8, i))
@@ -314,7 +318,7 @@ pub fn express_stream(params: SystemParams, msgs: u32) -> MsgMicro {
 /// All-to-all Basic traffic on an `n`-node machine; returns
 /// `(completion ns, aggregate payload MB/s)`.
 pub fn all_to_all(params: SystemParams, n: usize, per_pair: u32, payload_len: usize) -> (u64, f64) {
-    let mut m = Machine::new(n, params);
+    let mut m = Machine::builder(n).params(params).build();
     for i in 0..n as u16 {
         let lib = m.lib(i);
         let mut items = Vec::new();
@@ -332,10 +336,7 @@ pub fn all_to_all(params: SystemParams, n: usize, per_pair: u32, payload_len: us
             i,
             crate::app::Seq::new(vec![
                 Box::new(SendBasic::new(&lib, items)),
-                Box::new(RecvBasic::expecting(
-                    &lib,
-                    per_pair as usize * (n - 1),
-                )),
+                Box::new(RecvBasic::expecting(&lib, per_pair as usize * (n - 1))),
             ]),
         );
     }
@@ -427,7 +428,7 @@ pub fn probe_latency(m: &Machine, i: u16, k: usize) -> u64 {
 
 /// NUMA load latency: `remote` selects a page homed on the other node.
 pub fn numa_load_latency(params: SystemParams, remote: bool) -> u64 {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let addr = params.map.numa_base + if remote { 0x1000 } else { 0 };
     m.load_program(0, Probe::load(addr));
     m.run_to_quiescence();
@@ -436,7 +437,7 @@ pub fn numa_load_latency(params: SystemParams, remote: bool) -> u64 {
 
 /// NUMA store completion latency (posted; measures the bus handoff).
 pub fn numa_store_latency(params: SystemParams, remote: bool) -> u64 {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let addr = params.map.numa_base + if remote { 0x1000 } else { 0 };
     m.load_program(0, Probe::store(addr));
     m.run_to_quiescence();
@@ -446,7 +447,7 @@ pub fn numa_store_latency(params: SystemParams, remote: bool) -> u64 {
 /// S-COMA latencies on a 2-node machine, for an address homed at node 1:
 /// `(read miss 2-hop, read after grant with cold caches, write upgrade)`.
 pub fn scoma_latencies(params: SystemParams) -> (u64, u64, u64) {
-    let mut m = Machine::new(2, params);
+    let mut m = Machine::builder(2).params(params).build();
     let addr = params.map.scoma_base + 0x1000; // page 1 → home node 1
     m.nodes[1].mem.fill_pattern(addr, 32, 7);
     // Probe 1: read miss (2-hop protocol).
@@ -468,7 +469,7 @@ pub fn scoma_latencies(params: SystemParams) -> (u64, u64, u64) {
 /// S-COMA 3-hop read: node 0 owns the line dirty, home is node 1, node 2
 /// reads (recall path). Returns the reader's latency.
 pub fn scoma_read_3hop(params: SystemParams) -> u64 {
-    let mut m = Machine::new(4, params);
+    let mut m = Machine::builder(4).params(params).build();
     let addr = params.map.scoma_base + 0x1000; // home node 1
     m.nodes[1].mem.fill_pattern(addr, 32, 9);
     // Node 0 takes ownership by writing.

@@ -165,6 +165,38 @@ impl Firmware {
         self.svc_ptr != q.producer
     }
 
+    /// Earliest cycle >= `cycle` at which [`Firmware::tick`] can change
+    /// state, or `None` when an engagement would be a pure no-op forever
+    /// (absent external events). Used by the event-driven run loop;
+    /// waking early is always safe, skipping a state-changing cycle is
+    /// not, so every condition here is conservative.
+    pub fn next_wake(&self, cycle: u64, niu: &Niu) -> Option<u64> {
+        // Raised interrupt lines are drained on the very next engagement,
+        // busy or not.
+        if niu.interrupts_pending() {
+            return Some(cycle);
+        }
+        let deep = niu.ctrl.cmdq[Q_SVC].len() > 48 || niu.ctrl.cmdq[Q_PROTO].len() > 48;
+        let miss_q = niu.params.miss_queue_slot;
+        let miss_pending =
+            QueueId(miss_q as u8) != self.cfg.svc_q && niu.ctrl.rx[miss_q].pending() > 0;
+        let work = niu.sp_requests_pending() > 0
+            || self.svc_pending(niu)
+            || miss_pending
+            || self.xfer.has_work();
+        // While the command queues are deep the firmware re-arms its
+        // backpressure stall at every expiry — a state change the
+        // event-driven loop must execute on the same cycles.
+        if work || deep {
+            Some(self.busy_until.max(cycle))
+        } else {
+            // Note `scoma.has_pending()` keeps `has_work()` true but
+            // requires no engagement: it resolves via future service-queue
+            // messages, which wake us through `svc_pending`.
+            None
+        }
+    }
+
     /// One firmware engagement: poll sources in priority order, handle at
     /// most one item.
     pub fn tick(&mut self, cycle: u64, niu: &mut Niu) {
@@ -202,9 +234,7 @@ impl Firmware {
     fn handle_sp_request(&mut self, cycle: u64, req: SpRequest, niu: &mut Niu) {
         match req {
             SpRequest::NumaLoad { addr, .. } => self.numa_on_load_miss(cycle, addr, niu),
-            SpRequest::NumaStore { addr, data } => {
-                self.numa_on_store(cycle, addr, data, niu)
-            }
+            SpRequest::NumaStore { addr, data } => self.numa_on_store(cycle, addr, data, niu),
             SpRequest::ScomaMiss { line, write } => {
                 self.scoma_on_local_miss(cycle, line, write, niu)
             }
@@ -238,8 +268,7 @@ impl Firmware {
     /// Process one service-queue message; returns whether one was handled.
     fn step_service_queue(&mut self, cycle: u64, niu: &mut Niu) -> bool {
         let svc_q = self.cfg.svc_q;
-        let Some((src, _lq, data, sel, payload_addr)) = niu.sp().msg_at(svc_q, self.svc_ptr)
-        else {
+        let Some((src, _lq, data, sel, payload_addr)) = niu.sp().msg_at(svc_q, self.svc_ptr) else {
             return false;
         };
         self.stats.svc_msgs.bump();
@@ -251,7 +280,13 @@ impl Firmware {
         self.svc_ptr = self.svc_ptr.wrapping_add(1);
         if !needs_slot {
             let ptr = self.svc_ptr;
-            niu.sp().push_cmd(Q_SVC, LocalCmd::RxPtrUpdate { q: svc_q, consumer: ptr });
+            niu.sp().push_cmd(
+                Q_SVC,
+                LocalCmd::RxPtrUpdate {
+                    q: svc_q,
+                    consumer: ptr,
+                },
+            );
         }
         match opcode {
             op::XFER_REQ => self.xfer_on_request(cycle, &data, niu),

@@ -136,7 +136,11 @@ impl Firmware {
         // retries without re-entering firmware).
         niu.sp().set_cls(line, ClsState::Pending);
         let home = self.cfg.scoma_home(line);
-        let opcode = if write { op::SCOMA_WRITE } else { op::SCOMA_READ };
+        let opcode = if write {
+            op::SCOMA_WRITE
+        } else {
+            op::SCOMA_READ
+        };
         let svc_lq = self.cfg.svc_lq;
         niu.sp().push_cmd(
             Q_PROTO,
@@ -188,13 +192,7 @@ impl Firmware {
 
     /// Start servicing one request for `line` (entry must not be pending).
     fn scoma_dispatch(&mut self, line: u64, src: u16, write: bool, niu: &mut Niu) {
-        let state = self
-            .scoma
-            .dir
-            .entry(line)
-            .or_default()
-            .state
-            .clone();
+        let state = self.scoma.dir.entry(line).or_default().state.clone();
         match state {
             DirState::Uncached => {
                 self.scoma_grant_data(line, src, write, niu);
@@ -452,11 +450,7 @@ impl Firmware {
                 },
             );
         }
-        let pend = self
-            .scoma
-            .dir
-            .get_mut(&line)
-            .and_then(|e| e.pending.take());
+        let pend = self.scoma.dir.get_mut(&line).and_then(|e| e.pending.take());
         if let Some(p) = pend {
             self.scoma.stats.grants_data.bump();
             let state = if p.write {

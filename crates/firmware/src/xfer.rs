@@ -445,10 +445,7 @@ impl Firmware {
                         state: ClsState::Invalid,
                     },
                 );
-                self.charge(
-                    cycle,
-                    self.params.flush_line_cycles + scanned / scan_rate,
-                );
+                self.charge(cycle, self.params.flush_line_cycles + scanned / scan_rate);
                 true
             }
             None => {
@@ -596,7 +593,9 @@ impl Firmware {
                 let page_len = page.min(total - sent);
                 let last = sent + page_len >= total;
                 let notify = match approach {
-                    Approach::BlockHw => last.then(|| (s.req.notify_lq, encode_notify(s.req.xfer_id))),
+                    Approach::BlockHw => {
+                        last.then(|| (s.req.notify_lq, encode_notify(s.req.xfer_id)))
+                    }
                     Approach::OptimisticSp => Some((
                         svc_lq,
                         XferPage {

@@ -127,6 +127,33 @@ impl Bus {
         self.queue.len() + self.retry_wait.len()
     }
 
+    /// Earliest cycle >= `cycle` at which [`Bus::tick`] can change state
+    /// (or emit an event), or `None` when the bus is idle. Ticking the bus
+    /// at any cycle before the returned one is a pure no-op, so an
+    /// event-driven run loop may skip those cycles; waking *earlier* than
+    /// necessary is always safe.
+    pub fn next_event_cycle(&self, cycle: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |c: u64| {
+            let c = c.max(cycle);
+            next = Some(next.map_or(c, |n: u64| n.min(c)));
+        };
+        for &(t, _) in &self.retry_wait {
+            consider(t);
+        }
+        if let Some(&(end, _, _)) = self.inflight.front() {
+            consider(end);
+        }
+        match self.addr_phase {
+            Some((_, end)) => consider(end),
+            // A queued request is promoted into its address tenure on the
+            // very next tick.
+            None if !self.queue.is_empty() => consider(cycle),
+            None => {}
+        }
+        next
+    }
+
     /// Advance to bus cycle `cycle`. Must be called with strictly
     /// increasing cycles; any [`BusEvent::Snoop`] emitted must be resolved
     /// via [`Bus::resolve_snoop`] before the next call.
@@ -216,7 +243,11 @@ mod tests {
 
     /// Drive the bus with a fixed snoop verdict until quiescent, returning
     /// completion times by tag.
-    fn run(bus: &mut Bus, verdict: impl Fn(&BusOp) -> SnoopVerdict, max_cycles: u64) -> Vec<(u64, u64)> {
+    fn run(
+        bus: &mut Bus,
+        verdict: impl Fn(&BusOp) -> SnoopVerdict,
+        max_cycles: u64,
+    ) -> Vec<(u64, u64)> {
         let mut done = Vec::new();
         for c in 0..max_cycles {
             let evs = bus.tick(c);
@@ -326,7 +357,13 @@ mod tests {
     #[test]
     fn single_beat_writes_are_cheap() {
         let mut bus = Bus::new(BusParams::default());
-        bus.request(BusOp::single(BusOpKind::SingleWrite, 0x10, 8, MasterId::Ap, 0));
+        bus.request(BusOp::single(
+            BusOpKind::SingleWrite,
+            0x10,
+            8,
+            MasterId::Ap,
+            0,
+        ));
         let done = run(&mut bus, dram_verdict(0), 50);
         // Snoop at 3, one beat ends at 4.
         assert_eq!(done[0].0, 4);

@@ -189,24 +189,32 @@ impl SnoopyCache {
         let tick = self.tick;
         let ways = &mut self.sets[set];
         // Already resident: just update.
-        if let Some(w) = ways.iter_mut().find(|w| w.tag == tag && w.state != Mesi::Invalid) {
+        if let Some(w) = ways
+            .iter_mut()
+            .find(|w| w.tag == tag && w.state != Mesi::Invalid)
+        {
             w.state = state;
             w.lru = tick;
             return None;
         }
         // Free way?
         if let Some(w) = ways.iter_mut().find(|w| w.state == Mesi::Invalid) {
-            *w = Way { tag, state, lru: tick };
+            *w = Way {
+                tag,
+                state,
+                lru: tick,
+            };
             return None;
         }
         // Evict LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("nonzero ways");
+        let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("nonzero ways");
         let evicted_addr = victim.tag * CACHE_LINE;
         let dirty = victim.state == Mesi::Modified;
-        *victim = Way { tag, state, lru: tick };
+        *victim = Way {
+            tag,
+            state,
+            lru: tick,
+        };
         self.stats.evictions.bump();
         if dirty {
             self.stats.dirty_evictions.bump();

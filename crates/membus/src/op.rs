@@ -62,12 +62,18 @@ impl BusOpKind {
 
     /// Whether the master *receives* data (reads) rather than drives it.
     pub fn is_read(self) -> bool {
-        matches!(self, BusOpKind::Read | BusOpKind::Rwitm | BusOpKind::SingleRead)
+        matches!(
+            self,
+            BusOpKind::Read | BusOpKind::Rwitm | BusOpKind::SingleRead
+        )
     }
 
     /// Whether this is a burst (full cache line) transaction.
     pub fn is_burst(self) -> bool {
-        matches!(self, BusOpKind::Read | BusOpKind::Rwitm | BusOpKind::WriteLine)
+        matches!(
+            self,
+            BusOpKind::Read | BusOpKind::Rwitm | BusOpKind::WriteLine
+        )
     }
 }
 
@@ -103,7 +109,10 @@ impl BusOp {
 
     /// A single-beat transaction.
     pub fn single(kind: BusOpKind, addr: Addr, bytes: u32, master: MasterId, tag: u64) -> Self {
-        debug_assert!(matches!(kind, BusOpKind::SingleRead | BusOpKind::SingleWrite));
+        debug_assert!(matches!(
+            kind,
+            BusOpKind::SingleRead | BusOpKind::SingleWrite
+        ));
         debug_assert!(bytes >= 1 && bytes <= BEAT_BYTES as u32);
         BusOp {
             kind,

@@ -128,7 +128,11 @@ pub enum SpRequest {
     Violation { q: u8 },
     /// A captured reflective-memory store to propagate (firmware mode;
     /// the enhanced-aBIU mode ships it without sP involvement).
-    ReflectStore { peer: u16, peer_addr: u64, data: Bytes },
+    ReflectStore {
+        peer: u16,
+        peer_addr: u64,
+        data: Bytes,
+    },
 }
 
 /// A reflective-memory mapping (paper §5: Shrimp / Memory Channel
@@ -498,7 +502,13 @@ mod tests {
         let op = BusOp::burst(BusOpKind::Rwitm, 0x4000_0020, MasterId::Ap, 0);
         let (c, _, n) = a.classify(&op, Some(ClsState::ReadOnly));
         assert_eq!(c, ClaimKind::Retry);
-        assert_eq!(n, Some(SpRequest::ScomaMiss { line: 1, write: true }));
+        assert_eq!(
+            n,
+            Some(SpRequest::ScomaMiss {
+                line: 1,
+                write: true
+            })
+        );
     }
 
     #[test]
@@ -525,7 +535,13 @@ mod tests {
         let (c, v, n) = a.classify(&op, None);
         assert_eq!(c, ClaimKind::Retry);
         assert!(v.artry);
-        assert!(matches!(n, Some(SpRequest::NumaLoad { addr: 0x8000_0100, .. })));
+        assert!(matches!(
+            n,
+            Some(SpRequest::NumaLoad {
+                addr: 0x8000_0100,
+                ..
+            })
+        ));
         // Still pending: retry without renotify.
         let (_, _, n2) = a.classify(&op, None);
         assert!(n2.is_none());
@@ -570,7 +586,13 @@ mod tests {
                 tag: 7
             }
         );
-        let op = BusOp::single(BusOpKind::SingleRead, m.express_rx_addr(2), 8, MasterId::Ap, 0);
+        let op = BusOp::single(
+            BusOpKind::SingleRead,
+            m.express_rx_addr(2),
+            8,
+            MasterId::Ap,
+            0,
+        );
         let (c, _, _) = a.classify(&op, None);
         assert_eq!(c, ClaimKind::ExpressRx { q: 2 });
         let (c, _, _) = a.classify(&ap_store(m.asram_addr(0x100)), None);

@@ -297,7 +297,7 @@ mod tests {
         c.tx[5].priority = 3;
         assert_eq!(c.pick_tx_queue(), Some(5), "highest priority wins");
         c.tx[5].consumer = 1; // drain it
-        // 2 and 9 tie at priority 0: round robin from after last pick (6).
+                              // 2 and 9 tie at priority 0: round robin from after last pick (6).
         assert_eq!(c.pick_tx_queue(), Some(9));
         c.tx[2].producer = 2; // still pending
         c.tx[9].producer = 2;

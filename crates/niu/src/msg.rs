@@ -359,6 +359,8 @@ mod tests {
         assert!(f.contains(MsgFlags::TAGON));
         assert!(f.contains(MsgFlags::RAW));
         assert!(!f.contains(MsgFlags::PRIO_HIGH));
-        assert!(MsgFlags::empty().union(MsgFlags::RAW).contains(MsgFlags::RAW));
+        assert!(MsgFlags::empty()
+            .union(MsgFlags::RAW)
+            .contains(MsgFlags::RAW));
     }
 }

@@ -255,7 +255,10 @@ impl Niu {
             if let Region::Scoma = self.map.classify(op.addr) {
                 if matches!(
                     op.kind,
-                    BusOpKind::Rwitm | BusOpKind::Kill | BusOpKind::SingleWrite | BusOpKind::WriteLine
+                    BusOpKind::Rwitm
+                        | BusOpKind::Kill
+                        | BusOpKind::SingleWrite
+                        | BusOpKind::WriteLine
                 ) {
                     let line = self.map.scoma_line(op.addr);
                     self.clssram.set(line, ClsState::ReadWrite);
@@ -291,7 +294,12 @@ impl Niu {
             }
         }
         // Claimed reads are supplied from SRAM / the aBIU's buffers.
-        if op.kind.is_read() && !matches!(claim, crate::abiu::ClaimKind::Ignore | crate::abiu::ClaimKind::Retry) {
+        if op.kind.is_read()
+            && !matches!(
+                claim,
+                crate::abiu::ClaimKind::Ignore | crate::abiu::ClaimKind::Retry
+            )
+        {
             verdict.supply_latency = verdict.supply_latency.max(self.params.sram_service_cycles);
         }
         verdict
@@ -420,7 +428,9 @@ impl Niu {
                 if !ok {
                     return express::RX_EMPTY;
                 }
-                self.ctrl.ibus.acquire(cycle, self.params.express_compose_cycles);
+                self.ctrl
+                    .ibus
+                    .acquire(cycle, self.params.express_compose_cycles);
                 self.abiu.stats.express_rx.bump();
                 self.sram(sel).read_u64(slot)
             }
@@ -447,8 +457,78 @@ impl Niu {
     /// Whether any engine or queue still holds work (quiescence check;
     /// does not include pending sP requests, which firmware owns).
     pub fn has_work(&self) -> bool {
-        self.ctrl.has_work() || !self.rxu_in.is_empty() || !self.txu_out.is_empty()
+        self.ctrl.has_work()
+            || !self.rxu_in.is_empty()
+            || !self.txu_out.is_empty()
             || self.abiu.requests_pending() > 0
+    }
+
+    /// Whether raised interrupt lines await the firmware's drain.
+    pub fn interrupts_pending(&self) -> bool {
+        !self.interrupts.is_empty()
+    }
+
+    /// Earliest cycle >= `cycle` at which [`Niu::tick`] (or the machine's
+    /// outbound-packet pop) can change NIU state, or `None` when every
+    /// engine is drained. The bound is conservative: engines blocked on
+    /// conditions cleared by *external* events (bus completions, packet
+    /// arrivals, aP loads/stores) report their busy-timer expiry anyway,
+    /// because a tick at a cycle where the gate still blocks is a pure
+    /// no-op — only skipping a state-changing cycle is unsafe.
+    pub fn next_event_cycle(&self, cycle: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |c: u64| {
+            let c = c.max(cycle);
+            next = Some(next.map_or(c, |n: u64| n.min(c)));
+        };
+        let ctrl = &self.ctrl;
+        // RXU: a queued arrival is processed once the engine frees.
+        if !self.rxu_in.is_empty() {
+            consider(ctrl.rx_busy);
+        }
+        // TXU: launches when a composed message is pending and the output
+        // FIFO has room (the FIFO drains via the machine's pop below).
+        if self.txu_out.len() < TXU_FIFO_CAP && ctrl.tx.iter().any(|q| q.enabled && q.pending() > 0)
+        {
+            consider(ctrl.tx_busy);
+        }
+        // Local command engines (in-order waits clear via bus completions,
+        // which the owning node's bus timers already cover).
+        for i in 0..2 {
+            if !ctrl.cmdq[i].is_empty() {
+                consider(ctrl.cmd_busy[i]);
+            }
+        }
+        // Remote command engine. A Notify blocked on outstanding writes
+        // re-arms `remote_busy` at every expiry — a state change that must
+        // be executed on the same cycles as a cycle-stepped run.
+        if !ctrl.remote_q.is_empty() {
+            consider(ctrl.remote_busy);
+        }
+        // Block-read DMA issues a request every cycle its window allows;
+        // it has no busy timer, so poll it while active.
+        if let Some(br) = &ctrl.block_read {
+            if br.issued < br.total {
+                consider(cycle);
+            }
+        }
+        // Block-transmit engine.
+        if ctrl.block_tx.is_some() {
+            consider(ctrl.blocktx_busy);
+        }
+        // Outbound packets become visible to the network at their ready
+        // cycle (popped by the machine, not by `tick`).
+        if let Some(ready) = self.next_packet_ready() {
+            consider(ready);
+        }
+        // aBIU master requests are drained by the node on the same tick
+        // they appear, but cover a queued residue conservatively (requests
+        // already *outstanding* complete via the node's bus, whose own
+        // timers wake the node).
+        if self.abiu.requests_pending() > self.abiu.outstanding() {
+            consider(cycle);
+        }
+        next
     }
 
     /// The firmware-facing port.
@@ -563,7 +643,8 @@ impl Niu {
             let mut word = [0u8; 4];
             let n = data.len().saturating_sub(1).min(4);
             word[..n].copy_from_slice(&data[1..1 + n]);
-            self.sram_mut(sel).write_u64(slot, express::pack_rx(src, tag, word));
+            self.sram_mut(sel)
+                .write_u64(slot, express::pack_rx(src, tag, word));
             8u32
         } else {
             let hdr = encode_rx_slot(src, logical_q, data.len() as u8);
@@ -732,7 +813,10 @@ impl Niu {
         match cmd {
             LocalCmd::WriteSramU64 { sram, addr, data } => {
                 self.sram_mut(sram).write_u64(addr, data);
-                let end = self.ctrl.ibus.acquire(cycle, decode + self.params.ibus_cycles(8));
+                let end = self
+                    .ctrl
+                    .ibus
+                    .acquire(cycle, decode + self.params.ibus_cycles(8));
                 self.ctrl.cmd_busy[i] = end;
             }
             LocalCmd::CopySram { src, dst, len } => {
@@ -961,7 +1045,11 @@ impl Niu {
         let mut off = 0u32;
         while off < len {
             let a = dram + off as u64;
-            let chunk = if a.is_multiple_of(32) && len - off >= 32 { 32 } else { 8 };
+            let chunk = if a.is_multiple_of(32) && len - off >= 32 {
+                32
+            } else {
+                8
+            };
             let (kind, move_) = if read {
                 (
                     if chunk == 32 {
@@ -1077,7 +1165,11 @@ impl Niu {
         }
         let a = br.dram + br.issued as u64;
         let rem = br.total - br.issued;
-        let chunk = if a.is_multiple_of(32) && rem >= 32 { 32 } else { 8 };
+        let chunk = if a.is_multiple_of(32) && rem >= 32 {
+            32
+        } else {
+            8
+        };
         let kind = if chunk == 32 {
             BusOpKind::Read
         } else {
@@ -1155,8 +1247,7 @@ impl Niu {
                 data,
             },
         };
-        let cost =
-            self.params.block_tx_pkt_overhead_cycles + self.params.ibus_cycles(8 + chunk);
+        let cost = self.params.block_tx_pkt_overhead_cycles + self.params.ibus_cycles(8 + chunk);
         let end = self.ctrl.ibus.acquire(cycle, cost);
         self.send_packet(
             end,
@@ -1180,8 +1271,7 @@ impl Niu {
         };
         // Notify waits for every outstanding remote write to land: the
         // completion scoreboard that makes notify-after-data a guarantee.
-        if matches!(front, RemoteCmdKind::Notify { .. })
-            && self.ctrl.remote_writes_outstanding > 0
+        if matches!(front, RemoteCmdKind::Notify { .. }) && self.ctrl.remote_writes_outstanding > 0
         {
             self.ctrl.remote_busy = cycle + 2;
             return;
@@ -1211,8 +1301,7 @@ impl Niu {
             }
             RemoteCmdKind::WriteDramSetCls { addr, data, state } => {
                 let first = self.map.scoma_line(addr);
-                let count =
-                    (data.len() as u64).div_ceil(sv_membus::CACHE_LINE);
+                let count = (data.len() as u64).div_ceil(sv_membus::CACHE_LINE);
                 self.issue_remote_write(
                     cycle,
                     addr,
@@ -1239,7 +1328,11 @@ impl Niu {
         let mut ids = Vec::new();
         while off < len {
             let a = addr + off as u64;
-            let chunk = if a.is_multiple_of(32) && len - off >= 32 { 32 } else { 8 };
+            let chunk = if a.is_multiple_of(32) && len - off >= 32 {
+                32
+            } else {
+                8
+            };
             let kind = if chunk == 32 {
                 BusOpKind::WriteLine
             } else {
@@ -1933,7 +2026,8 @@ mod tests {
         assert!(matches!(req, Some(SpRequest::NumaLoad { .. })));
         // Firmware supplies; the retried op is claimed and the load
         // completion returns the data.
-        n.sp().numa_supply(addr, Bytes::from(7u64.to_le_bytes().to_vec()));
+        n.sp()
+            .numa_supply(addr, Bytes::from(7u64.to_le_bytes().to_vec()));
         let v2 = n.ap_snoop(&op);
         assert!(!v2.artry);
         assert_eq!(n.ap_complete_load(10, addr, 8), 7);
@@ -1948,7 +2042,10 @@ mod tests {
         assert!(v.artry, "invalid line must retry");
         assert!(matches!(
             n.sp().pop_request(),
-            Some(SpRequest::ScomaMiss { line: 2, write: false })
+            Some(SpRequest::ScomaMiss {
+                line: 2,
+                write: false
+            })
         ));
         n.sp().set_cls(2, ClsState::ReadOnly);
         let v2 = n.ap_snoop(&op);

@@ -95,8 +95,7 @@ impl NiuParams {
     /// IBus cycles to move `bytes` (including arbitration overhead).
     #[inline]
     pub fn ibus_cycles(&self, bytes: u32) -> u64 {
-        self.ibus_overhead_cycles
-            + (bytes as u64).div_ceil(self.ibus_bytes_per_cycle)
+        self.ibus_overhead_cycles + (bytes as u64).div_ceil(self.ibus_bytes_per_cycle)
     }
 }
 

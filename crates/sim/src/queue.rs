@@ -43,7 +43,7 @@ impl PartialOrd for Key {
 /// assert_eq!(q.pop(), Some((Time::from_ns(30), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Key, EventSlot<E>)>>,
     next_seq: u64,
@@ -53,7 +53,7 @@ pub struct EventQueue<E> {
 
 /// Wrapper that ignores the payload for ordering purposes so `E` does not
 /// need to implement `Ord`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EventSlot<E>(E);
 
 impl<E> PartialEq for EventSlot<E> {

@@ -117,7 +117,11 @@ impl Log2Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.summary.record(v);
     }
@@ -133,7 +137,11 @@ impl Log2Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+                return Some(if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                });
             }
         }
         Some(u64::MAX)

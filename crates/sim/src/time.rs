@@ -128,7 +128,10 @@ impl Clock {
     /// 1000/66 ns.
     pub const fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0);
-        Clock { num: 1000, den: mhz }
+        Clock {
+            num: 1000,
+            den: mhz,
+        }
     }
 
     /// A clock with an integral period in nanoseconds.

@@ -6,10 +6,13 @@
 
 use voyager::app::AppEventKind;
 use voyager::collectives::{barrier, AllReduce, Broadcast, ReduceOp};
-use voyager::{Machine, SystemParams};
+use voyager::Machine;
 
-fn run_collective(n: usize, mk: impl Fn(&voyager::NodeLib, u16) -> Box<dyn voyager::Program>) -> (u64, Vec<u64>) {
-    let mut m = Machine::new(n, SystemParams::default());
+fn run_collective(
+    n: usize,
+    mk: impl Fn(&voyager::NodeLib, u16) -> Box<dyn voyager::Program>,
+) -> (u64, Vec<u64>) {
+    let mut m = Machine::builder(n).build();
     for i in 0..n as u16 {
         let lib = m.lib(i);
         m.nodes[i as usize].load_program(mk(&lib, i));
@@ -33,23 +36,42 @@ fn main() {
     let n = 16;
 
     let (t, _) = run_collective(n, |lib, _| Box::new(barrier(lib)));
-    println!("{n}-node barrier: {:.1} us (4 dissemination rounds)", t as f64 / 1000.0);
+    println!(
+        "{n}-node barrier: {:.1} us (4 dissemination rounds)",
+        t as f64 / 1000.0
+    );
 
     let (t, results) = run_collective(n, |lib, _| Box::new(Broadcast::new(lib, 3, 0xFEED)));
     assert!(results.iter().all(|&v| v == 0xFEED));
-    println!("{n}-node broadcast from rank 3: {:.1} us, all nodes got {:#x}", t as f64 / 1000.0, results[0]);
+    println!(
+        "{n}-node broadcast from rank 3: {:.1} us, all nodes got {:#x}",
+        t as f64 / 1000.0,
+        results[0]
+    );
 
     let (t, results) = run_collective(n, |lib, i| {
         Box::new(AllReduce::new(lib, ReduceOp::Sum, i as u64 + 1))
     });
     let want: u64 = (1..=n as u64).sum();
     assert!(results.iter().all(|&v| v == want));
-    println!("{n}-node allreduce(sum of 1..={n}): {:.1} us, everyone computed {}", t as f64 / 1000.0, results[0]);
+    println!(
+        "{n}-node allreduce(sum of 1..={n}): {:.1} us, everyone computed {}",
+        t as f64 / 1000.0,
+        results[0]
+    );
 
     let (t, results) = run_collective(n, |lib, i| {
-        Box::new(AllReduce::new(lib, ReduceOp::Max, [17u64, 99, 23, 4][i as usize % 4]))
+        Box::new(AllReduce::new(
+            lib,
+            ReduceOp::Max,
+            [17u64, 99, 23, 4][i as usize % 4],
+        ))
     });
-    println!("{n}-node allreduce(max): {:.1} us -> {}", t as f64 / 1000.0, results[0]);
+    println!(
+        "{n}-node allreduce(max): {:.1} us -> {}",
+        t as f64 / 1000.0,
+        results[0]
+    );
 
     println!("\neach collective step is one uncached store (send) and one uncached load\n(receive) against the NIU's Express interface — no buffers, no copies.");
 }

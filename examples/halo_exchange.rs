@@ -9,7 +9,7 @@
 use voyager::api::{BasicMsg, RecvBasic, SendBasic};
 use voyager::app::{AppEventKind, Env, Program, Step};
 use voyager::collectives::{AllReduce, ReduceOp};
-use voyager::{Machine, NodeLib, SystemParams};
+use voyager::{Machine, NodeLib};
 
 const NODES: usize = 4;
 const CELLS_PER_NODE: usize = 64;
@@ -42,7 +42,13 @@ impl Stencil {
         let me = lib.node as usize;
         // Initial condition: a step function across the global domain.
         let slab = (0..CELLS_PER_NODE)
-            .map(|i| if (me * CELLS_PER_NODE + i) < NODES * CELLS_PER_NODE / 2 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if (me * CELLS_PER_NODE + i) < NODES * CELLS_PER_NODE / 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         Stencil {
             lib: *lib,
@@ -84,7 +90,11 @@ impl Program for Stencil {
                     if let Some(r) = self.right {
                         items.push(BasicMsg::new(
                             self.lib.user_dest(r),
-                            [b"L".as_slice(), &self.slab[CELLS_PER_NODE - 1].to_le_bytes()].concat(),
+                            [
+                                b"L".as_slice(),
+                                &self.slab[CELLS_PER_NODE - 1].to_le_bytes(),
+                            ]
+                            .concat(),
                         ));
                     }
                     let produced = (self.iter * self.expected_halos()) as u16;
@@ -118,15 +128,19 @@ impl Program for Stencil {
                     for d in received {
                         let v = f64::from_le_bytes(d[1..9].try_into().expect("8-byte halo"));
                         match d[0] {
-                            b'L' => self.halo_left = v,   // from our left neighbor
-                            b'R' => self.halo_right = v,  // from our right neighbor
+                            b'L' => self.halo_left = v,  // from our left neighbor
+                            b'R' => self.halo_right = v, // from our right neighbor
                             _ => {}
                         }
                     }
                     // Jacobi relaxation over the slab.
                     let next: Vec<f64> = (0..CELLS_PER_NODE)
                         .map(|i| {
-                            let l = if i == 0 { self.halo_left } else { self.slab[i - 1] };
+                            let l = if i == 0 {
+                                self.halo_left
+                            } else {
+                                self.slab[i - 1]
+                            };
                             let r = if i + 1 == CELLS_PER_NODE {
                                 self.halo_right
                             } else {
@@ -159,7 +173,7 @@ impl Program for Stencil {
 }
 
 fn main() {
-    let mut m = Machine::new(NODES, SystemParams::default());
+    let mut m = Machine::builder(NODES).build();
     for i in 0..NODES as u16 {
         let lib = m.lib(i);
         m.load_program(i, Stencil::new(&lib));
@@ -179,7 +193,10 @@ fn main() {
                 .expect("reduce result")
         })
         .collect();
-    assert!(sums.windows(2).all(|w| w[0] == w[1]), "nodes disagree: {sums:?}");
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "nodes disagree: {sums:?}"
+    );
 
     println!(
         "{NODES} nodes x {CELLS_PER_NODE} cells, {ITERS} Jacobi iterations with halo \

@@ -13,7 +13,7 @@ use voyager::{Machine, SystemParams};
 
 fn main() {
     let params = SystemParams::default();
-    let mut m = Machine::new(4, params);
+    let mut m = Machine::builder(4).params(params).build();
 
     // Job A (node 0): a 64 KiB hardware block transfer to node 1.
     let len = 64 * 1024u32;

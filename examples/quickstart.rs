@@ -5,12 +5,12 @@
 
 use voyager::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
 use voyager::app::{AppEventKind, Seq};
-use voyager::{Machine, SystemParams};
+use voyager::Machine;
 
 fn main() {
     // A two-node machine with the default 1998-calibrated parameters:
     // 166 MHz 604e aPs, 66 MHz bus, 160 MB/s Arctic links.
-    let mut m = Machine::new(2, SystemParams::default());
+    let mut m = Machine::builder(2).build();
     let lib0 = m.lib(0);
     let lib1 = m.lib(1);
 

@@ -16,7 +16,7 @@ fn main() {
     // Node 0 writes a value into a global S-COMA line (homed on node 1);
     // node 2 then reads it. The directory protocol recalls the dirty
     // line from node 0 through the home — no application involvement.
-    let mut m = Machine::new(4, params);
+    let mut m = Machine::builder(4).params(params).build();
     let addr = params.map.scoma_base + 0x1000;
     m.load_program(
         0,
@@ -35,7 +35,10 @@ fn main() {
         }),
     );
     m.run_to_quiescence();
-    println!("node 0 wrote 0x12345678 to S-COMA line {:#x} (home: node 1)", addr);
+    println!(
+        "node 0 wrote 0x12345678 to S-COMA line {:#x} (home: node 1)",
+        addr
+    );
 
     let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let seen2 = seen.clone();

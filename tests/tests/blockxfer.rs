@@ -91,7 +91,11 @@ fn bandwidth_ordering_matches_paper_figure_4() {
     );
     // Approach 3 approaches the hardware ceiling (64B data per 80B wire
     // packet on a 160 MB/s link = 128 MB/s).
-    assert!(a3.bandwidth_mb_s > 110.0, "A3 only {} MB/s", a3.bandwidth_mb_s);
+    assert!(
+        a3.bandwidth_mb_s > 110.0,
+        "A3 only {} MB/s",
+        a3.bandwidth_mb_s
+    );
     assert!(a3.bandwidth_mb_s <= 129.0);
 }
 
@@ -198,7 +202,7 @@ fn report_shows_a2_vs_a3_resource_split() {
     use voyager::firmware::proto::XferReq;
     let run = |approach| {
         let params = SystemParams::default();
-        let mut m = voyager::Machine::new(2, params);
+        let mut m = voyager::Machine::builder(2).params(params).build();
         let len = 64 * 1024u32;
         m.nodes[0].mem.fill_pattern(0x10_0000, len as usize, 1);
         let lib0 = m.lib(0);
@@ -252,7 +256,7 @@ fn concurrent_transfers_both_directions() {
     use voyager::api::{request_transfer, RecvBasic};
     use voyager::firmware::proto::XferReq;
     let params = SystemParams::default();
-    let mut m = voyager::Machine::new(2, params);
+    let mut m = voyager::Machine::builder(2).params(params).build();
     let len = 16 * 1024u32;
     m.nodes[0].mem.fill_pattern(0x10_0000, len as usize, 1);
     m.nodes[1].mem.fill_pattern(0x18_0000, len as usize, 2);
@@ -293,7 +297,7 @@ fn dma_between_non_adjacent_nodes_on_big_machine() {
     use voyager::api::{request_transfer, RecvBasic};
     use voyager::firmware::proto::XferReq;
     let params = SystemParams::default();
-    let mut m = voyager::Machine::new(16, params);
+    let mut m = voyager::Machine::builder(16).params(params).build();
     let len = 8192u32;
     m.nodes[3].mem.fill_pattern(0x10_0000, len as usize, 5);
     let lib3 = m.lib(3);

@@ -3,7 +3,7 @@
 
 use voyager::app::AppEventKind;
 use voyager::collectives::{barrier, AllReduce, Broadcast, ReduceOp};
-use voyager::{Machine, SystemParams};
+use voyager::Machine;
 
 fn result_of(m: &Machine, node: u16, label: &str) -> u64 {
     m.events(node)
@@ -18,7 +18,7 @@ fn result_of(m: &Machine, node: u16, label: &str) -> u64 {
 #[test]
 fn allreduce_sum_over_sizes() {
     for n in [2usize, 4, 8, 16] {
-        let mut m = Machine::new(n, SystemParams::default());
+        let mut m = Machine::builder(n).build();
         for i in 0..n as u16 {
             let lib = m.lib(i);
             m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, (i as u64 + 1) * 10));
@@ -35,7 +35,7 @@ fn allreduce_sum_over_sizes() {
 fn allreduce_min_max() {
     let values = [42u64, 7, 99, 13];
     for (op, want) in [(ReduceOp::Min, 7u64), (ReduceOp::Max, 99)] {
-        let mut m = Machine::new(4, SystemParams::default());
+        let mut m = Machine::builder(4).build();
         for i in 0..4u16 {
             let lib = m.lib(i);
             m.load_program(i, AllReduce::new(&lib, op, values[i as usize]));
@@ -49,7 +49,7 @@ fn allreduce_min_max() {
 
 #[test]
 fn allreduce_large_values_use_both_halves() {
-    let mut m = Machine::new(2, SystemParams::default());
+    let mut m = Machine::builder(2).build();
     let a = 0xDEAD_BEEF_0000_0001u64;
     let b = 0x0000_0001_CAFE_F00Du64;
     for (i, v) in [(0u16, a), (1, b)] {
@@ -63,7 +63,7 @@ fn allreduce_large_values_use_both_halves() {
 
 #[test]
 fn barrier_completes_on_sixteen_nodes() {
-    let mut m = Machine::new(16, SystemParams::default());
+    let mut m = Machine::builder(16).build();
     for i in 0..16u16 {
         let lib = m.lib(i);
         m.load_program(i, barrier(&lib));
@@ -78,7 +78,7 @@ fn barrier_completes_on_sixteen_nodes() {
 fn broadcast_from_every_root() {
     for n in [2usize, 4, 7, 16] {
         for root in [0u16, (n as u16) - 1, (n as u16) / 2] {
-            let mut m = Machine::new(n, SystemParams::default());
+            let mut m = Machine::builder(n).build();
             let secret = 0xABCD_0000 + root as u64;
             for i in 0..n as u16 {
                 let lib = m.lib(i);
@@ -99,7 +99,7 @@ fn broadcast_from_every_root() {
 #[test]
 fn barrier_latency_scales_logarithmically() {
     let time_for = |n: usize| {
-        let mut m = Machine::new(n, SystemParams::default());
+        let mut m = Machine::builder(n).build();
         for i in 0..n as u16 {
             let lib = m.lib(i);
             m.load_program(i, barrier(&lib));

@@ -17,13 +17,11 @@ fn event_fingerprint(m: &Machine, node: u16) -> Vec<(u64, String)> {
 #[test]
 fn identical_runs_produce_identical_event_logs() {
     let run = || {
-        let mut m = Machine::new(4, SystemParams::default());
+        let mut m = Machine::builder(4).build();
         for i in 0..4u16 {
             let lib = m.lib(i);
             let items: Vec<BasicMsg> = (0..8u16)
-                .flat_map(|r| {
-                    (0..4u16).filter(|&d| d != i).map(move |d| (r, d))
-                })
+                .flat_map(|r| (0..4u16).filter(|&d| d != i).map(move |d| (r, d)))
                 .map(|(r, d)| BasicMsg::new(lib.user_dest(d), vec![r as u8; 24]))
                 .collect();
             m.load_program(
@@ -46,7 +44,11 @@ fn identical_runs_produce_identical_event_logs() {
 
 #[test]
 fn block_transfers_are_deterministic() {
-    for approach in [Approach::SpManaged, Approach::BlockHw, Approach::OptimisticHw] {
+    for approach in [
+        Approach::SpManaged,
+        Approach::BlockHw,
+        Approach::OptimisticHw,
+    ] {
         let p1 = run_block_transfer(
             SystemParams::default(),
             XferSpec {

@@ -30,7 +30,7 @@ impl Program for Ops {
 
 fn reflective_roundtrip(hw: bool) -> Machine {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     // Node 0's window [0, 4K) of the reflective region maps to node 1's
     // DRAM at 0x30_0000.
     m.map_reflective(0, 0, 1, 0x30_0000, 4096, hw);
@@ -83,7 +83,7 @@ fn reflective_stores_propagate_hardware_mode() {
 fn hardware_reflective_is_faster_than_firmware() {
     let run = |hw: bool| {
         let p = SystemParams::default();
-        let mut m = Machine::new(2, p);
+        let mut m = Machine::builder(2).params(p).build();
         m.map_reflective(0, 0, 1, 0x30_0000, 64 * 1024, hw);
         let base = p.map.reflect_base;
         let steps: Vec<Step> = (0..512)
@@ -106,7 +106,7 @@ fn hardware_reflective_is_faster_than_firmware() {
 #[test]
 fn unmapped_reflective_offsets_stay_local() {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.map_reflective(0, 0, 1, 0x30_0000, 4096, true);
     let outside = p.map.reflect_base + 8192; // beyond the window
     m.load_program(
@@ -117,7 +117,11 @@ fn unmapped_reflective_offsets_stay_local() {
         }]),
     );
     m.run_to_quiescence();
-    assert_eq!(m.nodes[0].mem.read_u64(outside), 0x9999, "local write lands");
+    assert_eq!(
+        m.nodes[0].mem.read_u64(outside),
+        0x9999,
+        "local write lands"
+    );
     assert_eq!(m.network.stats.injected.get(), 0, "nothing propagated");
 }
 
@@ -127,7 +131,7 @@ fn reflective_reader_sees_updates_coherently() {
     // the landing remote write snoop-invalidates node 1's cached copy so
     // a re-read observes the new value.
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.map_reflective(0, 0, 1, 0x30_0000, 4096, true);
     m.nodes[1].mem.write_u64(0x30_0000, 7);
     // Node 1 reads (caches) the old value.
@@ -188,7 +192,7 @@ fn reflective_reader_sees_updates_coherently() {
 #[test]
 fn tracked_flush_ships_only_dirty_lines() {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.enable_write_tracking(0);
     let base = p.map.scoma_base;
     let region = 4096u32; // 128 lines
@@ -235,10 +239,16 @@ fn tracked_flush_ships_only_dirty_lines() {
     assert_eq!(m.nodes[1].mem.read_vec(0x40_0000, 32), vec![0u8; 32]);
     // The notification arrived.
     assert!(m
-        .event_time(0, |k| matches!(k, AppEventKind::NotifyReceived { xfer_id: 9 }))
+        .event_time(0, |k| matches!(
+            k,
+            AppEventKind::NotifyReceived { xfer_id: 9 }
+        ))
         .is_some());
     // Tracking state was cleared: a second flush ships nothing.
-    let flush2 = XferFlush { xfer_id: 10, ..flush };
+    let flush2 = XferFlush {
+        xfer_id: 10,
+        ..flush
+    };
     m.load_program(
         0,
         voyager::app::Seq::new(vec![
@@ -253,7 +263,7 @@ fn tracked_flush_ships_only_dirty_lines() {
 #[test]
 fn tracking_disables_scoma_gating() {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.enable_write_tracking(0);
     let addr = p.map.scoma_base + 0x1000; // would be homed at node 1
     m.load_program(
@@ -276,7 +286,7 @@ fn tracking_disables_scoma_gating() {
 #[test]
 fn dense_flush_ships_everything() {
     let p = SystemParams::default();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     m.enable_write_tracking(0);
     let base = p.map.scoma_base;
     let lines = 32u64;

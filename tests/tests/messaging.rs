@@ -7,13 +7,16 @@ use voyager::app::AppEventKind;
 use voyager::{Machine, SystemParams};
 
 fn machine(n: usize) -> Machine {
-    Machine::new(n, SystemParams::default())
+    Machine::builder(n).build()
 }
 
 #[test]
 fn basic_message_roundtrip() {
     let mut m = machine(2);
-    m.load_program(0, SendBasic::to_node(&m.lib(0), 1, b"the quick brown fox".to_vec()));
+    m.load_program(
+        0,
+        SendBasic::to_node(&m.lib(0), 1, b"the quick brown fox".to_vec()),
+    );
     m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
     m.run_to_quiescence();
     let msgs = m.received_messages(1);
@@ -99,7 +102,9 @@ fn bidirectional_traffic() {
     for node in [0u16, 1] {
         let msgs = m.received_messages(node);
         assert_eq!(msgs.len(), 20);
-        assert!(msgs.iter().all(|(src, d)| *src == 1 - node && d[0] == (1 - node) as u8));
+        assert!(msgs
+            .iter()
+            .all(|(src, d)| *src == 1 - node && d[0] == (1 - node) as u8));
     }
 }
 
@@ -260,8 +265,19 @@ fn message_streams_respect_link_bandwidth() {
     // 88B payload in a 96B packet on a 160 MB/s link caps goodput at
     // ~146 MB/s; the NIU path must stay under it but achieve a good
     // fraction.
-    assert!(r.bandwidth_mb_s < 147.0, "{} MB/s exceeds wire", r.bandwidth_mb_s);
-    assert!(r.bandwidth_mb_s > 20.0, "{} MB/s implausibly slow", r.bandwidth_mb_s);
+    assert!(
+        r.bandwidth_mb_s < 147.0,
+        "{} MB/s exceeds wire",
+        r.bandwidth_mb_s
+    );
+    assert!(
+        r.bandwidth_mb_s > 20.0,
+        "{} MB/s implausibly slow",
+        r.bandwidth_mb_s
+    );
     let e = voyager::workloads::express_stream(p, 300);
-    assert!(e.msg_rate_per_s > r.msg_rate_per_s, "express rate should exceed basic");
+    assert!(
+        e.msg_rate_per_s > r.msg_rate_per_s,
+        "express rate should exceed basic"
+    );
 }

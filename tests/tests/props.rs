@@ -175,7 +175,7 @@ proptest! {
         use voyager::collectives::{AllReduce, ReduceOp};
         use voyager::app::AppEventKind;
         let n = 1usize << log_n;
-        let mut m = voyager::Machine::new(n, voyager::SystemParams::default());
+        let mut m = voyager::Machine::builder(n).build();
         for i in 0..n as u16 {
             let lib = m.lib(i);
             m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, values[i as usize]));
@@ -206,7 +206,7 @@ proptest! {
     ) {
         use voyager::app::{Env, FnProgram, Step, StoreData};
         let p = voyager::SystemParams::default();
-        let mut m = voyager::Machine::new(2, p);
+        let mut m = voyager::Machine::builder(2).params(p).build();
         m.map_reflective(0, 0, 1, 0x30_0000, 4096, hw);
         let base = p.map.reflect_base;
         let mut queue: std::collections::VecDeque<Step> = offs
@@ -231,7 +231,7 @@ proptest! {
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(
         proptest::collection::vec(any::<u8>(), 0..=88), 1..6)) {
         use voyager::api::{BasicMsg, RecvBasic, SendBasic};
-        let mut m = voyager::Machine::new(2, voyager::SystemParams::default());
+        let mut m = voyager::Machine::builder(2).build();
         let lib0 = m.lib(0);
         let items: Vec<BasicMsg> = payloads
             .iter()

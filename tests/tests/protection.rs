@@ -6,7 +6,7 @@ use voyager::api::{BasicMsg, RecvBasic, SendBasic};
 use voyager::{Machine, SystemParams};
 
 fn machine(n: usize) -> Machine {
-    Machine::new(n, SystemParams::default())
+    Machine::builder(n).build()
 }
 
 #[test]
@@ -14,7 +14,10 @@ fn invalid_destination_shuts_down_queue_without_sending() {
     let mut m = machine(2);
     let lib0 = m.lib(0);
     // 0x3FF is not installed in the translation table.
-    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x3FF, b"evil".to_vec())]));
+    m.load_program(
+        0,
+        SendBasic::new(&lib0, vec![BasicMsg::new(0x3FF, b"evil".to_vec())]),
+    );
     m.load_program(1, RecvBasic::expecting(&m.lib(1), 0));
     // The sender's program completes (its stores all succeed — the fault
     // fires at launch time inside CTRL); run until the violation lands.
@@ -23,7 +26,11 @@ fn invalid_destination_shuts_down_queue_without_sending() {
     assert!(!n0.niu.ctrl.tx[1].enabled, "queue shut down");
     assert_eq!(n0.niu.ctrl.tx[1].violations.get(), 1);
     assert_eq!(n0.niu.ctrl.stats.violations.get(), 1);
-    assert_eq!(n0.fw.stats.violations_seen.get(), 1, "firmware was interrupted");
+    assert_eq!(
+        n0.fw.stats.violations_seen.get(),
+        1,
+        "firmware was interrupted"
+    );
     assert_eq!(m.network.stats.injected.get(), 0, "nothing escaped");
     assert_eq!(m.received_messages(1).len(), 0);
 }
@@ -39,12 +46,19 @@ fn and_or_masks_confine_destinations() {
     let lib0 = m.lib(0);
     // User names 0x101 (node 1's *service* queue!) but the mask turns it
     // into 0x001 — node 1's user queue. Protection holds.
-    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x101, b"x".to_vec())]));
+    m.load_program(
+        0,
+        SendBasic::new(&lib0, vec![BasicMsg::new(0x101, b"x".to_vec())]),
+    );
     m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
     m.run_to_quiescence();
     let msgs = m.received_messages(1);
     assert_eq!(msgs.len(), 1, "delivered to the masked (user) destination");
-    assert_eq!(m.nodes[1].fw.stats.svc_msgs.get(), 0, "service queue untouched");
+    assert_eq!(
+        m.nodes[1].fw.stats.svc_msgs.get(),
+        0,
+        "service queue untouched"
+    );
 }
 
 #[test]
@@ -102,7 +116,10 @@ fn unbound_logical_queue_goes_to_miss_queue_and_software() {
         },
     );
     let lib0 = m.lib(0);
-    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"stray".to_vec())]));
+    m.load_program(
+        0,
+        SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"stray".to_vec())]),
+    );
     m.run_to_quiescence();
     let n1 = &mut m.nodes[1];
     assert_eq!(n1.niu.ctrl.rx_cache.misses.get(), 1);
@@ -130,7 +147,10 @@ fn binding_a_logical_queue_moves_it_to_hardware() {
         },
     );
     let lib0 = m.lib(0);
-    m.load_program(0, SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"hw".to_vec())]));
+    m.load_program(
+        0,
+        SendBasic::new(&lib0, vec![BasicMsg::new(0x50, b"hw".to_vec())]),
+    );
     m.run_to_quiescence();
     let n1 = &mut m.nodes[1];
     assert_eq!(n1.niu.ctrl.rx[5].pending(), 1, "went to the bound slot");

@@ -83,7 +83,7 @@ fn retry_policy_with_no_consumer_deadlocks_as_the_paper_warns() {
     // network)". Construct exactly that: a Retry-policy queue whose
     // consumer never runs, fed by more messages than it can hold. The
     // machine must NOT quiesce — the held packet backpressures forever.
-    let mut m = Machine::new(2, SystemParams::default());
+    let mut m = Machine::builder(2).build();
     m.nodes[1].niu.ctrl.rx[1].buf.entries = 4;
     m.nodes[1].niu.ctrl.rx[1].full_policy = RxFullPolicy::Retry;
     let lib0 = m.lib(0);
@@ -93,14 +93,17 @@ fn retry_policy_with_no_consumer_deadlocks_as_the_paper_warns() {
     m.load_program(0, SendBasic::new(&lib0, items));
     // Nobody consumes at node 1.
     let r = m.run_to_quiescence_capped(2_000_000);
-    assert!(r.is_err(), "the machine quiesced — the hazard did not manifest");
+    assert!(
+        r.is_err(),
+        "the machine quiesced — the hazard did not manifest"
+    );
     // The receive engine is wedged holding a packet for a full queue.
     assert_eq!(m.nodes[1].niu.ctrl.rx[1].pending(), 4);
     assert!(m.nodes[1].niu.has_work());
 
     // Drop policy on the same scenario sheds load and completes — the
     // configurable escape hatch the paper describes.
-    let mut m = Machine::new(2, SystemParams::default());
+    let mut m = Machine::builder(2).build();
     m.nodes[1].niu.ctrl.rx[1].buf.entries = 4;
     m.nodes[1].niu.ctrl.rx[1].full_policy = RxFullPolicy::Drop;
     let lib0 = m.lib(0);

@@ -1,0 +1,253 @@
+//! Run-loop equivalence: the idle-skipping event-driven loop — sequential
+//! and sharded across worker threads — must be bit-identical to the
+//! original cycle-stepped loop. Everything measured in this repository
+//! rests on that equivalence.
+
+use voyager::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
+use voyager::{Machine, MachineBuilder, RunMode, RunOutcome, SystemParams};
+
+/// The workload from the determinism suite: 4 nodes, all-to-all Basic
+/// messages, 8 rounds.
+fn load_all_to_all(m: &mut Machine) {
+    for i in 0..4u16 {
+        let lib = m.lib(i);
+        let items: Vec<BasicMsg> = (0..8u16)
+            .flat_map(|r| (0..4u16).filter(|&d| d != i).map(move |d| (r, d)))
+            .map(|(r, d)| BasicMsg::new(lib.user_dest(d), vec![r as u8; 24]))
+            .collect();
+        m.load_program(
+            i,
+            voyager::app::Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, 24)),
+            ]),
+        );
+    }
+}
+
+/// Full observable fingerprint of a finished machine: quiescence time,
+/// per-node event logs, received messages, and node 0's rendered trace
+/// (which timestamps every load, store, bus completion and packet).
+type Fingerprint = (
+    u64,
+    Vec<Vec<(u64, String)>>,
+    Vec<Vec<(u16, Vec<u8>)>>,
+    String,
+);
+
+fn fingerprint(m: &Machine, t: u64) -> Fingerprint {
+    let n = m.nodes.len() as u16;
+    let logs = (0..n)
+        .map(|i| {
+            m.events(i)
+                .iter()
+                .map(|e| (e.at.ns(), format!("{:?}", e.kind)))
+                .collect()
+        })
+        .collect();
+    let msgs = (0..n)
+        .map(|i| {
+            m.received_messages(i)
+                .into_iter()
+                .map(|(s, d)| (s, d.to_vec()))
+                .collect()
+        })
+        .collect();
+    (t, logs, msgs, m.trace(0, None))
+}
+
+fn run_mode(builder: MachineBuilder, load: impl Fn(&mut Machine)) -> Fingerprint {
+    let mut m = builder.tracing(0).build();
+    load(&mut m);
+    let t = m.run_to_quiescence().ns();
+    fingerprint(&m, t)
+}
+
+#[test]
+fn event_loop_matches_cycle_stepped() {
+    let stepped = run_mode(Machine::builder(4).cycle_stepped(), load_all_to_all);
+    let event = run_mode(Machine::builder(4), load_all_to_all);
+    assert_eq!(stepped.0, event.0, "quiescence time");
+    assert_eq!(stepped, event, "full fingerprint");
+}
+
+#[test]
+fn parallel_shards_match_sequential() {
+    let seq = run_mode(Machine::builder(4).threads(1), load_all_to_all);
+    for threads in [2, 3, 4, 7] {
+        let par = run_mode(Machine::builder(4).threads(threads), load_all_to_all);
+        assert_eq!(seq, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn modes_agree_on_the_ideal_network() {
+    let load = |m: &mut Machine| {
+        let l0 = m.lib(0);
+        let l1 = m.lib(1);
+        m.load_program(0, SendBasic::to_node(&l0, 1, vec![7u8; 40]));
+        m.load_program(1, RecvBasic::expecting(&l1, 1));
+    };
+    let stepped = run_mode(Machine::builder(2).ideal_network(100).cycle_stepped(), load);
+    let event = run_mode(Machine::builder(2).ideal_network(100), load);
+    let par = run_mode(Machine::builder(2).ideal_network(100).threads(2), load);
+    assert_eq!(stepped, event);
+    assert_eq!(event, par);
+}
+
+#[test]
+fn modes_agree_on_express_traffic() {
+    let load = |m: &mut Machine| {
+        let l0 = m.lib(0);
+        let l1 = m.lib(1);
+        let items = (0..12u32)
+            .map(|i| (l0.express_dest(1), i as u8, i * 3))
+            .collect();
+        m.load_program(0, SendExpress::new(&l0, items));
+        m.load_program(1, RecvExpress::expecting(&l1, 12));
+    };
+    let stepped = run_mode(Machine::builder(2).cycle_stepped(), load);
+    let event = run_mode(Machine::builder(2), load);
+    let par = run_mode(Machine::builder(2).threads(2), load);
+    assert_eq!(stepped, event);
+    assert_eq!(event, par);
+}
+
+#[test]
+fn run_for_advances_identically() {
+    // Advance in awkward uneven slices; every mode must land on the same
+    // cycle with the same state at every slice boundary.
+    let mut machines = [
+        Machine::builder(4).cycle_stepped().build(),
+        Machine::builder(4).threads(1).build(),
+        Machine::builder(4).threads(3).build(),
+    ];
+    for m in &mut machines {
+        load_all_to_all(m);
+    }
+    for ns in [1u64, 17, 1_000, 33_333, 500_000] {
+        for m in &mut machines {
+            m.run_for(ns);
+        }
+        let t0 = machines[0].now.ns();
+        assert_eq!(t0, machines[1].now.ns(), "slice {ns}");
+        assert_eq!(t0, machines[2].now.ns(), "slice {ns}");
+    }
+    let fps: Vec<_> = machines
+        .iter_mut()
+        .map(|m| {
+            let t = m.run_to_quiescence().ns();
+            fingerprint(m, t)
+        })
+        .collect();
+    assert_eq!(fps[0], fps[1]);
+    assert_eq!(fps[1], fps[2]);
+}
+
+#[test]
+fn hang_reports_identical_cap_time() {
+    // A receiver waiting for a message nobody sends polls forever: the
+    // capped run must report the hang at the same simulated time in every
+    // mode, through RunOutcome and the legacy Result alike.
+    let hung_at = |builder: MachineBuilder| {
+        let mut m = builder.build();
+        let lib = m.lib(1);
+        m.load_program(1, RecvBasic::expecting(&lib, 1));
+        match m.run_capped(200_000) {
+            RunOutcome::Hung(t) => t.ns(),
+            RunOutcome::Quiesced(t) => panic!("unexpected quiescence at {t}"),
+        }
+    };
+    let stepped = hung_at(Machine::builder(4).cycle_stepped());
+    assert_eq!(stepped, hung_at(Machine::builder(4)));
+    assert_eq!(stepped, hung_at(Machine::builder(4).threads(4)));
+}
+
+#[test]
+fn builder_round_trip_matches_deprecated_constructor() {
+    // The builder with the legacy loop must reproduce Machine::new
+    // exactly; the shim itself must keep working until it is removed.
+    #[allow(deprecated)]
+    let mut old = Machine::new(4, SystemParams::default());
+    let mut new = Machine::builder(4)
+        .params(SystemParams::default())
+        .cycle_stepped()
+        .build();
+    load_all_to_all(&mut old);
+    load_all_to_all(&mut new);
+    let t_old = old.run_to_quiescence().ns();
+    let t_new = new.run_to_quiescence().ns();
+    assert_eq!(fingerprint(&old, t_old), fingerprint(&new, t_new));
+    assert_eq!(new.run_mode(), RunMode::CycleStepped);
+    assert_eq!(
+        Machine::builder(2).build().run_mode(),
+        RunMode::Event { threads: 1 }
+    );
+}
+
+#[test]
+fn phased_sends_resume_cleanly() {
+    // Regression for the SendBasic::resuming consumer-shadow estimate: a
+    // send resumed at a producer position below the queue depth must
+    // deliver correctly (and without the spurious initial shadow poll the
+    // old wrap-around arithmetic forced — asserted directly in the api
+    // unit tests).
+    let mut m = Machine::builder(2).build();
+    let l0 = m.lib(0);
+    let l1 = m.lib(1);
+    m.load_program(0, SendBasic::to_node(&l0, 1, vec![0u8; 8]));
+    m.load_program(1, RecvBasic::expecting(&l1, 1));
+    m.run_to_quiescence();
+    for phase in 1..4u16 {
+        let msg = BasicMsg::new(l0.user_dest(1), vec![phase as u8; 8]);
+        m.load_program(0, SendBasic::resuming(&l0, vec![msg], phase));
+        m.load_program(1, RecvBasic::resuming(&l1, 1, phase));
+        m.run_to_quiescence();
+    }
+    let msgs = m.received_messages(1);
+    assert_eq!(msgs.len(), 4);
+    for (phase, (_, data)) in msgs.iter().enumerate() {
+        assert_eq!(data[..], [phase as u8; 8][..], "phase {phase}");
+    }
+}
+
+#[test]
+fn api_errors_are_reported_not_panicked() {
+    use voyager::ApiError;
+    let m = Machine::builder(2).build();
+    let lib = m.lib(0);
+    assert!(matches!(
+        BasicMsg::try_new(1, vec![0u8; 89]),
+        Err(ApiError::PayloadTooLarge { len: 89, max: 88 })
+    ));
+    assert!(BasicMsg::try_new(1, vec![0u8; 88]).is_ok());
+    assert!(matches!(
+        BasicMsg::new(1, vec![0u8; 8]).try_with_tagon(vec![0u8; 47]),
+        Err(ApiError::BadTagOnSize { len: 47 })
+    ));
+    assert!(matches!(
+        BasicMsg::new(1, vec![0u8; 20]).try_with_tagon(vec![0u8; 80]),
+        Err(ApiError::MessageTooLarge {
+            payload: 20,
+            tagon: 80,
+            max: 88
+        })
+    ));
+    assert!(BasicMsg::new(1, vec![0u8; 8])
+        .try_with_tagon(vec![0u8; 48])
+        .is_ok());
+    assert!(matches!(
+        SendBasic::try_to_node(&lib, 2, vec![0u8; 8]),
+        Err(ApiError::DestinationOutOfRange { dest: 2, nodes: 2 })
+    ));
+    assert!(SendBasic::try_to_node(&lib, 1, vec![0u8; 8]).is_ok());
+    // The error type renders usable diagnostics.
+    let e = BasicMsg::try_new(1, vec![0u8; 120]).unwrap_err();
+    assert!(e.to_string().contains("88"), "{e}");
+}
+
+#[test]
+#[should_panic(expected = "Basic payload is at most 88 bytes")]
+fn panicking_constructor_still_panics() {
+    let _ = BasicMsg::new(1, vec![0u8; 89]);
+}

@@ -34,7 +34,7 @@ impl Program for Ops {
 #[test]
 fn numa_store_then_load_roundtrip() {
     let p = params();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let addr = p.map.numa_base + 0x1008; // page 1 → home node 1
     m.load_program(
         0,
@@ -63,7 +63,7 @@ fn numa_store_then_load_roundtrip() {
 #[test]
 fn numa_load_returns_home_value() {
     let p = params();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let addr = p.map.numa_base + 0x1010;
     m.nodes[1].mem.write_u64(addr, 0xCAFE);
     // Capture the loaded value through a closure program.
@@ -102,7 +102,7 @@ fn numa_remote_load_slower_than_local_home() {
 #[test]
 fn concurrent_numa_loads_from_two_nodes() {
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.numa_base + 0x2000; // page 2 → home node 2
     m.nodes[2].mem.write_u64(addr, 77);
     m.load_program(0, Probe::load(addr));
@@ -118,7 +118,7 @@ fn concurrent_numa_loads_from_two_nodes() {
 #[test]
 fn scoma_read_miss_fetches_line_from_home() {
     let p = params();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let addr = p.map.scoma_base + 0x1000; // home node 1
     m.nodes[1].mem.fill_pattern(addr, 32, 42);
     let want = m.nodes[1].mem.read_vec(addr, 32);
@@ -128,10 +128,7 @@ fn scoma_read_miss_fetches_line_from_home() {
     assert_eq!(m.nodes[0].mem.read_vec(addr, 32), want);
     // clsSRAM granted ReadOnly.
     let line = p.map.scoma_line(addr);
-    assert_eq!(
-        m.nodes[0].niu.clssram.get(line),
-        sv_niu::ClsState::ReadOnly
-    );
+    assert_eq!(m.nodes[0].niu.clssram.get(line), sv_niu::ClsState::ReadOnly);
     // The aP was stalled by ARTRY retries while the protocol ran.
     assert!(m.nodes[0].stats.ap_retries.get() > 0);
 }
@@ -139,7 +136,7 @@ fn scoma_read_miss_fetches_line_from_home() {
 #[test]
 fn scoma_write_takes_ownership_and_modifies_locally() {
     let p = params();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let addr = p.map.scoma_base + 0x1000;
     m.load_program(
         0,
@@ -168,9 +165,9 @@ fn scoma_write_takes_ownership_and_modifies_locally() {
 #[test]
 fn scoma_recall_moves_dirty_data_to_reader() {
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000; // home node 1
-    // Node 0 writes (becomes owner with dirty data).
+                                          // Node 0 writes (becomes owner with dirty data).
     m.load_program(
         0,
         Ops::new(vec![Step::Store {
@@ -214,7 +211,7 @@ fn scoma_recall_moves_dirty_data_to_reader() {
 #[test]
 fn scoma_write_invalidates_all_sharers() {
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000; // home node 1
     m.nodes[1].mem.write_u64(addr, 1);
     // Nodes 0, 2, 3 all read (become sharers).
@@ -235,7 +232,10 @@ fn scoma_write_invalidates_all_sharers() {
         }]),
     );
     m.run_to_quiescence();
-    assert_eq!(m.nodes[0].niu.clssram.get(line), sv_niu::ClsState::ReadWrite);
+    assert_eq!(
+        m.nodes[0].niu.clssram.get(line),
+        sv_niu::ClsState::ReadWrite
+    );
     for n in [2usize, 3] {
         assert_eq!(
             m.nodes[n].niu.clssram.get(line),
@@ -254,7 +254,7 @@ fn scoma_write_invalidates_all_sharers() {
 #[test]
 fn scoma_invalidated_sharer_re_misses_correctly() {
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000;
     m.nodes[1].mem.write_u64(addr, 10);
     // 0 and 2 read; 0 writes (invalidating 2); 2 reads again.
@@ -297,7 +297,10 @@ fn scoma_latency_ordering() {
     // A protocol miss costs tens of microseconds; a clsSRAM-passing local
     // access costs a DRAM access.
     assert!(miss > hit * 5, "miss {miss} ns vs hit {hit} ns");
-    assert!(hit < 2_000, "post-grant access {hit} ns should be DRAM-local");
+    assert!(
+        hit < 2_000,
+        "post-grant access {hit} ns should be DRAM-local"
+    );
     assert!(upgrade > hit, "upgrade {upgrade} must pay a protocol trip");
     let three_hop = scoma_read_3hop(p);
     assert!(
@@ -311,7 +314,7 @@ fn scoma_concurrent_readers_all_get_copies() {
     // Three nodes read the same line at the same time; the home must
     // serialize (pending + waiting queue) and everyone ends ReadOnly.
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000; // home node 1
     m.nodes[1].mem.write_u64(addr, 0x5EED);
     for n in [0u16, 2, 3] {
@@ -342,7 +345,7 @@ fn scoma_competing_writers_serialize() {
     // ownership to one, recalls it for the other; both stores complete
     // and exactly one node ends as owner.
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000;
     m.load_program(
         0,
@@ -388,7 +391,7 @@ fn scoma_read_during_write_transaction_queues() {
     // same line lands while the write transaction is pending and must
     // wait its turn, ending with a coherent copy.
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let addr = p.map.scoma_base + 0x1000;
     m.nodes[1].mem.write_u64(addr, 1);
     // Seed: node 3 owns the line, so node 0's write needs a recall.
@@ -416,8 +419,16 @@ fn scoma_read_during_write_transaction_queues() {
     // Invalid if the write invalidated it afterward — but never stale-
     // writable).
     let s2 = m.nodes[2].niu.clssram.get(line);
-    assert_ne!(s2, sv_niu::ClsState::Pending, "no transaction left dangling");
-    assert_ne!(s2, sv_niu::ClsState::ReadWrite, "reader never gets ownership");
+    assert_ne!(
+        s2,
+        sv_niu::ClsState::Pending,
+        "no transaction left dangling"
+    );
+    assert_ne!(
+        s2,
+        sv_niu::ClsState::ReadWrite,
+        "reader never gets ownership"
+    );
     let e = m.nodes[1].fw.scoma.dir.get(&line).expect("entry");
     assert!(e.pending.is_none() && e.waiting.is_empty(), "home drained");
 }
@@ -428,10 +439,10 @@ fn concurrent_recalls_of_distinct_lines_deliver_correct_data() {
     // nearly the same time. The home's writeback staging must not let
     // one grant ship the other line's bytes.
     let p = params();
-    let mut m = Machine::new(4, p);
+    let mut m = Machine::builder(4).params(p).build();
     let a = p.map.scoma_base + 0x1000; // home node 1
     let b = a + 32; // same home page, adjacent line
-    // Owners: node 0 writes line a, node 2 writes line b.
+                    // Owners: node 0 writes line a, node 2 writes line b.
     m.load_program(
         0,
         Ops::new(vec![Step::Store {
@@ -466,7 +477,7 @@ fn concurrent_recalls_of_distinct_lines_deliver_correct_data() {
 #[test]
 fn scoma_false_sharing_free_lines_are_independent() {
     let p = params();
-    let mut m = Machine::new(2, p);
+    let mut m = Machine::builder(2).params(p).build();
     let a = p.map.scoma_base + 0x1000;
     let b = a + 32; // adjacent line, same home
     m.nodes[1].mem.write_u64(a, 1);

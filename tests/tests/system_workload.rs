@@ -13,7 +13,7 @@ use voyager::{Machine, SystemParams};
 #[test]
 fn everything_at_once_on_eight_nodes() {
     let p = SystemParams::default();
-    let mut m = Machine::new(8, p);
+    let mut m = Machine::builder(8).params(p).build();
     let len = 16 * 1024u32;
 
     // Pair (0 -> 1): hardware block transfer.
@@ -107,7 +107,10 @@ fn everything_at_once_on_eight_nodes() {
     }
     // S-COMA state consistent: node 6 owns its written lines.
     let line0 = p.map.scoma_line(scoma + 0x7000);
-    assert_eq!(m.nodes[6].niu.clssram.get(line0), sv_niu::ClsState::ReadWrite);
+    assert_eq!(
+        m.nodes[6].niu.clssram.get(line0),
+        sv_niu::ClsState::ReadWrite
+    );
 }
 
 #[test]
@@ -118,7 +121,7 @@ fn collective_after_transfers_barrier_style() {
     // completed first.
     let p = SystemParams::default();
     let n = 4u16;
-    let mut m = Machine::new(n as usize, p);
+    let mut m = Machine::builder(n as usize).params(p).build();
     let len = 4096u32;
     for i in 0..n {
         m.nodes[i as usize]
@@ -160,7 +163,10 @@ fn collective_after_transfers_barrier_style() {
         // And the data it received is its predecessor's buffer.
         let pred = (i + n - 1) % n;
         let want = m.nodes[pred as usize].mem.read_vec(0x10_0000, len as usize);
-        assert_eq!(m.nodes[i as usize].mem.read_vec(0x20_0000, len as usize), want);
+        assert_eq!(
+            m.nodes[i as usize].mem.read_vec(0x20_0000, len as usize),
+            want
+        );
     }
 }
 
@@ -168,7 +174,7 @@ fn collective_after_transfers_barrier_style() {
 fn sustained_mixed_load_is_deterministic() {
     let run = || {
         let p = SystemParams::default();
-        let mut m = Machine::new(8, p);
+        let mut m = Machine::builder(8).params(p).build();
         for i in 0..8u16 {
             let lib = m.lib(i);
             let items: Vec<BasicMsg> = (0..12u16)

@@ -1,0 +1,160 @@
+//! Offline stub of `criterion`: a minimal wall-clock benchmark harness.
+//!
+//! Implements the subset the `sv-bench` targets use — groups,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs `sample_size` timed iterations and prints the mean.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            samples: 10,
+        }
+    }
+}
+
+/// A named benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier derived from a displayable parameter.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identifier with a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `samples` runs of the routine.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters > 0 {
+            let mean = self.total_ns / self.iters as u128;
+            eprintln!("  {group}/{id}: {mean} ns/iter ({} iters)", self.iters);
+        } else {
+            eprintln!("  {group}/{id}: no iterations recorded");
+        }
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,178 @@
+//! Value-generation strategies for the miniature harness.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy as a trait object (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+);)+) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (0u8..=88).generate(&mut rng);
+            assert!(w <= 88);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = OneOf::new(vec![boxed(Just(1u8)), boxed(Just(2)), boxed(Just(3))]);
+        let mut rng = TestRng::from_name("arms");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+}

@@ -1,0 +1,2 @@
+//! Offline stub of `rand`. The workspace declares the dependency but uses
+//! its own deterministic RNG (`sv_sim::DetRng`); nothing is needed here.

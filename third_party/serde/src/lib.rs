@@ -1,0 +1,14 @@
+//! Offline stub of `serde`: marker traits only.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! struct definitions remain source-compatible with real serde. The derive
+//! macros (enabled by the `derive` feature) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

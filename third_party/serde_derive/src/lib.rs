@@ -1,0 +1,18 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! The workspace never serializes at runtime and never writes `#[serde(...)]`
+//! field attributes, so both derives can expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `Serialize` marker trait is never bound on.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `Deserialize` marker trait is never bound on.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
