@@ -70,6 +70,13 @@ impl<P> IdealNetwork<P> {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Drain delivered packets into a caller-owned buffer, in delivery
+    /// order; both buffers keep their capacity (see
+    /// [`crate::Network::drain_delivered_into`]).
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<P>)>) {
+        out.append(&mut self.delivered);
+    }
+
     /// Conservative lookahead: the ideal pipe has no shared resources, so
     /// an injection at `t` affects exactly one delivery, at
     /// `t + fixed_latency_ns + serialize_ns(wire)`, which is at least

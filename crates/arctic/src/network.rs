@@ -316,6 +316,14 @@ impl<P> Network<P> {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Drain delivered packets into a caller-owned buffer, in delivery
+    /// order. Unlike [`Network::take_delivered`] this transfers nothing
+    /// but the packets: both buffers keep their capacity, so a run loop
+    /// polling every event cycle allocates nothing in the steady state.
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<P>)>) {
+        out.append(&mut self.delivered);
+    }
+
     /// Whether any packets are still queued or in flight.
     pub fn quiescent(&self) -> bool {
         self.events.is_empty() && self.delivered.is_empty()

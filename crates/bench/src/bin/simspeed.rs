@@ -1,15 +1,29 @@
 //! Simulation speed: simulated nanoseconds per wall-clock second.
 //!
-//! Runs one idle-heavy workload — a message ring where every node
-//! computes for a long stretch between sends, so most bus cycles are
-//! dead time — under the three run loops (cycle-stepped, idle-skipping
-//! event-driven, and lookahead-windowed parallel) and reports how much
-//! simulated time each retires per second of wall clock. The event
-//! loops must reproduce the cycle-stepped quiescence time exactly;
-//! the bin asserts it.
+//! Two workloads, two questions:
 //!
-//! Usage: `cargo run --release -p sv-bench --bin simspeed`
+//! 1. **Synchronized ring** (every node computes for a long gap, then all
+//!    exchange at once): how do the three run loops (cycle-stepped,
+//!    idle-skipping event-driven, lookahead-windowed parallel) compare
+//!    when the *time* axis is idle-heavy? The event loops must reproduce
+//!    the cycle-stepped quiescence time exactly; the bin asserts it.
+//! 2. **Staggered pairs** (one node pair exchanges at a time while every
+//!    other node sits in a long delay): how does the event loop scale
+//!    with node count when the *space* axis is idle-heavy? This is the
+//!    regime the wake-time index targets — work per simulated second is
+//!    constant, so a loop that rescans or ticks all `N` nodes per
+//!    executed cycle degrades linearly while an indexed loop holds its
+//!    rate.
+//!
+//! Results are printed as tables and written machine-readable to
+//! `BENCH_simspeed.json` (simulated ns and bus cycles per wall second,
+//! per loop mode and node count).
+//!
+//! Usage: `simspeed [--nodes N]` — with `--nodes` only the sweep entry
+//! for `N` runs (the CI smoke configuration); without arguments the full
+//! ring table and node-count sweep run.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use sv_bench::print_table;
@@ -17,11 +31,16 @@ use voyager::api::{BasicMsg, RecvBasic, SendBasic};
 use voyager::app::{Delay, Seq};
 use voyager::{Machine, MachineBuilder, Program};
 
-/// Compute gap between rounds, in ns. At 66 MHz this is ~3300 bus
+/// Compute gap between ring rounds, in ns. At 66 MHz this is ~3300 bus
 /// cycles of idle per ~2 us of messaging — the regime the event loop
 /// is built for.
 const GAP_NS: u64 = 50_000;
 const ROUNDS: u16 = 30;
+
+/// Stagger between pair activations in the sweep workload, and how many
+/// messages each pair exchanges inside its slot.
+const STAGGER_NS: u64 = 20_000;
+const PAIR_MSGS: u16 = 4;
 
 /// A ring: each node computes for `GAP_NS`, sends one Basic message to
 /// its successor, then receives one from its predecessor, `ROUNDS`
@@ -41,10 +60,46 @@ fn load_ring(m: &mut Machine, n: u16) {
     }
 }
 
-/// Run the ring to quiescence; return (simulated ns, wall seconds).
-fn measure(builder: MachineBuilder, n: u16) -> (u64, f64) {
+/// Staggered pairs: node `2k` sends [`PAIR_MSGS`] Basic messages to node
+/// `2k+1` starting at `k * STAGGER_NS`; both then finish. At any instant
+/// at most one pair is exchanging (its slot is far shorter than the
+/// stagger) and every other node is idle in a delay or done — the
+/// idle-heavy *node-count* regime, where total work grows linearly with
+/// `n` but concurrent work does not.
+fn load_staggered_pairs(m: &mut Machine, n: u16) {
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "pairs need an even node count"
+    );
+    for k in 0..n / 2 {
+        let (a, b) = (2 * k, 2 * k + 1);
+        let start = k as u64 * STAGGER_NS;
+        let lib_a = m.lib(a);
+        let lib_b = m.lib(b);
+        let msgs = (0..PAIR_MSGS)
+            .map(|r| BasicMsg::new(lib_a.user_dest(b), vec![r as u8; 16]))
+            .collect();
+        m.load_program(
+            a,
+            Seq::new(vec![
+                Box::new(Delay(start)),
+                Box::new(SendBasic::new(&lib_a, msgs)),
+            ]),
+        );
+        m.load_program(
+            b,
+            Seq::new(vec![
+                Box::new(Delay(start)),
+                Box::new(RecvBasic::expecting(&lib_b, PAIR_MSGS as usize)),
+            ]),
+        );
+    }
+}
+
+/// Run `load` to quiescence; return (simulated ns, wall seconds).
+fn measure(builder: MachineBuilder, n: u16, load: fn(&mut Machine, u16)) -> (u64, f64) {
     let mut m = builder.build();
-    load_ring(&mut m, n);
+    load(&mut m, n);
     let start = Instant::now();
     let t = m.run_to_quiescence();
     (t.ns(), start.elapsed().as_secs_f64())
@@ -55,62 +110,190 @@ fn fmt_rate(sim_ns: u64, wall_s: f64) -> (f64, String) {
     (rate, format!("{:.1}", rate / 1e6))
 }
 
+/// One sweep measurement for the JSON report.
+struct SweepRow {
+    nodes: u16,
+    sim_ns: u64,
+    event_ns_per_s: f64,
+    parallel_ns_per_s: f64,
+}
+
+/// Bus cycles retired per wall second at the default 66 MHz bus.
+fn cycles_per_s(ns_per_s: f64) -> f64 {
+    ns_per_s * 66.0 / 1000.0
+}
+
+/// Sweep entry at `n` nodes: event and parallel rates on the staggered
+/// pair workload, checked bit-identical against the cycle-stepped loop
+/// at sizes where stepping is affordable.
+fn sweep_point(n: u16, workers: usize) -> SweepRow {
+    // Warm up allocator / thread pool effects.
+    let _ = measure(Machine::builder(n.into()), n, load_staggered_pairs);
+    let (t_ev, w_ev) = measure(
+        Machine::builder(n.into()).threads(1),
+        n,
+        load_staggered_pairs,
+    );
+    let (t_par, w_par) = measure(
+        Machine::builder(n.into()).threads(workers),
+        n,
+        load_staggered_pairs,
+    );
+    assert_eq!(
+        t_ev, t_par,
+        "parallel loop must match the event loop ({n} nodes)"
+    );
+    if n <= 32 {
+        let (t_step, _) = measure(
+            Machine::builder(n.into()).cycle_stepped(),
+            n,
+            load_staggered_pairs,
+        );
+        assert_eq!(
+            t_step, t_ev,
+            "event loop must match cycle-stepped time ({n} nodes)"
+        );
+    }
+    SweepRow {
+        nodes: n,
+        sim_ns: t_ev,
+        event_ns_per_s: t_ev as f64 / w_ev,
+        parallel_ns_per_s: t_par as f64 / w_par,
+    }
+}
+
+fn write_json(path: &str, workers: usize, sweep: &[SweepRow], ring: &[(u16, u64, f64, f64, f64)]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"simspeed\",\n");
+    s.push_str("  \"unit\": \"per wall-clock second\",\n");
+    s.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    s.push_str(&format!(
+        "  \"sweep\": {{\n    \"workload\": \"staggered_pairs\",\n    \"stagger_ns\": {STAGGER_NS},\n    \"msgs_per_pair\": {PAIR_MSGS},\n    \"points\": [\n"
+    ));
+    for (i, r) in sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"nodes\": {}, \"sim_ns\": {}, \"event_sim_ns\": {:.0}, \"event_cycles\": {:.0}, \"parallel_sim_ns\": {:.0}, \"parallel_cycles\": {:.0}}}{}\n",
+            r.nodes,
+            r.sim_ns,
+            r.event_ns_per_s,
+            cycles_per_s(r.event_ns_per_s),
+            r.parallel_ns_per_s,
+            cycles_per_s(r.parallel_ns_per_s),
+            if i + 1 == sweep.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str(&format!(
+        "  \"ring\": {{\n    \"workload\": \"synchronized_ring\",\n    \"gap_ns\": {GAP_NS},\n    \"rounds\": {ROUNDS},\n    \"points\": [\n"
+    ));
+    for (i, (n, sim_ns, st, ev, par)) in ring.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"nodes\": {n}, \"sim_ns\": {sim_ns}, \"stepped_sim_ns\": {st:.0}, \"stepped_cycles\": {:.0}, \"event_sim_ns\": {ev:.0}, \"event_cycles\": {:.0}, \"parallel_sim_ns\": {par:.0}, \"parallel_cycles\": {:.0}}}{}\n",
+            cycles_per_s(*st),
+            cycles_per_s(*ev),
+            cycles_per_s(*par),
+            if i + 1 == ring.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
+    let mut f = std::fs::File::create(path).expect("create json report");
+    f.write_all(s.as_bytes()).expect("write json report");
+}
+
 fn main() {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .clamp(2, 8);
+    let args: Vec<String> = std::env::args().collect();
+    let only_nodes: Option<u16> = args.iter().position(|a| a == "--nodes").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--nodes takes a node count")
+    });
 
-    let mut rows = Vec::new();
-    let mut speedup_8 = (0.0f64, 0.0f64);
-    for n in [2u16, 8, 32] {
-        // Warm up allocator / thread pool effects once per size.
-        let _ = measure(Machine::builder(n.into()), n);
-
-        let (t_step, w_step) = measure(Machine::builder(n.into()).cycle_stepped(), n);
-        let (t_ev, w_ev) = measure(Machine::builder(n.into()).threads(1), n);
-        let (t_par, w_par) = measure(Machine::builder(n.into()).threads(workers), n);
-        assert_eq!(
-            t_step, t_ev,
-            "event loop must match cycle-stepped time ({n} nodes)"
-        );
-        assert_eq!(
-            t_step, t_par,
-            "parallel loop must match cycle-stepped time ({n} nodes)"
-        );
-
-        let (r_step, s_step) = fmt_rate(t_step, w_step);
-        let (r_ev, s_ev) = fmt_rate(t_ev, w_ev);
-        let (r_par, s_par) = fmt_rate(t_par, w_par);
-        if n == 8 {
-            speedup_8 = (r_ev / r_step, r_par / r_step);
-        }
-        rows.push(vec![
+    // ---- Node-count sweep (idle-heavy staggered pairs) ----
+    let sweep_sizes: Vec<u16> = match only_nodes {
+        Some(n) => vec![n],
+        None => vec![8, 16, 32, 64, 128, 256],
+    };
+    let mut sweep = Vec::new();
+    let mut sweep_rows = Vec::new();
+    for &n in &sweep_sizes {
+        let r = sweep_point(n, workers);
+        sweep_rows.push(vec![
             n.to_string(),
-            t_step.to_string(),
-            s_step,
-            s_ev,
-            s_par,
-            format!("{:.2}x", r_ev / r_step),
-            format!("{:.2}x", r_par / r_step),
+            r.sim_ns.to_string(),
+            format!("{:.1}", r.event_ns_per_s / 1e6),
+            format!("{:.1}", r.parallel_ns_per_s / 1e6),
         ]);
+        sweep.push(r);
+    }
+    print_table(
+        &format!("node-count sweep, staggered pairs (sim-Mns per wall-second; {workers} workers)"),
+        &["nodes", "sim ns", "event", "parallel"],
+        &sweep_rows,
+    );
+
+    // ---- Loop-mode comparison on the synchronized ring ----
+    let mut ring = Vec::new();
+    if only_nodes.is_none() {
+        let mut rows = Vec::new();
+        let mut speedup_8 = (0.0f64, 0.0f64);
+        for n in [2u16, 8, 32] {
+            let _ = measure(Machine::builder(n.into()), n, load_ring);
+            let (t_step, w_step) =
+                measure(Machine::builder(n.into()).cycle_stepped(), n, load_ring);
+            let (t_ev, w_ev) = measure(Machine::builder(n.into()).threads(1), n, load_ring);
+            let (t_par, w_par) = measure(Machine::builder(n.into()).threads(workers), n, load_ring);
+            assert_eq!(
+                t_step, t_ev,
+                "event loop must match cycle-stepped time ({n} nodes)"
+            );
+            assert_eq!(
+                t_step, t_par,
+                "parallel loop must match cycle-stepped time ({n} nodes)"
+            );
+
+            let (r_step, s_step) = fmt_rate(t_step, w_step);
+            let (r_ev, s_ev) = fmt_rate(t_ev, w_ev);
+            let (r_par, s_par) = fmt_rate(t_par, w_par);
+            if n == 8 {
+                speedup_8 = (r_ev / r_step, r_par / r_step);
+            }
+            ring.push((n, t_step, r_step, r_ev, r_par));
+            rows.push(vec![
+                n.to_string(),
+                t_step.to_string(),
+                s_step,
+                s_ev,
+                s_par,
+                format!("{:.2}x", r_ev / r_step),
+                format!("{:.2}x", r_par / r_step),
+            ]);
+        }
+        print_table(
+            &format!(
+                "simulation speed, idle-heavy ring (sim-Mns per wall-second; {workers} workers)"
+            ),
+            &[
+                "nodes",
+                "sim ns",
+                "stepped",
+                "event",
+                "parallel",
+                "event/stepped",
+                "par/stepped",
+            ],
+            &rows,
+        );
+        println!(
+            "\n8-node speedup over cycle-stepped: event {:.2}x, parallel {:.2}x",
+            speedup_8.0, speedup_8.1
+        );
     }
 
-    print_table(
-        &format!("simulation speed, idle-heavy ring (sim-Mns per wall-second; {workers} workers)"),
-        &[
-            "nodes",
-            "sim ns",
-            "stepped",
-            "event",
-            "parallel",
-            "event/stepped",
-            "par/stepped",
-        ],
-        &rows,
-    );
-    println!(
-        "\n8-node speedup over cycle-stepped: event {:.2}x, parallel {:.2}x",
-        speedup_8.0, speedup_8.1
-    );
+    write_json("BENCH_simspeed.json", workers, &sweep, &ring);
+    println!("\nwrote BENCH_simspeed.json");
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(deprecated)]
 //! # voyager — the assembled StarT-Voyager machine
 //!
 //! This crate glues the substrates into the full system the paper

@@ -112,6 +112,11 @@ pub struct Node {
     castout_tags: HashSet<u64>,
     inflight_abiu: HashMap<u64, AbiuRequest>,
     next_tag: u64,
+    /// Scratch event buffers reused every tick (bus events, then the
+    /// snoop-resolution events they spawn) so the hot loop never
+    /// allocates.
+    bus_events: Vec<BusEvent>,
+    snoop_events: Vec<BusEvent>,
 }
 
 impl Node {
@@ -136,6 +141,8 @@ impl Node {
             castout_tags: HashSet::new(),
             inflight_abiu: HashMap::new(),
             next_tag: 1,
+            bus_events: Vec::new(),
+            snoop_events: Vec::new(),
             params,
         }
     }
@@ -209,10 +216,12 @@ impl Node {
     /// Advance the node to bus cycle `cycle` (absolute time `now`).
     pub fn tick(&mut self, cycle: u64, now: Time) {
         self.cpu_step(now);
-        let events = self.bus.tick(cycle);
-        for ev in events {
+        let mut events = std::mem::take(&mut self.bus_events);
+        self.bus.tick_into(cycle, &mut events);
+        for ev in events.drain(..) {
             self.handle_bus_event(cycle, now, ev);
         }
+        self.bus_events = events;
         self.niu.tick(cycle);
         // Issue aBIU bus-master requests.
         while let Some(req) = self.niu.pop_abiu_request() {
@@ -468,10 +477,15 @@ impl Node {
         match ev {
             BusEvent::Snoop(op) => {
                 let verdict = self.snoop_all(cycle, &op);
-                let more = self.bus.resolve_snoop(cycle, verdict);
-                for e in more {
+                // Snoop resolution only yields Retried/Completed, never
+                // another Snoop, so this recursion is depth one and the
+                // taken scratch buffer cannot be re-entered.
+                let mut more = std::mem::take(&mut self.snoop_events);
+                self.bus.resolve_snoop_into(cycle, verdict, &mut more);
+                for e in more.drain(..) {
                     self.handle_bus_event(cycle, now, e);
                 }
+                self.snoop_events = more;
             }
             BusEvent::Retried(op) => {
                 if op.master == MasterId::Ap {

@@ -51,6 +51,7 @@
 
 use crate::machine::Machine;
 use crate::node::Node;
+
 use crossbeam::channel;
 use sv_arctic::{IdealNetwork, Network, Packet};
 use sv_niu::msg::NetPayload;
@@ -116,15 +117,32 @@ impl RunOutcome {
 }
 
 impl Machine {
+    /// Rebuild the wake index from a full scan. Every public run entry
+    /// point marks the index invalid (the node list is `pub`, so callers
+    /// may have mutated nodes since the last run); the first
+    /// [`Machine::next_exec_cycle`] after that rebuilds here. While a run
+    /// is in flight the index is maintained incrementally: a node's wake
+    /// only changes when the node executes or a packet reaches it, and
+    /// [`Machine::step_due`] republishes on exactly those edges.
+    fn refresh_wakes(&mut self) {
+        self.wake.reset(self.nodes.len());
+        let c = self.cycle;
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.wake.publish(i, n.next_event_cycle(c, &self.clock));
+        }
+        self.wake_valid = true;
+    }
+
     /// Earliest cycle (`>= self.cycle`) at which any node or the network
     /// might change state, or `None` if the machine is idle forever.
-    pub(crate) fn next_exec_cycle(&self) -> Option<u64> {
+    /// O(log N) via the wake index, instead of rescanning every node.
+    pub(crate) fn next_exec_cycle(&mut self) -> Option<u64> {
+        if !self.wake_valid {
+            self.refresh_wakes();
+        }
         let c = self.cycle;
-        let mut next: Option<u64> = self
-            .nodes
-            .iter()
-            .filter_map(|n| n.next_event_cycle(c, &self.clock))
-            .min();
+        let mut next = self.wake.min();
+        debug_assert!(next.is_none_or(|n| n >= c), "stale wake behind the cursor");
         let net = match &self.ideal {
             Some(ideal) => ideal.next_event_time(),
             None => self.network.next_event_time(),
@@ -136,6 +154,66 @@ impl Machine {
         next
     }
 
+    /// Execute the current cycle visiting only the nodes whose advertised
+    /// wake is due — the event-loop twin of [`Machine::step`]. Ticking a
+    /// node before its advertised wake is a guaranteed no-op (superset
+    /// execution), so restricting the visit set cannot change behaviour;
+    /// the equivalence tests prove the two bit-identical. All buffers are
+    /// machine-owned scratch: the steady state allocates nothing.
+    fn step_due(&mut self) {
+        let now = self.clock.edge(self.cycle);
+        self.now = now;
+        let cycle = self.cycle;
+        match &mut self.ideal {
+            Some(ideal) => {
+                ideal.advance(now);
+                ideal.drain_delivered_into(&mut self.delivered);
+            }
+            None => {
+                self.network.advance(now);
+                self.network.drain_delivered_into(&mut self.delivered);
+            }
+        }
+        for (_, pkt) in self.delivered.drain(..) {
+            let node = &mut self.nodes[pkt.dst as usize];
+            if node.tracer.enabled() {
+                node.tracer.record(
+                    now,
+                    sv_sim::trace::Subsys::Net,
+                    format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                );
+            }
+            node.niu.push_arrival(pkt.payload);
+            // The arrival may unblock the destination this very cycle.
+            self.wake.publish(pkt.dst as usize, Some(cycle));
+        }
+        self.wake.drain_due(cycle, &mut self.due);
+        for &i in &self.due {
+            self.nodes[i as usize].tick(cycle, now);
+        }
+        for &i in &self.due {
+            let node = &mut self.nodes[i as usize];
+            while let Some(pkt) = node.niu.pop_ready_packet(cycle) {
+                if node.tracer.enabled() {
+                    node.tracer.record(
+                        now,
+                        sv_sim::trace::Subsys::Net,
+                        format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
+                    );
+                }
+                match &mut self.ideal {
+                    Some(ideal) => ideal.inject(now, pkt),
+                    None => self.network.inject(now, pkt),
+                }
+            }
+        }
+        for &i in &self.due {
+            let w = self.nodes[i as usize].next_event_cycle(cycle + 1, &self.clock);
+            self.wake.publish(i as usize, w);
+        }
+        self.cycle += 1;
+    }
+
     /// Event-driven advance to `target` (exclusive): execute exactly the
     /// cycles in `[self.cycle, target)` on which something can happen.
     fn advance_event_to(&mut self, target: u64) {
@@ -144,7 +222,7 @@ impl Machine {
                 break;
             }
             self.cycle = c;
-            self.step();
+            self.step_due();
         }
         self.land_on(target);
     }
@@ -175,6 +253,9 @@ impl Machine {
 
     /// Run for `ns` nanoseconds of simulated time.
     pub fn run_for(&mut self, ns: u64) {
+        // `nodes` is public: anything may have changed since the last
+        // run, so memoized wakes cannot be trusted across entries.
+        self.wake_valid = false;
         let until = self.now.plus(ns);
         match self.mode {
             RunMode::CycleStepped => {
@@ -195,6 +276,7 @@ impl Machine {
     /// simulated time elapse. Returns the quiescence time, or `Err` with
     /// the cap time if the machine never settled (protocol hang).
     pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
+        self.wake_valid = false;
         let RunMode::Event { threads } = self.mode else {
             // The original loop, verbatim: quiescence is only evaluated
             // every 32 cycles, which the event modes reproduce.
@@ -400,6 +482,9 @@ impl Machine {
         };
         self.cycle = target;
         self.now = clock.edge(target - 1);
+        // The workers advanced the nodes; the machine-level index no
+        // longer reflects them.
+        self.wake_valid = false;
         last_exec
     }
 }
@@ -579,6 +664,12 @@ fn run_windows<N: NetModel>(
 }
 
 /// Worker loop: execute windows for one contiguous shard of nodes.
+///
+/// The shard keeps its own [`sv_sim::WakeIndex`] across windows: it has
+/// exclusive access to its nodes for the whole scope and a node's wake
+/// only changes when the node executes or an arrival reaches it, so the
+/// index built on the first window stays valid for the run — including
+/// across windows the shard sits out entirely.
 fn shard_worker(
     si: usize,
     shard: &mut [Node],
@@ -586,18 +677,23 @@ fn shard_worker(
     rx: channel::Receiver<ShardCmd>,
     out: channel::Sender<ShardOut>,
 ) {
+    let mut wake = sv_sim::WakeIndex::new(shard.len());
+    let mut primed = false;
+    let mut due: Vec<u32> = Vec::new();
     while let Ok(ShardCmd::Window { w0, w1, arrivals }) = rx.recv() {
+        if !primed {
+            for (i, nd) in shard.iter().enumerate() {
+                wake.publish(i, nd.next_event_cycle(w0, &clock));
+            }
+            primed = true;
+        }
         let mut injections = Vec::new();
         let mut last_exec = None;
         let mut arr = arrivals.into_iter().peekable();
-        let mut c = w0;
         loop {
             // Next cycle on which this shard can act: its own engines'
             // wake-ups plus pre-scheduled packet arrivals.
-            let mut nx = shard
-                .iter()
-                .filter_map(|nd| nd.next_event_cycle(c, &clock))
-                .min();
+            let mut nx = wake.min();
             if let Some(&(ac, _)) = arr.peek() {
                 nx = Some(nx.map_or(ac, |v| v.min(ac)));
             }
@@ -607,13 +703,14 @@ fn shard_worker(
             }
             let now = clock.edge(ce);
             // Same per-cycle sequence as Machine::step, restricted to
-            // this shard: deliveries, then ticks, then egress.
+            // the due nodes of this shard: deliveries, ticks, egress.
             while arr.peek().is_some_and(|&(ac, _)| ac == ce) {
                 let (_, pkt) = arr.next().expect("peeked");
-                let node = shard
-                    .iter_mut()
-                    .find(|nd| nd.id == pkt.dst)
+                let li = shard
+                    .iter()
+                    .position(|nd| nd.id == pkt.dst)
                     .expect("arrival routed to the wrong shard");
+                let node = &mut shard[li];
                 if node.tracer.enabled() {
                     node.tracer.record(
                         now,
@@ -622,11 +719,14 @@ fn shard_worker(
                     );
                 }
                 node.niu.push_arrival(pkt.payload);
+                wake.publish(li, Some(ce));
             }
-            for node in shard.iter_mut() {
-                node.tick(ce, now);
+            wake.drain_due(ce, &mut due);
+            for &i in &due {
+                shard[i as usize].tick(ce, now);
             }
-            for node in shard.iter_mut() {
+            for &i in &due {
+                let node = &mut shard[i as usize];
                 while let Some(pkt) = node.niu.pop_ready_packet(ce) {
                     if node.tracer.enabled() {
                         node.tracer.record(
@@ -638,13 +738,17 @@ fn shard_worker(
                     injections.push((ce, node.id, pkt));
                 }
             }
+            for &i in &due {
+                let w = shard[i as usize].next_event_cycle(ce + 1, &clock);
+                wake.publish(i as usize, w);
+            }
             last_exec = Some(ce);
-            c = ce + 1;
         }
-        let next_wake = shard
-            .iter()
-            .filter_map(|nd| nd.next_event_cycle(w1, &clock))
-            .min();
+        // All live wakes are >= w1 here (the loop above drained anything
+        // earlier), so the index min IS the shard's wake at the window
+        // end — no rescan.
+        let next_wake = wake.min();
+        debug_assert!(next_wake.is_none_or(|w| w >= w1));
         if out
             .send(ShardOut {
                 shard: si,

@@ -201,7 +201,7 @@ impl Firmware {
     /// most one item.
     pub fn tick(&mut self, cycle: u64, niu: &mut Niu) {
         // Interrupt lines are edge-triggered bookkeeping, free to drain.
-        for int in niu.take_interrupts() {
+        while let Some(int) = niu.pop_interrupt() {
             if let NiuInterrupt::TxViolation(_) = int {
                 self.stats.violations_seen.bump();
             }

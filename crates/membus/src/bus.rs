@@ -157,12 +157,22 @@ impl Bus {
     /// Advance to bus cycle `cycle`. Must be called with strictly
     /// increasing cycles; any [`BusEvent::Snoop`] emitted must be resolved
     /// via [`Bus::resolve_snoop`] before the next call.
+    ///
+    /// Convenience wrapper over [`Bus::tick_into`] that allocates a fresh
+    /// event list; hot callers should reuse a scratch buffer instead.
     pub fn tick(&mut self, cycle: u64) -> Vec<BusEvent> {
+        let mut out = Vec::new();
+        self.tick_into(cycle, &mut out);
+        out
+    }
+
+    /// [`Bus::tick`], appending events to a caller-reused buffer instead
+    /// of allocating one (the steady-state path of the node tick loop).
+    pub fn tick_into(&mut self, cycle: u64, out: &mut Vec<BusEvent>) {
         assert!(
             !self.snoop_pending,
             "previous snoop window was never resolved"
         );
-        let mut out = Vec::new();
 
         // Re-arm retried operations whose delay has elapsed.
         if !self.retry_wait.is_empty() {
@@ -198,24 +208,37 @@ impl Bus {
             self.stats.tenures.bump();
             self.addr_phase = Some((op, cycle + self.params.addr_tenure_cycles));
         }
-
-        out
     }
 
     /// Resolve the open snoop window with the merged verdict. Returns any
     /// immediately produced events (retry or address-only completion).
+    ///
+    /// Convenience wrapper over [`Bus::resolve_snoop_into`]; hot callers
+    /// should reuse a scratch buffer instead.
     pub fn resolve_snoop(&mut self, cycle: u64, verdict: SnoopVerdict) -> Vec<BusEvent> {
+        let mut out = Vec::new();
+        self.resolve_snoop_into(cycle, verdict, &mut out);
+        out
+    }
+
+    /// [`Bus::resolve_snoop`], appending events to a caller-reused buffer
+    /// instead of allocating one.
+    pub fn resolve_snoop_into(
+        &mut self,
+        cycle: u64,
+        verdict: SnoopVerdict,
+        out: &mut Vec<BusEvent>,
+    ) {
         assert!(self.snoop_pending, "no snoop window open");
         self.snoop_pending = false;
         let (op, _) = self.addr_phase.take().expect("tenure present");
-        let mut out = Vec::new();
 
         if verdict.artry {
             self.stats.retries.bump();
             self.retry_wait
                 .push((cycle + self.params.retry_delay_cycles, op));
             out.push(BusEvent::Retried(op));
-            return out;
+            return;
         }
 
         let beats = op.beats();
@@ -223,7 +246,7 @@ impl Bus {
             // Address-only operations complete with the snoop window.
             self.stats.completions.bump();
             out.push(BusEvent::Completed(op, verdict));
-            return out;
+            return;
         }
 
         let start = self.data_free.max(cycle + verdict.supply_latency);
@@ -232,7 +255,6 @@ impl Bus {
         self.stats.data_cycles += beats;
         self.stats.data_bytes += op.bytes as u64;
         self.inflight.push_back((end, op, verdict));
-        out
     }
 }
 

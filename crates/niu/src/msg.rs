@@ -14,6 +14,136 @@ use sv_arctic::Priority;
 /// Maximum payload bytes of a Basic message.
 pub const MAX_MSG_PAYLOAD: usize = 88;
 
+/// Inline, fixed-capacity payload of a Basic message (≤ 88 bytes).
+///
+/// Message payloads travel by value through the transmit FIFOs, the
+/// network and the receive unit. An inline buffer keeps that entire path
+/// free of heap traffic: composing, forwarding and delivering a message
+/// is a `memcpy` of at most [`MAX_MSG_PAYLOAD`] bytes, never an
+/// allocation. Derefs to `[u8]`, so consumers index and slice it like
+/// the `Bytes` it replaced.
+#[derive(Clone, Copy)]
+pub struct MsgData {
+    len: u8,
+    buf: [u8; MAX_MSG_PAYLOAD],
+}
+
+impl MsgData {
+    /// A zero-length payload.
+    pub const fn empty() -> Self {
+        MsgData {
+            len: 0,
+            buf: [0u8; MAX_MSG_PAYLOAD],
+        }
+    }
+
+    /// A payload holding a copy of `data`.
+    ///
+    /// # Panics
+    /// If `data` exceeds [`MAX_MSG_PAYLOAD`] bytes.
+    pub fn new(data: &[u8]) -> Self {
+        let mut d = MsgData::empty();
+        d.append(data);
+        d
+    }
+
+    /// A zero-filled payload of `len` bytes, for callers that fill the
+    /// buffer in place (e.g. straight from SRAM) via
+    /// [`MsgData::as_mut_slice`].
+    ///
+    /// # Panics
+    /// If `len` exceeds [`MAX_MSG_PAYLOAD`].
+    pub fn with_len(len: usize) -> Self {
+        assert!(len <= MAX_MSG_PAYLOAD);
+        MsgData {
+            len: len as u8,
+            buf: [0u8; MAX_MSG_PAYLOAD],
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Mutable access to the payload bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.len as usize]
+    }
+
+    /// Append a copy of `more` (how TagOn data joins the message body).
+    ///
+    /// # Panics
+    /// If the result would exceed [`MAX_MSG_PAYLOAD`] bytes.
+    pub fn append(&mut self, more: &[u8]) {
+        let start = self.len as usize;
+        assert!(
+            start + more.len() <= MAX_MSG_PAYLOAD,
+            "message payload exceeds the {MAX_MSG_PAYLOAD}-byte packet limit"
+        );
+        self.buf[start..start + more.len()].copy_from_slice(more);
+        self.len += more.len() as u8;
+    }
+
+    /// Append `n` zero bytes and return the appended region, for callers
+    /// that fill it in place.
+    ///
+    /// # Panics
+    /// If the result would exceed [`MAX_MSG_PAYLOAD`] bytes.
+    pub fn extend_zeroed(&mut self, n: usize) -> &mut [u8] {
+        let start = self.len as usize;
+        assert!(
+            start + n <= MAX_MSG_PAYLOAD,
+            "message payload exceeds the {MAX_MSG_PAYLOAD}-byte packet limit"
+        );
+        self.len += n as u8;
+        &mut self.buf[start..start + n]
+    }
+}
+
+impl Default for MsgData {
+    fn default() -> Self {
+        MsgData::empty()
+    }
+}
+
+impl core::ops::Deref for MsgData {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for MsgData {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MsgData {}
+
+impl core::fmt::Debug for MsgData {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("MsgData").field(&self.as_slice()).finish()
+    }
+}
+
+impl From<&[u8]> for MsgData {
+    fn from(data: &[u8]) -> Self {
+        MsgData::new(data)
+    }
+}
+
 /// Payload bytes of an Express message (one byte rides in the address,
 /// four in the data — "a five-byte payload").
 pub const EXPRESS_PAYLOAD: usize = 5;
@@ -187,8 +317,9 @@ pub enum NetPayload {
         src: u16,
         /// Logical destination receive queue on the target node.
         logical_q: u16,
-        /// Payload bytes (message body, TagOn already appended).
-        data: Bytes,
+        /// Payload bytes (message body, TagOn already appended), stored
+        /// inline so the network hot path never allocates.
+        data: MsgData,
     },
     /// A remote command bound for the remote command queue.
     RemoteCmd {
@@ -324,7 +455,7 @@ mod tests {
         let m = NetPayload::Msg {
             src: 0,
             logical_q: 1,
-            data: Bytes::from_static(b"hi"),
+            data: MsgData::new(b"hi"),
         };
         assert_eq!(m.natural_priority(), Priority::Low);
         assert_eq!(m.payload_bytes(), 2);
@@ -333,6 +464,28 @@ mod tests {
             cmd: RemoteCmdKind::SetCls { line: 0, state: 0 },
         };
         assert_eq!(r.natural_priority(), Priority::High);
+    }
+
+    #[test]
+    fn msgdata_inline_buffer() {
+        let mut d = MsgData::new(b"abcd");
+        assert_eq!(d.len(), 4);
+        assert_eq!(&d[..], b"abcd");
+        d.append(&[7u8; 48]);
+        assert_eq!(d.len(), 52);
+        assert!(d[4..].iter().all(|&b| b == 7));
+        let t = d.extend_zeroed(4);
+        t.copy_from_slice(b"wxyz");
+        assert_eq!(&d[52..], b"wxyz");
+        assert_eq!(d, MsgData::from(&d[..]));
+        assert!(MsgData::empty().is_empty());
+        assert_eq!(MsgData::with_len(8).as_slice(), &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "88-byte packet limit")]
+    fn msgdata_overflow_rejected() {
+        let _ = MsgData::new(&[0u8; 89]);
     }
 
     #[test]

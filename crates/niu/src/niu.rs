@@ -21,7 +21,7 @@ use crate::abiu::{ABiu, DataMove, SpRequest};
 use crate::addrmap::{AddressMap, Region};
 use crate::cmd::{BlockOp, LocalCmd};
 use crate::ctrl::{BlockReadState, BlockTxState, Ctrl};
-use crate::msg::{express, MsgFlags, MsgHeader, NetPayload, RemoteCmdKind};
+use crate::msg::{express, MsgData, MsgFlags, MsgHeader, NetPayload, RemoteCmdKind};
 use crate::params::NiuParams;
 use crate::queues::{QueueId, RxFullPolicy, RxService};
 use crate::sram::{ClsSram, ClsState, Sram, SramSel};
@@ -114,7 +114,7 @@ pub struct Niu {
     rxu_in: VecDeque<NetPayload>,
     txu_out: VecDeque<(u64, Packet<NetPayload>)>,
     sp_requests: VecDeque<SpRequest>,
-    interrupts: Vec<NiuInterrupt>,
+    interrupts: VecDeque<NiuInterrupt>,
     req_tags: HashMap<u64, ReqTag>,
     /// Running statistics.
     pub stats: NiuStats,
@@ -133,7 +133,7 @@ impl Niu {
             rxu_in: VecDeque::new(),
             txu_out: VecDeque::new(),
             sp_requests: VecDeque::new(),
-            interrupts: Vec::new(),
+            interrupts: VecDeque::new(),
             req_tags: HashMap::new(),
             stats: NiuStats::default(),
             params,
@@ -223,7 +223,7 @@ impl Niu {
                 if finished {
                     self.ctrl.block_read = None;
                     if !chained {
-                        self.interrupts.push(NiuInterrupt::BlockReadDone);
+                        self.interrupts.push_back(NiuInterrupt::BlockReadDone);
                     }
                 }
             }
@@ -444,9 +444,17 @@ impl Niu {
         }
     }
 
-    /// Drain raised interrupts.
+    /// Pop the next raised interrupt, oldest first. The steady-state
+    /// drain API: polling an empty line is free and draining never
+    /// allocates, unlike [`Niu::take_interrupts`].
+    pub fn pop_interrupt(&mut self) -> Option<NiuInterrupt> {
+        self.interrupts.pop_front()
+    }
+
+    /// Drain raised interrupts into a fresh `Vec` (convenience for tests;
+    /// hot paths use [`Niu::pop_interrupt`]).
     pub fn take_interrupts(&mut self) -> Vec<NiuInterrupt> {
-        std::mem::take(&mut self.interrupts)
+        self.interrupts.drain(..).collect()
     }
 
     /// Pending aBIU→sBIU requests awaiting firmware.
@@ -573,20 +581,27 @@ impl Niu {
                 self.ctrl.rx_busy = cycle + 1;
             }
             NetPayload::Msg { .. } => {
+                // Pop, deliver, and push back on a stall: the payload is
+                // an inline [`MsgData`], so the round trip is a plain copy
+                // (the old peek-and-clone allocated on every poll).
                 let Some(NetPayload::Msg {
                     src,
                     logical_q,
                     data,
-                }) = self.rxu_in.front().cloned()
+                }) = self.rxu_in.pop_front()
                 else {
                     unreachable!()
                 };
                 match self.deliver_msg(cycle, src, logical_q, &data) {
                     Deliver::Done(end) => {
-                        self.rxu_in.pop_front();
                         self.ctrl.rx_busy = end;
                     }
                     Deliver::Stall => {
+                        self.rxu_in.push_front(NetPayload::Msg {
+                            src,
+                            logical_q,
+                            data,
+                        });
                         self.ctrl.rx_busy = cycle + self.params.rx_full_retry_cycles;
                     }
                 }
@@ -595,7 +610,7 @@ impl Niu {
     }
 
     /// Deliver a message into (the hardware slot caching) `logical_q`.
-    fn deliver_msg(&mut self, cycle: u64, src: u16, logical_q: u16, data: &Bytes) -> Deliver {
+    fn deliver_msg(&mut self, cycle: u64, src: u16, logical_q: u16, data: &[u8]) -> Deliver {
         let overhead = self.params.rx_engine_overhead_cycles;
         let miss_slot = self.params.miss_queue_slot;
         let mut target = match self.ctrl.rx_cache.translate(logical_q) {
@@ -666,7 +681,7 @@ impl Niu {
         }
         if service == RxService::Interrupt {
             self.interrupts
-                .push(NiuInterrupt::RxArrival(QueueId(target as u8)));
+                .push_back(NiuInterrupt::RxArrival(QueueId(target as u8)));
         }
         self.ctrl.stats.msgs_delivered.bump();
         Deliver::Done(end + overhead)
@@ -692,9 +707,9 @@ impl Niu {
                 self.tx_violation(qi);
                 return;
             };
-            let mut payload = Vec::with_capacity(5);
-            payload.push(tag);
-            payload.extend_from_slice(&word);
+            let mut payload = MsgData::empty();
+            payload.append(&[tag]);
+            payload.append(&word);
             let cost = overhead + self.params.ibus_cycles(8) + 2;
             let end = self.ctrl.ibus.acquire(cycle, cost);
             self.advance_tx_consumer(qi);
@@ -705,7 +720,7 @@ impl Niu {
                 NetPayload::Msg {
                     src: self.node_id,
                     logical_q: x.logical_q,
-                    data: Bytes::from(payload),
+                    data: payload,
                 },
             );
             self.ctrl.tx_busy = end;
@@ -735,19 +750,18 @@ impl Niu {
             };
             (x.node, x.logical_q, x.priority())
         };
-        let mut data = self.sram(sel).read_vec(slot + 8, hdr.len as usize);
+        let mut data = MsgData::with_len(hdr.len as usize);
+        self.sram(sel).read(slot + 8, data.as_mut_slice());
         let mut cost = overhead + self.params.ibus_cycles(8 + hdr.len as u32) + 2;
         if hdr.flags.contains(MsgFlags::TAGON) {
-            let tagon = self
-                .sram(sel)
-                .read_vec(hdr.tagon_addr(), hdr.tagon_len as usize);
             assert!(
-                data.len() + tagon.len() <= MAX_PACKET_PAYLOAD,
+                data.len() + hdr.tagon_len as usize <= MAX_PACKET_PAYLOAD,
                 "message + TagOn exceeds the 88-byte packet payload"
             );
+            let tagon = data.extend_zeroed(hdr.tagon_len as usize);
+            self.sram(sel).read(hdr.tagon_addr(), tagon);
             cost += self.params.ibus_cycles(hdr.tagon_len as u32);
-            self.ctrl.stats.tagon_bytes += tagon.len() as u64;
-            data.extend_from_slice(&tagon);
+            self.ctrl.stats.tagon_bytes += hdr.tagon_len as u64;
         }
         let end = self.ctrl.ibus.acquire(cycle, cost);
         self.advance_tx_consumer(qi);
@@ -759,7 +773,7 @@ impl Niu {
             NetPayload::Msg {
                 src: self.node_id,
                 logical_q,
-                data: Bytes::from(data),
+                data,
             },
         );
         self.ctrl.tx_busy = end;
@@ -783,7 +797,7 @@ impl Niu {
         q.violations.bump();
         self.ctrl.stats.violations.bump();
         self.interrupts
-            .push(NiuInterrupt::TxViolation(QueueId(qi as u8)));
+            .push_back(NiuInterrupt::TxViolation(QueueId(qi as u8)));
         self.sp_requests
             .push_back(SpRequest::Violation { q: qi as u8 });
     }
@@ -851,7 +865,8 @@ impl Niu {
                 addr,
                 raw_node,
             } => {
-                let data = self.sram(sram).read_vec(addr, header.len as usize);
+                let mut data = MsgData::with_len(header.len as usize);
+                self.sram(sram).read(addr, data.as_mut_slice());
                 self.fw_send(i, cycle, header, data, sram, raw_node);
             }
             LocalCmd::SendDirect {
@@ -861,14 +876,14 @@ impl Niu {
                 data,
                 tagon,
             } => {
-                let mut body = data.to_vec();
+                let mut body = MsgData::new(&data);
                 let mut cost = decode + self.params.ibus_cycles(8 + body.len() as u32) + 2;
                 if let Some((tsel, taddr, tlen)) = tagon {
-                    let t = self.sram(tsel).read_vec(taddr, tlen as usize);
-                    assert!(body.len() + t.len() <= MAX_PACKET_PAYLOAD);
+                    assert!(body.len() + tlen as usize <= MAX_PACKET_PAYLOAD);
+                    let t = body.extend_zeroed(tlen as usize);
+                    self.sram(tsel).read(taddr, t);
                     cost += self.params.ibus_cycles(tlen as u32);
-                    self.ctrl.stats.tagon_bytes += t.len() as u64;
-                    body.extend_from_slice(&t);
+                    self.ctrl.stats.tagon_bytes += tlen as u64;
                 }
                 let end = self.ctrl.ibus.acquire(cycle, cost);
                 self.ctrl.stats.msgs_launched.bump();
@@ -879,7 +894,7 @@ impl Niu {
                     NetPayload::Msg {
                         src: self.node_id,
                         logical_q,
-                        data: Bytes::from(body),
+                        data: body,
                     },
                 );
                 self.ctrl.cmd_busy[i] = end;
@@ -987,7 +1002,7 @@ impl Niu {
         i: usize,
         cycle: u64,
         header: MsgHeader,
-        mut data: Vec<u8>,
+        mut data: MsgData,
         sram: SramSel,
         raw_node: Option<(u16, u16, Priority)>,
     ) {
@@ -1007,13 +1022,11 @@ impl Niu {
         };
         let mut cost = decode + self.params.ibus_cycles(8 + data.len() as u32) + 2;
         if header.flags.contains(MsgFlags::TAGON) {
-            let t = self
-                .sram(sram)
-                .read_vec(header.tagon_addr(), header.tagon_len as usize);
-            assert!(data.len() + t.len() <= MAX_PACKET_PAYLOAD);
+            assert!(data.len() + header.tagon_len as usize <= MAX_PACKET_PAYLOAD);
+            let t = data.extend_zeroed(header.tagon_len as usize);
+            self.sram(sram).read(header.tagon_addr(), t);
             cost += self.params.ibus_cycles(header.tagon_len as u32);
-            self.ctrl.stats.tagon_bytes += t.len() as u64;
-            data.extend_from_slice(&t);
+            self.ctrl.stats.tagon_bytes += header.tagon_len as u64;
         }
         let end = self.ctrl.ibus.acquire(cycle, cost);
         self.ctrl.stats.msgs_launched.bump();
@@ -1024,7 +1037,7 @@ impl Niu {
             NetPayload::Msg {
                 src: self.node_id,
                 logical_q,
-                data: Bytes::from(data),
+                data,
             },
         );
         self.ctrl.cmd_busy[i] = end;
@@ -1215,7 +1228,7 @@ impl Niu {
                 );
                 self.ctrl.blocktx_busy = end;
             }
-            self.interrupts.push(NiuInterrupt::BlockTxDone);
+            self.interrupts.push_back(NiuInterrupt::BlockTxDone);
             return;
         }
         let avail = bt.watermark.saturating_sub(bt.sent);
@@ -1674,7 +1687,7 @@ mod tests {
         n.push_arrival(NetPayload::Msg {
             src: 3,
             logical_q: 1,
-            data: Bytes::from_static(b"payload!"),
+            data: MsgData::new(b"payload!"),
         });
         run(&mut n, 50);
         assert_eq!(n.ctrl.rx[1].pending(), 1);
@@ -1690,7 +1703,7 @@ mod tests {
         n.push_arrival(NetPayload::Msg {
             src: 3,
             logical_q: 77,
-            data: Bytes::from_static(b"stray"),
+            data: MsgData::new(b"stray"),
         });
         run(&mut n, 50);
         let miss = n.params.miss_queue_slot;
@@ -1711,7 +1724,7 @@ mod tests {
             n.push_arrival(NetPayload::Msg {
                 src: 2,
                 logical_q: 1,
-                data: Bytes::from_static(b"x"),
+                data: MsgData::new(b"x"),
             });
         }
         run(&mut n, 200);
@@ -1726,7 +1739,7 @@ mod tests {
             n.push_arrival(NetPayload::Msg {
                 src: 2,
                 logical_q: 1,
-                data: Bytes::from_static(b"x"),
+                data: MsgData::new(b"x"),
             });
         }
         run(&mut n, 200);
@@ -1742,7 +1755,7 @@ mod tests {
             n.push_arrival(NetPayload::Msg {
                 src: 2,
                 logical_q: 1,
-                data: Bytes::from_static(b"x"),
+                data: MsgData::new(b"x"),
             });
         }
         run(&mut n, 200);

@@ -16,6 +16,9 @@
 //! - [`fifo`]: bounded FIFO models with occupancy statistics, the shape of
 //!   every hardware queue in the NIU.
 //! - [`trace`]: a lightweight ring-buffer tracer for debugging simulations.
+//! - [`wake`]: a dirty-tracking wake-time index ([`WakeIndex`]) that the
+//!   event-driven run loops use to find the next executable cycle in
+//!   O(log N) instead of scanning every node.
 //!
 //! Design note: the simulator deliberately avoids trait-object component
 //! graphs. Substrate crates expose plain state machines; the top-level
@@ -28,8 +31,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wake;
 
 pub use fifo::BoundedFifo;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{Clock, Time, NS_PER_SEC, NS_PER_US};
+pub use wake::WakeIndex;

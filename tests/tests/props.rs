@@ -247,4 +247,71 @@ proptest! {
             prop_assert_eq!(&got.1[..], &want[..]);
         }
     }
+
+    /// `Node::next_event_cycle` is conservative: a machine that ticks
+    /// nodes only at their advertised wake cycles (the event loops) is
+    /// indistinguishable from one that ticks every node on every cycle,
+    /// for arbitrary message mixes, payload sizes and compute delays. A
+    /// wake advertised even one cycle too late would shift the
+    /// quiescence time or reorder deliveries and fail this.
+    #[test]
+    fn advertised_wakes_are_conservative(
+        delays in proptest::collection::vec(0u64..3_000, 3),
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..=88), 1..5),
+        express in any::<bool>(),
+    ) {
+        use voyager::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
+        use voyager::app::{Delay, Seq};
+        use voyager::{Machine, MachineBuilder, Program};
+        let n = payloads.len();
+        let load = |m: &mut Machine| {
+            let l0 = m.lib(0);
+            let l1 = m.lib(1);
+            let send: Box<dyn Program> = if express {
+                let items = payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (l0.express_dest(1), i as u8, p.len() as u32))
+                    .collect();
+                Box::new(SendExpress::new(&l0, items))
+            } else {
+                let items = payloads
+                    .iter()
+                    .map(|p| BasicMsg::new(l0.user_dest(1), p.clone()))
+                    .collect();
+                Box::new(SendBasic::new(&l0, items))
+            };
+            let recv: Box<dyn Program> = if express {
+                Box::new(RecvExpress::expecting(&l1, n))
+            } else {
+                Box::new(RecvBasic::expecting(&l1, n))
+            };
+            m.load_program(0, Seq::new(vec![Box::new(Delay(delays[0])), send]));
+            m.load_program(1, Seq::new(vec![Box::new(Delay(delays[1])), recv]));
+            // A bystander that only computes: its wake must not pin the
+            // loop, and the loop must not miss its completion.
+            m.load_program(2, Seq::new(vec![Box::new(Delay(delays[2]))]));
+        };
+        let run = |b: MachineBuilder| {
+            let mut m = b.build();
+            load(&mut m);
+            let t = m.run_to_quiescence().ns();
+            let msgs: Vec<_> = (0..3u16).map(|i| m.received_messages(i)).collect();
+            let events: Vec<Vec<_>> = (0..3u16)
+                .map(|i| {
+                    m.events(i)
+                        .iter()
+                        .map(|e| (e.at.ns(), format!("{:?}", e.kind)))
+                        .collect()
+                })
+                .collect();
+            (t, msgs, events)
+        };
+        let stepped = run(Machine::builder(3).cycle_stepped());
+        let event = run(Machine::builder(3).threads(1));
+        let par = run(Machine::builder(3).threads(2));
+        prop_assert_eq!(&stepped, &event);
+        prop_assert_eq!(&event, &par);
+    }
 }

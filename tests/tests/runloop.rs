@@ -163,6 +163,46 @@ fn hang_reports_identical_cap_time() {
     assert_eq!(stepped, hung_at(Machine::builder(4).threads(4)));
 }
 
+/// Staggered pairs at 64 nodes: the wake index's target regime (most
+/// nodes idle at any instant), at a scale where a stale or late wake
+/// in the sharded per-worker indexes would surface. Fingerprints every
+/// node's events, messages and node 0's trace across all three modes.
+#[test]
+fn modes_agree_at_64_nodes() {
+    const STAGGER_NS: u64 = 2_000;
+    let load = |m: &mut Machine| {
+        for k in 0..32u16 {
+            let (a, b) = (2 * k, 2 * k + 1);
+            let lib_a = m.lib(a);
+            let lib_b = m.lib(b);
+            let msgs = (0..2u16)
+                .map(|r| BasicMsg::new(lib_a.user_dest(b), vec![r as u8; 16]))
+                .collect();
+            m.load_program(
+                a,
+                voyager::app::Seq::new(vec![
+                    Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
+                    Box::new(SendBasic::new(&lib_a, msgs)),
+                ]),
+            );
+            m.load_program(
+                b,
+                voyager::app::Seq::new(vec![
+                    Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
+                    Box::new(RecvBasic::expecting(&lib_b, 2)),
+                ]),
+            );
+        }
+    };
+    let stepped = run_mode(Machine::builder(64).cycle_stepped(), load);
+    let event = run_mode(Machine::builder(64), load);
+    assert_eq!(stepped, event, "event vs stepped at 64 nodes");
+    for threads in [2, 5, 8] {
+        let par = run_mode(Machine::builder(64).threads(threads), load);
+        assert_eq!(event, par, "threads = {threads}");
+    }
+}
+
 #[test]
 fn builder_round_trip_matches_deprecated_constructor() {
     // The builder with the legacy loop must reproduce Machine::new
@@ -183,6 +223,25 @@ fn builder_round_trip_matches_deprecated_constructor() {
         Machine::builder(2).build().run_mode(),
         RunMode::Event { threads: 1 }
     );
+    // Same contract for the ideal-network shim.
+    #[allow(deprecated)]
+    let mut old_i = Machine::new_ideal(2, SystemParams::default(), 100);
+    let mut new_i = Machine::builder(2)
+        .params(SystemParams::default())
+        .ideal_network(100)
+        .cycle_stepped()
+        .build();
+    let load_pair = |m: &mut Machine| {
+        let l0 = m.lib(0);
+        let l1 = m.lib(1);
+        m.load_program(0, SendBasic::to_node(&l0, 1, vec![5u8; 32]));
+        m.load_program(1, RecvBasic::expecting(&l1, 1));
+    };
+    load_pair(&mut old_i);
+    load_pair(&mut new_i);
+    let t_old = old_i.run_to_quiescence().ns();
+    let t_new = new_i.run_to_quiescence().ns();
+    assert_eq!(fingerprint(&old_i, t_old), fingerprint(&new_i, t_new));
 }
 
 #[test]
