@@ -36,6 +36,6 @@ pub mod packet;
 pub mod topology;
 
 pub use ideal::IdealNetwork;
-pub use network::{LinkParams, Network, NetworkStats};
+pub use network::{LinkParams, LinkUsage, Network, NetworkStats};
 pub use packet::{NodeId, Packet, Priority, MAX_PAYLOAD_BYTES, PACKET_HEADER_BYTES};
 pub use topology::{FatTree, RoutingPolicy};

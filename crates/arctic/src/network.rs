@@ -68,6 +68,8 @@ struct LinkState {
     high_water: usize,
     /// Bytes pushed through this link.
     bytes: u64,
+    /// Time this link spent serializing packets, ns (occupancy numerator).
+    busy_ns: u64,
 }
 
 impl LinkState {
@@ -78,6 +80,7 @@ impl LinkState {
             dispatch_scheduled: false,
             high_water: 0,
             bytes: 0,
+            busy_ns: 0,
         }
     }
 
@@ -283,6 +286,7 @@ impl<P> Network<P> {
         let ser = self.params.serialize_ns(bytes);
         link.busy_until = now.plus(ser);
         link.bytes += bytes as u64;
+        link.busy_ns += ser;
         let arrive_at = now.plus(ser + self.params.router_latency_ns);
         self.events
             .push(arrive_at, NetEvent::Arrive { flight: slot });
@@ -355,6 +359,36 @@ impl<P> Network<P> {
         2 * (self.params.serialize_ns(crate::packet::PACKET_HEADER_BYTES)
             + self.params.router_latency_ns)
     }
+
+    /// Per-link usage snapshot for links that carried traffic, in link-id
+    /// order (deterministic). Idle links are omitted to keep machine-wide
+    /// snapshots proportional to activity, not topology size.
+    pub fn link_usage(&self) -> Vec<LinkUsage> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.bytes > 0)
+            .map(|(id, l)| LinkUsage {
+                link: id,
+                bytes: l.bytes,
+                busy_ns: l.busy_ns,
+                high_water: l.high_water as u64,
+            })
+            .collect()
+    }
+}
+
+/// Per-link usage record exported by [`Network::link_usage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkUsage {
+    /// Link id in the fat tree.
+    pub link: usize,
+    /// Bytes serialized onto the link.
+    pub bytes: u64,
+    /// Time spent serializing (occupancy numerator), ns.
+    pub busy_ns: u64,
+    /// Output-queue high-water mark.
+    pub high_water: u64,
 }
 
 #[cfg(test)]
@@ -387,6 +421,10 @@ mod tests {
         // 2 hops, each: serialize 96B at 6.25 ns/B = 600 ns + 60 ns router.
         assert_eq!(t.ns(), 2 * (600 + 60));
         assert_eq!(n.ideal_latency_ns(0, 1, 96), 1320);
+        // Per-link occupancy: both traversed links serialized for 600 ns.
+        let usage = n.link_usage();
+        assert_eq!(usage.len(), 2);
+        assert!(usage.iter().all(|u| u.busy_ns == 600 && u.bytes == 96));
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //! `BENCH_simspeed.json` (simulated ns and bus cycles per wall second,
 //! per loop mode and node count).
 //!
-//! Usage: `simspeed [--nodes N]` — with `--nodes` only the sweep entry
-//! for `N` runs (the CI smoke configuration); without arguments the full
-//! ring table and node-count sweep run.
+//! Usage: `simspeed [--nodes N] [--stats]` — with `--nodes` only the
+//! sweep entry for `N` runs (the CI smoke configuration); without
+//! arguments the full ring table and node-count sweep run. With
+//! `--stats`, a deterministic re-run of the staggered-pair workload
+//! (latency sampling on) additionally dumps the full
+//! `Machine::stats()` counter snapshot to
+//! `BENCH_simspeed_stats.json` — byte-comparable against a committed
+//! golden, since the snapshot contains no wall-clock quantities.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -201,6 +206,23 @@ fn write_json(path: &str, workers: usize, sweep: &[SweepRow], ring: &[(u16, u64,
     f.write_all(s.as_bytes()).expect("write json report");
 }
 
+/// Deterministic observability sidecar: re-run the staggered-pair
+/// workload sequentially with latency sampling on and dump the complete
+/// counter snapshot. Everything in it is simulation-determined, so the
+/// output is byte-stable across hosts and runs.
+fn write_stats_sidecar(n: u16, path: &str) {
+    let mut m = Machine::builder(n.into())
+        .threads(1)
+        .sample_latency(true)
+        .build();
+    load_staggered_pairs(&mut m, n);
+    m.run_to_quiescence();
+    let mut json = m.stats().to_json();
+    json.push('\n');
+    std::fs::write(path, json).expect("write stats sidecar");
+    println!("wrote {path}");
+}
+
 fn main() {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -212,6 +234,7 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--nodes takes a node count")
     });
+    let want_stats = args.iter().any(|a| a == "--stats");
 
     // ---- Node-count sweep (idle-heavy staggered pairs) ----
     let sweep_sizes: Vec<u16> = match only_nodes {
@@ -296,4 +319,7 @@ fn main() {
 
     write_json("BENCH_simspeed.json", workers, &sweep, &ring);
     println!("\nwrote BENCH_simspeed.json");
+    if want_stats {
+        write_stats_sidecar(only_nodes.unwrap_or(64), "BENCH_simspeed_stats.json");
+    }
 }

@@ -45,6 +45,7 @@
 //! - [`workloads`]: multi-node traffic generators (ping-pong, streams,
 //!   all-to-all) used by tests and the network ablation.
 //! - [`metrics`]: serializable experiment records.
+//! - [`stats`]: the machine-wide counter snapshot ([`Machine::stats`]).
 //! - [`sweep`]: parallel parameter sweeps for the bench harness.
 
 pub mod api;
@@ -57,6 +58,7 @@ pub mod node;
 pub mod params;
 pub mod report;
 pub mod runloop;
+pub mod stats;
 pub mod sweep;
 pub mod workloads;
 
@@ -67,6 +69,7 @@ pub use metrics::{XferMeasurement, XferPoint};
 pub use node::Node;
 pub use params::SystemParams;
 pub use runloop::{RunMode, RunOutcome};
+pub use stats::MachineStats;
 
 // Re-export the substrate crates so downstream users need only `voyager`.
 pub use sv_arctic as arctic;

@@ -132,6 +132,19 @@ impl NodeLib {
     }
 }
 
+/// Run-loop execution counters, part of [`Machine::stats`]. Only events
+/// that are invariant across [`RunMode::Event`] thread counts are counted:
+/// node ticks, arrival publishes and post-tick republishes. Full-scan
+/// rebuilds ([`Machine`]-level) and shard priming are deliberately
+/// excluded — they differ between the sequential and windowed paths.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RunLoopCounters {
+    /// Node ticks executed ([`crate::Node::tick`] calls).
+    pub node_ticks: u64,
+    /// Wake-index publishes on arrival/post-tick edges.
+    pub wake_republishes: u64,
+}
+
 /// The assembled machine.
 pub struct Machine {
     /// Timing/geometry parameters.
@@ -159,6 +172,8 @@ pub struct Machine {
     /// loop allocates nothing.
     pub(crate) due: Vec<u32>,
     pub(crate) delivered: Vec<(Time, sv_arctic::Packet<NetPayload>)>,
+    /// Run-loop execution counters (see [`RunLoopCounters`]).
+    pub(crate) runstats: RunLoopCounters,
 }
 
 /// Configures and assembles a [`Machine`]. Created by
@@ -171,6 +186,7 @@ pub struct MachineBuilder {
     ideal_latency_ns: Option<u64>,
     traced_nodes: Vec<u16>,
     mode: RunMode,
+    sample_latency: bool,
 }
 
 impl MachineBuilder {
@@ -217,6 +233,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Stamp every packet at injection so [`Machine::stats`] reports
+    /// per-class inject→deliver latency distributions. Off by default:
+    /// the hot path then pays a single untaken branch per send.
+    pub fn sample_latency(mut self, on: bool) -> Self {
+        self.sample_latency = on;
+        self
+    }
+
     /// Assemble the machine.
     pub fn build(self) -> Machine {
         let mut m = Machine::assemble(self.n, self.params, self.mode);
@@ -229,6 +253,9 @@ impl MachineBuilder {
         }
         for i in self.traced_nodes {
             m.enable_tracing(i, true);
+        }
+        if self.sample_latency {
+            m.set_latency_sampling(true);
         }
         m
     }
@@ -245,6 +272,7 @@ impl Machine {
             ideal_latency_ns: None,
             traced_nodes: Vec::new(),
             mode: RunMode::default(),
+            sample_latency: false,
         }
     }
 
@@ -270,6 +298,7 @@ impl Machine {
             wake_valid: false,
             due: Vec::new(),
             delivered: Vec::new(),
+            runstats: RunLoopCounters::default(),
         }
     }
 
@@ -308,6 +337,14 @@ impl Machine {
     /// the same machine-state invariants between calls.
     pub fn set_run_mode(&mut self, mode: RunMode) {
         self.mode = mode;
+    }
+
+    /// Turn per-class packet latency sampling on or off for every NIU
+    /// (see [`MachineBuilder::sample_latency`]).
+    pub fn set_latency_sampling(&mut self, on: bool) {
+        for node in &mut self.nodes {
+            node.niu.sample_latency = on;
+        }
     }
 
     fn configure_node(node: &mut Node, nodes: u16) {
@@ -447,6 +484,9 @@ impl Machine {
             node.niu.push_arrival(pkt.payload);
         }
         let cycle = self.cycle;
+        // The stepped loop visits every node every cycle by definition;
+        // it maintains no wake index, so republishes stay untouched.
+        self.runstats.node_ticks += self.nodes.len() as u64;
         for node in &mut self.nodes {
             node.tick(cycle, now);
         }

@@ -186,8 +186,10 @@ impl Machine {
             node.niu.push_arrival(pkt.payload);
             // The arrival may unblock the destination this very cycle.
             self.wake.publish(pkt.dst as usize, Some(cycle));
+            self.runstats.wake_republishes += 1;
         }
         self.wake.drain_due(cycle, &mut self.due);
+        self.runstats.node_ticks += self.due.len() as u64;
         for &i in &self.due {
             self.nodes[i as usize].tick(cycle, now);
         }
@@ -211,6 +213,7 @@ impl Machine {
             let w = self.nodes[i as usize].next_event_cycle(cycle + 1, &self.clock);
             self.wake.publish(i as usize, w);
         }
+        self.runstats.wake_republishes += self.due.len() as u64;
         self.cycle += 1;
     }
 
@@ -460,7 +463,7 @@ impl Machine {
         let window = self.window_cycles(la_ns);
         let clock = self.clock;
         let start = self.cycle;
-        let last_exec = match &mut self.ideal {
+        let res = match &mut self.ideal {
             Some(ideal) => run_windows(
                 &mut self.nodes,
                 ideal,
@@ -485,7 +488,9 @@ impl Machine {
         // The workers advanced the nodes; the machine-level index no
         // longer reflects them.
         self.wake_valid = false;
-        last_exec
+        self.runstats.node_ticks += res.ticks;
+        self.runstats.wake_republishes += res.republishes;
+        res.last_exec
     }
 }
 
@@ -550,6 +555,21 @@ struct ShardOut {
     next_wake: Option<u64>,
     /// Last cycle this shard executed in the window, if any.
     last_exec: Option<u64>,
+    /// Node ticks this shard executed in the window.
+    ticks: u64,
+    /// Arrival + post-tick wake publishes this window (priming excluded
+    /// so the count matches the sequential loop exactly).
+    republishes: u64,
+}
+
+/// What [`run_windows`] hands back to the machine.
+struct WindowsResult {
+    /// Last cycle on which anything executed, if any did.
+    last_exec: Option<u64>,
+    /// Node ticks executed across all shards.
+    ticks: u64,
+    /// Arrival + post-tick wake publishes across all shards.
+    republishes: u64,
 }
 
 /// Drive `nodes` from cycle `start` to `target` in lookahead-bounded
@@ -563,7 +583,7 @@ fn run_windows<N: NetModel>(
     target: u64,
     threads: usize,
     window: u64,
-) -> Option<u64> {
+) -> WindowsResult {
     let n = nodes.len();
     let chunk = n.div_ceil(threads.clamp(1, n));
     let shard_of = |dst: u16| dst as usize / chunk;
@@ -577,6 +597,8 @@ fn run_windows<N: NetModel>(
         .collect();
     let shard_count = wakes.len();
     let mut last_exec: Option<u64> = None;
+    let mut ticks = 0u64;
+    let mut republishes = 0u64;
     std::thread::scope(|scope| {
         let (out_tx, out_rx) = channel::unbounded::<ShardOut>();
         let mut cmd_txs = Vec::with_capacity(shard_count);
@@ -633,6 +655,8 @@ fn run_windows<N: NetModel>(
                 if let Some(l) = out.last_exec {
                     last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
                 }
+                ticks += out.ticks;
+                republishes += out.republishes;
                 injections.extend(out.injections);
             }
             // Commit: replay injections in the order the sequential loop
@@ -660,7 +684,11 @@ fn run_windows<N: NetModel>(
             let _ = tx.send(ShardCmd::Exit);
         }
     });
-    last_exec
+    WindowsResult {
+        last_exec,
+        ticks,
+        republishes,
+    }
 }
 
 /// Worker loop: execute windows for one contiguous shard of nodes.
@@ -689,6 +717,8 @@ fn shard_worker(
         }
         let mut injections = Vec::new();
         let mut last_exec = None;
+        let mut ticks = 0u64;
+        let mut republishes = 0u64;
         let mut arr = arrivals.into_iter().peekable();
         loop {
             // Next cycle on which this shard can act: its own engines'
@@ -720,8 +750,10 @@ fn shard_worker(
                 }
                 node.niu.push_arrival(pkt.payload);
                 wake.publish(li, Some(ce));
+                republishes += 1;
             }
             wake.drain_due(ce, &mut due);
+            ticks += due.len() as u64;
             for &i in &due {
                 shard[i as usize].tick(ce, now);
             }
@@ -742,6 +774,7 @@ fn shard_worker(
                 let w = shard[i as usize].next_event_cycle(ce + 1, &clock);
                 wake.publish(i as usize, w);
             }
+            republishes += due.len() as u64;
             last_exec = Some(ce);
         }
         // All live wakes are >= w1 here (the loop above drained anything
@@ -755,6 +788,8 @@ fn shard_worker(
                 injections,
                 next_wake,
                 last_exec,
+                ticks,
+                republishes,
             })
             .is_err()
         {

@@ -1,0 +1,658 @@
+//! Machine-wide observability: the [`Machine::stats`] snapshot.
+//!
+//! Where [`crate::report`] condenses a run into human-readable
+//! utilization percentages, this module exposes the *raw counters* of
+//! every simulated component as one structured, serializable value —
+//! per-queue enqueue/dequeue/stall counts, per-class message
+//! conservation and latency distributions, memory-bus and Arctic
+//! per-link occupancy, firmware protocol counters, and run-loop
+//! execution counters. Every field is an integer, so snapshots are
+//! bit-deterministic: the determinism suite asserts byte-identical
+//! [`MachineStats::to_json`] output across [`crate::RunMode::Event`]
+//! thread counts, and the golden-stats tests pin exact values per
+//! scenario.
+//!
+//! Collecting a snapshot costs nothing during the run: all counters are
+//! maintained inline by the components (a handful of integer adds on
+//! paths that already mutate state), and latency *sampling* — the only
+//! per-packet metadata write — is off by default
+//! ([`crate::MachineBuilder::sample_latency`]).
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+use sv_niu::msg::{MsgClass, MSG_CLASSES};
+use sv_sim::JsonWriter;
+
+/// Per-class message conservation and latency. At quiescence
+/// `sent == delivered + dropped` holds for every class (the property
+/// suite asserts it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSnapshot {
+    /// Packets launched (loopbacks included).
+    pub sent: u64,
+    /// Packets accepted at the destination NIU.
+    pub delivered: u64,
+    /// Packets discarded at the destination.
+    pub dropped: u64,
+    /// Latency samples recorded (equals `delivered` while sampling is on
+    /// from cycle 0; zero when sampling is off).
+    pub latency_count: u64,
+    /// Sum of inject→deliver latencies, 66 MHz bus cycles.
+    pub latency_sum_cycles: u64,
+    /// Smallest latency sample (0 when none).
+    pub latency_min_cycles: u64,
+    /// Largest latency sample.
+    pub latency_max_cycles: u64,
+}
+
+/// One transmit queue's counters. Queues with all-zero counters are
+/// omitted from [`NiuSnapshot::tx_queues`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxQueueSnapshot {
+    /// Hardware queue index.
+    pub q: u64,
+    /// Messages enqueued (producer-pointer advances).
+    pub enqueued: u64,
+    /// Payload bytes launched.
+    pub sent_bytes: u64,
+    /// Launch stalls on a full buffer (Express backpressure).
+    pub full_stalls: u64,
+    /// Protection violations observed.
+    pub violations: u64,
+}
+
+/// One receive queue's counters. All-zero queues are omitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RxQueueSnapshot {
+    /// Hardware queue index.
+    pub q: u64,
+    /// Payload bytes received.
+    pub received_bytes: u64,
+    /// Messages dequeued (consumer-pointer advances).
+    pub dequeued: u64,
+    /// Messages dropped (full queue, Drop policy).
+    pub dropped: u64,
+    /// Messages diverted to the miss queue.
+    pub diverted: u64,
+    /// Delivery attempts stalled on a full queue (Retry policy).
+    pub full_stalls: u64,
+}
+
+/// One NIU's counters: CTRL engines, queues, translation, aBIU, IBus.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NiuSnapshot {
+    /// Messages launched by the transmit engine.
+    pub msgs_launched: u64,
+    /// Messages delivered into receive queues.
+    pub msgs_delivered: u64,
+    /// Messages diverted to the miss queue.
+    pub msgs_diverted: u64,
+    /// Messages dropped.
+    pub msgs_dropped: u64,
+    /// Remote commands executed.
+    pub remote_cmds: u64,
+    /// Local commands executed.
+    pub cmds_executed: u64,
+    /// Protection violations observed.
+    pub violations: u64,
+    /// TagOn bytes appended.
+    pub tagon_bytes: u64,
+    /// Contested transmit arbitrations won on priority.
+    pub tx_priority_wins: u64,
+    /// Block-transmit data chunks packetized (DMA chain steps).
+    pub dma_chain_steps: u64,
+    /// Messages short-circuited to this node's own receive path.
+    pub loopback_msgs: u64,
+    /// Express entries dropped (full queue, Drop policy).
+    pub express_dropped: u64,
+    /// Deepest receive-engine backlog seen.
+    pub rxu_high_water: u64,
+    /// Receive-queue-cache hits (message landed in a hardware queue).
+    pub rq_cache_hits: u64,
+    /// Receive-queue-cache misses (message took the firmware path).
+    pub rq_cache_misses: u64,
+    /// Destination-translation lookups.
+    pub xlate_lookups: u64,
+    /// Translation faults (protection violations).
+    pub xlate_faults: u64,
+    /// IBus busy cycles.
+    pub ibus_busy_cycles: u64,
+    /// IBus transactions.
+    pub ibus_transactions: u64,
+    /// aBIU bus operations claimed.
+    pub abiu_claimed: u64,
+    /// aBIU ARTRY retries observed.
+    pub abiu_retries: u64,
+    /// Per-class conservation/latency, indexed by [`MsgClass`].
+    pub classes: [ClassSnapshot; MSG_CLASSES],
+    /// Non-idle transmit queues.
+    pub tx_queues: Vec<TxQueueSnapshot>,
+    /// Non-idle receive queues.
+    pub rx_queues: Vec<RxQueueSnapshot>,
+}
+
+/// One node's firmware counters: engine, occupancy, NUMA, S-COMA, DMA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FwSnapshot {
+    /// Work items handled.
+    pub handled: u64,
+    /// Service-queue messages processed.
+    pub svc_msgs: u64,
+    /// Miss-queue messages processed.
+    pub miss_msgs: u64,
+    /// Violation interrupts observed.
+    pub violations_seen: u64,
+    /// sP busy time, ns.
+    pub busy_ns: u64,
+    /// Distinct sP busy intervals (handler engagements).
+    pub busy_intervals: u64,
+    /// NUMA requests forwarded to a home node (load misses + stores).
+    pub numa_forwards: u64,
+    /// NUMA home-side reads serviced.
+    pub numa_home_reads: u64,
+    /// NUMA home-side writes serviced.
+    pub numa_home_writes: u64,
+    /// NUMA replies delivered to the waiting aP.
+    pub numa_replies: u64,
+    /// S-COMA local misses serviced.
+    pub scoma_local_misses: u64,
+    /// S-COMA directory state transitions.
+    pub scoma_transitions: u64,
+    /// S-COMA owner recalls issued.
+    pub scoma_recalls: u64,
+    /// S-COMA sharer invalidations issued.
+    pub scoma_invals: u64,
+    /// S-COMA writebacks serviced.
+    pub scoma_writebacks: u64,
+    /// Block-transfer requests accepted.
+    pub xfer_requests: u64,
+    /// Block-transfer sends completed.
+    pub xfer_completed_sends: u64,
+    /// Block-transfer chunks sent (firmware DMA chain steps).
+    pub xfer_chunks_sent: u64,
+    /// Completion notifications sent.
+    pub xfer_notifies: u64,
+}
+
+/// One node's memory-bus counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusSnapshot {
+    /// Address tenures started.
+    pub tenures: u64,
+    /// ARTRY retries observed.
+    pub retries: u64,
+    /// Transactions completed.
+    pub completions: u64,
+    /// Busy data-bus cycles (occupancy numerator).
+    pub data_cycles: u64,
+    /// Bytes moved on the data bus.
+    pub data_bytes: u64,
+}
+
+/// One node's aP-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuSnapshot {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Bus operations issued.
+    pub bus_ops_issued: u64,
+    /// Dirty-line castouts.
+    pub castouts: u64,
+    /// Time spent computing, ns.
+    pub compute_ns: u64,
+    /// Time stalled on memory, ns.
+    pub mem_stall_ns: u64,
+    /// ARTRY retries suffered.
+    pub ap_retries: u64,
+}
+
+/// Everything one node counted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub node: u64,
+    /// aP core.
+    pub cpu: CpuSnapshot,
+    /// Memory bus.
+    pub bus: BusSnapshot,
+    /// Network interface unit.
+    pub niu: NiuSnapshot,
+    /// Service-processor firmware.
+    pub fw: FwSnapshot,
+}
+
+/// Network-level counters plus per-link occupancy (links that carried no
+/// bytes are omitted). All zeros under the ideal-network ablation, which
+/// bypasses the Arctic model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Payload+header bytes delivered.
+    pub bytes_delivered: u64,
+    /// End-to-end latency samples (== delivered).
+    pub latency_count: u64,
+    /// Sum of end-to-end latencies, ns.
+    pub latency_sum_ns: u64,
+    /// Smallest end-to-end latency, ns (0 when none).
+    pub latency_min_ns: u64,
+    /// Largest end-to-end latency, ns.
+    pub latency_max_ns: u64,
+    /// Deepest output queue seen on any link.
+    pub max_link_queue: u64,
+    /// Per-link usage: `(link id, bytes, serialization-busy ns, deepest
+    /// queue)`, links with traffic only.
+    pub links: Vec<sv_arctic::LinkUsage>,
+}
+
+/// Run-loop execution counters (see
+/// [`crate::machine::RunLoopCounters`] for what is — deliberately — not
+/// counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSnapshot {
+    /// Bus cycles the run has reached.
+    pub cycles: u64,
+    /// Node ticks actually executed.
+    pub node_ticks: u64,
+    /// Node ticks the event loop skipped (`cycles × nodes − node_ticks`;
+    /// zero under [`crate::RunMode::CycleStepped`]).
+    pub skipped_node_ticks: u64,
+    /// Wake-index publishes on arrival and post-tick edges.
+    pub wake_republishes: u64,
+}
+
+/// The machine-wide snapshot. Integers only, so [`MachineStats::to_json`]
+/// is byte-deterministic across runs, run modes and thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Simulated time, ns.
+    pub sim_time_ns: u64,
+    /// Run-loop execution counters.
+    pub run: RunSnapshot,
+    /// Per-node counters.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Network counters.
+    pub network: NetworkSnapshot,
+}
+
+impl Machine {
+    /// Snapshot every component's counters. Cheap (pure reads over state
+    /// the components maintain inline) and side-effect free.
+    pub fn stats(&self) -> MachineStats {
+        let nodes = self.nodes.iter().map(snapshot_node).collect();
+        let net = &self.network.stats;
+        MachineStats {
+            sim_time_ns: self.now.ns(),
+            run: RunSnapshot {
+                cycles: self.cycle,
+                node_ticks: self.runstats.node_ticks,
+                skipped_node_ticks: (self.cycle * self.nodes.len() as u64)
+                    .saturating_sub(self.runstats.node_ticks),
+                wake_republishes: self.runstats.wake_republishes,
+            },
+            nodes,
+            network: NetworkSnapshot {
+                injected: net.injected.get(),
+                delivered: net.delivered.get(),
+                bytes_delivered: net.bytes_delivered,
+                latency_count: net.latency.count,
+                latency_sum_ns: net.latency.sum,
+                latency_min_ns: net.latency.min_or_zero(),
+                latency_max_ns: net.latency.max,
+                max_link_queue: net.max_link_queue as u64,
+                links: self.network.link_usage(),
+            },
+        }
+    }
+}
+
+fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
+    let cs = &n.niu.ctrl.stats;
+    let mut classes = [ClassSnapshot::default(); MSG_CLASSES];
+    for (i, c) in n.niu.stats.class.iter().enumerate() {
+        classes[i] = ClassSnapshot {
+            sent: c.sent.get(),
+            delivered: c.delivered.get(),
+            dropped: c.dropped.get(),
+            latency_count: c.latency.count,
+            latency_sum_cycles: c.latency.sum,
+            latency_min_cycles: c.latency.min_or_zero(),
+            latency_max_cycles: c.latency.max,
+        };
+    }
+    let tx_queues = n
+        .niu
+        .ctrl
+        .tx
+        .iter()
+        .enumerate()
+        .map(|(q, t)| TxQueueSnapshot {
+            q: q as u64,
+            enqueued: t.enqueued.get(),
+            sent_bytes: t.sent.get(),
+            full_stalls: t.full_stalls.get(),
+            violations: t.violations.get(),
+        })
+        .filter(|t| t.enqueued + t.sent_bytes + t.full_stalls + t.violations > 0)
+        .collect();
+    let rx_queues = n
+        .niu
+        .ctrl
+        .rx
+        .iter()
+        .enumerate()
+        .map(|(q, r)| RxQueueSnapshot {
+            q: q as u64,
+            received_bytes: r.received.get(),
+            dequeued: r.dequeued.get(),
+            dropped: r.dropped.get(),
+            diverted: r.diverted.get(),
+            full_stalls: r.full_stalls.get(),
+        })
+        .filter(|r| r.received_bytes + r.dequeued + r.dropped + r.diverted + r.full_stalls > 0)
+        .collect();
+    NodeSnapshot {
+        node: n.id as u64,
+        cpu: CpuSnapshot {
+            loads: n.stats.loads.get(),
+            stores: n.stats.stores.get(),
+            l1_hits: n.stats.l1_hits.get(),
+            l2_hits: n.stats.l2_hits.get(),
+            bus_ops_issued: n.stats.bus_ops_issued.get(),
+            castouts: n.stats.castouts.get(),
+            compute_ns: n.stats.cpu_compute_ns,
+            mem_stall_ns: n.stats.cpu_mem_stall_ns,
+            ap_retries: n.stats.ap_retries.get(),
+        },
+        bus: BusSnapshot {
+            tenures: n.bus.stats.tenures.get(),
+            retries: n.bus.stats.retries.get(),
+            completions: n.bus.stats.completions.get(),
+            data_cycles: n.bus.stats.data_cycles,
+            data_bytes: n.bus.stats.data_bytes,
+        },
+        niu: NiuSnapshot {
+            msgs_launched: cs.msgs_launched.get(),
+            msgs_delivered: cs.msgs_delivered.get(),
+            msgs_diverted: cs.msgs_diverted.get(),
+            msgs_dropped: cs.msgs_dropped.get(),
+            remote_cmds: cs.remote_cmds.get(),
+            cmds_executed: cs.cmds_executed.get(),
+            violations: cs.violations.get(),
+            tagon_bytes: cs.tagon_bytes,
+            tx_priority_wins: cs.tx_priority_wins.get(),
+            dma_chain_steps: cs.dma_chain_steps.get(),
+            loopback_msgs: n.niu.stats.loopback_msgs.get(),
+            express_dropped: n.niu.stats.express_dropped.get(),
+            rxu_high_water: n.niu.stats.rxu_high_water as u64,
+            rq_cache_hits: n.niu.ctrl.rx_cache.hits.get(),
+            rq_cache_misses: n.niu.ctrl.rx_cache.misses.get(),
+            xlate_lookups: n.niu.ctrl.xlate.lookups.get(),
+            xlate_faults: n.niu.ctrl.xlate.faults.get(),
+            ibus_busy_cycles: n.niu.ctrl.ibus.busy_cycles,
+            ibus_transactions: n.niu.ctrl.ibus.transactions.get(),
+            abiu_claimed: n.niu.abiu.stats.claimed.get(),
+            abiu_retries: n.niu.abiu.stats.retries.get(),
+            classes,
+            tx_queues,
+            rx_queues,
+        },
+        fw: FwSnapshot {
+            handled: n.fw.stats.handled.get(),
+            svc_msgs: n.fw.stats.svc_msgs.get(),
+            miss_msgs: n.fw.stats.miss_msgs.get(),
+            violations_seen: n.fw.stats.violations_seen.get(),
+            busy_ns: n.fw.occupancy.busy_ns,
+            busy_intervals: n.fw.occupancy.intervals,
+            numa_forwards: n.fw.numa.load_misses.get() + n.fw.numa.stores_forwarded.get(),
+            numa_home_reads: n.fw.numa.home_reads.get(),
+            numa_home_writes: n.fw.numa.home_writes.get(),
+            numa_replies: n.fw.numa.replies.get(),
+            scoma_local_misses: n.fw.scoma.stats.local_misses.get(),
+            scoma_transitions: n.fw.scoma.stats.transitions.get(),
+            scoma_recalls: n.fw.scoma.stats.recalls.get(),
+            scoma_invals: n.fw.scoma.stats.invals.get(),
+            scoma_writebacks: n.fw.scoma.stats.writebacks.get(),
+            xfer_requests: n.fw.xfer.requests.get(),
+            xfer_completed_sends: n.fw.xfer.completed_sends.get(),
+            xfer_chunks_sent: n.fw.xfer.chunks_sent.get(),
+            xfer_notifies: n.fw.xfer.notifies.get(),
+        },
+    }
+}
+
+impl MachineStats {
+    /// Deterministic JSON rendering: object keys in declaration order,
+    /// integers only, no whitespace. Byte-identical output ⇔ identical
+    /// snapshot.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("sim_time_ns", self.sim_time_ns);
+        w.key("run");
+        w.begin_obj();
+        w.field_u64("cycles", self.run.cycles);
+        w.field_u64("node_ticks", self.run.node_ticks);
+        w.field_u64("skipped_node_ticks", self.run.skipped_node_ticks);
+        w.field_u64("wake_republishes", self.run.wake_republishes);
+        w.end_obj();
+        w.key("nodes");
+        w.begin_arr();
+        for n in &self.nodes {
+            write_node(&mut w, n);
+        }
+        w.end_arr();
+        w.key("network");
+        w.begin_obj();
+        w.field_u64("injected", self.network.injected);
+        w.field_u64("delivered", self.network.delivered);
+        w.field_u64("bytes_delivered", self.network.bytes_delivered);
+        w.field_u64("latency_count", self.network.latency_count);
+        w.field_u64("latency_sum_ns", self.network.latency_sum_ns);
+        w.field_u64("latency_min_ns", self.network.latency_min_ns);
+        w.field_u64("latency_max_ns", self.network.latency_max_ns);
+        w.field_u64("max_link_queue", self.network.max_link_queue);
+        w.key("links");
+        w.begin_arr();
+        for l in &self.network.links {
+            w.begin_obj();
+            w.field_u64("link", l.link as u64);
+            w.field_u64("bytes", l.bytes);
+            w.field_u64("busy_ns", l.busy_ns);
+            w.field_u64("high_water", l.high_water);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.end_obj();
+        w.finish()
+    }
+}
+
+fn write_node(w: &mut JsonWriter, n: &NodeSnapshot) {
+    w.begin_obj();
+    w.field_u64("node", n.node);
+    w.key("cpu");
+    w.begin_obj();
+    w.field_u64("loads", n.cpu.loads);
+    w.field_u64("stores", n.cpu.stores);
+    w.field_u64("l1_hits", n.cpu.l1_hits);
+    w.field_u64("l2_hits", n.cpu.l2_hits);
+    w.field_u64("bus_ops_issued", n.cpu.bus_ops_issued);
+    w.field_u64("castouts", n.cpu.castouts);
+    w.field_u64("compute_ns", n.cpu.compute_ns);
+    w.field_u64("mem_stall_ns", n.cpu.mem_stall_ns);
+    w.field_u64("ap_retries", n.cpu.ap_retries);
+    w.end_obj();
+    w.key("bus");
+    w.begin_obj();
+    w.field_u64("tenures", n.bus.tenures);
+    w.field_u64("retries", n.bus.retries);
+    w.field_u64("completions", n.bus.completions);
+    w.field_u64("data_cycles", n.bus.data_cycles);
+    w.field_u64("data_bytes", n.bus.data_bytes);
+    w.end_obj();
+    w.key("niu");
+    w.begin_obj();
+    w.field_u64("msgs_launched", n.niu.msgs_launched);
+    w.field_u64("msgs_delivered", n.niu.msgs_delivered);
+    w.field_u64("msgs_diverted", n.niu.msgs_diverted);
+    w.field_u64("msgs_dropped", n.niu.msgs_dropped);
+    w.field_u64("remote_cmds", n.niu.remote_cmds);
+    w.field_u64("cmds_executed", n.niu.cmds_executed);
+    w.field_u64("violations", n.niu.violations);
+    w.field_u64("tagon_bytes", n.niu.tagon_bytes);
+    w.field_u64("tx_priority_wins", n.niu.tx_priority_wins);
+    w.field_u64("dma_chain_steps", n.niu.dma_chain_steps);
+    w.field_u64("loopback_msgs", n.niu.loopback_msgs);
+    w.field_u64("express_dropped", n.niu.express_dropped);
+    w.field_u64("rxu_high_water", n.niu.rxu_high_water);
+    w.field_u64("rq_cache_hits", n.niu.rq_cache_hits);
+    w.field_u64("rq_cache_misses", n.niu.rq_cache_misses);
+    w.field_u64("xlate_lookups", n.niu.xlate_lookups);
+    w.field_u64("xlate_faults", n.niu.xlate_faults);
+    w.field_u64("ibus_busy_cycles", n.niu.ibus_busy_cycles);
+    w.field_u64("ibus_transactions", n.niu.ibus_transactions);
+    w.field_u64("abiu_claimed", n.niu.abiu_claimed);
+    w.field_u64("abiu_retries", n.niu.abiu_retries);
+    w.key("classes");
+    w.begin_obj();
+    for (i, c) in n.niu.classes.iter().enumerate() {
+        w.key(MsgClass::NAMES[i]);
+        w.begin_obj();
+        w.field_u64("sent", c.sent);
+        w.field_u64("delivered", c.delivered);
+        w.field_u64("dropped", c.dropped);
+        w.field_u64("latency_count", c.latency_count);
+        w.field_u64("latency_sum_cycles", c.latency_sum_cycles);
+        w.field_u64("latency_min_cycles", c.latency_min_cycles);
+        w.field_u64("latency_max_cycles", c.latency_max_cycles);
+        w.end_obj();
+    }
+    w.end_obj();
+    w.key("tx_queues");
+    w.begin_arr();
+    for t in &n.niu.tx_queues {
+        w.begin_obj();
+        w.field_u64("q", t.q);
+        w.field_u64("enqueued", t.enqueued);
+        w.field_u64("sent_bytes", t.sent_bytes);
+        w.field_u64("full_stalls", t.full_stalls);
+        w.field_u64("violations", t.violations);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.key("rx_queues");
+    w.begin_arr();
+    for r in &n.niu.rx_queues {
+        w.begin_obj();
+        w.field_u64("q", r.q);
+        w.field_u64("received_bytes", r.received_bytes);
+        w.field_u64("dequeued", r.dequeued);
+        w.field_u64("dropped", r.dropped);
+        w.field_u64("diverted", r.diverted);
+        w.field_u64("full_stalls", r.full_stalls);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.key("fw");
+    w.begin_obj();
+    w.field_u64("handled", n.fw.handled);
+    w.field_u64("svc_msgs", n.fw.svc_msgs);
+    w.field_u64("miss_msgs", n.fw.miss_msgs);
+    w.field_u64("violations_seen", n.fw.violations_seen);
+    w.field_u64("busy_ns", n.fw.busy_ns);
+    w.field_u64("busy_intervals", n.fw.busy_intervals);
+    w.field_u64("numa_forwards", n.fw.numa_forwards);
+    w.field_u64("numa_home_reads", n.fw.numa_home_reads);
+    w.field_u64("numa_home_writes", n.fw.numa_home_writes);
+    w.field_u64("numa_replies", n.fw.numa_replies);
+    w.field_u64("scoma_local_misses", n.fw.scoma_local_misses);
+    w.field_u64("scoma_transitions", n.fw.scoma_transitions);
+    w.field_u64("scoma_recalls", n.fw.scoma_recalls);
+    w.field_u64("scoma_invals", n.fw.scoma_invals);
+    w.field_u64("scoma_writebacks", n.fw.scoma_writebacks);
+    w.field_u64("xfer_requests", n.fw.xfer_requests);
+    w.field_u64("xfer_completed_sends", n.fw.xfer_completed_sends);
+    w.field_u64("xfer_chunks_sent", n.fw.xfer_chunks_sent);
+    w.field_u64("xfer_notifies", n.fw.xfer_notifies);
+    w.end_obj();
+    w.end_obj();
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::api::{RecvBasic, SendBasic};
+    use crate::Machine;
+    use sv_niu::msg::MsgClass;
+
+    #[test]
+    fn snapshot_counts_one_basic_message() {
+        let mut m = Machine::builder(2).sample_latency(true).build();
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![7u8; 64]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        let s = m.stats();
+        assert_eq!(s.nodes.len(), 2);
+        let basic = MsgClass::Basic as usize;
+        assert_eq!(s.nodes[0].niu.classes[basic].sent, 1);
+        assert_eq!(s.nodes[1].niu.classes[basic].delivered, 1);
+        assert_eq!(s.nodes[1].niu.classes[basic].latency_count, 1);
+        assert!(s.nodes[1].niu.classes[basic].latency_min_cycles > 0);
+        // The sender's tx queue 1 saw one enqueue; the receiver's rx
+        // queue 1 saw one dequeue.
+        assert!(s.nodes[0]
+            .niu
+            .tx_queues
+            .iter()
+            .any(|t| t.q == 1 && t.enqueued == 1));
+        assert!(s.nodes[1]
+            .niu
+            .rx_queues
+            .iter()
+            .any(|r| r.q == 1 && r.dequeued == 1));
+        assert_eq!(s.network.delivered, 1);
+        assert!(!s.network.links.is_empty());
+        assert!(s.run.node_ticks > 0);
+        assert!(s.run.skipped_node_ticks > 0, "event loop skipped idle work");
+        assert!(s.run.wake_republishes > 0);
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_parsable_shape() {
+        let mut m = Machine::builder(2).build();
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![1u8; 16]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        let a = m.stats().to_json();
+        let b = m.stats().to_json();
+        assert_eq!(a, b, "snapshotting is side-effect free");
+        assert!(a.starts_with("{\"sim_time_ns\":"));
+        assert!(a.contains("\"classes\":{\"basic\":{"));
+        assert!(a.ends_with("}"));
+        // Latency sampling was off: no samples recorded anywhere.
+        assert!(a.contains("\"latency_count\":0"));
+    }
+
+    #[test]
+    fn sampling_off_records_no_latency() {
+        let mut m = Machine::builder(2).build();
+        m.load_program(0, SendBasic::to_node(&m.lib(0), 1, vec![1u8; 16]));
+        m.load_program(1, RecvBasic::expecting(&m.lib(1), 1));
+        m.run_to_quiescence();
+        let s = m.stats();
+        let basic = MsgClass::Basic as usize;
+        assert_eq!(s.nodes[1].niu.classes[basic].delivered, 1);
+        assert_eq!(s.nodes[1].niu.classes[basic].latency_count, 0);
+        assert_eq!(s.nodes[1].niu.classes[basic].latency_min_cycles, 0);
+    }
+}

@@ -143,7 +143,9 @@ impl Firmware {
     pub(crate) fn charge(&mut self, cycle: u64, base: u64) {
         let c = self.params.cost(base);
         self.busy_until = cycle + c;
-        self.occupancy.busy(c * 15); // 66 MHz bus cycle ≈ 15 ns
+        // Anchored interval (66 MHz bus cycle ≈ 15 ns) so utilization can
+        // be clipped to a run window even when a handler straddles its end.
+        self.occupancy.busy_at(cycle * 15, c * 15);
         self.stats.handled.bump();
     }
 

@@ -98,6 +98,9 @@ pub struct ScomaStats {
     pub grants_upgrade: Counter,
     /// Writebacks serviced.
     pub writebacks: Counter,
+    /// Directory state transitions (every mutation of a line's
+    /// [`DirState`], including sharer-set growth).
+    pub transitions: Counter,
 }
 
 /// Per-node S-COMA service state.
@@ -196,6 +199,7 @@ impl Firmware {
         match state {
             DirState::Uncached => {
                 self.scoma_grant_data(line, src, write, niu);
+                self.scoma.stats.transitions.bump();
                 self.scoma.dir.get_mut(&line).expect("entry").state = if write {
                     DirState::Owned(src)
                 } else {
@@ -209,6 +213,7 @@ impl Firmware {
                     if let DirState::Shared(s) = &mut e.state {
                         if !s.contains(&src) {
                             s.push(src);
+                            self.scoma.stats.transitions.bump();
                         }
                     }
                     return;
@@ -221,6 +226,7 @@ impl Firmware {
                     } else {
                         self.scoma_grant_data(line, src, true, niu);
                     }
+                    self.scoma.stats.transitions.bump();
                     self.scoma.dir.get_mut(&line).expect("entry").state = DirState::Owned(src);
                     return;
                 }
@@ -469,6 +475,7 @@ impl Firmware {
                     set_cls: Some(state),
                 },
             );
+            self.scoma.stats.transitions.bump();
             let e = self.scoma.dir.get_mut(&line).expect("entry");
             e.state = if p.write {
                 DirState::Owned(p.requester)
@@ -528,6 +535,7 @@ impl Firmware {
             } else {
                 self.scoma_grant_data(line, p.requester, true, niu);
             }
+            self.scoma.stats.transitions.bump();
             self.scoma.dir.get_mut(&line).expect("entry").state = DirState::Owned(p.requester);
             self.scoma_run_waiters(line, niu);
         }

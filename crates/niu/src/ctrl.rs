@@ -112,6 +112,11 @@ pub struct CtrlStats {
     pub violations: Counter,
     /// Tagon bytes.
     pub tagon_bytes: u64,
+    /// Transmit arbitrations won over a lower-priority pending queue
+    /// (ties broken round-robin are not "wins").
+    pub tx_priority_wins: Counter,
+    /// Block-transmit data chunks packetized (DMA chain steps).
+    pub dma_chain_steps: Counter,
 }
 
 /// The CTRL ASIC.
@@ -218,17 +223,33 @@ impl Ctrl {
     /// queue index and advances the round-robin pointer.
     pub fn pick_tx_queue(&mut self) -> Option<usize> {
         let n = self.tx.len();
-        let best_prio = self
-            .tx
-            .iter()
-            .filter(|q| q.enabled && q.pending() > 0)
-            .map(|q| q.priority)
-            .max()?;
+        // One pass finds the best priority and whether any lower-priority
+        // queue is being passed over (a contested arbitration).
+        let mut best_prio = 0u8;
+        let mut candidates = 0usize;
+        let mut at_best = 0usize;
+        for q in &self.tx {
+            if q.enabled && q.pending() > 0 {
+                candidates += 1;
+                if at_best == 0 || q.priority > best_prio {
+                    best_prio = q.priority;
+                    at_best = 1;
+                } else if q.priority == best_prio {
+                    at_best += 1;
+                }
+            }
+        }
+        if candidates == 0 {
+            return None;
+        }
         for k in 0..n {
             let i = (self.rr_next + k) % n;
             let q = &self.tx[i];
             if q.enabled && q.pending() > 0 && q.priority == best_prio {
                 self.rr_next = (i + 1) % n;
+                if candidates > at_best {
+                    self.stats.tx_priority_wins.bump();
+                }
                 return Some(i);
             }
         }
@@ -296,9 +317,11 @@ mod tests {
         c.tx[9].producer = 1;
         c.tx[5].priority = 3;
         assert_eq!(c.pick_tx_queue(), Some(5), "highest priority wins");
+        assert_eq!(c.stats.tx_priority_wins.get(), 1, "contested pick");
         c.tx[5].consumer = 1; // drain it
                               // 2 and 9 tie at priority 0: round robin from after last pick (6).
         assert_eq!(c.pick_tx_queue(), Some(9));
+        assert_eq!(c.stats.tx_priority_wins.get(), 1, "ties are not wins");
         c.tx[2].producer = 2; // still pending
         c.tx[9].producer = 2;
         assert_eq!(c.pick_tx_queue(), Some(2), "rr pointer wrapped past 9");

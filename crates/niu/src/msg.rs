@@ -14,6 +14,49 @@ use sv_arctic::Priority;
 /// Maximum payload bytes of a Basic message.
 pub const MAX_MSG_PAYLOAD: usize = 88;
 
+/// Number of message classes tracked by the observability layer.
+pub const MSG_CLASSES: usize = 4;
+
+/// Traffic class of a message, for per-class counters and latency
+/// summaries. The class rides in packet metadata (one byte in
+/// [`MsgData`]; remote commands are always [`MsgClass::Dma`]) so the
+/// receive side can attribute deliveries without re-deriving the send
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MsgClass {
+    /// Basic queue-to-queue message (no TagOn attachment).
+    Basic = 0,
+    /// Express single-store message.
+    Express = 1,
+    /// Basic message with a TagOn attachment.
+    TagOn = 2,
+    /// Remote-command traffic: block-transfer data, notifies, S-COMA
+    /// grants, reflective-memory updates.
+    Dma = 3,
+}
+
+impl MsgClass {
+    /// Stable lower-case names, indexable by `class as usize`.
+    pub const NAMES: [&'static str; MSG_CLASSES] = ["basic", "express", "tagon", "dma"];
+
+    /// Decode from the metadata byte (unknown values fold to `Basic`).
+    #[inline]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => MsgClass::Express,
+            2 => MsgClass::TagOn,
+            3 => MsgClass::Dma,
+            _ => MsgClass::Basic,
+        }
+    }
+
+    /// The stable lower-case name.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+}
+
 /// Inline, fixed-capacity payload of a Basic message (≤ 88 bytes).
 ///
 /// Message payloads travel by value through the transmit FIFOs, the
@@ -25,6 +68,14 @@ pub const MAX_MSG_PAYLOAD: usize = 88;
 #[derive(Clone, Copy)]
 pub struct MsgData {
     len: u8,
+    /// Traffic class ([`MsgClass`] as its `u8` value), stamped by the
+    /// transmit engine. Metadata only: excluded from equality and debug
+    /// formatting, which compare the payload slice.
+    class: u8,
+    /// Launch cycle for inject→deliver latency sampling; 0 means
+    /// "unstamped" (sampling off, or a payload built directly by tests),
+    /// and the receive side records no latency for it.
+    sent_cycle: u64,
     buf: [u8; MAX_MSG_PAYLOAD],
 }
 
@@ -33,6 +84,8 @@ impl MsgData {
     pub const fn empty() -> Self {
         MsgData {
             len: 0,
+            class: 0,
+            sent_cycle: 0,
             buf: [0u8; MAX_MSG_PAYLOAD],
         }
     }
@@ -57,8 +110,35 @@ impl MsgData {
         assert!(len <= MAX_MSG_PAYLOAD);
         MsgData {
             len: len as u8,
+            class: 0,
+            sent_cycle: 0,
             buf: [0u8; MAX_MSG_PAYLOAD],
         }
+    }
+
+    /// Traffic class stamped by the transmit engine ([`MsgClass::Basic`]
+    /// for payloads that never passed through it).
+    #[inline]
+    pub fn class(&self) -> MsgClass {
+        MsgClass::from_u8(self.class)
+    }
+
+    /// Stamp the traffic class (transmit-engine metadata).
+    #[inline]
+    pub fn set_class(&mut self, class: MsgClass) {
+        self.class = class as u8;
+    }
+
+    /// Launch cycle for latency sampling; 0 when unstamped.
+    #[inline]
+    pub fn sent_cycle(&self) -> u64 {
+        self.sent_cycle
+    }
+
+    /// Stamp the launch cycle (only done when latency sampling is on).
+    #[inline]
+    pub fn set_sent_cycle(&mut self, cycle: u64) {
+        self.sent_cycle = cycle;
     }
 
     /// Payload length in bytes.
@@ -327,6 +407,10 @@ pub enum NetPayload {
         src: u16,
         /// The remote command.
         cmd: RemoteCmdKind,
+        /// Launch cycle for inject→deliver latency sampling; 0 means
+        /// unstamped (see [`MsgData::sent_cycle`]). Metadata: excluded
+        /// from the wire-size accounting.
+        sent_cycle: u64,
     },
 }
 
@@ -462,8 +546,25 @@ mod tests {
         let r = NetPayload::RemoteCmd {
             src: 0,
             cmd: RemoteCmdKind::SetCls { line: 0, state: 0 },
+            sent_cycle: 0,
         };
         assert_eq!(r.natural_priority(), Priority::High);
+    }
+
+    #[test]
+    fn msg_class_metadata_is_not_identity() {
+        let mut a = MsgData::new(b"abcd");
+        let b = MsgData::new(b"abcd");
+        a.set_class(MsgClass::TagOn);
+        a.set_sent_cycle(77);
+        assert_eq!(a, b, "class/sent_cycle are metadata, not payload");
+        assert_eq!(a.class(), MsgClass::TagOn);
+        assert_eq!(a.sent_cycle(), 77);
+        assert_eq!(b.class(), MsgClass::Basic);
+        assert_eq!(MsgClass::from_u8(9), MsgClass::Basic);
+        for (i, n) in MsgClass::NAMES.iter().enumerate() {
+            assert_eq!(MsgClass::from_u8(i as u8).name(), *n);
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ use crate::abiu::{ABiu, DataMove, SpRequest};
 use crate::addrmap::{AddressMap, Region};
 use crate::cmd::{BlockOp, LocalCmd};
 use crate::ctrl::{BlockReadState, BlockTxState, Ctrl};
-use crate::msg::{express, MsgData, MsgFlags, MsgHeader, NetPayload, RemoteCmdKind};
+use crate::msg::{
+    express, MsgClass, MsgData, MsgFlags, MsgHeader, NetPayload, RemoteCmdKind, MSG_CLASSES,
+};
 use crate::params::NiuParams;
 use crate::queues::{QueueId, RxFullPolicy, RxService};
 use crate::sram::{ClsSram, ClsState, Sram, SramSel};
@@ -29,7 +31,7 @@ use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 use sv_arctic::{Packet, Priority};
 use sv_membus::{BusOp, BusOpKind, MasterId, SnoopVerdict};
-use sv_sim::stats::Counter;
+use sv_sim::stats::{Counter, Summary};
 
 /// Maximum combined payload (message body + TagOn) per packet.
 pub const MAX_PACKET_PAYLOAD: usize = 88;
@@ -73,6 +75,23 @@ enum ReqTag {
     },
 }
 
+/// Per-traffic-class accounting: conservation counters plus the
+/// inject→deliver latency summary (samples only when the NIU's latency
+/// sampling is enabled; the counters are always on).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClassStats {
+    /// Packets launched (loopbacks included).
+    pub sent: Counter,
+    /// Packets accepted by the destination NIU (into a receive queue, or
+    /// for [`MsgClass::Dma`] into the remote command queue).
+    pub delivered: Counter,
+    /// Packets discarded at the destination (disabled queue or full-queue
+    /// Drop policy).
+    pub dropped: Counter,
+    /// Inject→deliver latency in 66 MHz cycles, for stamped packets.
+    pub latency: Summary,
+}
+
 /// Top-level NIU statistics (engine-level stats live in the substructures).
 #[derive(Debug, Default)]
 pub struct NiuStats {
@@ -82,6 +101,9 @@ pub struct NiuStats {
     pub express_dropped: Counter,
     /// Rxu high water.
     pub rxu_high_water: usize,
+    /// Per-class conservation counters and latency, indexed by
+    /// [`MsgClass`] as `usize`.
+    pub class: [ClassStats; MSG_CLASSES],
 }
 
 /// Outcome of attempting to deliver a message into a receive queue.
@@ -118,6 +140,11 @@ pub struct Niu {
     req_tags: HashMap<u64, ReqTag>,
     /// Running statistics.
     pub stats: NiuStats,
+    /// Stamp launch cycles on outgoing packets so the receive side can
+    /// record inject→deliver latencies. Off by default: the stamp is the
+    /// only per-message cost the observability layer adds beyond counter
+    /// increments, and switching it off keeps the hot path at one branch.
+    pub sample_latency: bool,
 }
 
 impl Niu {
@@ -136,6 +163,7 @@ impl Niu {
             interrupts: VecDeque::new(),
             req_tags: HashMap::new(),
             stats: NiuStats::default(),
+            sample_latency: false,
             params,
             map,
         }
@@ -287,8 +315,9 @@ impl Niu {
         if let crate::abiu::ClaimKind::ExpressTx { q, .. } = claim {
             let qi = q as usize;
             if qi < self.ctrl.tx.len() {
-                let qd = &self.ctrl.tx[qi];
+                let qd = &mut self.ctrl.tx[qi];
                 if qd.enabled && qd.express && !qd.has_space() {
+                    qd.full_stalls.bump();
                     return SnoopVerdict::retry();
                 }
             }
@@ -316,12 +345,12 @@ impl Niu {
                 if is_rx {
                     let qd = &mut self.ctrl.rx[q as usize];
                     if qd.enabled {
-                        qd.consumer = value;
+                        qd.consumer_update(value);
                     }
                 } else {
                     let qd = &mut self.ctrl.tx[q as usize];
                     if qd.enabled {
-                        qd.producer = value;
+                        qd.producer_update(value);
                     }
                 }
             }
@@ -338,6 +367,7 @@ impl Niu {
                         (0, false)
                     } else {
                         let slot = qd.buf.slot_addr(qd.producer);
+                        qd.enqueued.bump();
                         qd.producer = qd.producer.wrapping_add(1);
                         (slot, true)
                     }
@@ -380,12 +410,14 @@ impl Niu {
                             end,
                             peer,
                             Priority::High,
+                            MsgClass::Dma,
                             NetPayload::RemoteCmd {
                                 src: self.node_id,
                                 cmd: RemoteCmdKind::WriteDram {
                                     addr: peer_addr,
                                     data: payload,
                                 },
+                                sent_cycle: 0,
                             },
                         );
                     } else {
@@ -421,6 +453,7 @@ impl Niu {
                         (0, qd.buf.sram, false)
                     } else {
                         let slot = qd.buf.slot_addr(qd.consumer);
+                        qd.dequeued.bump();
                         qd.consumer = qd.consumer.wrapping_add(1);
                         (slot, qd.buf.sram, true)
                     }
@@ -549,8 +582,32 @@ impl Niu {
     // =====================================================================
 
     /// Queue an outgoing packet, or loop it back locally when the
-    /// destination is this node.
-    fn send_packet(&mut self, ready: u64, dst: u16, prio: Priority, payload: NetPayload) {
+    /// destination is this node. Stamps the traffic class (always; one
+    /// byte store) and, when latency sampling is on, the launch cycle.
+    fn send_packet(
+        &mut self,
+        ready: u64,
+        dst: u16,
+        prio: Priority,
+        class: MsgClass,
+        mut payload: NetPayload,
+    ) {
+        self.stats.class[class as usize].sent.bump();
+        match &mut payload {
+            NetPayload::Msg { data, .. } => {
+                data.set_class(class);
+                if self.sample_latency {
+                    // `.max(1)`: cycle 0 launches must not read as the
+                    // "unstamped" sentinel.
+                    data.set_sent_cycle(ready.max(1));
+                }
+            }
+            NetPayload::RemoteCmd { sent_cycle, .. } => {
+                if self.sample_latency {
+                    *sent_cycle = ready.max(1);
+                }
+            }
+        }
         if dst == self.node_id {
             self.stats.loopback_msgs.bump();
             self.push_arrival(payload);
@@ -573,11 +630,24 @@ impl Niu {
                 if self.ctrl.remote_q.len() >= REMOTE_Q_CAP {
                     return;
                 }
-                let Some(NetPayload::RemoteCmd { src, cmd }) = self.rxu_in.pop_front() else {
+                let Some(NetPayload::RemoteCmd {
+                    src,
+                    cmd,
+                    sent_cycle,
+                }) = self.rxu_in.pop_front()
+                else {
                     unreachable!()
                 };
                 self.ctrl.remote_q.push_back((src, cmd));
                 self.ctrl.stats.remote_cmds.bump();
+                // DMA-class delivery point: acceptance into the remote
+                // command queue (the inner Notify message, if any, is not
+                // double-counted).
+                let cs = &mut self.stats.class[MsgClass::Dma as usize];
+                cs.delivered.bump();
+                if sent_cycle != 0 {
+                    cs.latency.record(cycle.saturating_sub(sent_cycle));
+                }
                 self.ctrl.rx_busy = cycle + 1;
             }
             NetPayload::Msg { .. } => {
@@ -592,7 +662,8 @@ impl Niu {
                 else {
                     unreachable!()
                 };
-                match self.deliver_msg(cycle, src, logical_q, &data) {
+                let track = Some((data.class(), data.sent_cycle()));
+                match self.deliver_msg(cycle, src, logical_q, &data, track) {
                     Deliver::Done(end) => {
                         self.ctrl.rx_busy = end;
                     }
@@ -610,7 +681,18 @@ impl Niu {
     }
 
     /// Deliver a message into (the hardware slot caching) `logical_q`.
-    fn deliver_msg(&mut self, cycle: u64, src: u16, logical_q: u16, data: &[u8]) -> Deliver {
+    ///
+    /// `track` carries per-class accounting metadata `(class, sent_cycle)`
+    /// for network messages; `None` for Notify bodies, whose packet was
+    /// already accounted as [`MsgClass::Dma`] at remote-queue acceptance.
+    fn deliver_msg(
+        &mut self,
+        cycle: u64,
+        src: u16,
+        logical_q: u16,
+        data: &[u8],
+        track: Option<(MsgClass, u64)>,
+    ) -> Deliver {
         let overhead = self.params.rx_engine_overhead_cycles;
         let miss_slot = self.params.miss_queue_slot;
         let mut target = match self.ctrl.rx_cache.translate(logical_q) {
@@ -621,16 +703,25 @@ impl Niu {
             let q = &self.ctrl.rx[target];
             if !q.enabled {
                 self.ctrl.stats.msgs_dropped.bump();
+                if let Some((class, _)) = track {
+                    self.stats.class[class as usize].dropped.bump();
+                }
                 return Deliver::Done(cycle + overhead);
             }
             if q.has_space() {
                 break;
             }
             match q.full_policy {
-                RxFullPolicy::Retry => return Deliver::Stall,
+                RxFullPolicy::Retry => {
+                    self.ctrl.rx[target].full_stalls.bump();
+                    return Deliver::Stall;
+                }
                 RxFullPolicy::Drop => {
                     self.ctrl.rx[target].dropped.bump();
                     self.ctrl.stats.msgs_dropped.bump();
+                    if let Some((class, _)) = track {
+                        self.stats.class[class as usize].dropped.bump();
+                    }
                     return Deliver::Done(cycle + overhead);
                 }
                 RxFullPolicy::Divert => {
@@ -638,6 +729,9 @@ impl Niu {
                         // The miss queue itself is full: drop.
                         self.ctrl.rx[target].dropped.bump();
                         self.ctrl.stats.msgs_dropped.bump();
+                        if let Some((class, _)) = track {
+                            self.stats.class[class as usize].dropped.bump();
+                        }
                         return Deliver::Done(cycle + overhead);
                     }
                     self.ctrl.rx[target].diverted.bump();
@@ -684,6 +778,13 @@ impl Niu {
                 .push_back(NiuInterrupt::RxArrival(QueueId(target as u8)));
         }
         self.ctrl.stats.msgs_delivered.bump();
+        if let Some((class, sent_cycle)) = track {
+            let cs = &mut self.stats.class[class as usize];
+            cs.delivered.bump();
+            if sent_cycle != 0 {
+                cs.latency.record(cycle.saturating_sub(sent_cycle));
+            }
+        }
         Deliver::Done(end + overhead)
     }
 
@@ -717,6 +818,7 @@ impl Niu {
                 end,
                 x.node,
                 x.priority(),
+                MsgClass::Express,
                 NetPayload::Msg {
                     src: self.node_id,
                     logical_q: x.logical_q,
@@ -753,6 +855,11 @@ impl Niu {
         let mut data = MsgData::with_len(hdr.len as usize);
         self.sram(sel).read(slot + 8, data.as_mut_slice());
         let mut cost = overhead + self.params.ibus_cycles(8 + hdr.len as u32) + 2;
+        let class = if hdr.flags.contains(MsgFlags::TAGON) {
+            MsgClass::TagOn
+        } else {
+            MsgClass::Basic
+        };
         if hdr.flags.contains(MsgFlags::TAGON) {
             assert!(
                 data.len() + hdr.tagon_len as usize <= MAX_PACKET_PAYLOAD,
@@ -770,6 +877,7 @@ impl Niu {
             end,
             node,
             prio,
+            class,
             NetPayload::Msg {
                 src: self.node_id,
                 logical_q,
@@ -878,6 +986,11 @@ impl Niu {
             } => {
                 let mut body = MsgData::new(&data);
                 let mut cost = decode + self.params.ibus_cycles(8 + body.len() as u32) + 2;
+                let class = if tagon.is_some() {
+                    MsgClass::TagOn
+                } else {
+                    MsgClass::Basic
+                };
                 if let Some((tsel, taddr, tlen)) = tagon {
                     assert!(body.len() + tlen as usize <= MAX_PACKET_PAYLOAD);
                     let t = body.extend_zeroed(tlen as usize);
@@ -891,6 +1004,7 @@ impl Niu {
                     end,
                     node,
                     priority,
+                    class,
                     NetPayload::Msg {
                         src: self.node_id,
                         logical_q,
@@ -925,9 +1039,11 @@ impl Niu {
                     end,
                     node,
                     Priority::High,
+                    MsgClass::Dma,
                     NetPayload::RemoteCmd {
                         src: self.node_id,
                         cmd,
+                        sent_cycle: 0,
                     },
                 );
                 self.ctrl.cmd_busy[i] = end;
@@ -947,9 +1063,11 @@ impl Niu {
                     end,
                     node,
                     Priority::High,
+                    MsgClass::Dma,
                     NetPayload::RemoteCmd {
                         src: self.node_id,
                         cmd,
+                        sent_cycle: 0,
                     },
                 );
                 self.ctrl.cmd_busy[i] = end;
@@ -977,12 +1095,12 @@ impl Niu {
             LocalCmd::TxPtrUpdate { q, producer } => {
                 let qd = &mut self.ctrl.tx[q.0 as usize];
                 if qd.enabled {
-                    qd.producer = producer;
+                    qd.producer_update(producer);
                 }
                 self.ctrl.cmd_busy[i] = cycle + decode;
             }
             LocalCmd::RxPtrUpdate { q, consumer } => {
-                self.ctrl.rx[q.0 as usize].consumer = consumer;
+                self.ctrl.rx[q.0 as usize].consumer_update(consumer);
                 self.ctrl.cmd_busy[i] = cycle + decode;
             }
             LocalCmd::BindRxQueue { logical, hw } => {
@@ -1021,6 +1139,11 @@ impl Niu {
             },
         };
         let mut cost = decode + self.params.ibus_cycles(8 + data.len() as u32) + 2;
+        let class = if header.flags.contains(MsgFlags::TAGON) {
+            MsgClass::TagOn
+        } else {
+            MsgClass::Basic
+        };
         if header.flags.contains(MsgFlags::TAGON) {
             assert!(data.len() + header.tagon_len as usize <= MAX_PACKET_PAYLOAD);
             let t = data.extend_zeroed(header.tagon_len as usize);
@@ -1034,6 +1157,7 @@ impl Niu {
             end,
             node,
             prio,
+            class,
             NetPayload::Msg {
                 src: self.node_id,
                 logical_q,
@@ -1218,12 +1342,14 @@ impl Niu {
                     end,
                     bt.node,
                     Priority::High,
+                    MsgClass::Dma,
                     NetPayload::RemoteCmd {
                         src: self.node_id,
                         cmd: RemoteCmdKind::Notify {
                             logical_q: lq,
                             data,
                         },
+                        sent_cycle: 0,
                     },
                 );
                 self.ctrl.blocktx_busy = end;
@@ -1262,13 +1388,16 @@ impl Niu {
         };
         let cost = self.params.block_tx_pkt_overhead_cycles + self.params.ibus_cycles(8 + chunk);
         let end = self.ctrl.ibus.acquire(cycle, cost);
+        self.ctrl.stats.dma_chain_steps.bump();
         self.send_packet(
             end,
             node,
             Priority::High,
+            MsgClass::Dma,
             NetPayload::RemoteCmd {
                 src: self.node_id,
                 cmd,
+                sent_cycle: 0,
             },
         );
         self.ctrl.block_tx.as_mut().expect("checked").sent += chunk;
@@ -1298,7 +1427,7 @@ impl Niu {
                 self.ctrl.remote_busy = cycle + overhead;
             }
             RemoteCmdKind::Notify { logical_q, data } => {
-                match self.deliver_msg(cycle, src, logical_q, &data) {
+                match self.deliver_msg(cycle, src, logical_q, &data, None) {
                     Deliver::Done(end) => self.ctrl.remote_busy = end.max(cycle + overhead),
                     Deliver::Stall => {
                         // Put it back and retry later.
@@ -1460,6 +1589,7 @@ impl<'a> SpPort<'a> {
         let (src, lq, len) = decode_rx_slot(&hdr);
         let data = Bytes::from(self.niu.sram(sel).read_vec(slot + 8, len as usize));
         let qd = self.niu.ctrl.rx_queue_mut(q);
+        qd.dequeued.bump();
         qd.consumer = qd.consumer.wrapping_add(1);
         Some((src, lq, data))
     }
@@ -1827,6 +1957,7 @@ mod tests {
                 data: Bytes::from(vec![9u8; 64]),
                 state: ClsState::ReadOnly.bits(),
             },
+            sent_cycle: 0,
         });
         // Drive: collect aBIU requests and complete them (simulating the
         // node's bus).
@@ -1855,6 +1986,7 @@ mod tests {
                 addr: 0x1000,
                 data: Bytes::from(vec![1u8; 32]),
             },
+            sent_cycle: 0,
         });
         n.push_arrival(NetPayload::RemoteCmd {
             src: 1,
@@ -1862,6 +1994,7 @@ mod tests {
                 logical_q: 1,
                 data: Bytes::from_static(b"done"),
             },
+            sent_cycle: 0,
         });
         // Tick without completing the write: notify must not deliver.
         let mut req = None;

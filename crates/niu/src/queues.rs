@@ -93,6 +93,11 @@ pub struct TxQueue {
     pub sent: Counter,
     /// Protection violations observed on this queue.
     pub violations: Counter,
+    /// Messages enqueued (producer-pointer advances, in entries).
+    pub enqueued: Counter,
+    /// Launch stalls because the buffer was full (Express backpressure
+    /// retries of the launching store).
+    pub full_stalls: Counter,
 }
 
 impl TxQueue {
@@ -112,6 +117,8 @@ impl TxQueue {
             shadow_addr: None,
             sent: Counter::default(),
             violations: Counter::default(),
+            enqueued: Counter::default(),
+            full_stalls: Counter::default(),
         }
     }
 
@@ -125,6 +132,15 @@ impl TxQueue {
     #[inline]
     pub fn has_space(&self) -> bool {
         self.pending() < self.buf.entries
+    }
+
+    /// Set the (free-running) producer pointer, counting the advance as
+    /// enqueues. Senders publish absolute pointer values, so the enqueue
+    /// count is the wrapping distance from the previous value.
+    #[inline]
+    pub fn producer_update(&mut self, value: u16) {
+        self.enqueued.add(value.wrapping_sub(self.producer) as u64);
+        self.producer = value;
     }
 
     /// Masked (post AND/OR) virtual destination.
@@ -160,6 +176,11 @@ pub struct RxQueue {
     pub dropped: Counter,
     /// Messages diverted to the miss queue.
     pub diverted: Counter,
+    /// Messages dequeued (consumer-pointer advances, in entries).
+    pub dequeued: Counter,
+    /// Delivery attempts stalled because the queue was full under the
+    /// Retry policy (one per receive-engine retry).
+    pub full_stalls: Counter,
 }
 
 impl RxQueue {
@@ -177,6 +198,8 @@ impl RxQueue {
             received: Counter::default(),
             dropped: Counter::default(),
             diverted: Counter::default(),
+            dequeued: Counter::default(),
+            full_stalls: Counter::default(),
         }
     }
 
@@ -190,6 +213,14 @@ impl RxQueue {
     #[inline]
     pub fn has_space(&self) -> bool {
         self.pending() < self.buf.entries
+    }
+
+    /// Set the (free-running) consumer pointer, counting the advance as
+    /// dequeues (wrapping distance from the previous value).
+    #[inline]
+    pub fn consumer_update(&mut self, value: u16) {
+        self.dequeued.add(value.wrapping_sub(self.consumer) as u64);
+        self.consumer = value;
     }
 }
 
@@ -238,6 +269,22 @@ mod tests {
         // High byte forced to 0x03 regardless of what the user wrote:
         // this is how the OS confines a process to its destination set.
         assert_eq!(q.masked_dest(0xAB12), 0x0312);
+    }
+
+    #[test]
+    fn pointer_updates_count_enqueues_and_dequeues() {
+        let mut t = TxQueue::new(buf());
+        t.producer_update(3);
+        t.producer_update(3);
+        assert_eq!(t.enqueued.get(), 3);
+        let mut r = RxQueue::new(buf());
+        r.producer = 4;
+        r.consumer_update(2);
+        assert_eq!(r.dequeued.get(), 2);
+        // Wrapping pointers count the wrapping distance.
+        r.consumer = 0xFFFE;
+        r.consumer_update(1);
+        assert_eq!(r.dequeued.get(), 5);
     }
 
     #[test]

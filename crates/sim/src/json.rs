@@ -1,0 +1,197 @@
+//! A tiny deterministic JSON writer for stats export.
+//!
+//! The vendored `serde` is an API-surface stub with no serializer behind
+//! it, and the snapshot path must be byte-reproducible across runs and
+//! thread counts anyway. This writer emits keys in exactly the order the
+//! caller supplies them, uses only integer and string scalars (no float
+//! formatting ambiguity), and allocates nothing beyond the output
+//! `String`, so two identical snapshots always serialize to identical
+//! bytes.
+
+/// Streaming JSON builder. Containers are opened/closed explicitly;
+/// commas are inserted automatically.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether it already has an item.
+    has_item: Vec<bool>,
+    /// A key was just written; the next value belongs to it.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Comma/sequence bookkeeping before a value is emitted.
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Open an object (`{`) in value position.
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.has_item.push(false);
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.has_item.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open an array (`[`) in value position.
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.has_item.push(false);
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.has_item.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next emitted value is its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        debug_assert!(!self.pending_key, "two keys in a row");
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        self.push_escaped(k);
+        self.out.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    /// Write a `u64` value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&itoa_u64(v));
+        self
+    }
+
+    /// Write a string value.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        self.push_escaped(s);
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// `key(k)` + `u64(v)` in one call.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64(v)
+    }
+
+    /// `key(k)` + `str(v)` in one call.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).str(v)
+    }
+
+    /// Finish and return the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.has_item.is_empty(), "unclosed container");
+        self.out
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str("\\u00");
+                    let b = c as u32;
+                    self.out.push(char::from_digit(b >> 4, 16).unwrap());
+                    self.out.push(char::from_digit(b & 0xf, 16).unwrap());
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Format a `u64` without going through `format!` (keeps the writer free
+/// of formatting machinery on the hot path).
+fn itoa_u64(mut v: u64) -> String {
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    while v > 0 {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    String::from_utf8_lossy(&digits[i..]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_nested_structures_deterministically() {
+        let mut w = JsonWriter::new();
+        w.begin_obj()
+            .field_u64("a", 0)
+            .field_u64("b", 1234567890123456789)
+            .key("arr")
+            .begin_arr()
+            .u64(1)
+            .u64(2)
+            .end_arr()
+            .key("o")
+            .begin_obj()
+            .field_str("s", "x\"y\\z\n")
+            .key("flag")
+            .bool(true)
+            .end_obj()
+            .end_obj();
+        assert_eq!(
+            w.finish(),
+            "{\"a\":0,\"b\":1234567890123456789,\"arr\":[1,2],\
+             \"o\":{\"s\":\"x\\\"y\\\\z\\n\",\"flag\":true}}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().key("e").begin_arr().end_arr().end_obj();
+        assert_eq!(w.finish(), "{\"e\":[]}");
+    }
+}

@@ -15,6 +15,8 @@
 //!   latency/bandwidth summaries used by the measurement harness.
 //! - [`fifo`]: bounded FIFO models with occupancy statistics, the shape of
 //!   every hardware queue in the NIU.
+//! - [`json`]: a tiny deterministic JSON writer ([`JsonWriter`]) for
+//!   byte-reproducible stats snapshots (the vendored serde is a stub).
 //! - [`trace`]: a lightweight ring-buffer tracer for debugging simulations.
 //! - [`wake`]: a dirty-tracking wake-time index ([`WakeIndex`]) that the
 //!   event-driven run loops use to find the next executable cycle in
@@ -26,6 +28,7 @@
 //! contains *mechanism*, never *policy*.
 
 pub mod fifo;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -34,6 +37,7 @@ pub mod trace;
 pub mod wake;
 
 pub use fifo::BoundedFifo;
+pub use json::JsonWriter;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{Clock, Time, NS_PER_SEC, NS_PER_US};

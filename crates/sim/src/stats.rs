@@ -79,6 +79,30 @@ impl Summary {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Whether no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest sample, or `None` if empty. The raw `min` field is the
+    /// `u64::MAX` sentinel before the first sample; reports must use this
+    /// accessor (or [`Summary::min_or_zero`]) so the sentinel never leaks
+    /// into exported numbers.
+    pub fn observed_min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Smallest sample, normalized to 0 when empty (for serialization).
+    #[inline]
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count > 0 {
+            self.min
+        } else {
+            0
+        }
+    }
+
     /// Merge another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         self.count += other.count;
@@ -158,6 +182,9 @@ pub struct Occupancy {
     pub busy_ns: u64,
     /// Number of distinct busy intervals.
     pub intervals: u64,
+    /// End of the latest *anchored* busy interval (see [`Occupancy::busy_at`]),
+    /// ns. Zero if only unanchored intervals were recorded.
+    pub last_end_ns: u64,
 }
 
 impl Occupancy {
@@ -168,12 +195,46 @@ impl Occupancy {
         self.intervals += 1;
     }
 
+    /// Account a busy interval anchored at `start_ns` lasting `dur_ns`.
+    /// Anchoring lets [`Occupancy::busy_within`] clip an interval that
+    /// straddles the end of a measurement window, so utilization can never
+    /// exceed 1 for non-overlapping charges.
+    #[inline]
+    pub fn busy_at(&mut self, start_ns: u64, dur_ns: u64) {
+        self.busy_ns += dur_ns;
+        self.intervals += 1;
+        let end = start_ns + dur_ns;
+        if end > self.last_end_ns {
+            self.last_end_ns = end;
+        }
+    }
+
+    /// Busy time attributable to `[0, window_end_ns)`: total busy time minus
+    /// the overhang of the final anchored interval past the window end.
+    /// Exact when intervals are non-overlapping and issued in time order
+    /// (the shape every engine's busy-timer charges take).
+    pub fn busy_within(&self, window_end_ns: u64) -> u64 {
+        let overhang = self.last_end_ns.saturating_sub(window_end_ns);
+        self.busy_ns.saturating_sub(overhang)
+    }
+
     /// Utilization in `[0,1]` over a window of `window_ns`.
     pub fn utilization(&self, window_ns: u64) -> f64 {
         if window_ns == 0 {
             0.0
         } else {
             self.busy_ns as f64 / window_ns as f64
+        }
+    }
+
+    /// Utilization over `[0, window_ns)` with the final straddling interval
+    /// clipped at the window boundary (never exceeds 1 for non-overlapping
+    /// charges, unlike [`Occupancy::utilization`]).
+    pub fn utilization_within(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            0.0
+        } else {
+            self.busy_within(window_ns) as f64 / window_ns as f64
         }
     }
 }
@@ -296,6 +357,46 @@ mod tests {
         assert_eq!(o.intervals, 2);
         assert!((o.utilization(1000) - 0.5).abs() < 1e-12);
         assert_eq!(o.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn empty_summary_exports_no_sentinel_min() {
+        let s = Summary::default();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.observed_min(), None);
+        assert_eq!(s.min_or_zero(), 0);
+        // Merging an empty summary must not disturb the receiver.
+        let mut a = Summary::default();
+        a.record(7);
+        a.merge(&s);
+        assert_eq!((a.count, a.min, a.max), (1, 7, 7));
+        let mut e = Summary::default();
+        e.merge(&a);
+        assert_eq!(e.observed_min(), Some(7));
+    }
+
+    #[test]
+    fn occupancy_clips_interval_straddling_run_boundary() {
+        let mut o = Occupancy::default();
+        o.busy_at(0, 100);
+        o.busy_at(900, 200); // straddles a window ending at 1000
+        assert_eq!(o.busy_ns, 300);
+        assert_eq!(o.last_end_ns, 1100);
+        assert_eq!(o.busy_within(1000), 200);
+        assert!((o.utilization_within(1000) - 0.2).abs() < 1e-12);
+        // Naive utilization over-counts the overhang...
+        assert!((o.utilization(1000) - 0.3).abs() < 1e-12);
+        // ...and a fully-straddling charge can push it past 1.0, which
+        // the clipped form never does.
+        let mut b = Occupancy::default();
+        b.busy_at(990, 100);
+        assert!(b.utilization(50) > 1.0);
+        assert!(b.utilization_within(50) <= 1.0);
+        assert_eq!(b.busy_within(1000), 10);
+        // Windows past the last interval see the full busy time.
+        assert_eq!(o.busy_within(2000), 300);
+        assert_eq!(o.utilization_within(0), 0.0);
     }
 
     #[test]

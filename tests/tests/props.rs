@@ -226,6 +226,82 @@ proptest! {
         }
     }
 
+    /// Machine-wide counter conservation: at quiescence every message
+    /// class satisfies `sent == delivered + dropped` summed across all
+    /// nodes, and — with latency sampling on from cycle 0 — every
+    /// delivery carries exactly one latency sample. Exercises Basic,
+    /// TagOn and Express concurrently with arbitrary payloads and an
+    /// arbitrary sender phase offset.
+    #[test]
+    fn stats_conserve_messages_per_class(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..=40), 1..5),
+        with_tagon in any::<bool>(),
+        n_express in 1u32..10,
+        delay in 0u64..2_000,
+    ) {
+        use sv_niu::msg::{MsgClass, MSG_CLASSES};
+        use voyager::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
+        use voyager::app::{Delay, Seq};
+        let mut m = voyager::Machine::builder(3).sample_latency(true).build();
+        let l0 = m.lib(0);
+        let l1 = m.lib(1);
+        let l2 = m.lib(2);
+        let items: Vec<BasicMsg> = payloads
+            .iter()
+            .map(|p| {
+                let msg = BasicMsg::new(l0.user_dest(1), p.clone());
+                if with_tagon {
+                    msg.with_tagon(vec![0x5A; 48])
+                } else {
+                    msg
+                }
+            })
+            .collect();
+        let nb = items.len();
+        m.load_program(
+            0,
+            Seq::new(vec![
+                Box::new(Delay(delay)),
+                Box::new(SendBasic::new(&l0, items)),
+            ]),
+        );
+        let eitems: Vec<(u16, u8, u32)> = (0..n_express)
+            .map(|i| (l2.express_dest(1), i as u8, i * 7))
+            .collect();
+        m.load_program(2, SendExpress::new(&l2, eitems));
+        m.load_program(
+            1,
+            Seq::new(vec![
+                Box::new(RecvBasic::expecting(&l1, nb)),
+                Box::new(RecvExpress::expecting(&l1, n_express as usize)),
+            ]),
+        );
+        m.run_to_quiescence();
+        let s = m.stats();
+        for class in 0..MSG_CLASSES {
+            let (mut sent, mut delivered, mut dropped, mut samples) = (0u64, 0u64, 0u64, 0u64);
+            for n in &s.nodes {
+                let c = &n.niu.classes[class];
+                sent += c.sent;
+                delivered += c.delivered;
+                dropped += c.dropped;
+                samples += c.latency_count;
+            }
+            prop_assert_eq!(sent, delivered + dropped,
+                "conservation, class {}", MsgClass::NAMES[class]);
+            prop_assert_eq!(samples, delivered,
+                "one latency sample per delivery, class {}", MsgClass::NAMES[class]);
+        }
+        // And the workload really moved what it claimed in each class.
+        let basic_class = if with_tagon { MsgClass::TagOn } else { MsgClass::Basic } as usize;
+        let delivered_of = |class: usize| -> u64 {
+            s.nodes.iter().map(|n| n.niu.classes[class].delivered).sum()
+        };
+        prop_assert_eq!(delivered_of(basic_class), nb as u64);
+        prop_assert_eq!(delivered_of(MsgClass::Express as usize), u64::from(n_express));
+    }
+
     /// Arbitrary payload contents survive the Basic message path intact.
     #[test]
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(

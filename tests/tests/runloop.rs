@@ -163,43 +163,75 @@ fn hang_reports_identical_cap_time() {
     assert_eq!(stepped, hung_at(Machine::builder(4).threads(4)));
 }
 
-/// Staggered pairs at 64 nodes: the wake index's target regime (most
-/// nodes idle at any instant), at a scale where a stale or late wake
-/// in the sharded per-worker indexes would surface. Fingerprints every
-/// node's events, messages and node 0's trace across all three modes.
+/// Staggered pairs at 64 nodes: most nodes idle at any instant — the
+/// wake index's target regime. Shared by the fingerprint and the stats
+/// determinism tests below.
+fn load_staggered_pairs(m: &mut Machine) {
+    const STAGGER_NS: u64 = 2_000;
+    for k in 0..32u16 {
+        let (a, b) = (2 * k, 2 * k + 1);
+        let lib_a = m.lib(a);
+        let lib_b = m.lib(b);
+        let msgs = (0..2u16)
+            .map(|r| BasicMsg::new(lib_a.user_dest(b), vec![r as u8; 16]))
+            .collect();
+        m.load_program(
+            a,
+            voyager::app::Seq::new(vec![
+                Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
+                Box::new(SendBasic::new(&lib_a, msgs)),
+            ]),
+        );
+        m.load_program(
+            b,
+            voyager::app::Seq::new(vec![
+                Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
+                Box::new(RecvBasic::expecting(&lib_b, 2)),
+            ]),
+        );
+    }
+}
+
+/// At a scale where a stale or late wake in the sharded per-worker
+/// indexes would surface, fingerprint every node's events, messages and
+/// node 0's trace across all three modes.
 #[test]
 fn modes_agree_at_64_nodes() {
-    const STAGGER_NS: u64 = 2_000;
-    let load = |m: &mut Machine| {
-        for k in 0..32u16 {
-            let (a, b) = (2 * k, 2 * k + 1);
-            let lib_a = m.lib(a);
-            let lib_b = m.lib(b);
-            let msgs = (0..2u16)
-                .map(|r| BasicMsg::new(lib_a.user_dest(b), vec![r as u8; 16]))
-                .collect();
-            m.load_program(
-                a,
-                voyager::app::Seq::new(vec![
-                    Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
-                    Box::new(SendBasic::new(&lib_a, msgs)),
-                ]),
-            );
-            m.load_program(
-                b,
-                voyager::app::Seq::new(vec![
-                    Box::new(voyager::app::Delay(k as u64 * STAGGER_NS)),
-                    Box::new(RecvBasic::expecting(&lib_b, 2)),
-                ]),
-            );
-        }
-    };
+    let load = load_staggered_pairs;
     let stepped = run_mode(Machine::builder(64).cycle_stepped(), load);
     let event = run_mode(Machine::builder(64), load);
     assert_eq!(stepped, event, "event vs stepped at 64 nodes");
     for threads in [2, 5, 8] {
         let par = run_mode(Machine::builder(64).threads(threads), load);
         assert_eq!(event, par, "threads = {threads}");
+    }
+}
+
+/// The full stats snapshot — every counter in the machine, rendered to
+/// JSON — is byte-identical across `RunMode::Event` thread counts on the
+/// 64-node staggered-pairs workload. Latency sampling is on, so the
+/// per-class Summaries (the only stats with per-packet metadata) are
+/// covered too. This is the observability layer's determinism contract:
+/// the run-loop counters deliberately exclude anything that varies with
+/// sharding (priming and full-scan republishes).
+#[test]
+fn stats_snapshot_identical_across_thread_counts() {
+    let snap = |threads: usize| {
+        let mut m = Machine::builder(64)
+            .threads(threads)
+            .sample_latency(true)
+            .build();
+        load_staggered_pairs(&mut m);
+        m.run_to_quiescence();
+        m.stats().to_json()
+    };
+    let seq = snap(1);
+    assert!(
+        seq.contains("\"latency_sum_cycles\":"),
+        "sampled latencies present"
+    );
+    for threads in [2, 5, 8] {
+        assert_eq!(seq, snap(threads), "threads = {threads}");
     }
 }
 

@@ -1,0 +1,226 @@
+//! Golden-stats regression tests: three canonical scenarios — messaging,
+//! block transfer, shared memory — each pinned to a checked-in JSON
+//! snapshot of every counter in the machine. Any behavioural drift
+//! (timing, protocol traffic, queue discipline) shows up as a byte
+//! difference against the golden.
+//!
+//! When a change is *intentional*, regenerate the goldens with
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p sv-tests --test stats_golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use voyager::api::{request_transfer, BasicMsg, RecvBasic, SendBasic};
+use voyager::app::{Seq, Step, StoreData};
+use voyager::firmware::proto::{Approach, XferReq};
+use voyager::{Machine, SystemParams};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(name)
+}
+
+/// Compare rendered stats against the checked-in golden, or rewrite the
+/// golden when `UPDATE_GOLDENS` is set. On mismatch, panic with the
+/// first divergent byte and its surrounding context (the full snapshots
+/// are far too large for an `assert_eq!` dump).
+fn check_golden(name: &str, mut got: String) {
+    got.push('\n');
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    if got != want {
+        let idx = got
+            .bytes()
+            .zip(want.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.len().min(want.len()));
+        let ctx = |s: &str| {
+            let lo = idx.saturating_sub(80);
+            let hi = (idx + 80).min(s.len());
+            s[lo..hi].to_string()
+        };
+        panic!(
+            "stats drifted from golden {name} at byte {idx}:\n  got: …{}…\n want: …{}…\n\
+             if the drift is intentional, regenerate with UPDATE_GOLDENS=1 and review the diff",
+            ctx(&got),
+            ctx(&want)
+        );
+    }
+}
+
+/// A program issuing a fixed sequence of loads/stores.
+struct Ops(std::collections::VecDeque<Step>);
+
+impl voyager::Program for Ops {
+    fn step(&mut self, _env: &mut voyager::Env<'_>) -> Step {
+        self.0.pop_front().unwrap_or(Step::Done)
+    }
+}
+
+/// Messaging: 4-node all-to-all Basic traffic, 8 rounds, with latency
+/// sampling on — covers the tx/rx queue counters, per-class Summaries
+/// and the Arctic per-link occupancy.
+#[test]
+fn golden_stats_messaging() {
+    let mut m = Machine::builder(4).sample_latency(true).build();
+    for i in 0..4u16 {
+        let lib = m.lib(i);
+        let items: Vec<BasicMsg> = (0..8u16)
+            .flat_map(|r| (0..4u16).filter(|&d| d != i).map(move |d| (r, d)))
+            .map(|(r, d)| BasicMsg::new(lib.user_dest(d), vec![r as u8; 24]))
+            .collect();
+        m.load_program(
+            i,
+            Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, 24)),
+            ]),
+        );
+    }
+    m.run_to_quiescence();
+    let s = m.stats();
+    // Spot-check the headline numbers before pinning every byte: each
+    // node sends and receives 24 messages.
+    for n in &s.nodes {
+        assert_eq!(n.niu.classes[0].sent, 24, "node {} sent", n.node);
+        assert_eq!(n.niu.classes[0].delivered, 24, "node {} delivered", n.node);
+        assert_eq!(n.niu.classes[0].latency_count, 24);
+    }
+    assert_eq!(s.network.delivered, 96);
+    check_golden("stats_messaging.json", s.to_json());
+}
+
+/// Block transfer: a firmware-managed (approach 2) then a hardware
+/// (approach 3) transfer over the same 2-node machine — covers the DMA
+/// class, firmware xfer counters, dma_chain_steps and sP occupancy.
+#[test]
+fn golden_stats_blockxfer() {
+    let mut m = Machine::builder(2)
+        .params(SystemParams::default())
+        .sample_latency(true)
+        .build();
+    let len = 16 * 1024u32;
+    m.nodes[0].mem.fill_pattern(0x10_0000, len as usize, 1);
+    m.nodes[0].mem.fill_pattern(0x14_0000, len as usize, 2);
+    let lib0 = m.lib(0);
+    let lib1 = m.lib(1);
+    let req = |approach, xfer_id, src_addr, dst_addr| XferReq {
+        approach,
+        xfer_id,
+        src_addr,
+        dst_addr,
+        len,
+        dst_node: 1,
+        notify_lq: 1,
+    };
+    m.load_program(
+        0,
+        request_transfer(&lib0, &req(Approach::SpManaged, 1, 0x10_0000, 0x20_0000)),
+    );
+    m.load_program(1, RecvBasic::expecting(&lib1, 1));
+    m.run_to_quiescence();
+    // Second transfer: the service-queue producer cursor has advanced by
+    // one request, so resume rather than restart (request_transfer is a
+    // SendBasic against the node's own service queue).
+    let hw = req(Approach::BlockHw, 2, 0x14_0000, 0x24_0000);
+    m.load_program(
+        0,
+        SendBasic::resuming(
+            &lib0,
+            vec![BasicMsg::new(lib0.svc_dest(0), hw.encode().to_vec())],
+            1,
+        ),
+    );
+    m.load_program(1, RecvBasic::resuming(&lib1, 1, 1));
+    m.run_to_quiescence();
+    // Both payloads arrived intact before we trust the counters.
+    assert_eq!(
+        m.nodes[1].mem.read_vec(0x20_0000, len as usize),
+        m.nodes[0].mem.read_vec(0x10_0000, len as usize)
+    );
+    assert_eq!(
+        m.nodes[1].mem.read_vec(0x24_0000, len as usize),
+        m.nodes[0].mem.read_vec(0x14_0000, len as usize)
+    );
+    let s = m.stats();
+    assert_eq!(s.nodes[0].fw.xfer_requests, 2);
+    assert_eq!(s.nodes[0].fw.xfer_completed_sends, 2);
+    // Approach 2's completion notify is issued by the receiver's sP; the
+    // hardware path notifies without firmware involvement.
+    assert_eq!(s.nodes[1].fw.xfer_notifies, 1);
+    assert!(s.nodes[0].niu.dma_chain_steps > 0, "hw block path chained");
+    assert!(
+        s.nodes[0].fw.xfer_chunks_sent > 0,
+        "sp-managed path chunked"
+    );
+    check_golden("stats_blockxfer.json", s.to_json());
+}
+
+/// Shared memory: a NUMA store+load round trip and an S-COMA
+/// share-then-invalidate sequence on a 4-node machine — covers the
+/// firmware NUMA/S-COMA protocol counters, directory transitions and
+/// aBIU retry counters.
+#[test]
+fn golden_stats_shmem() {
+    let p = SystemParams::default();
+    let mut m = Machine::builder(4).params(p).sample_latency(true).build();
+    let numa_addr = p.map.numa_base + 0x1008; // page 1 → home node 1
+    let scoma_addr = p.map.scoma_base + 0x1000; // home node 1
+    m.nodes[1].mem.write_u64(scoma_addr, 7);
+    // Phase 1: NUMA round trip from node 0; S-COMA reads from 2 and 3.
+    m.load_program(
+        0,
+        Ops(vec![
+            Step::Store {
+                addr: numa_addr,
+                data: StoreData::U64(0xFEED_F00D),
+            },
+            Step::Compute(50_000),
+            Step::Load {
+                addr: numa_addr,
+                bytes: 8,
+            },
+        ]
+        .into()),
+    );
+    for n in [2u16, 3] {
+        m.load_program(
+            n,
+            Ops(vec![Step::Load {
+                addr: scoma_addr,
+                bytes: 8,
+            }]
+            .into()),
+        );
+    }
+    m.run_to_quiescence();
+    // Phase 2: node 0 writes the S-COMA line, invalidating both sharers.
+    m.load_program(
+        0,
+        Ops(vec![Step::Store {
+            addr: scoma_addr,
+            data: StoreData::U64(0xBEEF),
+        }]
+        .into()),
+    );
+    m.run_to_quiescence();
+    let s = m.stats();
+    assert_eq!(s.nodes[1].fw.numa_home_reads, 1);
+    assert_eq!(s.nodes[1].fw.numa_home_writes, 1);
+    assert_eq!(s.nodes[0].fw.numa_forwards, 2, "one load miss + one store");
+    assert_eq!(s.nodes[1].fw.scoma_invals, 2, "both sharers invalidated");
+    assert!(s.nodes[1].fw.scoma_transitions > 0);
+    check_golden("stats_shmem.json", s.to_json());
+}
