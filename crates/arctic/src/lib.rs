@@ -30,11 +30,13 @@
 //! experiments in this repository never drive a link into the regime where
 //! credit stalls propagate. CRC and physical encoding are out of scope.
 
+pub mod fault;
 pub mod ideal;
 pub mod network;
 pub mod packet;
 pub mod topology;
 
+pub use fault::{FaultModel, FaultParams, FaultVerdict};
 pub use ideal::IdealNetwork;
 pub use network::{LinkParams, LinkUsage, Network, NetworkStats};
 pub use packet::{NodeId, Packet, Priority, MAX_PAYLOAD_BYTES, PACKET_HEADER_BYTES};

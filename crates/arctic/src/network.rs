@@ -11,6 +11,7 @@
 //! The network runs its own internal event queue; the owning machine calls
 //! [`Network::advance`] with an upper time bound and collects deliveries.
 
+use crate::fault::{FaultModel, FaultParams};
 use crate::packet::{NodeId, Packet};
 use crate::topology::{FatTree, LinkId, RoutingPolicy};
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,8 @@ struct InFlight<P> {
     route: Vec<LinkId>,
     /// Index of the next link to traverse.
     hop: usize,
+    /// Fault-injected overtaking: jump the priority queue at each hop.
+    reorder: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +123,14 @@ pub struct NetworkStats {
     pub bytes_delivered: u64,
     /// Highest output-queue occupancy seen on any link.
     pub max_link_queue: usize,
+    /// Packets discarded at injection by the fault model.
+    pub faults_dropped: Counter,
+    /// Packets the fault model delivered twice.
+    pub faults_duplicated: Counter,
+    /// Packets whose payload the fault model mangled in flight.
+    pub faults_corrupted: Counter,
+    /// Packets the fault model let overtake their priority queue.
+    pub faults_reordered: Counter,
 }
 
 /// The Arctic network simulator.
@@ -142,6 +153,8 @@ pub struct Network<P> {
     events: EventQueue<NetEvent>,
     delivered: Vec<(Time, Packet<P>)>,
     route_salt: u64,
+    /// Fault injector, when configured (see [`Network::set_faults`]).
+    fault: Option<FaultModel>,
     /// Running statistics.
     pub stats: NetworkStats,
 }
@@ -163,6 +176,7 @@ impl<P> Network<P> {
             events: EventQueue::new(),
             delivered: Vec::new(),
             route_salt: 0,
+            fault: None,
             stats: NetworkStats::default(),
         }
     }
@@ -172,12 +186,60 @@ impl<P> Network<P> {
         self.topology.nodes
     }
 
+    /// Install (or, with all-zero rates, remove) the fault injector.
+    pub fn set_faults(&mut self, params: FaultParams) {
+        self.fault = params.enabled().then(|| FaultModel::new(params));
+    }
+
+    /// The fault configuration in force, if any.
+    pub fn fault_params(&self) -> Option<FaultParams> {
+        self.fault.as_ref().map(|f| f.params())
+    }
+
     /// Inject a packet at time `now`. The packet begins queueing on the
     /// node's uplink immediately.
-    pub fn inject(&mut self, now: Time, mut packet: Packet<P>) {
+    ///
+    /// All fault randomness is consumed here and only here: `inject`
+    /// runs exactly once per packet in a deterministic global order
+    /// under every run mode and thread count (`advance` draws nothing),
+    /// which is what makes fault-injected runs thread-count-invariant —
+    /// see [`crate::fault`].
+    pub fn inject(&mut self, now: Time, mut packet: Packet<P>)
+    where
+        P: Clone,
+    {
         assert_ne!(packet.src, packet.dst, "network cannot loop back to self");
         packet.injected_at = now;
         self.stats.injected.bump();
+        let mut copies = 1usize;
+        let mut reorder = false;
+        if let Some(fm) = &mut self.fault {
+            let v = fm.judge(&packet);
+            if v.drop {
+                self.stats.faults_dropped.bump();
+                return;
+            }
+            if v.duplicate {
+                self.stats.faults_duplicated.bump();
+                copies = 2;
+            }
+            if v.corrupt {
+                self.stats.faults_corrupted.bump();
+                packet.corrupt = true;
+            }
+            if v.reorder {
+                self.stats.faults_reordered.bump();
+                reorder = true;
+            }
+        }
+        for _ in 1..copies {
+            self.launch(now, packet.clone(), reorder);
+        }
+        self.launch(now, packet, reorder);
+    }
+
+    /// Route one flight and start it queueing on the source uplink.
+    fn launch(&mut self, now: Time, packet: Packet<P>, reorder: bool) {
         let salt = self.route_salt;
         self.route_salt = self.route_salt.wrapping_add(1);
         let (src, dst) = (packet.src, packet.dst);
@@ -211,6 +273,7 @@ impl<P> Network<P> {
             packet,
             route,
             hop: 0,
+            reorder,
         });
         self.enqueue_on_link(now, slot);
     }
@@ -218,12 +281,19 @@ impl<P> Network<P> {
     /// Put flight `slot` on the output queue of its current link and poke
     /// the dispatcher.
     fn enqueue_on_link(&mut self, now: Time, slot: usize) {
-        let (link_id, prio) = {
+        let (link_id, prio, reorder) = {
             let f = self.flights[slot].as_ref().expect("live flight");
-            (f.route[f.hop], f.packet.priority)
+            (f.route[f.hop], f.packet.priority, f.reorder)
         };
         let link = &mut self.links[link_id];
-        link.queues[prio.index()].push_back(slot);
+        if reorder {
+            // Fault-injected overtaking: jump ahead of everything already
+            // queued at this priority. Consumes no randomness — the
+            // verdict was drawn once, at injection.
+            link.queues[prio.index()].push_front(slot);
+        } else {
+            link.queues[prio.index()].push_back(slot);
+        }
         let q = link.queued();
         if q > link.high_water {
             link.high_water = q;
@@ -546,6 +616,78 @@ mod tests {
             spread < fixed,
             "spread routing ({spread} ns) should finish before fixed ({fixed} ns)"
         );
+    }
+
+    #[test]
+    fn fault_drops_and_dups_are_counted_and_deterministic() {
+        use crate::fault::{FaultParams, PPM};
+        let run = |params: FaultParams| {
+            let mut n = net(4);
+            n.set_faults(params);
+            for k in 0..200u32 {
+                let s = (k % 4) as u16;
+                n.inject(
+                    Time::from_ns(k as u64 * 10),
+                    Packet::new(s, (s + 1) % 4, Priority::Low, 64, k),
+                );
+            }
+            let got = run_until_quiet(&mut n);
+            (
+                got.into_iter()
+                    .map(|(t, p)| (t.ns(), p.payload, p.corrupt))
+                    .collect::<Vec<_>>(),
+                n.stats.clone(),
+            )
+        };
+        let params = FaultParams {
+            drop_ppm: PPM / 10,
+            dup_ppm: PPM / 10,
+            corrupt_ppm: PPM / 10,
+            reorder_ppm: PPM / 10,
+            seed: 1234,
+        };
+        let (got, stats) = run(params);
+        assert!(stats.faults_dropped.get() > 0);
+        assert!(stats.faults_duplicated.get() > 0);
+        assert!(stats.faults_corrupted.get() > 0);
+        assert!(stats.faults_reordered.get() > 0);
+        assert!(got.iter().any(|&(_, _, c)| c), "corrupt flag reaches exit");
+        // Every injected packet is accounted for: delivered once, twice
+        // (duplicated), or dropped.
+        assert_eq!(
+            stats.delivered.get(),
+            stats.injected.get() + stats.faults_duplicated.get() - stats.faults_dropped.get()
+        );
+        // Same seed → bit-identical trace; different seed → different.
+        let (again, _) = run(params);
+        assert_eq!(got, again);
+        let (other, _) = run(FaultParams { seed: 77, ..params });
+        assert_ne!(got, other);
+        // Disabling restores perfect delivery.
+        let (clean, cs) = run(FaultParams::default());
+        assert_eq!(clean.len(), 200);
+        assert_eq!(cs.faults_dropped.get(), 0);
+    }
+
+    #[test]
+    fn reordered_packet_overtakes_queue() {
+        use crate::fault::{FaultParams, PPM};
+        // Reorder every packet: with a deep queue the last-injected
+        // packet must come out first (LIFO within the priority class).
+        let mut n = net(2);
+        n.set_faults(FaultParams {
+            reorder_ppm: PPM,
+            ..FaultParams::default()
+        });
+        for k in 0..5u32 {
+            n.inject(Time::ZERO, Packet::new(0, 1, Priority::Low, 88, k));
+        }
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), 5);
+        // All five enqueue before the first dispatch event fires, so the
+        // queue drains fully LIFO.
+        let order: Vec<u32> = got.iter().map(|(_, p)| p.payload).collect();
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct Packet<P> {
     pub wire_bytes: u32,
     /// Time the packet entered the network (set by `Network::inject`).
     pub injected_at: Time,
+    /// Reliable-delivery sequence number within the sender's
+    /// `(destination, priority)` stream; `0` means unsequenced (the
+    /// reliable layer is off or the packet is an ack). Stamped by the
+    /// NIU, opaque to the network.
+    pub seq: u32,
+    /// Set by the fault model when the payload was mangled in flight —
+    /// the receiving NIU sees a CRC-failed frame and discards it.
+    pub corrupt: bool,
     /// Structured payload.
     pub payload: P,
 }
@@ -79,6 +87,8 @@ impl<P> Packet<P> {
             priority,
             wire_bytes: PACKET_HEADER_BYTES + payload_bytes,
             injected_at: Time::ZERO,
+            seq: 0,
+            corrupt: false,
             payload,
         }
     }

@@ -19,14 +19,19 @@
 //! `BENCH_simspeed.json` (simulated ns and bus cycles per wall second,
 //! per loop mode and node count).
 //!
-//! Usage: `simspeed [--nodes N] [--stats]` — with `--nodes` only the
-//! sweep entry for `N` runs (the CI smoke configuration); without
-//! arguments the full ring table and node-count sweep run. With
+//! Usage: `simspeed [--nodes N] [--stats] [--faults]` — with `--nodes`
+//! only the sweep entry for `N` runs (the CI smoke configuration);
+//! without arguments the full ring table and node-count sweep run. With
 //! `--stats`, a deterministic re-run of the staggered-pair workload
 //! (latency sampling on) additionally dumps the full
 //! `Machine::stats()` counter snapshot to
 //! `BENCH_simspeed_stats.json` — byte-comparable against a committed
-//! golden, since the snapshot contains no wall-clock quantities.
+//! golden, since the snapshot contains no wall-clock quantities. With
+//! `--faults`, the bin instead runs only the fault-injection smoke: the
+//! staggered-pair workload over a lossy, duplicating, corrupting,
+//! reordering fabric with the reliable-delivery layer armed, asserting
+//! zero payload loss, engaged recovery, and byte-identical stats between
+//! the sequential and parallel event loops.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -223,6 +228,51 @@ fn write_stats_sidecar(n: u16, path: &str) {
     println!("wrote {path}");
 }
 
+/// Fault-injection smoke (`--faults`): the staggered-pair workload over
+/// a hostile fabric. The run must finish with every payload delivered
+/// exactly once, visible retransmission work, and stats JSON identical
+/// between the sequential and windowed-parallel event loops.
+fn faults_smoke(n: u16, workers: usize) {
+    let faults = voyager::arctic::FaultParams {
+        drop_ppm: 60_000,
+        dup_ppm: 30_000,
+        corrupt_ppm: 25_000,
+        reorder_ppm: 40_000,
+        seed: 0xFA17_5EED,
+    };
+    let run = |threads: usize| {
+        let mut m = Machine::builder(n.into())
+            .faults(faults)
+            .threads(threads)
+            .build();
+        load_staggered_pairs(&mut m, n);
+        let t = m.run_to_quiescence().ns();
+        (t, m.stats())
+    };
+    let (t_ev, s_ev) = run(1);
+    let (t_par, s_par) = run(workers);
+    assert_eq!(t_ev, t_par, "parallel loop must match under faults");
+    assert_eq!(
+        s_ev.to_json(),
+        s_par.to_json(),
+        "fault-injected stats must be identical across loop modes"
+    );
+    let delivered: u64 = s_ev
+        .nodes
+        .iter()
+        .map(|nd| nd.niu.classes[0].delivered)
+        .sum();
+    let offered = u64::from(n / 2) * u64::from(PAIR_MSGS);
+    assert_eq!(delivered, offered, "payloads lost under fault injection");
+    let retransmits: u64 = s_ev.nodes.iter().map(|nd| nd.niu.retransmits).sum();
+    assert!(retransmits > 0, "fault rates too low to exercise recovery");
+    println!(
+        "faults smoke: {n} nodes, {} drops + {} corruptions injected, \
+         {retransmits} retransmits, {offered}/{offered} payloads delivered",
+        s_ev.network.faults_dropped, s_ev.network.faults_corrupted,
+    );
+}
+
 fn main() {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -235,6 +285,10 @@ fn main() {
             .expect("--nodes takes a node count")
     });
     let want_stats = args.iter().any(|a| a == "--stats");
+    if args.iter().any(|a| a == "--faults") {
+        faults_smoke(only_nodes.unwrap_or(64), workers);
+        return;
+    }
 
     // ---- Node-count sweep (idle-heavy staggered pairs) ----
     let sweep_sizes: Vec<u16> = match only_nodes {

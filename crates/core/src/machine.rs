@@ -210,6 +210,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Inject network faults at the given rates, and arm the NIUs'
+    /// reliable-delivery layer so the machine still guarantees exactly-
+    /// once message delivery (up to the retransmit cap) on the faulty
+    /// fabric. Deterministic: same [`sv_arctic::FaultParams::seed`], same
+    /// faults, on every run mode and thread count.
+    pub fn faults(mut self, faults: sv_arctic::FaultParams) -> Self {
+        self.params.faults = faults;
+        self.params.niu.reliable = true;
+        self
+    }
+
     /// Enable the debugging tracer of node `i` from cycle 0. May be
     /// called once per node of interest.
     pub fn tracing(mut self, i: u16) -> Self {
@@ -284,7 +295,8 @@ impl Machine {
         for node in &mut nodes {
             Self::configure_node(node, n as u16);
         }
-        let network = Network::new(n.max(2), params.link, params.routing);
+        let mut network = Network::new(n.max(2), params.link, params.routing);
+        network.set_faults(params.faults);
         Machine {
             params,
             nodes,
@@ -481,7 +493,7 @@ impl Machine {
                     format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
                 );
             }
-            node.niu.push_arrival(pkt.payload);
+            node.niu.push_arrival_packet(self.cycle, pkt);
         }
         let cycle = self.cycle;
         // The stepped loop visits every node every cycle by definition;

@@ -7,7 +7,7 @@
 //! claims reproduced in `EXPERIMENTS.md` hold across the sweeps.
 
 use serde::{Deserialize, Serialize};
-use sv_arctic::{LinkParams, RoutingPolicy};
+use sv_arctic::{FaultParams, LinkParams, RoutingPolicy};
 use sv_firmware::FwParams;
 use sv_membus::{BusParams, CacheParams, DramParams};
 use sv_niu::{AddressMap, NiuParams};
@@ -58,6 +58,11 @@ pub struct SystemParams {
     pub link: LinkParams,
     /// Fat-tree routing policy.
     pub routing: RoutingPolicy,
+    /// Network fault injection (all-zero rates by default: a perfect
+    /// network). Usually set through
+    /// [`crate::MachineBuilder::faults`], which also arms the NIU's
+    /// reliable-delivery layer.
+    pub faults: FaultParams,
     /// Physical address map.
     pub map: AddressMap,
     /// Experiment RNG seed (workload generators).
@@ -79,6 +84,7 @@ impl Default for SystemParams {
             // Per-flow FIFO routing is the machine default; the ordered
             // remote-command stream relies on it (see sv-arctic docs).
             routing: RoutingPolicy::FlowHash,
+            faults: FaultParams::default(),
             map: AddressMap::default(),
             seed: 0x5747_5679, // "StarT-Voyager"
         }

@@ -183,9 +183,10 @@ impl Machine {
                     format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
                 );
             }
-            node.niu.push_arrival(pkt.payload);
+            let dst = pkt.dst;
+            node.niu.push_arrival_packet(cycle, pkt);
             // The arrival may unblock the destination this very cycle.
-            self.wake.publish(pkt.dst as usize, Some(cycle));
+            self.wake.publish(dst as usize, Some(cycle));
             self.runstats.wake_republishes += 1;
         }
         self.wake.drain_due(cycle, &mut self.due);
@@ -748,7 +749,7 @@ fn shard_worker(
                         format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
                     );
                 }
-                node.niu.push_arrival(pkt.payload);
+                node.niu.push_arrival_packet(ce, pkt);
                 wake.publish(li, Some(ce));
                 republishes += 1;
             }

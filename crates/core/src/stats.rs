@@ -24,8 +24,12 @@ use sv_niu::msg::{MsgClass, MSG_CLASSES};
 use sv_sim::JsonWriter;
 
 /// Per-class message conservation and latency. At quiescence
-/// `sent == delivered + dropped` holds for every class (the property
-/// suite asserts it).
+/// `sent == delivered + dropped` holds for every class as long as no
+/// sender abandoned a message at the retransmit cap (the property suite
+/// asserts it, faults included). Under cap exhaustion the sender cannot
+/// know whether the receiver accepted a message whose ack was lost, so
+/// the invariant relaxes to
+/// `sent <= delivered + dropped <= sent + reliable_dropped`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClassSnapshot {
     /// Packets launched (loopbacks included).
@@ -123,6 +127,20 @@ pub struct NiuSnapshot {
     pub abiu_claimed: u64,
     /// aBIU ARTRY retries observed.
     pub abiu_retries: u64,
+    /// Reliable-delivery retransmissions (timeout resends).
+    pub retransmits: u64,
+    /// Cumulative acks emitted by the link interface.
+    pub acks_sent: u64,
+    /// Cumulative acks consumed by the transmit side.
+    pub acks_received: u64,
+    /// Duplicate/out-of-window sequenced frames discarded on arrival.
+    pub dup_drops: u64,
+    /// CRC-failed (fault-corrupted) frames discarded on arrival.
+    pub corrupt_drops: u64,
+    /// Head-of-line messages dropped after the Retry-policy cap.
+    pub rx_retry_drops: u64,
+    /// Messages abandoned by the sender at the retransmit cap.
+    pub reliable_dropped: u64,
     /// Per-class conservation/latency, indexed by [`MsgClass`].
     pub classes: [ClassSnapshot; MSG_CLASSES],
     /// Non-idle transmit queues.
@@ -142,6 +160,8 @@ pub struct FwSnapshot {
     pub miss_msgs: u64,
     /// Violation interrupts observed.
     pub violations_seen: u64,
+    /// Malformed, stale, or protocol-inconsistent messages discarded.
+    pub proto_errors: u64,
     /// sP busy time, ns.
     pub busy_ns: u64,
     /// Distinct sP busy intervals (handler engagements).
@@ -248,6 +268,14 @@ pub struct NetworkSnapshot {
     pub latency_max_ns: u64,
     /// Deepest output queue seen on any link.
     pub max_link_queue: u64,
+    /// Packets discarded by the fault model at injection.
+    pub faults_dropped: u64,
+    /// Extra in-flight copies created by the fault model.
+    pub faults_duplicated: u64,
+    /// Packets whose payload the fault model corrupted.
+    pub faults_corrupted: u64,
+    /// Packets the fault model pushed ahead of their priority peers.
+    pub faults_reordered: u64,
     /// Per-link usage: `(link id, bytes, serialization-busy ns, deepest
     /// queue)`, links with traffic only.
     pub links: Vec<sv_arctic::LinkUsage>,
@@ -308,6 +336,10 @@ impl Machine {
                 latency_min_ns: net.latency.min_or_zero(),
                 latency_max_ns: net.latency.max,
                 max_link_queue: net.max_link_queue as u64,
+                faults_dropped: net.faults_dropped.get(),
+                faults_duplicated: net.faults_duplicated.get(),
+                faults_corrupted: net.faults_corrupted.get(),
+                faults_reordered: net.faults_reordered.get(),
                 links: self.network.link_usage(),
             },
         }
@@ -401,6 +433,13 @@ fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
             ibus_transactions: n.niu.ctrl.ibus.transactions.get(),
             abiu_claimed: n.niu.abiu.stats.claimed.get(),
             abiu_retries: n.niu.abiu.stats.retries.get(),
+            retransmits: n.niu.stats.retransmits.get(),
+            acks_sent: n.niu.stats.acks_sent.get(),
+            acks_received: n.niu.stats.acks_received.get(),
+            dup_drops: n.niu.stats.dup_drops.get(),
+            corrupt_drops: n.niu.stats.corrupt_drops.get(),
+            rx_retry_drops: n.niu.stats.rx_retry_drops.get(),
+            reliable_dropped: n.niu.stats.reliable_dropped.get(),
             classes,
             tx_queues,
             rx_queues,
@@ -410,6 +449,7 @@ fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
             svc_msgs: n.fw.stats.svc_msgs.get(),
             miss_msgs: n.fw.stats.miss_msgs.get(),
             violations_seen: n.fw.stats.violations_seen.get(),
+            proto_errors: n.fw.stats.proto_errors.get(),
             busy_ns: n.fw.occupancy.busy_ns,
             busy_intervals: n.fw.occupancy.intervals,
             numa_forwards: n.fw.numa.load_misses.get() + n.fw.numa.stores_forwarded.get(),
@@ -460,6 +500,10 @@ impl MachineStats {
         w.field_u64("latency_min_ns", self.network.latency_min_ns);
         w.field_u64("latency_max_ns", self.network.latency_max_ns);
         w.field_u64("max_link_queue", self.network.max_link_queue);
+        w.field_u64("faults_dropped", self.network.faults_dropped);
+        w.field_u64("faults_duplicated", self.network.faults_duplicated);
+        w.field_u64("faults_corrupted", self.network.faults_corrupted);
+        w.field_u64("faults_reordered", self.network.faults_reordered);
         w.key("links");
         w.begin_arr();
         for l in &self.network.links {
@@ -523,6 +567,13 @@ fn write_node(w: &mut JsonWriter, n: &NodeSnapshot) {
     w.field_u64("ibus_transactions", n.niu.ibus_transactions);
     w.field_u64("abiu_claimed", n.niu.abiu_claimed);
     w.field_u64("abiu_retries", n.niu.abiu_retries);
+    w.field_u64("retransmits", n.niu.retransmits);
+    w.field_u64("acks_sent", n.niu.acks_sent);
+    w.field_u64("acks_received", n.niu.acks_received);
+    w.field_u64("dup_drops", n.niu.dup_drops);
+    w.field_u64("corrupt_drops", n.niu.corrupt_drops);
+    w.field_u64("rx_retry_drops", n.niu.rx_retry_drops);
+    w.field_u64("reliable_dropped", n.niu.reliable_dropped);
     w.key("classes");
     w.begin_obj();
     for (i, c) in n.niu.classes.iter().enumerate() {
@@ -570,6 +621,7 @@ fn write_node(w: &mut JsonWriter, n: &NodeSnapshot) {
     w.field_u64("svc_msgs", n.fw.svc_msgs);
     w.field_u64("miss_msgs", n.fw.miss_msgs);
     w.field_u64("violations_seen", n.fw.violations_seen);
+    w.field_u64("proto_errors", n.fw.proto_errors);
     w.field_u64("busy_ns", n.fw.busy_ns);
     w.field_u64("busy_intervals", n.fw.busy_intervals);
     w.field_u64("numa_forwards", n.fw.numa_forwards);

@@ -93,6 +93,12 @@ pub struct FwStats {
     pub miss_msgs: Counter,
     /// Violations seen.
     pub violations_seen: Counter,
+    /// Malformed, stale, or otherwise protocol-inconsistent messages the
+    /// firmware discarded instead of acting on (truncated payloads,
+    /// unknown opcodes, state transitions for lines/transfers it does not
+    /// know). A hardened firmware counts these and keeps running; it
+    /// never panics on traffic it did not expect.
+    pub proto_errors: Counter,
 }
 
 /// One node's firmware.
@@ -311,6 +317,7 @@ impl Firmware {
             op::SCOMA_INV_ACK => self.scoma_on_inv_ack(cycle, &data, niu),
             _ => {
                 // Unknown opcode: drop with a dispatch charge.
+                self.stats.proto_errors.bump();
                 self.charge(cycle, self.params.dispatch_cycles);
             }
         }

@@ -100,6 +100,7 @@ impl Firmware {
     /// behind requests).
     pub(crate) fn numa_on_home_read(&mut self, cycle: u64, src: u16, data: &Bytes, niu: &mut Niu) {
         let Some((_, addr)) = crate::proto::decode_addr_msg(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -147,6 +148,7 @@ impl Firmware {
     /// Home side: land a posted store in home DRAM.
     pub(crate) fn numa_on_home_write(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
         let Some((_, addr, word)) = decode_numa24(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -176,6 +178,7 @@ impl Firmware {
     /// Requester side: the reply arrived; release the stalled aP load.
     pub(crate) fn numa_on_data(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
         let Some((_, addr, word)) = decode_numa24(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };

@@ -168,6 +168,7 @@ impl Firmware {
         niu: &mut Niu,
     ) {
         let Some((_, line)) = crate::proto::decode_addr_msg(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -178,29 +179,29 @@ impl Firmware {
         }
         let busy = {
             let e = self.scoma.dir.entry(line).or_default();
-            e.pending.is_some()
+            if e.pending.is_some() {
+                e.waiting.push_back((src, write));
+                true
+            } else {
+                false
+            }
         };
-        if busy {
-            self.scoma
-                .dir
-                .get_mut(&line)
-                .expect("entry exists")
-                .waiting
-                .push_back((src, write));
-        } else {
+        if !busy {
             self.scoma_dispatch(line, src, write, niu);
         }
         self.charge(cycle, self.params.scoma_home_cycles);
     }
 
     /// Start servicing one request for `line` (entry must not be pending).
+    /// The entry is (re-)created on demand: a hardened home treats a
+    /// request for an unknown line as a request for an uncached one.
     fn scoma_dispatch(&mut self, line: u64, src: u16, write: bool, niu: &mut Niu) {
         let state = self.scoma.dir.entry(line).or_default().state.clone();
         match state {
             DirState::Uncached => {
                 self.scoma_grant_data(line, src, write, niu);
                 self.scoma.stats.transitions.bump();
-                self.scoma.dir.get_mut(&line).expect("entry").state = if write {
+                self.scoma.dir.entry(line).or_default().state = if write {
                     DirState::Owned(src)
                 } else {
                     DirState::Shared(vec![src])
@@ -209,7 +210,7 @@ impl Firmware {
             DirState::Shared(sharers) => {
                 if !write {
                     self.scoma_grant_data(line, src, false, niu);
-                    let e = self.scoma.dir.get_mut(&line).expect("entry");
+                    let e = self.scoma.dir.entry(line).or_default();
                     if let DirState::Shared(s) = &mut e.state {
                         if !s.contains(&src) {
                             s.push(src);
@@ -227,7 +228,7 @@ impl Firmware {
                         self.scoma_grant_data(line, src, true, niu);
                     }
                     self.scoma.stats.transitions.bump();
-                    self.scoma.dir.get_mut(&line).expect("entry").state = DirState::Owned(src);
+                    self.scoma.dir.entry(line).or_default().state = DirState::Owned(src);
                     return;
                 }
                 let svc_lq = self.cfg.svc_lq;
@@ -244,7 +245,7 @@ impl Firmware {
                         },
                     );
                 }
-                self.scoma.dir.get_mut(&line).expect("entry").pending = Some(Pending {
+                self.scoma.dir.entry(line).or_default().pending = Some(Pending {
                     requester: src,
                     write: true,
                     acks_left: others.len() as u16,
@@ -270,7 +271,7 @@ impl Firmware {
                         tagon: None,
                     },
                 );
-                self.scoma.dir.get_mut(&line).expect("entry").pending = Some(Pending {
+                self.scoma.dir.entry(line).or_default().pending = Some(Pending {
                     requester: src,
                     write,
                     acks_left: 0,
@@ -353,6 +354,7 @@ impl Firmware {
     /// Owner side: the home recalled a line we own.
     pub(crate) fn scoma_on_recall(&mut self, cycle: u64, home: u16, data: &Bytes, niu: &mut Niu) {
         let Some((_, line, write)) = crate::proto::decode_addr2_msg(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -423,6 +425,7 @@ impl Firmware {
         niu: &mut Niu,
     ) {
         if data.len() < 16 + CACHE_LINE as usize {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         }
@@ -476,12 +479,18 @@ impl Firmware {
                 },
             );
             self.scoma.stats.transitions.bump();
-            let e = self.scoma.dir.get_mut(&line).expect("entry");
+            let e = self.scoma.dir.entry(line).or_default();
             e.state = if p.write {
                 DirState::Owned(p.requester)
             } else {
                 DirState::Shared(vec![owner, p.requester])
             };
+        } else {
+            // Unsolicited writeback (no recall outstanding) — e.g. a
+            // stale duplicate. The data landed in home memory above,
+            // which is harmless (the owner's copy is authoritative), but
+            // no grant follows; count the protocol inconsistency.
+            self.stats.proto_errors.bump();
         }
         self.scoma_run_waiters(line, niu);
         self.charge(cycle, self.params.scoma_home_cycles);
@@ -490,6 +499,7 @@ impl Firmware {
     /// Sharer side: invalidate our read-only copy and ack.
     pub(crate) fn scoma_on_inv(&mut self, cycle: u64, home: u16, data: &Bytes, niu: &mut Niu) {
         let Some((_, line)) = crate::proto::decode_addr_msg(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -511,33 +521,48 @@ impl Firmware {
         self.charge(cycle, self.params.scoma_recall_cycles);
     }
 
-    /// Home side: an invalidation ack arrived.
+    /// Home side: an invalidation ack arrived. Acks for lines with no
+    /// entry, no pending transaction, or no acks outstanding are stale
+    /// (e.g. a duplicate that slipped past the network's dedup, or a
+    /// malformed message) — they are counted and dropped, never allowed
+    /// to underflow the ack count or panic the home.
     pub(crate) fn scoma_on_inv_ack(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
         let Some((_, line)) = crate::proto::decode_addr_msg(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
         let done = {
-            let e = self.scoma.dir.get_mut(&line).expect("acks imply entry");
-            let p = e.pending.as_mut().expect("acks imply pending");
+            let Some(p) = self
+                .scoma
+                .dir
+                .get_mut(&line)
+                .and_then(|e| e.pending.as_mut())
+            else {
+                self.stats.proto_errors.bump();
+                self.charge(cycle, self.params.dispatch_cycles);
+                return;
+            };
+            if p.acks_left == 0 {
+                self.stats.proto_errors.bump();
+                self.charge(cycle, self.params.dispatch_cycles);
+                return;
+            }
             p.acks_left -= 1;
             p.acks_left == 0
         };
         if done {
-            let p = self
-                .scoma
-                .dir
-                .get_mut(&line)
-                .and_then(|e| e.pending.take())
-                .expect("checked");
-            if p.upgrade {
-                self.scoma_grant_upgrade(line, p.requester, niu);
-            } else {
-                self.scoma_grant_data(line, p.requester, true, niu);
+            let pend = self.scoma.dir.get_mut(&line).and_then(|e| e.pending.take());
+            if let Some(p) = pend {
+                if p.upgrade {
+                    self.scoma_grant_upgrade(line, p.requester, niu);
+                } else {
+                    self.scoma_grant_data(line, p.requester, true, niu);
+                }
+                self.scoma.stats.transitions.bump();
+                self.scoma.dir.entry(line).or_default().state = DirState::Owned(p.requester);
+                self.scoma_run_waiters(line, niu);
             }
-            self.scoma.stats.transitions.bump();
-            self.scoma.dir.get_mut(&line).expect("entry").state = DirState::Owned(p.requester);
-            self.scoma_run_waiters(line, niu);
         }
         self.charge(cycle, self.params.scoma_home_cycles);
     }
@@ -546,7 +571,9 @@ impl Firmware {
     fn scoma_run_waiters(&mut self, line: u64, niu: &mut Niu) {
         loop {
             let next = {
-                let e = self.scoma.dir.get_mut(&line).expect("entry");
+                let Some(e) = self.scoma.dir.get_mut(&line) else {
+                    break;
+                };
                 if e.pending.is_some() {
                     break;
                 }

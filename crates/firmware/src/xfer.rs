@@ -125,21 +125,27 @@ impl Firmware {
     /// A local aP asked for a block transfer.
     pub(crate) fn xfer_on_request(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
         let Some(req) = XferReq::decode(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
-        assert_eq!(req.src_addr % 8, 0, "transfers must be 8-byte aligned");
-        assert_eq!(req.dst_addr % 8, 0, "transfers must be 8-byte aligned");
-        assert_eq!(req.len % 8, 0, "transfer length must be a multiple of 8");
+        // Malformed geometry is rejected, not asserted: a hardened
+        // firmware survives a buggy (or adversarial) library.
+        if req.src_addr % 8 != 0 || req.dst_addr % 8 != 0 || req.len % 8 != 0 {
+            self.stats.proto_errors.bump();
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        }
         self.xfer.requests.bump();
         let phase = match req.approach {
             Approach::SpManaged | Approach::BlockHw => SendPhase::Streaming,
             Approach::OptimisticSp | Approach::OptimisticHw => {
-                assert_eq!(
-                    req.len % CACHE_LINE as u32,
-                    0,
-                    "optimistic transfers are line-granular"
-                );
+                if req.len % CACHE_LINE as u32 != 0 {
+                    // Optimistic transfers are line-granular.
+                    self.stats.proto_errors.bump();
+                    self.charge(cycle, self.params.dispatch_cycles);
+                    return;
+                }
                 let svc_lq = self.cfg.svc_lq;
                 let setup = XferSetup {
                     xfer_id: req.xfer_id,
@@ -163,6 +169,7 @@ impl Firmware {
             Approach::ApDirect => {
                 // Approach 1 never enters firmware; a request here is a
                 // library bug.
+                self.stats.proto_errors.bump();
                 self.charge(cycle, self.params.dispatch_cycles);
                 return;
             }
@@ -180,6 +187,7 @@ impl Firmware {
     /// Approach 4/5 receiver: prepare the destination region.
     pub(crate) fn xfer_on_setup(&mut self, cycle: u64, src: u16, data: &Bytes, niu: &mut Niu) {
         let Some(s) = XferSetup::decode(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -233,6 +241,8 @@ impl Firmware {
                     break;
                 }
             }
+        } else {
+            self.stats.proto_errors.bump();
         }
         self.charge(cycle, self.params.dispatch_cycles);
     }
@@ -252,6 +262,7 @@ impl Firmware {
         let svc_q = self.cfg.svc_q;
         let Some(hdr) = XferData::decode(data) else {
             // Still must free the slot.
+            self.stats.proto_errors.bump();
             niu.sp().push_cmd(
                 Q_SVC,
                 LocalCmd::RxPtrUpdate {
@@ -306,6 +317,7 @@ impl Firmware {
     /// behind the data on the remote-command stream).
     pub(crate) fn xfer_on_page(&mut self, cycle: u64, src: u16, data: &Bytes, niu: &mut Niu) {
         let Some(p) = XferPage::decode(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
@@ -354,11 +366,16 @@ impl Firmware {
     /// A local aP requested a tracked-region flush.
     pub(crate) fn xfer_on_flush(&mut self, cycle: u64, data: &Bytes, niu: &mut Niu) {
         let Some(f) = crate::proto::XferFlush::decode(data) else {
+            self.stats.proto_errors.bump();
             self.charge(cycle, self.params.dispatch_cycles);
             return;
         };
-        assert_eq!(f.base % CACHE_LINE, 0, "flush regions are line-aligned");
-        assert_eq!(f.len as u64 % CACHE_LINE, 0);
+        if !f.base.is_multiple_of(CACHE_LINE) || !(f.len as u64).is_multiple_of(CACHE_LINE) {
+            // Flush regions must be line-aligned; reject rather than panic.
+            self.stats.proto_errors.bump();
+            self.charge(cycle, self.params.dispatch_cycles);
+            return;
+        }
         let first_line = niu.map.scoma_line(f.base);
         self.xfer.flushes.push(FlushXfer {
             xfer_id: f.xfer_id,

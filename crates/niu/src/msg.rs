@@ -412,6 +412,30 @@ pub enum NetPayload {
         /// from the wire-size accounting.
         sent_cycle: u64,
     },
+    /// Cumulative acknowledgment of the reliable-delivery layer: "I have
+    /// accepted every packet of your `(src → me, prio_idx)` stream up to
+    /// and including `ack_upto`". Never sequenced or retransmitted
+    /// itself; rides [`Priority::High`] so data traffic cannot starve it.
+    Ack {
+        /// The acknowledging node.
+        src: u16,
+        /// Priority index of the stream being acked (0 = high).
+        prio_idx: u8,
+        /// Highest in-order sequence number accepted.
+        ack_upto: u32,
+    },
+    /// Stream resynchronization: after the sender's retry cap expires it
+    /// abandons the unacked packets (counting them dropped) and tells the
+    /// receiver to expect `next_seq` next, so the stream can make
+    /// progress again. Fire-and-forget, like [`NetPayload::Ack`].
+    RelSync {
+        /// The abandoning sender.
+        src: u16,
+        /// Priority index of the stream being resynchronized.
+        prio_idx: u8,
+        /// The sequence number of the sender's next transmission.
+        next_seq: u32,
+    },
 }
 
 impl NetPayload {
@@ -421,6 +445,7 @@ impl NetPayload {
         match self {
             NetPayload::Msg { data, .. } => data.len() as u32,
             NetPayload::RemoteCmd { cmd, .. } => cmd.payload_bytes(),
+            NetPayload::Ack { .. } | NetPayload::RelSync { .. } => 8,
         }
     }
 
@@ -431,6 +456,7 @@ impl NetPayload {
         match self {
             NetPayload::Msg { .. } => Priority::Low,
             NetPayload::RemoteCmd { .. } => Priority::High,
+            NetPayload::Ack { .. } | NetPayload::RelSync { .. } => Priority::High,
         }
     }
 }

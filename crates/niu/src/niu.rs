@@ -28,7 +28,7 @@ use crate::params::NiuParams;
 use crate::queues::{QueueId, RxFullPolicy, RxService};
 use crate::sram::{ClsSram, ClsState, Sram, SramSel};
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use sv_arctic::{Packet, Priority};
 use sv_membus::{BusOp, BusOpKind, MasterId, SnoopVerdict};
 use sv_sim::stats::{Counter, Summary};
@@ -104,6 +104,64 @@ pub struct NiuStats {
     /// Per-class conservation counters and latency, indexed by
     /// [`MsgClass`] as `usize`.
     pub class: [ClassStats; MSG_CLASSES],
+    /// Packets retransmitted by the reliable layer after an ack timeout.
+    pub retransmits: Counter,
+    /// Acks this NIU generated (one per sequenced arrival, accepted or
+    /// not — a re-ack is how the sender recovers from a lost ack).
+    pub acks_sent: Counter,
+    /// Ack packets this NIU consumed.
+    pub acks_received: Counter,
+    /// Sequenced arrivals discarded as duplicate or out-of-order
+    /// (go-back-N accepts strictly in order).
+    pub dup_drops: Counter,
+    /// Frames discarded at the link interface with a failed CRC (the
+    /// fault model corrupted them in flight).
+    pub corrupt_drops: Counter,
+    /// Messages abandoned by the rx engine after exhausting the
+    /// full-queue retry cap ([`NiuParams::rx_full_retry_cap`]).
+    pub rx_retry_drops: Counter,
+    /// Packets the reliable layer abandoned after the retransmit cap
+    /// (also counted in the owning class's `dropped`).
+    pub reliable_dropped: Counter,
+}
+
+/// Per-`(destination, priority)` sender state of the reliable layer: a
+/// go-back-N connection. Sequence numbers start at 1 (0 is the
+/// "unsequenced" sentinel on the wire).
+#[derive(Debug)]
+struct RelConn {
+    /// Next sequence number to assign.
+    next_seq: u32,
+    /// Unacked packets, oldest first, kept for retransmission.
+    unacked: VecDeque<(u32, Packet<NetPayload>)>,
+    /// Consecutive timeouts without ack progress.
+    retries: u32,
+    /// Cycle the retransmit timer fires (meaningful while `unacked` is
+    /// nonempty).
+    next_retry_cycle: u64,
+}
+
+impl RelConn {
+    fn new() -> Self {
+        RelConn {
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            retries: 0,
+            next_retry_cycle: 0,
+        }
+    }
+}
+
+/// Traffic class charged for a packet the reliable layer abandons.
+fn payload_class(p: &NetPayload) -> MsgClass {
+    match p {
+        NetPayload::Msg { data, .. } => data.class(),
+        // Remote commands are the DMA/block machinery; control packets
+        // are never sequenced, so the arm is for exhaustiveness only.
+        NetPayload::RemoteCmd { .. } | NetPayload::Ack { .. } | NetPayload::RelSync { .. } => {
+            MsgClass::Dma
+        }
+    }
 }
 
 /// Outcome of attempting to deliver a message into a receive queue.
@@ -138,6 +196,18 @@ pub struct Niu {
     sp_requests: VecDeque<SpRequest>,
     interrupts: VecDeque<NiuInterrupt>,
     req_tags: HashMap<u64, ReqTag>,
+    /// Reliable-layer sender connections keyed by `(dst, priority index)`.
+    /// `BTreeMap`, not `HashMap`: the retransmit sweep iterates it, and
+    /// iteration order must be deterministic across runs.
+    tx_rel: BTreeMap<(u16, u8), RelConn>,
+    /// Reliable-layer receiver state: next expected sequence number per
+    /// `(src, priority index)` stream.
+    rx_expected: BTreeMap<(u16, u8), u32>,
+    /// Consecutive full-queue stalls of the message at the head of
+    /// `rxu_in` (only the head can stall; reset when it is consumed).
+    rx_head_stalls: u32,
+    /// Same, for a Notify at the head of the remote command queue.
+    notify_head_stalls: u32,
     /// Running statistics.
     pub stats: NiuStats,
     /// Stamp launch cycles on outgoing packets so the receive side can
@@ -162,6 +232,10 @@ impl Niu {
             sp_requests: VecDeque::new(),
             interrupts: VecDeque::new(),
             req_tags: HashMap::new(),
+            tx_rel: BTreeMap::new(),
+            rx_expected: BTreeMap::new(),
+            rx_head_stalls: 0,
+            notify_head_stalls: 0,
             stats: NiuStats::default(),
             sample_latency: false,
             params,
@@ -196,6 +270,7 @@ impl Niu {
         self.remote_step(cycle);
         self.block_read_step(cycle);
         self.block_tx_step(cycle);
+        self.reliable_step(cycle);
     }
 
     /// A packet arrived from the network (or was looped back locally).
@@ -203,6 +278,144 @@ impl Niu {
         self.rxu_in.push_back(payload);
         if self.rxu_in.len() > self.stats.rxu_high_water {
             self.stats.rxu_high_water = self.rxu_in.len();
+        }
+    }
+
+    /// A packet arrived from the network, envelope included. The link
+    /// interface work happens here, before anything queues: CRC-failed
+    /// frames are discarded, reliable-layer control packets (acks, stream
+    /// resyncs) are consumed, and sequenced packets pass the go-back-N
+    /// in-order check and are cumulatively acked. Accepted payloads then
+    /// take the normal [`Niu::push_arrival`] path.
+    pub fn push_arrival_packet(&mut self, cycle: u64, pkt: Packet<NetPayload>) {
+        if pkt.corrupt {
+            // The frame failed its CRC: discard at the link, exactly as
+            // the hardware would. The sender's retransmit timer (if the
+            // reliable layer is on) recovers the payload.
+            self.stats.corrupt_drops.bump();
+            return;
+        }
+        match pkt.payload {
+            NetPayload::Ack {
+                src,
+                prio_idx,
+                ack_upto,
+            } => {
+                self.handle_ack(cycle, src, prio_idx, ack_upto);
+                return;
+            }
+            NetPayload::RelSync {
+                src,
+                prio_idx,
+                next_seq,
+            } => {
+                self.handle_rel_sync(src, prio_idx, next_seq);
+                return;
+            }
+            _ => {}
+        }
+        if pkt.seq != 0 {
+            let prio_idx = pkt.priority.index() as u8;
+            let expected = self.rx_expected.entry((pkt.src, prio_idx)).or_insert(1);
+            let accept = pkt.seq == *expected;
+            if accept {
+                *expected += 1;
+            } else {
+                self.stats.dup_drops.bump();
+            }
+            // Cumulative ack either way: re-acking a duplicate is how the
+            // sender learns its original ack was lost.
+            let ack_upto = *expected - 1;
+            let ack = NetPayload::Ack {
+                src: self.node_id,
+                prio_idx,
+                ack_upto,
+            };
+            let bytes = ack.payload_bytes();
+            self.txu_out.push_back((
+                cycle,
+                Packet::new(self.node_id, pkt.src, Priority::High, bytes, ack),
+            ));
+            self.stats.acks_sent.bump();
+            if !accept {
+                return;
+            }
+        }
+        self.push_arrival(pkt.payload);
+    }
+
+    /// Consume a cumulative ack for our `(peer, prio_idx)` stream.
+    fn handle_ack(&mut self, cycle: u64, peer: u16, prio_idx: u8, ack_upto: u32) {
+        self.stats.acks_received.bump();
+        let Some(conn) = self.tx_rel.get_mut(&(peer, prio_idx)) else {
+            return; // stale ack for a stream we no longer track
+        };
+        let mut progressed = false;
+        while conn.unacked.front().is_some_and(|&(s, _)| s <= ack_upto) {
+            conn.unacked.pop_front();
+            progressed = true;
+        }
+        if progressed {
+            conn.retries = 0;
+            conn.next_retry_cycle = cycle + self.params.ack_timeout_cycles;
+        }
+    }
+
+    /// A peer abandoned part of its stream to us; skip our expectation
+    /// forward so the stream can make progress. Monotonic max guards
+    /// against stale or reordered syncs.
+    fn handle_rel_sync(&mut self, peer: u16, prio_idx: u8, next_seq: u32) {
+        let expected = self.rx_expected.entry((peer, prio_idx)).or_insert(1);
+        if next_seq > *expected {
+            *expected = next_seq;
+        }
+    }
+
+    /// Retransmit-timer sweep of the reliable layer: on timeout, go back
+    /// N (resend the whole unacked window) with exponential backoff; past
+    /// the retry cap, abandon the window — each packet counts dropped —
+    /// and resynchronize the receiver.
+    fn reliable_step(&mut self, cycle: u64) {
+        if !self.params.reliable {
+            return;
+        }
+        let timeout = self.params.ack_timeout_cycles;
+        let shift_cap = self.params.retransmit_backoff_shift_cap;
+        let cap = self.params.retransmit_cap;
+        // BTreeMap: the sweep order is deterministic.
+        for (&(dst, prio_idx), conn) in self.tx_rel.iter_mut() {
+            if conn.unacked.is_empty() || cycle < conn.next_retry_cycle {
+                continue;
+            }
+            if conn.retries >= cap {
+                for (_, pkt) in conn.unacked.drain(..) {
+                    self.stats.reliable_dropped.bump();
+                    self.stats.class[payload_class(&pkt.payload) as usize]
+                        .dropped
+                        .bump();
+                }
+                conn.retries = 0;
+                // Fire-and-forget resync; if it is lost too, later traffic
+                // on the stream re-enters the timeout path and is dropped
+                // the same counted way, so the run still terminates.
+                let sync = NetPayload::RelSync {
+                    src: self.node_id,
+                    prio_idx,
+                    next_seq: conn.next_seq,
+                };
+                let bytes = sync.payload_bytes();
+                self.txu_out.push_back((
+                    cycle,
+                    Packet::new(self.node_id, dst, Priority::High, bytes, sync),
+                ));
+            } else {
+                for (_, pkt) in conn.unacked.iter() {
+                    self.stats.retransmits.bump();
+                    self.txu_out.push_back((cycle, pkt.clone()));
+                }
+                conn.retries += 1;
+                conn.next_retry_cycle = cycle + (timeout << conn.retries.min(shift_cap));
+            }
         }
     }
 
@@ -502,6 +715,7 @@ impl Niu {
             || !self.rxu_in.is_empty()
             || !self.txu_out.is_empty()
             || self.abiu.requests_pending() > 0
+            || self.tx_rel.values().any(|c| !c.unacked.is_empty())
     }
 
     /// Whether raised interrupt lines await the firmware's drain.
@@ -562,6 +776,12 @@ impl Niu {
         if let Some(ready) = self.next_packet_ready() {
             consider(ready);
         }
+        // Reliable-layer retransmit timers.
+        for conn in self.tx_rel.values() {
+            if !conn.unacked.is_empty() {
+                consider(conn.next_retry_cycle);
+            }
+        }
         // aBIU master requests are drained by the node on the same tick
         // they appear, but cover a queued residue conservatively (requests
         // already *outstanding* complete via the node's bus, whose own
@@ -607,6 +827,8 @@ impl Niu {
                     *sent_cycle = ready.max(1);
                 }
             }
+            // Control packets of the reliable layer never take this path.
+            NetPayload::Ack { .. } | NetPayload::RelSync { .. } => {}
         }
         if dst == self.node_id {
             self.stats.loopback_msgs.bump();
@@ -614,8 +836,21 @@ impl Niu {
             return;
         }
         let bytes = payload.payload_bytes();
-        self.txu_out
-            .push_back((ready, Packet::new(self.node_id, dst, prio, bytes, payload)));
+        let mut pkt = Packet::new(self.node_id, dst, prio, bytes, payload);
+        if self.params.reliable {
+            let conn = self
+                .tx_rel
+                .entry((dst, prio.index() as u8))
+                .or_insert_with(RelConn::new);
+            pkt.seq = conn.next_seq;
+            conn.next_seq += 1;
+            if conn.unacked.is_empty() {
+                conn.retries = 0;
+                conn.next_retry_cycle = ready + self.params.ack_timeout_cycles;
+            }
+            conn.unacked.push_back((pkt.seq, pkt.clone()));
+        }
+        self.txu_out.push_back((ready, pkt));
     }
 
     fn rx_step(&mut self, cycle: u64) {
@@ -648,6 +883,7 @@ impl Niu {
                 if sent_cycle != 0 {
                     cs.latency.record(cycle.saturating_sub(sent_cycle));
                 }
+                self.rx_head_stalls = 0;
                 self.ctrl.rx_busy = cycle + 1;
             }
             NetPayload::Msg { .. } => {
@@ -665,17 +901,50 @@ impl Niu {
                 let track = Some((data.class(), data.sent_cycle()));
                 match self.deliver_msg(cycle, src, logical_q, &data, track) {
                     Deliver::Done(end) => {
+                        self.rx_head_stalls = 0;
                         self.ctrl.rx_busy = end;
                     }
                     Deliver::Stall => {
-                        self.rxu_in.push_front(NetPayload::Msg {
-                            src,
-                            logical_q,
-                            data,
-                        });
-                        self.ctrl.rx_busy = cycle + self.params.rx_full_retry_cycles;
+                        self.rx_head_stalls += 1;
+                        if self.rx_head_stalls >= self.params.rx_full_retry_cap {
+                            // A persistently-full Retry queue would stall
+                            // the engine forever (and hang the run); give
+                            // up on this message and count it.
+                            self.rx_head_stalls = 0;
+                            self.stats.rx_retry_drops.bump();
+                            self.ctrl.stats.msgs_dropped.bump();
+                            self.stats.class[data.class() as usize].dropped.bump();
+                            self.ctrl.rx_busy = cycle + self.params.rx_engine_overhead_cycles;
+                        } else {
+                            self.rxu_in.push_front(NetPayload::Msg {
+                                src,
+                                logical_q,
+                                data,
+                            });
+                            self.ctrl.rx_busy = cycle + self.params.rx_full_retry_cycles;
+                        }
                     }
                 }
+            }
+            // Reliable-layer control normally never queues (it is consumed
+            // at [`Niu::push_arrival_packet`]); a loopback or direct
+            // `push_arrival` of one is still honored here.
+            NetPayload::Ack { .. } | NetPayload::RelSync { .. } => {
+                match self.rxu_in.pop_front() {
+                    Some(NetPayload::Ack {
+                        src,
+                        prio_idx,
+                        ack_upto,
+                    }) => self.handle_ack(cycle, src, prio_idx, ack_upto),
+                    Some(NetPayload::RelSync {
+                        src,
+                        prio_idx,
+                        next_seq,
+                    }) => self.handle_rel_sync(src, prio_idx, next_seq),
+                    _ => unreachable!(),
+                }
+                self.rx_head_stalls = 0;
+                self.ctrl.rx_busy = cycle + 1;
             }
         }
     }
@@ -1428,13 +1697,30 @@ impl Niu {
             }
             RemoteCmdKind::Notify { logical_q, data } => {
                 match self.deliver_msg(cycle, src, logical_q, &data, None) {
-                    Deliver::Done(end) => self.ctrl.remote_busy = end.max(cycle + overhead),
+                    Deliver::Done(end) => {
+                        self.notify_head_stalls = 0;
+                        self.ctrl.remote_busy = end.max(cycle + overhead);
+                    }
                     Deliver::Stall => {
-                        // Put it back and retry later.
-                        self.ctrl
-                            .remote_q
-                            .push_front((src, RemoteCmdKind::Notify { logical_q, data }));
-                        self.ctrl.remote_busy = cycle + self.params.rx_full_retry_cycles;
+                        self.notify_head_stalls += 1;
+                        if self.notify_head_stalls >= self.params.rx_full_retry_cap {
+                            // Bounded like the rx engine's retry: drop the
+                            // notify body rather than stall the remote
+                            // queue forever. The packet was already
+                            // counted delivered (Dma) at remote-queue
+                            // acceptance, so only the engine-level drop
+                            // counters move here.
+                            self.notify_head_stalls = 0;
+                            self.stats.rx_retry_drops.bump();
+                            self.ctrl.stats.msgs_dropped.bump();
+                            self.ctrl.remote_busy = cycle + overhead;
+                        } else {
+                            // Put it back and retry later.
+                            self.ctrl
+                                .remote_q
+                                .push_front((src, RemoteCmdKind::Notify { logical_q, data }));
+                            self.ctrl.remote_busy = cycle + self.params.rx_full_retry_cycles;
+                        }
                     }
                 }
             }
@@ -2343,5 +2629,197 @@ mod tests {
             NetPayload::Msg { data, .. } => assert_eq!(&data[..], b"high"),
             _ => panic!(),
         }
+    }
+
+    // ---- reliable delivery ----
+
+    fn reliable_niu() -> Niu {
+        let mut n = niu();
+        n.params.reliable = true;
+        n.params.ack_timeout_cycles = 50;
+        n.params.retransmit_cap = 3;
+        n.params.retransmit_backoff_shift_cap = 2;
+        n
+    }
+
+    #[test]
+    fn reliable_send_stamps_sequence_numbers() {
+        let mut n = reliable_niu();
+        compose_and_launch(&mut n, 0, 1, b"one");
+        compose_and_launch(&mut n, 0, 1, b"two");
+        let pkts = run(&mut n, 40);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].seq, 1);
+        assert_eq!(pkts[1].seq, 2);
+        assert!(n.has_work(), "unacked window keeps the NIU awake");
+        // An ack for both retires the window.
+        let ack = Packet::new(
+            1,
+            0,
+            Priority::High,
+            8,
+            NetPayload::Ack {
+                src: 1,
+                prio_idx: Priority::Low.index() as u8,
+                ack_upto: 2,
+            },
+        );
+        n.push_arrival_packet(40, ack);
+        assert!(!n.has_work());
+        assert_eq!(n.stats.acks_received.get(), 1);
+    }
+
+    #[test]
+    fn receiver_accepts_in_order_and_acks() {
+        let mut n = niu(); // receiver side needs no reliable flag
+        let mk = |seq: u32| {
+            let mut p = Packet::new(
+                1,
+                0,
+                Priority::Low,
+                2,
+                NetPayload::Msg {
+                    src: 1,
+                    logical_q: 1,
+                    data: MsgData::new(b"hi"),
+                },
+            );
+            p.seq = seq;
+            p
+        };
+        n.push_arrival_packet(0, mk(1));
+        // Duplicate and out-of-order copies are discarded but re-acked.
+        n.push_arrival_packet(0, mk(1));
+        n.push_arrival_packet(0, mk(3));
+        n.push_arrival_packet(0, mk(2));
+        let pkts = run(&mut n, 60);
+        // Two accepted messages (seq 1, 2); seq 3 was early and dropped.
+        assert_eq!(n.stats.dup_drops.get(), 2);
+        assert_eq!(n.stats.acks_sent.get(), 4);
+        let acks: Vec<u32> = pkts
+            .iter()
+            .filter_map(|p| match &p.payload {
+                NetPayload::Ack { ack_upto, .. } => Some(*ack_upto),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn corrupt_frames_are_discarded_at_the_link() {
+        let mut n = niu();
+        let mut p = Packet::new(
+            1,
+            0,
+            Priority::Low,
+            2,
+            NetPayload::Msg {
+                src: 1,
+                logical_q: 1,
+                data: MsgData::new(b"hi"),
+            },
+        );
+        p.corrupt = true;
+        n.push_arrival_packet(0, p);
+        assert_eq!(n.stats.corrupt_drops.get(), 1);
+        assert!(!n.has_work(), "a corrupt frame leaves no residue");
+    }
+
+    #[test]
+    fn timeout_retransmits_with_backoff_then_drops() {
+        let mut n = reliable_niu();
+        compose_and_launch(&mut n, 0, 1, b"lost");
+        // Run long past the capped backoff ladder with every output
+        // discarded (the "network" loses everything).
+        let mut msg_copies = 0;
+        let mut syncs = 0;
+        for c in 0..20_000u64 {
+            n.tick(c);
+            while let Some(p) = n.pop_ready_packet(c) {
+                match p.payload {
+                    NetPayload::Msg { .. } => {
+                        assert_eq!(p.seq, 1, "only one logical message exists");
+                        msg_copies += 1;
+                    }
+                    NetPayload::RelSync { next_seq, .. } => {
+                        assert_eq!(next_seq, 2);
+                        syncs += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(msg_copies, 4, "original + 3 retransmits");
+        assert_eq!(syncs, 1, "abandonment resynchronizes the receiver");
+        assert_eq!(n.stats.retransmits.get(), 3, "cap bounds the retries");
+        assert_eq!(n.stats.reliable_dropped.get(), 1);
+        assert_eq!(
+            n.stats.class[MsgClass::Basic as usize].dropped.get(),
+            1,
+            "abandoned packet charged to its class"
+        );
+        assert!(!n.has_work(), "the NIU quiesces instead of hanging");
+    }
+
+    #[test]
+    fn rel_sync_advances_receiver_expectation() {
+        let mut n = niu();
+        let sync = Packet::new(
+            1,
+            0,
+            Priority::High,
+            8,
+            NetPayload::RelSync {
+                src: 1,
+                prio_idx: Priority::Low.index() as u8,
+                next_seq: 5,
+            },
+        );
+        n.push_arrival_packet(0, sync);
+        // Seq 5 is now in-order; 4 is stale.
+        let mut p = Packet::new(
+            1,
+            0,
+            Priority::Low,
+            2,
+            NetPayload::Msg {
+                src: 1,
+                logical_q: 1,
+                data: MsgData::new(b"hi"),
+            },
+        );
+        p.seq = 4;
+        n.push_arrival_packet(0, p.clone());
+        assert_eq!(n.stats.dup_drops.get(), 1);
+        p.seq = 5;
+        n.push_arrival_packet(0, p);
+        assert_eq!(n.stats.dup_drops.get(), 1);
+        assert_eq!(n.rxu_in.len(), 1);
+    }
+
+    #[test]
+    fn persistent_rx_full_retry_is_capped() {
+        let mut n = niu();
+        n.params.rx_full_retry_cycles = 1;
+        n.params.rx_full_retry_cap = 8;
+        n.ctrl.rx[1].full_policy = RxFullPolicy::Retry;
+        n.ctrl.rx[1].buf.entries = 1;
+        n.ctrl.rx[1].producer = 1; // full, and nothing ever drains it
+        for i in 0..2u32 {
+            let mut data = MsgData::new(b"jam");
+            data.set_class(MsgClass::Basic);
+            let _ = i;
+            n.push_arrival(NetPayload::Msg {
+                src: 1,
+                logical_q: 1,
+                data,
+            });
+        }
+        let _ = run(&mut n, 500);
+        assert_eq!(n.stats.rx_retry_drops.get(), 2);
+        assert_eq!(n.stats.class[MsgClass::Basic as usize].dropped.get(), 2);
+        assert!(!n.has_work(), "capped retry quiesces the engine");
+        assert!(n.ctrl.rx[1].full_stalls.get() >= 16, "8 stalls per message");
     }
 }

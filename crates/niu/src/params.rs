@@ -62,6 +62,29 @@ pub struct NiuParams {
     /// Cycles the rx engine stalls before re-trying a full receive queue
     /// under [`crate::queues::RxFullPolicy::Retry`].
     pub rx_full_retry_cycles: u64,
+    /// Retries the rx engine makes against a persistently-full receive
+    /// queue before giving up and counting the message dropped. Bounds
+    /// the [`crate::queues::RxFullPolicy::Retry`] livelock: a receiver
+    /// that never drains quiesces instead of hanging the run.
+    pub rx_full_retry_cap: u32,
+
+    // ---- reliable delivery ----
+    /// Enable the link-level go-back-N reliable-delivery layer: every
+    /// non-control packet carries a per-`(destination, priority)` sequence
+    /// number, receivers ack cumulatively, and senders retransmit on
+    /// timeout. Off by default — a perfect network needs none of it and
+    /// the timing is then bit-identical to builds without the layer.
+    pub reliable: bool,
+    /// Cycles without ack progress before a sender retransmits its
+    /// unacked window.
+    pub ack_timeout_cycles: u64,
+    /// Cap on the exponential-backoff shift: retry `n` waits
+    /// `ack_timeout_cycles << min(n, cap)`.
+    pub retransmit_backoff_shift_cap: u32,
+    /// Consecutive timeouts tolerated before the sender abandons the
+    /// unacked window, counting each packet dropped instead of
+    /// retransmitting forever.
+    pub retransmit_cap: u32,
 }
 
 impl Default for NiuParams {
@@ -87,6 +110,11 @@ impl Default for NiuParams {
             sram_service_cycles: 2,
             max_abiu_outstanding: 4,
             rx_full_retry_cycles: 16,
+            rx_full_retry_cap: 4096,
+            reliable: false,
+            ack_timeout_cycles: 4096,
+            retransmit_backoff_shift_cap: 6,
+            retransmit_cap: 16,
         }
     }
 }

@@ -194,4 +194,42 @@ mod tests {
         w.begin_obj().key("e").begin_arr().end_arr().end_obj();
         assert_eq!(w.finish(), "{\"e\":[]}");
     }
+
+    #[test]
+    fn control_characters_escape_to_valid_json() {
+        // The named short escapes, plus \u00XX for the rest of C0.
+        let mut w = JsonWriter::new();
+        w.str("\u{0}\u{1}\u{8}\u{b}\u{c}\u{1f}");
+        assert_eq!(w.finish(), "\"\\u0000\\u0001\\u0008\\u000b\\u000c\\u001f\"");
+
+        let mut w = JsonWriter::new();
+        w.str("\n\r\t\"\\");
+        assert_eq!(w.finish(), "\"\\n\\r\\t\\\"\\\\\"");
+    }
+
+    #[test]
+    fn control_characters_in_keys_are_escaped_too() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().field_u64("bad\u{2}key", 7).end_obj();
+        assert_eq!(w.finish(), "{\"bad\\u0002key\":7}");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        // JSON permits raw UTF-8 in strings; the writer must neither
+        // escape nor mangle multi-byte characters, including ones
+        // outside the BMP.
+        let mut w = JsonWriter::new();
+        w.str("naïve – 日本語 🚀");
+        assert_eq!(w.finish(), "\"naïve – 日本語 🚀\"");
+    }
+
+    #[test]
+    fn delete_char_is_not_escaped() {
+        // U+007F is not a C0 control; JSON does not require escaping it
+        // and the writer passes it through verbatim.
+        let mut w = JsonWriter::new();
+        w.str("\u{7f}");
+        assert_eq!(w.finish(), "\"\u{7f}\"");
+    }
 }

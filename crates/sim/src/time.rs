@@ -20,9 +20,15 @@ pub const NS_PER_SEC: u64 = 1_000_000_000;
 
 /// A point in simulated time, in nanoseconds since simulation start.
 ///
-/// `Time` is a transparent newtype over `u64` with saturating-free checked
-/// arithmetic in debug builds (plain `+` panics on overflow there, which is
-/// the behaviour we want: an overflow is always a simulator bug).
+/// `Time` is a transparent newtype over `u64`. Forward arithmetic
+/// ([`Time::plus`], `+`, `+=`) is *checked in debug builds*: it panics on
+/// overflow there, because overflowing 584 years of headroom is always a
+/// simulator bug — usually arithmetic on [`Time::NEVER`]. Release builds
+/// wrap. The one deliberate exception is [`Time::since`], which
+/// **saturates** to zero when the "earlier" time is actually later:
+/// interval accounting (occupancy, latency clipping) relies on that to
+/// clip intervals that straddle a measurement boundary instead of
+/// panicking.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
@@ -58,16 +64,23 @@ impl Time {
         self.0 as f64 / NS_PER_US as f64
     }
 
-    /// Saturating difference `self - earlier` (zero if `earlier` is later).
+    /// Saturating difference `self - earlier` (zero if `earlier` is
+    /// later). The saturation is intentional — see the type-level docs.
     #[inline]
     pub fn since(self, earlier: Time) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
 
-    /// `self + ns`, the workhorse of event scheduling.
+    /// `self + ns`, the workhorse of event scheduling. Panics on overflow
+    /// in debug builds (scheduling an event relative to [`Time::NEVER`]
+    /// is a bug); wraps in release.
     #[inline]
     pub const fn plus(self, ns: u64) -> Time {
-        Time(self.0 + ns)
+        debug_assert!(
+            self.0.checked_add(ns).is_some(),
+            "Time overflow (arithmetic on Time::NEVER?)"
+        );
+        Time(self.0.wrapping_add(ns))
     }
 
     /// The larger of two times.
@@ -85,14 +98,14 @@ impl core::ops::Add<u64> for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: u64) -> Time {
-        Time(self.0 + rhs)
+        self.plus(rhs)
     }
 }
 
 impl core::ops::AddAssign<u64> for Time {
     #[inline]
     fn add_assign(&mut self, rhs: u64) {
-        self.0 += rhs;
+        *self = self.plus(rhs);
     }
 }
 
@@ -210,6 +223,27 @@ mod tests {
         assert_eq!(Time::from_ns(180).since(t), 80);
         assert_eq!(t.max_of(Time::from_ns(99)), t);
         assert_eq!(t.max_of(Time::from_ns(101)), Time::from_ns(101));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "Time overflow"))]
+    fn time_plus_overflow_is_a_debug_panic() {
+        // In release builds the add wraps; in debug it must panic loudly,
+        // since the usual cause is scheduling relative to Time::NEVER.
+        let t = Time::NEVER.plus(1);
+        if cfg!(debug_assertions) {
+            unreachable!();
+        } else {
+            assert_eq!(t, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn since_saturates_by_design() {
+        // Interval clipping relies on this: a "start" later than "end"
+        // yields a zero-length interval, never a panic or a huge value.
+        assert_eq!(Time::ZERO.since(Time::NEVER), 0);
+        assert_eq!(Time::from_ns(5).since(Time::from_ns(9)), 0);
     }
 
     #[test]

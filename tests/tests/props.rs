@@ -302,6 +302,53 @@ proptest! {
         prop_assert_eq!(delivered_of(MsgClass::Express as usize), u64::from(n_express));
     }
 
+    /// Reliable delivery under arbitrary fault rates: per-class
+    /// conservation (`sent == delivered + dropped` summed over nodes)
+    /// holds whatever the network does, and — with rates inside the
+    /// default retransmit budget — not a single payload is lost or
+    /// duplicated.
+    #[test]
+    fn fault_injected_runs_conserve_messages_per_class(
+        drop_ppm in 0u32..60_000,
+        dup_ppm in 0u32..40_000,
+        corrupt_ppm in 0u32..30_000,
+        reorder_ppm in 0u32..40_000,
+        fault_seed in any::<u64>(),
+    ) {
+        use sv_niu::msg::{MsgClass, MSG_CLASSES};
+        use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+        let faults = voyager::arctic::FaultParams {
+            drop_ppm, dup_ppm, corrupt_ppm, reorder_ppm, seed: fault_seed,
+        };
+        let mut m = voyager::Machine::builder(4).faults(faults).build();
+        for i in 0..4u16 {
+            let lib = m.lib(i);
+            let items: Vec<BasicMsg> = (0..4u16)
+                .filter(|&d| d != i)
+                .map(|d| BasicMsg::new(lib.user_dest(d), vec![i as u8; 24]))
+                .collect();
+            m.load_program(i, voyager::app::Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, 3)),
+            ]));
+        }
+        m.run_to_quiescence();
+        let s = m.stats();
+        for class in 0..MSG_CLASSES {
+            let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+            for n in &s.nodes {
+                sent += n.niu.classes[class].sent;
+                delivered += n.niu.classes[class].delivered;
+                dropped += n.niu.classes[class].dropped;
+            }
+            prop_assert_eq!(sent, delivered + dropped,
+                "conservation, class {}", MsgClass::NAMES[class]);
+        }
+        let basic = MsgClass::Basic as usize;
+        let delivered: u64 = s.nodes.iter().map(|n| n.niu.classes[basic].delivered).sum();
+        prop_assert_eq!(delivered, 12, "zero loss inside the retransmit budget");
+    }
+
     /// Arbitrary payload contents survive the Basic message path intact.
     #[test]
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(

@@ -83,7 +83,13 @@ fn retry_policy_with_no_consumer_deadlocks_as_the_paper_warns() {
     // network)". Construct exactly that: a Retry-policy queue whose
     // consumer never runs, fed by more messages than it can hold. The
     // machine must NOT quiesce — the held packet backpressures forever.
-    let mut m = Machine::builder(2).build();
+    // The bounded retry cap (ISSUE 4) would eventually shed the head as
+    // a counted drop, so raise it to effectively-infinite here to keep
+    // the unmitigated hazard observable; `faults.rs` demonstrates the
+    // capped behaviour.
+    let mut p = SystemParams::default();
+    p.niu.rx_full_retry_cap = u32::MAX;
+    let mut m = Machine::builder(2).params(p).build();
     m.nodes[1].niu.ctrl.rx[1].buf.entries = 4;
     m.nodes[1].niu.ctrl.rx[1].full_policy = RxFullPolicy::Retry;
     let lib0 = m.lib(0);
