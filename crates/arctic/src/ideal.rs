@@ -86,6 +86,50 @@ impl<P> IdealNetwork<P> {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl<P: StateSave + Clone> StateSave for IdealNetwork<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.fixed_latency_ns);
+        w.save(&self.params);
+        w.usize_(self.nodes);
+        w.save(&self.events);
+        w.save(&self.delivered);
+    }
+}
+impl<P: StateLoad + Clone> StateLoad for IdealNetwork<P> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let fixed_latency_ns = r.u64()?;
+        let params: LinkParams = r.load()?;
+        let at = r.offset();
+        let nodes = r.usize_()?;
+        if nodes == 0 || nodes > u16::MAX as usize + 1 {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        let net = IdealNetwork {
+            fixed_latency_ns,
+            params,
+            nodes,
+            events: r.load()?,
+            delivered: r.load()?,
+        };
+        // Delivered packets are handed to the embedding machine, which
+        // indexes its node array by `dst`; range-check every packet so a
+        // forged snapshot cannot smuggle one past the `inject` assert.
+        let bad = |p: &Packet<P>| (p.src as usize) >= net.nodes || (p.dst as usize) >= net.nodes;
+        if net.delivered.iter().any(|(_, p)| bad(p)) {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        let mut probe = net.events.clone();
+        while let Some((_, p)) = probe.pop() {
+            if bad(&p) {
+                return Err(SnapshotError::Corrupt { offset: at });
+            }
+        }
+        Ok(net)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,9 +19,10 @@
 //! `BENCH_simspeed.json` (simulated ns and bus cycles per wall second,
 //! per loop mode and node count).
 //!
-//! Usage: `simspeed [--nodes N] [--stats] [--faults]` — with `--nodes`
-//! only the sweep entry for `N` runs (the CI smoke configuration);
-//! without arguments the full ring table and node-count sweep run. With
+//! Usage: `simspeed [--nodes N] [--stats] [--faults]
+//! [--checkpoint-every C] [--restore FILE]` — with `--nodes` only the
+//! sweep entry for `N` runs (the CI smoke configuration); without
+//! arguments the full ring table and node-count sweep run. With
 //! `--stats`, a deterministic re-run of the staggered-pair workload
 //! (latency sampling on) additionally dumps the full
 //! `Machine::stats()` counter snapshot to
@@ -32,6 +33,16 @@
 //! reordering fabric with the reliable-delivery layer armed, asserting
 //! zero payload loss, engaged recovery, and byte-identical stats between
 //! the sequential and parallel event loops.
+//!
+//! With `--checkpoint-every C`, the bin instead runs the checkpoint
+//! cadence smoke: the staggered-pair workload (at `--nodes`, default
+//! 16) snapshotted every `C` bus cycles, asserting that checkpointing
+//! never perturbs the run, that a mid-run snapshot restores and
+//! finishes with byte-identical stats, and leaving the final snapshot
+//! at `BENCH_simspeed_ckpt.bin` for `--restore FILE`, which rebuilds a
+//! machine from a snapshot file and runs it to quiescence. The default
+//! full run also records snapshot size and save/restore cost for
+//! 8/16/32/64-node machines in the JSON report.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -172,7 +183,132 @@ fn sweep_point(n: u16, workers: usize) -> SweepRow {
     }
 }
 
-fn write_json(path: &str, workers: usize, sweep: &[SweepRow], ring: &[(u16, u64, f64, f64, f64)]) {
+/// Where `--checkpoint-every` leaves its final snapshot for `--restore`.
+const CKPT_PATH: &str = "BENCH_simspeed_ckpt.bin";
+
+/// One checkpoint cost measurement for the JSON report.
+struct CkptPoint {
+    nodes: u16,
+    bytes: usize,
+    save_us: f64,
+    restore_us: f64,
+}
+
+/// Snapshot size and save/restore wall cost for an `n`-node machine
+/// checkpointed mid-run (half the staggered pairs fired: queues, caches
+/// and memory warm).
+fn ckpt_point(n: u16) -> CkptPoint {
+    let mut m = Machine::builder(n.into()).threads(1).build();
+    load_staggered_pairs(&mut m, n);
+    m.run_for(u64::from(n / 4) * STAGGER_NS);
+    let t0 = Instant::now();
+    let bytes = m.checkpoint();
+    let save_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t1 = Instant::now();
+    let r = Machine::builder(1)
+        .threads(1)
+        .restore(&bytes)
+        .expect("restore");
+    let restore_us = t1.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(r.stats().nodes.len(), usize::from(n));
+    CkptPoint {
+        nodes: n,
+        bytes: bytes.len(),
+        save_us,
+        restore_us,
+    }
+}
+
+/// Checkpoint cadence smoke (`--checkpoint-every C`): snapshot the
+/// staggered-pair run every `C` bus cycles. The donor must finish with
+/// stats byte-identical to an uninterrupted reference run (checkpoints
+/// are pure observation), and the middle snapshot must restore and
+/// finish byte-identically too. The last snapshot is left on disk for
+/// `--restore`.
+fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
+    assert!(every_cycles > 0, "--checkpoint-every takes a cycle count");
+    let build = || {
+        let mut m = Machine::builder(n.into())
+            .threads(1)
+            .sample_latency(true)
+            .build();
+        load_staggered_pairs(&mut m, n);
+        m
+    };
+    let mut reference = build();
+    let end_ns = reference.run_to_quiescence().ns();
+    let want = reference.stats().to_json();
+
+    // `C` bus cycles of the default 66 MHz clock, in simulated ns.
+    let chunk_ns = (every_cycles * 1000).div_ceil(66).max(1);
+    let mut m = build();
+    let mut snaps: Vec<Vec<u8>> = Vec::new();
+    let mut save_s = 0.0f64;
+    // Checkpoint at absolute simulated times strictly inside the run,
+    // so the harness never pushes `now` past the natural quiescence
+    // point (that would legitimately change the final time).
+    let mut target = chunk_ns;
+    while target < end_ns {
+        m.run_for(target.saturating_sub(m.now.ns()));
+        let t0 = Instant::now();
+        snaps.push(m.checkpoint());
+        save_s += t0.elapsed().as_secs_f64();
+        target += chunk_ns;
+    }
+    if snaps.is_empty() {
+        snaps.push(m.checkpoint());
+    }
+    m.run_to_quiescence();
+    assert_eq!(m.stats().to_json(), want, "checkpointing perturbed the run");
+
+    let mid = &snaps[snaps.len() / 2];
+    let mut r = Machine::builder(1)
+        .threads(1)
+        .restore(mid)
+        .expect("restore mid-run snapshot");
+    r.run_to_quiescence();
+    assert_eq!(r.stats().to_json(), want, "mid-run restore diverged");
+
+    let (lo, hi) = snaps
+        .iter()
+        .map(Vec::len)
+        .fold((usize::MAX, 0), |(l, h), b| (l.min(b), h.max(b)));
+    std::fs::write(CKPT_PATH, snaps.last().expect("at least one snapshot"))
+        .expect("write snapshot");
+    println!(
+        "checkpoint smoke: {n} nodes, {} snapshots every {every_cycles} cycles \
+         ({lo}..{hi} bytes, {:.0} us/save); donor and mid-run restore both \
+         matched the uninterrupted run; wrote {CKPT_PATH}",
+        snaps.len(),
+        save_s / snaps.len() as f64 * 1e6,
+    );
+}
+
+/// `--restore FILE`: rebuild a machine from a snapshot file and run it
+/// to quiescence.
+fn restore_smoke(path: &str) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut m = Machine::builder(1)
+        .threads(1)
+        .restore(&bytes)
+        .unwrap_or_else(|e| panic!("restore {path}: {e}"));
+    let n = m.stats().nodes.len();
+    let at = m.now.ns();
+    let t = m.run_to_quiescence();
+    println!(
+        "restored {n} nodes at {at} ns from {path} ({} bytes); quiesced at {} ns",
+        bytes.len(),
+        t.ns()
+    );
+}
+
+fn write_json(
+    path: &str,
+    workers: usize,
+    sweep: &[SweepRow],
+    ring: &[(u16, u64, f64, f64, f64)],
+    ckpt: &[CkptPoint],
+) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"simspeed\",\n");
@@ -204,6 +340,20 @@ fn write_json(path: &str, workers: usize, sweep: &[SweepRow], ring: &[(u16, u64,
             cycles_per_s(*ev),
             cycles_per_s(*par),
             if i + 1 == ring.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str(
+        "  \"checkpoint\": {\n    \"workload\": \"staggered_pairs mid-run\",\n    \"points\": [\n",
+    );
+    for (i, c) in ckpt.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"nodes\": {}, \"bytes\": {}, \"save_us\": {:.0}, \"restore_us\": {:.0}}}{}\n",
+            c.nodes,
+            c.bytes,
+            c.save_us,
+            c.restore_us,
+            if i + 1 == ckpt.len() { "" } else { "," },
         ));
     }
     s.push_str("    ]\n  }\n}\n");
@@ -285,6 +435,19 @@ fn main() {
             .expect("--nodes takes a node count")
     });
     let want_stats = args.iter().any(|a| a == "--stats");
+    if let Some(i) = args.iter().position(|a| a == "--restore") {
+        let path = args.get(i + 1).expect("--restore takes a snapshot file");
+        restore_smoke(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--checkpoint-every") {
+        let every = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--checkpoint-every takes a bus-cycle count");
+        checkpoint_every_smoke(only_nodes.unwrap_or(16), every);
+        return;
+    }
     if args.iter().any(|a| a == "--faults") {
         faults_smoke(only_nodes.unwrap_or(64), workers);
         return;
@@ -371,7 +534,26 @@ fn main() {
         );
     }
 
-    write_json("BENCH_simspeed.json", workers, &sweep, &ring);
+    // ---- Checkpoint size and save/restore cost ----
+    let ckpt: Vec<CkptPoint> = [8u16, 16, 32, 64].iter().map(|&n| ckpt_point(n)).collect();
+    let ckpt_rows: Vec<Vec<String>> = ckpt
+        .iter()
+        .map(|c| {
+            vec![
+                c.nodes.to_string(),
+                c.bytes.to_string(),
+                format!("{:.0}", c.save_us),
+                format!("{:.0}", c.restore_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "checkpoint snapshots, staggered pairs mid-run",
+        &["nodes", "bytes", "save us", "restore us"],
+        &ckpt_rows,
+    );
+
+    write_json("BENCH_simspeed.json", workers, &sweep, &ring, &ckpt);
     println!("\nwrote BENCH_simspeed.json");
     if want_stats {
         write_stats_sidecar(only_nodes.unwrap_or(64), "BENCH_simspeed_stats.json");

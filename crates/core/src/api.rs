@@ -54,6 +54,15 @@ pub enum ApiError {
         /// Number of nodes in the machine.
         nodes: u16,
     },
+    /// A machine snapshot could not be taken or restored (see
+    /// [`sv_sim::ckpt::SnapshotError`] for the specific failure).
+    Snapshot(sv_sim::ckpt::SnapshotError),
+}
+
+impl From<sv_sim::ckpt::SnapshotError> for ApiError {
+    fn from(e: sv_sim::ckpt::SnapshotError) -> Self {
+        ApiError::Snapshot(e)
+    }
 }
 
 impl core::fmt::Display for ApiError {
@@ -80,6 +89,7 @@ impl core::fmt::Display for ApiError {
                     "destination node {dest} out of range (machine has {nodes})"
                 )
             }
+            ApiError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -315,6 +325,15 @@ impl Program for SendBasic {
             }
         }
     }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::SendBasic {
+            items: self.items.clone(),
+            state: self.state,
+            producer: self.producer,
+            consumer_seen: self.consumer_seen,
+        }))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -448,6 +467,19 @@ impl Program for RecvBasic {
             }
         }
     }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::RecvBasic {
+            expect: self.expect,
+            got: self.got,
+            state: self.state,
+            consumer: self.consumer,
+            producer_seen: self.producer_seen,
+            cur_src: self.cur_src,
+            cur_len: self.cur_len,
+            buf: self.buf.clone(),
+        }))
+    }
 }
 
 /// Send Express messages: one uncached store each.
@@ -483,6 +515,12 @@ impl Program for SendExpress {
                 .express_tx_addr(self.lib.express_tx_q, dest, tag),
             data: StoreData::Bytes(word.to_le_bytes().to_vec()),
         }
+    }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::SendExpress {
+            items: self.items.clone(),
+        }))
     }
 }
 
@@ -530,6 +568,17 @@ impl Program for RecvExpress {
             bytes: 8,
         }
     }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        // A primed receiver is waiting on an in-flight load; the restored
+        // machine replays that load because the pending CPU operation is
+        // checkpointed alongside the program.
+        Some(ProgramSnapshot(Repr::RecvExpress {
+            expect: self.expect,
+            got: self.got,
+            primed: self.primed,
+        }))
+    }
 }
 
 /// Issue a block-transfer request to the local sP (the DMA mechanism):
@@ -576,6 +625,14 @@ impl Program for ReadRegion {
         });
         Step::Done
     }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::ReadRegion {
+            addr: self.addr,
+            len: self.len,
+            off: self.off,
+        }))
+    }
 }
 
 /// Write a pattern to a memory region through the caches (8 bytes per
@@ -610,6 +667,411 @@ impl Program for WriteRegion {
             len: self.data.len() as u32,
         });
         Step::Done
+    }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::WriteRegion {
+            addr: self.addr,
+            data: self.data.clone(),
+            off: self.off,
+        }))
+    }
+}
+
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+/// A checkpointed program: the execution state of one layer-0 library
+/// program (or a composition of them), detached from its [`NodeLib`].
+///
+/// Produced by [`Program::snapshot`] and re-attached to a restored
+/// machine's library handle during [`crate::MachineBuilder::restore`].
+/// The contents are opaque; the only operations are serialization (via
+/// the machine checkpoint) and re-instantiation.
+#[derive(Debug, Clone)]
+pub struct ProgramSnapshot(Repr);
+
+#[derive(Debug, Clone)]
+enum Repr {
+    SendBasic {
+        items: std::collections::VecDeque<BasicMsg>,
+        state: SendState,
+        producer: u16,
+        consumer_seen: u16,
+    },
+    RecvBasic {
+        expect: usize,
+        got: usize,
+        state: RecvState,
+        consumer: u16,
+        producer_seen: u16,
+        cur_src: u16,
+        cur_len: u32,
+        buf: Vec<u8>,
+    },
+    SendExpress {
+        items: std::collections::VecDeque<(u16, u8, u32)>,
+    },
+    RecvExpress {
+        expect: usize,
+        got: usize,
+        primed: bool,
+    },
+    ReadRegion {
+        addr: u64,
+        len: u32,
+        off: u32,
+    },
+    WriteRegion {
+        addr: u64,
+        data: Vec<u8>,
+        off: usize,
+    },
+    Seq(Vec<ProgramSnapshot>),
+    Delay(u64),
+}
+
+/// Nested [`crate::app::Seq`] snapshots deeper than this are rejected as
+/// corrupt: decoding recurses, and a forged snapshot must not be able to
+/// drive the decoder's stack arbitrarily deep.
+const MAX_SEQ_DEPTH: u32 = 64;
+
+impl ProgramSnapshot {
+    pub(crate) fn seq(parts: Vec<ProgramSnapshot>) -> Self {
+        ProgramSnapshot(Repr::Seq(parts))
+    }
+
+    pub(crate) fn delay(ns: u64) -> Self {
+        ProgramSnapshot(Repr::Delay(ns))
+    }
+
+    /// Rebuild a runnable program against `lib` (the restored machine's
+    /// library handle for the same node).
+    pub(crate) fn instantiate(&self, lib: &NodeLib) -> Box<dyn Program> {
+        match &self.0 {
+            Repr::SendBasic {
+                items,
+                state,
+                producer,
+                consumer_seen,
+            } => Box::new(SendBasic {
+                lib: *lib,
+                items: items.clone(),
+                state: *state,
+                producer: *producer,
+                consumer_seen: *consumer_seen,
+            }),
+            Repr::RecvBasic {
+                expect,
+                got,
+                state,
+                consumer,
+                producer_seen,
+                cur_src,
+                cur_len,
+                buf,
+            } => Box::new(RecvBasic {
+                lib: *lib,
+                expect: *expect,
+                got: *got,
+                state: *state,
+                consumer: *consumer,
+                producer_seen: *producer_seen,
+                cur_src: *cur_src,
+                cur_len: *cur_len,
+                buf: buf.clone(),
+            }),
+            Repr::SendExpress { items } => Box::new(SendExpress {
+                lib: *lib,
+                items: items.clone(),
+            }),
+            Repr::RecvExpress {
+                expect,
+                got,
+                primed,
+            } => Box::new(RecvExpress {
+                lib: *lib,
+                expect: *expect,
+                got: *got,
+                primed: *primed,
+            }),
+            Repr::ReadRegion { addr, len, off } => Box::new(ReadRegion {
+                addr: *addr,
+                len: *len,
+                off: *off,
+            }),
+            Repr::WriteRegion { addr, data, off } => Box::new(WriteRegion {
+                addr: *addr,
+                data: data.clone(),
+                off: *off,
+            }),
+            Repr::Seq(parts) => Box::new(crate::app::Seq::new(
+                parts.iter().map(|p| p.instantiate(lib)).collect(),
+            )),
+            Repr::Delay(ns) => Box::new(crate::app::Delay(*ns)),
+        }
+    }
+
+    fn load_at(r: &mut SnapReader<'_>, depth: u32) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let repr = match r.u8()? {
+            0 => {
+                let items: std::collections::VecDeque<BasicMsg> = r.load()?;
+                let state = SendState::load(r)?;
+                // The send loop indexes the front message (and its TagOn
+                // attachment) in every mid-message state; a forged
+                // snapshot must not reach those `expect`s.
+                let front_ok = match state {
+                    SendState::Next | SendState::PollSpace => true,
+                    SendState::WriteTagon { .. } => {
+                        items.front().is_some_and(|m| m.tagon.is_some())
+                    }
+                    SendState::WriteHeader
+                    | SendState::WritePayload { .. }
+                    | SendState::PtrUpdate => items.front().is_some(),
+                };
+                if !front_ok {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                Repr::SendBasic {
+                    items,
+                    state,
+                    producer: r.u16()?,
+                    consumer_seen: r.u16()?,
+                }
+            }
+            1 => {
+                let expect = r.usize_()?;
+                let got = r.usize_()?;
+                let state = RecvState::load(r)?;
+                let consumer = r.u16()?;
+                let producer_seen = r.u16()?;
+                let cur_src = r.u16()?;
+                let cur_len = r.u32()?;
+                let buf: Vec<u8> = r.load()?;
+                // `ReadBody` computes `cur_len - (off - 8)`.
+                if let RecvState::ReadBody { off } = state {
+                    if off > 0 && (off < 8 || off - 8 > cur_len) {
+                        return Err(SnapshotError::Corrupt { offset: at });
+                    }
+                }
+                Repr::RecvBasic {
+                    expect,
+                    got,
+                    state,
+                    consumer,
+                    producer_seen,
+                    cur_src,
+                    cur_len,
+                    buf,
+                }
+            }
+            2 => Repr::SendExpress { items: r.load()? },
+            3 => Repr::RecvExpress {
+                expect: r.usize_()?,
+                got: r.usize_()?,
+                primed: bool::load(r)?,
+            },
+            4 => {
+                let (addr, len, off) = (r.u64()?, r.u32()?, r.u32()?);
+                // The region walk computes `addr + off`.
+                if addr.checked_add(len as u64).is_none() {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                Repr::ReadRegion { addr, len, off }
+            }
+            5 => {
+                let addr = r.u64()?;
+                let data: Vec<u8> = r.load()?;
+                let off = r.usize_()?;
+                // The write loop slices `data[off..off + 8]`.
+                if !data.len().is_multiple_of(8) || !off.is_multiple_of(8) || off > data.len() {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                if addr.checked_add(data.len() as u64).is_none() {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                Repr::WriteRegion { addr, data, off }
+            }
+            6 => {
+                if depth >= MAX_SEQ_DEPTH {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                let n = r.count()?;
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(ProgramSnapshot::load_at(r, depth + 1)?);
+                }
+                Repr::Seq(parts)
+            }
+            7 => Repr::Delay(r.u64()?),
+            _ => return r.corrupt(),
+        };
+        Ok(ProgramSnapshot(repr))
+    }
+}
+
+impl StateSave for ProgramSnapshot {
+    fn save(&self, w: &mut SnapWriter) {
+        match &self.0 {
+            Repr::SendBasic {
+                items,
+                state,
+                producer,
+                consumer_seen,
+            } => {
+                w.u8(0);
+                w.save(items);
+                state.save(w);
+                w.u16(*producer);
+                w.u16(*consumer_seen);
+            }
+            Repr::RecvBasic {
+                expect,
+                got,
+                state,
+                consumer,
+                producer_seen,
+                cur_src,
+                cur_len,
+                buf,
+            } => {
+                w.u8(1);
+                w.usize_(*expect);
+                w.usize_(*got);
+                state.save(w);
+                w.u16(*consumer);
+                w.u16(*producer_seen);
+                w.u16(*cur_src);
+                w.u32(*cur_len);
+                w.save(buf);
+            }
+            Repr::SendExpress { items } => {
+                w.u8(2);
+                w.save(items);
+            }
+            Repr::RecvExpress {
+                expect,
+                got,
+                primed,
+            } => {
+                w.u8(3);
+                w.usize_(*expect);
+                w.usize_(*got);
+                primed.save(w);
+            }
+            Repr::ReadRegion { addr, len, off } => {
+                w.u8(4);
+                w.u64(*addr);
+                w.u32(*len);
+                w.u32(*off);
+            }
+            Repr::WriteRegion { addr, data, off } => {
+                w.u8(5);
+                w.u64(*addr);
+                w.save(data);
+                w.usize_(*off);
+            }
+            Repr::Seq(parts) => {
+                w.u8(6);
+                w.save(parts);
+            }
+            Repr::Delay(ns) => {
+                w.u8(7);
+                w.u64(*ns);
+            }
+        }
+    }
+}
+impl StateLoad for ProgramSnapshot {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        ProgramSnapshot::load_at(r, 0)
+    }
+}
+
+impl StateSave for BasicMsg {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.dest);
+        w.save(&self.payload);
+        w.save(&self.tagon);
+    }
+}
+impl StateLoad for BasicMsg {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let dest = r.u16()?;
+        let payload: Vec<u8> = r.load()?;
+        let tagon: Option<Vec<u8>> = r.load()?;
+        // Re-check the `try_new`/`try_with_tagon` invariants: a forged
+        // message must not smuggle sizes past the wire-format limits.
+        let mut m =
+            BasicMsg::try_new(dest, payload).map_err(|_| SnapshotError::Corrupt { offset: at })?;
+        if let Some(t) = tagon {
+            m = m
+                .try_with_tagon(t)
+                .map_err(|_| SnapshotError::Corrupt { offset: at })?;
+        }
+        Ok(m)
+    }
+}
+
+impl StateSave for SendState {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            SendState::Next => w.u8(0),
+            SendState::PollSpace => w.u8(1),
+            SendState::WriteTagon { off } => {
+                w.u8(2);
+                w.u32(off);
+            }
+            SendState::WriteHeader => w.u8(3),
+            SendState::WritePayload { off } => {
+                w.u8(4);
+                w.u32(off);
+            }
+            SendState::PtrUpdate => w.u8(5),
+        }
+    }
+}
+impl StateLoad for SendState {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => SendState::Next,
+            1 => SendState::PollSpace,
+            2 => SendState::WriteTagon { off: r.u32()? },
+            3 => SendState::WriteHeader,
+            4 => SendState::WritePayload { off: r.u32()? },
+            5 => SendState::PtrUpdate,
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for RecvState {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            RecvState::Poll => w.u8(0),
+            RecvState::CheckPoll => w.u8(1),
+            RecvState::ReadHeader => w.u8(2),
+            RecvState::CheckHeader => w.u8(3),
+            RecvState::ReadBody { off } => {
+                w.u8(4);
+                w.u32(off);
+            }
+            RecvState::PtrUpdate => w.u8(5),
+        }
+    }
+}
+impl StateLoad for RecvState {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => RecvState::Poll,
+            1 => RecvState::CheckPoll,
+            2 => RecvState::ReadHeader,
+            3 => RecvState::CheckHeader,
+            4 => RecvState::ReadBody { off: r.u32()? },
+            5 => RecvState::PtrUpdate,
+            _ => return r.corrupt(),
+        })
     }
 }
 

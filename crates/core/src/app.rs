@@ -122,6 +122,15 @@ pub trait Program: Send {
     /// Produce the next step. Called once per engagement; `env.last_load`
     /// holds the result of the previous load.
     fn step(&mut self, env: &mut Env<'_>) -> Step;
+
+    /// Capture this program's execution state for a machine checkpoint,
+    /// or `None` when the program cannot be snapshotted (the default —
+    /// e.g. closure-based [`FnProgram`]s). A `None` from a program that
+    /// has not finished makes [`crate::Machine::try_checkpoint`] fail
+    /// with [`sv_sim::ckpt::SnapshotError::UnsupportedProgram`].
+    fn snapshot(&self) -> Option<crate::api::ProgramSnapshot> {
+        None
+    }
 }
 
 /// Run `programs` one after another.
@@ -147,6 +156,16 @@ impl Program for Seq {
         }
         Step::Done
     }
+
+    fn snapshot(&self) -> Option<crate::api::ProgramSnapshot> {
+        // Exhausted parts carry no future behaviour; only the remainder
+        // is captured. Every remaining part must itself be snapshottable.
+        let rest: Option<Vec<_>> = self.parts[self.idx..]
+            .iter()
+            .map(|p| p.snapshot())
+            .collect();
+        rest.map(crate::api::ProgramSnapshot::seq)
+    }
 }
 
 /// Compute for a fixed time, then finish.
@@ -162,6 +181,10 @@ impl Program for Delay {
         self.0 = 0;
         Step::Compute(d)
     }
+
+    fn snapshot(&self) -> Option<crate::api::ProgramSnapshot> {
+        Some(crate::api::ProgramSnapshot::delay(self.0))
+    }
 }
 
 /// A program built from a closure returning steps (for tests and ad-hoc
@@ -171,6 +194,137 @@ pub struct FnProgram<F: FnMut(&mut Env<'_>) -> Step + Send>(pub F);
 impl<F: FnMut(&mut Env<'_>) -> Step + Send> Program for FnProgram<F> {
     fn step(&mut self, env: &mut Env<'_>) -> Step {
         self.0(env)
+    }
+}
+
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for StoreData {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            StoreData::U64(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            StoreData::Bytes(b) => {
+                w.u8(1);
+                w.save(b);
+            }
+        }
+    }
+}
+impl StateLoad for StoreData {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => StoreData::U64(r.u64()?),
+            1 => StoreData::Bytes(r.load()?),
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for AppEvent {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.at);
+        w.save(&self.kind);
+    }
+}
+impl StateLoad for AppEvent {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AppEvent {
+            at: r.load()?,
+            kind: r.load()?,
+        })
+    }
+}
+
+/// Restore a `&'static str` label. Labels come from string literals in
+/// program code; the restored copy is leaked once per restore, which is
+/// bounded by the (small, fixed) set of labels programs actually use.
+fn leak_label(r: &mut SnapReader<'_>) -> Result<&'static str, SnapshotError> {
+    let s: String = r.load()?;
+    Ok(Box::leak(s.into_boxed_str()))
+}
+
+impl StateSave for AppEventKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            AppEventKind::Sent { q, dest, bytes } => {
+                w.u8(0);
+                w.u8(*q);
+                w.u16(*dest);
+                w.u32(*bytes);
+            }
+            AppEventKind::Received { q, src, data } => {
+                w.u8(1);
+                w.u8(*q);
+                w.u16(*src);
+                w.save(data);
+            }
+            AppEventKind::ExpressReceived { src, tag, word } => {
+                w.u8(2);
+                w.u16(*src);
+                w.u8(*tag);
+                w.raw(word);
+            }
+            AppEventKind::NotifyReceived { xfer_id } => {
+                w.u8(3);
+                w.u16(*xfer_id);
+            }
+            AppEventKind::RegionDone { addr, len } => {
+                w.u8(4);
+                w.u64(*addr);
+                w.u32(*len);
+            }
+            AppEventKind::ProgramDone => w.u8(5),
+            AppEventKind::Result { label, value } => {
+                w.u8(6);
+                w.save(&label.to_string());
+                w.u64(*value);
+            }
+            AppEventKind::Marker(label) => {
+                w.u8(7);
+                w.save(&label.to_string());
+            }
+        }
+    }
+}
+impl StateLoad for AppEventKind {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => AppEventKind::Sent {
+                q: r.u8()?,
+                dest: r.u16()?,
+                bytes: r.u32()?,
+            },
+            1 => AppEventKind::Received {
+                q: r.u8()?,
+                src: r.u16()?,
+                data: r.load()?,
+            },
+            2 => {
+                let src = r.u16()?;
+                let tag = r.u8()?;
+                let at = r.offset();
+                let word: [u8; 4] = r
+                    .take(4)?
+                    .try_into()
+                    .map_err(|_| SnapshotError::Corrupt { offset: at })?;
+                AppEventKind::ExpressReceived { src, tag, word }
+            }
+            3 => AppEventKind::NotifyReceived { xfer_id: r.u16()? },
+            4 => AppEventKind::RegionDone {
+                addr: r.u64()?,
+                len: r.u32()?,
+            },
+            5 => AppEventKind::ProgramDone,
+            6 => AppEventKind::Result {
+                label: leak_label(r)?,
+                value: r.u64()?,
+            },
+            7 => AppEventKind::Marker(leak_label(r)?),
+            _ => return r.corrupt(),
+        })
     }
 }
 

@@ -610,6 +610,157 @@ impl Machine {
     pub fn mem_read(&self, i: u16, addr: u64, len: usize) -> Vec<u8> {
         self.nodes[i as usize].mem.read_vec(addr, len)
     }
+
+    /// Serialize the complete machine state into a versioned snapshot.
+    ///
+    /// The snapshot captures everything that determines future behaviour
+    /// — parameters, per-node component state (caches, NIU, firmware,
+    /// memory, in-flight bus/CPU operations), program execution state,
+    /// the network (including fault-model RNG and in-flight packets),
+    /// and all statistics. Restoring it with
+    /// [`MachineBuilder::restore`] and running to completion produces
+    /// [`Machine::stats`] output byte-identical to the uninterrupted
+    /// run, in every run mode and thread count.
+    ///
+    /// Panics when a node runs a program that cannot be snapshotted
+    /// (e.g. a closure-based [`crate::FnProgram`]); see
+    /// [`Machine::try_checkpoint`] for the checked form.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.try_checkpoint().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`Machine::checkpoint`]: fails with
+    /// [`ApiError::Snapshot`] (carrying
+    /// [`sv_sim::ckpt::SnapshotError::UnsupportedProgram`]) when a
+    /// still-running program cannot capture its state. No bytes are
+    /// produced on failure.
+    pub fn try_checkpoint(&self) -> Result<Vec<u8>, crate::api::ApiError> {
+        use sv_sim::ckpt::{fnv1a64, write_header, SnapHeader, SnapWriter, FORMAT_VERSION};
+        // Collect program snapshots first so an unsupported program
+        // fails the whole call before any serialization work.
+        let mut progs = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            progs.push(node.program_snapshot()?);
+        }
+        // The parameter section is serialized separately so the header
+        // can carry its hash: restore rejects a snapshot whose
+        // parameters were tampered with before trusting any field.
+        let mut pw = SnapWriter::new();
+        pw.save(&self.params);
+        let params = pw.finish();
+        let mut w = SnapWriter::new();
+        write_header(
+            &mut w,
+            &SnapHeader {
+                version: FORMAT_VERSION,
+                param_hash: fnv1a64(&params),
+                nodes: self.nodes.len() as u64,
+            },
+        );
+        w.lp_bytes(&params);
+        w.u64(self.cycle);
+        w.save(&self.now);
+        w.save(&self.runstats);
+        w.save(&self.network);
+        w.save(&self.ideal);
+        for (node, prog) in self.nodes.iter().zip(&progs) {
+            node.checkpoint_into(&mut w);
+            w.save(prog);
+        }
+        Ok(w.finish())
+    }
+}
+
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for RunLoopCounters {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.node_ticks);
+        w.u64(self.wake_republishes);
+    }
+}
+impl StateLoad for RunLoopCounters {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RunLoopCounters {
+            node_ticks: r.u64()?,
+            wake_republishes: r.u64()?,
+        })
+    }
+}
+
+impl MachineBuilder {
+    /// Rebuild a machine from a [`Machine::checkpoint`] snapshot.
+    ///
+    /// The snapshot is authoritative for node count, parameters and all
+    /// state — the builder's node count and [`MachineBuilder::params`]
+    /// are ignored. Run-mode selection ([`MachineBuilder::threads`] /
+    /// [`MachineBuilder::cycle_stepped`]) and the explicit observation
+    /// knobs ([`MachineBuilder::tracing`],
+    /// [`MachineBuilder::sample_latency`]) still apply, since they are
+    /// free to differ between the saving and restoring run.
+    ///
+    /// Corrupted, truncated or version-mismatched snapshots fail with a
+    /// typed [`ApiError::Snapshot`]; no input can make this panic.
+    pub fn restore(self, bytes: &[u8]) -> Result<Machine, crate::api::ApiError> {
+        use sv_sim::ckpt::{fnv1a64, read_header};
+        let mut r = SnapReader::new(bytes);
+        let header = read_header(&mut r)?;
+        let params_bytes = r.lp_bytes()?;
+        let expected = fnv1a64(params_bytes);
+        if header.param_hash != expected {
+            return Err(SnapshotError::ParamHash {
+                found: header.param_hash,
+                expected,
+            }
+            .into());
+        }
+        // Node ids are u16; reject counts the machine cannot represent
+        // before allocating anything.
+        if header.nodes == 0 || header.nodes > u64::from(u16::MAX) {
+            return Err(SnapshotError::NodeCount {
+                found: header.nodes,
+            }
+            .into());
+        }
+        let params = {
+            let mut pr = SnapReader::new(params_bytes);
+            let p: SystemParams = pr.load()?;
+            pr.finish()?;
+            p
+        };
+        let n = header.nodes as usize;
+        let mut m = Machine::assemble(n, params, self.mode);
+        m.cycle = r.u64()?;
+        m.now = r.load()?;
+        m.runstats = r.load()?;
+        let net_at = r.offset();
+        m.network = r.load()?;
+        m.ideal = r.load()?;
+        // The network sections carry their own node counts (their packet
+        // range checks depend on them); they must span the same machine
+        // the header announced.
+        let span = n.max(2);
+        if m.network.nodes() != span || m.ideal.as_ref().is_some_and(|i| i.nodes() != span) {
+            return Err(SnapshotError::Corrupt { offset: net_at }.into());
+        }
+        for i in 0..n {
+            m.nodes[i].restore_body(&mut r)?;
+            let prog: Option<crate::api::ProgramSnapshot> = r.load()?;
+            if let Some(snap) = prog {
+                let lib = m.lib(i as u16);
+                let p = snap.instantiate(&lib);
+                m.nodes[i].set_restored_program(p);
+            }
+        }
+        r.finish()?;
+        for i in self.traced_nodes {
+            m.enable_tracing(i, true);
+        }
+        if self.sample_latency {
+            m.set_latency_sampling(true);
+        }
+        Ok(m)
+    }
 }
 
 #[cfg(test)]

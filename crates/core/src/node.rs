@@ -646,6 +646,193 @@ impl Node {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for CpuState {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            CpuState::Unloaded => w.u8(0),
+            CpuState::Ready => w.u8(1),
+            CpuState::Computing { until } => {
+                w.u8(2);
+                w.save(until);
+            }
+            CpuState::WaitMem => w.u8(3),
+            CpuState::Done => w.u8(4),
+        }
+    }
+}
+impl StateLoad for CpuState {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => CpuState::Unloaded,
+            1 => CpuState::Ready,
+            2 => CpuState::Computing { until: r.load()? },
+            3 => CpuState::WaitMem,
+            4 => CpuState::Done,
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for CpuOpKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            CpuOpKind::CachedLoad => 0,
+            CpuOpKind::CachedStoreFill => 1,
+            CpuOpKind::CachedStoreUpgrade => 2,
+            CpuOpKind::UncachedLoad => 3,
+            CpuOpKind::UncachedStore => 4,
+        });
+    }
+}
+impl StateLoad for CpuOpKind {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => CpuOpKind::CachedLoad,
+            1 => CpuOpKind::CachedStoreFill,
+            2 => CpuOpKind::CachedStoreUpgrade,
+            3 => CpuOpKind::UncachedLoad,
+            4 => CpuOpKind::UncachedStore,
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for PendingCpuOp {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.tag);
+        self.kind.save(w);
+        w.u64(self.addr);
+        w.u32(self.bytes);
+        w.save(&self.data);
+        w.save(&self.issued_at);
+    }
+}
+impl StateLoad for PendingCpuOp {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let p = PendingCpuOp {
+            tag: r.u64()?,
+            kind: r.load()?,
+            addr: r.u64()?,
+            bytes: r.u32()?,
+            data: r.load()?,
+            issued_at: r.load()?,
+        };
+        // Store completions unwrap the payload.
+        let needs_data = matches!(
+            p.kind,
+            CpuOpKind::CachedStoreFill | CpuOpKind::CachedStoreUpgrade | CpuOpKind::UncachedStore
+        );
+        if needs_data && p.data.is_none() {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(p)
+    }
+}
+
+impl StateSave for NodeStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.loads);
+        w.save(&self.stores);
+        w.save(&self.l1_hits);
+        w.save(&self.l2_hits);
+        w.save(&self.bus_ops_issued);
+        w.save(&self.castouts);
+        w.u64(self.cpu_compute_ns);
+        w.u64(self.cpu_mem_stall_ns);
+        w.save(&self.ap_retries);
+    }
+}
+impl StateLoad for NodeStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NodeStats {
+            loads: r.load()?,
+            stores: r.load()?,
+            l1_hits: r.load()?,
+            l2_hits: r.load()?,
+            bus_ops_issued: r.load()?,
+            castouts: r.load()?,
+            cpu_compute_ns: r.u64()?,
+            cpu_mem_stall_ns: r.u64()?,
+            ap_retries: r.load()?,
+        })
+    }
+}
+
+impl Node {
+    /// Capture the program's execution state for a checkpoint:
+    /// `Ok(None)` when nothing needs restoring (no program, or a
+    /// finished unsnapshottable one), `Err(UnsupportedProgram)` when a
+    /// still-running program cannot be captured.
+    pub(crate) fn program_snapshot(
+        &self,
+    ) -> Result<Option<crate::api::ProgramSnapshot>, SnapshotError> {
+        match &self.program {
+            None => Ok(None),
+            Some(p) => match p.snapshot() {
+                Some(s) => Ok(Some(s)),
+                None if self.program_done() => Ok(None),
+                None => Err(SnapshotError::UnsupportedProgram { node: self.id }),
+            },
+        }
+    }
+
+    /// Install a restored program without resetting the core state the
+    /// way [`Node::load_program`] does — the checkpointed [`CpuState`]
+    /// (possibly mid-computation or mid-memory-stall) must survive.
+    pub(crate) fn set_restored_program(&mut self, p: Box<dyn Program>) {
+        self.program = Some(p);
+    }
+
+    /// Serialize everything but the program (captured separately as a
+    /// [`crate::api::ProgramSnapshot`]) and the per-tick scratch buffers
+    /// (always empty between ticks).
+    pub(crate) fn checkpoint_into(&self, w: &mut SnapWriter) {
+        self.cpu.save(w);
+        w.u64(self.last_load);
+        w.save(&self.pending);
+        w.save(&self.castout_tags);
+        w.save(&self.inflight_abiu);
+        w.u64(self.next_tag);
+        w.save(&self.events);
+        w.save(&self.tracer);
+        w.save(&self.stats);
+        w.save(&self.mem);
+        w.save(&self.dram_timer);
+        w.save(&self.bus);
+        w.save(&self.l1);
+        w.save(&self.l2);
+        w.save(&self.niu);
+        w.save(&self.fw);
+    }
+
+    /// Overwrite this freshly-built node's state from a checkpoint
+    /// (the mirror of [`Node::checkpoint_into`]). The caches rebuild
+    /// their geometry from `self.params`, matching the param-hash check
+    /// the machine header already passed.
+    pub(crate) fn restore_body(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.cpu = r.load()?;
+        self.last_load = r.u64()?;
+        self.pending = r.load()?;
+        self.castout_tags = r.load()?;
+        self.inflight_abiu = r.load()?;
+        self.next_tag = r.u64()?;
+        self.events = r.load()?;
+        self.tracer = r.load()?;
+        self.stats = r.load()?;
+        self.mem = r.load()?;
+        self.dram_timer = r.load()?;
+        self.bus = r.load()?;
+        self.l1 = SnoopyCache::load_with_params(self.params.l1, r)?;
+        self.l2 = SnoopyCache::load_with_params(self.params.l2, r)?;
+        self.niu = r.load()?;
+        self.fw = r.load()?;
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Node")

@@ -282,12 +282,18 @@ impl Machine {
     pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
         self.wake_valid = false;
         let RunMode::Event { threads } = self.mode else {
-            // The original loop, verbatim: quiescence is only evaluated
-            // every 32 cycles, which the event modes reproduce.
+            // The original loop, stepped cycle by cycle. Quiescence is
+            // only evaluated on *absolute* 32-cycle boundaries of the
+            // machine clock (not boundaries relative to run entry), so
+            // a run resumed mid-window — e.g. from a checkpoint — probes
+            // the same boundaries as the uninterrupted run and reports
+            // the identical quiescence cycle. Entered at cycle 0 this is
+            // exactly the classic check-every-32-steps loop.
             let cap = self.now.plus(max_ns);
             loop {
-                for _ in 0..32 {
-                    self.step();
+                self.step();
+                if !self.cycle.is_multiple_of(32) {
+                    continue;
                 }
                 if self.quiescent() {
                     return Ok(self.now);
@@ -299,15 +305,17 @@ impl Machine {
         };
         let cap = self.now.plus(max_ns);
         let c0 = self.cycle;
-        // First boundary b = c0 + 32k (k >= 1) with edge(b - 1) > cap:
-        // the stepped loop reports a hang at the first such boundary.
+        // Probe boundaries are absolute multiples of 32, mirroring the
+        // stepped loop above; `first` is the lowest probe strictly past
+        // the entry cycle. First boundary b with edge(b - 1) > cap: the
+        // stepped loop reports a hang at exactly that boundary.
+        let first = c0 / 32 + 1;
         let cap_cycle = self.clock.edge_at_or_after(cap.plus(1));
-        let k_cap = (cap_cycle + 1).saturating_sub(c0).div_ceil(32).max(1);
-        let b_cap = c0 + 32 * k_cap;
+        let b_cap = 32 * (cap_cycle + 1).div_ceil(32).max(first);
         if threads > 1 && self.nodes.len() > 1 {
             return self.run_to_quiescence_windowed(threads, c0, b_cap);
         }
-        let mut boundary = c0;
+        let mut boundary = 32 * (first - 1);
         loop {
             boundary += 32;
             self.advance_chunk(boundary, threads);
@@ -331,7 +339,7 @@ impl Machine {
                     // same non-quiescent machine. Jump to the last
                     // boundary at or before `nx` (or to the cap boundary
                     // if that comes first).
-                    let jump = (c0 + (nx - c0) / 32 * 32).min(b_cap);
+                    let jump = (nx / 32 * 32).min(b_cap);
                     if jump > boundary {
                         self.land_on(jump);
                         boundary = jump;
@@ -367,10 +375,11 @@ impl Machine {
         // past quiescence a stride executes nothing, so overshooting is
         // free and the boundary reconstruction keeps results exact.
         const STRIDE: u64 = 1 << 16;
-        let boundary_after = |c_last: Option<u64>| {
-            let k = c_last.map_or(1, |cl| (cl + 1).saturating_sub(c0).div_ceil(32).max(1));
-            c0 + 32 * k
-        };
+        // Boundaries are absolute multiples of 32 (see the stepped
+        // loop); `first` is the lowest probe strictly past run entry.
+        let first = c0 / 32 + 1;
+        let boundary_after =
+            |c_last: Option<u64>| 32 * c_last.map_or(first, |cl| (cl + 1).div_ceil(32).max(first));
         let mut last_exec: Option<u64> = None;
         loop {
             match self.next_exec_cycle() {
@@ -396,8 +405,7 @@ impl Machine {
                     return Err(self.now);
                 }
                 Some(nx) => {
-                    let k = (nx + STRIDE).saturating_sub(c0).div_ceil(32).max(1);
-                    let target = (c0 + 32 * k).min(b_cap);
+                    let target = (32 * (nx + STRIDE).div_ceil(32).max(first)).min(b_cap);
                     let le = self.advance_windowed_to(target, threads);
                     if let Some(l) = le {
                         last_exec = Some(last_exec.map_or(l, |p| p.max(l)));

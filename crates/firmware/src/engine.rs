@@ -347,6 +347,87 @@ impl Firmware {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for FwConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.node);
+        w.u16(self.nodes);
+        w.save(&self.svc_q);
+        w.u16(self.svc_lq);
+        w.u32(self.page);
+    }
+}
+impl StateLoad for FwConfig {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let c = FwConfig {
+            node: r.u16()?,
+            nodes: r.u16()?,
+            svc_q: r.load()?,
+            svc_lq: r.u16()?,
+            page: r.u32()?,
+        };
+        // Home interleave and page chunking divide by these.
+        if c.nodes == 0 || c.page == 0 {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(c)
+    }
+}
+
+impl StateSave for FwStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.handled);
+        w.save(&self.svc_msgs);
+        w.save(&self.miss_msgs);
+        w.save(&self.violations_seen);
+        w.save(&self.proto_errors);
+    }
+}
+impl StateLoad for FwStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FwStats {
+            handled: r.load()?,
+            svc_msgs: r.load()?,
+            miss_msgs: r.load()?,
+            violations_seen: r.load()?,
+            proto_errors: r.load()?,
+        })
+    }
+}
+
+impl StateSave for Firmware {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.cfg);
+        w.save(&self.params);
+        w.u64(self.busy_until);
+        w.save(&self.occupancy);
+        w.save(&self.stats);
+        w.u16(self.svc_ptr);
+        w.save(&self.xfer);
+        w.save(&self.numa);
+        w.save(&self.scoma);
+        w.save(&self.sw_rx);
+    }
+}
+impl StateLoad for Firmware {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Firmware {
+            cfg: r.load()?,
+            params: r.load()?,
+            busy_until: r.u64()?,
+            occupancy: r.load()?,
+            stats: r.load()?,
+            svc_ptr: r.u16()?,
+            xfer: r.load()?,
+            numa: r.load()?,
+            scoma: r.load()?,
+            sw_rx: r.load()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -361,6 +361,22 @@ pub fn decode_notify(b: &[u8]) -> Option<u16> {
     Some(u16::from_le_bytes([b[2], b[3]]))
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for XferReq {
+    fn save(&self, w: &mut SnapWriter) {
+        // Reuse the wire codec: one canonical byte layout.
+        w.lp_bytes(&self.encode());
+    }
+}
+impl StateLoad for XferReq {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let b = r.lp_bytes()?;
+        XferReq::decode(b).ok_or(SnapshotError::Corrupt { offset: at })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

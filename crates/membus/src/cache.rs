@@ -294,6 +294,114 @@ impl SnoopyCache {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for CacheParams {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.size_bytes);
+        w.usize_(self.ways);
+        w.u64(self.push_latency_cycles);
+    }
+}
+impl StateLoad for CacheParams {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let p = CacheParams {
+            size_bytes: r.u64()?,
+            ways: r.usize_()?,
+            push_latency_cycles: r.u64()?,
+        };
+        // The set computation divides by both; a geometry that yields
+        // zero sets would panic on the first lookup.
+        if p.ways == 0 || (p.size_bytes / CACHE_LINE) as usize / p.ways == 0 {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(p)
+    }
+}
+
+impl StateSave for Mesi {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            Mesi::Modified => 0,
+            Mesi::Exclusive => 1,
+            Mesi::Shared => 2,
+            Mesi::Invalid => 3,
+        });
+    }
+}
+impl StateLoad for Mesi {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        Ok(match r.u8()? {
+            0 => Mesi::Modified,
+            1 => Mesi::Exclusive,
+            2 => Mesi::Shared,
+            3 => Mesi::Invalid,
+            _ => return Err(SnapshotError::Corrupt { offset: at }),
+        })
+    }
+}
+
+impl StateSave for CacheStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.hits);
+        w.save(&self.misses);
+        w.save(&self.evictions);
+        w.save(&self.dirty_evictions);
+        w.save(&self.snoop_hits);
+        w.save(&self.snoop_pushes);
+    }
+}
+impl StateLoad for CacheStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CacheStats {
+            hits: r.load()?,
+            misses: r.load()?,
+            evictions: r.load()?,
+            dirty_evictions: r.load()?,
+            snoop_hits: r.load()?,
+            snoop_pushes: r.load()?,
+        })
+    }
+}
+
+impl StateSave for SnoopyCache {
+    /// Geometry is rebuilt from params; only the resident ways (tag,
+    /// state, LRU age) and the LRU tick are snapshotted.
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        w.save(&self.stats);
+        for set in &self.sets {
+            for way in set {
+                w.u64(way.tag);
+                w.save(&way.state);
+                w.u64(way.lru);
+            }
+        }
+    }
+}
+
+impl SnoopyCache {
+    /// Restore a cache snapshotted under the same geometry `params`.
+    pub fn load_with_params(
+        params: CacheParams,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let mut cache = SnoopyCache::new(params);
+        cache.tick = r.u64()?;
+        cache.stats = r.load()?;
+        for set in &mut cache.sets {
+            for way in set {
+                way.tag = r.u64()?;
+                way.state = r.load()?;
+                way.lru = r.u64()?;
+            }
+        }
+        Ok(cache)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -139,6 +139,72 @@ impl MemoryArray {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for DramParams {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.first_access_cycles);
+        w.u64(self.occupancy_cycles);
+    }
+}
+impl StateLoad for DramParams {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DramParams {
+            first_access_cycles: r.u64()?,
+            occupancy_cycles: r.u64()?,
+        })
+    }
+}
+
+impl StateSave for DramTimer {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.busy_until);
+        w.u64(self.accesses);
+        w.u64(self.queue_delay_cycles);
+    }
+}
+impl StateLoad for DramTimer {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DramTimer {
+            busy_until: r.u64()?,
+            accesses: r.u64()?,
+            queue_delay_cycles: r.u64()?,
+        })
+    }
+}
+
+impl StateSave for MemoryArray {
+    /// Pages are written in ascending index order so identical memory
+    /// images produce identical snapshot bytes.
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.pages.len());
+        let mut idx: Vec<u64> = self.pages.keys().copied().collect();
+        idx.sort_unstable();
+        for i in idx {
+            w.u64(i);
+            w.raw(&self.pages[&i][..]);
+        }
+    }
+}
+impl StateLoad for MemoryArray {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let i = r.u64()?;
+            let at = r.offset();
+            let body: [u8; PAGE] = r
+                .take(PAGE)?
+                .try_into()
+                .map_err(|_| SnapshotError::Corrupt { offset: at })?;
+            if pages.insert(i, Box::new(body)).is_some() {
+                return Err(SnapshotError::Corrupt { offset: at });
+            }
+        }
+        Ok(MemoryArray { pages })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

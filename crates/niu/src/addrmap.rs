@@ -175,6 +175,35 @@ impl AddressMap {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for AddressMap {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.dram_len);
+        w.u64(self.scoma_base);
+        w.u64(self.scoma_len);
+        w.u64(self.numa_base);
+        w.u64(self.numa_len);
+        w.u64(self.niu_base);
+        w.u64(self.reflect_base);
+        w.u64(self.reflect_len);
+    }
+}
+impl StateLoad for AddressMap {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AddressMap {
+            dram_len: r.u64()?,
+            scoma_base: r.u64()?,
+            scoma_len: r.u64()?,
+            numa_base: r.u64()?,
+            numa_len: r.u64()?,
+            niu_base: r.u64()?,
+            reflect_base: r.u64()?,
+            reflect_len: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -518,6 +518,193 @@ pub mod express {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for MsgData {
+    /// Only the live prefix of the inline buffer is serialized, so
+    /// snapshot size tracks message size, not buffer capacity.
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(self.len);
+        w.u8(self.class);
+        w.u64(self.sent_cycle);
+        w.raw(self.as_slice());
+    }
+}
+impl StateLoad for MsgData {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let len = r.u8()?;
+        if len as usize > MAX_MSG_PAYLOAD {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        let class = r.u8()?;
+        let sent_cycle = r.u64()?;
+        let mut d = MsgData {
+            len,
+            class,
+            sent_cycle,
+            buf: [0u8; MAX_MSG_PAYLOAD],
+        };
+        let body = r.take(len as usize)?;
+        d.buf[..len as usize].copy_from_slice(body);
+        Ok(d)
+    }
+}
+
+impl StateSave for MsgFlags {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(self.0);
+    }
+}
+impl StateLoad for MsgFlags {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MsgFlags(r.u8()?))
+    }
+}
+
+impl StateSave for MsgHeader {
+    fn save(&self, w: &mut SnapWriter) {
+        w.raw(&self.encode());
+    }
+}
+impl StateLoad for MsgHeader {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let b: [u8; 8] = r
+            .take(8)?
+            .try_into()
+            .expect("take(8) returns exactly 8 bytes");
+        Ok(MsgHeader::decode(&b))
+    }
+}
+
+impl StateSave for RemoteCmdKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            RemoteCmdKind::WriteDram { addr, data } => {
+                w.u8(0);
+                w.u64(*addr);
+                w.save(data);
+            }
+            RemoteCmdKind::SetCls { line, state } => {
+                w.u8(1);
+                w.u64(*line);
+                w.u8(*state);
+            }
+            RemoteCmdKind::WriteDramSetCls { addr, data, state } => {
+                w.u8(2);
+                w.u64(*addr);
+                w.save(data);
+                w.u8(*state);
+            }
+            RemoteCmdKind::Notify { logical_q, data } => {
+                w.u8(3);
+                w.u16(*logical_q);
+                w.save(data);
+            }
+        }
+    }
+}
+impl StateLoad for RemoteCmdKind {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        Ok(match r.u8()? {
+            0 => RemoteCmdKind::WriteDram {
+                addr: r.u64()?,
+                data: r.load()?,
+            },
+            1 => RemoteCmdKind::SetCls {
+                line: r.u64()?,
+                state: r.u8()?,
+            },
+            2 => RemoteCmdKind::WriteDramSetCls {
+                addr: r.u64()?,
+                data: r.load()?,
+                state: r.u8()?,
+            },
+            3 => RemoteCmdKind::Notify {
+                logical_q: r.u16()?,
+                data: r.load()?,
+            },
+            _ => return Err(SnapshotError::Corrupt { offset: at }),
+        })
+    }
+}
+
+impl StateSave for NetPayload {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            NetPayload::Msg {
+                src,
+                logical_q,
+                data,
+            } => {
+                w.u8(0);
+                w.u16(*src);
+                w.u16(*logical_q);
+                w.save(data);
+            }
+            NetPayload::RemoteCmd {
+                src,
+                cmd,
+                sent_cycle,
+            } => {
+                w.u8(1);
+                w.u16(*src);
+                w.save(cmd);
+                w.u64(*sent_cycle);
+            }
+            NetPayload::Ack {
+                src,
+                prio_idx,
+                ack_upto,
+            } => {
+                w.u8(2);
+                w.u16(*src);
+                w.u8(*prio_idx);
+                w.u32(*ack_upto);
+            }
+            NetPayload::RelSync {
+                src,
+                prio_idx,
+                next_seq,
+            } => {
+                w.u8(3);
+                w.u16(*src);
+                w.u8(*prio_idx);
+                w.u32(*next_seq);
+            }
+        }
+    }
+}
+impl StateLoad for NetPayload {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        Ok(match r.u8()? {
+            0 => NetPayload::Msg {
+                src: r.u16()?,
+                logical_q: r.u16()?,
+                data: r.load()?,
+            },
+            1 => NetPayload::RemoteCmd {
+                src: r.u16()?,
+                cmd: r.load()?,
+                sent_cycle: r.u64()?,
+            },
+            2 => NetPayload::Ack {
+                src: r.u16()?,
+                prio_idx: r.u8()?,
+                ack_upto: r.u32()?,
+            },
+            3 => NetPayload::RelSync {
+                src: r.u16()?,
+                prio_idx: r.u8()?,
+                next_seq: r.u32()?,
+            },
+            _ => return Err(SnapshotError::Corrupt { offset: at }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1956,6 +1956,185 @@ impl<'a> SpPort<'a> {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for NiuInterrupt {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            NiuInterrupt::RxArrival(q) => {
+                w.u8(0);
+                w.save(q);
+            }
+            NiuInterrupt::TxViolation(q) => {
+                w.u8(1);
+                w.save(q);
+            }
+            NiuInterrupt::BlockReadDone => w.u8(2),
+            NiuInterrupt::BlockTxDone => w.u8(3),
+        }
+    }
+}
+impl StateLoad for NiuInterrupt {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => NiuInterrupt::RxArrival(r.load()?),
+            1 => NiuInterrupt::TxViolation(r.load()?),
+            2 => NiuInterrupt::BlockReadDone,
+            3 => NiuInterrupt::BlockTxDone,
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for ReqTag {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            ReqTag::CmdWait(i) => {
+                w.u8(0);
+                w.usize_(*i);
+            }
+            ReqTag::BlockRead { bytes } => {
+                w.u8(1);
+                w.u32(*bytes);
+            }
+            ReqTag::RemoteWrite { set_cls } => {
+                w.u8(2);
+                w.save(set_cls);
+            }
+        }
+    }
+}
+impl StateLoad for ReqTag {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => ReqTag::CmdWait(r.usize_()?),
+            1 => ReqTag::BlockRead { bytes: r.u32()? },
+            2 => ReqTag::RemoteWrite { set_cls: r.load()? },
+            _ => return r.corrupt(),
+        })
+    }
+}
+
+impl StateSave for ClassStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.sent);
+        w.save(&self.delivered);
+        w.save(&self.dropped);
+        w.save(&self.latency);
+    }
+}
+impl StateLoad for ClassStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ClassStats {
+            sent: r.load()?,
+            delivered: r.load()?,
+            dropped: r.load()?,
+            latency: r.load()?,
+        })
+    }
+}
+
+impl StateSave for NiuStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.loopback_msgs);
+        w.save(&self.express_dropped);
+        w.usize_(self.rxu_high_water);
+        w.save(&self.class);
+        w.save(&self.retransmits);
+        w.save(&self.acks_sent);
+        w.save(&self.acks_received);
+        w.save(&self.dup_drops);
+        w.save(&self.corrupt_drops);
+        w.save(&self.rx_retry_drops);
+        w.save(&self.reliable_dropped);
+    }
+}
+impl StateLoad for NiuStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NiuStats {
+            loopback_msgs: r.load()?,
+            express_dropped: r.load()?,
+            rxu_high_water: r.usize_()?,
+            class: r.load()?,
+            retransmits: r.load()?,
+            acks_sent: r.load()?,
+            acks_received: r.load()?,
+            dup_drops: r.load()?,
+            corrupt_drops: r.load()?,
+            rx_retry_drops: r.load()?,
+            reliable_dropped: r.load()?,
+        })
+    }
+}
+
+impl StateSave for RelConn {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.next_seq);
+        w.save(&self.unacked);
+        w.u32(self.retries);
+        w.u64(self.next_retry_cycle);
+    }
+}
+impl StateLoad for RelConn {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RelConn {
+            next_seq: r.u32()?,
+            unacked: r.load()?,
+            retries: r.u32()?,
+            next_retry_cycle: r.u64()?,
+        })
+    }
+}
+
+impl StateSave for Niu {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.node_id);
+        w.save(&self.params);
+        w.save(&self.map);
+        w.save(&self.ctrl);
+        w.save(&self.abiu);
+        w.save(&self.asram);
+        w.save(&self.ssram);
+        w.save(&self.clssram);
+        w.save(&self.rxu_in);
+        w.save(&self.txu_out);
+        w.save(&self.sp_requests);
+        w.save(&self.interrupts);
+        w.save(&self.req_tags);
+        w.save(&self.tx_rel);
+        w.save(&self.rx_expected);
+        w.u32(self.rx_head_stalls);
+        w.u32(self.notify_head_stalls);
+        w.save(&self.stats);
+        w.save(&self.sample_latency);
+    }
+}
+impl StateLoad for Niu {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Niu {
+            node_id: r.u16()?,
+            params: r.load()?,
+            map: r.load()?,
+            ctrl: r.load()?,
+            abiu: r.load()?,
+            asram: r.load()?,
+            ssram: r.load()?,
+            clssram: r.load()?,
+            rxu_in: r.load()?,
+            txu_out: r.load()?,
+            sp_requests: r.load()?,
+            interrupts: r.load()?,
+            req_tags: r.load()?,
+            tx_rel: r.load()?,
+            rx_expected: r.load()?,
+            rx_head_stalls: r.u32()?,
+            notify_head_stalls: r.u32()?,
+            stats: r.load()?,
+            sample_latency: r.load()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2023,6 +2202,49 @@ mod tests {
         }
         assert_eq!(n.ctrl.tx[0].sent.get(), 1);
         assert_eq!(n.ctrl.tx[0].pending(), 0);
+    }
+
+    #[test]
+    fn snapshot_mid_launch_resumes_identically() {
+        use crate::translate::XlateEntry;
+        let mut n = niu();
+        n.ctrl.xlate.install(
+            2,
+            XlateEntry {
+                valid: true,
+                node: 2,
+                logical_q: 1,
+                high_priority: true,
+            },
+        );
+        compose_and_launch(&mut n, 0, 1, b"first message");
+        compose_and_launch(&mut n, 0, 2, b"second message");
+        // Stop mid-flight: the tx engine is busy and packets are staged.
+        for c in 0..5 {
+            n.tick(c);
+        }
+        let snap = sv_sim::ckpt::roundtrip(&n).expect("niu snapshot roundtrip");
+        let mut orig = n;
+        let mut rest = snap;
+        let drain = |n: &mut Niu| {
+            let mut out = Vec::new();
+            for c in 5..200 {
+                n.tick(c);
+                while let Some(p) = n.pop_ready_packet(c) {
+                    out.push(p);
+                }
+            }
+            out
+        };
+        let a = drain(&mut orig);
+        let b = drain(&mut rest);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(format!("{:?}", orig.stats), format!("{:?}", rest.stats));
+        assert_eq!(
+            format!("{:?}", orig.ctrl.stats),
+            format!("{:?}", rest.ctrl.stats)
+        );
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

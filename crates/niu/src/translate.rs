@@ -190,6 +190,71 @@ impl RxQueueCache {
     }
 }
 
+use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
+
+impl StateSave for XlateEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.encode());
+    }
+}
+impl StateLoad for XlateEntry {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(XlateEntry::decode(r.u64()?))
+    }
+}
+
+impl StateSave for XlateTable {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.entries);
+        w.save(&self.lookups);
+        w.save(&self.faults);
+    }
+}
+impl StateLoad for XlateTable {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(XlateTable {
+            entries: r.load()?,
+            lookups: r.load()?,
+            faults: r.load()?,
+        })
+    }
+}
+
+impl StateSave for RxQueueCache {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.bindings);
+        w.save(&self.reverse);
+        w.save(&self.hits);
+        w.save(&self.misses);
+    }
+}
+impl StateLoad for RxQueueCache {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let bindings: Vec<Option<QueueId>> = r.load()?;
+        let reverse: Vec<Option<u16>> = r.load()?;
+        // Cross-bounds: `bind`/`unbind` index each map with values read
+        // from the other.
+        let bad_binding = bindings
+            .iter()
+            .flatten()
+            .any(|q| q.0 as usize >= reverse.len());
+        let bad_reverse = reverse
+            .iter()
+            .flatten()
+            .any(|&l| l as usize >= bindings.len());
+        if bad_binding || bad_reverse {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(RxQueueCache {
+            bindings,
+            reverse,
+            hits: r.load()?,
+            misses: r.load()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

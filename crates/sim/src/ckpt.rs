@@ -1,0 +1,881 @@
+//! Versioned binary machine snapshots: the checkpoint/restore substrate.
+//!
+//! This module defines the *format*, not the policy: a little-endian,
+//! length-prefixed byte stream with a fixed header (magic, format
+//! version, parameter hash, node count) and a pair of traits —
+//! [`StateSave`] / [`StateLoad`] — that every stateful component in the
+//! simulator implements for its own private fields, in its own module.
+//! The top-level `voyager::Machine` stitches the component streams
+//! together into one snapshot.
+//!
+//! Design rules, in decreasing order of importance:
+//!
+//! 1. **Restores are bit-faithful or they are errors.** A snapshot holds
+//!    every live bit of simulator state (RNG words, Go-Back-N windows,
+//!    in-flight packets, cache LRU ticks, statistics counters), so that a
+//!    restored machine's future — including its final stats JSON — is
+//!    byte-identical to the uninterrupted run's. Anything that cannot be
+//!    restored exactly must fail loudly with a [`SnapshotError`].
+//! 2. **Hostile bytes never panic.** Every read is bounds-checked
+//!    ([`SnapshotError::Truncated`]), every enum tag validated
+//!    ([`SnapshotError::Corrupt`]), every collection count checked
+//!    against the remaining byte budget *before* allocation so a
+//!    bit-flipped length cannot OOM the process.
+//! 3. **Versioned, not self-describing.** The format is a plain field
+//!    concatenation; compatibility is governed by the single
+//!    [`FORMAT_VERSION`] number (bumped on any layout change) plus the
+//!    parameter hash, which pins a snapshot to the exact `SystemParams`
+//!    it was taken under. There is no schema evolution — a simulator
+//!    snapshot is a cache, cheap to regenerate, so mismatches are
+//!    rejected rather than migrated.
+//!
+//! Derivable state (clock rationals, topology routing tables, wake-index
+//! heaps) is deliberately *not* serialized: the restorer rebuilds it from
+//! the parameters, which keeps snapshots small and makes it impossible
+//! for a stale copy to disagree with the authoritative one.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+
+use crate::time::Time;
+
+/// Leading magic for every snapshot: `SVCK` (StarT-Voyager ChecKpoint).
+pub const MAGIC: [u8; 4] = *b"SVCK";
+
+/// Current snapshot format version. Bump on **any** layout change, even
+/// a reordered field — restores across versions are rejected, never
+/// migrated (see the module docs for why).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Typed failure surface for snapshot encode/decode.
+///
+/// Every variant is `Copy` so the error can travel inside the (also
+/// `Copy`) `voyager::ApiError`. None of these are panics: hostile or
+/// stale snapshot bytes must always land here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The first four bytes were not [`MAGIC`] — not a snapshot at all.
+    BadMagic {
+        /// The bytes actually found (zero-padded if the input was short).
+        found: [u8; 4],
+    },
+    /// The snapshot was written by a different format version.
+    Version {
+        /// Version number recorded in the snapshot.
+        found: u32,
+        /// Version this binary understands ([`FORMAT_VERSION`]).
+        expected: u32,
+    },
+    /// The parameter hash does not match the serialized parameters —
+    /// either the params section was corrupted or the header was.
+    ParamHash {
+        /// Hash recorded in the header.
+        found: u64,
+        /// Hash recomputed over the params section.
+        expected: u64,
+    },
+    /// The node count in the header is outside the supportable range.
+    NodeCount {
+        /// Count recorded in the header.
+        found: u64,
+    },
+    /// The stream ended before a read could complete.
+    Truncated {
+        /// Byte offset at which the read began.
+        offset: usize,
+        /// Bytes the read needed.
+        need: usize,
+    },
+    /// The stream decoded fully but bytes were left over — a layout
+    /// mismatch that happened to parse.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A validity check failed mid-stream: bad enum tag, non-boolean
+    /// bool, oversized count, or an internal invariant violation.
+    Corrupt {
+        /// Byte offset of the offending field.
+        offset: usize,
+    },
+    /// A node carried a running program that does not support
+    /// checkpointing (e.g. a closure-based `FnProgram`).
+    UnsupportedProgram {
+        /// Node whose program cannot be snapshotted.
+        node: u16,
+    },
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            SnapshotError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not a snapshot: bad magic {found:02x?} (want {MAGIC:02x?})"
+                )
+            }
+            SnapshotError::Version { found, expected } => {
+                write!(
+                    f,
+                    "snapshot format version {found} (this build reads {expected})"
+                )
+            }
+            SnapshotError::ParamHash { found, expected } => write!(
+                f,
+                "parameter hash mismatch: header {found:#018x}, params section {expected:#018x}"
+            ),
+            SnapshotError::NodeCount { found } => {
+                write!(f, "unsupportable node count {found} in snapshot header")
+            }
+            SnapshotError::Truncated { offset, need } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {need} byte(s) at offset {offset}"
+                )
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "snapshot has {extra} trailing byte(s) after the final section"
+                )
+            }
+            SnapshotError::Corrupt { offset } => {
+                write!(f, "snapshot corrupt at offset {offset}")
+            }
+            SnapshotError::UnsupportedProgram { node } => write!(
+                f,
+                "node {node} runs a program that does not support checkpointing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash, used to fingerprint the serialized parameter
+/// block in the snapshot header. Not cryptographic — it guards against
+/// accidental corruption and stale-snapshot reuse, not adversaries.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fixed-size snapshot header: everything a restorer must validate
+/// before trusting the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapHeader {
+    /// Format version the snapshot was written with.
+    pub version: u32,
+    /// [`fnv1a64`] over the serialized parameter section.
+    pub param_hash: u64,
+    /// Number of nodes in the snapshotted machine.
+    pub nodes: u64,
+}
+
+/// Serialize `header` (magic first) into `w`.
+pub fn write_header(w: &mut SnapWriter, header: &SnapHeader) {
+    w.raw(&MAGIC);
+    w.u32(header.version);
+    w.u64(header.param_hash);
+    w.u64(header.nodes);
+}
+
+/// Read and validate a snapshot header: checks magic and format version,
+/// returns the rest for the caller (who knows the expected param hash
+/// and node-count bounds) to judge.
+pub fn read_header(r: &mut SnapReader<'_>) -> Result<SnapHeader, SnapshotError> {
+    let mut found = [0u8; 4];
+    let got = r.take(4).map_err(|_| {
+        let avail = r.rest();
+        found[..avail.len()].copy_from_slice(avail);
+        SnapshotError::BadMagic { found }
+    })?;
+    if got != MAGIC {
+        found.copy_from_slice(got);
+        return Err(SnapshotError::BadMagic { found });
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let param_hash = r.u64()?;
+    let nodes = r.u64()?;
+    Ok(SnapHeader {
+        version,
+        param_hash,
+        nodes,
+    })
+}
+
+/// Append-only little-endian byte sink for snapshot encoding.
+///
+/// Writing is infallible; all validation happens on the read side.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes with no length prefix (fixed-size fields only).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn usize_(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a `u64` length prefix followed by the bytes.
+    pub fn lp_bytes(&mut self, bytes: &[u8]) {
+        self.usize_(bytes.len());
+        self.raw(bytes);
+    }
+
+    /// Serialize any [`StateSave`] value in place.
+    pub fn save<T: StateSave + ?Sized>(&mut self, v: &T) {
+        v.save(self);
+    }
+
+    /// Write a length-prefixed subsection: reserves the prefix, runs
+    /// `f`, then patches the prefix with the bytes `f` produced. Readers
+    /// consume it with [`SnapReader::lp_bytes`] + a nested reader, which
+    /// lets them skip or bound-check whole components at once.
+    pub fn section(&mut self, f: impl FnOnce(&mut SnapWriter)) {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 8]);
+        f(self);
+        let len = (self.buf.len() - at - 8) as u64;
+        self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor over snapshot bytes.
+///
+/// Every accessor returns [`SnapshotError::Truncated`] instead of
+/// reading past the end, and the collection-count helper
+/// ([`SnapReader::count`]) rejects counts that could not possibly fit in
+/// the remaining bytes, so a corrupted length can never trigger a huge
+/// allocation.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The unconsumed tail of the buffer (does not advance).
+    #[must_use]
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Consume `n` bytes or fail with [`SnapshotError::Truncated`].
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                offset: self.pos,
+                need: n,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` back into a host `usize`, rejecting values that do
+    /// not fit.
+    pub fn usize_(&mut self) -> Result<usize, SnapshotError> {
+        let at = self.pos;
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Corrupt { offset: at })
+    }
+
+    /// Read a collection count and sanity-check it against the bytes
+    /// actually left: every element of every collection in this format
+    /// encodes to at least one byte, so `count > remaining` proves
+    /// corruption *before* any allocation happens.
+    pub fn count(&mut self) -> Result<usize, SnapshotError> {
+        let at = self.pos;
+        let n = self.usize_()?;
+        if n > self.remaining() {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(n)
+    }
+
+    /// Read a `u64`-length-prefixed byte run.
+    pub fn lp_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.count()?;
+        self.take(n)
+    }
+
+    /// Deserialize any [`StateLoad`] value in place.
+    pub fn load<T: StateLoad>(&mut self) -> Result<T, SnapshotError> {
+        T::load(self)
+    }
+
+    /// Fail with [`SnapshotError::Corrupt`] at the current offset —
+    /// for callers that detect an invariant violation after a
+    /// structurally valid read.
+    pub fn corrupt<T>(&self) -> Result<T, SnapshotError> {
+        Err(SnapshotError::Corrupt { offset: self.pos })
+    }
+
+    /// Require the stream to be fully consumed
+    /// ([`SnapshotError::TrailingBytes`] otherwise).
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialize into a snapshot stream. Infallible by design: if a value is
+/// in memory, it can be written; all validation lives on the load side.
+pub trait StateSave {
+    /// Append this value's encoding to `w`.
+    fn save(&self, w: &mut SnapWriter);
+}
+
+/// Deserialize from a snapshot stream, validating as you go.
+pub trait StateLoad: Sized {
+    /// Decode one value from `r`, consuming exactly the bytes
+    /// [`StateSave::save`] produced for it.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+macro_rules! int_state {
+    ($($t:ty => $w:ident),* $(,)?) => {$(
+        impl StateSave for $t {
+            fn save(&self, w: &mut SnapWriter) {
+                w.$w(*self);
+            }
+        }
+        impl StateLoad for $t {
+            fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+                r.$w()
+            }
+        }
+    )*};
+}
+
+int_state!(u8 => u8, u16 => u16, u32 => u32, u64 => u64);
+
+impl StateSave for usize {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(*self);
+    }
+}
+impl StateLoad for usize {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        r.usize_()
+    }
+}
+
+impl StateSave for i64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+}
+impl StateLoad for i64 {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(r.u64()? as i64)
+    }
+}
+
+impl StateSave for bool {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(u8::from(*self));
+    }
+}
+impl StateLoad for bool {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt { offset: at }),
+        }
+    }
+}
+
+impl StateSave for Time {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+}
+impl StateLoad for Time {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Time(r.u64()?))
+    }
+}
+
+impl<T: StateSave> StateSave for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+        }
+    }
+}
+impl<T: StateLoad> StateLoad for Option<T> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            _ => Err(SnapshotError::Corrupt { offset: at }),
+        }
+    }
+}
+
+impl<T: StateSave> StateSave for Vec<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+}
+impl<T: StateLoad> StateLoad for Vec<T> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: StateSave> StateSave for VecDeque<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+}
+impl<T: StateLoad> StateLoad for VecDeque<T> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut out = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            out.push_back(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl StateSave for String {
+    fn save(&self, w: &mut SnapWriter) {
+        w.lp_bytes(self.as_bytes());
+    }
+}
+impl StateLoad for String {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let bytes = r.lp_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupt { offset: at })
+    }
+}
+
+impl StateSave for Bytes {
+    fn save(&self, w: &mut SnapWriter) {
+        w.lp_bytes(self);
+    }
+}
+impl StateLoad for Bytes {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Bytes::copy_from_slice(r.lp_bytes()?))
+    }
+}
+
+impl<T: StateSave, const N: usize> StateSave for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.save(w);
+        }
+    }
+}
+impl<T: StateLoad, const N: usize> StateLoad for [T; N] {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::load(r)?);
+        }
+        // Length is exactly N by construction; the Err arm is unreachable.
+        out.try_into()
+            .map_err(|_| SnapshotError::Corrupt { offset: 0 })
+    }
+}
+
+impl<A: StateSave, B: StateSave> StateSave for (A, B) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+}
+impl<A: StateLoad, B: StateLoad> StateLoad for (A, B) {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: StateSave, B: StateSave, C: StateSave> StateSave for (A, B, C) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+}
+impl<A: StateLoad, B: StateLoad, C: StateLoad> StateLoad for (A, B, C) {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<K: StateSave, V: StateSave> StateSave for BTreeMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.len());
+        for (k, v) in self {
+            k.save(w);
+            v.save(w);
+        }
+    }
+}
+impl<K: StateLoad + Ord, V: StateLoad> StateLoad for BTreeMap<K, V> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            if out.insert(k, v).is_some() {
+                return r.corrupt();
+            }
+        }
+        Ok(out)
+    }
+}
+
+// Hash containers are serialized in sorted key order so that two
+// machines with identical logical state produce identical snapshot
+// bytes regardless of hasher seeding or insertion history.
+impl<K: StateSave + Ord, V: StateSave> StateSave for HashMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.len());
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (k, v) in entries {
+            k.save(w);
+            v.save(w);
+        }
+    }
+}
+impl<K: StateLoad + Ord + std::hash::Hash + Eq, V: StateLoad> StateLoad for HashMap<K, V> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut out = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            if out.insert(k, v).is_some() {
+                return r.corrupt();
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<T: StateSave + Ord> StateSave for HashSet<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize_(self.len());
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort_unstable();
+        for v in items {
+            v.save(w);
+        }
+    }
+}
+impl<T: StateLoad + Ord + std::hash::Hash + Eq> StateLoad for HashSet<T> {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut out = HashSet::with_capacity(n);
+        for _ in 0..n {
+            if !out.insert(T::load(r)?) {
+                return r.corrupt();
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Round-trip helper for tests and assertions: encode `v`, decode it
+/// back, and require exact stream consumption.
+pub fn roundtrip<T: StateSave + StateLoad>(v: &T) -> Result<T, SnapshotError> {
+    let mut w = SnapWriter::new();
+    v.save(&mut w);
+    let bytes = w.finish();
+    let mut r = SnapReader::new(&bytes);
+    let out = T::load(&mut r)?;
+    r.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(roundtrip(&0xAAu8).unwrap(), 0xAA);
+        assert_eq!(roundtrip(&0xBEEFu16).unwrap(), 0xBEEF);
+        assert_eq!(roundtrip(&0xDEAD_BEEFu32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(roundtrip(&u64::MAX).unwrap(), u64::MAX);
+        assert_eq!(roundtrip(&usize::MAX).unwrap(), usize::MAX);
+        assert!(roundtrip(&true).unwrap());
+        assert_eq!(roundtrip(&Time::from_ns(17)).unwrap(), Time::from_ns(17));
+        assert_eq!(roundtrip(&-5i64).unwrap(), -5);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        assert_eq!(roundtrip(&Some(7u32)).unwrap(), Some(7));
+        assert_eq!(roundtrip(&Option::<u32>::None).unwrap(), None);
+        assert_eq!(roundtrip(&vec![1u16, 2, 3]).unwrap(), vec![1, 2, 3]);
+        let dq: VecDeque<u8> = [9u8, 8, 7].into_iter().collect();
+        assert_eq!(roundtrip(&dq).unwrap(), dq);
+        assert_eq!(roundtrip(&"héllo".to_string()).unwrap(), "héllo");
+        assert_eq!(roundtrip(&[1u8, 2, 3, 4]).unwrap(), [1u8, 2, 3, 4]);
+        assert_eq!(roundtrip(&(1u8, 2u64)).unwrap(), (1, 2));
+        let mut bt = BTreeMap::new();
+        bt.insert(3u16, 30u64);
+        bt.insert(1u16, 10u64);
+        assert_eq!(roundtrip(&bt).unwrap(), bt);
+        let hm: HashMap<u64, u8> = [(5, 50), (2, 20)].into_iter().collect();
+        assert_eq!(roundtrip(&hm).unwrap(), hm);
+        let hs: HashSet<u32> = [4, 1, 9].into_iter().collect();
+        assert_eq!(roundtrip(&hs).unwrap(), hs);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(roundtrip(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn hash_containers_serialize_sorted() {
+        let a: HashMap<u32, u8> = (0..64).map(|i| (i * 7919 % 64, i as u8)).collect();
+        let mut w1 = SnapWriter::new();
+        a.save(&mut w1);
+        let mut pairs: Vec<(u32, u8)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.reverse();
+        let b: HashMap<u32, u8> = pairs.into_iter().collect();
+        let mut w2 = SnapWriter::new();
+        b.save(&mut w2);
+        assert_eq!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let mut w = SnapWriter::new();
+        vec![1u64, 2, 3].save(&mut w);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            let res = Vec::<u64>::load(&mut r);
+            assert!(res.is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocation() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // preposterous element count
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            Vec::<u8>::load(&mut r),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_tags_are_corrupt() {
+        let mut r = SnapReader::new(&[2u8]);
+        assert!(matches!(
+            bool::load(&mut r),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let mut r = SnapReader::new(&[9u8, 0]);
+        assert!(matches!(
+            Option::<u8>::load(&mut r),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = SnapReader::new(&[0u8; 3]);
+        assert_eq!(r.finish(), Err(SnapshotError::TrailingBytes { extra: 3 }));
+    }
+
+    #[test]
+    fn sections_nest_and_length_check() {
+        let mut w = SnapWriter::new();
+        w.section(|w| {
+            w.u32(7);
+            w.section(|w| w.u8(1));
+        });
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        let outer = r.lp_bytes().unwrap();
+        r.finish().unwrap();
+        let mut or = SnapReader::new(outer);
+        assert_eq!(or.u32().unwrap(), 7);
+        let inner = or.lp_bytes().unwrap();
+        or.finish().unwrap();
+        assert_eq!(inner, &[1]);
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejections() {
+        let h = SnapHeader {
+            version: FORMAT_VERSION,
+            param_hash: 0x1234_5678_9ABC_DEF0,
+            nodes: 8,
+        };
+        let mut w = SnapWriter::new();
+        write_header(&mut w, &h);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(read_header(&mut r).unwrap(), h);
+        r.finish().unwrap();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_header(&mut SnapReader::new(&bad)),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = bad[4].wrapping_add(1);
+        assert!(matches!(
+            read_header(&mut SnapReader::new(&bad)),
+            Err(SnapshotError::Version { .. })
+        ));
+        // Too short for even the magic.
+        assert!(matches!(
+            read_header(&mut SnapReader::new(b"SV")),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

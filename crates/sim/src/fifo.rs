@@ -101,6 +101,40 @@ impl<T> BoundedFifo<T> {
     }
 }
 
+impl<T: crate::ckpt::StateSave> crate::ckpt::StateSave for BoundedFifo<T> {
+    fn save(&self, w: &mut crate::ckpt::SnapWriter) {
+        w.usize_(self.capacity);
+        w.usize_(self.high_water);
+        w.save(&self.full_rejections.0);
+        w.save(&self.accepted.0);
+        w.save(&self.items);
+    }
+}
+
+impl<T: crate::ckpt::StateLoad> crate::ckpt::StateLoad for BoundedFifo<T> {
+    fn load(r: &mut crate::ckpt::SnapReader<'_>) -> Result<Self, crate::ckpt::SnapshotError> {
+        let at = r.offset();
+        let capacity = r.usize_()?;
+        if capacity == 0 {
+            return Err(crate::ckpt::SnapshotError::Corrupt { offset: at });
+        }
+        let high_water = r.usize_()?;
+        let full_rejections = Counter(r.u64()?);
+        let accepted = Counter(r.u64()?);
+        let items: VecDeque<T> = r.load()?;
+        if items.len() > capacity || high_water > capacity {
+            return r.corrupt();
+        }
+        Ok(BoundedFifo {
+            items,
+            capacity,
+            high_water,
+            full_rejections,
+            accepted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +190,21 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_keeps_contents_and_counters() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4u8 {
+            f.push(i).unwrap();
+        }
+        let _ = f.push(9); // rejection
+        f.pop();
+        let g: BoundedFifo<u8> = crate::ckpt::roundtrip(&f).unwrap();
+        assert_eq!(g.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(g.capacity(), 4);
+        assert_eq!(g.high_water(), 4);
+        assert_eq!(g.full_rejections.get(), 1);
+        assert_eq!(g.accepted.get(), 4);
     }
 }

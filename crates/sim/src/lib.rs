@@ -21,12 +21,17 @@
 //! - [`wake`]: a dirty-tracking wake-time index ([`WakeIndex`]) that the
 //!   event-driven run loops use to find the next executable cycle in
 //!   O(log N) instead of scanning every node.
+//! - [`ckpt`]: the versioned binary snapshot substrate
+//!   ([`StateSave`]/[`StateLoad`], [`SnapWriter`]/[`SnapReader`]) behind
+//!   `voyager::Machine::checkpoint` — bit-faithful restores, typed errors
+//!   on hostile bytes.
 //!
 //! Design note: the simulator deliberately avoids trait-object component
 //! graphs. Substrate crates expose plain state machines; the top-level
 //! `voyager::Machine` owns all state and drives it. This crate therefore
 //! contains *mechanism*, never *policy*.
 
+pub mod ckpt;
 pub mod fifo;
 pub mod json;
 pub mod queue;
@@ -36,6 +41,7 @@ pub mod time;
 pub mod trace;
 pub mod wake;
 
+pub use ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
 pub use fifo::BoundedFifo;
 pub use json::JsonWriter;
 pub use queue::EventQueue;

@@ -142,9 +142,58 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: crate::ckpt::StateSave + Clone> crate::ckpt::StateSave for EventQueue<E> {
+    /// Events are written in exact pop order — `(at, seq)` — so the
+    /// restored queue replays them identically. Absolute sequence
+    /// numbers are *not* preserved: the restorer renumbers from zero,
+    /// which keeps every relative ordering (restored events precede any
+    /// event pushed after the restore at the same instant, exactly as
+    /// the originals preceded later pushes).
+    fn save(&self, w: &mut crate::ckpt::SnapWriter) {
+        w.save(&self.horizon);
+        w.usize_(self.heap.len());
+        let mut heap = self.heap.clone();
+        while let Some(Reverse((k, slot))) = heap.pop() {
+            w.save(&k.at);
+            slot.0.save(w);
+        }
+    }
+}
+
+impl<E: crate::ckpt::StateLoad> crate::ckpt::StateLoad for EventQueue<E> {
+    fn load(r: &mut crate::ckpt::SnapReader<'_>) -> Result<Self, crate::ckpt::SnapshotError> {
+        let horizon: Time = r.load()?;
+        let n = r.count()?;
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            horizon,
+        };
+        let mut prev = horizon;
+        for _ in 0..n {
+            let at: Time = r.load()?;
+            // Entries were written in pop order and can never precede
+            // the horizon; anything else is a forged stream.
+            if at < prev {
+                return r.corrupt();
+            }
+            prev = at;
+            let event = E::load(r)?;
+            let key = Key {
+                at,
+                seq: q.next_seq,
+            };
+            q.next_seq += 1;
+            q.heap.push(Reverse((key, EventSlot(event))));
+        }
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ckpt::StateLoad;
 
     #[test]
     fn orders_by_time_then_fifo() {
@@ -202,6 +251,37 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.horizon(), Time(4));
+    }
+
+    #[test]
+    fn snapshot_preserves_pop_order_and_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Time(10), 1u32);
+        q.push(Time(5), 2);
+        q.push(Time(5), 3);
+        q.pop(); // horizon -> 5, leaves [(5,3),(10,1)]
+        let restored: EventQueue<u32> = crate::ckpt::roundtrip(&q).unwrap();
+        assert_eq!(restored.horizon(), Time(5));
+        let mut restored = restored;
+        // Pushes after restore must still lose ties to restored events.
+        restored.push(Time(5), 9);
+        let order: Vec<u32> = std::iter::from_fn(|| restored.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![3, 9, 1]);
+    }
+
+    #[test]
+    fn snapshot_rejects_unsorted_entries() {
+        let mut w = crate::ckpt::SnapWriter::new();
+        w.save(&Time(50)); // horizon
+        w.usize_(1);
+        w.save(&Time(10)); // before the horizon: forged
+        w.u32(0);
+        let bytes = w.finish();
+        let mut r = crate::ckpt::SnapReader::new(&bytes);
+        assert!(matches!(
+            EventQueue::<u32>::load(&mut r),
+            Err(crate::ckpt::SnapshotError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -35,11 +35,29 @@ pub struct Record {
     pub at: Time,
     /// Subsystem tag.
     pub subsys: Subsys,
-    /// An application message bound for a receive queue.
+    /// The rendered trace message text.
     pub msg: String,
 }
 
 /// Ring-buffer tracer.
+///
+/// Retains the last `capacity` records; older ones are overwritten but
+/// still counted in [`Tracer::total_recorded`]:
+///
+/// ```
+/// use sv_sim::trace::{Subsys, Tracer};
+/// use sv_sim::Time;
+///
+/// let mut t = Tracer::new(2);
+/// t.set_enabled(true);
+/// for i in 0..3u64 {
+///     t.record(Time::from_ns(i), Subsys::Net, format!("pkt {i}"));
+/// }
+/// // Only the newest two survive, oldest first.
+/// let kept: Vec<&str> = t.dump().iter().map(|r| r.msg.as_str()).collect();
+/// assert_eq!(kept, ["pkt 1", "pkt 2"]);
+/// assert_eq!(t.total_recorded(), 3);
+/// ```
 #[derive(Debug)]
 pub struct Tracer {
     records: Vec<Record>,
@@ -126,6 +144,91 @@ impl Tracer {
             }
         }
         out
+    }
+}
+
+impl crate::ckpt::StateSave for Subsys {
+    fn save(&self, w: &mut crate::ckpt::SnapWriter) {
+        w.u8(match self {
+            Subsys::Bus => 0,
+            Subsys::Ctrl => 1,
+            Subsys::Biu => 2,
+            Subsys::Firmware => 3,
+            Subsys::Net => 4,
+            Subsys::App => 5,
+            Subsys::Other => 6,
+        });
+    }
+}
+
+impl crate::ckpt::StateLoad for Subsys {
+    fn load(r: &mut crate::ckpt::SnapReader<'_>) -> Result<Self, crate::ckpt::SnapshotError> {
+        let at = r.offset();
+        Ok(match r.u8()? {
+            0 => Subsys::Bus,
+            1 => Subsys::Ctrl,
+            2 => Subsys::Biu,
+            3 => Subsys::Firmware,
+            4 => Subsys::Net,
+            5 => Subsys::App,
+            6 => Subsys::Other,
+            _ => return Err(crate::ckpt::SnapshotError::Corrupt { offset: at }),
+        })
+    }
+}
+
+impl crate::ckpt::StateSave for Record {
+    fn save(&self, w: &mut crate::ckpt::SnapWriter) {
+        w.save(&self.at);
+        w.save(&self.subsys);
+        w.save(&self.msg);
+    }
+}
+
+impl crate::ckpt::StateLoad for Record {
+    fn load(r: &mut crate::ckpt::SnapReader<'_>) -> Result<Self, crate::ckpt::SnapshotError> {
+        Ok(Record {
+            at: r.load()?,
+            subsys: r.load()?,
+            msg: r.load()?,
+        })
+    }
+}
+
+impl crate::ckpt::StateSave for Tracer {
+    fn save(&self, w: &mut crate::ckpt::SnapWriter) {
+        w.usize_(self.capacity);
+        w.usize_(self.next);
+        w.save(&self.wrapped);
+        w.save(&self.enabled);
+        w.u64(self.total);
+        w.save(&self.records);
+    }
+}
+
+impl crate::ckpt::StateLoad for Tracer {
+    fn load(r: &mut crate::ckpt::SnapReader<'_>) -> Result<Self, crate::ckpt::SnapshotError> {
+        let at = r.offset();
+        let capacity = r.usize_()?;
+        if capacity == 0 {
+            return Err(crate::ckpt::SnapshotError::Corrupt { offset: at });
+        }
+        let next = r.usize_()?;
+        let wrapped: bool = r.load()?;
+        let enabled: bool = r.load()?;
+        let total = r.u64()?;
+        let records: Vec<Record> = r.load()?;
+        if records.len() > capacity || next >= capacity {
+            return r.corrupt();
+        }
+        Ok(Tracer {
+            records,
+            capacity,
+            next,
+            wrapped,
+            enabled,
+            total,
+        })
     }
 }
 

@@ -1,0 +1,322 @@
+//! Checkpoint/restore end to end: the headline guarantee is that a
+//! machine checkpointed mid-run — with faults armed and the reliable
+//! layer mid-retransmit — resumes to a final [`voyager::MachineStats`]
+//! byte-identical to the uninterrupted run, in every run mode and
+//! thread count. The other half of the contract: no sequence of bytes,
+//! however forged, makes restore panic — it either yields a valid
+//! machine or a typed [`voyager::api::ApiError::Snapshot`].
+
+use sv_sim::ckpt::SnapshotError;
+use voyager::api::{ApiError, BasicMsg, RecvBasic, SendBasic};
+use voyager::app::{Delay, FnProgram, Seq};
+use voyager::arctic::FaultParams;
+use voyager::{Machine, MachineBuilder};
+
+/// Same hostile-but-survivable fabric as `faults.rs`: enough loss,
+/// duplication, corruption and reordering that a mid-run checkpoint is
+/// guaranteed to catch retransmit timers and sequence windows in
+/// flight.
+fn hostile() -> FaultParams {
+    FaultParams {
+        drop_ppm: 40_000,
+        dup_ppm: 20_000,
+        corrupt_ppm: 15_000,
+        reorder_ppm: 30_000,
+        seed: 0xD15E_A5E0,
+    }
+}
+
+/// Run-mode axis for the headline test: `None` = cycle-stepped,
+/// `Some(k)` = event-driven with `k` worker threads.
+const MODES: [Option<usize>; 5] = [None, Some(1), Some(2), Some(5), Some(8)];
+
+fn with_mode(b: MachineBuilder, mode: Option<usize>) -> MachineBuilder {
+    match mode {
+        None => b.cycle_stepped(),
+        Some(k) => b.threads(k),
+    }
+}
+
+/// Every node sends one Basic (even senders) or TagOn (odd senders)
+/// message to every other node, then waits for its own `n - 1`.
+fn all_pairs(n: u16, mode: Option<usize>) -> Machine {
+    let b = Machine::builder(n as usize)
+        .faults(hostile())
+        .sample_latency(true);
+    let mut m = with_mode(b, mode).build();
+    for i in 0..n {
+        let lib = m.lib(i);
+        let items: Vec<BasicMsg> = (0..n)
+            .filter(|&d| d != i)
+            .map(|d| {
+                let msg = BasicMsg::new(lib.user_dest(d), vec![i as u8 * 16 + d as u8; 32]);
+                if i % 2 == 1 {
+                    msg.with_tagon(vec![0xA5; 48])
+                } else {
+                    msg
+                }
+            })
+            .collect();
+        m.load_program(
+            i,
+            Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, n as usize - 1)),
+            ]),
+        );
+    }
+    m
+}
+
+/// Uninterrupted reference run: final time and stats JSON.
+fn baseline(n: u16, mode: Option<usize>) -> (u64, String) {
+    let mut m = all_pairs(n, mode);
+    let t = m.run_to_quiescence();
+    (t.ns(), m.stats().to_json())
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_in_every_run_mode() {
+    let n = 8u16;
+    for mode in MODES {
+        let (end_ns, want) = baseline(n, mode);
+        // Cut mid-run: a third of the way in, the hostile fabric has
+        // retransmit timers pending and receive windows partly filled.
+        let mut m = all_pairs(n, mode);
+        m.run_for(end_ns / 3);
+        let bytes = m.checkpoint();
+        // Checkpointing is non-destructive: the donor machine itself
+        // must still finish identically.
+        m.run_to_quiescence();
+        assert_eq!(m.stats().to_json(), want, "donor diverged, mode {mode:?}");
+        // And the restored machine finishes identically too. The
+        // builder's node count/params are decoys — the snapshot wins.
+        let mut r = with_mode(Machine::builder(1), mode)
+            .restore(&bytes)
+            .expect("restore");
+        r.run_to_quiescence();
+        assert_eq!(r.stats().to_json(), want, "restore diverged, mode {mode:?}");
+    }
+}
+
+#[test]
+fn checkpoint_transfers_across_event_thread_counts() {
+    // Worker-thread count is an execution detail, not machine state: a
+    // snapshot cut under Event{1} must finish byte-identically under
+    // any other worker count. (Cycle-stepped is excluded: its run-loop
+    // counters legitimately differ from the event modes'.)
+    let n = 8u16;
+    let (end_ns, want) = baseline(n, Some(1));
+    let mut m = all_pairs(n, Some(1));
+    m.run_for(end_ns / 3);
+    let bytes = m.checkpoint();
+    for k in [2usize, 5, 8] {
+        let mut r = Machine::builder(1)
+            .threads(k)
+            .restore(&bytes)
+            .expect("restore");
+        r.run_to_quiescence();
+        assert_eq!(r.stats().to_json(), want, "diverged at {k} threads");
+    }
+}
+
+#[test]
+fn checkpoint_at_quiescence_restores_quiescent() {
+    let mut m = all_pairs(4, Some(2));
+    m.run_to_quiescence();
+    let want = m.stats().to_json();
+    let mut r = Machine::builder(1)
+        .threads(2)
+        .restore(&m.checkpoint())
+        .expect("restore");
+    // Restore hands back the stats verbatim — including the final
+    // simulated time — without running anything.
+    assert_eq!(r.stats().to_json(), want);
+    // And the machine really is quiescent: it confirms within one
+    // quiescence-check window (32 cycles), doing no further work.
+    let t = r.run_to_quiescence();
+    assert!(
+        t >= m.now && t.ns() - m.now.ns() < 1_000,
+        "{t:?} vs {:?}",
+        m.now
+    );
+}
+
+#[test]
+fn unsnapshottable_program_is_a_typed_refusal() {
+    let mut m = Machine::builder(2).build();
+    m.load_program(0, FnProgram(|_: &mut voyager::Env<'_>| voyager::Step::Done));
+    // Mid-run (not yet stepped), the closure's state is uncapturable.
+    let err = m.try_checkpoint().expect_err("must refuse");
+    assert!(
+        matches!(
+            err,
+            ApiError::Snapshot(SnapshotError::UnsupportedProgram { node: 0 })
+        ),
+        "got {err:?}"
+    );
+    // Once it has finished, there is nothing left to capture and the
+    // checkpoint succeeds.
+    m.run_to_quiescence();
+    assert!(m.try_checkpoint().is_ok());
+}
+
+/// A small donor snapshot with real content: programs mid-run, faults
+/// armed, some memory touched.
+fn donor_bytes() -> Vec<u8> {
+    let mut m = all_pairs(2, Some(1));
+    m.mem_write(0, 0x4000, &[0xAB; 256]);
+    m.run_for(5_000);
+    m.checkpoint()
+}
+
+fn restore(bytes: &[u8]) -> Result<Machine, ApiError> {
+    Machine::builder(1).threads(1).restore(bytes)
+}
+
+#[test]
+fn every_header_field_rejects_tampering() {
+    let good = donor_bytes();
+    assert!(restore(&good).is_ok());
+
+    // Magic (bytes 0..4).
+    let mut b = good.clone();
+    b[0] ^= 0xFF;
+    assert!(
+        matches!(
+            restore(&b),
+            Err(ApiError::Snapshot(SnapshotError::BadMagic { .. }))
+        ),
+        "magic tamper not caught"
+    );
+
+    // Version (bytes 4..8).
+    let mut b = good.clone();
+    b[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(
+        matches!(
+            restore(&b),
+            Err(ApiError::Snapshot(SnapshotError::Version {
+                found: 99,
+                expected: 1,
+            }))
+        ),
+        "version tamper not caught"
+    );
+
+    // Parameter hash (bytes 8..16).
+    let mut b = good.clone();
+    b[8] ^= 0x01;
+    assert!(
+        matches!(
+            restore(&b),
+            Err(ApiError::Snapshot(SnapshotError::ParamHash { .. }))
+        ),
+        "param-hash tamper not caught"
+    );
+
+    // Node count (bytes 16..24): zero and absurd are both refused
+    // before any allocation happens.
+    for forged in [0u64, u64::MAX] {
+        let mut b = good.clone();
+        b[16..24].copy_from_slice(&forged.to_le_bytes());
+        assert!(
+            matches!(
+                restore(&b),
+                Err(ApiError::Snapshot(SnapshotError::NodeCount { found })) if found == forged
+            ),
+            "node-count {forged} not caught"
+        );
+    }
+
+    // Tampering the params *section* (after the header) must trip the
+    // hash too — the header was consistent, the payload was not.
+    let mut b = good.clone();
+    b[40] ^= 0x40; // inside the length-prefixed params blob
+    assert!(
+        matches!(
+            restore(&b),
+            Err(ApiError::Snapshot(SnapshotError::ParamHash { .. }))
+        ),
+        "params-section tamper not caught"
+    );
+}
+
+#[test]
+fn truncated_snapshots_error_without_panicking() {
+    let good = donor_bytes();
+    // Every cut inside the header region, then a sweep of cuts through
+    // the body at a stride coprime with typical field sizes.
+    let mut cuts: Vec<usize> = (0..32.min(good.len())).collect();
+    cuts.extend((32..good.len()).step_by(1009));
+    for cut in cuts {
+        assert!(
+            restore(&good[..cut]).is_err(),
+            "truncation at {cut}/{} accepted",
+            good.len()
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_snapshots_never_panic() {
+    let good = donor_bytes();
+    // Header corruption is caught by the typed checks above; here the
+    // property under test is weaker and global: *no* single-byte
+    // corruption anywhere may panic restore — it either fails typed or
+    // yields a machine that still runs. (A flip past the params section
+    // can land in self-describing payload bytes and decode cleanly;
+    // that is fine, the state is still internally valid.)
+    for pos in (0..good.len()).step_by(257) {
+        let mut b = good.clone();
+        b[pos] ^= 0xFF;
+        if let Ok(mut m) = restore(&b) {
+            // Must also survive being driven, not merely decoded.
+            let _ = m.run_capped(100_000);
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_deterministic_and_restore_roundtrips_bytes() {
+    // Two checkpoints of the same machine state are byte-identical, and
+    // a restored machine re-checkpoints to the same bytes (modulo
+    // nothing: the format has no timestamps or map-order dependence).
+    let mut m = all_pairs(4, Some(2));
+    m.run_for(10_000);
+    let a = m.checkpoint();
+    let b = m.checkpoint();
+    assert_eq!(a, b);
+    let r = Machine::builder(1).threads(2).restore(&a).expect("restore");
+    assert_eq!(r.checkpoint(), a);
+}
+
+#[test]
+fn restored_machine_ignores_builder_shape_but_keeps_observation_knobs() {
+    let mut m = all_pairs(2, Some(1));
+    m.run_for(2_000);
+    let bytes = m.checkpoint();
+    // Builder says 64 nodes; the snapshot says 2. Snapshot wins.
+    let r = Machine::builder(64)
+        .threads(1)
+        .restore(&bytes)
+        .expect("restore");
+    assert_eq!(r.stats().nodes.len(), 2);
+}
+
+#[test]
+fn delay_program_checkpoints_mid_wait() {
+    let mut m = Machine::builder(2).threads(1).build();
+    m.load_program(0, Delay(50_000));
+    m.load_program(1, Delay(10_000));
+    m.run_for(1_000);
+    let bytes = m.checkpoint();
+    m.run_to_quiescence();
+    let want = m.stats().to_json();
+    let mut r = Machine::builder(1)
+        .threads(1)
+        .restore(&bytes)
+        .expect("restore");
+    r.run_to_quiescence();
+    assert_eq!(r.stats().to_json(), want);
+}

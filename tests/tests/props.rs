@@ -349,6 +349,54 @@ proptest! {
         prop_assert_eq!(delivered, 12, "zero loss inside the retransmit budget");
     }
 
+    /// Checkpointing at an arbitrary point of an arbitrary-seed faulty
+    /// run, then restoring under an arbitrary worker count, finishes
+    /// with stats byte-identical to the uninterrupted run. The cut
+    /// point is a fraction of the *total* run time, so cases land
+    /// before the first send, mid-retransmit, and after quiescence.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run(
+        cut_permille in 0u64..1000,
+        threads in 1usize..=8,
+        fault_seed in any::<u64>(),
+    ) {
+        use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+        let faults = voyager::arctic::FaultParams {
+            drop_ppm: 40_000, dup_ppm: 20_000, corrupt_ppm: 15_000,
+            reorder_ppm: 30_000, seed: fault_seed,
+        };
+        let build = || {
+            let mut m = voyager::Machine::builder(4)
+                .faults(faults)
+                .sample_latency(true)
+                .build();
+            for i in 0..4u16 {
+                let lib = m.lib(i);
+                let items: Vec<BasicMsg> = (0..4u16)
+                    .filter(|&d| d != i)
+                    .map(|d| BasicMsg::new(lib.user_dest(d), vec![i as u8; 24]))
+                    .collect();
+                m.load_program(i, voyager::app::Seq::new(vec![
+                    Box::new(SendBasic::new(&lib, items)),
+                    Box::new(RecvBasic::expecting(&lib, 3)),
+                ]));
+            }
+            m
+        };
+        let mut base = build();
+        let end_ns = base.run_to_quiescence().ns();
+        let want = base.stats().to_json();
+        let mut donor = build();
+        donor.run_for(end_ns * cut_permille / 1000);
+        let bytes = donor.checkpoint();
+        let mut r = voyager::Machine::builder(1)
+            .threads(threads)
+            .restore(&bytes)
+            .expect("restore");
+        r.run_to_quiescence();
+        prop_assert_eq!(r.stats().to_json(), want);
+    }
+
     /// Arbitrary payload contents survive the Basic message path intact.
     #[test]
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(
