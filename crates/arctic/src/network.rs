@@ -141,8 +141,12 @@ pub struct NetworkStats {
 /// deliveries (see `voyager`'s machine run loop).
 #[derive(Debug, Clone)]
 pub struct Network<P> {
-    /// Fat-tree topology.
-    pub topology: FatTree,
+    /// Fat-tree topology. Behind an [`Arc`] because the topology is
+    /// immutable once built and the conservative parallel run loop
+    /// clones the network once per execution window to harvest
+    /// deliveries: sharing it keeps that clone proportional to mutable
+    /// state (links, flights, events), not to the switch inventory.
+    pub topology: std::sync::Arc<FatTree>,
     /// Timing/geometry parameters.
     pub params: LinkParams,
     /// Routing policy in force.
@@ -162,7 +166,7 @@ pub struct Network<P> {
 impl<P> Network<P> {
     /// Build a network spanning `nodes` endpoints.
     pub fn new(nodes: usize, params: LinkParams, policy: RoutingPolicy) -> Self {
-        let topology = FatTree::build(nodes);
+        let topology = std::sync::Arc::new(FatTree::build(nodes));
         let links = (0..topology.link_count())
             .map(|_| LinkState::new())
             .collect();
@@ -428,6 +432,25 @@ impl<P> Network<P> {
     pub fn lookahead_ns(&self) -> u64 {
         2 * (self.params.serialize_ns(crate::packet::PACKET_HEADER_BYTES)
             + self.params.router_latency_ns)
+    }
+
+    /// Minimum idle-network latency of any packet travelling between two
+    /// *distinct* aligned height-`k` subtrees (see
+    /// [`FatTree::subtree_of`]): such a route has at least
+    /// `2 + 2k` hops, each costing at least a header serialization plus
+    /// the router latency.
+    ///
+    /// This is the topology-derived synchronization slack a
+    /// subtree-sharded parallel run loop gets to exploit: shards aligned
+    /// to height-`k` subtrees cannot influence each other faster than
+    /// this, so it bounds how often cross-shard deliveries can recur and
+    /// grows with shard coarseness — while the *global* window safety
+    /// bound stays [`Network::lookahead_ns`], pinned by same-leaf
+    /// traffic that the centralized contention model must arbitrate.
+    pub fn cross_subtree_latency_ns(&self, k: u32) -> u64 {
+        self.topology.min_cross_subtree_hops(k) as u64
+            * (self.params.serialize_ns(crate::packet::PACKET_HEADER_BYTES)
+                + self.params.router_latency_ns)
     }
 
     /// Per-link usage snapshot for links that carried traffic, in link-id

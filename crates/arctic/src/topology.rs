@@ -254,6 +254,66 @@ impl FatTree {
     pub fn link_count(&self) -> usize {
         self.links.len()
     }
+
+    /// Nodes per aligned height-`k` subtree (`4^k`). `k = 0` is a single
+    /// node, `k = 1` one leaf switch's nodes, `k = height` the whole
+    /// tree.
+    pub fn subtree_span(k: u32) -> usize {
+        RADIX.pow(k)
+    }
+
+    /// Index of the aligned height-`k` subtree containing node `n`.
+    ///
+    /// Nodes are numbered consecutively under the leaves, so the aligned
+    /// `4^k`-node chunks of the node range *are* the height-`k` subtrees:
+    /// every node of chunk `i` hangs under the same level-`k-1` switch
+    /// ancestry, and no node outside the chunk does.
+    #[inline]
+    pub fn subtree_of(&self, n: NodeId, k: u32) -> usize {
+        n as usize / Self::subtree_span(k)
+    }
+
+    /// Number of aligned height-`k` subtrees covering the attached nodes
+    /// (the last may be partially populated).
+    pub fn subtree_count(&self, k: u32) -> usize {
+        self.nodes.div_ceil(Self::subtree_span(k))
+    }
+
+    /// Minimum number of switch levels any packet between nodes of two
+    /// *distinct* height-`k` subtrees must climb. Two such nodes differ
+    /// in a leaf-label digit at position `>= k - 1`, so the route
+    /// converges no lower than level `k`.
+    pub fn min_cross_subtree_climb(&self, k: u32) -> u32 {
+        debug_assert!(
+            self.subtree_count(k) > 1,
+            "no cross-subtree traffic exists at height {k}"
+        );
+        k
+    }
+
+    /// Minimum hop count (node links included) of any packet between
+    /// nodes of two distinct height-`k` subtrees. Grows linearly in `k`,
+    /// which is what makes subtree-aligned shards attractive to a
+    /// conservative parallel run loop: coarser shards push all
+    /// cross-shard traffic through proportionally longer routes.
+    pub fn min_cross_subtree_hops(&self, k: u32) -> usize {
+        2 + 2 * self.min_cross_subtree_climb(k) as usize
+    }
+
+    /// Subtree height to shard this tree's nodes across `workers`
+    /// parallel workers: the finest aligned-`4^k` sharding whose shard
+    /// count stays within `4 * workers` (enough shards for load
+    /// balancing without drowning the window protocol in per-shard
+    /// dispatches), floored so the shard count never drops below the
+    /// worker count.
+    pub fn shard_levels_for(&self, workers: usize) -> u32 {
+        let w = workers.max(1);
+        let mut k = 0u32;
+        while self.subtree_count(k + 1) >= w && self.subtree_count(k) > 4 * w {
+            k += 1;
+        }
+        k
+    }
 }
 
 use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
@@ -358,6 +418,64 @@ mod tests {
         for w in r.windows(2) {
             assert_eq!(t.links[w[0]].to, t.links[w[1]].from);
         }
+    }
+
+    #[test]
+    fn subtree_shards_align_with_the_tree() {
+        let t = FatTree::build(64);
+        // Height-1 subtrees are exactly the leaf switches.
+        assert_eq!(FatTree::subtree_span(1), 4);
+        assert_eq!(t.subtree_count(1), 16);
+        for n in 0..64u16 {
+            assert_eq!(t.subtree_of(n, 1) as u32, t.leaf_of(n));
+        }
+        // Same subtree => a route never climbs above the subtree root;
+        // different subtrees => it must climb at least `k` levels.
+        for k in 1..=2u32 {
+            for s in 0..64u16 {
+                for d in 0..64u16 {
+                    if s == d {
+                        continue;
+                    }
+                    let climb = t.climb_levels(s, d);
+                    if t.subtree_of(s, k) == t.subtree_of(d, k) {
+                        assert!(climb < k, "{s}->{d} climbs {climb} inside height-{k}");
+                    } else {
+                        assert!(climb >= k, "{s}->{d} climbs {climb} across height-{k}");
+                        assert!(t.hop_count(s, d) >= t.min_cross_subtree_hops(k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_subtree_hops_grow_with_height() {
+        let t = FatTree::build(256);
+        assert_eq!(t.min_cross_subtree_hops(1), 4);
+        assert_eq!(t.min_cross_subtree_hops(2), 6);
+        assert_eq!(t.min_cross_subtree_hops(3), 8);
+        // The bound is achieved by some pair (tightness).
+        assert_eq!(t.hop_count(0, 4), t.min_cross_subtree_hops(1));
+        assert_eq!(t.hop_count(0, 16), t.min_cross_subtree_hops(2));
+    }
+
+    #[test]
+    fn shard_levels_balance_count_against_workers() {
+        let t = FatTree::build(1024);
+        // 8 workers: 4^k shards with count in (8, 32] => 64 nodes/shard.
+        let k = t.shard_levels_for(8);
+        assert!(t.subtree_count(k) >= 8, "at least one shard per worker");
+        assert!(
+            t.subtree_count(k) <= 4 * 8 || k == 0,
+            "no more than 4 shards per worker unless already finest"
+        );
+        // Tiny machine: sharding stays at single nodes.
+        let small = FatTree::build(4);
+        assert_eq!(small.shard_levels_for(2), 0);
+        assert_eq!(small.subtree_count(0), 4);
+        // One worker still gets a valid (coarse) sharding.
+        assert!(t.subtree_count(t.shard_levels_for(1)) >= 1);
     }
 
     #[test]

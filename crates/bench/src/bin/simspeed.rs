@@ -50,7 +50,7 @@ use std::time::Instant;
 use sv_bench::print_table;
 use voyager::api::{BasicMsg, RecvBasic, SendBasic};
 use voyager::app::{Delay, Seq};
-use voyager::{Machine, MachineBuilder, Program};
+use voyager::{Machine, MachineBuilder, Parallelism, Program, ShardPolicy};
 
 /// Compute gap between ring rounds, in ns. At 66 MHz this is ~3300 bus
 /// cycles of idle per ~2 us of messaging — the regime the event loop
@@ -135,6 +135,9 @@ fn fmt_rate(sim_ns: u64, wall_s: f64) -> (f64, String) {
 struct SweepRow {
     nodes: u16,
     sim_ns: u64,
+    /// Worker count the parallel column ran with (recorded per row so
+    /// the report stays honest if the sweep ever varies it).
+    workers: usize,
     event_ns_per_s: f64,
     parallel_ns_per_s: f64,
 }
@@ -148,15 +151,22 @@ fn cycles_per_s(ns_per_s: f64) -> f64 {
 /// pair workload, checked bit-identical against the cycle-stepped loop
 /// at sizes where stepping is affordable.
 fn sweep_point(n: u16, workers: usize) -> SweepRow {
-    // Warm up allocator / thread pool effects.
-    let _ = measure(Machine::builder(n.into()), n, load_staggered_pairs);
+    // Warm up allocator / thread pool effects (parallel, so the warm-up
+    // stays cheap at the largest sweep sizes).
+    let _ = measure(
+        Machine::builder(n.into()).parallelism(Parallelism::Fixed(workers)),
+        n,
+        load_staggered_pairs,
+    );
     let (t_ev, w_ev) = measure(
-        Machine::builder(n.into()).threads(1),
+        Machine::builder(n.into()).parallelism(Parallelism::Sequential),
         n,
         load_staggered_pairs,
     );
     let (t_par, w_par) = measure(
-        Machine::builder(n.into()).threads(workers),
+        Machine::builder(n.into())
+            .parallelism(Parallelism::Fixed(workers))
+            .shard_policy(ShardPolicy::BySubtree),
         n,
         load_staggered_pairs,
     );
@@ -178,6 +188,7 @@ fn sweep_point(n: u16, workers: usize) -> SweepRow {
     SweepRow {
         nodes: n,
         sim_ns: t_ev,
+        workers,
         event_ns_per_s: t_ev as f64 / w_ev,
         parallel_ns_per_s: t_par as f64 / w_par,
     }
@@ -198,7 +209,9 @@ struct CkptPoint {
 /// checkpointed mid-run (half the staggered pairs fired: queues, caches
 /// and memory warm).
 fn ckpt_point(n: u16) -> CkptPoint {
-    let mut m = Machine::builder(n.into()).threads(1).build();
+    let mut m = Machine::builder(n.into())
+        .parallelism(Parallelism::Sequential)
+        .build();
     load_staggered_pairs(&mut m, n);
     m.run_for(u64::from(n / 4) * STAGGER_NS);
     let t0 = Instant::now();
@@ -206,7 +219,7 @@ fn ckpt_point(n: u16) -> CkptPoint {
     let save_us = t0.elapsed().as_secs_f64() * 1e6;
     let t1 = Instant::now();
     let r = Machine::builder(1)
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .restore(&bytes)
         .expect("restore");
     let restore_us = t1.elapsed().as_secs_f64() * 1e6;
@@ -229,7 +242,7 @@ fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
     assert!(every_cycles > 0, "--checkpoint-every takes a cycle count");
     let build = || {
         let mut m = Machine::builder(n.into())
-            .threads(1)
+            .parallelism(Parallelism::Sequential)
             .sample_latency(true)
             .build();
         load_staggered_pairs(&mut m, n);
@@ -263,7 +276,7 @@ fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
 
     let mid = &snaps[snaps.len() / 2];
     let mut r = Machine::builder(1)
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .restore(mid)
         .expect("restore mid-run snapshot");
     r.run_to_quiescence();
@@ -289,7 +302,7 @@ fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
 fn restore_smoke(path: &str) {
     let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let mut m = Machine::builder(1)
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .restore(&bytes)
         .unwrap_or_else(|e| panic!("restore {path}: {e}"));
     let n = m.stats().nodes.len();
@@ -309,19 +322,24 @@ fn write_json(
     ring: &[(u16, u64, f64, f64, f64)],
     ckpt: &[CkptPoint],
 ) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"simspeed\",\n");
     s.push_str("  \"unit\": \"per wall-clock second\",\n");
     s.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     s.push_str(&format!(
         "  \"sweep\": {{\n    \"workload\": \"staggered_pairs\",\n    \"stagger_ns\": {STAGGER_NS},\n    \"msgs_per_pair\": {PAIR_MSGS},\n    \"points\": [\n"
     ));
     for (i, r) in sweep.iter().enumerate() {
         s.push_str(&format!(
-            "      {{\"nodes\": {}, \"sim_ns\": {}, \"event_sim_ns\": {:.0}, \"event_cycles\": {:.0}, \"parallel_sim_ns\": {:.0}, \"parallel_cycles\": {:.0}}}{}\n",
+            "      {{\"nodes\": {}, \"sim_ns\": {}, \"parallel_workers\": {}, \"event_sim_ns\": {:.0}, \"event_cycles\": {:.0}, \"parallel_sim_ns\": {:.0}, \"parallel_cycles\": {:.0}}}{}\n",
             r.nodes,
             r.sim_ns,
+            r.workers,
             r.event_ns_per_s,
             cycles_per_s(r.event_ns_per_s),
             r.parallel_ns_per_s,
@@ -367,7 +385,7 @@ fn write_json(
 /// output is byte-stable across hosts and runs.
 fn write_stats_sidecar(n: u16, path: &str) {
     let mut m = Machine::builder(n.into())
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .sample_latency(true)
         .build();
     load_staggered_pairs(&mut m, n);
@@ -390,17 +408,17 @@ fn faults_smoke(n: u16, workers: usize) {
         reorder_ppm: 40_000,
         seed: 0xFA17_5EED,
     };
-    let run = |threads: usize| {
+    let run = |par: Parallelism| {
         let mut m = Machine::builder(n.into())
             .faults(faults)
-            .threads(threads)
+            .parallelism(par)
             .build();
         load_staggered_pairs(&mut m, n);
         let t = m.run_to_quiescence().ns();
         (t, m.stats())
     };
-    let (t_ev, s_ev) = run(1);
-    let (t_par, s_par) = run(workers);
+    let (t_ev, s_ev) = run(Parallelism::Sequential);
+    let (t_par, s_par) = run(Parallelism::Fixed(workers));
     assert_eq!(t_ev, t_par, "parallel loop must match under faults");
     assert_eq!(
         s_ev.to_json(),
@@ -456,7 +474,7 @@ fn main() {
     // ---- Node-count sweep (idle-heavy staggered pairs) ----
     let sweep_sizes: Vec<u16> = match only_nodes {
         Some(n) => vec![n],
-        None => vec![8, 16, 32, 64, 128, 256],
+        None => vec![8, 16, 32, 64, 128, 256, 1024, 4096],
     };
     let mut sweep = Vec::new();
     let mut sweep_rows = Vec::new();
@@ -485,8 +503,16 @@ fn main() {
             let _ = measure(Machine::builder(n.into()), n, load_ring);
             let (t_step, w_step) =
                 measure(Machine::builder(n.into()).cycle_stepped(), n, load_ring);
-            let (t_ev, w_ev) = measure(Machine::builder(n.into()).threads(1), n, load_ring);
-            let (t_par, w_par) = measure(Machine::builder(n.into()).threads(workers), n, load_ring);
+            let (t_ev, w_ev) = measure(
+                Machine::builder(n.into()).parallelism(Parallelism::Sequential),
+                n,
+                load_ring,
+            );
+            let (t_par, w_par) = measure(
+                Machine::builder(n.into()).parallelism(Parallelism::Fixed(workers)),
+                n,
+                load_ring,
+            );
             assert_eq!(
                 t_step, t_ev,
                 "event loop must match cycle-stepped time ({n} nodes)"

@@ -57,6 +57,18 @@ pub enum ApiError {
     /// A machine snapshot could not be taken or restored (see
     /// [`sv_sim::ckpt::SnapshotError`] for the specific failure).
     Snapshot(sv_sim::ckpt::SnapshotError),
+    /// [`crate::Parallelism::Fixed`]`(0)` was requested; zero workers
+    /// cannot run anything. Use [`crate::Parallelism::Sequential`] for a
+    /// one-thread run.
+    WorkerCountZero,
+    /// More workers were requested than the finest shard partition (one
+    /// shard per node) can occupy; the surplus could never run.
+    WorkersExceedShards {
+        /// Requested worker count.
+        workers: usize,
+        /// Maximum shard count for this machine.
+        shards: usize,
+    },
 }
 
 impl From<sv_sim::ckpt::SnapshotError> for ApiError {
@@ -90,6 +102,18 @@ impl core::fmt::Display for ApiError {
                 )
             }
             ApiError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            ApiError::WorkerCountZero => {
+                write!(
+                    f,
+                    "Parallelism::Fixed(0) is invalid; use Parallelism::Sequential"
+                )
+            }
+            ApiError::WorkersExceedShards { workers, shards } => {
+                write!(
+                    f,
+                    "{workers} workers exceed the finest shard partition ({shards} shards)"
+                )
+            }
         }
     }
 }

@@ -37,7 +37,7 @@
 //! - [`machine`]: cluster assembly ([`Machine::builder`]),
 //!   queue/translation conventions, and measurement accessors.
 //! - [`runloop`]: the run loops — cycle-stepped, idle-skipping
-//!   event-driven, and lookahead-windowed parallel — all bit-identical.
+//!   event-driven, and topology-sharded parallel — all bit-identical.
 //! - [`api`]: layer-0 library programs (Basic/Express send & receive,
 //!   block-transfer requests, region readers/writers, notify waiters).
 //! - [`blockxfer`]: the five block-transfer implementations and the
@@ -68,7 +68,9 @@ pub use machine::{Machine, MachineBuilder, NodeLib};
 pub use metrics::{XferMeasurement, XferPoint};
 pub use node::Node;
 pub use params::SystemParams;
-pub use runloop::{RunMode, RunOutcome};
+#[allow(deprecated)]
+pub use runloop::RunMode;
+pub use runloop::{Parallelism, RunOutcome, ShardPolicy};
 pub use stats::MachineStats;
 
 // Re-export the substrate crates so downstream users need only `voyager`.

@@ -17,22 +17,22 @@
 //! node `d`'s Express queue — the OS-installed protection boundary.
 //!
 //! ```
-//! use voyager::{Machine, SystemParams};
+//! use voyager::{Machine, Parallelism, SystemParams};
 //!
 //! let mut m = Machine::builder(4)
 //!     .params(SystemParams::default())
-//!     .threads(2)
+//!     .parallelism(Parallelism::Fixed(2))
 //!     .build();
 //! assert!(m.run().is_quiesced());
 //! ```
 //!
-//! The run loops themselves (cycle-stepped, event-driven, windowed
+//! The run loops themselves (cycle-stepped, event-driven, sharded
 //! parallel) live in [`crate::runloop`].
 
 use crate::app::{AppEvent, AppEventKind, Program};
 use crate::node::Node;
 use crate::params::SystemParams;
-use crate::runloop::RunMode;
+use crate::runloop::{ExecPlan, Parallelism, ShardPolicy};
 use bytes::Bytes;
 use sv_arctic::Network;
 use sv_niu::msg::NetPayload;
@@ -42,13 +42,29 @@ use sv_niu::{QueueId, SramSel};
 use sv_sim::{Clock, Time};
 
 /// Virtual-destination bases installed in every node's translation table.
+///
+/// The three destination classes live at multiples of a per-machine
+/// *stride*: user Basic at `0`, sP service at `stride`, user Express at
+/// `2 * stride`. The stride is 256 for machines up to 256 nodes — so the
+/// constants below are exact there and every historical trace/golden is
+/// unchanged — and widens to the next power of two above the node count
+/// for larger machines (up to the 16384-node ceiling the 16-bit
+/// destination field allows). Always derive destinations through
+/// [`NodeLib::user_dest`]/[`NodeLib::svc_dest`]/[`NodeLib::express_dest`],
+/// which apply the machine's stride.
 pub mod dest {
     /// `USER + d` → node `d`, logical queue 1 (user Basic).
     pub const USER: u16 = 0;
-    /// `SVC + d` → node `d`, logical queue 0 (sP service).
+    /// `SVC + d` → node `d`, logical queue 0 (sP service), machines ≤ 256 nodes.
     pub const SVC: u16 = 0x100;
-    /// `EXPRESS + d` → node `d`, logical queue 2 (user Express).
+    /// `EXPRESS + d` → node `d`, logical queue 2 (user Express), machines ≤ 256 nodes.
     pub const EXPRESS: u16 = 0x200;
+
+    /// Destination-class stride for an `n`-node machine.
+    pub fn stride(n: u16) -> u16 {
+        assert!(n <= 16_384, "destination namespace caps at 16384 nodes");
+        n.next_power_of_two().max(SVC)
+    }
 }
 
 /// aSRAM offsets of the pointer shadows.
@@ -123,20 +139,21 @@ impl NodeLib {
 
     /// Virtual destination of node `d`'s service queue.
     pub fn svc_dest(&self, d: u16) -> u16 {
-        dest::SVC + d
+        dest::stride(self.nodes) + d
     }
 
     /// Virtual destination of node `d`'s Express queue.
     pub fn express_dest(&self, d: u16) -> u16 {
-        dest::EXPRESS + d
+        2 * dest::stride(self.nodes) + d
     }
 }
 
 /// Run-loop execution counters, part of [`Machine::stats`]. Only events
-/// that are invariant across [`RunMode::Event`] thread counts are counted:
-/// node ticks, arrival publishes and post-tick republishes. Full-scan
-/// rebuilds ([`Machine`]-level) and shard priming are deliberately
-/// excluded — they differ between the sequential and windowed paths.
+/// that are invariant across worker counts and shard policies are
+/// counted: node ticks, arrival publishes and post-tick republishes.
+/// Full-scan rebuilds ([`Machine`]-level) and shard priming are
+/// deliberately excluded — they differ between the sequential and
+/// sharded paths.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RunLoopCounters {
     /// Node ticks executed ([`crate::Node::tick`] calls).
@@ -159,7 +176,12 @@ pub struct Machine {
     pub(crate) ideal: Option<sv_arctic::IdealNetwork<NetPayload>>,
     pub(crate) clock: Clock,
     pub(crate) cycle: u64,
-    pub(crate) mode: RunMode,
+    /// The resolved execution plan (stepped/workers/policy), fixed at
+    /// build time by [`MachineBuilder::try_build`].
+    pub(crate) plan: ExecPlan,
+    /// The parallelism as requested (before resolution), reported by
+    /// [`Machine::parallelism`].
+    pub(crate) requested: Parallelism,
     /// Current simulated time (updated every step).
     pub now: Time,
     /// Memoized per-node wake cycles for the event loop. `nodes` is
@@ -185,7 +207,12 @@ pub struct MachineBuilder {
     params: SystemParams,
     ideal_latency_ns: Option<u64>,
     traced_nodes: Vec<u16>,
-    mode: RunMode,
+    stepped: bool,
+    par: Parallelism,
+    policy: ShardPolicy,
+    /// Pre-0.3 `threads(k)` silently clamped instead of erroring; the
+    /// deprecated shims set this so old call sites keep building.
+    legacy_clamp: bool,
     sample_latency: bool,
 }
 
@@ -228,11 +255,41 @@ impl MachineBuilder {
         self
     }
 
+    /// Select how the event-driven loop is parallelized:
+    /// [`Parallelism::Sequential`] (the default), a fixed worker count,
+    /// or [`Parallelism::Auto`]. Every choice produces bit-identical
+    /// simulation results — see [`crate::runloop`]. Invalid combinations
+    /// (zero workers, more workers than the finest shard partition) are
+    /// reported by [`MachineBuilder::try_build`].
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.stepped = false;
+        self.par = par;
+        self.legacy_clamp = false;
+        self
+    }
+
+    /// Choose how nodes are partitioned into shards for parallel runs
+    /// (default [`ShardPolicy::BySubtree`]). Affects wall-clock speed
+    /// only, never results.
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Shard the nodes across `k` worker threads inside lookahead-bounded
-    /// windows. `0` and `1` both mean sequential. Results are identical
-    /// for every value — see [`crate::runloop`].
+    /// windows. `0` and `1` both mean sequential; oversized counts clamp.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use parallelism(Parallelism::Fixed(k)) or parallelism(Parallelism::Auto)"
+    )]
     pub fn threads(mut self, k: usize) -> Self {
-        self.mode = RunMode::Event { threads: k };
+        self.stepped = false;
+        self.par = if k <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Fixed(k)
+        };
+        self.legacy_clamp = true;
         self
     }
 
@@ -240,7 +297,7 @@ impl MachineBuilder {
     /// one. The two are bit-identical; this exists for cross-checking and
     /// for measuring the event loop's speedup.
     pub fn cycle_stepped(mut self) -> Self {
-        self.mode = RunMode::CycleStepped;
+        self.stepped = true;
         self
     }
 
@@ -252,9 +309,31 @@ impl MachineBuilder {
         self
     }
 
-    /// Assemble the machine.
+    /// Resolve the builder's parallelism knobs against a machine of `n`
+    /// nodes into the concrete plan the run loops execute.
+    fn resolve_plan(&self, n: usize) -> Result<ExecPlan, crate::api::ApiError> {
+        let workers = self.par.resolve(n, self.legacy_clamp)?;
+        Ok(ExecPlan {
+            stepped: self.stepped,
+            workers,
+            policy: self.policy,
+        })
+    }
+
+    /// Assemble the machine; panics on an invalid parallelism
+    /// configuration. See [`MachineBuilder::try_build`] for the checked
+    /// form.
     pub fn build(self) -> Machine {
-        let mut m = Machine::assemble(self.n, self.params, self.mode);
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assemble the machine, reporting invalid configuration
+    /// ([`crate::ApiError::WorkerCountZero`],
+    /// [`crate::ApiError::WorkersExceedShards`]) as a value instead of
+    /// panicking.
+    pub fn try_build(self) -> Result<Machine, crate::api::ApiError> {
+        let plan = self.resolve_plan(self.n)?;
+        let mut m = Machine::assemble(self.n, self.params, plan, self.par);
         if let Some(latency) = self.ideal_latency_ns {
             m.ideal = Some(sv_arctic::IdealNetwork::new(
                 self.n.max(2),
@@ -268,7 +347,7 @@ impl MachineBuilder {
         if self.sample_latency {
             m.set_latency_sampling(true);
         }
-        m
+        Ok(m)
     }
 }
 
@@ -282,12 +361,15 @@ impl Machine {
             params: SystemParams::default(),
             ideal_latency_ns: None,
             traced_nodes: Vec::new(),
-            mode: RunMode::default(),
+            stepped: false,
+            par: Parallelism::default(),
+            policy: ShardPolicy::default(),
+            legacy_clamp: false,
             sample_latency: false,
         }
     }
 
-    fn assemble(n: usize, params: SystemParams, mode: RunMode) -> Self {
+    fn assemble(n: usize, params: SystemParams, plan: ExecPlan, requested: Parallelism) -> Self {
         assert!(n >= 1, "a machine needs at least one node");
         let mut nodes: Vec<Node> = (0..n)
             .map(|i| Node::new(i as u16, n as u16, params))
@@ -304,7 +386,8 @@ impl Machine {
             ideal: None,
             clock: params.bus_clock(),
             cycle: 0,
-            mode,
+            plan,
+            requested,
             now: Time::ZERO,
             wake: sv_sim::WakeIndex::new(n),
             wake_valid: false,
@@ -320,7 +403,15 @@ impl Machine {
         // The legacy constructors keep the legacy loop, so old call sites
         // observe exactly the old behaviour (which the event modes are
         // tested to reproduce anyway).
-        Self::assemble(n, params, RunMode::CycleStepped)
+        Self::assemble(
+            n,
+            params,
+            ExecPlan {
+                stepped: true,
+                ..ExecPlan::default()
+            },
+            Parallelism::Sequential,
+        )
     }
 
     /// Build a machine whose network is an ideal (contention-free,
@@ -330,7 +421,15 @@ impl Machine {
         note = "use Machine::builder(n).params(p).ideal_network(latency_ns).build()"
     )]
     pub fn new_ideal(n: usize, params: SystemParams, fixed_latency_ns: u64) -> Self {
-        let mut m = Self::assemble(n, params, RunMode::CycleStepped);
+        let mut m = Self::assemble(
+            n,
+            params,
+            ExecPlan {
+                stepped: true,
+                ..ExecPlan::default()
+            },
+            Parallelism::Sequential,
+        );
         m.ideal = Some(sv_arctic::IdealNetwork::new(
             n.max(2),
             fixed_latency_ns,
@@ -339,16 +438,73 @@ impl Machine {
         m
     }
 
-    /// How this machine advances time. Set via [`MachineBuilder::threads`]
-    /// / [`MachineBuilder::cycle_stepped`] or [`Machine::set_run_mode`].
-    pub fn run_mode(&self) -> RunMode {
-        self.mode
+    /// The parallelism this machine was configured with — the requested
+    /// value, not the resolution; see [`Machine::workers`] for the
+    /// worker count actually in use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.requested
     }
 
-    /// Switch run modes mid-flight. Safe at any point: all modes maintain
-    /// the same machine-state invariants between calls.
-    pub fn set_run_mode(&mut self, mode: RunMode) {
-        self.mode = mode;
+    /// The shard policy parallel runs partition the nodes under.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.plan.policy
+    }
+
+    /// The resolved worker count the run loop uses; `1` means
+    /// sequential.
+    pub fn workers(&self) -> usize {
+        self.plan.workers
+    }
+
+    /// True when this machine runs the cycle-stepped reference loop
+    /// instead of the event-driven one.
+    pub fn is_cycle_stepped(&self) -> bool {
+        self.plan.stepped
+    }
+
+    /// Number of shards the current plan partitions the nodes into — a
+    /// pure function of node count, topology, policy and worker count.
+    pub fn shard_count(&self) -> usize {
+        self.shard_map().shards
+    }
+
+    /// How this machine advances time, in the pre-0.3 vocabulary.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Machine::parallelism / workers / is_cycle_stepped"
+    )]
+    #[allow(deprecated)]
+    pub fn run_mode(&self) -> crate::runloop::RunMode {
+        if self.plan.stepped {
+            crate::runloop::RunMode::CycleStepped
+        } else {
+            crate::runloop::RunMode::Event {
+                threads: self.plan.workers,
+            }
+        }
+    }
+
+    /// Switch run modes mid-flight. Deprecated: post-construction mode
+    /// flips bypass builder validation — configure the loop at build
+    /// time instead. Keeps the pre-0.3 clamping behaviour.
+    #[deprecated(
+        since = "0.3.0",
+        note = "configure at build time with MachineBuilder::parallelism / cycle_stepped"
+    )]
+    #[allow(deprecated)]
+    pub fn set_run_mode(&mut self, mode: crate::runloop::RunMode) {
+        match mode {
+            crate::runloop::RunMode::CycleStepped => self.plan.stepped = true,
+            crate::runloop::RunMode::Event { threads } => {
+                self.plan.stepped = false;
+                self.plan.workers = threads.clamp(1, self.nodes.len().max(1));
+                self.requested = if threads <= 1 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Fixed(threads)
+                };
+            }
+        }
     }
 
     /// Turn per-class packet latency sampling on or off for every NIU
@@ -417,12 +573,16 @@ impl Machine {
         niu.ctrl.rx_cache.bind(0, QueueId(0));
         niu.ctrl.rx_cache.bind(1, QueueId(1));
         niu.ctrl.rx_cache.bind(2, QueueId(2));
-        // Translation table: the three destination classes for every node.
+        // Translation table: the three destination classes for every
+        // node, strided by machine size (a no-op grow at ≤ 256 nodes,
+        // where the table's construction size already covers them).
+        let stride = dest::stride(nodes);
+        niu.ctrl.xlate.grow_to(4 * stride as usize);
         for d in 0..nodes {
             for (base, lq, high) in [
                 (dest::USER, 1u16, false),
-                (dest::SVC, 0u16, false),
-                (dest::EXPRESS, 2u16, false),
+                (stride, 0u16, false),
+                (2 * stride, 2u16, false),
             ] {
                 niu.ctrl.xlate.install(
                     base + d,
@@ -693,11 +853,13 @@ impl MachineBuilder {
     ///
     /// The snapshot is authoritative for node count, parameters and all
     /// state — the builder's node count and [`MachineBuilder::params`]
-    /// are ignored. Run-mode selection ([`MachineBuilder::threads`] /
+    /// are ignored. Run-loop selection ([`MachineBuilder::parallelism`],
+    /// [`MachineBuilder::shard_policy`],
     /// [`MachineBuilder::cycle_stepped`]) and the explicit observation
     /// knobs ([`MachineBuilder::tracing`],
     /// [`MachineBuilder::sample_latency`]) still apply, since they are
-    /// free to differ between the saving and restoring run.
+    /// free to differ between the saving and restoring run — results are
+    /// bit-identical under all of them.
     ///
     /// Corrupted, truncated or version-mismatched snapshots fail with a
     /// typed [`ApiError::Snapshot`]; no input can make this panic.
@@ -729,7 +891,10 @@ impl MachineBuilder {
             p
         };
         let n = header.nodes as usize;
-        let mut m = Machine::assemble(n, params, self.mode);
+        // Parallelism resolves against the snapshot's node count, not
+        // the builder's placeholder.
+        let plan = self.resolve_plan(n)?;
+        let mut m = Machine::assemble(n, params, plan, self.par);
         m.cycle = r.u64()?;
         m.now = r.load()?;
         m.runstats = r.load()?;
@@ -776,6 +941,13 @@ mod tests {
         assert_eq!(lib.user_dest(3), 3);
         assert_eq!(lib.svc_dest(1), 0x101);
         assert_eq!(lib.express_dest(0), 0x200);
+        // The class stride is pinned at 256 up to 256 nodes (so every
+        // historical trace stays valid) and widens past that.
+        assert_eq!(dest::stride(1), 0x100);
+        assert_eq!(dest::stride(256), 0x100);
+        assert_eq!(dest::stride(257), 0x200);
+        assert_eq!(dest::stride(1024), 1024);
+        assert_eq!(dest::stride(4096), 4096);
         // Service queue is sP-polled in sSRAM.
         let n0 = &m.nodes[0];
         assert_eq!(n0.niu.ctrl.rx[0].buf.sram, SramSel::S);
@@ -808,7 +980,8 @@ mod tests {
             .cycle_stepped()
             .build();
         assert_eq!(m.nodes.len(), 3);
-        assert_eq!(m.run_mode(), crate::runloop::RunMode::CycleStepped);
+        assert!(m.is_cycle_stepped());
+        assert_eq!(m.workers(), 1);
         let mut mi = Machine::builder(2)
             .params(SystemParams::default())
             .ideal_network(100)

@@ -1,11 +1,12 @@
-//! The machine's run loops: cycle-stepped, event-driven, and parallel.
+//! The machine's run loops: cycle-stepped, event-driven, and sharded
+//! parallel.
 //!
-//! The original run loop ([`RunMode::CycleStepped`]) ticks every node on
-//! every 66 MHz bus cycle. That is simple and obviously correct, but most
-//! cycles in realistic workloads are *idle*: every engine's gate is
-//! blocked (a busy-timer has not expired, a queue is empty, a window is
-//! full), so the tick mutates nothing. The event-driven loop
-//! ([`RunMode::Event`]) exploits exactly that property:
+//! The original run loop ([`MachineBuilder::cycle_stepped`]) ticks every
+//! node on every 66 MHz bus cycle. That is simple and obviously correct,
+//! but most cycles in realistic workloads are *idle*: every engine's gate
+//! is blocked (a busy-timer has not expired, a queue is empty, a window
+//! is full), so the tick mutates nothing. The event-driven loop (the
+//! default) exploits exactly that property:
 //!
 //! **Superset execution.** Every per-cycle engine in the machine (CPU
 //! step, bus pipeline, NIU engines, sP firmware) is a pure check when its
@@ -20,60 +21,204 @@
 //! and recomputes. The two loops are bit-identical by construction, which
 //! the equivalence tests in `tests/` assert end to end.
 //!
-//! **Parallel windows.** With `threads > 1` the event loop additionally
-//! shards the nodes across worker threads. Nodes only interact through
-//! the network, and the network has a *lookahead* `L`
+//! **Sharded parallel execution.** With [`Parallelism::Fixed`] or
+//! [`Parallelism::Auto`] the nodes are partitioned into *shards* — by
+//! default aligned Arctic fat-tree subtrees ([`ShardPolicy::BySubtree`]),
+//! so that the nodes that exchange the cheapest, most frequent traffic
+//! (2-hop, through their shared leaf switch) land in the same shard and
+//! cross-shard traffic has to climb the tree
+//! ([`sv_arctic::FatTree::min_cross_subtree_hops`]). Each shard owns its
+//! member nodes, its own [`sv_sim::WakeIndex`], and its own arrival
+//! mailbox for the duration of a run; shards move wholesale between the
+//! scheduler and the worker pool over channels, so no node is ever
+//! visible to two threads at once and the loop needs no locks.
+//!
+//! Synchronization is conservative-lookahead PDES. Nodes only interact
+//! through the network, and the network has a *lookahead* `L`
 //! ([`sv_arctic::Network::lookahead_ns`]): a packet injected at time `t`
-//! cannot affect any delivery before `t + L`. Execution therefore
-//! proceeds in conservative windows `[w0, w1)` whose span is strictly
-//! less than `L`:
+//! cannot affect any delivery before `t + L`. `L` is the global bound —
+//! two nodes on the same leaf already reach each other in `L` — so `L`
+//! caps the window span regardless of sharding. What the *cross-shard*
+//! latency ([`sv_arctic::Network::cross_subtree_latency_ns`]) buys is
+//! slack between shards: the shard map is sized so that traffic between
+//! different shards needs at least two full windows in flight, which
+//! keeps windows usefully populated instead of ping-ponging single
+//! deliveries across the barrier. Execution proceeds as a hybrid:
 //!
-//! 1. **Harvest** — the committed network (already advanced to the window
-//!    start) is cloned and advanced to the window end; everything it
-//!    delivers is scheduled onto the owning shard at the exact cycle the
-//!    sequential loop would deliver it. Injections made *inside* the
-//!    window cannot produce deliveries inside it (that is the lookahead
-//!    invariant), so this pre-computed schedule is complete.
-//! 2. **Execute** — each worker runs its shard's event cycles and arrival
-//!    cycles for the window, recording packet injections as
-//!    `(cycle, node, seq)`.
-//! 3. **Commit** — the main thread merges all injections in the global
-//!    order the sequential loop would have produced (cycle, then node
-//!    index, then per-node FIFO) and replays them into the committed
-//!    network, interleaved with `advance` calls so link arbitration sees
-//!    events in time order. The deliveries this produces are exactly the
-//!    harvest of the *next* windows.
+//! - **Inline cycles.** When fewer than two shards have work inside the
+//!   next window span, the scheduler executes that one event cycle
+//!   in place — the exact sequential per-cycle sequence over the sharded
+//!   structures, with no cloning and no channel traffic. Sparse phases
+//!   (barriers, stragglers, drain-out) therefore run at full event-loop
+//!   speed.
+//! - **Parallel windows** `[w0, w1)` with span strictly below `L`:
+//!   1. **Harvest** — the committed network (already advanced to the
+//!      window start) is cloned — cheaply, the immutable topology is
+//!      behind an `Arc` — and advanced to the window end; everything it
+//!      delivers is scheduled onto the owning shard at the exact cycle
+//!      the sequential loop would deliver it. Injections made *inside*
+//!      the window cannot produce deliveries inside it (the lookahead
+//!      invariant), so this pre-computed schedule is complete.
+//!   2. **Execute** — every shard with a wake or an arrival in the
+//!      window is sent to the worker pool (a shared task channel, so
+//!      idle workers steal whatever shard is ready next) and runs its
+//!      event cycles, recording packet injections as
+//!      `(cycle, node, seq)`.
+//!   3. **Commit** — the scheduler merges all injections in the global
+//!      order the sequential loop would have produced (cycle, then node
+//!      index, then per-node FIFO) and replays them into the committed
+//!      network, interleaved with `advance` calls so link arbitration —
+//!      and the fault model's RNG draws — see events in exactly the
+//!      sequential order.
 //!
-//! Every step of the protocol is deterministic — the merge order is a
-//! pure function of simulation state, never of thread scheduling — so an
-//! `N`-thread run is bit-identical to the 1-thread run, which in turn is
-//! bit-identical to the cycle-stepped run.
+//! Every step of the protocol is deterministic — window placement, the
+//! inline/parallel choice, and the merge order are pure functions of
+//! simulation state, never of thread scheduling — so a run is
+//! bit-identical at every worker count and under every shard policy,
+//! which in turn is bit-identical to the cycle-stepped reference. The
+//! equivalence-matrix tests in `tests/` assert this on full
+//! [`crate::stats::MachineStats`] snapshots, with faults armed.
 
 use crate::machine::Machine;
 use crate::node::Node;
+use crate::ApiError;
 
 use crossbeam::channel;
 use sv_arctic::{IdealNetwork, Network, Packet};
 use sv_niu::msg::NetPayload;
-use sv_sim::{Clock, Time};
+use sv_sim::{Clock, Time, WakeIndex};
 
-/// How [`Machine`] advances simulated time.
+/// How many workers the event-driven loop shards the machine across.
+/// Set it at build time with [`MachineBuilder::parallelism`]; combined
+/// with a [`ShardPolicy`] it fully determines the execution plan, and
+/// every choice produces bit-identical simulation results.
+///
+/// [`MachineBuilder::parallelism`]: crate::machine::MachineBuilder::parallelism
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One thread, no sharding — the default. Deterministic like every
+    /// other choice, and the fastest option for small machines.
+    #[default]
+    Sequential,
+    /// Exactly this many worker threads. [`MachineBuilder::try_build`]
+    /// rejects `Fixed(0)` ([`ApiError::WorkerCountZero`]) and worker
+    /// counts exceeding the finest shard partition — one shard per node
+    /// ([`ApiError::WorkersExceedShards`]).
+    ///
+    /// [`MachineBuilder::try_build`]: crate::machine::MachineBuilder::try_build
+    Fixed(usize),
+    /// Size the pool from the host: the `VOYAGER_WORKERS` environment
+    /// variable if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`], clamped to the node
+    /// count. Results are still bit-identical to every other setting —
+    /// only wall-clock speed varies.
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolve to a concrete worker count for a machine of `nodes`
+    /// nodes. `legacy_clamp` reproduces the pre-0.3 `threads(k)`
+    /// behaviour of silently clamping instead of erroring, for the
+    /// deprecated shims.
+    pub(crate) fn resolve(self, nodes: usize, legacy_clamp: bool) -> Result<usize, ApiError> {
+        let n = nodes.max(1);
+        match self {
+            Parallelism::Sequential => Ok(1),
+            Parallelism::Fixed(0) => Err(ApiError::WorkerCountZero),
+            Parallelism::Fixed(k) if legacy_clamp => Ok(k.min(n)),
+            Parallelism::Fixed(k) => {
+                // The finest partition any policy can produce is one
+                // shard per node; more workers than that can never all
+                // be used and is a config bug worth surfacing.
+                if k > n {
+                    Err(ApiError::WorkersExceedShards {
+                        workers: k,
+                        shards: n,
+                    })
+                } else {
+                    Ok(k)
+                }
+            }
+            Parallelism::Auto => Ok(auto_workers().clamp(1, n)),
+        }
+    }
+}
+
+/// Worker count for [`Parallelism::Auto`]: `VOYAGER_WORKERS` if set to a
+/// positive integer, else the host's available parallelism.
+fn auto_workers() -> usize {
+    if let Ok(v) = std::env::var("VOYAGER_WORKERS") {
+        if let Ok(k) = v.trim().parse::<usize>() {
+            if k >= 1 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// How nodes are partitioned into shards for parallel execution. Every
+/// policy yields bit-identical simulation results (the commit protocol
+/// guarantees it); the policy only affects wall-clock speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Aligned Arctic fat-tree subtrees — the default. Keeps 2-hop
+    /// same-leaf traffic inside a shard and sizes shards so cross-shard
+    /// packets spend at least two lookahead windows in flight
+    /// ([`sv_arctic::Network::cross_subtree_latency_ns`]).
+    #[default]
+    BySubtree,
+    /// Node `i` goes to shard `i mod workers` — deliberately
+    /// topology-blind. Kept as the A/B baseline for measuring what
+    /// subtree alignment buys; never faster, always bit-identical.
+    RoundRobin,
+}
+
+/// The fully-resolved execution plan a machine runs under: stepped or
+/// event-driven, how many workers, which shard policy. Built once by
+/// `MachineBuilder::try_build` (or the deprecated shims) so the run
+/// loops never re-validate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ExecPlan {
+    /// Tick every node every cycle (the reference loop) instead of the
+    /// event-driven loop.
+    pub stepped: bool,
+    /// Resolved worker count; `1` means sequential.
+    pub workers: usize,
+    /// Node-to-shard assignment policy for `workers > 1`.
+    pub policy: ShardPolicy,
+}
+
+impl Default for ExecPlan {
+    fn default() -> Self {
+        ExecPlan {
+            stepped: false,
+            workers: 1,
+            policy: ShardPolicy::default(),
+        }
+    }
+}
+
+/// How [`Machine`] advances simulated time — the pre-0.3 configuration
+/// surface, kept for one release as a shim over the structured
+/// [`Parallelism`] / [`ShardPolicy`] builder API.
+#[deprecated(
+    since = "0.3.0",
+    note = "use MachineBuilder::parallelism / shard_policy / cycle_stepped instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
-    /// Tick every node on every bus cycle — the original loop. Kept as
-    /// the reference implementation; the event modes are checked
-    /// bit-identical against it.
+    /// Tick every node on every bus cycle — the original loop.
     CycleStepped,
-    /// Advance directly from event to event, skipping idle cycles.
-    /// `threads > 1` additionally shards nodes across that many worker
-    /// threads, synchronized in lookahead-bounded windows. Results are
-    /// identical for every `threads` value.
+    /// Advance directly from event to event, skipping idle cycles;
+    /// `threads > 1` shards the nodes across that many workers.
     Event {
         /// Worker thread count; `0` and `1` both mean sequential.
         threads: usize,
     },
 }
 
+#[allow(deprecated)]
 impl Default for RunMode {
     fn default() -> Self {
         RunMode::Event { threads: 1 }
@@ -114,6 +259,17 @@ impl RunOutcome {
             RunOutcome::Hung(t) => panic!("machine failed to quiesce by {t}"),
         }
     }
+}
+
+/// The node-to-shard assignment a sharded run executes under: a pure
+/// function of (node count, topology, policy, worker count), never of
+/// runtime state, so the same machine always shards the same way.
+pub(crate) struct ShardMap {
+    /// Number of shards.
+    pub shards: usize,
+    /// `owner[node] = (shard, local index within the shard)`. Local
+    /// indices are dense and ascend with node id inside each shard.
+    pub owner: Vec<(u32, u32)>,
 }
 
 impl Machine {
@@ -246,10 +402,10 @@ impl Machine {
         }
     }
 
-    /// Advance to `target` in the given event mode.
-    fn advance_chunk(&mut self, target: u64, threads: usize) {
-        if threads > 1 && self.nodes.len() > 1 {
-            self.advance_windowed_to(target, threads);
+    /// Advance to `target` under the machine's execution plan.
+    fn advance_chunk(&mut self, target: u64) {
+        if self.plan.workers > 1 && self.nodes.len() > 1 {
+            self.advance_sharded_to(target);
         } else {
             self.advance_event_to(target);
         }
@@ -261,18 +417,15 @@ impl Machine {
         // run, so memoized wakes cannot be trusted across entries.
         self.wake_valid = false;
         let until = self.now.plus(ns);
-        match self.mode {
-            RunMode::CycleStepped => {
-                while self.clock.edge(self.cycle) <= until {
-                    self.step();
-                }
+        if self.plan.stepped {
+            while self.clock.edge(self.cycle) <= until {
+                self.step();
             }
-            RunMode::Event { threads } => {
-                // First cycle whose edge lies beyond `until` — exactly
-                // where the stepped loop stops.
-                let target = self.clock.edge_at_or_after(until.plus(1));
-                self.advance_chunk(target.max(self.cycle), threads);
-            }
+        } else {
+            // First cycle whose edge lies beyond `until` — exactly
+            // where the stepped loop stops.
+            let target = self.clock.edge_at_or_after(until.plus(1));
+            self.advance_chunk(target.max(self.cycle));
         }
     }
 
@@ -281,7 +434,7 @@ impl Machine {
     /// the cap time if the machine never settled (protocol hang).
     pub fn run_to_quiescence_capped(&mut self, max_ns: u64) -> Result<Time, Time> {
         self.wake_valid = false;
-        let RunMode::Event { threads } = self.mode else {
+        if self.plan.stepped {
             // The original loop, stepped cycle by cycle. Quiescence is
             // only evaluated on *absolute* 32-cycle boundaries of the
             // machine clock (not boundaries relative to run entry), so
@@ -302,7 +455,7 @@ impl Machine {
                     return Err(self.now);
                 }
             }
-        };
+        }
         let cap = self.now.plus(max_ns);
         let c0 = self.cycle;
         // Probe boundaries are absolute multiples of 32, mirroring the
@@ -312,13 +465,13 @@ impl Machine {
         let first = c0 / 32 + 1;
         let cap_cycle = self.clock.edge_at_or_after(cap.plus(1));
         let b_cap = 32 * (cap_cycle + 1).div_ceil(32).max(first);
-        if threads > 1 && self.nodes.len() > 1 {
-            return self.run_to_quiescence_windowed(threads, c0, b_cap);
+        if self.plan.workers > 1 && self.nodes.len() > 1 {
+            return self.run_to_quiescence_windowed(c0, b_cap);
         }
         let mut boundary = 32 * (first - 1);
         loop {
             boundary += 32;
-            self.advance_chunk(boundary, threads);
+            self.advance_chunk(boundary);
             if self.quiescent() {
                 return Ok(self.now);
             }
@@ -365,12 +518,7 @@ impl Machine {
     /// absorbing: a quiescent machine can never execute again). The first
     /// boundary `b` with `b - 1 >= c_last` is therefore exactly where the
     /// stepped loop returns, and the cursor is rewound to it.
-    fn run_to_quiescence_windowed(
-        &mut self,
-        threads: usize,
-        c0: u64,
-        b_cap: u64,
-    ) -> Result<Time, Time> {
+    fn run_to_quiescence_windowed(&mut self, c0: u64, b_cap: u64) -> Result<Time, Time> {
         // Strides only bound how often the worker scope is re-spawned;
         // past quiescence a stride executes nothing, so overshooting is
         // free and the boundary reconstruction keeps results exact.
@@ -406,7 +554,7 @@ impl Machine {
                 }
                 Some(nx) => {
                     let target = (32 * (nx + STRIDE).div_ceil(32).max(first)).min(b_cap);
-                    let le = self.advance_windowed_to(target, threads);
+                    let le = self.advance_sharded_to(target);
                     if let Some(l) = le {
                         last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
                     }
@@ -458,9 +606,55 @@ impl Machine {
             .max(1)
     }
 
-    /// Windowed parallel advance to `target` (exclusive). Returns the
+    /// Build the node-to-shard assignment for the machine's plan.
+    ///
+    /// [`ShardPolicy::BySubtree`] picks a fat-tree height `k` and makes
+    /// every aligned `4^k`-node chunk — which *is* a height-`k` subtree —
+    /// one shard. `k` starts from the worker-balance choice
+    /// ([`sv_arctic::FatTree::shard_levels_for`]) and is then coarsened
+    /// until cross-shard traffic spends at least two lookahead windows in
+    /// flight ([`sv_arctic::Network::cross_subtree_latency_ns`]), so a
+    /// packet leaving a shard never re-synchronizes adjacent windows —
+    /// while never dropping below one shard per worker.
+    pub(crate) fn shard_map(&self) -> ShardMap {
+        let n = self.nodes.len();
+        let workers = self.plan.workers.max(1);
+        match self.plan.policy {
+            ShardPolicy::BySubtree => {
+                let topo = &self.network.topology;
+                let mut k = topo.shard_levels_for(workers);
+                if self.ideal.is_none() {
+                    let floor_ns = 2 * self.network.lookahead_ns();
+                    while topo.subtree_count(k + 1) >= workers
+                        && topo.subtree_count(k) > 1
+                        && self.network.cross_subtree_latency_ns(k) < floor_ns
+                    {
+                        k += 1;
+                    }
+                }
+                let span = sv_arctic::FatTree::subtree_span(k);
+                ShardMap {
+                    shards: n.div_ceil(span),
+                    owner: (0..n)
+                        .map(|i| ((i / span) as u32, (i % span) as u32))
+                        .collect(),
+                }
+            }
+            ShardPolicy::RoundRobin => {
+                let shards = workers.min(n.max(1));
+                ShardMap {
+                    shards,
+                    owner: (0..n)
+                        .map(|i| ((i % shards) as u32, (i / shards) as u32))
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Sharded parallel advance to `target` (exclusive). Returns the
     /// last cycle on which anything executed, if any did.
-    fn advance_windowed_to(&mut self, target: u64, threads: usize) -> Option<u64> {
+    fn advance_sharded_to(&mut self, target: u64) -> Option<u64> {
         if target <= self.cycle {
             self.land_on(target);
             return None;
@@ -470,31 +664,35 @@ impl Machine {
             None => self.network.lookahead_ns(),
         };
         let window = self.window_cycles(la_ns);
+        let map = self.shard_map();
         let clock = self.clock;
         let start = self.cycle;
+        let workers = self.plan.workers;
         let res = match &mut self.ideal {
-            Some(ideal) => run_windows(
+            Some(ideal) => run_sharded(
                 &mut self.nodes,
                 ideal,
                 clock,
                 start,
                 target,
-                threads,
+                workers,
+                &map,
                 window,
             ),
-            None => run_windows(
+            None => run_sharded(
                 &mut self.nodes,
                 &mut self.network,
                 clock,
                 start,
                 target,
-                threads,
+                workers,
+                &map,
                 window,
             ),
         };
         self.cycle = target;
         self.now = clock.edge(target - 1);
-        // The workers advanced the nodes; the machine-level index no
+        // The shards advanced the nodes; the machine-level index no
         // longer reflects them.
         self.wake_valid = false;
         self.runstats.node_ticks += res.ticks;
@@ -503,11 +701,12 @@ impl Machine {
     }
 }
 
-/// The two network models, as the windowed executor sees them.
+/// The two network models, as the sharded executor sees them.
 trait NetModel: Clone {
     fn next_event_time(&self) -> Option<Time>;
     fn advance(&mut self, until: Time);
     fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)>;
+    fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<NetPayload>)>);
     fn inject(&mut self, now: Time, pkt: Packet<NetPayload>);
 }
 
@@ -520,6 +719,9 @@ impl NetModel for Network<NetPayload> {
     }
     fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)> {
         Network::take_delivered(self)
+    }
+    fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<NetPayload>)>) {
+        Network::drain_delivered_into(self, out)
     }
     fn inject(&mut self, now: Time, pkt: Packet<NetPayload>) {
         Network::inject(self, now, pkt)
@@ -536,28 +738,52 @@ impl NetModel for IdealNetwork<NetPayload> {
     fn take_delivered(&mut self) -> Vec<(Time, Packet<NetPayload>)> {
         IdealNetwork::take_delivered(self)
     }
+    fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<NetPayload>)>) {
+        IdealNetwork::drain_delivered_into(self, out)
+    }
     fn inject(&mut self, now: Time, pkt: Packet<NetPayload>) {
         IdealNetwork::inject(self, now, pkt)
     }
 }
 
-/// One window of work for a shard: execute `[w0, w1)`, with `arrivals`
-/// pre-scheduled at their exact delivery cycles (ascending).
-enum ShardCmd {
-    Window {
-        w0: u64,
-        w1: u64,
-        arrivals: Vec<(u64, Packet<NetPayload>)>,
-    },
-    Exit,
+/// One shard of the machine during a sharded run: exclusive ownership of
+/// its member nodes (ascending node id), its own wake index, and drain
+/// scratch. Shards move wholesale between the scheduler and the worker
+/// pool (`std::mem::take` + channels), so no node is ever aliased across
+/// threads and the loop needs no locks.
+#[derive(Default)]
+struct Shard<'a> {
+    /// The shard's nodes, local index -> disjoint `&mut` borrow.
+    members: Vec<&'a mut Node>,
+    /// Wake index over local indices. Stays valid across windows the
+    /// shard sits out: its nodes are frozen until it executes again.
+    wake: WakeIndex,
+    /// `drain_due` scratch, reused across windows.
+    due: Vec<u32>,
 }
 
-/// A shard's report at the window barrier.
-struct ShardOut {
-    shard: usize,
+/// One window of work for a shard: execute `[cursor, w1)` with
+/// `arrivals` pre-scheduled at their exact delivery cycles (ascending),
+/// already resolved to local member indices.
+struct ShardTask<'a> {
+    si: usize,
+    shard: Shard<'a>,
+    w1: u64,
+    arrivals: Vec<(u64, u32, Packet<NetPayload>)>,
+}
+
+/// A shard coming back from the pool, with everything it produced.
+struct ShardOut<'a> {
+    si: usize,
+    shard: Shard<'a>,
     /// Packets popped from NIUs this window: `(cycle, node id, packet)`,
     /// in per-node FIFO order.
     injections: Vec<(u64, u16, Packet<NetPayload>)>,
+    w: WindowOut,
+}
+
+/// What executing one shard window produced.
+struct WindowOut {
     /// The shard's next event cycle at the window end (state is frozen
     /// until the shard executes again, so this stays valid across
     /// windows the shard sits out).
@@ -571,7 +797,7 @@ struct ShardOut {
     republishes: u64,
 }
 
-/// What [`run_windows`] hands back to the machine.
+/// What [`run_sharded`] hands back to the machine.
 struct WindowsResult {
     /// Last cycle on which anything executed, if any did.
     last_exec: Option<u64>,
@@ -581,228 +807,460 @@ struct WindowsResult {
     republishes: u64,
 }
 
-/// Drive `nodes` from cycle `start` to `target` in lookahead-bounded
-/// windows across `threads` workers. See the module docs for the
-/// protocol and its determinism argument.
-fn run_windows<N: NetModel>(
-    nodes: &mut [Node],
-    net: &mut N,
-    clock: Clock,
-    start: u64,
-    target: u64,
-    threads: usize,
-    window: u64,
-) -> WindowsResult {
-    let n = nodes.len();
-    let chunk = n.div_ceil(threads.clamp(1, n));
-    let shard_of = |dst: u16| dst as usize / chunk;
-    let mut wakes: Vec<Option<u64>> = nodes
-        .chunks(chunk)
-        .map(|s| {
-            s.iter()
-                .filter_map(|nd| nd.next_event_cycle(start, &clock))
-                .min()
-        })
-        .collect();
-    let shard_count = wakes.len();
-    let mut last_exec: Option<u64> = None;
+/// Execute one shard's window up to `w1` (exclusive): pre-scheduled
+/// `arrivals` interleaved with the shard's own event cycles — the exact
+/// per-cycle sequence of [`Machine::step`], restricted to this shard.
+/// Injections are appended to `injections` in per-node FIFO order.
+fn exec_window(
+    shard: &mut Shard<'_>,
+    clock: &Clock,
+    w1: u64,
+    arrivals: Vec<(u64, u32, Packet<NetPayload>)>,
+    injections: &mut Vec<(u64, u16, Packet<NetPayload>)>,
+) -> WindowOut {
+    let mut last_exec = None;
     let mut ticks = 0u64;
     let mut republishes = 0u64;
-    std::thread::scope(|scope| {
-        let (out_tx, out_rx) = channel::unbounded::<ShardOut>();
-        let mut cmd_txs = Vec::with_capacity(shard_count);
-        for (si, shard) in nodes.chunks_mut(chunk).enumerate() {
-            let (tx, rx) = channel::unbounded::<ShardCmd>();
-            cmd_txs.push(tx);
-            let out_tx = out_tx.clone();
-            scope.spawn(move || shard_worker(si, shard, clock, rx, out_tx));
+    let mut arr = arrivals.into_iter().peekable();
+    loop {
+        // Next cycle on which this shard can act: its own engines'
+        // wake-ups plus pre-scheduled packet arrivals.
+        let mut nx = shard.wake.min();
+        if let Some(&(ac, _, _)) = arr.peek() {
+            nx = Some(nx.map_or(ac, |v| v.min(ac)));
         }
-        let mut w0 = start;
-        loop {
-            // Skip stretches where no shard and no network event can
-            // fire: whole idle windows cost nothing.
-            let mut gmin = net
-                .next_event_time()
-                .map(|t| clock.edge_at_or_after(t).max(w0));
-            for w in wakes.iter().flatten() {
-                gmin = Some(gmin.map_or(*w, |g| g.min(*w)));
-            }
-            match gmin {
-                Some(g) if g < target => w0 = g.max(w0),
-                _ => break,
-            }
-            let w1 = (w0 + window).min(target);
-            let horizon = clock.edge(w1 - 1);
-            // Harvest: everything the committed network will deliver in
-            // this window, scheduled at exact delivery cycles. Window
-            // spans are below the lookahead bound, so this window's own
-            // injections cannot add to the set.
-            let mut per_shard: Vec<Vec<(u64, Packet<NetPayload>)>> = vec![Vec::new(); shard_count];
-            let mut harvested = 0usize;
-            if net.next_event_time().is_some_and(|t| t <= horizon) {
-                let mut probe = net.clone();
-                probe.advance(horizon);
-                for (t, pkt) in probe.take_delivered() {
-                    let c = clock.edge_at_or_after(t).max(w0);
-                    debug_assert!(c < w1, "delivery past the window end");
-                    harvested += 1;
-                    per_shard[shard_of(pkt.dst)].push((c, pkt));
-                }
-            }
-            for (si, tx) in cmd_txs.iter().enumerate() {
-                tx.send(ShardCmd::Window {
-                    w0,
-                    w1,
-                    arrivals: std::mem::take(&mut per_shard[si]),
-                })
-                .expect("shard worker exited early");
-            }
-            let mut injections: Vec<(u64, u16, Packet<NetPayload>)> = Vec::new();
-            for _ in 0..shard_count {
-                let out = out_rx.recv().expect("shard worker died");
-                wakes[out.shard] = out.next_wake;
-                if let Some(l) = out.last_exec {
-                    last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
-                }
-                ticks += out.ticks;
-                republishes += out.republishes;
-                injections.extend(out.injections);
-            }
-            // Commit: replay injections in the order the sequential loop
-            // would have produced them (cycle, then node index, then
-            // per-node FIFO — the sort is stable), interleaving network
-            // advances so arbitration sees events in time order.
-            injections.sort_by_key(|&(c, src, _)| (c, src));
-            let mut advanced_to: Option<u64> = None;
-            for (c, _, pkt) in injections {
-                if advanced_to != Some(c) {
-                    net.advance(clock.edge(c));
-                    advanced_to = Some(c);
-                }
-                net.inject(clock.edge(c), pkt);
-            }
-            net.advance(horizon);
-            // These deliveries are exactly the set harvested above and
-            // already executed by the workers.
-            let replayed = net.take_delivered();
-            debug_assert_eq!(replayed.len(), harvested, "commit/harvest disagree");
-            drop(replayed);
-            w0 = w1;
+        let Some(ce) = nx else { break };
+        if ce >= w1 {
+            break;
         }
-        for tx in &cmd_txs {
-            let _ = tx.send(ShardCmd::Exit);
+        let now = clock.edge(ce);
+        // Same per-cycle sequence as Machine::step, restricted to the
+        // due nodes of this shard: deliveries, ticks, egress.
+        while arr.peek().is_some_and(|&(ac, _, _)| ac == ce) {
+            let (_, li, pkt) = arr.next().expect("peeked");
+            let node = &mut *shard.members[li as usize];
+            debug_assert_eq!(node.id, pkt.dst, "arrival routed to the wrong shard slot");
+            if node.tracer.enabled() {
+                node.tracer.record(
+                    now,
+                    sv_sim::trace::Subsys::Net,
+                    format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                );
+            }
+            node.niu.push_arrival_packet(ce, pkt);
+            shard.wake.publish(li as usize, Some(ce));
+            republishes += 1;
         }
-    });
-    WindowsResult {
+        shard.wake.drain_due(ce, &mut shard.due);
+        ticks += shard.due.len() as u64;
+        for &i in &shard.due {
+            shard.members[i as usize].tick(ce, now);
+        }
+        for &i in &shard.due {
+            let node = &mut *shard.members[i as usize];
+            while let Some(pkt) = node.niu.pop_ready_packet(ce) {
+                if node.tracer.enabled() {
+                    node.tracer.record(
+                        now,
+                        sv_sim::trace::Subsys::Net,
+                        format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
+                    );
+                }
+                injections.push((ce, node.id, pkt));
+            }
+        }
+        for &i in &shard.due {
+            let w = shard.members[i as usize].next_event_cycle(ce + 1, clock);
+            shard.wake.publish(i as usize, w);
+        }
+        republishes += shard.due.len() as u64;
+        last_exec = Some(ce);
+    }
+    // All live wakes are >= w1 here (the loop above drained anything
+    // earlier), so the index min IS the shard's wake at the window
+    // end — no rescan.
+    let next_wake = shard.wake.min();
+    debug_assert!(next_wake.is_none_or(|w| w >= w1));
+    WindowOut {
+        next_wake,
         last_exec,
         ticks,
         republishes,
     }
 }
 
-/// Worker loop: execute windows for one contiguous shard of nodes.
-///
-/// The shard keeps its own [`sv_sim::WakeIndex`] across windows: it has
-/// exclusive access to its nodes for the whole scope and a node's wake
-/// only changes when the node executes or an arrival reaches it, so the
-/// index built on the first window stays valid for the run — including
-/// across windows the shard sits out entirely.
-fn shard_worker(
-    si: usize,
-    shard: &mut [Node],
-    clock: Clock,
-    rx: channel::Receiver<ShardCmd>,
-    out: channel::Sender<ShardOut>,
-) {
-    let mut wake = sv_sim::WakeIndex::new(shard.len());
-    let mut primed = false;
-    let mut due: Vec<u32> = Vec::new();
-    while let Ok(ShardCmd::Window { w0, w1, arrivals }) = rx.recv() {
-        if !primed {
-            for (i, nd) in shard.iter().enumerate() {
-                wake.publish(i, nd.next_event_cycle(w0, &clock));
-            }
-            primed = true;
+/// Run one shard alone against the *committed* network until `bound`
+/// (exclusive) — the sequential fast path the scheduler takes when no
+/// other shard and no network event can act first. Because this shard is
+/// the only actor, global order is its order: packets it pops are
+/// injected straight into the network at their exact cycles, and the
+/// bound shrinks to the network's next event cycle after any injection
+/// so no dispatch or delivery is ever overrun. Returns the cycle the
+/// run established quiet up to (the final bound) plus the usual window
+/// accounting.
+fn exec_burst<N: NetModel>(
+    shard: &mut Shard<'_>,
+    net: &mut N,
+    clock: &Clock,
+    mut bound: u64,
+) -> (u64, WindowOut) {
+    let mut last_exec = None;
+    let mut ticks = 0u64;
+    let mut republishes = 0u64;
+    while let Some(ce) = shard.wake.min() {
+        if ce >= bound {
+            break;
         }
-        let mut injections = Vec::new();
-        let mut last_exec = None;
-        let mut ticks = 0u64;
-        let mut republishes = 0u64;
-        let mut arr = arrivals.into_iter().peekable();
-        loop {
-            // Next cycle on which this shard can act: its own engines'
-            // wake-ups plus pre-scheduled packet arrivals.
-            let mut nx = wake.min();
-            if let Some(&(ac, _)) = arr.peek() {
-                nx = Some(nx.map_or(ac, |v| v.min(ac)));
-            }
-            let Some(ce) = nx else { break };
-            if ce >= w1 {
-                break;
-            }
-            let now = clock.edge(ce);
-            // Same per-cycle sequence as Machine::step, restricted to
-            // the due nodes of this shard: deliveries, ticks, egress.
-            while arr.peek().is_some_and(|&(ac, _)| ac == ce) {
-                let (_, pkt) = arr.next().expect("peeked");
-                let li = shard
-                    .iter()
-                    .position(|nd| nd.id == pkt.dst)
-                    .expect("arrival routed to the wrong shard");
-                let node = &mut shard[li];
+        let now = clock.edge(ce);
+        shard.wake.drain_due(ce, &mut shard.due);
+        ticks += shard.due.len() as u64;
+        for &i in &shard.due {
+            shard.members[i as usize].tick(ce, now);
+        }
+        let mut injected = false;
+        for &i in &shard.due {
+            let node = &mut *shard.members[i as usize];
+            while let Some(pkt) = node.niu.pop_ready_packet(ce) {
                 if node.tracer.enabled() {
                     node.tracer.record(
                         now,
                         sv_sim::trace::Subsys::Net,
-                        format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                        format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
                     );
                 }
-                node.niu.push_arrival_packet(ce, pkt);
-                wake.publish(li, Some(ce));
-                republishes += 1;
-            }
-            wake.drain_due(ce, &mut due);
-            ticks += due.len() as u64;
-            for &i in &due {
-                shard[i as usize].tick(ce, now);
-            }
-            for &i in &due {
-                let node = &mut shard[i as usize];
-                while let Some(pkt) = node.niu.pop_ready_packet(ce) {
-                    if node.tracer.enabled() {
-                        node.tracer.record(
-                            now,
-                            sv_sim::trace::Subsys::Net,
-                            format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
-                        );
-                    }
-                    injections.push((ce, node.id, pkt));
+                if !injected {
+                    // First egress this cycle: bring the network up to
+                    // now (a no-op walk — it has no event before
+                    // `bound`) so the injection lands at its exact
+                    // cycle, as in the sequential step.
+                    net.advance(now);
+                    injected = true;
                 }
+                net.inject(now, pkt);
             }
-            for &i in &due {
-                let w = shard[i as usize].next_event_cycle(ce + 1, &clock);
-                wake.publish(i as usize, w);
-            }
-            republishes += due.len() as u64;
-            last_exec = Some(ce);
         }
-        // All live wakes are >= w1 here (the loop above drained anything
-        // earlier), so the index min IS the shard's wake at the window
-        // end — no rescan.
-        let next_wake = wake.min();
-        debug_assert!(next_wake.is_none_or(|w| w >= w1));
+        for &i in &shard.due {
+            let w = shard.members[i as usize].next_event_cycle(ce + 1, clock);
+            shard.wake.publish(i as usize, w);
+        }
+        republishes += shard.due.len() as u64;
+        last_exec = Some(ce);
+        if injected {
+            // The injection scheduled new network events; the quiet
+            // horizon this burst may claim ends where they begin.
+            if let Some(t) = net.next_event_time() {
+                bound = bound.min(clock.edge_at_or_after(t).max(ce + 1));
+            }
+        }
+    }
+    let next_wake = shard.wake.min();
+    debug_assert!(next_wake.is_none_or(|w| w >= bound));
+    (
+        bound,
+        WindowOut {
+            next_wake,
+            last_exec,
+            ticks,
+            republishes,
+        },
+    )
+}
+
+/// Worker loop: pull shard windows off the shared task channel (idle
+/// workers steal whatever shard is ready next), execute, hand the shard
+/// back.
+fn shard_worker<'a>(
+    clock: Clock,
+    tasks: channel::Receiver<ShardTask<'a>>,
+    out: channel::Sender<ShardOut<'a>>,
+) {
+    while let Ok(ShardTask {
+        si,
+        mut shard,
+        w1,
+        arrivals,
+    }) = tasks.recv()
+    {
+        let mut injections = Vec::new();
+        let w = exec_window(&mut shard, &clock, w1, arrivals, &mut injections);
         if out
             .send(ShardOut {
-                shard: si,
+                si,
+                shard,
                 injections,
-                next_wake,
-                last_exec,
-                ticks,
-                republishes,
+                w,
             })
             .is_err()
         {
             return;
         }
+    }
+}
+
+/// Drive `nodes` from cycle `start` to `target` under the shard map
+/// `map`, with up to `workers` pool threads. See the module docs for the
+/// protocol and its determinism argument.
+///
+/// The loop is a hybrid: each iteration either executes one event cycle
+/// inline (when at most one shard has work inside the next window span —
+/// the sequential per-cycle sequence over the sharded structures, no
+/// cloning, no channel traffic) or dispatches one parallel
+/// harvest/execute/commit window across every active shard.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded<'a, N: NetModel>(
+    nodes: &'a mut [Node],
+    net: &mut N,
+    clock: Clock,
+    start: u64,
+    target: u64,
+    workers: usize,
+    map: &ShardMap,
+    window: u64,
+) -> WindowsResult {
+    debug_assert!(workers > 1);
+    debug_assert_eq!(map.owner.len(), nodes.len());
+    // Build the shards: disjoint &mut borrows, ascending node id within
+    // each shard (both policies assign local indices in id order).
+    let mut shards: Vec<Shard<'a>> = (0..map.shards).map(|_| Shard::default()).collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let (si, li) = map.owner[i];
+        debug_assert_eq!(shards[si as usize].members.len(), li as usize);
+        shards[si as usize].members.push(node);
+    }
+    // Prime each shard's wake index (uncounted, like the machine-level
+    // refresh: republish counters only track in-run maintenance).
+    for sh in &mut shards {
+        sh.wake.reset(sh.members.len());
+        for (li, nd) in sh.members.iter().enumerate() {
+            sh.wake.publish(li, nd.next_event_cycle(start, &clock));
+        }
+    }
+    // Scheduler-side wake cache: exact per shard, refreshed whenever the
+    // shard executes (its nodes are frozen in between).
+    let mut wakes: Vec<Option<u64>> = shards.iter_mut().map(|s| s.wake.min()).collect();
+    let mut last_exec: Option<u64> = None;
+    let mut ticks = 0u64;
+    let mut republishes = 0u64;
+    std::thread::scope(|scope| {
+        let (task_tx, task_rx) = channel::unbounded::<ShardTask<'a>>();
+        let (out_tx, out_rx) = channel::unbounded::<ShardOut<'a>>();
+        // The pool is spawned lazily on the first parallel window, so
+        // runs that stay inline (sparse phases, small machines) never
+        // pay thread startup.
+        let mut pool = 0usize;
+        let mut cursor = start;
+        // Reused scratch; the steady state allocates only inside nodes.
+        let mut arrivals_buf: Vec<Vec<(u64, u32, Packet<NetPayload>)>> =
+            (0..map.shards).map(|_| Vec::new()).collect();
+        let mut injections: Vec<(u64, u16, Packet<NetPayload>)> = Vec::new();
+        let mut delivered: Vec<(Time, Packet<NetPayload>)> = Vec::new();
+        let mut merged: Vec<(u16, u32, u32)> = Vec::new();
+        let mut drained: Vec<usize> = Vec::new();
+        loop {
+            // Next cycle anything can happen, shard wakes or network.
+            let net_cycle = net
+                .next_event_time()
+                .map(|t| clock.edge_at_or_after(t).max(cursor));
+            let mut nx = net_cycle;
+            for w in wakes.iter().flatten() {
+                nx = Some(nx.map_or(*w, |g| g.min(*w)));
+            }
+            let Some(nx) = nx else { break };
+            if nx >= target {
+                break;
+            }
+            debug_assert!(nx >= cursor, "stale shard wake behind the cursor");
+            let w1 = (nx + window).min(target);
+            let wake_active = wakes.iter().filter(|w| w.is_some_and(|c| c < w1)).count();
+            if wake_active < 2 && net_cycle != Some(nx) {
+                // ---- Sequential burst ----
+                // Exactly one shard can act and no network event
+                // intervenes before it does: run that shard alone
+                // against the committed network until anything else
+                // could matter. No window span limit applies — this is
+                // sequential execution, not a concurrent window — so
+                // sparse phases (staggered senders, drain-out) run at
+                // full event-loop speed with zero scheduling overhead.
+                let si = wakes
+                    .iter()
+                    .position(|w| *w == Some(nx))
+                    .expect("nx must come from a shard wake");
+                let mut bound = target;
+                if let Some(nc) = net_cycle {
+                    bound = bound.min(nc);
+                }
+                for (sj, w) in wakes.iter().enumerate() {
+                    if sj != si {
+                        if let Some(w) = w {
+                            bound = bound.min(*w);
+                        }
+                    }
+                }
+                debug_assert!(nx < bound);
+                let (end, w) = exec_burst(&mut shards[si], net, &clock, bound);
+                wakes[si] = w.next_wake;
+                if let Some(l) = w.last_exec {
+                    last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
+                }
+                ticks += w.ticks;
+                republishes += w.republishes;
+                cursor = end;
+            } else if wake_active < 2 {
+                // ---- Inline event cycle at `nx` ----
+                // At most one shard can act before the window end, so a
+                // parallel window would buy nothing; execute the one
+                // cycle exactly as the sequential loop would.
+                let now = clock.edge(nx);
+                net.advance(now);
+                net.drain_delivered_into(&mut delivered);
+                for (_, pkt) in delivered.drain(..) {
+                    let (si, li) = map.owner[pkt.dst as usize];
+                    let sh = &mut shards[si as usize];
+                    let node = &mut *sh.members[li as usize];
+                    if node.tracer.enabled() {
+                        node.tracer.record(
+                            now,
+                            sv_sim::trace::Subsys::Net,
+                            format!("rx {}B from node {}", pkt.wire_bytes, pkt.src),
+                        );
+                    }
+                    node.niu.push_arrival_packet(nx, pkt);
+                    sh.wake.publish(li as usize, Some(nx));
+                    republishes += 1;
+                    wakes[si as usize] = Some(wakes[si as usize].map_or(nx, |w| w.min(nx)));
+                }
+                // Merge the due members of every due shard in global
+                // node-id order — the visit order of the sequential
+                // loop. (BySubtree shards are contiguous so this is
+                // already sorted; RoundRobin interleaves, hence the
+                // sort.)
+                merged.clear();
+                drained.clear();
+                for si in 0..shards.len() {
+                    if wakes[si].is_some_and(|w| w <= nx) {
+                        drained.push(si);
+                        let sh = &mut shards[si];
+                        sh.wake.drain_due(nx, &mut sh.due);
+                        for &li in &sh.due {
+                            merged.push((sh.members[li as usize].id, si as u32, li));
+                        }
+                    }
+                }
+                merged.sort_unstable_by_key(|&(id, _, _)| id);
+                ticks += merged.len() as u64;
+                for &(_, si, li) in &merged {
+                    shards[si as usize].members[li as usize].tick(nx, now);
+                }
+                for &(_, si, li) in &merged {
+                    let node = &mut *shards[si as usize].members[li as usize];
+                    while let Some(pkt) = node.niu.pop_ready_packet(nx) {
+                        if node.tracer.enabled() {
+                            node.tracer.record(
+                                now,
+                                sv_sim::trace::Subsys::Net,
+                                format!("tx {}B to node {}", pkt.wire_bytes, pkt.dst),
+                            );
+                        }
+                        net.inject(now, pkt);
+                    }
+                }
+                for &(_, si, li) in &merged {
+                    let sh = &mut shards[si as usize];
+                    let w = sh.members[li as usize].next_event_cycle(nx + 1, &clock);
+                    sh.wake.publish(li as usize, w);
+                }
+                republishes += merged.len() as u64;
+                for &si in &drained {
+                    wakes[si] = shards[si].wake.min();
+                }
+                if !merged.is_empty() {
+                    last_exec = Some(last_exec.map_or(nx, |p| p.max(nx)));
+                }
+                cursor = nx + 1;
+            } else {
+                // ---- Parallel window [nx, w1) ----
+                let w0 = nx;
+                let horizon = clock.edge(w1 - 1);
+                // Harvest: everything the committed network will deliver
+                // in this window, scheduled at exact delivery cycles.
+                // Window spans are below the lookahead bound, so this
+                // window's own injections cannot add to the set.
+                let mut harvested = 0usize;
+                if net.next_event_time().is_some_and(|t| t <= horizon) {
+                    let mut probe = net.clone();
+                    probe.advance(horizon);
+                    for (t, pkt) in probe.take_delivered() {
+                        let c = clock.edge_at_or_after(t).max(w0);
+                        debug_assert!(c < w1, "delivery past the window end");
+                        harvested += 1;
+                        let (si, li) = map.owner[pkt.dst as usize];
+                        arrivals_buf[si as usize].push((c, li, pkt));
+                    }
+                }
+                if pool == 0 {
+                    pool = workers.min(map.shards);
+                    for _ in 0..pool {
+                        let rx = task_rx.clone();
+                        let tx = out_tx.clone();
+                        scope.spawn(move || shard_worker(clock, rx, tx));
+                    }
+                }
+                // Dispatch every shard with work in the window; the rest
+                // stay in place, frozen, their cached wakes still exact.
+                let mut outstanding = 0usize;
+                for si in 0..shards.len() {
+                    if arrivals_buf[si].is_empty() && wakes[si].is_none_or(|w| w >= w1) {
+                        continue;
+                    }
+                    task_tx
+                        .send(ShardTask {
+                            si,
+                            shard: std::mem::take(&mut shards[si]),
+                            w1,
+                            arrivals: std::mem::take(&mut arrivals_buf[si]),
+                        })
+                        .expect("shard worker exited early");
+                    outstanding += 1;
+                }
+                for _ in 0..outstanding {
+                    let out = out_rx.recv().expect("shard worker died");
+                    wakes[out.si] = out.w.next_wake;
+                    if let Some(l) = out.w.last_exec {
+                        last_exec = Some(last_exec.map_or(l, |p| p.max(l)));
+                    }
+                    ticks += out.w.ticks;
+                    republishes += out.w.republishes;
+                    injections.extend(out.injections);
+                    shards[out.si] = out.shard;
+                }
+                // Commit: replay injections in the order the sequential
+                // loop would have produced them (cycle, then node index,
+                // then per-node FIFO — the sort is stable), interleaving
+                // network advances so link arbitration and fault RNG
+                // draws see events in time order.
+                injections.sort_by_key(|&(c, src, _)| (c, src));
+                let mut advanced_to: Option<u64> = None;
+                for (c, _, pkt) in injections.drain(..) {
+                    if advanced_to != Some(c) {
+                        net.advance(clock.edge(c));
+                        advanced_to = Some(c);
+                    }
+                    net.inject(clock.edge(c), pkt);
+                }
+                net.advance(horizon);
+                // These deliveries are exactly the set harvested above
+                // and already executed by the shards.
+                let replayed = net.take_delivered();
+                debug_assert_eq!(replayed.len(), harvested, "commit/harvest disagree");
+                drop(replayed);
+                cursor = w1;
+            }
+        }
+        drop(task_tx);
+    });
+    WindowsResult {
+        last_exec,
+        ticks,
+        republishes,
     }
 }

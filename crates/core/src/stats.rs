@@ -8,9 +8,9 @@
 //! per-link occupancy, firmware protocol counters, and run-loop
 //! execution counters. Every field is an integer, so snapshots are
 //! bit-deterministic: the determinism suite asserts byte-identical
-//! [`MachineStats::to_json`] output across [`crate::RunMode::Event`]
-//! thread counts, and the golden-stats tests pin exact values per
-//! scenario.
+//! [`MachineStats::to_json`] output across [`crate::Parallelism`]
+//! worker counts and [`crate::ShardPolicy`] choices, and the
+//! golden-stats tests pin exact values per scenario.
 //!
 //! Collecting a snapshot costs nothing during the run: all counters are
 //! maintained inline by the components (a handful of integer adds on
@@ -291,7 +291,7 @@ pub struct RunSnapshot {
     /// Node ticks actually executed.
     pub node_ticks: u64,
     /// Node ticks the event loop skipped (`cycles × nodes − node_ticks`;
-    /// zero under [`crate::RunMode::CycleStepped`]).
+    /// zero under [`crate::MachineBuilder::cycle_stepped`]).
     pub skipped_node_ticks: u64,
     /// Wake-index publishes on arrival and post-tick edges.
     pub wake_republishes: u64,

@@ -20,12 +20,15 @@ use serde::{Deserialize, Serialize};
 pub const ASRAM_OFF: u64 = 0x0000_0000;
 /// Pointer-update region offset.
 pub const PTR_OFF: u64 = 0x0100_0000;
-/// Express transmit region offset.
+/// Express transmit region offset. The region spans `[q:2][dest:16]
+/// [tag:8][align:3]` = 2^29 bytes so a single store can address any
+/// destination the 16-bit translation namespace can name; machines at
+/// or below 256 nodes only ever touch the bottom of it.
 pub const EXPRESS_TX_OFF: u64 = 0x0300_0000;
 /// Express receive region offset.
-pub const EXPRESS_RX_OFF: u64 = 0x0400_0000;
+pub const EXPRESS_RX_OFF: u64 = EXPRESS_TX_OFF + (1 << 29);
 /// Size of the whole NIU window.
-pub const NIU_WIN_LEN: u64 = 0x0800_0000;
+pub const NIU_WIN_LEN: u64 = 0x4000_0000;
 
 /// What region an address falls in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +108,7 @@ impl AddressMap {
     pub fn express_tx_addr(&self, q: u8, dest: u16, tag: u8) -> u64 {
         self.niu_base
             + EXPRESS_TX_OFF
-            + (((q as u64 & 0b11) << 21) | crate::msg::express::tx_offset(dest, tag))
+            + (((q as u64 & 0b11) << 27) | crate::msg::express::tx_offset(dest, tag))
     }
 
     /// Encode an Express-receive load address.
@@ -146,8 +149,8 @@ impl AddressMap {
                 }
                 o if o < EXPRESS_RX_OFF => {
                     let bits = o - EXPRESS_TX_OFF;
-                    let q = ((bits >> 21) & 0b11) as u8;
-                    let (dest, tag) = crate::msg::express::decode_tx_offset(bits & ((1 << 21) - 1));
+                    let q = ((bits >> 27) & 0b11) as u8;
+                    let (dest, tag) = crate::msg::express::decode_tx_offset(bits & ((1 << 27) - 1));
                     Region::ExpressTx { q, dest, tag }
                 }
                 o if o < EXPRESS_RX_OFF + 0x100 => Region::ExpressRx {
@@ -244,12 +247,16 @@ mod tests {
     #[test]
     fn express_tx_roundtrip() {
         let m = AddressMap::default();
-        let a = m.express_tx_addr(2, 300, 0xAB);
-        match m.classify(a) {
-            Region::ExpressTx { q, dest, tag } => {
-                assert_eq!((q, dest, tag), (2, 300, 0xAB));
+        // Both a legacy-range destination and one past the old 10-bit
+        // field (a wide-machine Express class base) must round-trip.
+        for dest in [300u16, 2 * 4096 + 300] {
+            let a = m.express_tx_addr(2, dest, 0xAB);
+            match m.classify(a) {
+                Region::ExpressTx { q, dest: d, tag } => {
+                    assert_eq!((q, d, tag), (2, dest, 0xAB));
+                }
+                other => panic!("misclassified as {other:?}"),
             }
-            other => panic!("misclassified as {other:?}"),
         }
     }
 

@@ -468,14 +468,19 @@ pub mod express {
     /// Encode the address offset (within the Express-TX region) for a
     /// store launching an express message: `dest` (logical destination),
     /// `tag` (the address-carried payload byte).
+    ///
+    /// The full 16-bit destination field covers every destination class
+    /// at the widest (16384-node) class stride the translation namespace
+    /// supports; machines at or below 256 nodes only ever exercise the
+    /// low 10 bits, where the encoding matches the original layout.
     pub fn tx_offset(dest: u16, tag: u8) -> u64 {
-        // Offsets are 8-byte aligned stores: [dest:10][tag:8][align:3].
-        ((dest as u64 & 0x3FF) << 11) | ((tag as u64) << 3)
+        // Offsets are 8-byte aligned stores: [dest:16][tag:8][align:3].
+        ((dest as u64) << 11) | ((tag as u64) << 3)
     }
 
     /// Decode `(dest, tag)` from an Express-TX offset.
     pub fn decode_tx_offset(off: u64) -> (u16, u8) {
-        (((off >> 11) & 0x3FF) as u16, ((off >> 3) & 0xFF) as u8)
+        (((off >> 11) & 0xFFFF) as u16, ((off >> 3) & 0xFF) as u8)
     }
 
     /// Pack a received express message into the 8 bytes returned by the
@@ -804,7 +809,7 @@ mod tests {
 
     #[test]
     fn express_tx_offset_roundtrip() {
-        for dest in [0u16, 1, 255, 1023] {
+        for dest in [0u16, 1, 255, 1023, 1024, 8192, 49151, u16::MAX] {
             for tag in [0u8, 7, 255] {
                 let off = express::tx_offset(dest, tag);
                 assert_eq!(off % 8, 0, "stores are 8-byte aligned");

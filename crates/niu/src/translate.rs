@@ -90,6 +90,24 @@ impl XlateTable {
         }
     }
 
+    /// Grow the table to at least `size` entries (privileged; new slots
+    /// are invalid). Growing never disturbs installed entries, and a
+    /// `size` at or below the current length is a no-op — tables never
+    /// shrink, so snapshots taken before a grow stay restorable.
+    pub fn grow_to(&mut self, size: usize) {
+        if size > self.entries.len() {
+            self.entries.resize(
+                size,
+                XlateEntry {
+                    valid: false,
+                    node: 0,
+                    logical_q: 0,
+                    high_priority: false,
+                },
+            );
+        }
+    }
+
     /// Install an entry (privileged: OS/firmware only).
     pub fn install(&mut self, virt: u16, entry: XlateEntry) {
         self.entries[virt as usize] = entry;

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release -p sv-examples --bin collectives`
 
+#![deny(deprecated)]
+
 use voyager::app::AppEventKind;
 use voyager::collectives::{barrier, AllReduce, Broadcast, ReduceOp};
 use voyager::Machine;

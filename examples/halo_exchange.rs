@@ -6,10 +6,12 @@
 //!
 //! Run with: `cargo run --release -p sv-examples --bin halo_exchange`
 
+#![deny(deprecated)]
+
 use voyager::api::{BasicMsg, RecvBasic, SendBasic};
 use voyager::app::{AppEventKind, Env, Program, Step};
 use voyager::collectives::{AllReduce, ReduceOp};
-use voyager::{Machine, NodeLib};
+use voyager::{Machine, NodeLib, Parallelism};
 
 const NODES: usize = 4;
 const CELLS_PER_NODE: usize = 64;
@@ -173,7 +175,11 @@ impl Program for Stencil {
 }
 
 fn main() {
-    let mut m = Machine::builder(NODES).build();
+    // Auto sizes the worker pool from the host (or VOYAGER_WORKERS);
+    // results are bit-identical at any worker count.
+    let mut m = Machine::builder(NODES)
+        .parallelism(Parallelism::Auto)
+        .build();
     for i in 0..NODES as u16 {
         let lib = m.lib(i);
         m.load_program(i, Stencil::new(&lib));

@@ -1,1 +1,2 @@
 //! Examples-only crate; each example is a `[[bin]]` target.
+#![deny(deprecated)]

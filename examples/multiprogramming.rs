@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release -p sv-examples --bin multiprogramming`
 
+#![deny(deprecated)]
+
 use voyager::api::{request_transfer, BasicMsg, RecvBasic, SendBasic};
 use voyager::app::Seq;
 use voyager::firmware::proto::{Approach, XferReq};

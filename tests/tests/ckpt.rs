@@ -10,7 +10,7 @@ use sv_sim::ckpt::SnapshotError;
 use voyager::api::{ApiError, BasicMsg, RecvBasic, SendBasic};
 use voyager::app::{Delay, FnProgram, Seq};
 use voyager::arctic::FaultParams;
-use voyager::{Machine, MachineBuilder};
+use voyager::{Machine, MachineBuilder, Parallelism, ShardPolicy};
 
 /// Same hostile-but-survivable fabric as `faults.rs`: enough loss,
 /// duplication, corruption and reordering that a mid-run checkpoint is
@@ -27,19 +27,25 @@ fn hostile() -> FaultParams {
 }
 
 /// Run-mode axis for the headline test: `None` = cycle-stepped,
-/// `Some(k)` = event-driven with `k` worker threads.
-const MODES: [Option<usize>; 5] = [None, Some(1), Some(2), Some(5), Some(8)];
+/// `Some(p)` = event-driven under parallelism `p`.
+const MODES: [Option<Parallelism>; 5] = [
+    None,
+    Some(Parallelism::Sequential),
+    Some(Parallelism::Fixed(2)),
+    Some(Parallelism::Fixed(5)),
+    Some(Parallelism::Fixed(8)),
+];
 
-fn with_mode(b: MachineBuilder, mode: Option<usize>) -> MachineBuilder {
+fn with_mode(b: MachineBuilder, mode: Option<Parallelism>) -> MachineBuilder {
     match mode {
         None => b.cycle_stepped(),
-        Some(k) => b.threads(k),
+        Some(p) => b.parallelism(p),
     }
 }
 
 /// Every node sends one Basic (even senders) or TagOn (odd senders)
 /// message to every other node, then waits for its own `n - 1`.
-fn all_pairs(n: u16, mode: Option<usize>) -> Machine {
+fn all_pairs(n: u16, mode: Option<Parallelism>) -> Machine {
     let b = Machine::builder(n as usize)
         .faults(hostile())
         .sample_latency(true);
@@ -69,7 +75,7 @@ fn all_pairs(n: u16, mode: Option<usize>) -> Machine {
 }
 
 /// Uninterrupted reference run: final time and stats JSON.
-fn baseline(n: u16, mode: Option<usize>) -> (u64, String) {
+fn baseline(n: u16, mode: Option<Parallelism>) -> (u64, String) {
     let mut m = all_pairs(n, mode);
     let t = m.run_to_quiescence();
     (t.ns(), m.stats().to_json())
@@ -100,33 +106,41 @@ fn checkpoint_resume_is_bit_identical_in_every_run_mode() {
 }
 
 #[test]
-fn checkpoint_transfers_across_event_thread_counts() {
-    // Worker-thread count is an execution detail, not machine state: a
-    // snapshot cut under Event{1} must finish byte-identically under
-    // any other worker count. (Cycle-stepped is excluded: its run-loop
-    // counters legitimately differ from the event modes'.)
+fn checkpoint_transfers_across_worker_counts_and_policies() {
+    // Worker count and shard policy are execution details, not machine
+    // state: a snapshot cut under the sequential loop must finish
+    // byte-identically under any worker count and either shard policy.
+    // (Cycle-stepped is excluded: its run-loop counters legitimately
+    // differ from the event modes'.)
     let n = 8u16;
-    let (end_ns, want) = baseline(n, Some(1));
-    let mut m = all_pairs(n, Some(1));
+    let (end_ns, want) = baseline(n, Some(Parallelism::Sequential));
+    let mut m = all_pairs(n, Some(Parallelism::Sequential));
     m.run_for(end_ns / 3);
     let bytes = m.checkpoint();
     for k in [2usize, 5, 8] {
-        let mut r = Machine::builder(1)
-            .threads(k)
-            .restore(&bytes)
-            .expect("restore");
-        r.run_to_quiescence();
-        assert_eq!(r.stats().to_json(), want, "diverged at {k} threads");
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            let mut r = Machine::builder(1)
+                .parallelism(Parallelism::Fixed(k))
+                .shard_policy(policy)
+                .restore(&bytes)
+                .expect("restore");
+            r.run_to_quiescence();
+            assert_eq!(
+                r.stats().to_json(),
+                want,
+                "diverged at {k} workers, {policy:?}"
+            );
+        }
     }
 }
 
 #[test]
 fn checkpoint_at_quiescence_restores_quiescent() {
-    let mut m = all_pairs(4, Some(2));
+    let mut m = all_pairs(4, Some(Parallelism::Fixed(2)));
     m.run_to_quiescence();
     let want = m.stats().to_json();
     let mut r = Machine::builder(1)
-        .threads(2)
+        .parallelism(Parallelism::Fixed(2))
         .restore(&m.checkpoint())
         .expect("restore");
     // Restore hands back the stats verbatim — including the final
@@ -164,14 +178,16 @@ fn unsnapshottable_program_is_a_typed_refusal() {
 /// A small donor snapshot with real content: programs mid-run, faults
 /// armed, some memory touched.
 fn donor_bytes() -> Vec<u8> {
-    let mut m = all_pairs(2, Some(1));
+    let mut m = all_pairs(2, Some(Parallelism::Sequential));
     m.mem_write(0, 0x4000, &[0xAB; 256]);
     m.run_for(5_000);
     m.checkpoint()
 }
 
 fn restore(bytes: &[u8]) -> Result<Machine, ApiError> {
-    Machine::builder(1).threads(1).restore(bytes)
+    Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore(bytes)
 }
 
 #[test]
@@ -282,23 +298,26 @@ fn snapshot_is_deterministic_and_restore_roundtrips_bytes() {
     // Two checkpoints of the same machine state are byte-identical, and
     // a restored machine re-checkpoints to the same bytes (modulo
     // nothing: the format has no timestamps or map-order dependence).
-    let mut m = all_pairs(4, Some(2));
+    let mut m = all_pairs(4, Some(Parallelism::Fixed(2)));
     m.run_for(10_000);
     let a = m.checkpoint();
     let b = m.checkpoint();
     assert_eq!(a, b);
-    let r = Machine::builder(1).threads(2).restore(&a).expect("restore");
+    let r = Machine::builder(1)
+        .parallelism(Parallelism::Fixed(2))
+        .restore(&a)
+        .expect("restore");
     assert_eq!(r.checkpoint(), a);
 }
 
 #[test]
 fn restored_machine_ignores_builder_shape_but_keeps_observation_knobs() {
-    let mut m = all_pairs(2, Some(1));
+    let mut m = all_pairs(2, Some(Parallelism::Sequential));
     m.run_for(2_000);
     let bytes = m.checkpoint();
     // Builder says 64 nodes; the snapshot says 2. Snapshot wins.
     let r = Machine::builder(64)
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .restore(&bytes)
         .expect("restore");
     assert_eq!(r.stats().nodes.len(), 2);
@@ -306,7 +325,9 @@ fn restored_machine_ignores_builder_shape_but_keeps_observation_knobs() {
 
 #[test]
 fn delay_program_checkpoints_mid_wait() {
-    let mut m = Machine::builder(2).threads(1).build();
+    let mut m = Machine::builder(2)
+        .parallelism(Parallelism::Sequential)
+        .build();
     m.load_program(0, Delay(50_000));
     m.load_program(1, Delay(10_000));
     m.run_for(1_000);
@@ -314,7 +335,7 @@ fn delay_program_checkpoints_mid_wait() {
     m.run_to_quiescence();
     let want = m.stats().to_json();
     let mut r = Machine::builder(1)
-        .threads(1)
+        .parallelism(Parallelism::Sequential)
         .restore(&bytes)
         .expect("restore");
     r.run_to_quiescence();

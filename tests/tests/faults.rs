@@ -10,7 +10,7 @@ use voyager::arctic::FaultParams;
 use voyager::firmware::proto::{encode_addr_msg, op};
 use voyager::niu::msg::{MsgClass, MSG_CLASSES};
 use voyager::niu::queues::RxFullPolicy;
-use voyager::{Machine, SystemParams};
+use voyager::{Machine, Parallelism, ShardPolicy, SystemParams};
 
 /// A hostile-but-survivable fabric: 4% drops, 2% duplicates, 1.5%
 /// corruption, 3% reorders. Well inside the default retransmit cap.
@@ -26,10 +26,11 @@ fn hostile() -> FaultParams {
 
 /// Every node sends one Basic (even senders) or TagOn (odd senders)
 /// message to every other node, then waits for its own seven.
-fn all_pairs_threaded(n: u16, faults: FaultParams, threads: usize) -> Machine {
+fn all_pairs_with(n: u16, faults: FaultParams, par: Parallelism, policy: ShardPolicy) -> Machine {
     let mut m = Machine::builder(n as usize)
         .faults(faults)
-        .threads(threads)
+        .parallelism(par)
+        .shard_policy(policy)
         .sample_latency(true)
         .build();
     for i in 0..n {
@@ -57,7 +58,7 @@ fn all_pairs_threaded(n: u16, faults: FaultParams, threads: usize) -> Machine {
 }
 
 fn all_pairs(n: u16, faults: FaultParams) -> Machine {
-    all_pairs_threaded(n, faults, 1)
+    all_pairs_with(n, faults, Parallelism::Sequential, ShardPolicy::BySubtree)
 }
 
 fn sum_nodes(s: &voyager::MachineStats, f: impl Fn(&voyager::stats::NodeSnapshot) -> u64) -> u64 {
@@ -138,20 +139,30 @@ fn all_pairs_survives_a_hostile_network_with_zero_loss() {
 
 #[test]
 fn fault_injected_stats_are_identical_across_modes_and_reruns() {
-    // threads(1) is the sequential event loop; >1 the windowed-parallel
-    // one. Fault decisions are made at injection, in global packet order,
-    // so every mode must produce byte-identical stats JSON.
-    let run = |threads: usize| {
-        let mut m = all_pairs_threaded(8, hostile(), threads);
+    // The full worker-count x shard-policy matrix, faults armed. Fault
+    // decisions are made at injection, in global packet order, so every
+    // configuration must produce byte-identical stats JSON.
+    let run = |par: Parallelism, policy: ShardPolicy| {
+        let mut m = all_pairs_with(8, hostile(), par, policy);
         let t = m.run_to_quiescence().ns();
         (t, m.stats().to_json())
     };
-    let baseline = run(1);
-    for threads in [2usize, 5, 8] {
-        assert_eq!(run(threads), baseline, "threads={threads}");
+    let baseline = run(Parallelism::Sequential, ShardPolicy::BySubtree);
+    for workers in [2usize, 5, 8] {
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            assert_eq!(
+                run(Parallelism::Fixed(workers), policy),
+                baseline,
+                "workers={workers}, {policy:?}"
+            );
+        }
     }
     // Same fault seed, fresh machine: byte-identical rerun.
-    assert_eq!(run(1), baseline, "rerun");
+    assert_eq!(
+        run(Parallelism::Sequential, ShardPolicy::BySubtree),
+        baseline,
+        "rerun"
+    );
 }
 
 #[test]

@@ -281,3 +281,35 @@ fn message_streams_respect_link_bandwidth() {
         "express rate should exceed basic"
     );
 }
+
+#[test]
+fn dest_namespace_widens_past_256_nodes() {
+    // Machines beyond 256 nodes outgrow the fixed 256-destination class
+    // stride: the builder widens the stride (and the translation table)
+    // to the next power of two, so high-numbered nodes stay reachable
+    // in every class. Exercise user Basic and user Express end to end
+    // across node ids that would alias under the old fixed stride.
+    let mut m = machine(320);
+    let l300 = m.lib(300);
+    let l310 = m.lib(310);
+    assert_eq!(l300.user_dest(310), 310);
+    assert_eq!(l300.svc_dest(310), 512 + 310);
+    assert_eq!(l300.express_dest(310), 1024 + 310);
+    m.load_program(
+        300,
+        SendBasic::to_node(&l300, 310, b"past the old stride".to_vec()),
+    );
+    m.load_program(310, RecvBasic::expecting(&l310, 1));
+    m.load_program(
+        311,
+        SendExpress::new(&m.lib(311), vec![(l300.express_dest(310), 9, 77)]),
+    );
+    m.run_to_quiescence();
+    let msgs = m.received_messages(310);
+    assert_eq!(msgs.len(), 1);
+    assert_eq!(msgs[0].0, 300);
+    assert_eq!(&msgs[0].1[..], b"past the old stride");
+    let s = m.stats();
+    assert_eq!(s.nodes[300].niu.xlate_faults, 0, "no tx protection faults");
+    assert_eq!(s.nodes[311].niu.xlate_faults, 0, "no tx protection faults");
+}

@@ -350,24 +350,40 @@ proptest! {
     }
 
     /// Checkpointing at an arbitrary point of an arbitrary-seed faulty
-    /// run, then restoring under an arbitrary worker count, finishes
-    /// with stats byte-identical to the uninterrupted run. The cut
-    /// point is a fraction of the *total* run time, so cases land
-    /// before the first send, mid-retransmit, and after quiescence.
+    /// run *under the sharded loop*, then restoring under an arbitrary
+    /// worker count and shard policy, finishes with stats byte-identical
+    /// to the uninterrupted sequential run. The cut point is a fraction
+    /// of the *total* run time, so cases land before the first send,
+    /// mid-retransmit, and after quiescence — including cuts inside what
+    /// would have been a lookahead window.
     #[test]
     fn checkpoint_resume_matches_uninterrupted_run(
         cut_permille in 0u64..1000,
-        threads in 1usize..=8,
+        workers in 1usize..=4,
+        round_robin in any::<bool>(),
         fault_seed in any::<u64>(),
     ) {
         use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+        use voyager::{Parallelism, ShardPolicy};
         let faults = voyager::arctic::FaultParams {
             drop_ppm: 40_000, dup_ppm: 20_000, corrupt_ppm: 15_000,
             reorder_ppm: 30_000, seed: fault_seed,
         };
-        let build = || {
+        let par = if workers == 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Fixed(workers)
+        };
+        let policy = if round_robin {
+            ShardPolicy::RoundRobin
+        } else {
+            ShardPolicy::BySubtree
+        };
+        let build = |par: Parallelism, policy: ShardPolicy| {
             let mut m = voyager::Machine::builder(4)
                 .faults(faults)
+                .parallelism(par)
+                .shard_policy(policy)
                 .sample_latency(true)
                 .build();
             for i in 0..4u16 {
@@ -383,14 +399,15 @@ proptest! {
             }
             m
         };
-        let mut base = build();
+        let mut base = build(Parallelism::Sequential, ShardPolicy::BySubtree);
         let end_ns = base.run_to_quiescence().ns();
         let want = base.stats().to_json();
-        let mut donor = build();
+        let mut donor = build(par, policy);
         donor.run_for(end_ns * cut_permille / 1000);
         let bytes = donor.checkpoint();
         let mut r = voyager::Machine::builder(1)
-            .threads(threads)
+            .parallelism(par)
+            .shard_policy(policy)
             .restore(&bytes)
             .expect("restore");
         r.run_to_quiescence();
@@ -480,8 +497,8 @@ proptest! {
             (t, msgs, events)
         };
         let stepped = run(Machine::builder(3).cycle_stepped());
-        let event = run(Machine::builder(3).threads(1));
-        let par = run(Machine::builder(3).threads(2));
+        let event = run(Machine::builder(3).parallelism(voyager::Parallelism::Sequential));
+        let par = run(Machine::builder(3).parallelism(voyager::Parallelism::Fixed(2)));
         prop_assert_eq!(&stepped, &event);
         prop_assert_eq!(&event, &par);
     }

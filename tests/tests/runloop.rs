@@ -4,7 +4,7 @@
 //! rests on that equivalence.
 
 use voyager::api::{BasicMsg, RecvBasic, RecvExpress, SendBasic, SendExpress};
-use voyager::{Machine, MachineBuilder, RunMode, RunOutcome, SystemParams};
+use voyager::{Machine, MachineBuilder, Parallelism, RunOutcome, ShardPolicy, SystemParams};
 
 /// The workload from the determinism suite: 4 nodes, all-to-all Basic
 /// messages, 8 rounds.
@@ -73,10 +73,20 @@ fn event_loop_matches_cycle_stepped() {
 
 #[test]
 fn parallel_shards_match_sequential() {
-    let seq = run_mode(Machine::builder(4).threads(1), load_all_to_all);
-    for threads in [2, 3, 4, 7] {
-        let par = run_mode(Machine::builder(4).threads(threads), load_all_to_all);
-        assert_eq!(seq, par, "threads = {threads}");
+    let seq = run_mode(
+        Machine::builder(4).parallelism(Parallelism::Sequential),
+        load_all_to_all,
+    );
+    for workers in [2, 3, 4] {
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            let par = run_mode(
+                Machine::builder(4)
+                    .parallelism(Parallelism::Fixed(workers))
+                    .shard_policy(policy),
+                load_all_to_all,
+            );
+            assert_eq!(seq, par, "workers = {workers}, policy = {policy:?}");
+        }
     }
 }
 
@@ -90,7 +100,12 @@ fn modes_agree_on_the_ideal_network() {
     };
     let stepped = run_mode(Machine::builder(2).ideal_network(100).cycle_stepped(), load);
     let event = run_mode(Machine::builder(2).ideal_network(100), load);
-    let par = run_mode(Machine::builder(2).ideal_network(100).threads(2), load);
+    let par = run_mode(
+        Machine::builder(2)
+            .ideal_network(100)
+            .parallelism(Parallelism::Fixed(2)),
+        load,
+    );
     assert_eq!(stepped, event);
     assert_eq!(event, par);
 }
@@ -108,7 +123,7 @@ fn modes_agree_on_express_traffic() {
     };
     let stepped = run_mode(Machine::builder(2).cycle_stepped(), load);
     let event = run_mode(Machine::builder(2), load);
-    let par = run_mode(Machine::builder(2).threads(2), load);
+    let par = run_mode(Machine::builder(2).parallelism(Parallelism::Fixed(2)), load);
     assert_eq!(stepped, event);
     assert_eq!(event, par);
 }
@@ -119,8 +134,12 @@ fn run_for_advances_identically() {
     // cycle with the same state at every slice boundary.
     let mut machines = [
         Machine::builder(4).cycle_stepped().build(),
-        Machine::builder(4).threads(1).build(),
-        Machine::builder(4).threads(3).build(),
+        Machine::builder(4)
+            .parallelism(Parallelism::Sequential)
+            .build(),
+        Machine::builder(4)
+            .parallelism(Parallelism::Fixed(3))
+            .build(),
     ];
     for m in &mut machines {
         load_all_to_all(m);
@@ -160,7 +179,10 @@ fn hang_reports_identical_cap_time() {
     };
     let stepped = hung_at(Machine::builder(4).cycle_stepped());
     assert_eq!(stepped, hung_at(Machine::builder(4)));
-    assert_eq!(stepped, hung_at(Machine::builder(4).threads(4)));
+    assert_eq!(
+        stepped,
+        hung_at(Machine::builder(4).parallelism(Parallelism::Fixed(4)))
+    );
 }
 
 /// Staggered pairs at 64 nodes: most nodes idle at any instant — the
@@ -201,45 +223,59 @@ fn modes_agree_at_64_nodes() {
     let stepped = run_mode(Machine::builder(64).cycle_stepped(), load);
     let event = run_mode(Machine::builder(64), load);
     assert_eq!(stepped, event, "event vs stepped at 64 nodes");
-    for threads in [2, 5, 8] {
-        let par = run_mode(Machine::builder(64).threads(threads), load);
-        assert_eq!(event, par, "threads = {threads}");
+    for workers in [2, 5, 8] {
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            let par = run_mode(
+                Machine::builder(64)
+                    .parallelism(Parallelism::Fixed(workers))
+                    .shard_policy(policy),
+                load,
+            );
+            assert_eq!(event, par, "workers = {workers}, policy = {policy:?}");
+        }
     }
 }
 
 /// The full stats snapshot — every counter in the machine, rendered to
-/// JSON — is byte-identical across `RunMode::Event` thread counts on the
-/// 64-node staggered-pairs workload. Latency sampling is on, so the
+/// JSON — is byte-identical across worker counts and shard policies on
+/// the 64-node staggered-pairs workload. Latency sampling is on, so the
 /// per-class Summaries (the only stats with per-packet metadata) are
 /// covered too. This is the observability layer's determinism contract:
 /// the run-loop counters deliberately exclude anything that varies with
 /// sharding (priming and full-scan republishes).
 #[test]
-fn stats_snapshot_identical_across_thread_counts() {
-    let snap = |threads: usize| {
+fn stats_snapshot_identical_across_worker_counts() {
+    let snap = |par: Parallelism, policy: ShardPolicy| {
         let mut m = Machine::builder(64)
-            .threads(threads)
+            .parallelism(par)
+            .shard_policy(policy)
             .sample_latency(true)
             .build();
         load_staggered_pairs(&mut m);
         m.run_to_quiescence();
         m.stats().to_json()
     };
-    let seq = snap(1);
+    let seq = snap(Parallelism::Sequential, ShardPolicy::BySubtree);
     assert!(
         seq.contains("\"latency_sum_cycles\":"),
         "sampled latencies present"
     );
-    for threads in [2, 5, 8] {
-        assert_eq!(seq, snap(threads), "threads = {threads}");
+    for workers in [2, 5, 8] {
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            assert_eq!(
+                seq,
+                snap(Parallelism::Fixed(workers), policy),
+                "workers = {workers}, policy = {policy:?}"
+            );
+        }
     }
 }
 
 #[test]
+#[allow(deprecated)]
 fn builder_round_trip_matches_deprecated_constructor() {
     // The builder with the legacy loop must reproduce Machine::new
-    // exactly; the shim itself must keep working until it is removed.
-    #[allow(deprecated)]
+    // exactly; the shims themselves must keep working until removed.
     let mut old = Machine::new(4, SystemParams::default());
     let mut new = Machine::builder(4)
         .params(SystemParams::default())
@@ -250,11 +286,32 @@ fn builder_round_trip_matches_deprecated_constructor() {
     let t_old = old.run_to_quiescence().ns();
     let t_new = new.run_to_quiescence().ns();
     assert_eq!(fingerprint(&old, t_old), fingerprint(&new, t_new));
-    assert_eq!(new.run_mode(), RunMode::CycleStepped);
+    assert_eq!(new.run_mode(), voyager::RunMode::CycleStepped);
     assert_eq!(
         Machine::builder(2).build().run_mode(),
-        RunMode::Event { threads: 1 }
+        voyager::RunMode::Event { threads: 1 }
     );
+    // threads(k) keeps its pre-0.3 semantics: silently clamped to the
+    // node count (the new Parallelism::Fixed rejects this instead).
+    let clamped = Machine::builder(4).threads(7).build();
+    assert_eq!(clamped.workers(), 4);
+    let shim = run_mode(Machine::builder(4).threads(7), load_all_to_all);
+    let fixed = run_mode(
+        Machine::builder(4).parallelism(Parallelism::Fixed(4)),
+        load_all_to_all,
+    );
+    assert_eq!(shim, fixed, "threads(7) must behave as Fixed(min(7, n))");
+    // set_run_mode still switches loops on an existing machine.
+    let mut m = Machine::builder(4).tracing(0).build();
+    m.set_run_mode(voyager::RunMode::Event { threads: 3 });
+    assert_eq!(m.workers(), 3);
+    load_all_to_all(&mut m);
+    let t = m.run_to_quiescence().ns();
+    let via_builder = run_mode(
+        Machine::builder(4).parallelism(Parallelism::Fixed(3)),
+        load_all_to_all,
+    );
+    assert_eq!(fingerprint(&m, t), via_builder);
     // Same contract for the ideal-network shim.
     #[allow(deprecated)]
     let mut old_i = Machine::new_ideal(2, SystemParams::default(), 100);
@@ -341,4 +398,109 @@ fn api_errors_are_reported_not_panicked() {
 #[should_panic(expected = "Basic payload is at most 88 bytes")]
 fn panicking_constructor_still_panics() {
     let _ = BasicMsg::new(1, vec![0u8; 89]);
+}
+
+#[test]
+fn invalid_parallelism_is_a_typed_error() {
+    use voyager::ApiError;
+    assert!(matches!(
+        Machine::builder(4)
+            .parallelism(Parallelism::Fixed(0))
+            .try_build(),
+        Err(ApiError::WorkerCountZero)
+    ));
+    assert!(matches!(
+        Machine::builder(4)
+            .parallelism(Parallelism::Fixed(7))
+            .try_build(),
+        Err(ApiError::WorkersExceedShards {
+            workers: 7,
+            shards: 4
+        })
+    ));
+    // The errors render actionable diagnostics.
+    let Err(e) = Machine::builder(4)
+        .parallelism(Parallelism::Fixed(0))
+        .try_build()
+    else {
+        panic!("Fixed(0) accepted")
+    };
+    assert!(e.to_string().contains("Sequential"), "{e}");
+    let Err(e) = Machine::builder(4)
+        .parallelism(Parallelism::Fixed(7))
+        .try_build()
+    else {
+        panic!("Fixed(7) accepted at 4 nodes")
+    };
+    assert!(e.to_string().contains('7'), "{e}");
+}
+
+#[test]
+#[should_panic(expected = "Parallelism::Fixed(0)")]
+fn invalid_parallelism_panics_through_build() {
+    let _ = Machine::builder(4)
+        .parallelism(Parallelism::Fixed(0))
+        .build();
+}
+
+#[test]
+fn parallelism_accessors_expose_the_resolved_plan() {
+    let m = Machine::builder(64)
+        .parallelism(Parallelism::Fixed(5))
+        .shard_policy(ShardPolicy::RoundRobin)
+        .build();
+    assert_eq!(m.parallelism(), Parallelism::Fixed(5));
+    assert_eq!(m.shard_policy(), ShardPolicy::RoundRobin);
+    assert_eq!(m.workers(), 5);
+    assert!(!m.is_cycle_stepped());
+    // RoundRobin deals nodes across exactly `workers` shards.
+    assert_eq!(m.shard_count(), 5);
+
+    // BySubtree shards are aligned fat-tree subtrees: 64 nodes at 2
+    // workers coarsen to 4-leaf-group (16-node) subtrees.
+    let m = Machine::builder(64)
+        .parallelism(Parallelism::Fixed(2))
+        .build();
+    assert_eq!(m.shard_policy(), ShardPolicy::BySubtree);
+    assert_eq!(m.shard_count(), 4);
+
+    let m = Machine::builder(2).build();
+    assert_eq!(m.parallelism(), Parallelism::Sequential);
+    assert_eq!(m.workers(), 1);
+
+    let m = Machine::builder(2).cycle_stepped().build();
+    assert!(m.is_cycle_stepped());
+}
+
+/// `Parallelism::Auto` sizes the pool from the environment:
+/// `VOYAGER_WORKERS` wins when set, and the result is always clamped to
+/// the node count. The variable is test-local — nothing else in this
+/// binary reads or writes it.
+#[test]
+fn auto_parallelism_reads_the_environment() {
+    std::env::set_var("VOYAGER_WORKERS", "3");
+    let m = Machine::builder(64).parallelism(Parallelism::Auto).build();
+    assert_eq!(m.workers(), 3);
+    assert_eq!(m.parallelism(), Parallelism::Auto);
+    // Clamped to the node count.
+    let m = Machine::builder(2).parallelism(Parallelism::Auto).build();
+    assert_eq!(m.workers(), 2);
+    std::env::remove_var("VOYAGER_WORKERS");
+    let m = Machine::builder(64).parallelism(Parallelism::Auto).build();
+    assert!(
+        (1..=64).contains(&m.workers()),
+        "host-derived worker count in range"
+    );
+    // And the Auto machine still reproduces the sequential run exactly.
+    std::env::set_var("VOYAGER_WORKERS", "5");
+    let auto = run_mode(
+        Machine::builder(4).parallelism(Parallelism::Auto),
+        load_all_to_all,
+    );
+    std::env::remove_var("VOYAGER_WORKERS");
+    let seq = run_mode(
+        Machine::builder(4).parallelism(Parallelism::Sequential),
+        load_all_to_all,
+    );
+    assert_eq!(auto, seq);
 }
