@@ -22,6 +22,9 @@ pub struct IdealNetwork<P> {
     nodes: usize,
     events: EventQueue<Packet<P>>,
     delivered: Vec<(Time, Packet<P>)>,
+    /// Whole-section dirty flag for delta snapshots; runtime bookkeeping,
+    /// never serialized. Fresh and restored instances start dirty.
+    dirty: bool,
 }
 
 impl<P> IdealNetwork<P> {
@@ -33,6 +36,7 @@ impl<P> IdealNetwork<P> {
             nodes,
             events: EventQueue::new(),
             delivered: Vec::new(),
+            dirty: true,
         }
     }
 
@@ -41,10 +45,22 @@ impl<P> IdealNetwork<P> {
         self.nodes
     }
 
+    /// True if anything changed since the last
+    /// [`IdealNetwork::ckpt_clear_dirty`].
+    pub fn ckpt_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Forget the dirty mark.
+    pub fn ckpt_clear_dirty(&mut self) {
+        self.dirty = false;
+    }
+
     /// Inject a packet; it will be delivered after the fixed pipe delay.
     pub fn inject(&mut self, now: Time, mut packet: Packet<P>) {
         assert!((packet.dst as usize) < self.nodes);
         packet.injected_at = now;
+        self.dirty = true;
         let at = now.plus(self.fixed_latency_ns + self.params.serialize_ns(packet.wire_bytes));
         self.events.push(at, packet);
     }
@@ -61,12 +77,16 @@ impl<P> IdealNetwork<P> {
                 break;
             }
             let (t, p) = self.events.pop().expect("peeked");
+            self.dirty = true;
             self.delivered.push((t, p));
         }
     }
 
     /// Drain delivered packets in delivery order.
     pub fn take_delivered(&mut self) -> Vec<(Time, Packet<P>)> {
+        if !self.delivered.is_empty() {
+            self.dirty = true;
+        }
         std::mem::take(&mut self.delivered)
     }
 
@@ -74,6 +94,9 @@ impl<P> IdealNetwork<P> {
     /// order; both buffers keep their capacity (see
     /// [`crate::Network::drain_delivered_into`]).
     pub fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<P>)>) {
+        if !self.delivered.is_empty() {
+            self.dirty = true;
+        }
         out.append(&mut self.delivered);
     }
 
@@ -112,6 +135,7 @@ impl<P: StateLoad + Clone> StateLoad for IdealNetwork<P> {
             nodes,
             events: r.load()?,
             delivered: r.load()?,
+            dirty: true,
         };
         // Delivered packets are handed to the embedding machine, which
         // indexes its node array by `dst`; range-check every packet so a

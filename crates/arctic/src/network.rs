@@ -161,6 +161,10 @@ pub struct Network<P> {
     fault: Option<FaultModel>,
     /// Running statistics.
     pub stats: NetworkStats,
+    /// Whole-section dirty flag for delta snapshots: set by every
+    /// mutating entry point. Runtime bookkeeping, never serialized; fresh
+    /// and restored networks start conservatively dirty.
+    dirty: bool,
 }
 
 impl<P> Network<P> {
@@ -182,6 +186,7 @@ impl<P> Network<P> {
             route_salt: 0,
             fault: None,
             stats: NetworkStats::default(),
+            dirty: true,
         }
     }
 
@@ -192,7 +197,20 @@ impl<P> Network<P> {
 
     /// Install (or, with all-zero rates, remove) the fault injector.
     pub fn set_faults(&mut self, params: FaultParams) {
+        self.dirty = true;
         self.fault = params.enabled().then(|| FaultModel::new(params));
+    }
+
+    /// True if anything (links, flights, fault RNG, stats) may have
+    /// changed since the last [`Network::ckpt_clear_dirty`].
+    pub fn ckpt_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Forget the dirty mark — called when a checkpoint cut captures the
+    /// current contents.
+    pub fn ckpt_clear_dirty(&mut self) {
+        self.dirty = false;
     }
 
     /// The fault configuration in force, if any.
@@ -214,6 +232,7 @@ impl<P> Network<P> {
     {
         assert_ne!(packet.src, packet.dst, "network cannot loop back to self");
         packet.injected_at = now;
+        self.dirty = true;
         self.stats.injected.bump();
         let mut copies = 1usize;
         let mut reorder = false;
@@ -325,6 +344,7 @@ impl<P> Network<P> {
                 break;
             }
             let (now, ev) = self.events.pop().expect("peeked");
+            self.dirty = true;
             match ev {
                 NetEvent::Dispatch(link_id) => self.dispatch(now, link_id),
                 NetEvent::Arrive { flight } => self.arrive(now, flight),
@@ -391,6 +411,9 @@ impl<P> Network<P> {
 
     /// Drain packets delivered since the last call, in delivery order.
     pub fn take_delivered(&mut self) -> Vec<(Time, Packet<P>)> {
+        if !self.delivered.is_empty() {
+            self.dirty = true;
+        }
         std::mem::take(&mut self.delivered)
     }
 
@@ -399,6 +422,9 @@ impl<P> Network<P> {
     /// but the packets: both buffers keep their capacity, so a run loop
     /// polling every event cycle allocates nothing in the steady state.
     pub fn drain_delivered_into(&mut self, out: &mut Vec<(Time, Packet<P>)>) {
+        if !self.delivered.is_empty() {
+            self.dirty = true;
+        }
         out.append(&mut self.delivered);
     }
 

@@ -20,7 +20,8 @@
 //! per loop mode and node count).
 //!
 //! Usage: `simspeed [--nodes N] [--stats] [--faults]
-//! [--checkpoint-every C] [--restore FILE]` — with `--nodes` only the
+//! [--checkpoint-every C] [--delta-every C] [--restore FILE]
+//! [--artifacts-dir DIR]` — with `--nodes` only the
 //! sweep entry for `N` runs (the CI smoke configuration); without
 //! arguments the full ring table and node-count sweep run. With
 //! `--stats`, a deterministic re-run of the staggered-pair workload
@@ -39,10 +40,21 @@
 //! 16) snapshotted every `C` bus cycles, asserting that checkpointing
 //! never perturbs the run, that a mid-run snapshot restores and
 //! finishes with byte-identical stats, and leaving the final snapshot
-//! at `BENCH_simspeed_ckpt.bin` for `--restore FILE`, which rebuilds a
-//! machine from a snapshot file and runs it to quiescence. The default
-//! full run also records snapshot size and save/restore cost for
-//! 8/16/32/64-node machines in the JSON report.
+//! at `BENCH_simspeed_ckpt.bin` under the artifacts directory for
+//! `--restore FILE`, which rebuilds a machine from a snapshot file and
+//! runs it to quiescence. `--delta-every C` is the incremental twin:
+//! one full base snapshot up front, then a *delta* cut every `C` bus
+//! cycles ([`Machine::checkpoint_delta`]), asserting non-perturbation,
+//! that restoring base + every delta finishes byte-identical to the
+//! uninterrupted run, and that a cadence delta is at least 10x smaller
+//! than a full snapshot of the same machine. The default full run also
+//! records paired full-vs-delta snapshot cost (size, save, restore) for
+//! 8..1024-node machines in the JSON report.
+//!
+//! Scratch artifacts (`BENCH_simspeed_ckpt.bin`,
+//! `BENCH_simspeed_stats.json`) land under `target/` by default;
+//! `--artifacts-dir DIR` redirects them. The committed
+//! `BENCH_simspeed.json` report stays in the working directory.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -194,20 +206,30 @@ fn sweep_point(n: u16, workers: usize) -> SweepRow {
     }
 }
 
-/// Where `--checkpoint-every` leaves its final snapshot for `--restore`.
-const CKPT_PATH: &str = "BENCH_simspeed_ckpt.bin";
+/// Scratch-artifact filenames, placed under `--artifacts-dir`
+/// (default `target/`).
+const CKPT_FILE: &str = "BENCH_simspeed_ckpt.bin";
+const STATS_FILE: &str = "BENCH_simspeed_stats.json";
 
-/// One checkpoint cost measurement for the JSON report.
+/// One checkpoint cost measurement for the JSON report: a full snapshot
+/// and, one stagger slot later, the delta back to it.
 struct CkptPoint {
     nodes: u16,
     bytes: usize,
     save_us: f64,
     restore_us: f64,
+    delta_bytes: usize,
+    delta_save_us: f64,
+    /// Restoring base + one delta (a whole-chain restore, so ≥ the full
+    /// restore cost by construction — recorded for honesty).
+    delta_restore_us: f64,
+    chain_len: usize,
 }
 
 /// Snapshot size and save/restore wall cost for an `n`-node machine
 /// checkpointed mid-run (half the staggered pairs fired: queues, caches
-/// and memory warm).
+/// and memory warm), plus the cost of a delta cut one stagger slot
+/// later — the "nearby cut" regime incremental snapshots exist for.
 fn ckpt_point(n: u16) -> CkptPoint {
     let mut m = Machine::builder(n.into())
         .parallelism(Parallelism::Sequential)
@@ -224,11 +246,32 @@ fn ckpt_point(n: u16) -> CkptPoint {
         .expect("restore");
     let restore_us = t1.elapsed().as_secs_f64() * 1e6;
     assert_eq!(r.stats().nodes.len(), usize::from(n));
+    // Open a delta chain here, advance one stagger slot (one more pair
+    // exchanges; everyone else idles) and measure the incremental cut.
+    let base = m.checkpoint_delta().into_bytes();
+    m.run_for(STAGGER_NS);
+    let t2 = Instant::now();
+    let delta = match m.checkpoint_delta() {
+        voyager::DeltaCheckpoint::Delta(d) => d,
+        voyager::DeltaCheckpoint::Base(_) => unreachable!("chain is open"),
+    };
+    let delta_save_us = t2.elapsed().as_secs_f64() * 1e6;
+    let t3 = Instant::now();
+    let rc = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base, &[&delta])
+        .expect("restore_chain");
+    let delta_restore_us = t3.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(rc.stats().nodes.len(), usize::from(n));
     CkptPoint {
         nodes: n,
         bytes: bytes.len(),
         save_us,
         restore_us,
+        delta_bytes: delta.len(),
+        delta_save_us,
+        delta_restore_us,
+        chain_len: 1,
     }
 }
 
@@ -238,7 +281,7 @@ fn ckpt_point(n: u16) -> CkptPoint {
 /// are pure observation), and the middle snapshot must restore and
 /// finish byte-identically too. The last snapshot is left on disk for
 /// `--restore`.
-fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
+fn checkpoint_every_smoke(n: u16, every_cycles: u64, ckpt_path: &std::path::Path) {
     assert!(every_cycles > 0, "--checkpoint-every takes a cycle count");
     let build = || {
         let mut m = Machine::builder(n.into())
@@ -286,14 +329,84 @@ fn checkpoint_every_smoke(n: u16, every_cycles: u64) {
         .iter()
         .map(Vec::len)
         .fold((usize::MAX, 0), |(l, h), b| (l.min(b), h.max(b)));
-    std::fs::write(CKPT_PATH, snaps.last().expect("at least one snapshot"))
+    std::fs::write(ckpt_path, snaps.last().expect("at least one snapshot"))
         .expect("write snapshot");
     println!(
         "checkpoint smoke: {n} nodes, {} snapshots every {every_cycles} cycles \
          ({lo}..{hi} bytes, {:.0} us/save); donor and mid-run restore both \
-         matched the uninterrupted run; wrote {CKPT_PATH}",
+         matched the uninterrupted run; wrote {}",
         snaps.len(),
         save_s / snaps.len() as f64 * 1e6,
+        ckpt_path.display(),
+    );
+}
+
+/// Incremental-checkpoint cadence smoke (`--delta-every C`): one full
+/// base snapshot before the run, then a delta cut every `C` bus cycles.
+/// Asserts that delta cuts never perturb the donor, that restoring the
+/// base plus *every* delta resumes and finishes byte-identical to the
+/// uninterrupted run, and that a cadence delta stays at least 10x below
+/// a full snapshot of the same machine in bytes — the whole point of
+/// dirty tracking.
+fn delta_every_smoke(n: u16, every_cycles: u64) {
+    assert!(every_cycles > 0, "--delta-every takes a cycle count");
+    let build = || {
+        let mut m = Machine::builder(n.into())
+            .parallelism(Parallelism::Sequential)
+            .sample_latency(true)
+            .build();
+        load_staggered_pairs(&mut m, n);
+        m
+    };
+    let mut reference = build();
+    let end_ns = reference.run_to_quiescence().ns();
+    let want = reference.stats().to_json();
+
+    let chunk_ns = (every_cycles * 1000).div_ceil(66).max(1);
+    let mut m = build();
+    let base = m.checkpoint_delta().into_bytes();
+    let mut deltas: Vec<Vec<u8>> = Vec::new();
+    let mut save_s = 0.0f64;
+    let mut target = chunk_ns;
+    while target < end_ns {
+        m.run_for(target.saturating_sub(m.now.ns()));
+        let t0 = Instant::now();
+        match m.checkpoint_delta() {
+            voyager::DeltaCheckpoint::Delta(d) => deltas.push(d),
+            voyager::DeltaCheckpoint::Base(_) => unreachable!("chain is open"),
+        }
+        save_s += t0.elapsed().as_secs_f64();
+        target += chunk_ns;
+    }
+    assert!(!deltas.is_empty(), "cadence longer than the whole run");
+    // A full snapshot at the last cut, for the size comparison (pure
+    // observation; the donor continues unperturbed).
+    let full_at_last_cut = m.checkpoint().len();
+    m.run_to_quiescence();
+    assert_eq!(m.stats().to_json(), want, "delta cuts perturbed the run");
+
+    let mut r = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base, &deltas)
+        .expect("restore base + delta chain");
+    r.run_to_quiescence();
+    assert_eq!(r.stats().to_json(), want, "chain restore diverged");
+
+    let total: usize = deltas.iter().map(Vec::len).sum();
+    let avg = total / deltas.len();
+    assert!(
+        avg * 10 <= full_at_last_cut,
+        "cadence delta not ≥10x below full: avg {avg} vs full {full_at_last_cut} bytes"
+    );
+    println!(
+        "delta smoke: {n} nodes, base {} bytes + {} deltas every {every_cycles} \
+         cycles (avg {avg} bytes, {:.0} us/save; full snapshot {full_at_last_cut} \
+         bytes, {:.0}x); donor and base+chain restore both matched the \
+         uninterrupted run",
+        base.len(),
+        deltas.len(),
+        save_s / deltas.len() as f64 * 1e6,
+        full_at_last_cut as f64 / avg as f64,
     );
 }
 
@@ -362,15 +475,19 @@ fn write_json(
     }
     s.push_str("    ]\n  },\n");
     s.push_str(
-        "  \"checkpoint\": {\n    \"workload\": \"staggered_pairs mid-run\",\n    \"points\": [\n",
+        "  \"checkpoint\": {\n    \"workload\": \"staggered_pairs mid-run; delta one stagger slot later\",\n    \"points\": [\n",
     );
     for (i, c) in ckpt.iter().enumerate() {
         s.push_str(&format!(
-            "      {{\"nodes\": {}, \"bytes\": {}, \"save_us\": {:.0}, \"restore_us\": {:.0}}}{}\n",
+            "      {{\"nodes\": {}, \"full\": {{\"bytes\": {}, \"save_us\": {:.0}, \"restore_us\": {:.0}}}, \"delta\": {{\"bytes\": {}, \"save_us\": {:.0}, \"restore_us\": {:.0}, \"chain_len\": {}}}}}{}\n",
             c.nodes,
             c.bytes,
             c.save_us,
             c.restore_us,
+            c.delta_bytes,
+            c.delta_save_us,
+            c.delta_restore_us,
+            c.chain_len,
             if i + 1 == ckpt.len() { "" } else { "," },
         ));
     }
@@ -383,7 +500,7 @@ fn write_json(
 /// workload sequentially with latency sampling on and dump the complete
 /// counter snapshot. Everything in it is simulation-determined, so the
 /// output is byte-stable across hosts and runs.
-fn write_stats_sidecar(n: u16, path: &str) {
+fn write_stats_sidecar(n: u16, path: &std::path::Path) {
     let mut m = Machine::builder(n.into())
         .parallelism(Parallelism::Sequential)
         .sample_latency(true)
@@ -393,7 +510,7 @@ fn write_stats_sidecar(n: u16, path: &str) {
     let mut json = m.stats().to_json();
     json.push('\n');
     std::fs::write(path, json).expect("write stats sidecar");
-    println!("wrote {path}");
+    println!("wrote {}", path.display());
 }
 
 /// Fault-injection smoke (`--faults`): the staggered-pair workload over
@@ -453,6 +570,17 @@ fn main() {
             .expect("--nodes takes a node count")
     });
     let want_stats = args.iter().any(|a| a == "--stats");
+    let artifacts_dir = std::path::PathBuf::from(
+        args.iter()
+            .position(|a| a == "--artifacts-dir")
+            .map(|i| {
+                args.get(i + 1)
+                    .expect("--artifacts-dir takes a directory")
+                    .clone()
+            })
+            .unwrap_or_else(|| "target".to_string()),
+    );
+    std::fs::create_dir_all(&artifacts_dir).expect("create artifacts dir");
     if let Some(i) = args.iter().position(|a| a == "--restore") {
         let path = args.get(i + 1).expect("--restore takes a snapshot file");
         restore_smoke(path);
@@ -463,7 +591,19 @@ fn main() {
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .expect("--checkpoint-every takes a bus-cycle count");
-        checkpoint_every_smoke(only_nodes.unwrap_or(16), every);
+        checkpoint_every_smoke(
+            only_nodes.unwrap_or(16),
+            every,
+            &artifacts_dir.join(CKPT_FILE),
+        );
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--delta-every") {
+        let every = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--delta-every takes a bus-cycle count");
+        delta_every_smoke(only_nodes.unwrap_or(16), every);
         return;
     }
     if args.iter().any(|a| a == "--faults") {
@@ -560,8 +700,11 @@ fn main() {
         );
     }
 
-    // ---- Checkpoint size and save/restore cost ----
-    let ckpt: Vec<CkptPoint> = [8u16, 16, 32, 64].iter().map(|&n| ckpt_point(n)).collect();
+    // ---- Checkpoint size and save/restore cost, full vs delta ----
+    let ckpt: Vec<CkptPoint> = [8u16, 16, 32, 64, 256, 1024]
+        .iter()
+        .map(|&n| ckpt_point(n))
+        .collect();
     let ckpt_rows: Vec<Vec<String>> = ckpt
         .iter()
         .map(|c| {
@@ -570,18 +713,31 @@ fn main() {
                 c.bytes.to_string(),
                 format!("{:.0}", c.save_us),
                 format!("{:.0}", c.restore_us),
+                c.delta_bytes.to_string(),
+                format!("{:.0}", c.delta_save_us),
+                format!("{:.0}", c.delta_restore_us),
+                format!("{:.0}x", c.bytes as f64 / c.delta_bytes as f64),
             ]
         })
         .collect();
     print_table(
-        "checkpoint snapshots, staggered pairs mid-run",
-        &["nodes", "bytes", "save us", "restore us"],
+        "checkpoint snapshots, staggered pairs mid-run (delta: one stagger slot later)",
+        &[
+            "nodes",
+            "full bytes",
+            "save us",
+            "restore us",
+            "delta bytes",
+            "save us",
+            "chain restore us",
+            "bytes ratio",
+        ],
         &ckpt_rows,
     );
 
     write_json("BENCH_simspeed.json", workers, &sweep, &ring, &ckpt);
     println!("\nwrote BENCH_simspeed.json");
     if want_stats {
-        write_stats_sidecar(only_nodes.unwrap_or(64), "BENCH_simspeed_stats.json");
+        write_stats_sidecar(only_nodes.unwrap_or(64), &artifacts_dir.join(STATS_FILE));
     }
 }

@@ -64,7 +64,7 @@ pub mod workloads;
 
 pub use api::ApiError;
 pub use app::{AppEvent, AppEventKind, Env, Program, Step};
-pub use machine::{Machine, MachineBuilder, NodeLib};
+pub use machine::{DeltaCheckpoint, Machine, MachineBuilder, NodeLib};
 pub use metrics::{XferMeasurement, XferPoint};
 pub use node::Node;
 pub use params::SystemParams;

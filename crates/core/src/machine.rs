@@ -196,6 +196,55 @@ pub struct Machine {
     pub(crate) delivered: Vec<(Time, sv_arctic::Packet<NetPayload>)>,
     /// Run-loop execution counters (see [`RunLoopCounters`]).
     pub(crate) runstats: RunLoopCounters,
+    /// Active delta-checkpoint chain, if [`Machine::try_checkpoint_delta`]
+    /// has emitted a base snapshot (see that method for the epoch rules).
+    pub(crate) delta_chain: Option<DeltaChain>,
+}
+
+/// Linkage state for an in-progress delta-checkpoint chain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeltaChain {
+    /// [`sv_sim::ckpt::fnv1a64`] over the base snapshot bytes.
+    base_id: u64,
+    /// [`sv_sim::ckpt::fnv1a64`] over the serialized parameter section.
+    param_hash: u64,
+    /// Sequence number of the last emitted cut (0 = base only).
+    seq: u64,
+    /// Cycle of the last emitted cut.
+    last_cycle: u64,
+}
+
+/// One cut from [`Machine::try_checkpoint_delta`]: either the chain's
+/// base (a complete snapshot in the full `SVCK` format, restorable on
+/// its own) or an incremental `SVDK` delta holding only the sections
+/// dirty since the previous cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaCheckpoint {
+    /// First cut of a chain: a complete full-format snapshot.
+    Base(Vec<u8>),
+    /// Subsequent cut: dirty sections only, chained to the base.
+    Delta(Vec<u8>),
+}
+
+impl DeltaCheckpoint {
+    /// The serialized bytes, whichever side this is.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            DeltaCheckpoint::Base(b) | DeltaCheckpoint::Delta(b) => b,
+        }
+    }
+
+    /// Consume into the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            DeltaCheckpoint::Base(b) | DeltaCheckpoint::Delta(b) => b,
+        }
+    }
+
+    /// True for the chain-opening full snapshot.
+    pub fn is_base(&self) -> bool {
+        matches!(self, DeltaCheckpoint::Base(_))
+    }
 }
 
 /// Configures and assembles a [`Machine`]. Created by
@@ -394,6 +443,7 @@ impl Machine {
             due: Vec::new(),
             delivered: Vec::new(),
             runstats: RunLoopCounters::default(),
+            delta_chain: None,
         }
     }
 
@@ -511,6 +561,7 @@ impl Machine {
     /// (see [`MachineBuilder::sample_latency`]).
     pub fn set_latency_sampling(&mut self, on: bool) {
         for node in &mut self.nodes {
+            node.ckpt_mark_dirty();
             node.niu.sample_latency = on;
         }
     }
@@ -695,6 +746,7 @@ impl Machine {
     /// ARTRYs, and packet movement into a ring buffer retrievable with
     /// [`Machine::trace`].
     pub fn enable_tracing(&mut self, i: u16, on: bool) {
+        self.nodes[i as usize].ckpt_mark_dirty();
         self.nodes[i as usize].tracer.set_enabled(on);
     }
 
@@ -743,6 +795,7 @@ impl Machine {
         len: u64,
         hw: bool,
     ) {
+        self.nodes[a as usize].ckpt_mark_dirty();
         let abiu = &mut self.nodes[a as usize].niu.abiu;
         abiu.reflect_hw = hw;
         abiu.reflect_windows.push(sv_niu::abiu::ReflectiveWindow {
@@ -757,6 +810,7 @@ impl Machine {
     /// extension): S-COMA-region writes are recorded in clsSRAM instead
     /// of gated, for later [`crate::api::request_flush`].
     pub fn enable_write_tracking(&mut self, i: u16) {
+        self.nodes[i as usize].ckpt_mark_dirty();
         self.nodes[i as usize].niu.abiu.write_tracking = true;
     }
 
@@ -829,6 +883,217 @@ impl Machine {
         }
         Ok(w.finish())
     }
+
+    /// Serialize the machine's parameters exactly as the snapshot formats
+    /// do, and hash the section.
+    fn param_hash(&self) -> u64 {
+        use sv_sim::ckpt::fnv1a64;
+        let mut pw = SnapWriter::new();
+        pw.save(&self.params);
+        fnv1a64(&pw.finish())
+    }
+
+    /// Forget every dirty mark across the machine — a checkpoint cut has
+    /// captured the current contents, opening a new epoch.
+    fn ckpt_clear_dirty(&mut self) {
+        for node in &mut self.nodes {
+            node.ckpt_clear_dirty();
+        }
+        self.network.ckpt_clear_dirty();
+        if let Some(ideal) = &mut self.ideal {
+            ideal.ckpt_clear_dirty();
+        }
+    }
+
+    /// Take an incremental checkpoint cut.
+    ///
+    /// The first call opens a chain: it emits a complete full-format
+    /// snapshot ([`DeltaCheckpoint::Base`], identical to
+    /// [`Machine::try_checkpoint`] output) and clears every dirty mark.
+    /// Each subsequent call emits a [`DeltaCheckpoint::Delta`] holding
+    /// only the sections that changed since the previous cut — dirty
+    /// DRAM/SRAM pages, dirty cache chunks, and whole small sections
+    /// (node CPU/bus/firmware/NIU-queue state, the network including its
+    /// fault RNG) for components that were active — then clears the
+    /// marks again, opening the next epoch.
+    ///
+    /// Every delta is pinned to its chain by parameter hash, base
+    /// snapshot id ([`sv_sim::ckpt::fnv1a64`] of the base bytes),
+    /// sequence number, and cycle span; [`MachineBuilder::restore_chain`]
+    /// verifies all four. Restoring the base plus the deltas in order
+    /// resumes byte-identical to the uninterrupted run, in every run
+    /// mode, worker count, and shard policy, with faults armed.
+    ///
+    /// Fails with [`ApiError::Snapshot`] (and leaves the dirty marks and
+    /// chain state untouched) when a still-running program cannot
+    /// capture its state.
+    pub fn try_checkpoint_delta(&mut self) -> Result<DeltaCheckpoint, crate::api::ApiError> {
+        use sv_sim::ckpt::{fnv1a64, write_delta_header, DeltaHeader, FORMAT_VERSION};
+        let Some(chain) = self.delta_chain else {
+            let base = self.try_checkpoint()?;
+            self.delta_chain = Some(DeltaChain {
+                base_id: fnv1a64(&base),
+                param_hash: self.param_hash(),
+                seq: 0,
+                last_cycle: self.cycle,
+            });
+            self.ckpt_clear_dirty();
+            return Ok(DeltaCheckpoint::Base(base));
+        };
+        // Program snapshots for dirty nodes are collected first so an
+        // unsupported program fails the whole call before any state
+        // (dirty marks, chain position) is consumed.
+        let dirty: Vec<bool> = self.nodes.iter().map(|n| n.ckpt_is_dirty()).collect();
+        let mut progs = Vec::with_capacity(self.nodes.len());
+        for (node, &d) in self.nodes.iter().zip(&dirty) {
+            progs.push(if d { node.program_snapshot()? } else { None });
+        }
+        let mut w = SnapWriter::new();
+        write_delta_header(
+            &mut w,
+            &DeltaHeader {
+                version: FORMAT_VERSION,
+                param_hash: chain.param_hash,
+                nodes: self.nodes.len() as u64,
+                base_id: chain.base_id,
+                seq: chain.seq + 1,
+                from_cycle: chain.last_cycle,
+                to_cycle: self.cycle,
+            },
+        );
+        w.save(&self.now);
+        w.save(&self.runstats);
+        if self.network.ckpt_dirty() {
+            w.u8(1);
+            w.save(&self.network);
+        } else {
+            w.u8(0);
+        }
+        if self.ideal.as_ref().is_some_and(|i| i.ckpt_dirty()) {
+            w.u8(1);
+            w.save(&self.ideal);
+        } else {
+            w.u8(0);
+        }
+        for ((node, prog), &d) in self.nodes.iter().zip(&progs).zip(&dirty) {
+            if d {
+                w.u8(1);
+                node.delta_save_into(&mut w);
+                w.save(prog);
+            } else {
+                w.u8(0);
+            }
+        }
+        let chain = self.delta_chain.as_mut().expect("chain checked above");
+        chain.seq += 1;
+        chain.last_cycle = self.cycle;
+        self.ckpt_clear_dirty();
+        Ok(DeltaCheckpoint::Delta(w.finish()))
+    }
+
+    /// Panicking form of [`Machine::try_checkpoint_delta`], mirroring
+    /// [`Machine::checkpoint`].
+    pub fn checkpoint_delta(&mut self) -> DeltaCheckpoint {
+        self.try_checkpoint_delta()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Apply one delta on top of this (base-restored or partially
+    /// chained) machine. `base_id` identifies the base snapshot the
+    /// chain started from; `expect_seq` is the next link number.
+    pub(crate) fn apply_delta(
+        &mut self,
+        bytes: &[u8],
+        base_id: u64,
+        expect_seq: u64,
+    ) -> Result<(), crate::api::ApiError> {
+        use sv_sim::ckpt::read_delta_header;
+        let mut r = SnapReader::new(bytes);
+        let header = read_delta_header(&mut r)?;
+        let expected_hash = self.param_hash();
+        if header.param_hash != expected_hash {
+            return Err(SnapshotError::ParamHash {
+                found: header.param_hash,
+                expected: expected_hash,
+            }
+            .into());
+        }
+        if header.nodes != self.nodes.len() as u64 {
+            return Err(SnapshotError::NodeCount {
+                found: header.nodes,
+            }
+            .into());
+        }
+        if header.base_id != base_id {
+            return Err(SnapshotError::BaseMismatch {
+                found: header.base_id,
+                expected: base_id,
+            }
+            .into());
+        }
+        if header.seq != expect_seq {
+            return Err(SnapshotError::ChainBroken {
+                expected: expect_seq,
+                found: header.seq,
+            }
+            .into());
+        }
+        if header.from_cycle != self.cycle || header.to_cycle < header.from_cycle {
+            return Err(SnapshotError::ChainBroken {
+                expected: self.cycle,
+                found: header.from_cycle,
+            }
+            .into());
+        }
+        self.now = r.load()?;
+        self.runstats = r.load()?;
+        let span = self.nodes.len().max(2);
+        let net_at = r.offset();
+        match r.u8()? {
+            0 => {}
+            1 => {
+                let network: Network<NetPayload> = r.load()?;
+                if network.nodes() != span {
+                    return Err(SnapshotError::Corrupt { offset: net_at }.into());
+                }
+                self.network = network;
+            }
+            _ => return Err(SnapshotError::Corrupt { offset: net_at }.into()),
+        }
+        let ideal_at = r.offset();
+        match r.u8()? {
+            0 => {}
+            1 => {
+                let ideal: Option<sv_arctic::IdealNetwork<NetPayload>> = r.load()?;
+                if ideal.as_ref().is_some_and(|i| i.nodes() != span) {
+                    return Err(SnapshotError::Corrupt { offset: ideal_at }.into());
+                }
+                self.ideal = ideal;
+            }
+            _ => return Err(SnapshotError::Corrupt { offset: ideal_at }.into()),
+        }
+        for i in 0..self.nodes.len() {
+            let at = r.offset();
+            match r.u8()? {
+                0 => continue,
+                1 => {}
+                _ => return Err(SnapshotError::Corrupt { offset: at }.into()),
+            }
+            self.nodes[i].delta_apply(&mut r)?;
+            let prog: Option<crate::api::ProgramSnapshot> = r.load()?;
+            if let Some(snap) = prog {
+                let lib = self.lib(i as u16);
+                let p = snap.instantiate(&lib);
+                self.nodes[i].set_restored_program(p);
+            }
+        }
+        r.finish()?;
+        self.cycle = header.to_cycle;
+        // The wake index memoizes per-node due cycles; state just moved
+        // under it, so force the lazy rebuild.
+        self.wake_valid = false;
+        Ok(())
+    }
 }
 
 use sv_sim::ckpt::{SnapReader, SnapWriter, SnapshotError, StateLoad, StateSave};
@@ -864,6 +1129,66 @@ impl MachineBuilder {
     /// Corrupted, truncated or version-mismatched snapshots fail with a
     /// typed [`ApiError::Snapshot`]; no input can make this panic.
     pub fn restore(self, bytes: &[u8]) -> Result<Machine, crate::api::ApiError> {
+        let mut m = self.restore_core(bytes)?;
+        self.apply_restore_knobs(&mut m);
+        Ok(m)
+    }
+
+    /// Rebuild a machine from a base snapshot plus an ordered delta
+    /// chain (each produced by [`Machine::try_checkpoint_delta`]).
+    ///
+    /// The base restores exactly as [`MachineBuilder::restore`]; each
+    /// delta is then verified against the chain — parameter hash, base
+    /// snapshot id, sequence number, and cycle continuity — and applied
+    /// in order. A delta written against a different base fails with
+    /// [`sv_sim::ckpt::SnapshotError::BaseMismatch`]; a missing,
+    /// duplicated, or reordered link fails with
+    /// [`sv_sim::ckpt::SnapshotError::ChainBroken`]. All failures are
+    /// typed [`ApiError::Snapshot`] values; no input can panic.
+    ///
+    /// The restored machine resumes byte-identical to the donor at the
+    /// final cut, in every run mode, worker count, and shard policy, and
+    /// continues the same delta chain: its next
+    /// [`Machine::try_checkpoint_delta`] emits the following link.
+    pub fn restore_chain<D: AsRef<[u8]>>(
+        self,
+        base: &[u8],
+        deltas: &[D],
+    ) -> Result<Machine, crate::api::ApiError> {
+        use sv_sim::ckpt::fnv1a64;
+        let mut m = self.restore_core(base)?;
+        let base_id = fnv1a64(base);
+        let mut seq = 0u64;
+        for d in deltas {
+            seq += 1;
+            m.apply_delta(d.as_ref(), base_id, seq)?;
+        }
+        m.delta_chain = Some(DeltaChain {
+            base_id,
+            param_hash: m.param_hash(),
+            seq,
+            last_cycle: m.cycle,
+        });
+        m.ckpt_clear_dirty();
+        self.apply_restore_knobs(&mut m);
+        Ok(m)
+    }
+
+    /// The observation knobs that are free to differ between the saving
+    /// and the restoring run, applied after the state is in place.
+    fn apply_restore_knobs(self, m: &mut Machine) {
+        for i in self.traced_nodes {
+            m.enable_tracing(i, true);
+        }
+        if self.sample_latency {
+            m.set_latency_sampling(true);
+        }
+    }
+
+    /// Everything [`MachineBuilder::restore`] does except the
+    /// observation knobs: header validation, machine assembly, and the
+    /// full state load.
+    fn restore_core(&self, bytes: &[u8]) -> Result<Machine, crate::api::ApiError> {
         use sv_sim::ckpt::{fnv1a64, read_header};
         let mut r = SnapReader::new(bytes);
         let header = read_header(&mut r)?;
@@ -918,12 +1243,6 @@ impl MachineBuilder {
             }
         }
         r.finish()?;
-        for i in self.traced_nodes {
-            m.enable_tracing(i, true);
-        }
-        if self.sample_latency {
-            m.set_latency_sampling(true);
-        }
         Ok(m)
     }
 }

@@ -117,6 +117,11 @@ pub struct Node {
     /// allocates.
     bus_events: Vec<BusEvent>,
     snoop_events: Vec<BusEvent>,
+    /// Whole-section dirty flag for the node's small mutable state (CPU,
+    /// bus, firmware, stats...), set by every mutating entry point.
+    /// Runtime bookkeeping, never serialized; fresh and restored nodes
+    /// start conservatively dirty.
+    ckpt_dirty: bool,
 }
 
 impl Node {
@@ -143,19 +148,24 @@ impl Node {
             next_tag: 1,
             bus_events: Vec::new(),
             snoop_events: Vec::new(),
+            ckpt_dirty: true,
             params,
         }
     }
 
     /// Load (or replace) the aP program.
     pub fn load_program(&mut self, p: Box<dyn Program>) {
+        self.ckpt_dirty = true;
         self.program = Some(p);
         self.cpu = CpuState::Ready;
     }
 
     /// Drop all cached lines (cold-cache measurement helper). Functional
-    /// data is unaffected — the data model is write-through.
+    /// data is unaffected — the data model is write-through. The fresh
+    /// caches start all-dirty, so a flush can never hide from a delta
+    /// snapshot.
     pub fn flush_caches(&mut self) {
+        self.ckpt_dirty = true;
         self.l1 = SnoopyCache::new(self.params.l1);
         self.l2 = SnoopyCache::new(self.params.l2);
     }
@@ -215,6 +225,7 @@ impl Node {
 
     /// Advance the node to bus cycle `cycle` (absolute time `now`).
     pub fn tick(&mut self, cycle: u64, now: Time) {
+        self.ckpt_dirty = true;
         self.cpu_step(now);
         let mut events = std::mem::take(&mut self.bus_events);
         self.bus.tick_into(cycle, &mut events);
@@ -783,6 +794,7 @@ impl Node {
     /// way [`Node::load_program`] does — the checkpointed [`CpuState`]
     /// (possibly mid-computation or mid-memory-stall) must survive.
     pub(crate) fn set_restored_program(&mut self, p: Box<dyn Program>) {
+        self.ckpt_dirty = true;
         self.program = Some(p);
     }
 
@@ -829,6 +841,88 @@ impl Node {
         self.l2 = SnoopyCache::load_with_params(self.params.l2, r)?;
         self.niu = r.load()?;
         self.fw = r.load()?;
+        Ok(())
+    }
+
+    // =====================================================================
+    // Delta-snapshot support
+    // =====================================================================
+
+    /// True if any part of this node changed since the last checkpoint
+    /// cut: its own small-state flag, the NIU's, or any tracked array.
+    pub(crate) fn ckpt_is_dirty(&self) -> bool {
+        self.ckpt_dirty
+            || self.niu.ckpt_small_dirty()
+            || self.niu.ckpt_mems_dirty()
+            || self.mem.has_dirty()
+            || self.l1.has_dirty()
+            || self.l2.has_dirty()
+    }
+
+    /// Mark the node's small state dirty (external mutation through the
+    /// machine API).
+    pub(crate) fn ckpt_mark_dirty(&mut self) {
+        self.ckpt_dirty = true;
+    }
+
+    /// Forget all dirty marks across the node — called when a checkpoint
+    /// cut captures the current contents.
+    pub(crate) fn ckpt_clear_dirty(&mut self) {
+        self.ckpt_dirty = false;
+        self.mem.clear_dirty();
+        self.l1.clear_dirty();
+        self.l2.clear_dirty();
+        self.niu.ckpt_clear_dirty();
+    }
+
+    /// Delta record body: the small mutable state whole (it is a few KB
+    /// and mutates together on every active cycle — this is the
+    /// whole-section granularity for the CPU, bus, firmware tables, NIU
+    /// queues, and reliable-delivery windows), then dirty-page/chunk
+    /// deltas for the large arrays (DRAM, SRAM banks, caches). The
+    /// program snapshot is written separately by the machine, exactly as
+    /// in the full format.
+    pub(crate) fn delta_save_into(&self, w: &mut SnapWriter) {
+        self.cpu.save(w);
+        w.u64(self.last_load);
+        w.save(&self.pending);
+        w.save(&self.castout_tags);
+        w.save(&self.inflight_abiu);
+        w.u64(self.next_tag);
+        w.save(&self.events);
+        w.save(&self.tracer);
+        w.save(&self.stats);
+        w.save(&self.dram_timer);
+        w.save(&self.bus);
+        self.niu.save_small(w);
+        w.save(&self.fw);
+        self.mem.save_delta(w);
+        self.niu.save_mems_delta(w);
+        self.l1.save_delta(w);
+        self.l2.save_delta(w);
+    }
+
+    /// Apply a record produced by [`Node::delta_save_into`] on top of the
+    /// node's current (base-restored) state.
+    pub(crate) fn delta_apply(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.cpu = r.load()?;
+        self.last_load = r.u64()?;
+        self.pending = r.load()?;
+        self.castout_tags = r.load()?;
+        self.inflight_abiu = r.load()?;
+        self.next_tag = r.u64()?;
+        self.events = r.load()?;
+        self.tracer = r.load()?;
+        self.stats = r.load()?;
+        self.dram_timer = r.load()?;
+        self.bus = r.load()?;
+        self.niu.apply_small(r)?;
+        self.fw = r.load()?;
+        self.mem.apply_delta(r)?;
+        self.niu.apply_mems_delta(r)?;
+        self.l1.apply_delta(r)?;
+        self.l2.apply_delta(r)?;
+        self.ckpt_dirty = true;
         Ok(())
     }
 }

@@ -102,6 +102,10 @@ pub struct SnoopOutcome {
     pub pushed_dirty: bool,
 }
 
+/// Sets per dirty-tracking chunk: deltas snapshot the way arrays in
+/// groups of this many consecutive sets.
+const CHUNK_SETS: usize = 64;
+
 /// One level of snoopy MESI cache.
 #[derive(Debug)]
 pub struct SnoopyCache {
@@ -111,12 +115,20 @@ pub struct SnoopyCache {
     tick: u64,
     /// Running statistics.
     pub stats: CacheStats,
+    /// Bitmap over [`CHUNK_SETS`]-set chunks: bit set = some way in the
+    /// chunk changed since the last checkpoint cut. Runtime bookkeeping,
+    /// never serialized; a fresh cache starts all-dirty.
+    dirty_chunks: Vec<u64>,
+    /// `tick` or `stats` changed since the last checkpoint cut.
+    dirty_meta: bool,
 }
 
 impl SnoopyCache {
-    /// An empty cache with the given geometry.
+    /// An empty cache with the given geometry. Starts all-dirty: callers
+    /// that swap in a fresh cache mid-run (e.g. a flush) must not be able
+    /// to hide the replacement from delta snapshots.
     pub fn new(params: CacheParams) -> Self {
-        let sets = (0..params.sets())
+        let sets: Vec<Vec<Way>> = (0..params.sets())
             .map(|_| {
                 (0..params.ways)
                     .map(|_| Way {
@@ -127,11 +139,14 @@ impl SnoopyCache {
                     .collect()
             })
             .collect();
+        let words = sets.len().div_ceil(CHUNK_SETS).div_ceil(64);
         SnoopyCache {
             params,
             sets,
             tick: 0,
             stats: CacheStats::default(),
+            dirty_chunks: vec![u64::MAX; words],
+            dirty_meta: true,
         }
     }
 
@@ -140,6 +155,12 @@ impl SnoopyCache {
         let line = line_of(addr) / CACHE_LINE;
         let set = (line as usize) % self.sets.len();
         (set, line)
+    }
+
+    #[inline]
+    fn mark_set(&mut self, set: usize) {
+        let chunk = set / CHUNK_SETS;
+        self.dirty_chunks[chunk / 64] |= 1u64 << (chunk % 64);
     }
 
     /// Current state of the line containing `addr`, without touching LRU.
@@ -155,14 +176,21 @@ impl SnoopyCache {
     /// Look up `addr`, updating LRU and hit/miss statistics.
     pub fn lookup(&mut self, addr: Addr) -> Mesi {
         self.tick += 1;
+        self.dirty_meta = true;
         let (set, tag) = self.index(addr);
         let tick = self.tick;
+        let mut hit = Mesi::Invalid;
         for w in &mut self.sets[set] {
             if w.tag == tag && w.state != Mesi::Invalid {
                 w.lru = tick;
-                self.stats.hits.bump();
-                return w.state;
+                hit = w.state;
+                break;
             }
+        }
+        if hit != Mesi::Invalid {
+            self.stats.hits.bump();
+            self.mark_set(set);
+            return hit;
         }
         self.stats.misses.bump();
         Mesi::Invalid
@@ -172,9 +200,11 @@ impl SnoopyCache {
     /// if the line is absent.
     pub fn set_state(&mut self, addr: Addr, state: Mesi) {
         let (set, tag) = self.index(addr);
-        for w in &mut self.sets[set] {
+        for i in 0..self.sets[set].len() {
+            let w = &mut self.sets[set][i];
             if w.tag == tag && w.state != Mesi::Invalid {
                 w.state = state;
+                self.mark_set(set);
                 return;
             }
         }
@@ -185,7 +215,9 @@ impl SnoopyCache {
     pub fn install(&mut self, addr: Addr, state: Mesi) -> Option<(Addr, bool)> {
         assert_ne!(state, Mesi::Invalid);
         self.tick += 1;
+        self.dirty_meta = true;
         let (set, tag) = self.index(addr);
+        self.mark_set(set);
         let tick = self.tick;
         let ways = &mut self.sets[set];
         // Already resident: just update.
@@ -225,10 +257,12 @@ impl SnoopyCache {
     /// Drop the line containing `addr`; returns whether it was dirty.
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
         let (set, tag) = self.index(addr);
-        for w in &mut self.sets[set] {
+        for i in 0..self.sets[set].len() {
+            let w = &mut self.sets[set][i];
             if w.tag == tag && w.state != Mesi::Invalid {
                 let dirty = w.state == Mesi::Modified;
                 w.state = Mesi::Invalid;
+                self.mark_set(set);
                 return Some(dirty);
             }
         }
@@ -246,6 +280,10 @@ impl SnoopyCache {
             return SnoopOutcome::default();
         };
         self.stats.snoop_hits.bump();
+        self.dirty_meta = true;
+        // Inlined mark_set: `w` still borrows `self.sets`.
+        let chunk = set / CHUNK_SETS;
+        self.dirty_chunks[chunk / 64] |= 1u64 << (chunk % 64);
         let mut out = SnoopOutcome::default();
         match kind {
             BusOpKind::Read | BusOpKind::SingleRead => {
@@ -384,6 +422,8 @@ impl StateSave for SnoopyCache {
 
 impl SnoopyCache {
     /// Restore a cache snapshotted under the same geometry `params`.
+    /// The result is conservatively all-dirty (inherited from
+    /// [`SnoopyCache::new`]) until the next checkpoint cut.
     pub fn load_with_params(
         params: CacheParams,
         r: &mut SnapReader<'_>,
@@ -399,6 +439,77 @@ impl SnoopyCache {
             }
         }
         Ok(cache)
+    }
+
+    /// Number of [`CHUNK_SETS`]-set chunks covering this geometry.
+    fn chunk_count(&self) -> usize {
+        self.sets.len().div_ceil(CHUNK_SETS)
+    }
+
+    /// True if anything (ways, tick, or stats) changed since the last
+    /// checkpoint cut.
+    pub fn has_dirty(&self) -> bool {
+        self.dirty_meta || self.dirty_chunks.iter().any(|w| *w != 0)
+    }
+
+    /// Forget all dirty marks — called when a checkpoint cut captures the
+    /// current contents.
+    pub fn clear_dirty(&mut self) {
+        self.dirty_meta = false;
+        self.dirty_chunks.fill(0);
+    }
+
+    /// Emit the LRU tick, stats, and only the dirty chunks of the way
+    /// array, in ascending chunk order (deterministic bytes).
+    pub fn save_delta(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        w.save(&self.stats);
+        let chunks: Vec<usize> = (0..self.chunk_count())
+            .filter(|c| self.dirty_chunks[c / 64] & (1u64 << (c % 64)) != 0)
+            .collect();
+        w.usize_(chunks.len());
+        for c in chunks {
+            w.u64(c as u64);
+            let lo = c * CHUNK_SETS;
+            let hi = (lo + CHUNK_SETS).min(self.sets.len());
+            for set in &self.sets[lo..hi] {
+                for way in set {
+                    w.u64(way.tag);
+                    w.save(&way.state);
+                    w.u64(way.lru);
+                }
+            }
+        }
+    }
+
+    /// Apply a delta produced by [`SnoopyCache::save_delta`] under the
+    /// same geometry. Applied chunks are re-marked dirty; callers clear
+    /// the marks once the whole chain has been applied.
+    pub fn apply_delta(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        self.stats = r.load()?;
+        self.dirty_meta = true;
+        let n = r.count()?;
+        let chunks = self.chunk_count();
+        for _ in 0..n {
+            let at = r.offset();
+            let c = r.u64()?;
+            if c as usize >= chunks {
+                return Err(SnapshotError::Corrupt { offset: at });
+            }
+            let c = c as usize;
+            let lo = c * CHUNK_SETS;
+            let hi = (lo + CHUNK_SETS).min(self.sets.len());
+            for set in &mut self.sets[lo..hi] {
+                for way in set {
+                    way.tag = r.u64()?;
+                    way.state = r.load()?;
+                    way.lru = r.u64()?;
+                }
+            }
+            self.dirty_chunks[c / 64] |= 1u64 << (c % 64);
+        }
+        Ok(())
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::op::Addr;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// DRAM timing parameters, in bus cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,10 +53,33 @@ impl DramTimer {
 
 const PAGE: usize = 4096;
 
+/// Sentinel for the "last page marked dirty" micro-cache: no page.
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse byte-addressable memory. Unwritten bytes read as zero.
-#[derive(Debug, Default, Clone)]
+///
+/// Every write also records the touched page in a dirty set so delta
+/// snapshots can emit only pages changed since the last checkpoint cut.
+/// The dirty set is runtime bookkeeping: it is never serialized, and a
+/// loaded array starts conservatively all-dirty.
+#[derive(Debug, Clone)]
 pub struct MemoryArray {
     pages: HashMap<u64, Box<[u8; PAGE]>>,
+    /// Pages written since the last [`MemoryArray::clear_dirty`].
+    dirty: HashSet<u64>,
+    /// Last page inserted into `dirty` — writes are bursty and page-local,
+    /// so this skips the hash insert on the (hot) repeated-page case.
+    last_dirty: u64,
+}
+
+impl Default for MemoryArray {
+    fn default() -> Self {
+        MemoryArray {
+            pages: HashMap::new(),
+            dirty: HashSet::new(),
+            last_dirty: NO_PAGE,
+        }
+    }
 }
 
 impl MemoryArray {
@@ -95,6 +118,10 @@ impl MemoryArray {
                 .entry(page)
                 .or_insert_with(|| Box::new([0u8; PAGE]));
             p[po..po + n].copy_from_slice(&buf[off..off + n]);
+            if self.last_dirty != page {
+                self.dirty.insert(page);
+                self.last_dirty = page;
+            }
             a += n as u64;
             off += n;
         }
@@ -136,6 +163,55 @@ impl MemoryArray {
     /// Number of backing pages allocated so far.
     pub fn pages_allocated(&self) -> usize {
         self.pages.len()
+    }
+
+    /// True if any page has been written since the last
+    /// [`MemoryArray::clear_dirty`].
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Forget all dirty marks — called when a checkpoint cut captures the
+    /// current contents.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+        self.last_dirty = NO_PAGE;
+    }
+
+    /// Emit only dirty pages, in ascending index order so identical change
+    /// sets produce identical delta bytes.
+    pub fn save_delta(&self, w: &mut SnapWriter) {
+        let mut idx: Vec<u64> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|i| self.pages.contains_key(i))
+            .collect();
+        idx.sort_unstable();
+        w.usize_(idx.len());
+        for i in idx {
+            w.u64(i);
+            w.raw(&self.pages[&i][..]);
+        }
+    }
+
+    /// Apply a delta produced by [`MemoryArray::save_delta`], overwriting
+    /// the listed pages. Applied pages are re-marked dirty; callers clear
+    /// the marks once the whole chain has been applied.
+    pub fn apply_delta(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let i = r.u64()?;
+            let at = r.offset();
+            let body: [u8; PAGE] = r
+                .take(PAGE)?
+                .try_into()
+                .map_err(|_| SnapshotError::Corrupt { offset: at })?;
+            self.pages.insert(i, Box::new(body));
+            self.dirty.insert(i);
+        }
+        self.last_dirty = NO_PAGE;
+        Ok(())
     }
 }
 
@@ -201,7 +277,14 @@ impl StateLoad for MemoryArray {
                 return Err(SnapshotError::Corrupt { offset: at });
             }
         }
-        Ok(MemoryArray { pages })
+        // Conservative: a freshly loaded array counts as all-dirty until
+        // the next checkpoint cut clears it.
+        let dirty = pages.keys().copied().collect();
+        Ok(MemoryArray {
+            pages,
+            dirty,
+            last_dirty: NO_PAGE,
+        })
     }
 }
 

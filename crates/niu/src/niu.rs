@@ -25,7 +25,7 @@ use crate::msg::{
     express, MsgClass, MsgData, MsgFlags, MsgHeader, NetPayload, RemoteCmdKind, MSG_CLASSES,
 };
 use crate::params::NiuParams;
-use crate::queues::{QueueId, RxFullPolicy, RxService};
+use crate::queues::{QueueBuffer, QueueId, RxFullPolicy, RxService};
 use crate::sram::{ClsSram, ClsState, Sram, SramSel};
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -215,6 +215,10 @@ pub struct Niu {
     /// only per-message cost the observability layer adds beyond counter
     /// increments, and switching it off keeps the hot path at one branch.
     pub sample_latency: bool,
+    /// Whole-section dirty flag for the small (non-SRAM) NIU state, set by
+    /// the entry points the run loops call. Runtime bookkeeping, never
+    /// serialized; fresh and loaded NIUs start conservatively dirty.
+    ckpt_dirty: bool,
 }
 
 impl Niu {
@@ -238,6 +242,7 @@ impl Niu {
             notify_head_stalls: 0,
             stats: NiuStats::default(),
             sample_latency: false,
+            ckpt_dirty: true,
             params,
             map,
         }
@@ -263,6 +268,7 @@ impl Niu {
 
     /// Advance every engine to `cycle`.
     pub fn tick(&mut self, cycle: u64) {
+        self.ckpt_dirty = true;
         self.rx_step(cycle);
         self.tx_step(cycle);
         self.cmd_step(0, cycle);
@@ -275,6 +281,7 @@ impl Niu {
 
     /// A packet arrived from the network (or was looped back locally).
     pub fn push_arrival(&mut self, payload: NetPayload) {
+        self.ckpt_dirty = true;
         self.rxu_in.push_back(payload);
         if self.rxu_in.len() > self.stats.rxu_high_water {
             self.stats.rxu_high_water = self.rxu_in.len();
@@ -288,6 +295,7 @@ impl Niu {
     /// in-order check and are cumulatively acked. Accepted payloads then
     /// take the normal [`Niu::push_arrival`] path.
     pub fn push_arrival_packet(&mut self, cycle: u64, pkt: Packet<NetPayload>) {
+        self.ckpt_dirty = true;
         if pkt.corrupt {
             // The frame failed its CRC: discard at the link, exactly as
             // the hardware would. The sender's retransmit timer (if the
@@ -422,7 +430,10 @@ impl Niu {
     /// Take the next outbound packet whose processing finished by `cycle`.
     pub fn pop_ready_packet(&mut self, cycle: u64) -> Option<Packet<NetPayload>> {
         match self.txu_out.front() {
-            Some(&(ready, _)) if ready <= cycle => self.txu_out.pop_front().map(|(_, p)| p),
+            Some(&(ready, _)) if ready <= cycle => {
+                self.ckpt_dirty = true;
+                self.txu_out.pop_front().map(|(_, p)| p)
+            }
             _ => None,
         }
     }
@@ -2109,9 +2120,43 @@ impl StateSave for Niu {
         w.save(&self.sample_latency);
     }
 }
+impl Niu {
+    /// Restored queue descriptors are untrusted bytes: reject any whose
+    /// buffer span or shadow-pointer slot falls outside its SRAM bank,
+    /// so a forged snapshot cannot steer the engines into the SRAM
+    /// bounds asserts (and `slot_addr` arithmetic stays in `u32`).
+    fn validate_geometry(&self, at: usize) -> Result<(), SnapshotError> {
+        let bank = |sel: SramSel| match sel {
+            SramSel::A => self.asram.len() as u64,
+            SramSel::S => self.ssram.len() as u64,
+        };
+        let buf_ok = |b: &QueueBuffer| {
+            b.base as u64 + b.entries as u64 * b.entry_bytes as u64 <= bank(b.sram)
+        };
+        let shadow_ok =
+            |s: Option<(SramSel, u32)>| s.is_none_or(|(sel, addr)| addr as u64 + 8 <= bank(sel));
+        let tx_ok = self
+            .ctrl
+            .tx
+            .iter()
+            .all(|q| buf_ok(&q.buf) && shadow_ok(q.shadow_addr));
+        let rx_ok = self
+            .ctrl
+            .rx
+            .iter()
+            .all(|q| buf_ok(&q.buf) && shadow_ok(q.shadow_addr));
+        if tx_ok && rx_ok {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt { offset: at })
+        }
+    }
+}
+
 impl StateLoad for Niu {
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
-        Ok(Niu {
+        let at = r.offset();
+        let n = Niu {
             node_id: r.u16()?,
             params: r.load()?,
             map: r.load()?,
@@ -2131,7 +2176,109 @@ impl StateLoad for Niu {
             notify_head_stalls: r.u32()?,
             stats: r.load()?,
             sample_latency: r.load()?,
-        })
+            ckpt_dirty: true,
+        };
+        n.validate_geometry(at)?;
+        Ok(n)
+    }
+}
+
+// =====================================================================
+// Delta-snapshot support
+// =====================================================================
+impl Niu {
+    /// True if any small (non-SRAM) NIU state may have changed since the
+    /// last checkpoint cut. The queues, reliable-delivery windows, and
+    /// control state are tracked as one whole section: they are small and
+    /// mutate together on every active cycle.
+    pub fn ckpt_small_dirty(&self) -> bool {
+        self.ckpt_dirty
+    }
+
+    /// True if any SRAM bank (aSRAM/sSRAM pages, clsSRAM lines) changed
+    /// since the last checkpoint cut.
+    pub fn ckpt_mems_dirty(&self) -> bool {
+        self.asram.has_dirty() || self.ssram.has_dirty() || self.clssram.has_dirty()
+    }
+
+    /// Forget all dirty marks — called when a checkpoint cut captures the
+    /// current contents.
+    pub fn ckpt_clear_dirty(&mut self) {
+        self.ckpt_dirty = false;
+        self.asram.clear_dirty();
+        self.ssram.clear_dirty();
+        self.clssram.clear_dirty();
+    }
+
+    /// Save everything *except* the SRAM banks, in the same field order
+    /// as the full snapshot.
+    pub fn save_small(&self, w: &mut SnapWriter) {
+        w.u16(self.node_id);
+        w.save(&self.params);
+        w.save(&self.map);
+        w.save(&self.ctrl);
+        w.save(&self.abiu);
+        w.save(&self.rxu_in);
+        w.save(&self.txu_out);
+        w.save(&self.sp_requests);
+        w.save(&self.interrupts);
+        w.save(&self.req_tags);
+        w.save(&self.tx_rel);
+        w.save(&self.rx_expected);
+        w.u32(self.rx_head_stalls);
+        w.u32(self.notify_head_stalls);
+        w.save(&self.stats);
+        w.save(&self.sample_latency);
+    }
+
+    /// Apply a section produced by [`Niu::save_small`], leaving the SRAM
+    /// banks untouched.
+    pub fn apply_small(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let at = r.offset();
+        self.node_id = r.u16()?;
+        self.params = r.load()?;
+        self.map = r.load()?;
+        self.ctrl = r.load()?;
+        self.abiu = r.load()?;
+        self.rxu_in = r.load()?;
+        self.txu_out = r.load()?;
+        self.sp_requests = r.load()?;
+        self.interrupts = r.load()?;
+        self.req_tags = r.load()?;
+        self.tx_rel = r.load()?;
+        self.rx_expected = r.load()?;
+        self.rx_head_stalls = r.u32()?;
+        self.notify_head_stalls = r.u32()?;
+        self.stats = r.load()?;
+        self.sample_latency = r.load()?;
+        self.ckpt_dirty = true;
+        self.validate_geometry(at)
+    }
+
+    /// Emit dirty pages of the aSRAM/sSRAM banks plus the whole clsSRAM
+    /// when any of its lines changed (it is sparse and small).
+    pub fn save_mems_delta(&self, w: &mut SnapWriter) {
+        self.asram.save_delta(w);
+        self.ssram.save_delta(w);
+        if self.clssram.has_dirty() {
+            w.u8(1);
+            w.save(&self.clssram);
+        } else {
+            w.u8(0);
+        }
+    }
+
+    /// Apply a section produced by [`Niu::save_mems_delta`].
+    pub fn apply_mems_delta(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.asram.apply_delta(r)?;
+        self.ssram.apply_delta(r)?;
+        let at = r.offset();
+        match r.u8()? {
+            0 => {}
+            1 => self.clssram = r.load()?,
+            _ => return Err(SnapshotError::Corrupt { offset: at }),
+        }
+        Ok(())
     }
 }
 

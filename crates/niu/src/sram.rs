@@ -87,6 +87,27 @@ impl Sram {
         self.check(addr, 8);
         self.mem.write_u64(addr as u64, v);
     }
+
+    /// True if any page has been written since the last
+    /// [`Sram::clear_dirty`]. Delegates to the backing [`MemoryArray`].
+    pub fn has_dirty(&self) -> bool {
+        self.mem.has_dirty()
+    }
+
+    /// Forget all dirty marks.
+    pub fn clear_dirty(&mut self) {
+        self.mem.clear_dirty();
+    }
+
+    /// Emit only dirty pages of the backing array.
+    pub fn save_delta(&self, w: &mut SnapWriter) {
+        self.mem.save_delta(w);
+    }
+
+    /// Apply a delta produced by [`Sram::save_delta`].
+    pub fn apply_delta(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.mem.apply_delta(r)
+    }
 }
 
 /// S-COMA cache-line states kept in clsSRAM.
@@ -130,10 +151,24 @@ impl ClsState {
 ///
 /// Stored sparsely (most experiments touch a tiny fraction of the
 /// 256 MB-region's 8 M lines); unset lines read as [`ClsState::Invalid`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ClsSram {
     lines: std::collections::HashMap<u64, u8>,
     capacity_lines: u64,
+    /// Whole-section dirty flag: any `set` since the last checkpoint cut.
+    /// Runtime bookkeeping, never serialized; fresh and loaded instances
+    /// start conservatively dirty.
+    dirty: bool,
+}
+
+impl Default for ClsSram {
+    fn default() -> Self {
+        ClsSram {
+            lines: Default::default(),
+            capacity_lines: 0,
+            dirty: true,
+        }
+    }
 }
 
 impl ClsSram {
@@ -142,6 +177,7 @@ impl ClsSram {
         ClsSram {
             lines: Default::default(),
             capacity_lines,
+            dirty: true,
         }
     }
 
@@ -163,6 +199,7 @@ impl ClsSram {
     /// Set the state of `line`.
     pub fn set(&mut self, line: u64, state: ClsState) {
         self.check(line);
+        self.dirty = true;
         if state == ClsState::Invalid {
             self.lines.remove(&line);
         } else {
@@ -181,6 +218,16 @@ impl ClsSram {
     /// Number of lines in a non-Invalid state.
     pub fn populated(&self) -> usize {
         self.lines.len()
+    }
+
+    /// True if any line changed since the last [`ClsSram::clear_dirty`].
+    pub fn has_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Forget the dirty mark.
+    pub fn clear_dirty(&mut self) {
+        self.dirty = false;
     }
 }
 
@@ -255,6 +302,7 @@ impl StateLoad for ClsSram {
         Ok(ClsSram {
             lines,
             capacity_lines,
+            dirty: true,
         })
     }
 }

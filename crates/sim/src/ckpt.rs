@@ -106,6 +106,22 @@ pub enum SnapshotError {
         /// Node whose program cannot be snapshotted.
         node: u16,
     },
+    /// A delta snapshot names a different base snapshot than the one it
+    /// is being applied to.
+    BaseMismatch {
+        /// Base id recorded in the delta header.
+        found: u64,
+        /// Id of the base snapshot actually provided.
+        expected: u64,
+    },
+    /// A delta chain is discontinuous: a link's sequence number or
+    /// starting cycle does not follow from the previous link.
+    ChainBroken {
+        /// Sequence number the chain required next.
+        expected: u64,
+        /// Sequence number actually found in the delta header.
+        found: u64,
+    },
 }
 
 impl core::fmt::Display for SnapshotError {
@@ -148,6 +164,14 @@ impl core::fmt::Display for SnapshotError {
             SnapshotError::UnsupportedProgram { node } => write!(
                 f,
                 "node {node} runs a program that does not support checkpointing"
+            ),
+            SnapshotError::BaseMismatch { found, expected } => write!(
+                f,
+                "delta targets base snapshot {found:#018x}, but base {expected:#018x} was provided"
+            ),
+            SnapshotError::ChainBroken { expected, found } => write!(
+                f,
+                "delta chain broken: expected link {expected}, found {found}"
             ),
         }
     }
@@ -215,6 +239,77 @@ pub fn read_header(r: &mut SnapReader<'_>) -> Result<SnapHeader, SnapshotError> 
         version,
         param_hash,
         nodes,
+    })
+}
+
+/// Leading magic for every delta snapshot: `SVDK` (StarT-Voyager Delta
+/// checKpoint). Distinct from [`MAGIC`] so a delta can never be mistaken
+/// for (or restored as) a full snapshot, and vice versa.
+pub const DELTA_MAGIC: [u8; 4] = *b"SVDK";
+
+/// The fixed-size delta-snapshot header: the same identity fields as
+/// [`SnapHeader`] plus the chain linkage that pins a delta to one
+/// position after one specific base snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHeader {
+    /// Format version the delta was written with.
+    pub version: u32,
+    /// [`fnv1a64`] over the serialized parameter section of the base.
+    pub param_hash: u64,
+    /// Number of nodes in the snapshotted machine.
+    pub nodes: u64,
+    /// [`fnv1a64`] over the complete base snapshot byte stream.
+    pub base_id: u64,
+    /// 1-based position of this delta in its chain; applying out of
+    /// order fails with [`SnapshotError::ChainBroken`].
+    pub seq: u64,
+    /// Cycle the previous cut (the base for `seq == 1`) was taken at.
+    pub from_cycle: u64,
+    /// Cycle this cut was taken at.
+    pub to_cycle: u64,
+}
+
+/// Serialize a delta `header` (magic first) into `w`.
+pub fn write_delta_header(w: &mut SnapWriter, header: &DeltaHeader) {
+    w.raw(&DELTA_MAGIC);
+    w.u32(header.version);
+    w.u64(header.param_hash);
+    w.u64(header.nodes);
+    w.u64(header.base_id);
+    w.u64(header.seq);
+    w.u64(header.from_cycle);
+    w.u64(header.to_cycle);
+}
+
+/// Read and validate a delta header: checks magic and format version,
+/// returns the rest (hashes, chain position, cycle span) for the caller
+/// to judge against the base it holds.
+pub fn read_delta_header(r: &mut SnapReader<'_>) -> Result<DeltaHeader, SnapshotError> {
+    let mut found = [0u8; 4];
+    let got = r.take(4).map_err(|_| {
+        let avail = r.rest();
+        found[..avail.len()].copy_from_slice(avail);
+        SnapshotError::BadMagic { found }
+    })?;
+    if got != DELTA_MAGIC {
+        found.copy_from_slice(got);
+        return Err(SnapshotError::BadMagic { found });
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    Ok(DeltaHeader {
+        version,
+        param_hash: r.u64()?,
+        nodes: r.u64()?,
+        base_id: r.u64()?,
+        seq: r.u64()?,
+        from_cycle: r.u64()?,
+        to_cycle: r.u64()?,
     })
 }
 

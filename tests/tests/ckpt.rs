@@ -323,6 +323,292 @@ fn restored_machine_ignores_builder_shape_but_keeps_observation_knobs() {
     assert_eq!(r.stats().nodes.len(), 2);
 }
 
+// =====================================================================
+// Delta chains
+// =====================================================================
+
+use voyager::DeltaCheckpoint;
+
+/// Drive `m` in `cuts` equal slices of `total_ns`, taking a delta cut
+/// after each slice. Returns `(base, deltas)`.
+fn chain_cuts(m: &mut Machine, total_ns: u64, cuts: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let base = match m.checkpoint_delta() {
+        DeltaCheckpoint::Base(b) => b,
+        DeltaCheckpoint::Delta(_) => panic!("first cut must be the base"),
+    };
+    let mut deltas = Vec::new();
+    for _ in 0..cuts {
+        m.run_for(total_ns / cuts as u64);
+        match m.checkpoint_delta() {
+            DeltaCheckpoint::Delta(d) => deltas.push(d),
+            DeltaCheckpoint::Base(_) => panic!("chain already open"),
+        }
+    }
+    (base, deltas)
+}
+
+#[test]
+fn delta_chain_resume_is_bit_identical_in_every_run_mode() {
+    let n = 8u16;
+    for mode in MODES {
+        let (end_ns, want) = baseline(n, mode);
+        let mut m = all_pairs(n, mode);
+        // Four cuts through the first half of the run: the hostile
+        // fabric has retransmit timers and sequence windows in flight.
+        let (base, deltas) = chain_cuts(&mut m, end_ns / 2, 4);
+        // The chain-restored machine serializes byte-identically to a
+        // full snapshot of the donor at the final cut...
+        let full_at_cut = m.checkpoint();
+        let r = with_mode(Machine::builder(1), mode)
+            .restore_chain(&base, &deltas)
+            .expect("restore_chain");
+        assert_eq!(
+            r.checkpoint(),
+            full_at_cut,
+            "chain restore != full snapshot, mode {mode:?}"
+        );
+        // ...cutting was non-perturbing for the donor...
+        m.run_to_quiescence();
+        assert_eq!(m.stats().to_json(), want, "donor diverged, mode {mode:?}");
+        // ...and the restored machine finishes identically too.
+        let mut r = r;
+        r.run_to_quiescence();
+        assert_eq!(
+            r.stats().to_json(),
+            want,
+            "chain restore diverged, mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn delta_chain_transfers_across_worker_counts_and_policies() {
+    let n = 8u16;
+    let (end_ns, want) = baseline(n, Some(Parallelism::Sequential));
+    let mut m = all_pairs(n, Some(Parallelism::Sequential));
+    let (base, deltas) = chain_cuts(&mut m, end_ns / 2, 3);
+    for k in [2usize, 5, 8] {
+        for policy in [ShardPolicy::BySubtree, ShardPolicy::RoundRobin] {
+            let mut r = Machine::builder(1)
+                .parallelism(Parallelism::Fixed(k))
+                .shard_policy(policy)
+                .restore_chain(&base, &deltas)
+                .expect("restore_chain");
+            r.run_to_quiescence();
+            assert_eq!(
+                r.stats().to_json(),
+                want,
+                "chain diverged at {k} workers, {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn restored_chain_continues_the_chain() {
+    // A chain-restored machine picks up where the donor left off: its
+    // next cut is the next link, and applies on top of the same base.
+    let n = 4u16;
+    let (end_ns, want) = baseline(n, Some(Parallelism::Sequential));
+    let mut m = all_pairs(n, Some(Parallelism::Sequential));
+    let (base, mut deltas) = chain_cuts(&mut m, end_ns / 3, 2);
+    let mut r = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base, &deltas)
+        .expect("restore_chain");
+    r.run_for(end_ns / 4);
+    match r.checkpoint_delta() {
+        DeltaCheckpoint::Delta(d) => deltas.push(d),
+        DeltaCheckpoint::Base(_) => panic!("restored machine restarted the chain"),
+    }
+    let mut r2 = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base, &deltas)
+        .expect("extended chain restores");
+    r2.run_to_quiescence();
+    assert_eq!(r2.stats().to_json(), want);
+}
+
+#[test]
+fn idle_interval_delta_is_tiny_and_applies() {
+    let mut m = all_pairs(4, Some(Parallelism::Sequential));
+    m.run_for(10_000);
+    let (base, _) = chain_cuts(&mut m, 0, 0);
+    // No simulated time has passed since the cut: nothing is dirty, so
+    // the delta is header + presence bytes — a few dozen bytes against
+    // a megabyte-class full snapshot.
+    let d = match m.checkpoint_delta() {
+        DeltaCheckpoint::Delta(d) => d,
+        DeltaCheckpoint::Base(_) => panic!("chain already open"),
+    };
+    assert!(d.len() < 256, "idle delta is {} bytes", d.len());
+    assert!(d.len() * 100 < base.len(), "idle delta not ≥100x smaller");
+    let r = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base, &[d])
+        .expect("idle delta applies");
+    assert_eq!(r.checkpoint(), m.checkpoint());
+}
+
+#[test]
+fn delta_on_wrong_base_is_base_mismatch() {
+    // Two donors, identical configuration, different cut points: the
+    // param hash matches, so only the base id can tell them apart.
+    let mut a = all_pairs(4, Some(Parallelism::Sequential));
+    let (_, deltas_a) = chain_cuts(&mut a, 30_000, 2);
+    let mut b = all_pairs(4, Some(Parallelism::Sequential));
+    b.run_for(7_000);
+    let (base_b, _) = chain_cuts(&mut b, 0, 0);
+    let Err(err) = Machine::builder(1)
+        .parallelism(Parallelism::Sequential)
+        .restore_chain(&base_b, &deltas_a)
+    else {
+        panic!("wrong base must be refused");
+    };
+    assert!(
+        matches!(err, ApiError::Snapshot(SnapshotError::BaseMismatch { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn chain_with_missing_duplicate_or_reordered_link_is_chain_broken() {
+    let mut m = all_pairs(4, Some(Parallelism::Sequential));
+    let (base, deltas) = chain_cuts(&mut m, 30_000, 3);
+    let b = |sel: &[usize]| {
+        let picked: Vec<&Vec<u8>> = sel.iter().map(|&i| &deltas[i]).collect();
+        Machine::builder(1)
+            .parallelism(Parallelism::Sequential)
+            .restore_chain(&base, &picked)
+    };
+    // Intact chain is fine; every broken shape is a typed refusal.
+    assert!(b(&[0, 1, 2]).is_ok());
+    for (label, sel) in [
+        ("missing link", &[0usize, 2][..]),
+        ("duplicated link", &[0, 1, 1][..]),
+        ("reordered links", &[1, 0][..]),
+        ("skipped head", &[2][..]),
+    ] {
+        let Err(err) = b(sel) else {
+            panic!("{label}: broken chain accepted");
+        };
+        assert!(
+            matches!(err, ApiError::Snapshot(SnapshotError::ChainBroken { .. })),
+            "{label}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn delta_headers_reject_format_confusion_and_tampering() {
+    let mut m = all_pairs(4, Some(Parallelism::Sequential));
+    let (base, deltas) = chain_cuts(&mut m, 20_000, 1);
+    let chain = |d: &[u8]| {
+        Machine::builder(1)
+            .parallelism(Parallelism::Sequential)
+            .restore_chain(&base, &[d])
+    };
+    // A full snapshot is not a delta...
+    assert!(matches!(
+        chain(&base),
+        Err(ApiError::Snapshot(SnapshotError::BadMagic { .. }))
+    ));
+    // ...and a delta is not a full snapshot.
+    assert!(matches!(
+        restore(&deltas[0]),
+        Err(ApiError::Snapshot(SnapshotError::BadMagic { .. }))
+    ));
+    // Version (bytes 4..8).
+    let mut d = deltas[0].clone();
+    d[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::Version {
+            found: 99,
+            expected: 1,
+        }))
+    ));
+    // Param hash (bytes 8..16).
+    let mut d = deltas[0].clone();
+    d[8] ^= 0x01;
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::ParamHash { .. }))
+    ));
+    // Node count (bytes 16..24).
+    let mut d = deltas[0].clone();
+    d[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::NodeCount { .. }))
+    ));
+    // Base id (bytes 24..32).
+    let mut d = deltas[0].clone();
+    d[24] ^= 0x01;
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::BaseMismatch { .. }))
+    ));
+    // Sequence number (bytes 32..40).
+    let mut d = deltas[0].clone();
+    d[32..40].copy_from_slice(&7u64.to_le_bytes());
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::ChainBroken {
+            expected: 1,
+            found: 7,
+        }))
+    ));
+    // From-cycle (bytes 40..48): continuity with the base's cut cycle.
+    let mut d = deltas[0].clone();
+    d[40] ^= 0x01;
+    assert!(matches!(
+        chain(&d),
+        Err(ApiError::Snapshot(SnapshotError::ChainBroken { .. }))
+    ));
+}
+
+#[test]
+fn truncated_or_bit_flipped_deltas_never_panic() {
+    let mut m = all_pairs(4, Some(Parallelism::Sequential));
+    let (base, deltas) = chain_cuts(&mut m, 30_000, 1);
+    let d = &deltas[0];
+    let chain = |d: &[u8]| {
+        Machine::builder(1)
+            .parallelism(Parallelism::Sequential)
+            .restore_chain(&base, &[d])
+    };
+    let mut cuts: Vec<usize> = (0..56.min(d.len())).collect();
+    cuts.extend((56..d.len()).step_by(509));
+    for cut in cuts {
+        assert!(
+            chain(&d[..cut]).is_err(),
+            "delta truncation at {cut}/{} accepted",
+            d.len()
+        );
+    }
+    for pos in (0..d.len()).step_by(131) {
+        let mut b = d.clone();
+        b[pos] ^= 0xFF;
+        if let Ok(mut r) = chain(&b) {
+            // A flip in self-describing payload bytes can decode
+            // cleanly; the machine must still be drivable.
+            let _ = r.run_capped(100_000);
+        }
+    }
+}
+
+#[test]
+fn delta_chain_is_deterministic() {
+    // Two identical donors, identical cut schedules: identical base and
+    // delta bytes. No timestamps, map order, or allocator state leaks.
+    let cut = |mut m: Machine| chain_cuts(&mut m, 40_000, 3);
+    let (base_a, deltas_a) = cut(all_pairs(4, Some(Parallelism::Fixed(2))));
+    let (base_b, deltas_b) = cut(all_pairs(4, Some(Parallelism::Fixed(2))));
+    assert_eq!(base_a, base_b);
+    assert_eq!(deltas_a, deltas_b);
+}
+
 #[test]
 fn delay_program_checkpoints_mid_wait() {
     let mut m = Machine::builder(2)

@@ -414,6 +414,117 @@ proptest! {
         prop_assert_eq!(r.stats().to_json(), want);
     }
 
+    /// Delta chains of arbitrary length, cut at arbitrary (sorted)
+    /// points of an arbitrary-seed faulty run under arbitrary worker
+    /// counts and shard policies: restoring base + every delta in order
+    /// yields a machine whose full snapshot is byte-identical to the
+    /// donor's at the last cut, and which finishes with stats identical
+    /// to the uninterrupted run. Also asserts the typed forgery errors:
+    /// a delta applied to a fresh (wrong) base is `BaseMismatch`; a
+    /// chain with a dropped link is `ChainBroken` — never a panic.
+    #[test]
+    fn checkpoint_delta_chain_matches_full_snapshot_and_uninterrupted_run(
+        cut_permilles in proptest::collection::vec(0u64..1000, 1..=4),
+        workers in 1usize..=4,
+        round_robin in any::<bool>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use sv_sim::ckpt::SnapshotError;
+        use voyager::api::{ApiError, BasicMsg, RecvBasic, SendBasic};
+        use voyager::{DeltaCheckpoint, Parallelism, ShardPolicy};
+        let faults = voyager::arctic::FaultParams {
+            drop_ppm: 40_000, dup_ppm: 20_000, corrupt_ppm: 15_000,
+            reorder_ppm: 30_000, seed: fault_seed,
+        };
+        let par = if workers == 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Fixed(workers)
+        };
+        let policy = if round_robin {
+            ShardPolicy::RoundRobin
+        } else {
+            ShardPolicy::BySubtree
+        };
+        let build = |par: Parallelism, policy: ShardPolicy| {
+            let mut m = voyager::Machine::builder(4)
+                .faults(faults)
+                .parallelism(par)
+                .shard_policy(policy)
+                .sample_latency(true)
+                .build();
+            for i in 0..4u16 {
+                let lib = m.lib(i);
+                let items: Vec<BasicMsg> = (0..4u16)
+                    .filter(|&d| d != i)
+                    .map(|d| BasicMsg::new(lib.user_dest(d), vec![i as u8; 24]))
+                    .collect();
+                m.load_program(i, voyager::app::Seq::new(vec![
+                    Box::new(SendBasic::new(&lib, items)),
+                    Box::new(RecvBasic::expecting(&lib, 3)),
+                ]));
+            }
+            m
+        };
+        let mut base_run = build(Parallelism::Sequential, ShardPolicy::BySubtree);
+        let end_ns = base_run.run_to_quiescence().ns();
+        let want = base_run.stats().to_json();
+        // Cut at sorted fractions of the total run time; duplicates give
+        // zero-length (empty) deltas, which must chain fine too.
+        let mut cuts = cut_permilles;
+        cuts.sort_unstable();
+        let mut donor = build(par, policy);
+        let mut at_ns = 0u64;
+        let base = match donor.checkpoint_delta() {
+            DeltaCheckpoint::Base(b) => b,
+            DeltaCheckpoint::Delta(_) => unreachable!("first cut is the base"),
+        };
+        let mut deltas = Vec::new();
+        for permille in cuts {
+            let target = end_ns * permille / 1000;
+            donor.run_for(target - at_ns);
+            at_ns = target;
+            match donor.checkpoint_delta() {
+                DeltaCheckpoint::Delta(d) => deltas.push(d),
+                DeltaCheckpoint::Base(_) => unreachable!("chain already open"),
+            }
+        }
+        let mut r = voyager::Machine::builder(1)
+            .parallelism(par)
+            .shard_policy(policy)
+            .restore_chain(&base, &deltas)
+            .expect("restore_chain");
+        prop_assert_eq!(r.checkpoint(), donor.checkpoint(),
+            "chain restore != donor full snapshot at last cut");
+        r.run_to_quiescence();
+        prop_assert_eq!(r.stats().to_json(), want);
+        // Forgeries: wrong base, and a chain missing its first link. The
+        // impostor must actually differ from the donor's base (identical
+        // deterministic builds snapshot identically), so run it a bit.
+        let mut impostor = build(par, policy);
+        impostor.run_for(end_ns / 2 + 1);
+        let wrong_base = match impostor.checkpoint_delta() {
+            DeltaCheckpoint::Base(b) => b,
+            DeltaCheckpoint::Delta(_) => unreachable!(),
+        };
+        let mismatch = matches!(
+            voyager::Machine::builder(1)
+                .parallelism(par)
+                .restore_chain(&wrong_base, &deltas),
+            Err(ApiError::Snapshot(SnapshotError::BaseMismatch { .. }))
+        );
+        prop_assert!(mismatch, "wrong base not refused as BaseMismatch");
+        if deltas.len() > 1 {
+            let broken = matches!(
+                voyager::Machine::builder(1)
+                    .parallelism(par)
+                    .restore_chain(&base, &deltas[1..]),
+                Err(ApiError::Snapshot(SnapshotError::ChainBroken { .. }))
+            );
+            prop_assert!(broken, "dropped link not refused as ChainBroken");
+        }
+    }
+
     /// Arbitrary payload contents survive the Basic message path intact.
     #[test]
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(
