@@ -19,7 +19,7 @@
 //! `BENCH_simspeed.json` (simulated ns and bus cycles per wall second,
 //! per loop mode and node count).
 //!
-//! Usage: `simspeed [--nodes N] [--stats] [--faults]
+//! Usage: `simspeed [--nodes N] [--stats] [--faults] [--collectives]
 //! [--checkpoint-every C] [--delta-every C] [--restore FILE]
 //! [--artifacts-dir DIR]` — with `--nodes` only the
 //! sweep entry for `N` runs (the CI smoke configuration); without
@@ -33,7 +33,11 @@
 //! staggered-pair workload over a lossy, duplicating, corrupting,
 //! reordering fabric with the reliable-delivery layer armed, asserting
 //! zero payload loss, engaged recovery, and byte-identical stats between
-//! the sequential and parallel event loops.
+//! the sequential and parallel event loops. With `--collectives`, the
+//! bin runs only the firmware-collectives smoke: barrier + all-reduce +
+//! broadcast sequenced NIC-side on every node, asserting exact results
+//! and byte-identical stats across loop modes, then printing the
+//! three-way all-reduce latency/occupancy comparison at that size.
 //!
 //! With `--checkpoint-every C`, the bin instead runs the checkpoint
 //! cadence smoke: the staggered-pair workload (at `--nodes`, default
@@ -60,8 +64,10 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use sv_bench::print_table;
-use voyager::api::{BasicMsg, RecvBasic, SendBasic};
-use voyager::app::{Delay, Seq};
+use voyager::api::{BasicMsg, CollReq, RecvBasic, SendBasic};
+use voyager::app::{AppEventKind, Delay, Seq};
+use voyager::collectives::{AllReduce, BasicAllReduce, ReduceOp};
+use voyager::firmware::proto::CollOp;
 use voyager::{Machine, MachineBuilder, Parallelism, Program, ShardPolicy};
 
 /// Compute gap between ring rounds, in ns. At 66 MHz this is ~3300 bus
@@ -434,6 +440,7 @@ fn write_json(
     sweep: &[SweepRow],
     ring: &[(u16, u64, f64, f64, f64)],
     ckpt: &[CkptPoint],
+    coll: &[CollRow],
 ) {
     let host_cores = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -489,6 +496,24 @@ fn write_json(
             c.delta_restore_us,
             c.chain_len,
             if i + 1 == ckpt.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str(
+        "  \"collectives\": {\n    \"workload\": \"allreduce of 0..n, three implementations\",\n    \"points\": [\n",
+    );
+    for (i, r) in coll.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"nodes\": {}, \"express\": {{\"ns\": {}, \"ap_ops_per_node\": {}}}, \"basic\": {{\"ns\": {}, \"ap_ops_per_node\": {}}}, \"firmware\": {{\"ns\": {}, \"ap_ops_per_node\": {}, \"sp_coll_ns_per_node\": {}}}}}{}\n",
+            r.nodes,
+            r.express_ns,
+            r.express_apops,
+            r.basic_ns,
+            r.basic_apops,
+            r.fw_ns,
+            r.fw_apops,
+            r.fw_sp_ns,
+            if i + 1 == coll.len() { "" } else { "," },
         ));
     }
     s.push_str("    ]\n  }\n}\n");
@@ -558,6 +583,132 @@ fn faults_smoke(n: u16, workers: usize) {
     );
 }
 
+/// One collectives measurement for the JSON report: the same all-reduce
+/// three ways (aP-driven over Express, aP-driven over Basic, sP
+/// firmware), with the occupancy split that motivates the offload.
+struct CollRow {
+    nodes: u16,
+    express_ns: u64,
+    express_apops: u64,
+    basic_ns: u64,
+    basic_apops: u64,
+    fw_ns: u64,
+    fw_apops: u64,
+    fw_sp_ns: u64,
+}
+
+/// Mean aP memory operations and sP collective-handler time per node.
+fn coll_occupancy(m: &Machine, n: u16) -> (u64, u64) {
+    let s = m.stats();
+    let ops: u64 = s.nodes.iter().map(|nd| nd.cpu.loads + nd.cpu.stores).sum();
+    let sp: u64 = s.nodes.iter().map(|nd| nd.fw.coll_busy_ns).sum();
+    (ops / u64::from(n), sp / u64::from(n))
+}
+
+/// All-reduce of `0..n` at `n` nodes, three implementations, on fresh
+/// sequential machines: quiescence latency plus the per-node occupancy
+/// split for each.
+fn coll_point(n: u16) -> CollRow {
+    let run = |load: &dyn Fn(&mut Machine, u16)| {
+        let mut m = Machine::builder(n.into()).build();
+        load(&mut m, n);
+        let t = m.run_to_quiescence().ns();
+        let (ops, sp) = coll_occupancy(&m, n);
+        (t, ops, sp)
+    };
+    let (express_ns, express_apops, _) = run(&|m, n| {
+        for i in 0..n {
+            let lib = m.lib(i);
+            m.load_program(i, AllReduce::new(&lib, ReduceOp::Sum, u64::from(i)));
+        }
+    });
+    let (basic_ns, basic_apops, _) = run(&|m, n| {
+        for i in 0..n {
+            let lib = m.lib(i);
+            m.load_program(i, BasicAllReduce::new(&lib, ReduceOp::Sum, u64::from(i)));
+        }
+    });
+    let (fw_ns, fw_apops, fw_sp_ns) = run(&|m, n| {
+        for i in 0..n {
+            let lib = m.lib(i);
+            m.load_program(
+                i,
+                lib.coll_program(vec![CollReq::allreduce(CollOp::Sum, u64::from(i))]),
+            );
+        }
+    });
+    CollRow {
+        nodes: n,
+        express_ns,
+        express_apops,
+        basic_ns,
+        basic_apops,
+        fw_ns,
+        fw_apops,
+        fw_sp_ns,
+    }
+}
+
+/// Firmware-collectives smoke (`--collectives`): barrier + all-reduce +
+/// broadcast sequenced NIC-side on every node, run under both the
+/// sequential and windowed-parallel event loops. The loops must agree
+/// byte-for-byte on the stats, every node must complete all three
+/// collectives with the exact expected results, and the three-way
+/// all-reduce comparison at this size is printed for the log.
+fn collectives_smoke(n: u16, workers: usize) {
+    let want_sum: u64 = (1..=u64::from(n)).sum();
+    let run = |par: Parallelism| {
+        let mut m = Machine::builder(n.into()).parallelism(par).build();
+        for i in 0..n {
+            let lib = m.lib(i);
+            m.load_program(
+                i,
+                lib.coll_program(vec![
+                    CollReq::barrier(),
+                    CollReq::allreduce(CollOp::Sum, u64::from(i) + 1),
+                    CollReq::broadcast(0, 0xC0FFEE),
+                ]),
+            );
+        }
+        let t = m.run_to_quiescence().ns();
+        for i in 0..n {
+            let vals: Vec<u64> = m
+                .events(i)
+                .iter()
+                .filter_map(|e| match e.kind {
+                    AppEventKind::Result { value, .. } => Some(value),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                vals,
+                vec![0, want_sum, 0xC0FFEE],
+                "node {i} collective results"
+            );
+        }
+        (t, m.stats())
+    };
+    let (t_ev, s_ev) = run(Parallelism::Sequential);
+    let (t_par, s_par) = run(Parallelism::Fixed(workers));
+    assert_eq!(t_ev, t_par, "parallel loop must match on collectives");
+    assert_eq!(
+        s_ev.to_json(),
+        s_par.to_json(),
+        "collective stats must be identical across loop modes"
+    );
+    for nd in &s_ev.nodes {
+        assert_eq!(nd.fw.coll_started, 3, "node {} started", nd.node);
+        assert_eq!(nd.fw.coll_completed, 3, "node {} completed", nd.node);
+    }
+    let r = coll_point(n);
+    println!(
+        "collectives smoke: {n} nodes, 3 collectives/node, loops identical \
+         ({t_ev} ns); allreduce express {} ns ({} aP ops/node), basic {} ns \
+         ({} aP ops/node), firmware {} ns ({} aP ops/node, {} ns sP/node)",
+        r.express_ns, r.express_apops, r.basic_ns, r.basic_apops, r.fw_ns, r.fw_apops, r.fw_sp_ns,
+    );
+}
+
 fn main() {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -608,6 +759,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--faults") {
         faults_smoke(only_nodes.unwrap_or(64), workers);
+        return;
+    }
+    if args.iter().any(|a| a == "--collectives") {
+        collectives_smoke(only_nodes.unwrap_or(64), workers);
         return;
     }
 
@@ -735,7 +890,39 @@ fn main() {
         &ckpt_rows,
     );
 
-    write_json("BENCH_simspeed.json", workers, &sweep, &ring, &ckpt);
+    // ---- Collectives: the same all-reduce three ways ----
+    let coll: Vec<CollRow> = [4u16, 16, 64, 256].iter().map(|&n| coll_point(n)).collect();
+    let coll_rows: Vec<Vec<String>> = coll
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                r.express_ns.to_string(),
+                r.express_apops.to_string(),
+                r.basic_ns.to_string(),
+                r.basic_apops.to_string(),
+                r.fw_ns.to_string(),
+                r.fw_apops.to_string(),
+                r.fw_sp_ns.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "allreduce, three implementations (latency ns; aP mem-ops and sP coll-ns per node)",
+        &[
+            "nodes",
+            "express ns",
+            "aP ops",
+            "basic ns",
+            "aP ops",
+            "firmware ns",
+            "aP ops",
+            "sP ns",
+        ],
+        &coll_rows,
+    );
+
+    write_json("BENCH_simspeed.json", workers, &sweep, &ring, &ckpt, &coll);
     println!("\nwrote BENCH_simspeed.json");
     if want_stats {
         write_stats_sidecar(only_nodes.unwrap_or(64), &artifacts_dir.join(STATS_FILE));

@@ -619,6 +619,276 @@ pub fn request_flush(lib: &NodeLib, req: &sv_firmware::proto::XferFlush) -> Send
     SendBasic::new(lib, vec![BasicMsg::new(dest, req.encode().to_vec())])
 }
 
+/// One NIC-resident collective operation (see [`sv_firmware::coll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollReq {
+    /// Which collective.
+    pub kind: proto::CollKind,
+    /// Reduction operator (ignored by barrier/broadcast).
+    pub op: proto::CollOp,
+    /// Root node (must be 0 for barrier/all-reduce, whose result is
+    /// symmetric).
+    pub root: u16,
+    /// This node's contribution (the payload for a broadcast root).
+    pub value: u64,
+}
+
+impl CollReq {
+    /// All nodes rendezvous; every node's result is 0.
+    pub fn barrier() -> Self {
+        CollReq {
+            kind: proto::CollKind::Barrier,
+            op: proto::CollOp::Sum,
+            root: 0,
+            value: 0,
+        }
+    }
+
+    /// `root`'s `value` delivered to every node.
+    pub fn broadcast(root: u16, value: u64) -> Self {
+        CollReq {
+            kind: proto::CollKind::Bcast,
+            op: proto::CollOp::Sum,
+            root,
+            value,
+        }
+    }
+
+    /// Reduction of every node's contribution, delivered to `root` only
+    /// (other nodes complete with result 0).
+    pub fn reduce(op: proto::CollOp, root: u16, value: u64) -> Self {
+        CollReq {
+            kind: proto::CollKind::Reduce,
+            op,
+            root,
+            value,
+        }
+    }
+
+    /// Reduction of every node's contribution, delivered to every node.
+    pub fn allreduce(op: proto::CollOp, value: u64) -> Self {
+        CollReq {
+            kind: proto::CollKind::AllReduce,
+            op,
+            root: 0,
+            value,
+        }
+    }
+
+    /// The result label [`CollWait`] emits for this collective.
+    pub fn label(&self) -> &'static str {
+        coll_label(self.kind as u8)
+    }
+}
+
+fn coll_label(kind: u8) -> &'static str {
+    match kind {
+        0 => "coll_barrier",
+        1 => "coll_broadcast",
+        2 => "coll_reduce",
+        _ => "coll_allreduce",
+    }
+}
+
+/// Wait for a firmware COLL_RESULT on the user Basic receive queue and
+/// emit it as [`AppEventKind::Result`]. The aP side of a NIC-resident
+/// collective is exactly this: the start was one store-composed Basic
+/// message ([`NodeLib::coll_program`]), and completion is this polling
+/// loop — the aP touches no intermediate data.
+pub struct CollWait {
+    lib: NodeLib,
+    /// Expected [`proto::CollKind`] as its wire byte.
+    kind: u8,
+    state: RecvState,
+    consumer: u16,
+    producer_seen: u16,
+    cur_len: u32,
+    buf: Vec<u8>,
+    done: bool,
+    /// Consecutive empty shadow polls; drives the poll backoff.
+    idle_polls: u32,
+}
+
+/// Widest [`CollWait`] poll gap: the collective runs sP-to-sP for
+/// microseconds, so the waiting aP backs off its uncached shadow polls
+/// exponentially (30 → 240 ns) instead of hammering the bus — the point
+/// of the offload is that the aP has better things to do. Bounded so
+/// completion is still noticed promptly.
+const COLL_POLL_GAP_MAX_NS: u64 = 240;
+
+impl CollWait {
+    /// Wait for a `kind` result, consuming the receive queue from
+    /// `consumer` (the queue cursor persists across program objects;
+    /// each collective consumes exactly one slot).
+    pub fn resuming(lib: &NodeLib, kind: proto::CollKind, consumer: u16) -> Self {
+        CollWait {
+            lib: *lib,
+            kind: kind as u8,
+            state: RecvState::Poll,
+            consumer,
+            producer_seen: consumer,
+            cur_len: 0,
+            buf: Vec::new(),
+            done: false,
+            idle_polls: 0,
+        }
+    }
+}
+
+impl Program for CollWait {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            match self.state {
+                RecvState::Poll => {
+                    if self.done {
+                        return Step::Done;
+                    }
+                    if self.consumer != self.producer_seen {
+                        self.state = RecvState::ReadHeader;
+                        continue;
+                    }
+                    self.state = RecvState::CheckPoll;
+                    return Step::Load {
+                        addr: self.lib.asram(self.lib.basic_rx.shadow_off),
+                        bytes: 8,
+                    };
+                }
+                RecvState::CheckPoll => {
+                    self.producer_seen = env.last_load as u16;
+                    if self.consumer == self.producer_seen {
+                        self.state = RecvState::Poll;
+                        let gap = (POLL_GAP_NS << self.idle_polls.min(3)).min(COLL_POLL_GAP_MAX_NS);
+                        self.idle_polls = self.idle_polls.saturating_add(1);
+                        return Step::Compute(gap);
+                    }
+                    self.idle_polls = 0;
+                    self.state = RecvState::ReadHeader;
+                }
+                RecvState::ReadHeader => {
+                    let slot = self.lib.basic_rx.slot_off(self.consumer);
+                    self.state = RecvState::CheckHeader;
+                    return Step::Load {
+                        addr: self.lib.asram(slot),
+                        bytes: 8,
+                    };
+                }
+                RecvState::CheckHeader => {
+                    let hdr = env.last_load.to_le_bytes();
+                    let (_src, _lq, len) = decode_rx_slot(&hdr);
+                    self.cur_len = len as u32;
+                    self.buf.clear();
+                    self.state = RecvState::ReadBody { off: 0 };
+                }
+                RecvState::ReadBody { off } => {
+                    if off > 0 {
+                        let take = (self.cur_len - (off - 8)).min(8) as usize;
+                        self.buf
+                            .extend_from_slice(&env.last_load.to_le_bytes()[..take]);
+                    }
+                    if off < self.cur_len {
+                        let slot = self.lib.basic_rx.slot_off(self.consumer);
+                        self.state = RecvState::ReadBody { off: off + 8 };
+                        return Step::Load {
+                            addr: self.lib.asram(slot + 8 + off),
+                            bytes: 8,
+                        };
+                    }
+                    // A result of the expected kind finishes the wait;
+                    // anything else in the queue is consumed and skipped
+                    // (the queue is dedicated to collective results for
+                    // the duration of a collective program).
+                    if let Some((kind, _seq, value)) = proto::decode_coll_result(&self.buf) {
+                        if kind as u8 == self.kind {
+                            env.emit(AppEventKind::Result {
+                                label: coll_label(self.kind),
+                                value,
+                            });
+                            self.done = true;
+                        }
+                    }
+                    self.buf.clear();
+                    self.state = RecvState::PtrUpdate;
+                }
+                RecvState::PtrUpdate => {
+                    self.consumer = self.consumer.wrapping_add(1);
+                    let q = self.lib.basic_rx.q;
+                    self.state = RecvState::Poll;
+                    return Step::Store {
+                        addr: self.lib.map.ptr_update_addr(true, q, self.consumer),
+                        data: StoreData::U64(0),
+                    };
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Option<ProgramSnapshot> {
+        Some(ProgramSnapshot(Repr::CollWait {
+            kind: self.kind,
+            state: self.state,
+            consumer: self.consumer,
+            producer_seen: self.producer_seen,
+            cur_len: self.cur_len,
+            buf: self.buf.clone(),
+            done: self.done,
+            idle_polls: self.idle_polls,
+        }))
+    }
+}
+
+impl NodeLib {
+    /// Run `reqs` as NIC-resident collectives, in order. Each collective
+    /// is one Basic message into the local sP service queue
+    /// (COLL_START) followed by a [`CollWait`] for its COLL_RESULT; the
+    /// firmware sequences the whole fan-in/fan-out tree. Every
+    /// participating node must issue the same collectives in the same
+    /// order (the usual communicator contract), and the user Basic
+    /// queues are dedicated to the collective program while it runs
+    /// (each collective advances both queue cursors by exactly one).
+    pub fn coll_program(&self, reqs: Vec<CollReq>) -> crate::app::Seq {
+        let mut parts: Vec<Box<dyn Program>> = Vec::with_capacity(reqs.len() * 2);
+        for (i, req) in reqs.iter().enumerate() {
+            let start = proto::CollStart {
+                kind: req.kind,
+                op: req.op,
+                root: req.root,
+                notify_lq: self.basic_rx.q as u16,
+                value: req.value,
+            };
+            parts.push(Box::new(SendBasic::resuming(
+                self,
+                vec![BasicMsg::new(
+                    self.svc_dest(self.node),
+                    start.encode().to_vec(),
+                )],
+                i as u16,
+            )));
+            parts.push(Box::new(CollWait::resuming(self, req.kind, i as u16)));
+        }
+        crate::app::Seq::new(parts)
+    }
+
+    /// One firmware barrier (see [`CollReq::barrier`]).
+    pub fn coll_barrier(&self) -> crate::app::Seq {
+        self.coll_program(vec![CollReq::barrier()])
+    }
+
+    /// One firmware broadcast (see [`CollReq::broadcast`]).
+    pub fn coll_broadcast(&self, root: u16, value: u64) -> crate::app::Seq {
+        self.coll_program(vec![CollReq::broadcast(root, value)])
+    }
+
+    /// One firmware reduce (see [`CollReq::reduce`]).
+    pub fn coll_reduce(&self, op: proto::CollOp, root: u16, value: u64) -> crate::app::Seq {
+        self.coll_program(vec![CollReq::reduce(op, root, value)])
+    }
+
+    /// One firmware all-reduce (see [`CollReq::allreduce`]).
+    pub fn coll_allreduce(&self, op: proto::CollOp, value: u64) -> crate::app::Seq {
+        self.coll_program(vec![CollReq::allreduce(op, value)])
+    }
+}
+
 /// Read a memory region through the caches (one load per cache line),
 /// emitting [`AppEventKind::RegionDone`] when finished. Under S-COMA
 /// gating this stalls on lines that have not arrived — the measured
@@ -752,6 +1022,16 @@ enum Repr {
     },
     Seq(Vec<ProgramSnapshot>),
     Delay(u64),
+    CollWait {
+        kind: u8,
+        state: RecvState,
+        consumer: u16,
+        producer_seen: u16,
+        cur_len: u32,
+        buf: Vec<u8>,
+        done: bool,
+        idle_polls: u32,
+    },
 }
 
 /// Nested [`crate::app::Seq`] snapshots deeper than this are rejected as
@@ -832,6 +1112,26 @@ impl ProgramSnapshot {
                 parts.iter().map(|p| p.instantiate(lib)).collect(),
             )),
             Repr::Delay(ns) => Box::new(crate::app::Delay(*ns)),
+            Repr::CollWait {
+                kind,
+                state,
+                consumer,
+                producer_seen,
+                cur_len,
+                buf,
+                done,
+                idle_polls,
+            } => Box::new(CollWait {
+                lib: *lib,
+                kind: *kind,
+                state: *state,
+                consumer: *consumer,
+                producer_seen: *producer_seen,
+                cur_len: *cur_len,
+                buf: buf.clone(),
+                done: *done,
+                idle_polls: *idle_polls,
+            }),
         }
     }
 
@@ -928,6 +1228,37 @@ impl ProgramSnapshot {
                 Repr::Seq(parts)
             }
             7 => Repr::Delay(r.u64()?),
+            8 => {
+                let kind = r.u8()?;
+                let state = RecvState::load(r)?;
+                let consumer = r.u16()?;
+                let producer_seen = r.u16()?;
+                let cur_len = r.u32()?;
+                let buf: Vec<u8> = r.load()?;
+                let done = bool::load(r)?;
+                let idle_polls = r.u32()?;
+                // The kind byte indexes the result-label table, and
+                // `ReadBody` computes `cur_len - (off - 8)` exactly as
+                // in RecvBasic.
+                if kind > 3 {
+                    return Err(SnapshotError::Corrupt { offset: at });
+                }
+                if let RecvState::ReadBody { off } = state {
+                    if off > 0 && (off < 8 || off - 8 > cur_len) {
+                        return Err(SnapshotError::Corrupt { offset: at });
+                    }
+                }
+                Repr::CollWait {
+                    kind,
+                    state,
+                    consumer,
+                    producer_seen,
+                    cur_len,
+                    buf,
+                    done,
+                    idle_polls,
+                }
+            }
             _ => return r.corrupt(),
         };
         Ok(ProgramSnapshot(repr))
@@ -1002,6 +1333,26 @@ impl StateSave for ProgramSnapshot {
             Repr::Delay(ns) => {
                 w.u8(7);
                 w.u64(*ns);
+            }
+            Repr::CollWait {
+                kind,
+                state,
+                consumer,
+                producer_seen,
+                cur_len,
+                buf,
+                done,
+                idle_polls,
+            } => {
+                w.u8(8);
+                w.u8(*kind);
+                state.save(w);
+                w.u16(*consumer);
+                w.u16(*producer_seen);
+                w.u32(*cur_len);
+                w.save(buf);
+                done.save(w);
+                w.u32(*idle_polls);
             }
         }
     }

@@ -16,7 +16,12 @@
 use crate::app::{AppEventKind, Env, Program, Step, StoreData};
 use crate::machine::NodeLib;
 use std::collections::HashMap;
-use sv_niu::msg::express;
+use sv_niu::msg::{express, MsgHeader};
+use sv_niu::niu::decode_rx_slot;
+
+/// Backoff between uncached polls of an empty queue, matching the
+/// layer-0 programs in [`crate::api`].
+const POLL_GAP_NS: u64 = 30;
 
 /// Reduction operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +40,16 @@ impl ReduceOp {
             ReduceOp::Sum => a.wrapping_add(b),
             ReduceOp::Min => a.min(b),
             ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl From<ReduceOp> for sv_firmware::proto::CollOp {
+    fn from(op: ReduceOp) -> Self {
+        match op {
+            ReduceOp::Sum => sv_firmware::proto::CollOp::Sum,
+            ReduceOp::Min => sv_firmware::proto::CollOp::Min,
+            ReduceOp::Max => sv_firmware::proto::CollOp::Max,
         }
     }
 }
@@ -325,6 +340,246 @@ impl Program for Broadcast {
                         label: "broadcast",
                         value: self.value.expect("broadcast completed"),
                     });
+                    return Step::Done;
+                }
+            }
+        }
+    }
+}
+
+/// Recursive-doubling all-reduce over **Basic** messages — the aP-driven
+/// baseline ROADMAP item 2 names for the firmware collective comparison.
+///
+/// Where the Express variant ([`AllReduce`]) pays one uncached store per
+/// 32-bit half, this one composes a full Basic message per round (header
+/// store, payload stores, producer pointer update) and polls the receive
+/// queue's header/body slots back out — the general-purpose path an MPI
+/// layer would take for payloads wider than an Express tag. Every round
+/// still burns aP cycles and bus crossings on every node; the firmware
+/// engine ([`crate::api::CollReq`]) exists to take exactly this work off
+/// the aPs.
+pub struct BasicAllReduce {
+    lib: NodeLib,
+    rank: u16,
+    size: u16,
+    op: ReduceOp,
+    value: u64,
+    round: u32,
+    rounds: u32,
+    phase: Phase,
+    /// Send-side sub-state: 0 = header, 1 = payload, 2 = pointer update.
+    send_step: u8,
+    producer: u16,
+    /// Received values buffered by round (a fast partner can race a
+    /// round ahead; per-peer in-order delivery does not serialize
+    /// *across* peers).
+    pending: HashMap<u32, u64>,
+    recv: BasicRecvCursor,
+}
+
+/// Minimal Basic-queue receive cursor: poll the producer shadow, read one
+/// header + 16-byte body, free the slot. Shared by [`BasicAllReduce`]'s
+/// rounds.
+struct BasicRecvCursor {
+    state: u8, // 0 = poll?, 1 = check shadow, 2+k = body load k collected
+    consumer: u16,
+    producer_seen: u16,
+    cur_len: u32,
+    buf: Vec<u8>,
+}
+
+impl BasicAllReduce {
+    /// Payload bytes per round: `[round: u32 | value: u64]`.
+    const PAYLOAD: u32 = 12;
+
+    /// One node's share of the collective.
+    pub fn new(lib: &NodeLib, op: ReduceOp, value: u64) -> Self {
+        let size = lib.nodes;
+        assert!(size.is_power_of_two(), "recursive doubling needs 2^k nodes");
+        let rounds = size.trailing_zeros();
+        BasicAllReduce {
+            lib: *lib,
+            rank: lib.node,
+            size,
+            op,
+            value,
+            round: 0,
+            rounds,
+            phase: if rounds == 0 {
+                Phase::Done
+            } else {
+                Phase::Send
+            },
+            send_step: 0,
+            producer: 0,
+            pending: HashMap::new(),
+            recv: BasicRecvCursor {
+                state: 0,
+                consumer: 0,
+                producer_seen: 0,
+                cur_len: 0,
+                buf: Vec::new(),
+            },
+        }
+    }
+
+    /// A barrier built on the Basic path: an all-reduce of nothing.
+    pub fn barrier(lib: &NodeLib) -> Self {
+        Self::new(lib, ReduceOp::Sum, 0)
+    }
+
+    fn partner(&self) -> u16 {
+        self.rank ^ (1 << self.round)
+    }
+
+    /// Next send step for this round, or `None` when the message is out.
+    fn send_step(&mut self) -> Option<Step> {
+        let slot = self.lib.basic_tx.slot_off(self.producer);
+        match self.send_step {
+            0 => {
+                self.send_step = 1;
+                let dest = self.lib.user_dest(self.partner());
+                let hdr = MsgHeader::basic(dest, Self::PAYLOAD as u8);
+                Some(Step::Store {
+                    addr: self.lib.asram(slot),
+                    data: StoreData::Bytes(hdr.encode().to_vec()),
+                })
+            }
+            // Payload goes out in 8-byte store chunks, like [`SendBasic`].
+            s @ (1 | 2) => {
+                self.send_step = s + 1;
+                let mut payload = [0u8; Self::PAYLOAD as usize];
+                payload[..4].copy_from_slice(&self.round.to_le_bytes());
+                payload[4..].copy_from_slice(&self.value.to_le_bytes());
+                let off = (s as usize - 1) * 8;
+                let end = (off + 8).min(payload.len());
+                Some(Step::Store {
+                    addr: self.lib.asram(slot + 8 + off as u32),
+                    data: StoreData::Bytes(payload[off..end].to_vec()),
+                })
+            }
+            3 => {
+                self.send_step = 4;
+                self.producer = self.producer.wrapping_add(1);
+                Some(Step::Store {
+                    addr: self
+                        .lib
+                        .map
+                        .ptr_update_addr(false, self.lib.basic_tx.q, self.producer),
+                    data: StoreData::U64(0),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Poll/receive until this round's value is buffered. Returns
+    /// `Some(step)` while more polling is needed.
+    fn recv_step(&mut self, env: &mut Env<'_>) -> Option<Step> {
+        loop {
+            if self.pending.contains_key(&self.round) {
+                return None;
+            }
+            let r = &mut self.recv;
+            match r.state {
+                0 => {
+                    if r.consumer != r.producer_seen {
+                        r.state = 2;
+                        continue;
+                    }
+                    r.state = 1;
+                    return Some(Step::Load {
+                        addr: self.lib.asram(self.lib.basic_rx.shadow_off),
+                        bytes: 8,
+                    });
+                }
+                1 => {
+                    r.producer_seen = env.last_load as u16;
+                    if r.consumer == r.producer_seen {
+                        r.state = 0;
+                        return Some(Step::Compute(POLL_GAP_NS));
+                    }
+                    r.state = 2;
+                }
+                2 => {
+                    r.state = 3;
+                    return Some(Step::Load {
+                        addr: self.lib.asram(self.lib.basic_rx.slot_off(r.consumer)),
+                        bytes: 8,
+                    });
+                }
+                3 => {
+                    let hdr = env.last_load.to_le_bytes();
+                    let (_src, _lq, len) = decode_rx_slot(&hdr);
+                    r.cur_len = len as u32;
+                    r.buf.clear();
+                    r.state = 4;
+                }
+                // States 4.. read the body 8 bytes at a time.
+                s => {
+                    let off = (s as u32 - 4) * 8;
+                    if off > 0 {
+                        let take = (r.cur_len - (off - 8)).min(8) as usize;
+                        r.buf
+                            .extend_from_slice(&env.last_load.to_le_bytes()[..take]);
+                    }
+                    if off < r.cur_len {
+                        r.state += 1;
+                        return Some(Step::Load {
+                            addr: self
+                                .lib
+                                .asram(self.lib.basic_rx.slot_off(r.consumer) + 8 + off),
+                            bytes: 8,
+                        });
+                    }
+                    if r.buf.len() >= Self::PAYLOAD as usize {
+                        let round = u32::from_le_bytes(r.buf[..4].try_into().expect("round"));
+                        let value = u64::from_le_bytes(r.buf[4..12].try_into().expect("value"));
+                        self.pending.insert(round, value);
+                    }
+                    r.consumer = r.consumer.wrapping_add(1);
+                    r.state = 0;
+                    return Some(Step::Store {
+                        addr: self
+                            .lib
+                            .map
+                            .ptr_update_addr(true, self.lib.basic_rx.q, r.consumer),
+                        data: StoreData::U64(0),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Program for BasicAllReduce {
+    fn step(&mut self, env: &mut Env<'_>) -> Step {
+        loop {
+            match self.phase {
+                Phase::Send => match self.send_step() {
+                    Some(s) => return s,
+                    None => self.phase = Phase::Recv,
+                },
+                Phase::Recv => {
+                    if let Some(s) = self.recv_step(env) {
+                        return s;
+                    }
+                    let theirs = self.pending.remove(&self.round).expect("round buffered");
+                    self.value = self.op.apply(self.value, theirs);
+                    self.round += 1;
+                    if self.round >= self.rounds {
+                        self.phase = Phase::Done;
+                    } else {
+                        self.send_step = 0;
+                        self.phase = Phase::Send;
+                    }
+                }
+                Phase::Done => {
+                    env.emit(AppEventKind::Result {
+                        label: "allreduce_basic",
+                        value: self.value,
+                    });
+                    let _ = self.size;
                     return Step::Done;
                 }
             }

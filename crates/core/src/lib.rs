@@ -62,7 +62,7 @@ pub mod stats;
 pub mod sweep;
 pub mod workloads;
 
-pub use api::ApiError;
+pub use api::{ApiError, CollReq, CollWait};
 pub use app::{AppEvent, AppEventKind, Env, Program, Step};
 pub use machine::{DeltaCheckpoint, Machine, MachineBuilder, NodeLib};
 pub use metrics::{XferMeasurement, XferPoint};

@@ -192,6 +192,19 @@ pub struct FwSnapshot {
     pub xfer_chunks_sent: u64,
     /// Completion notifications sent.
     pub xfer_notifies: u64,
+    /// Collectives started by the local aP (COLL_START accepted).
+    pub coll_started: u64,
+    /// Collective results delivered to the local aP.
+    pub coll_completed: u64,
+    /// Collective fan-in (COLL_UP) messages sent.
+    pub coll_ups_sent: u64,
+    /// Collective fan-out (COLL_DOWN) messages sent.
+    pub coll_downs_sent: u64,
+    /// Contributions folded while a fan-in was still incomplete (wait
+    /// depth the sP absorbed on behalf of the aPs).
+    pub coll_fanin_stalls: u64,
+    /// sP busy time attributed to collective handlers, ns.
+    pub coll_busy_ns: u64,
 }
 
 /// One node's memory-bus counters.
@@ -465,6 +478,12 @@ fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
             xfer_completed_sends: n.fw.xfer.completed_sends.get(),
             xfer_chunks_sent: n.fw.xfer.chunks_sent.get(),
             xfer_notifies: n.fw.xfer.notifies.get(),
+            coll_started: n.fw.coll.started.get(),
+            coll_completed: n.fw.coll.completed.get(),
+            coll_ups_sent: n.fw.coll.ups_sent.get(),
+            coll_downs_sent: n.fw.coll.downs_sent.get(),
+            coll_fanin_stalls: n.fw.coll.fanin_stalls.get(),
+            coll_busy_ns: n.fw.coll.busy_ns,
         },
     }
 }
@@ -637,6 +656,12 @@ fn write_node(w: &mut JsonWriter, n: &NodeSnapshot) {
     w.field_u64("xfer_completed_sends", n.fw.xfer_completed_sends);
     w.field_u64("xfer_chunks_sent", n.fw.xfer_chunks_sent);
     w.field_u64("xfer_notifies", n.fw.xfer_notifies);
+    w.field_u64("coll_started", n.fw.coll_started);
+    w.field_u64("coll_completed", n.fw.coll_completed);
+    w.field_u64("coll_ups_sent", n.fw.coll_ups_sent);
+    w.field_u64("coll_downs_sent", n.fw.coll_downs_sent);
+    w.field_u64("coll_fanin_stalls", n.fw.coll_fanin_stalls);
+    w.field_u64("coll_busy_ns", n.fw.coll_busy_ns);
     w.end_obj();
     w.end_obj();
 }

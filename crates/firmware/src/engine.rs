@@ -125,6 +125,8 @@ pub struct Firmware {
     pub scoma: crate::scoma::ScomaService,
     /// Software (DRAM-resident) receive queues fed by the miss queue.
     pub sw_rx: HashMap<u16, VecDeque<(u16, Bytes)>>,
+    /// NIC-resident collective state and statistics.
+    pub coll: crate::coll::CollService,
 }
 
 impl Firmware {
@@ -141,6 +143,7 @@ impl Firmware {
             numa: Default::default(),
             scoma: Default::default(),
             sw_rx: HashMap::new(),
+            coll: Default::default(),
         }
     }
 
@@ -165,6 +168,7 @@ impl Firmware {
         self.xfer.has_work()
             || niu.sp_requests_pending() > 0
             || self.scoma.has_pending()
+            || self.coll.has_pending()
             || self.svc_pending(niu)
     }
 
@@ -191,7 +195,11 @@ impl Firmware {
         let work = niu.sp_requests_pending() > 0
             || self.svc_pending(niu)
             || miss_pending
-            || self.xfer.has_work();
+            || self.xfer.has_work()
+            // Collectives waiting on tree messages need no engagement
+            // (arrival wakes us via svc_pending, like scoma); only ones
+            // with a send/delivery ready demand a tick.
+            || self.coll.has_actionable(self.cfg.node, self.cfg.nodes);
         // While the command queues are deep the firmware re-arms its
         // backpressure stall at every expiry — a state change the
         // event-driven loop must execute on the same cycles.
@@ -236,7 +244,11 @@ impl Firmware {
             return;
         }
         // 4. Active transfer state machines.
-        self.step_xfers(cycle, niu);
+        if self.step_xfers(cycle, niu) {
+            return;
+        }
+        // 5. Collective fan-in/fan-out progress.
+        self.step_coll(cycle, niu);
     }
 
     fn handle_sp_request(&mut self, cycle: u64, req: SpRequest, niu: &mut Niu) {
@@ -315,6 +327,9 @@ impl Firmware {
             op::SCOMA_WB => self.scoma_on_writeback(cycle, src, &data, niu),
             op::SCOMA_INV => self.scoma_on_inv(cycle, src, &data, niu),
             op::SCOMA_INV_ACK => self.scoma_on_inv_ack(cycle, &data, niu),
+            op::COLL_START => self.coll_on_start(cycle, &data, niu),
+            op::COLL_UP => self.coll_on_up(cycle, &data, niu),
+            op::COLL_DOWN => self.coll_on_down(cycle, &data, niu),
             _ => {
                 // Unknown opcode: drop with a dispatch charge.
                 self.stats.proto_errors.bump();
@@ -409,11 +424,12 @@ impl StateSave for Firmware {
         w.save(&self.numa);
         w.save(&self.scoma);
         w.save(&self.sw_rx);
+        w.save(&self.coll);
     }
 }
 impl StateLoad for Firmware {
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
-        Ok(Firmware {
+        let fw = Firmware {
             cfg: r.load()?,
             params: r.load()?,
             busy_until: r.u64()?,
@@ -424,7 +440,21 @@ impl StateLoad for Firmware {
             numa: r.load()?,
             scoma: r.load()?,
             sw_rx: r.load()?,
-        })
+            coll: r.load()?,
+        };
+        // Tree arithmetic divides by `nodes` and indexes by rank; a
+        // forged snapshot must not smuggle an out-of-range root in. The
+        // UNKNOWN_ROOT sentinel (state created by tree messages before
+        // the local COLL_START) is legitimate mid-collective content.
+        if fw
+            .coll
+            .states
+            .values()
+            .any(|s| s.root != crate::coll::UNKNOWN_ROOT && s.root >= fw.cfg.nodes)
+        {
+            return Err(SnapshotError::Corrupt { offset: r.offset() });
+        }
+        Ok(fw)
     }
 }
 

@@ -24,7 +24,11 @@
 //!   with recalls/invalidations, data delivered by remote commands.
 //! - [`xfer`]: block-transfer approaches 2–5 (approach 1 never enters
 //!   firmware; it lives in the aP library).
+//! - [`coll`]: NIC-resident collectives — barrier/broadcast/reduce/
+//!   all-reduce fan-in and fan-out sequenced entirely on the sP over
+//!   subtree-aligned fat-tree reduction trees.
 
+pub mod coll;
 pub mod engine;
 pub mod numa;
 pub mod params;

@@ -47,6 +47,15 @@ pub struct FwParams {
     pub flush_line_cycles: u64,
     /// clsSRAM lines scanned per cycle during a flush sweep.
     pub flush_scan_lines_per_cycle: u64,
+    /// Accept a local COLL_START: allocate/merge group state, fold the
+    /// local contribution.
+    pub coll_start_cycles: u64,
+    /// Fold one received fan-in/fan-out message into group state.
+    pub coll_combine_cycles: u64,
+    /// Issue one COLL_UP/COLL_DOWN tree message.
+    pub coll_send_cycles: u64,
+    /// Deliver a COLL_RESULT to the local aP.
+    pub coll_deliver_cycles: u64,
     /// Multiplier applied to every cost (ablation knob; 100 = 1.0x).
     pub scale_percent: u64,
 }
@@ -70,6 +79,10 @@ impl Default for FwParams {
             reflect_fw_cycles: 20,
             flush_line_cycles: 12,
             flush_scan_lines_per_cycle: 4,
+            coll_start_cycles: 15,
+            coll_combine_cycles: 12,
+            coll_send_cycles: 10,
+            coll_deliver_cycles: 12,
             scale_percent: 100,
         }
     }
@@ -109,6 +122,10 @@ impl StateSave for FwParams {
         w.u64(self.reflect_fw_cycles);
         w.u64(self.flush_line_cycles);
         w.u64(self.flush_scan_lines_per_cycle);
+        w.u64(self.coll_start_cycles);
+        w.u64(self.coll_combine_cycles);
+        w.u64(self.coll_send_cycles);
+        w.u64(self.coll_deliver_cycles);
         w.u64(self.scale_percent);
     }
 }
@@ -131,6 +148,10 @@ impl StateLoad for FwParams {
             reflect_fw_cycles: r.u64()?,
             flush_line_cycles: r.u64()?,
             flush_scan_lines_per_cycle: r.u64()?,
+            coll_start_cycles: r.u64()?,
+            coll_combine_cycles: r.u64()?,
+            coll_send_cycles: r.u64()?,
+            coll_deliver_cycles: r.u64()?,
             scale_percent: r.u64()?,
         })
     }

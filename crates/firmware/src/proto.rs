@@ -41,6 +41,203 @@ pub mod op {
     pub const SCOMA_INV_ACK: u8 = 0x25;
     /// N o t i f y.
     pub const NOTIFY: u8 = 0x30;
+    /// C o l l  s t a r t (aP → local sP: join a collective).
+    pub const COLL_START: u8 = 0x40;
+    /// C o l l  u p (child sP → parent sP: fan-in contribution).
+    pub const COLL_UP: u8 = 0x41;
+    /// C o l l  d o w n (parent sP → child sP: fan-out result).
+    pub const COLL_DOWN: u8 = 0x42;
+    /// C o l l  r e s u l t (sP → local aP: completion + value).
+    pub const COLL_RESULT: u8 = 0x43;
+}
+
+/// Which collective a message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// All nodes rendezvous; the result is always 0.
+    Barrier = 0,
+    /// The root's value is distributed to every node.
+    Bcast = 1,
+    /// Contributions reduce to the root; only the root sees the value.
+    Reduce = 2,
+    /// Contributions reduce, then the result fans back out to everyone.
+    AllReduce = 3,
+}
+
+impl CollKind {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> Option<CollKind> {
+        Some(match v {
+            0 => CollKind::Barrier,
+            1 => CollKind::Bcast,
+            2 => CollKind::Reduce,
+            3 => CollKind::AllReduce,
+            _ => return None,
+        })
+    }
+}
+
+/// Reduction operator carried by collective messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// Wrapping addition.
+    Sum = 0,
+    /// Minimum.
+    Min = 1,
+    /// Maximum.
+    Max = 2,
+}
+
+impl CollOp {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> Option<CollOp> {
+        Some(match v {
+            0 => CollOp::Sum,
+            1 => CollOp::Min,
+            2 => CollOp::Max,
+            _ => return None,
+        })
+    }
+
+    /// Fold one contribution into an accumulator.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            CollOp::Sum => a.wrapping_add(b),
+            CollOp::Min => a.min(b),
+            CollOp::Max => a.max(b),
+        }
+    }
+
+    /// The fold's identity element (fresh accumulators start here).
+    pub fn identity(self) -> u64 {
+        match self {
+            CollOp::Sum => 0,
+            CollOp::Min => u64::MAX,
+            CollOp::Max => 0,
+        }
+    }
+}
+
+/// An aP's request to join a collective (opcode COLL_START), sent as one
+/// Basic message into the node's own service queue. The firmware assigns
+/// the sequence number: every node issues its collectives in the same
+/// order, so per-node counters agree machine-wide without the aP ever
+/// naming one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollStart {
+    /// Which collective.
+    pub kind: CollKind,
+    /// Reduction operator (ignored by Bcast).
+    pub op: CollOp,
+    /// Root node (0 for Barrier/AllReduce).
+    pub root: u16,
+    /// Logical queue that receives the COLL_RESULT message.
+    pub notify_lq: u16,
+    /// This node's contribution (the payload at the Bcast root).
+    pub value: u64,
+}
+
+impl CollStart {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(op::COLL_START);
+        b.put_u8(self.kind as u8);
+        b.put_u8(self.op as u8);
+        b.put_u8(0);
+        b.put_u16_le(self.root);
+        b.put_u16_le(self.notify_lq);
+        b.put_u64_le(self.value);
+        b.freeze()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Option<CollStart> {
+        if b.len() < 16 || b[0] != op::COLL_START {
+            return None;
+        }
+        Some(CollStart {
+            kind: CollKind::from_u8(b[1])?,
+            op: CollOp::from_u8(b[2])?,
+            root: u16::from_le_bytes([b[4], b[5]]),
+            notify_lq: u16::from_le_bytes([b[6], b[7]]),
+            value: u64::from_le_bytes(b[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// One sP-to-sP tree message (opcodes COLL_UP and COLL_DOWN).
+///
+/// Deliberately minimal — 14 payload bytes — because at scale the
+/// collective's critical path is a chain of store-and-forward fat-tree
+/// hops whose cost is dominated by wire serialization. Kind and
+/// operator ride packed in one byte so a fast child's contribution can
+/// still create (and fold into) group state at a parent whose own aP
+/// has not started yet; the tree *geometry* (the root) is not carried,
+/// since a node acts on a collective only after its local COLL_START
+/// supplies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollMsg {
+    /// COLL_UP or COLL_DOWN.
+    pub opcode: u8,
+    /// Which collective.
+    pub kind: CollKind,
+    /// Reduction operator.
+    pub op: CollOp,
+    /// Per-node collective sequence number.
+    pub seq: u32,
+    /// Partial reduction (UP) or final result (DOWN).
+    pub value: u64,
+}
+
+impl CollMsg {
+    /// Encode to payload bytes: opcode, packed kind/op, seq, value.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(14);
+        b.put_u8(self.opcode);
+        b.put_u8((self.kind as u8) | ((self.op as u8) << 4));
+        b.put_u32_le(self.seq);
+        b.put_u64_le(self.value);
+        b.freeze()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(b: &[u8]) -> Option<CollMsg> {
+        if b.len() < 14 || (b[0] != op::COLL_UP && b[0] != op::COLL_DOWN) {
+            return None;
+        }
+        Some(CollMsg {
+            opcode: b[0],
+            kind: CollKind::from_u8(b[1] & 0x0f)?,
+            op: CollOp::from_u8(b[1] >> 4)?,
+            seq: u32::from_le_bytes(b[2..6].try_into().ok()?),
+            value: u64::from_le_bytes(b[6..14].try_into().ok()?),
+        })
+    }
+}
+
+/// Completion message to the requesting aP's receive queue (opcode
+/// COLL_RESULT): the collective's sequence number and final value.
+pub fn encode_coll_result(kind: CollKind, seq: u32, value: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(16);
+    b.put_u8(op::COLL_RESULT);
+    b.put_u8(kind as u8);
+    b.put_u16_le(0);
+    b.put_u32_le(seq);
+    b.put_u64_le(value);
+    b.freeze()
+}
+
+/// Decode a collective completion; returns `(kind, seq, value)`.
+pub fn decode_coll_result(b: &[u8]) -> Option<(CollKind, u32, u64)> {
+    if b.len() < 16 || b[0] != op::COLL_RESULT {
+        return None;
+    }
+    Some((
+        CollKind::from_u8(b[1])?,
+        u32::from_le_bytes(b[4..8].try_into().ok()?),
+        u64::from_le_bytes(b[8..16].try_into().ok()?),
+    ))
 }
 
 /// Which block-transfer implementation a request asks for (paper §6).
@@ -470,6 +667,98 @@ mod tests {
     fn notify_roundtrip() {
         assert_eq!(decode_notify(&encode_notify(99)), Some(99));
         assert_eq!(decode_notify(&[0u8; 2]), None);
+    }
+
+    #[test]
+    fn coll_start_roundtrip() {
+        let s = CollStart {
+            kind: CollKind::AllReduce,
+            op: CollOp::Min,
+            root: 0,
+            notify_lq: 1,
+            value: u64::MAX - 3,
+        };
+        assert_eq!(CollStart::decode(&s.encode()), Some(s));
+        assert_eq!(CollStart::decode(&[0u8; 8]), None);
+        let mut bad = s.encode().to_vec();
+        bad[1] = 9; // invalid kind byte
+        assert_eq!(CollStart::decode(&bad), None);
+        bad[1] = 0;
+        bad[2] = 7; // invalid op byte
+        assert_eq!(CollStart::decode(&bad), None);
+    }
+
+    #[test]
+    fn coll_msg_roundtrip() {
+        // Every (opcode, kind, op) combination survives the packed byte.
+        for opcode in [op::COLL_UP, op::COLL_DOWN] {
+            for kind_v in 0..4u8 {
+                for op_v in 0..3u8 {
+                    let m = CollMsg {
+                        opcode,
+                        kind: CollKind::from_u8(kind_v).unwrap(),
+                        op: CollOp::from_u8(op_v).unwrap(),
+                        seq: 0xDEAD_BEEF,
+                        value: 1 << 63,
+                    };
+                    let wire = m.encode();
+                    assert_eq!(wire.len(), 14, "tree messages stay at 14 bytes");
+                    assert_eq!(CollMsg::decode(&wire), Some(m));
+                }
+            }
+        }
+        // A CollMsg must carry a tree opcode, not an arbitrary one.
+        let mut stray = CollMsg {
+            opcode: op::COLL_UP,
+            kind: CollKind::Barrier,
+            op: CollOp::Sum,
+            seq: 0,
+            value: 0,
+        }
+        .encode()
+        .to_vec();
+        stray[0] = op::COLL_RESULT;
+        assert_eq!(CollMsg::decode(&stray), None);
+        // An out-of-range packed operator is rejected, not misread.
+        let mut bad_op = CollMsg {
+            opcode: op::COLL_UP,
+            kind: CollKind::Barrier,
+            op: CollOp::Sum,
+            seq: 0,
+            value: 0,
+        }
+        .encode()
+        .to_vec();
+        bad_op[1] = 0x30; // op index 3: no such operator
+        assert_eq!(CollMsg::decode(&bad_op), None);
+    }
+
+    #[test]
+    fn coll_result_roundtrip() {
+        let b = encode_coll_result(CollKind::Bcast, 5, 0xABCD);
+        assert_eq!(decode_coll_result(&b), Some((CollKind::Bcast, 5, 0xABCD)));
+        assert_eq!(decode_coll_result(&[0u8; 4]), None);
+        // Not confused with a transfer notify.
+        assert_eq!(decode_notify(&b), None);
+    }
+
+    #[test]
+    fn coll_op_identity_and_apply() {
+        for o in [CollOp::Sum, CollOp::Min, CollOp::Max] {
+            assert_eq!(o.apply(o.identity(), 42), 42, "{o:?} identity");
+            assert_eq!(CollOp::from_u8(o as u8), Some(o));
+        }
+        assert_eq!(CollOp::Sum.apply(u64::MAX, 2), 1, "wrapping sum");
+        assert_eq!(CollOp::from_u8(3), None);
+        for k in [
+            CollKind::Barrier,
+            CollKind::Bcast,
+            CollKind::Reduce,
+            CollKind::AllReduce,
+        ] {
+            assert_eq!(CollKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(CollKind::from_u8(4), None);
     }
 
     #[test]

@@ -493,9 +493,10 @@ impl Firmware {
     }
 
     /// Step active transfers: one unit of progress per engagement.
-    pub(crate) fn step_xfers(&mut self, cycle: u64, niu: &mut Niu) {
+    /// Returns whether work was done.
+    pub(crate) fn step_xfers(&mut self, cycle: u64, niu: &mut Niu) -> bool {
         if self.step_one_flush(cycle, niu) {
-            return;
+            return true;
         }
         // Approach-2 completion notifies waiting for queue quiescence.
         let quiescent = niu.sp().cmd_quiescent(Q_SVC);
@@ -523,20 +524,21 @@ impl Firmware {
                 );
                 self.xfer.recvs.remove(&k);
                 self.charge(cycle, self.params.notify_cycles);
-                return;
+                return true;
             }
         }
         if self.xfer.sends.is_empty() {
-            return;
+            return false;
         }
         let n = self.xfer.sends.len();
         for k in 0..n {
             let i = (self.xfer.rr + k) % n;
             if self.step_one_send(cycle, i, niu) {
                 self.xfer.rr = (i + 1) % n.max(1);
-                return;
+                return true;
             }
         }
+        false
     }
 
     /// Try to make progress on send `i`; returns whether work was done.

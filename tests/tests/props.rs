@@ -525,6 +525,167 @@ proptest! {
         }
     }
 
+    /// NIC-resident collectives under arbitrary fault rates: a chain of
+    /// barrier, all-reduce and broadcast with arbitrary operator, root,
+    /// and contributions must either quiesce with every node holding the
+    /// exact results (rates inside the default retransmit budget always
+    /// do), or — if the fabric was hostile enough that Go-Back-N gave up
+    /// — stop without hanging, with the abandonment visible in
+    /// `reliable_dropped`. At quiescence per-class message conservation
+    /// holds as usual.
+    #[test]
+    fn firmware_collectives_survive_hostile_fabrics(
+        drop_ppm in 0u32..60_000,
+        dup_ppm in 0u32..40_000,
+        corrupt_ppm in 0u32..30_000,
+        reorder_ppm in 0u32..40_000,
+        fault_seed in any::<u64>(),
+        op_idx in 0usize..3,
+        root in 0u16..8,
+        contributions in proptest::collection::vec(any::<u64>(), 8),
+        secret in any::<u64>(),
+    ) {
+        use sv_niu::msg::{MsgClass, MSG_CLASSES};
+        use voyager::api::CollReq;
+        use voyager::app::AppEventKind;
+        use voyager::firmware::proto::CollOp;
+        use voyager::RunOutcome;
+        let op = [CollOp::Sum, CollOp::Min, CollOp::Max][op_idx];
+        let faults = voyager::arctic::FaultParams {
+            drop_ppm, dup_ppm, corrupt_ppm, reorder_ppm, seed: fault_seed,
+        };
+        let n = 8u16;
+        let mut m = voyager::Machine::builder(n as usize).faults(faults).build();
+        for i in 0..n {
+            let lib = m.lib(i);
+            m.load_program(i, lib.coll_program(vec![
+                CollReq::barrier(),
+                CollReq::allreduce(op, contributions[i as usize]),
+                CollReq::broadcast(root, secret),
+            ]));
+        }
+        let result_of = |m: &voyager::Machine, node: u16, label: &str| {
+            m.events(node).iter().find_map(|e| match e.kind {
+                AppEventKind::Result { label: l, value } if l == label => Some(value),
+                _ => None,
+            })
+        };
+        match m.run_capped(1_000_000_000) {
+            RunOutcome::Quiesced(_) => {
+                let want = contributions[..n as usize]
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| op.apply(a, b))
+                    .expect("nonempty");
+                for i in 0..n {
+                    prop_assert_eq!(result_of(&m, i, "coll_barrier"), Some(0));
+                    prop_assert_eq!(result_of(&m, i, "coll_allreduce"), Some(want));
+                    prop_assert_eq!(result_of(&m, i, "coll_broadcast"), Some(secret));
+                }
+                let s = m.stats();
+                for class in 0..MSG_CLASSES {
+                    let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+                    for nd in &s.nodes {
+                        sent += nd.niu.classes[class].sent;
+                        delivered += nd.niu.classes[class].delivered;
+                        dropped += nd.niu.classes[class].dropped;
+                    }
+                    prop_assert_eq!(sent, delivered + dropped,
+                        "conservation, class {}", MsgClass::NAMES[class]);
+                }
+            }
+            RunOutcome::Hung(_) => {
+                // A stuck collective is only acceptable when the reliable
+                // layer demonstrably abandoned part of a stream.
+                let s = m.stats();
+                let abandoned: u64 = s.nodes.iter().map(|nd| nd.niu.reliable_dropped).sum();
+                prop_assert!(abandoned > 0,
+                    "collective hung without any reliable-layer abandonment");
+            }
+        }
+    }
+
+    /// Mid-collective checkpoint cuts: a chain of firmware collectives
+    /// over a hostile fabric, cut at an arbitrary fraction of the run
+    /// under an arbitrary run mode, restored through *both* a full
+    /// snapshot and a base+delta chain, finishes with stats
+    /// byte-identical to the uninterrupted sequential run.
+    #[test]
+    fn firmware_collective_checkpoint_cut_resumes_identically(
+        cut_permille in 0u64..1000,
+        workers in 1usize..=4,
+        round_robin in any::<bool>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use voyager::api::CollReq;
+        use voyager::firmware::proto::CollOp;
+        use voyager::{DeltaCheckpoint, Parallelism, ShardPolicy};
+        let faults = voyager::arctic::FaultParams {
+            drop_ppm: 40_000, dup_ppm: 20_000, corrupt_ppm: 15_000,
+            reorder_ppm: 30_000, seed: fault_seed,
+        };
+        let par = if workers == 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Fixed(workers)
+        };
+        let policy = if round_robin {
+            ShardPolicy::RoundRobin
+        } else {
+            ShardPolicy::BySubtree
+        };
+        let build = |par: Parallelism, policy: ShardPolicy| {
+            let mut m = voyager::Machine::builder(8)
+                .faults(faults)
+                .parallelism(par)
+                .shard_policy(policy)
+                .build();
+            for i in 0..8u16 {
+                let lib = m.lib(i);
+                m.load_program(i, lib.coll_program(vec![
+                    CollReq::allreduce(CollOp::Sum, 0x1000 + i as u64),
+                    CollReq::broadcast(3, 0xFEED_F00D),
+                    CollReq::reduce(CollOp::Max, 5, 7 * i as u64),
+                ]));
+            }
+            m
+        };
+        let mut base_run = build(Parallelism::Sequential, ShardPolicy::BySubtree);
+        let end_ns = base_run.run_to_quiescence().ns();
+        let want = base_run.stats().to_json();
+        // Full-snapshot restore through the cut.
+        let mut donor = build(par, policy);
+        donor.run_for(end_ns * cut_permille / 1000);
+        let bytes = donor.checkpoint();
+        let mut r = voyager::Machine::builder(1)
+            .parallelism(par)
+            .shard_policy(policy)
+            .restore(&bytes)
+            .expect("restore");
+        r.run_to_quiescence();
+        prop_assert_eq!(r.stats().to_json(), want.clone());
+        // Base + one delta spanning the same cut.
+        let mut donor2 = build(par, policy);
+        let chain_base = match donor2.checkpoint_delta() {
+            DeltaCheckpoint::Base(b) => b,
+            DeltaCheckpoint::Delta(_) => unreachable!("first cut is the base"),
+        };
+        donor2.run_for(end_ns * cut_permille / 1000);
+        let delta = match donor2.checkpoint_delta() {
+            DeltaCheckpoint::Delta(d) => d,
+            DeltaCheckpoint::Base(_) => unreachable!("chain already open"),
+        };
+        let mut r2 = voyager::Machine::builder(1)
+            .parallelism(par)
+            .shard_policy(policy)
+            .restore_chain(&chain_base, &[delta])
+            .expect("restore_chain");
+        prop_assert_eq!(r2.checkpoint(), donor2.checkpoint(),
+            "chain restore != donor full snapshot at the cut");
+        r2.run_to_quiescence();
+        prop_assert_eq!(r2.stats().to_json(), want);
+    }
+
     /// Arbitrary payload contents survive the Basic message path intact.
     #[test]
     fn arbitrary_payloads_roundtrip(payloads in proptest::collection::vec(

@@ -1,8 +1,8 @@
-//! Golden-stats regression tests: three canonical scenarios — messaging,
-//! block transfer, shared memory — each pinned to a checked-in JSON
-//! snapshot of every counter in the machine. Any behavioural drift
-//! (timing, protocol traffic, queue discipline) shows up as a byte
-//! difference against the golden.
+//! Golden-stats regression tests: four canonical scenarios — messaging,
+//! block transfer, shared memory, firmware collectives — each pinned to
+//! a checked-in JSON snapshot of every counter in the machine. Any
+//! behavioural drift (timing, protocol traffic, queue discipline) shows
+//! up as a byte difference against the golden.
 //!
 //! When a change is *intentional*, regenerate the goldens with
 //!
@@ -12,9 +12,9 @@
 //!
 //! and review the diff like any other code change.
 
-use voyager::api::{request_transfer, BasicMsg, RecvBasic, SendBasic};
+use voyager::api::{request_transfer, BasicMsg, CollReq, RecvBasic, SendBasic};
 use voyager::app::{Seq, Step, StoreData};
-use voyager::firmware::proto::{Approach, XferReq};
+use voyager::firmware::proto::{Approach, CollOp, XferReq};
 use voyager::{Machine, SystemParams};
 
 fn golden_path(name: &str) -> std::path::PathBuf {
@@ -223,4 +223,63 @@ fn golden_stats_shmem() {
     assert_eq!(s.nodes[1].fw.scoma_invals, 2, "both sharers invalidated");
     assert!(s.nodes[1].fw.scoma_transitions > 0);
     check_golden("stats_shmem.json", s.to_json());
+}
+
+/// Firmware collectives: barrier, all-reduce and broadcast on a 4-node
+/// machine, all sequenced on the sPs — covers the coll_* firmware
+/// counters, the express tree traffic and the service-queue Basic path.
+#[test]
+fn golden_stats_collectives() {
+    let mut m = Machine::builder(4).sample_latency(true).build();
+    for i in 0..4u16 {
+        let lib = m.lib(i);
+        m.load_program(
+            i,
+            lib.coll_program(vec![
+                CollReq::barrier(),
+                CollReq::allreduce(CollOp::Sum, 100 + i as u64),
+                CollReq::broadcast(2, 0xC0FFEE),
+            ]),
+        );
+    }
+    m.run_to_quiescence();
+    let s = m.stats();
+    // Headline invariants before pinning every byte: every node ran all
+    // three collectives, and fan-in/fan-out message counts balance.
+    for n in &s.nodes {
+        assert_eq!(n.fw.coll_started, 3, "node {} started", n.node);
+        assert_eq!(n.fw.coll_completed, 3, "node {} completed", n.node);
+        assert!(n.fw.coll_busy_ns > 0, "node {} sP busy", n.node);
+    }
+    // Barrier and all-reduce fan in (3 ups each on 4 nodes); broadcast
+    // starts at the root. All three fan out to the 3 non-root nodes.
+    let ups: u64 = s.nodes.iter().map(|n| n.fw.coll_ups_sent).sum();
+    let downs: u64 = s.nodes.iter().map(|n| n.fw.coll_downs_sent).sum();
+    assert_eq!(ups, 6);
+    assert_eq!(downs, 9);
+    check_golden("stats_collectives.json", s.to_json());
+}
+
+/// The golden harness itself must fail closed: a single mutated counter
+/// in otherwise-valid stats JSON has to be rejected, or every scenario
+/// above is a no-op. Flips one digit of a collective counter and checks
+/// the comparison panics.
+#[test]
+fn golden_rejects_mutated_stats() {
+    // Never run the mutation against a golden being rewritten — it
+    // would pin the corrupted bytes.
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path("stats_collectives.json"))
+        .expect("collectives golden present (regenerate with UPDATE_GOLDENS=1)");
+    let mutated = want.replacen("\"coll_started\":3", "\"coll_started\":4", 1);
+    assert_ne!(mutated, want, "mutation must actually change the bytes");
+    let outcome = std::panic::catch_unwind(|| {
+        check_golden("stats_collectives.json", mutated.trim_end().to_string())
+    });
+    assert!(
+        outcome.is_err(),
+        "mutated stats passed golden verification — the harness is blind"
+    );
 }
