@@ -25,10 +25,14 @@
 //! declared wire size participates in timing.
 //!
 //! ## Fidelity notes
-//! Arctic's credit-based link-level flow control is abstracted as lossless
-//! queueing with unbounded (but high-water-tracked) output buffers; the
-//! experiments in this repository never drive a link into the regime where
-//! credit stalls propagate. CRC and physical encoding are out of scope.
+//! Arctic's credit-based link-level flow control is modeled when a
+//! [`network::QosParams`] is armed: every link carries per-virtual-channel
+//! bounded buffers guarded by credit counters, upstream transmitters stall
+//! on credit exhaustion, and credits return on downstream drain (priority
+//! or round-robin arbitration at the output port, DESIGN.md §15). With QoS
+//! unset the legacy abstraction remains: lossless queueing with unbounded
+//! (but high-water-tracked) output buffers, bit-identical to prior
+//! releases. CRC and physical encoding are out of scope.
 
 pub mod fault;
 pub mod ideal;
@@ -38,6 +42,8 @@ pub mod topology;
 
 pub use fault::{FaultModel, FaultParams, FaultVerdict};
 pub use ideal::IdealNetwork;
-pub use network::{LinkParams, LinkUsage, Network, NetworkStats};
+pub use network::{
+    LinkParams, LinkUsage, Network, NetworkStats, QosParams, VcArbitration, VcUsage,
+};
 pub use packet::{NodeId, Packet, Priority, MAX_PAYLOAD_BYTES, PACKET_HEADER_BYTES};
 pub use topology::{FatTree, RoutingPolicy};

@@ -3,10 +3,22 @@
 //! Every directed link of the fat tree is a serializing resource: a packet
 //! occupies the link for `wire_bytes / bandwidth` and then spends the
 //! per-hop `router_latency_ns` crossing into the next switch's output
-//! stage. Each link keeps two output queues (one per `Priority`);
-//! whenever the link frees, the high-priority queue is drained first —
-//! this is how Arctic's two-priority discipline keeps protocol replies
-//! from queueing behind bulk requests.
+//! stage. Each link keeps one output queue per virtual channel; in the
+//! default (legacy) configuration there are two, mapped from `Priority`,
+//! and whenever the link frees, the high-priority queue is drained
+//! first — this is how Arctic's two-priority discipline keeps protocol
+//! replies from queueing behind bulk requests.
+//!
+//! With [`QosParams`] armed the model adds credit-based flow control:
+//! every `(link, vc)` input buffer holds [`QosParams::credits_per_vc`]
+//! slots, an upstream link must hold a credit for the downstream buffer
+//! before it may start transmitting, and the credit returns when the
+//! downstream link drains the packet onward. A blocked VC registers
+//! itself as a waiter on the starved downstream buffer and is re-polled
+//! by the credit return — never by time-based retry — so the event count
+//! stays linear in packets. Because up*/down* fat-tree routes induce an
+//! acyclic link-dependency graph, the credit loop is deadlock-free at
+//! any VC count, including one.
 //!
 //! The network runs its own internal event queue; the owning machine calls
 //! [`Network::advance`] with an upper time bound and collects deliveries.
@@ -54,18 +66,108 @@ impl LinkParams {
     }
 }
 
+/// Output-port arbitration among a link's virtual channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcArbitration {
+    /// Always scan VCs from 0 upward — VC 0 (the High class) wins every
+    /// contested slot. This is the legacy two-priority discipline.
+    Priority,
+    /// Rotate the starting VC after every grant, so sustained traffic on
+    /// one VC cannot starve another of link bandwidth.
+    RoundRobin,
+}
+
+/// Virtual-channel / credit-flow-control configuration
+/// (see `voyager::MachineBuilder::network_qos`).
+///
+/// The default — 2 VCs mapped from [`crate::Priority`], priority
+/// arbitration — matches the legacy discipline in *ordering*, but armed
+/// QoS additionally bounds every `(link, vc)` buffer at
+/// `credits_per_vc` slots, so timing differs from the unarmed model
+/// whenever a buffer would have overflowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosParams {
+    /// Virtual channels per link. Packets map to `min(priority index,
+    /// vcs-1)`: with 1 VC all traffic shares one buffer (the
+    /// head-of-line-blocking baseline), with ≥2 the High class gets VC 0.
+    pub vcs: u8,
+    /// Input-buffer slots per `(link, vc)` — the credit pool an upstream
+    /// transmitter draws on.
+    pub credits_per_vc: u8,
+    /// Output-port arbitration among VCs.
+    pub arbitration: VcArbitration,
+}
+
+impl Default for QosParams {
+    fn default() -> Self {
+        QosParams {
+            vcs: 2,
+            credits_per_vc: 8,
+            arbitration: VcArbitration::Priority,
+        }
+    }
+}
+
+/// One virtual channel of one link: its output queue, the credit pool
+/// guarding its *input* buffer, and per-VC usage counters.
+#[derive(Debug, Clone)]
+struct VcState {
+    /// Flight slots queued for transmission on this VC.
+    queue: VecDeque<usize>,
+    /// Free slots in this link's input buffer that upstream transmitters
+    /// may still claim. Unused (held at 0) when QoS is unarmed.
+    credits: u8,
+    /// Upstream links whose head-of-queue is blocked waiting for one of
+    /// this buffer's credits; each gets a Dispatch poke when a credit
+    /// returns. Deduplicated, so bounded by the link count.
+    waiters: Vec<LinkId>,
+    /// When the head of `queue` first found the downstream pool empty;
+    /// cleared (and accumulated into `stall_ns`) on the next grant.
+    blocked_since: Option<Time>,
+    /// Bytes transmitted from this VC.
+    bytes: u64,
+    /// Serialization time spent on this VC's packets, ns.
+    busy_ns: u64,
+    /// Deepest this VC's output queue has been.
+    high_water: usize,
+    /// Times the head of this VC found the downstream credit pool empty.
+    stalls: u64,
+    /// Total time heads of this VC spent credit-blocked, ns.
+    stall_ns: u64,
+}
+
+impl VcState {
+    fn new(credits: u8) -> Self {
+        VcState {
+            queue: VecDeque::new(),
+            credits,
+            waiters: Vec::new(),
+            blocked_since: None,
+            bytes: 0,
+            busy_ns: 0,
+            high_water: 0,
+            stalls: 0,
+            stall_ns: 0,
+        }
+    }
+}
+
 /// Per-link running state.
 #[derive(Debug, Clone)]
 struct LinkState {
     /// Time the transmitter frees.
     busy_until: Time,
-    /// Output queues by priority index (0 = high).
-    queues: [VecDeque<usize>; 2],
+    /// Per-VC output queues. Two in the legacy configuration (indexed by
+    /// priority, 0 = high), [`QosParams::vcs`] when QoS is armed.
+    vcs: Vec<VcState>,
     /// Whether a Dispatch event for this link is already pending — the
     /// dedup that keeps event count linear in packets regardless of
     /// queue depth.
     dispatch_scheduled: bool,
-    /// High-water mark across both queues.
+    /// Round-robin arbitration cursor: the VC scanned first at the next
+    /// grant. Stays 0 under priority arbitration.
+    rr_cursor: u8,
+    /// High-water mark across all VC queues.
     high_water: usize,
     /// Bytes pushed through this link.
     bytes: u64,
@@ -74,11 +176,12 @@ struct LinkState {
 }
 
 impl LinkState {
-    fn new() -> Self {
+    fn new(vcs: usize, credits: u8) -> Self {
         LinkState {
             busy_until: Time::ZERO,
-            queues: [VecDeque::new(), VecDeque::new()],
+            vcs: (0..vcs).map(|_| VcState::new(credits)).collect(),
             dispatch_scheduled: false,
+            rr_cursor: 0,
             high_water: 0,
             bytes: 0,
             busy_ns: 0,
@@ -86,7 +189,7 @@ impl LinkState {
     }
 
     fn queued(&self) -> usize {
-        self.queues[0].len() + self.queues[1].len()
+        self.vcs.iter().map(|v| v.queue.len()).sum()
     }
 }
 
@@ -131,6 +234,16 @@ pub struct NetworkStats {
     pub faults_corrupted: Counter,
     /// Packets the fault model let overtake their priority queue.
     pub faults_reordered: Counter,
+    /// Times any VC head found its downstream credit pool empty (QoS
+    /// armed only; each blocked episode counts once, not per retry).
+    pub credit_stalls: Counter,
+    /// Total time VC heads spent credit-blocked, ns (QoS armed only; a
+    /// head still blocked when the run ends is not counted).
+    pub credit_stall_ns: u64,
+    /// End-to-end latency of [`crate::Priority::High`] packets, ns.
+    pub latency_hi: Summary,
+    /// End-to-end latency of [`crate::Priority::Low`] packets, ns.
+    pub latency_lo: Summary,
 }
 
 /// The Arctic network simulator.
@@ -151,6 +264,10 @@ pub struct Network<P> {
     pub params: LinkParams,
     /// Routing policy in force.
     pub policy: RoutingPolicy,
+    /// Virtual-channel / credit configuration, when armed (see
+    /// [`Network::set_qos`]). `None` runs the legacy two-priority model
+    /// with unbounded buffers and no credit logic at all.
+    qos: Option<QosParams>,
     links: Vec<LinkState>,
     flights: Vec<Option<InFlight<P>>>,
     free_slots: Vec<usize>,
@@ -172,12 +289,13 @@ impl<P> Network<P> {
     pub fn new(nodes: usize, params: LinkParams, policy: RoutingPolicy) -> Self {
         let topology = std::sync::Arc::new(FatTree::build(nodes));
         let links = (0..topology.link_count())
-            .map(|_| LinkState::new())
+            .map(|_| LinkState::new(2, 0))
             .collect();
         Network {
             topology,
             params,
             policy,
+            qos: None,
             links,
             flights: Vec::new(),
             free_slots: Vec::new(),
@@ -199,6 +317,47 @@ impl<P> Network<P> {
     pub fn set_faults(&mut self, params: FaultParams) {
         self.dirty = true;
         self.fault = params.enabled().then(|| FaultModel::new(params));
+    }
+
+    /// Arm virtual channels with credit-based flow control. Rebuilds every
+    /// link with `qos.vcs` channels of `qos.credits_per_vc` credits each,
+    /// so this must run before any traffic is injected. Panics on a
+    /// zero-VC or zero-credit configuration — the embedding builder
+    /// rejects those with a typed error before they reach here.
+    pub fn set_qos(&mut self, qos: QosParams) {
+        assert!(qos.vcs > 0, "QosParams.vcs must be at least 1");
+        assert!(
+            qos.credits_per_vc > 0,
+            "QosParams.credits_per_vc must be at least 1"
+        );
+        assert!(
+            self.events.is_empty() && self.flights.iter().all(|f| f.is_none()),
+            "set_qos must run before traffic"
+        );
+        self.dirty = true;
+        self.qos = Some(qos);
+        for link in &mut self.links {
+            *link = LinkState::new(qos.vcs as usize, qos.credits_per_vc);
+        }
+    }
+
+    /// The QoS configuration in force, if any.
+    pub fn qos(&self) -> Option<QosParams> {
+        self.qos
+    }
+
+    /// Credits currently on loan across all `(link, vc)` pools: each
+    /// loaned credit is a packet occupying (or in transit toward) a
+    /// downstream input buffer, so a quiescent network must report zero —
+    /// the credit-conservation property the test suite pins. Always zero
+    /// when QoS is unarmed.
+    pub fn outstanding_credits(&self) -> u64 {
+        let Some(q) = self.qos else { return 0 };
+        self.links
+            .iter()
+            .flat_map(|l| l.vcs.iter())
+            .map(|v| (q.credits_per_vc - v.credits) as u64)
+            .sum()
     }
 
     /// True if anything (links, flights, fault RNG, stats) may have
@@ -301,6 +460,13 @@ impl<P> Network<P> {
         self.enqueue_on_link(now, slot);
     }
 
+    /// VC a packet priority maps onto, given this network's channel count.
+    #[inline]
+    fn vc_of(&self, prio: crate::packet::Priority) -> usize {
+        let nvcs = self.qos.map_or(2, |q| q.vcs as usize);
+        prio.index().min(nvcs - 1)
+    }
+
     /// Put flight `slot` on the output queue of its current link and poke
     /// the dispatcher.
     fn enqueue_on_link(&mut self, now: Time, slot: usize) {
@@ -308,14 +474,19 @@ impl<P> Network<P> {
             let f = self.flights[slot].as_ref().expect("live flight");
             (f.route[f.hop], f.packet.priority, f.reorder)
         };
+        let vc = self.vc_of(prio);
         let link = &mut self.links[link_id];
         if reorder {
             // Fault-injected overtaking: jump ahead of everything already
-            // queued at this priority. Consumes no randomness — the
-            // verdict was drawn once, at injection.
-            link.queues[prio.index()].push_front(slot);
+            // queued on this VC. Consumes no randomness — the verdict was
+            // drawn once, at injection.
+            link.vcs[vc].queue.push_front(slot);
         } else {
-            link.queues[prio.index()].push_back(slot);
+            link.vcs[vc].queue.push_back(slot);
+        }
+        let vq = link.vcs[vc].queue.len();
+        if vq > link.vcs[vc].high_water {
+            link.vcs[vc].high_water = vq;
         }
         let q = link.queued();
         if q > link.high_water {
@@ -364,13 +535,11 @@ impl<P> Network<P> {
             }
             return;
         }
-        // High priority first.
-        let slot = match link.queues[0]
-            .pop_front()
-            .or_else(|| link.queues[1].pop_front())
-        {
-            Some(s) => s,
-            None => return,
+        // Pick a VC head to transmit. With every head credit-blocked this
+        // returns None with the link subscribed to the starved downstream
+        // pools — the credit return re-polls it, so no timed retry.
+        let Some((slot, vc)) = self.grant(now, link_id) else {
+            return;
         };
         let bytes = self.flights[slot]
             .as_ref()
@@ -378,9 +547,12 @@ impl<P> Network<P> {
             .packet
             .wire_bytes;
         let ser = self.params.serialize_ns(bytes);
+        let link = &mut self.links[link_id];
         link.busy_until = now.plus(ser);
         link.bytes += bytes as u64;
         link.busy_ns += ser;
+        link.vcs[vc].bytes += bytes as u64;
+        link.vcs[vc].busy_ns += ser;
         let arrive_at = now.plus(ser + self.params.router_latency_ns);
         self.events
             .push(arrive_at, NetEvent::Arrive { flight: slot });
@@ -388,6 +560,95 @@ impl<P> Network<P> {
             link.dispatch_scheduled = true;
             let free = link.busy_until;
             self.events.push(free, NetEvent::Dispatch(link_id));
+        }
+    }
+
+    /// Pick the next flight this link may transmit, honoring VC
+    /// arbitration order and (when QoS is armed) downstream credit
+    /// availability. Reserves the downstream credit, returns the credit
+    /// the granted packet itself held, and pays out stall accounting.
+    fn grant(&mut self, now: Time, link_id: LinkId) -> Option<(usize, usize)> {
+        let Some(qos) = self.qos else {
+            // Legacy two-priority discipline: high first, no credit
+            // logic anywhere on this path.
+            let link = &mut self.links[link_id];
+            for vc in 0..2 {
+                if let Some(slot) = link.vcs[vc].queue.pop_front() {
+                    return Some((slot, vc));
+                }
+            }
+            return None;
+        };
+        let nvcs = qos.vcs as usize;
+        let start = match qos.arbitration {
+            VcArbitration::Priority => 0,
+            VcArbitration::RoundRobin => self.links[link_id].rr_cursor as usize,
+        };
+        for i in 0..nvcs {
+            let vc = (start + i) % nvcs;
+            let Some(&slot) = self.links[link_id].vcs[vc].queue.front() else {
+                continue;
+            };
+            // Transmitting moves the packet into the next link's input
+            // buffer, so the grant must hold one of that buffer's
+            // credits — unless this is the final hop (the destination
+            // NIU imposes no credit bound on the network).
+            let next = {
+                let f = self.flights[slot].as_ref().expect("live flight");
+                (f.hop + 1 < f.route.len()).then(|| f.route[f.hop + 1])
+            };
+            if let Some(next) = next {
+                if self.links[next].vcs[vc].credits == 0 {
+                    // Blocked: count the episode once, subscribe to the
+                    // credit return, and offer the port to another VC.
+                    let bvc = &mut self.links[link_id].vcs[vc];
+                    if bvc.blocked_since.is_none() {
+                        bvc.blocked_since = Some(now);
+                        bvc.stalls += 1;
+                        self.stats.credit_stalls.bump();
+                    }
+                    let waiters = &mut self.links[next].vcs[vc].waiters;
+                    if !waiters.contains(&link_id) {
+                        waiters.push(link_id);
+                    }
+                    continue;
+                }
+                self.links[next].vcs[vc].credits -= 1;
+            }
+            let gvc = &mut self.links[link_id].vcs[vc];
+            if let Some(t0) = gvc.blocked_since.take() {
+                let blocked = now.since(t0);
+                gvc.stall_ns += blocked;
+                self.stats.credit_stall_ns += blocked;
+            }
+            let popped = gvc.queue.pop_front();
+            debug_assert_eq!(popped, Some(slot));
+            // Departing frees the input-buffer slot this packet held
+            // (hop 0 occupies the source NIU's own buffer, which is not
+            // credit-bounded), returning a credit to this link's pool.
+            if self.flights[slot].as_ref().expect("live flight").hop > 0 {
+                self.credit_return(now, link_id, vc);
+            }
+            if qos.arbitration == VcArbitration::RoundRobin {
+                self.links[link_id].rr_cursor = ((vc + 1) % nvcs) as u8;
+            }
+            return Some((slot, vc));
+        }
+        None
+    }
+
+    /// Return one credit to `(link, vc)` and poke every subscribed
+    /// upstream waiter with a Dispatch event.
+    fn credit_return(&mut self, now: Time, link_id: LinkId, vc: usize) {
+        self.links[link_id].vcs[vc].credits += 1;
+        let waiters = std::mem::take(&mut self.links[link_id].vcs[vc].waiters);
+        for w in waiters {
+            let wl = &mut self.links[w];
+            if !wl.dispatch_scheduled {
+                wl.dispatch_scheduled = true;
+                let at = now.max_of(wl.busy_until);
+                self.events.push(at, NetEvent::Dispatch(w));
+            }
         }
     }
 
@@ -402,7 +663,12 @@ impl<P> Network<P> {
             self.free_slots.push(slot);
             self.stats.delivered.bump();
             self.stats.bytes_delivered += f.packet.wire_bytes as u64;
-            self.stats.latency.record(now.since(f.packet.injected_at));
+            let lat = now.since(f.packet.injected_at);
+            self.stats.latency.record(lat);
+            match f.packet.priority {
+                crate::packet::Priority::High => self.stats.latency_hi.record(lat),
+                crate::packet::Priority::Low => self.stats.latency_lo.record(lat),
+            }
             self.delivered.push((now, f.packet));
         } else {
             self.enqueue_on_link(now, slot);
@@ -495,6 +761,50 @@ impl<P> Network<P> {
             })
             .collect()
     }
+
+    /// Machine-wide per-VC usage, one row per VC index, aggregated over
+    /// every link (links are symmetric in the fat tree, so the per-VC
+    /// split is the interesting axis; the per-link split stays in
+    /// [`Network::link_usage`]). Row count equals the armed VC count, or
+    /// 2 (the legacy priority classes) when QoS is unarmed.
+    pub fn vc_usage(&self) -> Vec<VcUsage> {
+        let nvcs = self.qos.map_or(2, |q| q.vcs as usize);
+        (0..nvcs)
+            .map(|vc| {
+                let mut u = VcUsage {
+                    vc: vc as u64,
+                    ..VcUsage::default()
+                };
+                for l in &self.links {
+                    let v = &l.vcs[vc];
+                    u.bytes += v.bytes;
+                    u.busy_ns += v.busy_ns;
+                    u.high_water = u.high_water.max(v.high_water as u64);
+                    u.stalls += v.stalls;
+                    u.stall_ns += v.stall_ns;
+                }
+                u
+            })
+            .collect()
+    }
+}
+
+/// Per-VC usage record exported by [`Network::vc_usage`], aggregated
+/// over all links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcUsage {
+    /// Virtual-channel index (0 carries the High class).
+    pub vc: u64,
+    /// Bytes transmitted on this VC.
+    pub bytes: u64,
+    /// Serialization time spent on this VC, ns.
+    pub busy_ns: u64,
+    /// Deepest any single link's queue for this VC has been.
+    pub high_water: u64,
+    /// Credit-stall episodes charged to this VC.
+    pub stalls: u64,
+    /// Time this VC's heads spent credit-blocked, ns.
+    pub stall_ns: u64,
 }
 
 /// Per-link usage record exported by [`Network::link_usage`].
@@ -535,12 +845,84 @@ impl StateLoad for LinkParams {
     }
 }
 
+impl StateSave for VcArbitration {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            VcArbitration::Priority => 0,
+            VcArbitration::RoundRobin => 1,
+        });
+    }
+}
+impl StateLoad for VcArbitration {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        Ok(match r.u8()? {
+            0 => VcArbitration::Priority,
+            1 => VcArbitration::RoundRobin,
+            _ => return Err(SnapshotError::Corrupt { offset: at }),
+        })
+    }
+}
+
+impl StateSave for QosParams {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(self.vcs);
+        w.u8(self.credits_per_vc);
+        w.save(&self.arbitration);
+    }
+}
+impl StateLoad for QosParams {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let q = QosParams {
+            vcs: r.u8()?,
+            credits_per_vc: r.u8()?,
+            arbitration: r.load()?,
+        };
+        // Zero VCs or zero credits would wedge every link forever; the
+        // builder refuses them, so a snapshot carrying them is forged.
+        if q.vcs == 0 || q.credits_per_vc == 0 {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(q)
+    }
+}
+
+impl StateSave for VcState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.queue);
+        w.u8(self.credits);
+        w.save(&self.waiters);
+        w.save(&self.blocked_since);
+        w.u64(self.bytes);
+        w.u64(self.busy_ns);
+        w.usize_(self.high_water);
+        w.u64(self.stalls);
+        w.u64(self.stall_ns);
+    }
+}
+impl StateLoad for VcState {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(VcState {
+            queue: r.load()?,
+            credits: r.u8()?,
+            waiters: r.load()?,
+            blocked_since: r.load()?,
+            bytes: r.u64()?,
+            busy_ns: r.u64()?,
+            high_water: r.usize_()?,
+            stalls: r.u64()?,
+            stall_ns: r.u64()?,
+        })
+    }
+}
+
 impl StateSave for LinkState {
     fn save(&self, w: &mut SnapWriter) {
         w.save(&self.busy_until);
-        w.save(&self.queues[0]);
-        w.save(&self.queues[1]);
+        w.save(&self.vcs);
         w.save(&self.dispatch_scheduled);
+        w.u8(self.rr_cursor);
         w.usize_(self.high_water);
         w.u64(self.bytes);
         w.u64(self.busy_ns);
@@ -550,8 +932,9 @@ impl StateLoad for LinkState {
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
         Ok(LinkState {
             busy_until: r.load()?,
-            queues: [r.load()?, r.load()?],
+            vcs: r.load()?,
             dispatch_scheduled: r.load()?,
+            rr_cursor: r.u8()?,
             high_water: r.usize_()?,
             bytes: r.u64()?,
             busy_ns: r.u64()?,
@@ -616,6 +999,10 @@ impl StateSave for NetworkStats {
         w.save(&self.faults_duplicated);
         w.save(&self.faults_corrupted);
         w.save(&self.faults_reordered);
+        w.save(&self.credit_stalls);
+        w.u64(self.credit_stall_ns);
+        w.save(&self.latency_hi);
+        w.save(&self.latency_lo);
     }
 }
 impl StateLoad for NetworkStats {
@@ -630,6 +1017,10 @@ impl StateLoad for NetworkStats {
             faults_duplicated: r.load()?,
             faults_corrupted: r.load()?,
             faults_reordered: r.load()?,
+            credit_stalls: r.load()?,
+            credit_stall_ns: r.u64()?,
+            latency_hi: r.load()?,
+            latency_lo: r.load()?,
         })
     }
 }
@@ -641,6 +1032,7 @@ impl<P: StateSave + Clone> StateSave for Network<P> {
         w.usize_(self.nodes());
         w.save(&self.params);
         w.save(&self.policy);
+        w.save(&self.qos);
         w.save(&self.links);
         w.save(&self.flights);
         w.save(&self.free_slots);
@@ -662,7 +1054,11 @@ impl<P: StateLoad + Clone> StateLoad for Network<P> {
         }
         let params: LinkParams = r.load()?;
         let policy: RoutingPolicy = r.load()?;
+        let qos: Option<QosParams> = r.load()?;
         let mut net = Network::new(nodes, params, policy);
+        if let Some(q) = qos {
+            net.set_qos(q);
+        }
         let links_at = r.offset();
         let links: Vec<LinkState> = r.load()?;
         if links.len() != net.topology.link_count() {
@@ -713,9 +1109,24 @@ impl<P> Network<P> {
                 return Err(());
             }
         }
+        let nvcs = self.qos.map_or(2, |q| q.vcs as usize);
+        let max_credits = self.qos.map_or(0, |q| q.credits_per_vc);
         for link in &self.links {
-            for q in &link.queues {
-                if q.iter().any(|&slot| !live(slot)) {
+            // Link layout must match the declared QoS geometry, and no
+            // credit pool may exceed its capacity (an over-full pool
+            // would let `outstanding_credits` underflow and a forged
+            // surplus would overrun downstream buffers).
+            if link.vcs.len() != nvcs || link.rr_cursor as usize >= nvcs {
+                return Err(());
+            }
+            for v in &link.vcs {
+                if v.credits > max_credits {
+                    return Err(());
+                }
+                if v.queue.iter().any(|&slot| !live(slot)) {
+                    return Err(());
+                }
+                if v.waiters.iter().any(|&w| w >= self.links.len()) {
                     return Err(());
                 }
             }
@@ -815,6 +1226,7 @@ mod tests {
         w.usize_(n.nodes());
         w.save(&n.params);
         w.save(&n.policy);
+        w.save(&n.qos);
         w.save(&n.links);
         w.save(&n.flights);
         w.save(&vec![0usize]); // forged free_slots
@@ -1040,6 +1452,224 @@ mod tests {
         // queue drains fully LIFO.
         let order: Vec<u32> = got.iter().map(|(_, p)| p.payload).collect();
         assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+
+    fn qos_net(nodes: usize, qos: QosParams) -> Network<u32> {
+        let mut n: Network<u32> = Network::new(nodes, LinkParams::default(), RoutingPolicy::Fixed);
+        n.set_qos(qos);
+        n
+    }
+
+    #[test]
+    fn qos_default_ordering_matches_legacy_when_credits_ample() {
+        // With buffers deep enough that no credit ever hits zero, the
+        // armed default (2 VCs, priority arbitration) must produce the
+        // exact delivery trace of the legacy model.
+        let traffic = |n: &mut Network<u32>| {
+            for i in 0..30u32 {
+                let (s, d) = ((i % 8) as u16, ((i + 3) % 8) as u16);
+                let prio = if i % 5 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Low
+                };
+                n.inject(Time::from_ns(i as u64 * 7), Packet::new(s, d, prio, 64, i));
+            }
+        };
+        let mut legacy: Network<u32> =
+            Network::new(8, LinkParams::default(), RoutingPolicy::HashSpread);
+        let mut armed: Network<u32> =
+            Network::new(8, LinkParams::default(), RoutingPolicy::HashSpread);
+        armed.set_qos(QosParams {
+            credits_per_vc: 255,
+            ..QosParams::default()
+        });
+        traffic(&mut legacy);
+        traffic(&mut armed);
+        let a = run_until_quiet(&mut legacy);
+        let b = run_until_quiet(&mut armed);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(armed.stats.credit_stalls.get(), 0);
+        assert_eq!(armed.outstanding_credits(), 0);
+    }
+
+    #[test]
+    fn credits_conserve_and_stalls_engage_under_pressure() {
+        // One-slot buffers on a deep incast: senders must stall on
+        // credits, and at quiescence every loaned credit is back.
+        let mut n = qos_net(
+            8,
+            QosParams {
+                vcs: 2,
+                credits_per_vc: 1,
+                arbitration: VcArbitration::Priority,
+            },
+        );
+        for i in 0..60u32 {
+            let s = 1 + (i % 7) as u16;
+            n.inject(
+                Time::from_ns(i as u64),
+                Packet::new(s, 0, Priority::Low, 88, i),
+            );
+        }
+        let got = run_until_quiet(&mut n);
+        assert_eq!(got.len(), 60, "credit stalls must delay, never drop");
+        assert!(
+            n.stats.credit_stalls.get() > 0,
+            "1-credit buffers under incast must stall"
+        );
+        assert!(n.stats.credit_stall_ns > 0);
+        assert_eq!(n.outstanding_credits(), 0, "all credits returned");
+        let usage = n.vc_usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[1].stalls, n.stats.credit_stalls.get());
+        assert_eq!(usage[0].bytes, 0, "no High traffic ran");
+        assert!(usage[1].bytes > 0);
+    }
+
+    #[test]
+    fn two_vcs_isolate_high_priority_from_congested_low() {
+        // Saturate the Low class into a hot node, then probe with High
+        // packets. With 1 VC the probe queues behind the bulk (plus
+        // credit backpressure); with 2 VCs it rides its own buffers.
+        let tail = |vcs: u8| {
+            let mut n = qos_net(
+                16,
+                QosParams {
+                    vcs,
+                    credits_per_vc: 2,
+                    arbitration: VcArbitration::Priority,
+                },
+            );
+            for i in 0..120u32 {
+                let s = 1 + (i % 15) as u16;
+                n.inject(
+                    Time::from_ns(i as u64),
+                    Packet::new(s, 0, Priority::Low, 88, i),
+                );
+            }
+            for k in 0..8u32 {
+                n.inject(
+                    Time::from_ns(500 + k as u64 * 400),
+                    Packet::new(15, 0, Priority::High, 8, 10_000 + k),
+                );
+            }
+            run_until_quiet(&mut n);
+            assert_eq!(n.outstanding_credits(), 0);
+            n.stats.latency_hi.max
+        };
+        let blocked = tail(1);
+        let isolated = tail(2);
+        assert!(
+            isolated * 2 < blocked,
+            "VC isolation should cut the High tail well below the shared-buffer \
+             baseline (1 VC: {blocked} ns, 2 VCs: {isolated} ns)"
+        );
+    }
+
+    #[test]
+    fn round_robin_arbitration_shares_the_port() {
+        // Two saturated VCs into one hot node: round-robin must
+        // interleave grants instead of letting VC 0 monopolize the port.
+        let run = |arb: VcArbitration| {
+            let mut n = qos_net(
+                4,
+                QosParams {
+                    vcs: 2,
+                    credits_per_vc: 4,
+                    arbitration: arb,
+                },
+            );
+            for i in 0..20u32 {
+                n.inject(Time::ZERO, Packet::new(1, 0, Priority::High, 88, i));
+                n.inject(Time::ZERO, Packet::new(1, 0, Priority::Low, 88, 100 + i));
+            }
+            run_until_quiet(&mut n)
+                .iter()
+                .map(|(_, p)| p.payload)
+                .collect::<Vec<_>>()
+        };
+        let rr = run(VcArbitration::RoundRobin);
+        let strict = run(VcArbitration::Priority);
+        // Priority arbitration delivers every High packet before any Low.
+        assert!(strict.iter().position(|&p| p >= 100).unwrap() >= 20 - 1);
+        // Round-robin mixes the classes well before the High class drains.
+        let first_low_rr = rr.iter().position(|&p| p >= 100).unwrap();
+        assert!(
+            first_low_rr < 10,
+            "round-robin should interleave (first Low at {first_low_rr})"
+        );
+    }
+
+    #[test]
+    fn qos_snapshot_mid_stall_resumes_identically() {
+        // Cut a checkpoint while credits are loaned out and heads are
+        // blocked; the restored copy must finish byte-identically.
+        let mut n = qos_net(
+            8,
+            QosParams {
+                vcs: 2,
+                credits_per_vc: 1,
+                arbitration: VcArbitration::RoundRobin,
+            },
+        );
+        n.set_faults(FaultParams {
+            drop_ppm: 30_000,
+            dup_ppm: 30_000,
+            corrupt_ppm: 30_000,
+            reorder_ppm: 30_000,
+            seed: 0x51AB,
+        });
+        for i in 0..50u32 {
+            let (s, d) = (
+                (i % 8) as u16,
+                if i % 3 == 0 { 0 } else { ((i + 5) % 8) as u16 },
+            );
+            if s != d {
+                let prio = if i % 4 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Low
+                };
+                n.inject(Time::from_ns(i as u64 * 5), Packet::new(s, d, prio, 88, i));
+            }
+        }
+        n.advance(Time::from_ns(1500));
+        assert!(n.outstanding_credits() > 0, "cut lands mid-stall");
+        let mut restored: Network<u32> = sv_sim::ckpt::roundtrip(&n).unwrap();
+        assert_eq!(restored.qos(), n.qos());
+        let a = run_until_quiet(&mut n);
+        let b = run_until_quiet(&mut restored);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(format!("{:?}", n.stats), format!("{:?}", restored.stats));
+        assert_eq!(
+            format!("{:?}", n.vc_usage()),
+            format!("{:?}", restored.vc_usage())
+        );
+        assert_eq!(n.outstanding_credits(), 0);
+        assert_eq!(restored.outstanding_credits(), 0);
+    }
+
+    #[test]
+    fn snapshot_rejects_overfull_credit_pool() {
+        // A forged credit surplus must fail cross-validation: it would
+        // let upstream transmitters overrun the buffer it guards.
+        let n = qos_net(2, QosParams::default());
+        let mut w = sv_sim::ckpt::SnapWriter::new();
+        n.save(&mut w);
+        let good = w.finish();
+        let mut r = sv_sim::ckpt::SnapReader::new(&good);
+        assert!(Network::<u32>::load(&mut r).is_ok());
+        let mut forged = n.clone();
+        forged.links[0].vcs[0].credits = n.qos().unwrap().credits_per_vc + 1;
+        let mut w = sv_sim::ckpt::SnapWriter::new();
+        forged.save(&mut w);
+        let bad = w.finish();
+        let mut r = sv_sim::ckpt::SnapReader::new(&bad);
+        assert!(matches!(
+            Network::<u32>::load(&mut r),
+            Err(sv_sim::ckpt::SnapshotError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! per loop mode and node count).
 //!
 //! Usage: `simspeed [--nodes N] [--stats] [--faults] [--collectives]
-//! [--checkpoint-every C] [--delta-every C] [--restore FILE]
+//! [--hotspot] [--checkpoint-every C] [--delta-every C] [--restore FILE]
 //! [--artifacts-dir DIR]` — with `--nodes` only the
 //! sweep entry for `N` runs (the CI smoke configuration); without
 //! arguments the full ring table and node-count sweep run. With
@@ -38,6 +38,12 @@
 //! broadcast sequenced NIC-side on every node, asserting exact results
 //! and byte-identical stats across loop modes, then printing the
 //! three-way all-reduce latency/occupancy comparison at that size.
+//! With `--hotspot`, the bin runs only the Arctic QoS smoke: the incast
+//! workload with virtual channels armed, asserting that 2 VCs cut the
+//! High-class tail latency below the 1-VC head-of-line-blocking
+//! baseline, that credit stalls engage, and that stats stay
+//! byte-identical between the sequential and parallel event loops with
+//! QoS and a hostile fabric armed together.
 //!
 //! With `--checkpoint-every C`, the bin instead runs the checkpoint
 //! cadence smoke: the staggered-pair workload (at `--nodes`, default
@@ -583,6 +589,76 @@ fn faults_smoke(n: u16, workers: usize) {
     );
 }
 
+/// Hot-spot / QoS smoke (`--hotspot`): the incast workload from
+/// `voyager::workloads::hot_spot` (every node floods node 0 with
+/// Low-class traffic while the last node interleaves High-class
+/// probes), run three ways. First the EXPERIMENTS.md S9 isolation
+/// gate: with 1 virtual channel (every class in one bounded buffer,
+/// the head-of-line-blocking baseline) the probe tail must be
+/// measurably worse than with 2 VCs isolating the High class. Then
+/// the determinism gate: with VCs *and* a hostile fabric armed, the
+/// sequential and windowed-parallel event loops must produce
+/// byte-identical stats JSON, credit stalls included.
+fn hotspot_smoke(n: u16, workers: usize) {
+    use voyager::arctic::{QosParams, VcArbitration};
+    let qos_params = |vcs: u8| voyager::SystemParams {
+        qos: Some(QosParams {
+            vcs,
+            credits_per_vc: 2,
+            arbitration: VcArbitration::Priority,
+        }),
+        ..Default::default()
+    };
+    let (per_sender, hi_probes, payload) = (30u32, 8u32, 88usize);
+    let hol = voyager::workloads::hot_spot(qos_params(1), n.into(), per_sender, hi_probes, payload);
+    let iso = voyager::workloads::hot_spot(qos_params(2), n.into(), per_sender, hi_probes, payload);
+    assert_eq!(hol.hi_count, u64::from(hi_probes));
+    assert_eq!(iso.hi_count, u64::from(hi_probes));
+    assert!(
+        hol.credit_stalls > 0,
+        "incast must exhaust 2-credit buffers"
+    );
+    assert!(
+        iso.hi_max_ns < hol.hi_max_ns,
+        "2 VCs must cut the High-class tail below the 1-VC baseline \
+         (1 VC: {} ns, 2 VCs: {} ns)",
+        hol.hi_max_ns,
+        iso.hi_max_ns
+    );
+    let faults = voyager::arctic::FaultParams {
+        drop_ppm: 40_000,
+        dup_ppm: 20_000,
+        corrupt_ppm: 15_000,
+        reorder_ppm: 30_000,
+        seed: 0x5909_5EED,
+    };
+    let run = |par: Parallelism| {
+        let mut m = Machine::builder(n.into())
+            .params(qos_params(2))
+            .faults(faults)
+            .parallelism(par)
+            .build();
+        voyager::workloads::load_hot_spot(&mut m, per_sender, hi_probes, payload);
+        let t = m.run_to_quiescence().ns();
+        (t, m.stats())
+    };
+    let (t_ev, s_ev) = run(Parallelism::Sequential);
+    let (t_par, s_par) = run(Parallelism::Fixed(workers));
+    assert_eq!(t_ev, t_par, "parallel loop must match under QoS + faults");
+    assert_eq!(
+        s_ev.to_json(),
+        s_par.to_json(),
+        "QoS stats must be identical across loop modes"
+    );
+    let q = s_ev.network.qos.as_ref().expect("QoS armed");
+    println!(
+        "hotspot smoke: {n} nodes, hi tail {} ns with 1 VC vs {} ns with 2 VCs \
+         ({} credit stalls in baseline); faulty-fabric loops identical \
+         ({t_ev} ns, {} stalls, {} stall-ns)",
+        hol.hi_max_ns, iso.hi_max_ns, hol.credit_stalls, q.credit_stalls, q.credit_stall_ns,
+    );
+}
+
 /// One collectives measurement for the JSON report: the same all-reduce
 /// three ways (aP-driven over Express, aP-driven over Basic, sP
 /// firmware), with the occupancy split that motivates the offload.
@@ -763,6 +839,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--collectives") {
         collectives_smoke(only_nodes.unwrap_or(64), workers);
+        return;
+    }
+    if args.iter().any(|a| a == "--hotspot") {
+        hotspot_smoke(only_nodes.unwrap_or(16), workers);
         return;
     }
 

@@ -69,6 +69,22 @@ pub enum ApiError {
         /// Maximum shard count for this machine.
         shards: usize,
     },
+    /// [`crate::MachineBuilder::network_qos`] was given zero virtual
+    /// channels; every packet needs a VC to ride.
+    ZeroVirtualChannels,
+    /// [`crate::MachineBuilder::network_qos`] was given zero credits per
+    /// VC; a zero-slot buffer can never accept a packet, so the first
+    /// multi-hop transmission would stall forever.
+    ZeroCredits,
+    /// A block-transfer chunk size was invalid: zero, not a multiple of
+    /// 8, or too large for the Basic wire format (whose header length
+    /// field covers `8 + chunk` bytes).
+    BadChunkSize {
+        /// Requested chunk size, bytes.
+        chunk: usize,
+        /// Largest representable chunk, bytes.
+        max: usize,
+    },
 }
 
 impl From<sv_sim::ckpt::SnapshotError> for ApiError {
@@ -112,6 +128,23 @@ impl core::fmt::Display for ApiError {
                 write!(
                     f,
                     "{workers} workers exceed the finest shard partition ({shards} shards)"
+                )
+            }
+            ApiError::ZeroVirtualChannels => {
+                write!(f, "QosParams.vcs must be at least 1")
+            }
+            ApiError::ZeroCredits => {
+                write!(
+                    f,
+                    "QosParams.credits_per_vc must be at least 1; a zero-slot \
+                     buffer deadlocks the first multi-hop transmission"
+                )
+            }
+            ApiError::BadChunkSize { chunk, max } => {
+                write!(
+                    f,
+                    "block-transfer chunk must be a nonzero multiple of 8 \
+                     at most {max} bytes (got {chunk})"
                 )
             }
         }

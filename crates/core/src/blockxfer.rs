@@ -25,9 +25,15 @@ pub const DST_ADDR_DRAM: u64 = 0x0020_0000;
 /// rely on clsSRAM gating of the destination).
 pub const DST_SCOMA_OFF: u64 = 0x0010_0000;
 
-/// Data bytes per approach-1 Basic message (8 bytes of the 88-byte
-/// payload carry the destination address).
+/// Default data bytes per approach-1 Basic message (8 bytes of the
+/// 88-byte payload carry the destination address).
 pub const A1_CHUNK: u32 = 80;
+
+/// Largest per-message data chunk approach 1 can carry: the 88-byte
+/// Basic wire format minus the 8-byte destination-address meta word.
+/// Also well under the `u8` message-length header field, so a validated
+/// chunk can never truncate the header encoding.
+pub const A1_CHUNK_MAX: u32 = 80;
 
 /// Destination address for an approach.
 pub fn dst_addr_for(params: &SystemParams, approach: Approach) -> u64 {
@@ -64,15 +70,44 @@ pub struct A1Send {
     sent: u32,
     state: A1SendState,
     chunk: Vec<u8>,
+    /// Data bytes per message; validated ≤ [`A1_CHUNK_MAX`] at
+    /// construction so the `8 + chunk` Basic header length can neither
+    /// exceed the wire format nor silently truncate to `u8`.
+    chunk_bytes: u32,
     producer: u16,
     consumer_seen: u16,
 }
 
 impl A1Send {
-    /// Transfer `[src_addr, +len)` to `dst_addr` at `dst_node`.
+    /// Transfer `[src_addr, +len)` to `dst_addr` at `dst_node` using the
+    /// default [`A1_CHUNK`]-byte chunks.
     pub fn new(lib: &NodeLib, dst_node: u16, src_addr: u64, dst_addr: u64, len: u32) -> Self {
+        Self::try_with_chunk(lib, dst_node, src_addr, dst_addr, len, A1_CHUNK)
+            .expect("A1_CHUNK is a valid chunk size")
+    }
+
+    /// Transfer with an explicit per-message chunk size, validating it
+    /// at construction: `chunk_bytes` must be a nonzero multiple of 8
+    /// no larger than [`A1_CHUNK_MAX`]. Before this check existed an
+    /// oversized chunk truncated the Basic header's `u8` length field
+    /// (e.g. a 256-byte chunk encoded as length 8), silently corrupting
+    /// the stream at the receiver.
+    pub fn try_with_chunk(
+        lib: &NodeLib,
+        dst_node: u16,
+        src_addr: u64,
+        dst_addr: u64,
+        len: u32,
+        chunk_bytes: u32,
+    ) -> Result<Self, crate::api::ApiError> {
         assert_eq!(len % 8, 0);
-        A1Send {
+        if chunk_bytes == 0 || !chunk_bytes.is_multiple_of(8) || chunk_bytes > A1_CHUNK_MAX {
+            return Err(crate::api::ApiError::BadChunkSize {
+                chunk: chunk_bytes as usize,
+                max: A1_CHUNK_MAX as usize,
+            });
+        }
+        Ok(A1Send {
             lib: *lib,
             dst_node,
             src_addr,
@@ -80,14 +115,15 @@ impl A1Send {
             len,
             sent: 0,
             state: A1SendState::Next,
-            chunk: Vec::with_capacity(A1_CHUNK as usize),
+            chunk: Vec::with_capacity(chunk_bytes as usize),
+            chunk_bytes,
             producer: 0,
             consumer_seen: 0,
-        }
+        })
     }
 
     fn chunk_len(&self) -> u32 {
-        A1_CHUNK.min(self.len - self.sent)
+        self.chunk_bytes.min(self.len - self.sent)
     }
 }
 
@@ -130,6 +166,9 @@ impl Program for A1Send {
                 }
                 A1SendState::WriteHeader => {
                     let dest = self.lib.user_dest(self.dst_node);
+                    // In range by construction: chunk_bytes ≤ A1_CHUNK_MAX,
+                    // so 8 + chunk_len() ≤ 88 — the cast cannot truncate.
+                    debug_assert!(8 + self.chunk_len() <= u8::MAX as u32);
                     let hdr = MsgHeader::basic(dest, (8 + self.chunk_len()) as u8);
                     let slot = self.lib.basic_tx.slot_off(self.producer);
                     self.state = A1SendState::WriteMeta;
@@ -422,6 +461,32 @@ pub fn run_block_transfer(params: SystemParams, spec: XferSpec) -> XferPoint {
     }
 }
 
+/// Run one approach-1 transfer with an explicit chunk size (test hook
+/// for the chunk-size validation path).
+#[doc(hidden)]
+pub fn run_a1_with_chunk(
+    params: SystemParams,
+    len: u32,
+    chunk_bytes: u32,
+) -> Result<bool, crate::api::ApiError> {
+    let mut m = Machine::builder(2).params(params).build();
+    let pattern_seed = params.seed ^ len as u64;
+    m.nodes[0]
+        .mem
+        .fill_pattern(SRC_ADDR, len as usize, pattern_seed);
+    let lib0 = m.lib(0);
+    let lib1 = m.lib(1);
+    let send = A1Send::try_with_chunk(&lib0, 1, SRC_ADDR, DST_ADDR_DRAM, len, chunk_bytes)?;
+    m.load_program(0, send);
+    m.load_program(1, A1Recv::new(&lib1, len));
+    m.run_to_quiescence_capped(10_000_000_000)
+        .unwrap_or_else(|t| panic!("a1 chunk {chunk_bytes} hung at {t}"));
+    let got = m.mem_read(1, DST_ADDR_DRAM, len as usize);
+    let mut want = sv_membus::MemoryArray::new();
+    want.fill_pattern(0, len as usize, pattern_seed);
+    Ok(got == want.read_vec(0, len as usize))
+}
+
 /// Sweep one approach across transfer sizes.
 pub fn sweep_sizes(params: SystemParams, approach: Approach, sizes: &[u32]) -> XferMeasurement {
     let points = sizes
@@ -440,5 +505,43 @@ pub fn sweep_sizes(params: SystemParams, approach: Approach, sizes: &[u32]) -> X
     XferMeasurement {
         approach: approach as u8,
         points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ApiError;
+
+    #[test]
+    fn oversized_chunk_is_rejected_not_truncated() {
+        // Regression: 8 + 256 encoded as `(264) as u8` == 8, a header
+        // announcing an empty payload — the receiver would copy zero
+        // bytes per message and spin forever. Construction now rejects
+        // every chunk the u8-length Basic header cannot carry.
+        let m = Machine::builder(2).build();
+        let lib = m.lib(0);
+        for bad in [0u32, 12, 88, 256, 1024] {
+            let r = A1Send::try_with_chunk(&lib, 1, SRC_ADDR, DST_ADDR_DRAM, 1024, bad);
+            assert!(
+                matches!(r, Err(ApiError::BadChunkSize { chunk, max: 80 }) if chunk == bad as usize),
+                "chunk {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_small_chunk_transfers_correctly() {
+        // A non-default (but valid) chunk size still moves every byte:
+        // 40-byte chunks over a 720-byte transfer = 18 messages.
+        let ok = run_a1_with_chunk(SystemParams::default(), 720, 40).unwrap();
+        assert!(ok, "destination bytes must match the source pattern");
+    }
+
+    #[test]
+    fn default_chunk_is_valid() {
+        let m = Machine::builder(2).build();
+        let lib = m.lib(0);
+        assert!(A1Send::try_with_chunk(&lib, 1, SRC_ADDR, DST_ADDR_DRAM, 1024, A1_CHUNK).is_ok());
     }
 }

@@ -43,9 +43,12 @@ use sv_sim::{Clock, Time};
 
 /// Virtual-destination bases installed in every node's translation table.
 ///
-/// The three destination classes live at multiples of a per-machine
+/// The four destination classes live at multiples of a per-machine
 /// *stride*: user Basic at `0`, sP service at `stride`, user Express at
-/// `2 * stride`. The stride is 256 for machines up to 256 nodes — so the
+/// `2 * stride`, and high-priority user Basic at `3 * stride` (same
+/// logical queue as user Basic, but the translation entry sets the
+/// high-priority bit so the packet rides the network's High class /
+/// VC 0). The stride is 256 for machines up to 256 nodes — so the
 /// constants below are exact there and every historical trace/golden is
 /// unchanged — and widens to the next power of two above the node count
 /// for larger machines (up to the 16384-node ceiling the 16-bit
@@ -59,6 +62,9 @@ pub mod dest {
     pub const SVC: u16 = 0x100;
     /// `EXPRESS + d` → node `d`, logical queue 2 (user Express), machines ≤ 256 nodes.
     pub const EXPRESS: u16 = 0x200;
+    /// `USER_HI + d` → node `d`, logical queue 1 at high network
+    /// priority, machines ≤ 256 nodes.
+    pub const USER_HI: u16 = 0x300;
 
     /// Destination-class stride for an `n`-node machine.
     pub fn stride(n: u16) -> u16 {
@@ -145,6 +151,14 @@ impl NodeLib {
     /// Virtual destination of node `d`'s Express queue.
     pub fn express_dest(&self, d: u16) -> u16 {
         2 * dest::stride(self.nodes) + d
+    }
+
+    /// Virtual destination of node `d`'s user queue at high network
+    /// priority — same logical queue as [`NodeLib::user_dest`], but the
+    /// packet rides the High class (VC 0 under armed QoS), so latency-
+    /// critical messages bypass Low-class congestion.
+    pub fn user_dest_hi(&self, d: u16) -> u16 {
+        3 * dest::stride(self.nodes) + d
     }
 }
 
@@ -297,6 +311,22 @@ impl MachineBuilder {
         self
     }
 
+    /// Arm Arctic virtual channels with credit-based flow control.
+    /// Every fat-tree link then carries [`sv_arctic::QosParams::vcs`]
+    /// virtual channels, each with a bounded `credits_per_vc`-slot
+    /// buffer; transmitters stall on credit exhaustion instead of
+    /// queueing unboundedly, and the output port arbitrates VCs by
+    /// priority or round-robin. Left unset, the network runs the legacy
+    /// two-priority unbounded-buffer model bit-identically to prior
+    /// releases. Zero-VC or zero-credit configurations are reported by
+    /// [`MachineBuilder::try_build`] as
+    /// [`crate::ApiError::ZeroVirtualChannels`] /
+    /// [`crate::ApiError::ZeroCredits`].
+    pub fn network_qos(mut self, qos: sv_arctic::QosParams) -> Self {
+        self.params.qos = Some(qos);
+        self
+    }
+
     /// Enable the debugging tracer of node `i` from cycle 0. May be
     /// called once per node of interest.
     pub fn tracing(mut self, i: u16) -> Self {
@@ -378,9 +408,19 @@ impl MachineBuilder {
 
     /// Assemble the machine, reporting invalid configuration
     /// ([`crate::ApiError::WorkerCountZero`],
-    /// [`crate::ApiError::WorkersExceedShards`]) as a value instead of
+    /// [`crate::ApiError::WorkersExceedShards`],
+    /// [`crate::ApiError::ZeroVirtualChannels`],
+    /// [`crate::ApiError::ZeroCredits`]) as a value instead of
     /// panicking.
     pub fn try_build(self) -> Result<Machine, crate::api::ApiError> {
+        if let Some(q) = self.params.qos {
+            if q.vcs == 0 {
+                return Err(crate::api::ApiError::ZeroVirtualChannels);
+            }
+            if q.credits_per_vc == 0 {
+                return Err(crate::api::ApiError::ZeroCredits);
+            }
+        }
         let plan = self.resolve_plan(self.n)?;
         let mut m = Machine::assemble(self.n, self.params, plan, self.par);
         if let Some(latency) = self.ideal_latency_ns {
@@ -428,6 +468,9 @@ impl Machine {
         }
         let mut network = Network::new(n.max(2), params.link, params.routing);
         network.set_faults(params.faults);
+        if let Some(q) = params.qos {
+            network.set_qos(q);
+        }
         Machine {
             params,
             nodes,
@@ -624,7 +667,7 @@ impl Machine {
         niu.ctrl.rx_cache.bind(0, QueueId(0));
         niu.ctrl.rx_cache.bind(1, QueueId(1));
         niu.ctrl.rx_cache.bind(2, QueueId(2));
-        // Translation table: the three destination classes for every
+        // Translation table: the four destination classes for every
         // node, strided by machine size (a no-op grow at ≤ 256 nodes,
         // where the table's construction size already covers them).
         let stride = dest::stride(nodes);
@@ -634,6 +677,7 @@ impl Machine {
                 (dest::USER, 1u16, false),
                 (stride, 0u16, false),
                 (2 * stride, 2u16, false),
+                (3 * stride, 1u16, true),
             ] {
                 niu.ctrl.xlate.install(
                     base + d,
@@ -1233,6 +1277,12 @@ impl MachineBuilder {
         if m.network.nodes() != span || m.ideal.as_ref().is_some_and(|i| i.nodes() != span) {
             return Err(SnapshotError::Corrupt { offset: net_at }.into());
         }
+        // The network section carries its own QoS configuration (its VC
+        // geometry checks depend on it); a forged section whose QoS
+        // disagrees with the machine parameters must not slip through.
+        if m.network.qos() != params.qos {
+            return Err(SnapshotError::Corrupt { offset: net_at }.into());
+        }
         for i in 0..n {
             m.nodes[i].restore_body(&mut r)?;
             let prog: Option<crate::api::ProgramSnapshot> = r.load()?;
@@ -1253,13 +1303,24 @@ mod tests {
 
     #[test]
     fn construction_installs_conventions() {
-        let m = Machine::builder(4).build();
+        let mut m = Machine::builder(4).build();
         assert_eq!(m.nodes.len(), 4);
         let lib = m.lib(2);
         assert_eq!(lib.node, 2);
         assert_eq!(lib.user_dest(3), 3);
         assert_eq!(lib.svc_dest(1), 0x101);
         assert_eq!(lib.express_dest(0), 0x200);
+        assert_eq!(lib.user_dest_hi(2), 0x302);
+        // The high-priority alias maps to the same node and logical
+        // queue as the plain user class, with the priority bit set.
+        let hi = m.nodes[0]
+            .niu
+            .ctrl
+            .xlate
+            .lookup(lib.user_dest_hi(2))
+            .unwrap();
+        assert!(hi.valid && hi.high_priority);
+        assert_eq!((hi.node, hi.logical_q), (2, 1));
         // The class stride is pinned at 256 up to 256 nodes (so every
         // historical trace stays valid) and widens past that.
         assert_eq!(dest::stride(1), 0x100);

@@ -7,7 +7,7 @@
 //! claims reproduced in `EXPERIMENTS.md` hold across the sweeps.
 
 use serde::{Deserialize, Serialize};
-use sv_arctic::{FaultParams, LinkParams, RoutingPolicy};
+use sv_arctic::{FaultParams, LinkParams, QosParams, RoutingPolicy};
 use sv_firmware::FwParams;
 use sv_membus::{BusParams, CacheParams, DramParams};
 use sv_niu::{AddressMap, NiuParams};
@@ -67,6 +67,11 @@ pub struct SystemParams {
     pub map: AddressMap,
     /// Experiment RNG seed (workload generators).
     pub seed: u64,
+    /// Arctic virtual-channel / credit flow control. `None` (the
+    /// default) runs the legacy two-priority model with unbounded link
+    /// buffers, bit-identical to prior releases. Usually set through
+    /// [`crate::MachineBuilder::network_qos`].
+    pub qos: Option<QosParams>,
 }
 
 impl Default for SystemParams {
@@ -87,6 +92,7 @@ impl Default for SystemParams {
             faults: FaultParams::default(),
             map: AddressMap::default(),
             seed: 0x5747_5679, // "StarT-Voyager"
+            qos: None,
         }
     }
 }
@@ -132,6 +138,7 @@ impl StateSave for SystemParams {
         w.save(&self.faults);
         w.save(&self.map);
         w.u64(self.seed);
+        w.save(&self.qos);
     }
 }
 impl StateLoad for SystemParams {
@@ -151,6 +158,7 @@ impl StateLoad for SystemParams {
             faults: r.load()?,
             map: r.load()?,
             seed: r.u64()?,
+            qos: r.load()?,
         };
         // The clock divides by the frequency.
         if p.bus_mhz == 0 {

@@ -84,8 +84,11 @@ impl Machine {
                     ap_stall_ns: n.stats.cpu_mem_stall_ns,
                     ap_utilization: (n.stats.cpu_compute_ns + n.stats.cpu_mem_stall_ns) as f64
                         / window as f64,
-                    sp_busy_ns: n.fw.occupancy.busy_ns,
-                    sp_utilization: n.fw.occupancy.busy_ns as f64 / window as f64,
+                    // Clip the final handler charge at the window end: a
+                    // handler still running at snapshot time used to push
+                    // sP utilization past 100%.
+                    sp_busy_ns: n.fw.occupancy.busy_within(window),
+                    sp_utilization: n.fw.occupancy.utilization_within(window),
                     bus_data_cycles: n.bus.stats.data_cycles,
                     bus_utilization: n.bus.stats.data_cycles as f64 / total_cycles,
                     ibus_busy_cycles: n.niu.ctrl.ibus.busy_cycles,

@@ -292,6 +292,43 @@ pub struct NetworkSnapshot {
     /// Per-link usage: `(link id, bytes, serialization-busy ns, deepest
     /// queue)`, links with traffic only.
     pub links: Vec<sv_arctic::LinkUsage>,
+    /// Virtual-channel / credit-flow-control counters, populated only
+    /// when QoS is armed ([`crate::MachineBuilder::network_qos`]). The
+    /// JSON emits the `qos` object only in that case, so unarmed
+    /// machines keep their historical byte-identical snapshots.
+    pub qos: Option<QosSnapshot>,
+}
+
+/// Arctic virtual-channel counters (see [`NetworkSnapshot::qos`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosSnapshot {
+    /// Armed virtual channels per link.
+    pub vcs: u64,
+    /// Credit pool (input-buffer slots) per `(link, vc)`.
+    pub credits_per_vc: u64,
+    /// Credit-stall episodes (a VC head finding its downstream pool
+    /// empty; one count per episode, not per retry).
+    pub credit_stalls: u64,
+    /// Total time VC heads spent credit-blocked, ns.
+    pub credit_stall_ns: u64,
+    /// High-class end-to-end latency samples.
+    pub latency_hi_count: u64,
+    /// Sum of High-class end-to-end latencies, ns.
+    pub latency_hi_sum_ns: u64,
+    /// Smallest High-class latency, ns (0 when none).
+    pub latency_hi_min_ns: u64,
+    /// Largest High-class latency, ns — the S9 tail metric.
+    pub latency_hi_max_ns: u64,
+    /// Low-class end-to-end latency samples.
+    pub latency_lo_count: u64,
+    /// Sum of Low-class end-to-end latencies, ns.
+    pub latency_lo_sum_ns: u64,
+    /// Smallest Low-class latency, ns (0 when none).
+    pub latency_lo_min_ns: u64,
+    /// Largest Low-class latency, ns.
+    pub latency_lo_max_ns: u64,
+    /// Per-VC usage aggregated over all links, one row per VC index.
+    pub vc_usage: Vec<sv_arctic::VcUsage>,
 }
 
 /// Run-loop execution counters (see
@@ -354,6 +391,21 @@ impl Machine {
                 faults_corrupted: net.faults_corrupted.get(),
                 faults_reordered: net.faults_reordered.get(),
                 links: self.network.link_usage(),
+                qos: self.network.qos().map(|q| QosSnapshot {
+                    vcs: q.vcs as u64,
+                    credits_per_vc: q.credits_per_vc as u64,
+                    credit_stalls: net.credit_stalls.get(),
+                    credit_stall_ns: net.credit_stall_ns,
+                    latency_hi_count: net.latency_hi.count,
+                    latency_hi_sum_ns: net.latency_hi.sum,
+                    latency_hi_min_ns: net.latency_hi.min_or_zero(),
+                    latency_hi_max_ns: net.latency_hi.max,
+                    latency_lo_count: net.latency_lo.count,
+                    latency_lo_sum_ns: net.latency_lo.sum,
+                    latency_lo_min_ns: net.latency_lo.min_or_zero(),
+                    latency_lo_max_ns: net.latency_lo.max,
+                    vc_usage: self.network.vc_usage(),
+                }),
             },
         }
     }
@@ -534,6 +586,38 @@ impl MachineStats {
             w.end_obj();
         }
         w.end_arr();
+        // Emitted only when QoS is armed: unarmed machines keep their
+        // historical byte-identical JSON.
+        if let Some(q) = &self.network.qos {
+            w.key("qos");
+            w.begin_obj();
+            w.field_u64("vcs", q.vcs);
+            w.field_u64("credits_per_vc", q.credits_per_vc);
+            w.field_u64("credit_stalls", q.credit_stalls);
+            w.field_u64("credit_stall_ns", q.credit_stall_ns);
+            w.field_u64("latency_hi_count", q.latency_hi_count);
+            w.field_u64("latency_hi_sum_ns", q.latency_hi_sum_ns);
+            w.field_u64("latency_hi_min_ns", q.latency_hi_min_ns);
+            w.field_u64("latency_hi_max_ns", q.latency_hi_max_ns);
+            w.field_u64("latency_lo_count", q.latency_lo_count);
+            w.field_u64("latency_lo_sum_ns", q.latency_lo_sum_ns);
+            w.field_u64("latency_lo_min_ns", q.latency_lo_min_ns);
+            w.field_u64("latency_lo_max_ns", q.latency_lo_max_ns);
+            w.key("vc_usage");
+            w.begin_arr();
+            for v in &q.vc_usage {
+                w.begin_obj();
+                w.field_u64("vc", v.vc);
+                w.field_u64("bytes", v.bytes);
+                w.field_u64("busy_ns", v.busy_ns);
+                w.field_u64("high_water", v.high_water);
+                w.field_u64("stalls", v.stalls);
+                w.field_u64("stall_ns", v.stall_ns);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
         w.end_obj();
         w.end_obj();
         w.finish()

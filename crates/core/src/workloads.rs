@@ -171,9 +171,24 @@ pub struct PingPongExpress {
     primed: bool,
 }
 
+/// Most ping-pong rounds one [`PingPongExpress`] pair can run: the
+/// Express store-address encoding carries an 8-bit tag and each round
+/// stamps its (1-based, on the responder side) round number into it, so
+/// past 255 the tags would silently alias — round 256 indistinguishable
+/// from round 0 on the wire.
+pub const MAX_EXPRESS_ROUNDS: u32 = 255;
+
 impl PingPongExpress {
-    /// Build one side.
+    /// Build one side. Panics when `iters` exceeds
+    /// [`MAX_EXPRESS_ROUNDS`]: the 8-bit Express tag would alias past
+    /// that, corrupting any analysis keyed on the tag (before this check
+    /// the round number was truncated silently with `as u8`).
     pub fn new(lib: &NodeLib, peer: u16, iters: u32, initiator: bool) -> Self {
+        assert!(
+            iters <= MAX_EXPRESS_ROUNDS,
+            "PingPongExpress supports at most {MAX_EXPRESS_ROUNDS} rounds \
+             (got {iters}): the Express tag is 8 bits and round tags would alias"
+        );
         PingPongExpress {
             lib: *lib,
             peer,
@@ -216,6 +231,9 @@ impl Program for PingPongExpress {
             if !self.initiator {
                 self.round += 1;
             }
+            // In range by construction: iters ≤ MAX_EXPRESS_ROUNDS, and
+            // the responder's pre-increment tops out at `iters`.
+            debug_assert!(self.round <= MAX_EXPRESS_ROUNDS);
             return Step::Store {
                 addr: self
                     .lib
@@ -350,6 +368,143 @@ pub fn all_to_all(params: SystemParams, n: usize, per_pair: u32, payload_len: us
     (dur, sv_sim::stats::mb_per_s(total_bytes, dur))
 }
 
+/// All-to-all transpose: staggered permutation traffic. In round `k`
+/// (1 ≤ k < n) node `i` targets node `(i + k) % n`, so every round is a
+/// perfect permutation — each node sends one stream and receives one
+/// stream — instead of the synchronized everyone-hits-node-`d` sweep
+/// hiding inside [`all_to_all`]'s destination order. The pattern loads
+/// all fat-tree uplinks evenly and is the classic adversary for static
+/// routing (paper §7 / EXPERIMENTS.md S9). Returns `(completion ns,
+/// aggregate payload MB/s)`.
+pub fn all_to_all_transpose(
+    params: SystemParams,
+    n: usize,
+    per_pair: u32,
+    payload_len: usize,
+) -> (u64, f64) {
+    let mut m = Machine::builder(n).params(params).build();
+    for i in 0..n as u16 {
+        let lib = m.lib(i);
+        let mut items = Vec::new();
+        for round in 0..per_pair {
+            for k in 1..n as u16 {
+                let d = (i + k) % n as u16;
+                items.push(BasicMsg::new(
+                    lib.user_dest(d),
+                    vec![(round & 0xFF) as u8; payload_len],
+                ));
+            }
+        }
+        m.load_program(
+            i,
+            crate::app::Seq::new(vec![
+                Box::new(SendBasic::new(&lib, items)),
+                Box::new(RecvBasic::expecting(&lib, per_pair as usize * (n - 1))),
+            ]),
+        );
+    }
+    m.run_to_quiescence();
+    let dur = (0..n as u16)
+        .map(|i| program_done_time(&m, i).ns())
+        .max()
+        .expect("nodes")
+        .max(1);
+    let total_bytes = (n * (n - 1)) as u64 * per_pair as u64 * payload_len as u64;
+    (dur, sv_sim::stats::mb_per_s(total_bytes, dur))
+}
+
+/// What one [`hot_spot`] run measured, read from the network's own
+/// per-priority inject→deliver summaries (present whether or not QoS is
+/// armed, so the no-VC baseline is directly comparable).
+#[derive(Debug, Clone, Copy)]
+pub struct HotSpotOutcome {
+    /// Time until every node's program finished, ns.
+    pub completion_ns: u64,
+    /// High-class packets delivered.
+    pub hi_count: u64,
+    /// Largest High-class inject→deliver latency, ns — the tail metric
+    /// EXPERIMENTS.md S9 gates on.
+    pub hi_max_ns: u64,
+    /// Mean High-class latency, ns.
+    pub hi_mean_ns: f64,
+    /// Largest Low-class latency, ns.
+    pub lo_max_ns: u64,
+    /// Mean Low-class latency, ns.
+    pub lo_mean_ns: f64,
+    /// Credit-stall episodes (zero when QoS is unarmed).
+    pub credit_stalls: u64,
+    /// Total credit-blocked time, ns (zero when QoS is unarmed).
+    pub credit_stall_ns: u64,
+}
+
+/// Hot-spot (incast) driver: every node but 0 floods node 0 with
+/// `per_sender` Low-class Basic messages, while the last node
+/// interleaves `hi_probes` small High-class probes (via
+/// [`NodeLib::user_dest_hi`]) into its own stream. The probes are the
+/// latency-critical traffic whose tail the congested Low class
+/// head-of-line-blocks — unless virtual channels isolate it
+/// ([`crate::MachineBuilder::network_qos`], EXPERIMENTS.md S9).
+pub fn hot_spot(
+    params: SystemParams,
+    n: usize,
+    per_sender: u32,
+    hi_probes: u32,
+    payload_len: usize,
+) -> HotSpotOutcome {
+    let mut m = Machine::builder(n).params(params).build();
+    load_hot_spot(&mut m, per_sender, hi_probes, payload_len);
+    m.run_to_quiescence();
+    let completion_ns = (0..n as u16)
+        .map(|i| program_done_time(&m, i).ns())
+        .max()
+        .expect("nodes");
+    let net = &m.network.stats;
+    HotSpotOutcome {
+        completion_ns,
+        hi_count: net.latency_hi.count,
+        hi_max_ns: net.latency_hi.max,
+        hi_mean_ns: net.latency_hi.mean().unwrap_or(0.0),
+        lo_max_ns: net.latency_lo.max,
+        lo_mean_ns: net.latency_lo.mean().unwrap_or(0.0),
+        credit_stalls: net.credit_stalls.get(),
+        credit_stall_ns: net.credit_stall_ns,
+    }
+}
+
+/// Load the [`hot_spot`] programs onto an already-built machine (the
+/// bench smoke reuses this across run modes); returns the total message
+/// count node 0 expects.
+pub fn load_hot_spot(m: &mut Machine, per_sender: u32, hi_probes: u32, payload_len: usize) -> u32 {
+    let n = m.nodes.len();
+    assert!(n >= 2, "incast needs a victim and at least one sender");
+    let total = (n as u32 - 1) * per_sender + hi_probes;
+    for i in 1..n as u16 {
+        let lib = m.lib(i);
+        let mut items = Vec::new();
+        // Spread the probes evenly through the last sender's stream so
+        // they sample the congestion as it builds, not just its edges.
+        let probing = i as usize == n - 1;
+        let gap = (per_sender / hi_probes.max(1)).max(1);
+        let mut sent_hi = 0;
+        for j in 0..per_sender {
+            items.push(BasicMsg::new(lib.user_dest(0), vec![0x4C; payload_len]));
+            if probing && sent_hi < hi_probes && j % gap == gap - 1 {
+                items.push(BasicMsg::new(lib.user_dest_hi(0), vec![0x48; 8]));
+                sent_hi += 1;
+            }
+        }
+        if probing {
+            // Probes the even spread didn't place (hi_probes > per_sender).
+            for _ in sent_hi..hi_probes {
+                items.push(BasicMsg::new(lib.user_dest_hi(0), vec![0x48; 8]));
+            }
+        }
+        m.load_program(i, SendBasic::new(&lib, items));
+    }
+    m.load_program(0, RecvBasic::expecting(&m.lib(0), total as usize));
+    total
+}
+
 // =========================================================================
 // Shared-memory probes (experiment T2)
 // =========================================================================
@@ -479,4 +634,57 @@ pub fn scoma_read_3hop(params: SystemParams) -> u64 {
     m.load_program(2, Probe::load(addr));
     m.run_to_quiescence();
     probe_latency(&m, 2, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at most 255 rounds")]
+    fn express_ping_pong_rejects_aliasing_round_counts() {
+        // Regression: 256+ rounds used to truncate the round tag with
+        // `as u8`, so round 256's Express tag collided with round 0's.
+        let m = Machine::builder(2).build();
+        let _ = PingPongExpress::new(&m.lib(0), 1, 256, true);
+    }
+
+    #[test]
+    fn express_ping_pong_runs_at_the_tag_limit() {
+        // The full 255-round budget works and every tag stays unique.
+        let (ow, rtt) = express_ping_pong(SystemParams::default(), MAX_EXPRESS_ROUNDS);
+        assert!(ow > 0 && rtt > ow);
+    }
+
+    #[test]
+    fn transpose_moves_every_byte() {
+        let (dur, bw) = all_to_all_transpose(SystemParams::default(), 4, 2, 64);
+        assert!(dur > 0 && bw > 0.0);
+    }
+
+    #[test]
+    fn hot_spot_counts_both_classes() {
+        let out = hot_spot(SystemParams::default(), 4, 10, 4, 64);
+        assert_eq!(out.hi_count, 4);
+        assert!(out.hi_max_ns > 0);
+        assert!(out.lo_max_ns > 0);
+        // QoS unarmed: the credit machinery must stay silent.
+        assert_eq!(out.credit_stalls, 0);
+        assert_eq!(out.credit_stall_ns, 0);
+    }
+
+    #[test]
+    fn hot_spot_with_qos_armed_reports_vc_stats() {
+        let p = SystemParams {
+            qos: Some(sv_arctic::QosParams {
+                vcs: 2,
+                credits_per_vc: 2,
+                arbitration: sv_arctic::VcArbitration::Priority,
+            }),
+            ..Default::default()
+        };
+        let out = hot_spot(p, 4, 10, 4, 64);
+        assert_eq!(out.hi_count, 4);
+        assert!(out.hi_max_ns > 0);
+    }
 }

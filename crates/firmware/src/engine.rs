@@ -292,7 +292,24 @@ impl Firmware {
             return false;
         };
         self.stats.svc_msgs.bump();
-        let opcode = data.first().copied().unwrap_or(0);
+        // An empty service message has no opcode byte at all. It used to
+        // decode as opcode 0 via `unwrap_or(0)` — benign only for as long
+        // as 0 stays unassigned in `proto::op`. Treat it as the protocol
+        // error it is: count it, charge dispatch, free the slot, move on.
+        let Some(opcode) = data.first().copied() else {
+            self.stats.proto_errors.bump();
+            self.svc_ptr = self.svc_ptr.wrapping_add(1);
+            let ptr = self.svc_ptr;
+            niu.sp().push_cmd(
+                Q_SVC,
+                LocalCmd::RxPtrUpdate {
+                    q: svc_q,
+                    consumer: ptr,
+                },
+            );
+            self.charge(cycle, self.params.dispatch_cycles);
+            return true;
+        };
         // Most handlers copy what they need out of the slot, so the slot
         // can be freed immediately; XFER_DATA's bus write reads the slot
         // in place and frees it with an in-order pointer update.

@@ -194,7 +194,8 @@ impl StateSave for AddressMap {
 }
 impl StateLoad for AddressMap {
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
-        Ok(AddressMap {
+        let at = r.offset();
+        let m = AddressMap {
             dram_len: r.u64()?,
             scoma_base: r.u64()?,
             scoma_len: r.u64()?,
@@ -203,7 +204,20 @@ impl StateLoad for AddressMap {
             niu_base: r.u64()?,
             reflect_base: r.u64()?,
             reflect_len: r.u64()?,
-        })
+        };
+        // `classify` computes `base + len` for every region on every bus
+        // operation; a forged map that wraps the address space would
+        // panic there (debug) or misclassify everything (release).
+        let spans = [
+            (m.scoma_base, m.scoma_len),
+            (m.numa_base, m.numa_len),
+            (m.reflect_base, m.reflect_len),
+            (m.niu_base, NIU_WIN_LEN),
+        ];
+        if spans.iter().any(|&(b, l)| b.checked_add(l).is_none()) {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(m)
     }
 }
 

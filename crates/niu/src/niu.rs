@@ -2125,6 +2125,33 @@ impl Niu {
     /// buffer span or shadow-pointer slot falls outside its SRAM bank,
     /// so a forged snapshot cannot steer the engines into the SRAM
     /// bounds asserts (and `slot_addr` arithmetic stays in `u32`).
+    /// Cross-component invariants a restored NIU must satisfy — each one
+    /// is indexed through at runtime far from the restore site, so a
+    /// forged snapshot violating them must fail typed here, not panic
+    /// there. Checked on full restores and on both delta sections
+    /// (`apply_small` re-loads params/map/ctrl; `apply_mems_delta`
+    /// re-loads the clsSRAM).
+    fn validate_consistency(&self, at: usize) -> Result<(), SnapshotError> {
+        // Firmware wake checks and command dispatch index `ctrl.rx` /
+        // `ctrl.tx` by `params` counts.
+        if self.ctrl.rx.len() != self.params.rx_queues
+            || self.ctrl.tx.len() != self.params.tx_queues
+        {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        // The clsSRAM is constructed to cover exactly `params.cls_lines`.
+        if self.clssram.capacity_lines() != self.params.cls_lines {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        // Every S-COMA address must map to a line the clsSRAM covers:
+        // `ap_snoop` computes `map.scoma_line(addr)` and indexes the
+        // clsSRAM with it on every snooped bus operation.
+        if self.map.scoma_len.div_ceil(sv_membus::CACHE_LINE) > self.clssram.capacity_lines() {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(())
+    }
+
     fn validate_geometry(&self, at: usize) -> Result<(), SnapshotError> {
         let bank = |sel: SramSel| match sel {
             SramSel::A => self.asram.len() as u64,
@@ -2178,6 +2205,7 @@ impl StateLoad for Niu {
             sample_latency: r.load()?,
             ckpt_dirty: true,
         };
+        n.validate_consistency(at)?;
         n.validate_geometry(at)?;
         Ok(n)
     }
@@ -2252,6 +2280,7 @@ impl Niu {
         self.stats = r.load()?;
         self.sample_latency = r.load()?;
         self.ckpt_dirty = true;
+        self.validate_consistency(at)?;
         self.validate_geometry(at)
     }
 
@@ -2275,7 +2304,10 @@ impl Niu {
         let at = r.offset();
         match r.u8()? {
             0 => {}
-            1 => self.clssram = r.load()?,
+            1 => {
+                self.clssram = r.load()?;
+                self.validate_consistency(at)?;
+            }
             _ => return Err(SnapshotError::Corrupt { offset: at }),
         }
         Ok(())

@@ -192,6 +192,11 @@ impl StateLoad for NiuParams {
         if p.ibus_bytes_per_cycle == 0 {
             return Err(SnapshotError::Corrupt { offset: at });
         }
+        // The firmware indexes `ctrl.rx` by this on every wake check; a
+        // forged slot would panic far from the restore site.
+        if p.miss_queue_slot >= p.rx_queues {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
         Ok(p)
     }
 }

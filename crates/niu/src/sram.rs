@@ -220,6 +220,11 @@ impl ClsSram {
         self.lines.len()
     }
 
+    /// Total lines this SRAM covers (the bound `get`/`set` assert).
+    pub fn capacity_lines(&self) -> u64 {
+        self.capacity_lines
+    }
+
     /// True if any line changed since the last [`ClsSram::clear_dirty`].
     pub fn has_dirty(&self) -> bool {
         self.dirty

@@ -218,12 +218,17 @@ impl Occupancy {
         self.busy_ns.saturating_sub(overhang)
     }
 
-    /// Utilization in `[0,1]` over a window of `window_ns`.
+    /// Utilization in `[0,1]` over a window of `window_ns`, clamped at 1:
+    /// a final busy interval that straddles the window end would otherwise
+    /// push the ratio past 1 (a real bug reports hit — see the regression
+    /// test). Callers that know their charges are anchored should prefer
+    /// [`Occupancy::utilization_within`], which clips the overhang exactly
+    /// instead of saturating.
     pub fn utilization(&self, window_ns: u64) -> f64 {
         if window_ns == 0 {
             0.0
         } else {
-            self.busy_ns as f64 / window_ns as f64
+            (self.busy_ns as f64 / window_ns as f64).min(1.0)
         }
     }
 
@@ -470,16 +475,42 @@ mod tests {
         assert!((o.utilization_within(1000) - 0.2).abs() < 1e-12);
         // Naive utilization over-counts the overhang...
         assert!((o.utilization(1000) - 0.3).abs() < 1e-12);
-        // ...and a fully-straddling charge can push it past 1.0, which
-        // the clipped form never does.
+        // ...and a fully-straddling charge used to push it past 1.0
+        // (busy_ns=100 over a 50ns window read as 200% utilization in
+        // stats reports); it now saturates at 1.0, and the clipped form
+        // stays exact.
         let mut b = Occupancy::default();
         b.busy_at(990, 100);
-        assert!(b.utilization(50) > 1.0);
+        assert_eq!(b.utilization(50), 1.0);
         assert!(b.utilization_within(50) <= 1.0);
         assert_eq!(b.busy_within(1000), 10);
         // Windows past the last interval see the full busy time.
         assert_eq!(o.busy_within(2000), 300);
         assert_eq!(o.utilization_within(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one_on_straddling_final_interval() {
+        // Regression: a busy charge issued just before the measurement
+        // window closed (sP handler still running at snapshot time) made
+        // `utilization` report >100%. Both forms must stay in [0, 1] for
+        // any window, including windows shorter than the busy time.
+        let mut o = Occupancy::default();
+        o.busy_at(0, 400);
+        o.busy_at(450, 400); // ends at 850
+        for window in [1, 100, 449, 500, 849, 850, 10_000] {
+            let u = o.utilization(window);
+            let uw = o.utilization_within(window);
+            assert!((0.0..=1.0).contains(&u), "utilization({window}) = {u}");
+            assert!(
+                (0.0..=1.0).contains(&uw),
+                "utilization_within({window}) = {uw}"
+            );
+        }
+        // Clipping is exact where clamping merely saturates.
+        assert_eq!(o.busy_within(500), 450);
+        assert_eq!(o.utilization(100), 1.0);
+        assert!((o.utilization_within(500) - 0.9).abs() < 1e-12);
     }
 
     #[test]

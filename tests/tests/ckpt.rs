@@ -214,7 +214,7 @@ fn every_header_field_rejects_tampering() {
             restore(&b),
             Err(ApiError::Snapshot(SnapshotError::Version {
                 found: 99,
-                expected: 1,
+                expected: sv_sim::ckpt::FORMAT_VERSION,
             }))
         ),
         "version tamper not caught"
@@ -525,7 +525,7 @@ fn delta_headers_reject_format_confusion_and_tampering() {
         chain(&d),
         Err(ApiError::Snapshot(SnapshotError::Version {
             found: 99,
-            expected: 1,
+            expected: sv_sim::ckpt::FORMAT_VERSION,
         }))
     ));
     // Param hash (bytes 8..16).

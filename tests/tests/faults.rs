@@ -209,16 +209,24 @@ fn malformed_service_traffic_is_counted_not_fatal() {
         // Structurally valid SCOMA inv-ack for a line with no pending
         // invalidation — stale protocol state.
         BasicMsg::new(dest, encode_addr_msg(op::SCOMA_INV_ACK, 0x40_0000).to_vec()),
-        // Empty body: no opcode at all.
+        // Empty body: no opcode at all. This used to decode as opcode 0
+        // via `unwrap_or(0)` — an aliasing hazard, not an error path: it
+        // was only counted because 0 happens to be unassigned. The
+        // firmware now rejects the empty message *before* opcode
+        // dispatch, so this stays a proto_error even if opcode 0 is ever
+        // assigned a handler.
         BasicMsg::new(dest, vec![]),
+        // One-byte body carrying the (unassigned) opcode 0 — the message
+        // the empty body used to be indistinguishable from.
+        BasicMsg::new(dest, vec![0x00]),
     ];
     m.load_program(0, SendBasic::new(&lib0, items));
     m.run_to_quiescence();
     let s = m.stats();
-    assert_eq!(s.nodes[1].fw.proto_errors, 4);
+    assert_eq!(s.nodes[1].fw.proto_errors, 5);
     // The sP is not wedged: the machine quiesced and the firmware
-    // processed all four service messages.
-    assert!(s.nodes[1].fw.svc_msgs >= 4);
+    // processed all five service messages.
+    assert!(s.nodes[1].fw.svc_msgs >= 5);
 }
 
 /// EXPERIMENTS.md §S4 data generator: delivered latency and retransmit

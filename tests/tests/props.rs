@@ -54,6 +54,75 @@ proptest! {
         prop_assert_eq!(t.links[*r.last().unwrap()].to, Endpoint::Node(d));
     }
 
+    /// Credit conservation: for arbitrary traffic through a QoS-armed
+    /// network — arbitrary VC count, credit depth, arbitration,
+    /// topology size, priorities, and inject times, with or without a
+    /// hostile fault model — every credit loaned to an upstream link is
+    /// back in its pool once the network quiesces, nothing is stuck
+    /// waiting, and no packet is lost to flow control (only the fault
+    /// model may drop).
+    #[test]
+    fn qos_credits_always_return_at_quiescence(
+        nodes in 2usize..=16,
+        vcs in 1u8..=4,
+        credits_per_vc in 1u8..=4,
+        rr in any::<bool>(),
+        spread in any::<bool>(),
+        faulty in any::<bool>(),
+        fault_seed in any::<u64>(),
+        traffic in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), any::<bool>(), 0u32..=88, 0u64..2_000),
+            1..120),
+    ) {
+        use sv_arctic::{
+            FaultParams, LinkParams, Network, Packet, Priority, QosParams,
+            RoutingPolicy, VcArbitration,
+        };
+        let mut n: Network<u32> = Network::new(
+            nodes,
+            LinkParams::default(),
+            if spread { RoutingPolicy::HashSpread } else { RoutingPolicy::Fixed },
+        );
+        n.set_qos(QosParams {
+            vcs,
+            credits_per_vc,
+            arbitration: if rr { VcArbitration::RoundRobin } else { VcArbitration::Priority },
+        });
+        if faulty {
+            n.set_faults(FaultParams {
+                drop_ppm: 60_000, dup_ppm: 40_000, corrupt_ppm: 30_000,
+                reorder_ppm: 50_000, seed: fault_seed,
+            });
+        }
+        let mut injected = 0u64;
+        for (i, &(s, d, hi, bytes, at)) in traffic.iter().enumerate() {
+            let s = s % nodes as u16;
+            let d = d % nodes as u16;
+            if s == d {
+                continue;
+            }
+            let prio = if hi { Priority::High } else { Priority::Low };
+            n.inject(Time::from_ns(at), Packet::new(s, d, prio, bytes, i as u32));
+            injected += 1;
+        }
+        let mut delivered = 0u64;
+        while let Some(t) = n.next_event_time() {
+            n.advance(t);
+            delivered += n.take_delivered().len() as u64;
+        }
+        prop_assert!(n.quiescent());
+        prop_assert_eq!(n.outstanding_credits(), 0,
+            "every loaned credit must be returned at quiescence");
+        // Flow control stalls, it never drops: accounting for fault
+        // drops and duplications, every injected packet arrives.
+        let s = &n.stats;
+        prop_assert_eq!(
+            delivered,
+            injected + s.faults_duplicated.get() - s.faults_dropped.get(),
+            "credit flow control lost or invented packets"
+        );
+    }
+
     /// Message header encoding round-trips for every field combination.
     #[test]
     fn msg_header_roundtrips(dest in any::<u16>(), len in 0u8..=88,
@@ -355,19 +424,36 @@ proptest! {
     /// to the uninterrupted sequential run. The cut point is a fraction
     /// of the *total* run time, so cases land before the first send,
     /// mid-retransmit, and after quiescence — including cuts inside what
-    /// would have been a lookahead window.
+    /// would have been a lookahead window. Half the cases arm virtual
+    /// channels with arbitrary (small) VC counts, credit depths, and
+    /// arbitration, so cuts also land mid-credit-stall and the snapshot
+    /// must carry per-VC queues, credit counters, and waiter lists.
     #[test]
     fn checkpoint_resume_matches_uninterrupted_run(
         cut_permille in 0u64..1000,
         workers in 1usize..=4,
         round_robin in any::<bool>(),
         fault_seed in any::<u64>(),
+        qos in proptest::option::of((1u8..=3, 1u8..=3, any::<bool>())),
     ) {
         use voyager::api::{BasicMsg, RecvBasic, SendBasic};
+        use voyager::arctic::{QosParams, VcArbitration};
         use voyager::{Parallelism, ShardPolicy};
         let faults = voyager::arctic::FaultParams {
             drop_ppm: 40_000, dup_ppm: 20_000, corrupt_ppm: 15_000,
             reorder_ppm: 30_000, seed: fault_seed,
+        };
+        let params = voyager::SystemParams {
+            qos: qos.map(|(vcs, credits_per_vc, rr)| QosParams {
+                vcs,
+                credits_per_vc,
+                arbitration: if rr {
+                    VcArbitration::RoundRobin
+                } else {
+                    VcArbitration::Priority
+                },
+            }),
+            ..Default::default()
         };
         let par = if workers == 1 {
             Parallelism::Sequential
@@ -381,6 +467,7 @@ proptest! {
         };
         let build = |par: Parallelism, policy: ShardPolicy| {
             let mut m = voyager::Machine::builder(4)
+                .params(params)
                 .faults(faults)
                 .parallelism(par)
                 .shard_policy(policy)

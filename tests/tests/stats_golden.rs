@@ -1,5 +1,6 @@
-//! Golden-stats regression tests: four canonical scenarios — messaging,
-//! block transfer, shared memory, firmware collectives — each pinned to
+//! Golden-stats regression tests: five canonical scenarios — messaging,
+//! block transfer, shared memory, firmware collectives, QoS-armed
+//! incast — each pinned to
 //! a checked-in JSON snapshot of every counter in the machine. Any
 //! behavioural drift (timing, protocol traffic, queue discipline) shows
 //! up as a byte difference against the golden.
@@ -258,6 +259,38 @@ fn golden_stats_collectives() {
     assert_eq!(ups, 6);
     assert_eq!(downs, 9);
     check_golden("stats_collectives.json", s.to_json());
+}
+
+/// QoS: the incast hot-spot workload on an 8-node machine with two
+/// virtual channels and shallow (2-credit) buffers — covers the `qos`
+/// stats object: per-VC occupancy/stall counters, credit-stall totals
+/// and the High/Low latency split. The four scenarios above run with
+/// QosParams unset and so also pin the *absence* of the `qos` key:
+/// arming QoS must never change legacy machines' bytes.
+#[test]
+fn golden_stats_qos() {
+    let p = SystemParams {
+        qos: Some(voyager::arctic::QosParams {
+            vcs: 2,
+            credits_per_vc: 2,
+            arbitration: voyager::arctic::VcArbitration::Priority,
+        }),
+        ..Default::default()
+    };
+    let mut m = Machine::builder(8).params(p).sample_latency(true).build();
+    let total = voyager::workloads::load_hot_spot(&mut m, 12, 4, 64);
+    m.run_to_quiescence();
+    let s = m.stats();
+    // Headline invariants before pinning every byte: all traffic lands,
+    // the High probes ride VC 0, and the shallow buffers visibly stall.
+    let delivered: u64 = s.nodes[0].niu.classes.iter().map(|c| c.delivered).sum();
+    assert_eq!(delivered, u64::from(total));
+    let q = s.network.qos.as_ref().expect("QoS armed");
+    assert_eq!((q.vcs, q.credits_per_vc), (2, 2));
+    assert_eq!(q.latency_hi_count, 4, "every probe measured");
+    assert!(q.credit_stalls > 0, "incast must stall on credits");
+    assert!(q.vc_usage[0].bytes > 0 && q.vc_usage[1].bytes > 0);
+    check_golden("stats_qos.json", s.to_json());
 }
 
 /// The golden harness itself must fail closed: a single mutated counter

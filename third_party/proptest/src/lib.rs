@@ -3,7 +3,8 @@
 //!
 //! It covers exactly the surface this workspace's tests use — the
 //! `proptest!` macro, integer-range strategies, `any::<T>()`, `Just`,
-//! `prop_oneof!`, tuple strategies and `collection::vec` — with a
+//! `prop_oneof!`, tuple strategies, `option::of` and `collection::vec`
+//! — with a
 //! fixed-seed RNG derived from the test name, so every run explores the
 //! same cases (shrinking is not implemented; failures print the failing
 //! inputs via the assertion message instead).
@@ -11,6 +12,8 @@
 pub mod strategy;
 
 pub mod collection;
+
+pub use strategy::option;
 
 /// Per-block configuration; only `cases` is modeled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

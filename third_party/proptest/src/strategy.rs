@@ -148,6 +148,35 @@ tuple_strategy! {
     (A 0, B 1);
     (A 0, B 1, C 2);
     (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// `proptest::option::of`: half the cases are `None`, half a value from
+/// the inner strategy.
+pub mod option {
+    use super::Strategy;
+    use crate::TestRng;
+
+    /// Strategy wrapper produced by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generate `Option<S::Value>` with an even None/Some split.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
