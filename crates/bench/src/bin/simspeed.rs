@@ -43,7 +43,18 @@
 //! High-class tail latency below the 1-VC head-of-line-blocking
 //! baseline, that credit stalls engage, and that stats stay
 //! byte-identical between the sequential and parallel event loops with
-//! QoS and a hostile fabric armed together.
+//! QoS and a hostile fabric armed together. With `--tenants`, the bin
+//! runs only the multi-tenant serving smoke: the S10 tenant job mix
+//! (latency + bulk + bursty classes and one confined misbehaving tenant
+//! per node) under the deterministic per-node scheduler, asserting
+//! byte-identical stats between the sequential and parallel event
+//! loops, exactly one contained protection violation per node, and
+//! printing the rx-queue-cache hit rate and tail-latency split.
+//! `--tenant-sweep` runs the full S10 scaling study instead: tenant
+//! count per node swept 4→256 on a 16-node machine (override with
+//! `--nodes`), printing hit rate, rebinds and the P99 tail split —
+//! including the Latency class's isolation — at each point. These are
+//! the EXPERIMENTS.md S10 table rows.
 //!
 //! With `--checkpoint-every C`, the bin instead runs the checkpoint
 //! cadence smoke: the staggered-pair workload (at `--nodes`, default
@@ -659,6 +670,108 @@ fn hotspot_smoke(n: u16, workers: usize) {
     );
 }
 
+/// Multi-tenant serving smoke (`--tenants`): the S10 tenant job mix on
+/// an `n`-node machine with tenancy armed — per-node schedulers
+/// multiplexing latency/bulk/bursty tenants plus one confined
+/// misbehaving tenant. The sequential and windowed-parallel event loops
+/// must produce byte-identical stats (per-tenant sections included),
+/// each node must contain exactly one protection violation, and the
+/// serving metrics (cache hit rate, P99 tail split) are printed for the
+/// log.
+fn tenants_smoke(n: u16, workers: usize) {
+    use voyager::{SchedPolicy, TenancyParams};
+    let run = |par: Parallelism| {
+        let tenancy = TenancyParams {
+            tenants_per_node: 16,
+            policy: SchedPolicy::WeightedTimeSlice { quantum_ns: 20_000 },
+            confined: Some(5),
+        };
+        let mut m = Machine::builder(n.into())
+            .tenants(tenancy)
+            .parallelism(par)
+            .build();
+        voyager::workloads::load_tenant_mix(&mut m, 8);
+        let t = m.run_to_quiescence().ns();
+        let out = voyager::workloads::measure_tenant_mix(&m);
+        (t, m.stats().to_json(), out)
+    };
+    let (t_ev, s_ev, out) = run(Parallelism::Sequential);
+    let (t_par, s_par, _) = run(Parallelism::Fixed(workers));
+    assert_eq!(t_ev, t_par, "parallel loop must match with tenancy armed");
+    assert_eq!(
+        s_ev, s_par,
+        "tenant stats must be identical across loop modes"
+    );
+    assert!(s_ev.contains("\"per_tenant\":"), "per-tenant rows present");
+    assert_eq!(
+        out.tx_violations,
+        u64::from(n),
+        "one contained violation per node"
+    );
+    assert!(out.rq_hits + out.rq_misses > 0, "tenant traffic flowed");
+    assert!(out.rebinds > 0, "miss path exercised");
+    println!(
+        "tenants smoke: {n} nodes x 16 tenants, loops identical ({t_ev} ns); \
+         hit rate {:.1}% ({} hits / {} misses, {} diversions, {} rebinds), \
+         p99 {} ns (hit {} ns, miss {} ns; latency class {} ns vs others {} ns), \
+         {} violations contained",
+        out.hit_rate * 100.0,
+        out.rq_hits,
+        out.rq_misses,
+        out.diversions,
+        out.rebinds,
+        out.p99_ns,
+        out.hit_p99_ns,
+        out.miss_p99_ns,
+        out.latency_class_p99_ns,
+        out.other_class_p99_ns,
+        out.tx_violations,
+    );
+}
+
+/// The S10 scaling study (`--tenant-sweep`): sweep tenants per node
+/// 4→256 on a fixed machine and print, at each point, the rx-queue
+/// cache's hit rate and the inject→deliver P99 tail split by cache
+/// outcome and by QoS class. The 12-slot managed hardware pool covers
+/// small tenant counts; past it, the cache thrashes, misses divert
+/// through the firmware service path, and the aggregate tail grows —
+/// while the Latency class's high-priority translation bit holds its
+/// own P99 down. EXPERIMENTS.md S10 is this table.
+fn tenant_sweep(n: u16) {
+    use voyager::{SchedPolicy, SystemParams, TenancyParams};
+    println!(
+        "{:>12} {:>9} {:>9} {:>8} {:>9} {:>9} {:>11} {:>11}",
+        "tenants/node",
+        "hit rate",
+        "rebinds",
+        "p99",
+        "hit p99",
+        "miss p99",
+        "latency p99",
+        "others p99"
+    );
+    for tenants in [4u16, 8, 16, 32, 64, 128, 256] {
+        let tenancy = TenancyParams {
+            tenants_per_node: tenants,
+            policy: SchedPolicy::WeightedTimeSlice { quantum_ns: 20_000 },
+            confined: None,
+        };
+        let out = voyager::workloads::tenant_mix(SystemParams::default(), n.into(), tenancy, 6);
+        assert!(out.sent_msgs > 0, "mix ran at {tenants} tenants/node");
+        println!(
+            "{:>12} {:>8.1}% {:>9} {:>8} {:>9} {:>9} {:>11} {:>11}",
+            tenants,
+            out.hit_rate * 100.0,
+            out.rebinds,
+            out.p99_ns,
+            out.hit_p99_ns,
+            out.miss_p99_ns,
+            out.latency_class_p99_ns,
+            out.other_class_p99_ns,
+        );
+    }
+}
+
 /// One collectives measurement for the JSON report: the same all-reduce
 /// three ways (aP-driven over Express, aP-driven over Basic, sP
 /// firmware), with the occupancy split that motivates the offload.
@@ -843,6 +956,14 @@ fn main() {
     }
     if args.iter().any(|a| a == "--hotspot") {
         hotspot_smoke(only_nodes.unwrap_or(16), workers);
+        return;
+    }
+    if args.iter().any(|a| a == "--tenant-sweep") {
+        tenant_sweep(only_nodes.unwrap_or(16));
+        return;
+    }
+    if args.iter().any(|a| a == "--tenants") {
+        tenants_smoke(only_nodes.unwrap_or(16), workers);
         return;
     }
 

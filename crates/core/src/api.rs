@@ -85,6 +85,25 @@ pub enum ApiError {
         /// Largest representable chunk, bytes.
         max: usize,
     },
+    /// [`crate::MachineBuilder::tenants`] was given zero tenants per
+    /// node; an empty tenancy layer cannot schedule anything.
+    TenantCountZero,
+    /// [`crate::tenancy::TenancyParams::confined`] named a tenant that
+    /// does not exist on the node.
+    ConfinedTenantOutOfRange {
+        /// The confined tenant index requested.
+        tenant: u16,
+        /// Tenants per node actually configured.
+        tenants: u16,
+    },
+    /// The per-tenant translation-table slices do not fit in the 16-bit
+    /// destination namespace at this node count.
+    TenantNamespaceOverflow {
+        /// Tenants per node requested.
+        tenants: u16,
+        /// Largest tenant count that fits for this machine size.
+        capacity: u32,
+    },
 }
 
 impl From<sv_sim::ckpt::SnapshotError> for ApiError {
@@ -145,6 +164,22 @@ impl core::fmt::Display for ApiError {
                     f,
                     "block-transfer chunk must be a nonzero multiple of 8 \
                      at most {max} bytes (got {chunk})"
+                )
+            }
+            ApiError::TenantCountZero => {
+                write!(f, "TenancyParams.tenants_per_node must be at least 1")
+            }
+            ApiError::ConfinedTenantOutOfRange { tenant, tenants } => {
+                write!(
+                    f,
+                    "confined tenant {tenant} out of range (node hosts {tenants})"
+                )
+            }
+            ApiError::TenantNamespaceOverflow { tenants, capacity } => {
+                write!(
+                    f,
+                    "{tenants} tenants/node overflow the 16-bit destination \
+                     namespace (at most {capacity} fit at this node count)"
                 )
             }
         }
@@ -1065,6 +1100,7 @@ enum Repr {
         done: bool,
         idle_polls: u32,
     },
+    TenantScheduler(crate::tenancy::SchedSnap),
 }
 
 /// Nested [`crate::app::Seq`] snapshots deeper than this are rejected as
@@ -1079,6 +1115,21 @@ impl ProgramSnapshot {
 
     pub(crate) fn delay(ns: u64) -> Self {
         ProgramSnapshot(Repr::Delay(ns))
+    }
+
+    pub(crate) fn tenant_scheduler(snap: crate::tenancy::SchedSnap) -> Self {
+        ProgramSnapshot(Repr::TenantScheduler(snap))
+    }
+
+    /// Depth-tracked decoding entry point for snapshot kinds that embed
+    /// child program snapshots (tenant job bodies); shares the
+    /// [`MAX_SEQ_DEPTH`] recursion guard with nested `Seq`.
+    pub(crate) fn load_at_depth(r: &mut SnapReader<'_>, depth: u32) -> Result<Self, SnapshotError> {
+        if depth >= MAX_SEQ_DEPTH {
+            let at = r.offset();
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        ProgramSnapshot::load_at(r, depth)
     }
 
     /// Rebuild a runnable program against `lib` (the restored machine's
@@ -1165,6 +1216,7 @@ impl ProgramSnapshot {
                 done: *done,
                 idle_polls: *idle_polls,
             }),
+            Repr::TenantScheduler(snap) => Box::new(snap.instantiate(lib)),
         }
     }
 
@@ -1292,6 +1344,7 @@ impl ProgramSnapshot {
                     idle_polls,
                 }
             }
+            9 => Repr::TenantScheduler(crate::tenancy::SchedSnap::load_at(r, depth)?),
             _ => return r.corrupt(),
         };
         Ok(ProgramSnapshot(repr))
@@ -1386,6 +1439,10 @@ impl StateSave for ProgramSnapshot {
                 w.save(buf);
                 done.save(w);
                 w.u32(*idle_polls);
+            }
+            Repr::TenantScheduler(snap) => {
+                w.u8(9);
+                snap.save(w);
             }
         }
     }

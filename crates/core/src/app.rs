@@ -131,6 +131,14 @@ pub trait Program: Send {
     fn snapshot(&self) -> Option<crate::api::ProgramSnapshot> {
         None
     }
+
+    /// Per-tenant scheduler accounting, when this program is a
+    /// [`crate::tenancy::TenantScheduler`] (the default `None` marks
+    /// ordinary single-tenant programs). Queried by the stats layer
+    /// after a run to attribute node activity to tenants.
+    fn tenant_report(&self) -> Option<Vec<crate::tenancy::TenantSchedStat>> {
+        None
+    }
 }
 
 /// Run `programs` one after another.

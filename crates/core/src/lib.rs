@@ -47,6 +47,9 @@
 //! - [`metrics`]: serializable experiment records.
 //! - [`stats`]: the machine-wide counter snapshot ([`Machine::stats`]).
 //! - [`sweep`]: parallel parameter sweeps for the bench harness.
+//! - [`tenancy`]: the multi-tenant serving layer — per-node tenant
+//!   namespaces over the rx-queue/translation space and a deterministic
+//!   per-aP job scheduler ([`Machine::builder`] + `tenants(..)`).
 
 pub mod api;
 pub mod app;
@@ -60,6 +63,7 @@ pub mod report;
 pub mod runloop;
 pub mod stats;
 pub mod sweep;
+pub mod tenancy;
 pub mod workloads;
 
 pub use api::{ApiError, CollReq, CollWait};
@@ -72,6 +76,10 @@ pub use params::SystemParams;
 pub use runloop::RunMode;
 pub use runloop::{Parallelism, RunOutcome, ShardPolicy};
 pub use stats::MachineStats;
+pub use tenancy::{
+    JobBody, SchedPolicy, StreamItem, TenancyParams, TenantClass, TenantLib, TenantRegistry,
+    TenantSchedStat, TenantScheduler, TenantSpec,
+};
 
 // Re-export the substrate crates so downstream users need only `voyager`.
 pub use sv_arctic as arctic;

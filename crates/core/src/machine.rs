@@ -213,6 +213,10 @@ pub struct Machine {
     /// Active delta-checkpoint chain, if [`Machine::try_checkpoint_delta`]
     /// has emitted a base snapshot (see that method for the epoch rules).
     pub(crate) delta_chain: Option<DeltaChain>,
+    /// The tenancy configuration armed at build time, if any
+    /// ([`MachineBuilder::tenants`]); drives the per-tenant stats
+    /// section and the [`Machine::tenant_lib`] accessors.
+    pub(crate) tenancy: Option<crate::tenancy::TenancyParams>,
 }
 
 /// Linkage state for an in-progress delta-checkpoint chain.
@@ -277,6 +281,7 @@ pub struct MachineBuilder {
     /// deprecated shims set this so old call sites keep building.
     legacy_clamp: bool,
     sample_latency: bool,
+    tenancy: Option<crate::tenancy::TenancyParams>,
 }
 
 impl MachineBuilder {
@@ -388,6 +393,25 @@ impl MachineBuilder {
         self
     }
 
+    /// Arm the multi-tenant serving layer (see [`crate::tenancy`]).
+    /// Every node then carves `tenants_per_node` protected tenant
+    /// namespaces: one logical rx queue per tenant (cached across
+    /// hardware slots [`crate::tenancy::TENANT_SLOT_LO`]`..=`
+    /// [`crate::tenancy::TENANT_SLOT_HI`] by the sP firmware), and one
+    /// translation-table slice per tenant whose entries only name that
+    /// tenant's own queues. A confined tenant additionally gets tx
+    /// queue 3 with destination masks pinning every lookup inside its
+    /// slice. Implies per-packet latency stamping (the per-tenant
+    /// hit/miss latency split needs it). Invalid configurations are
+    /// reported by [`MachineBuilder::try_build`] as
+    /// [`crate::ApiError::TenantCountZero`],
+    /// [`crate::ApiError::ConfinedTenantOutOfRange`] or
+    /// [`crate::ApiError::TenantNamespaceOverflow`].
+    pub fn tenants(mut self, tp: crate::tenancy::TenancyParams) -> Self {
+        self.tenancy = Some(tp);
+        self
+    }
+
     /// Resolve the builder's parallelism knobs against a machine of `n`
     /// nodes into the concrete plan the run loops execute.
     fn resolve_plan(&self, n: usize) -> Result<ExecPlan, crate::api::ApiError> {
@@ -422,7 +446,24 @@ impl MachineBuilder {
             }
         }
         let plan = self.resolve_plan(self.n)?;
-        let mut m = Machine::assemble(self.n, self.params, plan, self.par);
+        // Tenancy validates against the node count and may need more
+        // logical rx queues than the default namespace; the bump must
+        // precede assembly (the rx-queue cache is sized at build).
+        let mut params = self.params;
+        let tenancy = match self.tenancy {
+            Some(tp) => {
+                let reg = crate::tenancy::TenantRegistry::try_new(self.n as u16, &tp)?;
+                params.niu.logical_rx_queues =
+                    params.niu.logical_rx_queues.max(reg.lq_end() as usize);
+                Some((tp, reg))
+            }
+            None => None,
+        };
+        let mut m = Machine::assemble(self.n, params, plan, self.par);
+        if let Some((tp, reg)) = tenancy {
+            m.arm_tenancy(&tp, &reg);
+            m.tenancy = Some(tp);
+        }
         if let Some(latency) = self.ideal_latency_ns {
             m.ideal = Some(sv_arctic::IdealNetwork::new(
                 self.n.max(2),
@@ -455,6 +496,7 @@ impl Machine {
             policy: ShardPolicy::default(),
             legacy_clamp: false,
             sample_latency: false,
+            tenancy: None,
         }
     }
 
@@ -487,6 +529,7 @@ impl Machine {
             delivered: Vec::new(),
             runstats: RunLoopCounters::default(),
             delta_chain: None,
+            tenancy: None,
         }
     }
 
@@ -689,6 +732,100 @@ impl Machine {
                     },
                 );
             }
+        }
+    }
+
+    /// Install the tenancy conventions on every node: per-tenant
+    /// translation slices, firmware-managed rx-cache slots, the
+    /// confined tenant's masked tx queue, and the NIU/firmware
+    /// attribution counters. Build-time only; the registry has already
+    /// validated the carving against the machine size.
+    fn arm_tenancy(
+        &mut self,
+        tp: &crate::tenancy::TenancyParams,
+        reg: &crate::tenancy::TenantRegistry,
+    ) {
+        use crate::tenancy::{TenantClass, CONFINED_TX_Q, TENANT_SLOT_HI, TENANT_SLOT_LO};
+        let nodes = self.nodes.len() as u16;
+        for node in &mut self.nodes {
+            let niu = &mut node.niu;
+            // Tenant t's slice entry d names node d's copy of the same
+            // tenant's logical queue — no slice can name another
+            // tenant's inbox. Latency-class slices ride the network's
+            // High priority (the QoS-isolation lever of study S10).
+            niu.ctrl.xlate.grow_to(reg.xlate_end());
+            for t in 0..reg.count {
+                let high = tp.tenant_class(t) == TenantClass::Latency;
+                for d in 0..nodes {
+                    niu.ctrl.xlate.install(
+                        reg.tenant_dest(t, d),
+                        XlateEntry {
+                            valid: true,
+                            node: d,
+                            logical_q: reg.lq(t),
+                            high_priority: high,
+                        },
+                    );
+                }
+            }
+            // The managed hardware slots cache the tenant logical
+            // queues under firmware LRU control; arriving messages are
+            // drained by the sP, and a full slot diverts to the miss
+            // queue (the default Divert policy) rather than
+            // backpressuring unrelated tenants.
+            for s in TENANT_SLOT_LO..=TENANT_SLOT_HI {
+                niu.ctrl.rx[s as usize].service = RxService::SpPolled;
+            }
+            // The confined tenant's tx queue: AND/OR destination masks
+            // pin every translation lookup inside its own slice.
+            if let Some(c) = tp.confined {
+                let q = &mut niu.ctrl.tx[CONFINED_TX_Q as usize];
+                q.shadow_addr = Some((SramSel::A, shadow::tx_consumer(CONFINED_TX_Q)));
+                q.and_mask = reg.slice - 1;
+                q.or_mask = reg.xlate_base + c * reg.slice;
+            }
+            niu.arm_tenancy(reg.lq_base, reg.count);
+            // Latency-class queues are pinned once resident: the LRU
+            // refill never evicts them, so the QoS class keeps the
+            // hardware hit path even when the pool thrashes (S10).
+            let pinned = (0..reg.count)
+                .map(|t| tp.tenant_class(t) == TenantClass::Latency)
+                .collect();
+            node.fw.arm_tenancy(
+                reg.lq_base,
+                reg.count,
+                TENANT_SLOT_LO,
+                TENANT_SLOT_HI,
+                pinned,
+            );
+        }
+    }
+
+    /// The tenancy configuration this machine was built with, if any.
+    pub fn tenancy(&self) -> Option<crate::tenancy::TenancyParams> {
+        self.tenancy
+    }
+
+    /// The per-node tenant namespace carving, when tenancy is armed.
+    pub fn tenant_registry(&self) -> Option<crate::tenancy::TenantRegistry> {
+        self.tenancy.as_ref().map(|tp| {
+            crate::tenancy::TenantRegistry::try_new(self.nodes.len() as u16, tp)
+                .expect("tenancy was validated at build time")
+        })
+    }
+
+    /// Tenant `t`'s handle on node `i` — the tenancy analogue of
+    /// [`Machine::lib`]. Panics when tenancy is not armed or `t` is out
+    /// of range.
+    pub fn tenant_lib(&self, i: u16, t: u16) -> crate::tenancy::TenantLib {
+        let reg = self
+            .tenant_registry()
+            .expect("tenant_lib requires MachineBuilder::tenants");
+        assert!(t < reg.count, "tenant {t} out of range ({})", reg.count);
+        crate::tenancy::TenantLib {
+            lib: self.lib(i),
+            tenant: t,
+            registry: reg,
         }
     }
 
@@ -921,6 +1058,7 @@ impl Machine {
         w.save(&self.runstats);
         w.save(&self.network);
         w.save(&self.ideal);
+        w.save(&self.tenancy);
         for (node, prog) in self.nodes.iter().zip(&progs) {
             node.checkpoint_into(&mut w);
             w.save(prog);
@@ -1283,6 +1421,17 @@ impl MachineBuilder {
         if m.network.qos() != params.qos {
             return Err(SnapshotError::Corrupt { offset: net_at }.into());
         }
+        let ten_at = r.offset();
+        let tenancy: Option<crate::tenancy::TenancyParams> = r.load()?;
+        if let Some(tp) = &tenancy {
+            // Re-run the build-time namespace validation against the
+            // snapshot's node count; a forged section must not produce a
+            // machine whose accessors panic.
+            if crate::tenancy::TenantRegistry::try_new(n as u16, tp).is_err() {
+                return Err(SnapshotError::Corrupt { offset: ten_at }.into());
+            }
+        }
+        m.tenancy = tenancy;
         for i in 0..n {
             m.nodes[i].restore_body(&mut r)?;
             let prog: Option<crate::api::ProgramSnapshot> = r.load()?;

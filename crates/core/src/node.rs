@@ -790,6 +790,13 @@ impl Node {
         }
     }
 
+    /// Per-tenant scheduler accounting from this node's program, when it
+    /// is a [`crate::tenancy::TenantScheduler`]. The program box is kept
+    /// after completion, so this works post-run.
+    pub(crate) fn tenant_report(&self) -> Option<Vec<crate::tenancy::TenantSchedStat>> {
+        self.program.as_ref().and_then(|p| p.tenant_report())
+    }
+
     /// Install a restored program without resetting the core state the
     /// way [`Node::load_program`] does — the checkpointed [`CpuState`]
     /// (possibly mid-computation or mid-memory-stall) must survive.

@@ -245,6 +245,68 @@ pub struct CpuSnapshot {
     pub ap_retries: u64,
 }
 
+/// One tenant's attribution on one node: scheduler occupancy, rx-queue-
+/// cache behaviour of the tenant's logical queue, firmware service
+/// counts, and the inject→deliver latency split by cache outcome. All
+/// integers (`done` is 0/1, quantiles come from the deterministic
+/// [`sv_sim::stats::Log2Histogram`]), so the JSON stays byte-
+/// deterministic across run modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant index on its node.
+    pub id: u64,
+    /// Workload-class code ([`crate::tenancy::TenantClass::code`]).
+    pub class: u64,
+    /// Scheduler weight.
+    pub weight: u64,
+    /// Scheduling slices granted.
+    pub slices: u64,
+    /// Program steps executed on the tenant's behalf.
+    pub steps: u64,
+    /// aP time attributed, ns.
+    pub active_ns: u64,
+    /// Basic messages completed through the shared tx muxes.
+    pub sent_msgs: u64,
+    /// 1 when the tenant's job ran to completion.
+    pub done: u64,
+    /// Arrivals to the tenant's logical queue that found it cached in a
+    /// hardware rx slot.
+    pub rq_hits: u64,
+    /// Arrivals that took the miss-queue path (queue not resident).
+    pub rq_misses: u64,
+    /// Arrivals diverted to the miss queue because the resident slot was
+    /// full.
+    pub diversions: u64,
+    /// Messages the firmware drained from the tenant's resident slot.
+    pub drained: u64,
+    /// Messages the firmware served for this tenant via the miss queue.
+    pub miss_served: u64,
+    /// Inject→deliver latency samples on the cache-hit path.
+    pub hit_latency_count: u64,
+    /// P99 of the hit-path latency, ns (bucketed upper bound; 0 with no
+    /// samples).
+    pub hit_latency_p99_ns: u64,
+    /// Largest hit-path latency, ns.
+    pub hit_latency_max_ns: u64,
+    /// Latency samples on the miss path (stamped at firmware service, so
+    /// sP occupancy is part of the cost).
+    pub miss_latency_count: u64,
+    /// P99 of the miss-path latency, ns.
+    pub miss_latency_p99_ns: u64,
+    /// Largest miss-path latency, ns.
+    pub miss_latency_max_ns: u64,
+}
+
+/// One node's tenancy section ([`NodeSnapshot::tenants`]), present only
+/// when the machine was built with [`crate::MachineBuilder::tenants`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantNodeSnapshot {
+    /// Queue-cache rebinds the firmware performed on this node.
+    pub rebinds: u64,
+    /// Per-tenant rows, in tenant order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
 /// Everything one node counted.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeSnapshot {
@@ -258,6 +320,10 @@ pub struct NodeSnapshot {
     pub niu: NiuSnapshot,
     /// Service-processor firmware.
     pub fw: FwSnapshot,
+    /// Per-tenant attribution, when tenancy is armed. The JSON emits the
+    /// `tenants` object only in that case, so untenanted machines keep
+    /// their historical byte-identical snapshots.
+    pub tenants: Option<TenantNodeSnapshot>,
 }
 
 /// Network-level counters plus per-link occupancy (links that carried no
@@ -347,6 +413,27 @@ pub struct RunSnapshot {
     pub wake_republishes: u64,
 }
 
+/// The machine-level tenancy configuration echo
+/// ([`MachineStats::tenancy`]): what the per-node tenant rows were
+/// carved from, so a stats file is self-describing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenancySnapshot {
+    /// Tenants per node.
+    pub tenants_per_node: u64,
+    /// Scheduler policy code (0 round-robin, 1 weighted time slice).
+    pub policy: u64,
+    /// Weighted-time-slice base quantum, ns (0 under round-robin).
+    pub quantum_ns: u64,
+    /// Confined tenant index plus one; 0 = no confined tenant.
+    pub confined_plus_one: u64,
+    /// First tenant logical rx queue.
+    pub lq_base: u64,
+    /// First virtual destination of tenant 0's translation slice.
+    pub xlate_base: u64,
+    /// Virtual destinations per tenant slice.
+    pub slice: u64,
+}
+
 /// The machine-wide snapshot. Integers only, so [`MachineStats::to_json`]
 /// is byte-deterministic across runs, run modes and thread counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -359,13 +446,22 @@ pub struct MachineStats {
     pub nodes: Vec<NodeSnapshot>,
     /// Network counters.
     pub network: NetworkSnapshot,
+    /// Tenancy configuration echo, when armed (the JSON emits the
+    /// `tenancy` object only in that case).
+    pub tenancy: Option<TenancySnapshot>,
 }
 
 impl Machine {
     /// Snapshot every component's counters. Cheap (pure reads over state
     /// the components maintain inline) and side-effect free.
     pub fn stats(&self) -> MachineStats {
-        let nodes = self.nodes.iter().map(snapshot_node).collect();
+        let tp = self.tenancy();
+        let reg = self.tenant_registry();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| snapshot_node(n, tp.as_ref()))
+            .collect();
         let net = &self.network.stats;
         MachineStats {
             sim_time_ns: self.now.ns(),
@@ -407,11 +503,74 @@ impl Machine {
                     vc_usage: self.network.vc_usage(),
                 }),
             },
+            tenancy: tp.zip(reg).map(|(tp, reg)| TenancySnapshot {
+                tenants_per_node: tp.tenants_per_node as u64,
+                policy: tp.policy.code() as u64,
+                quantum_ns: tp.policy.quantum_ns(),
+                confined_plus_one: tp.confined.map_or(0, |c| c as u64 + 1),
+                lq_base: reg.lq_base as u64,
+                xlate_base: reg.xlate_base as u64,
+                slice: reg.slice as u64,
+            }),
         }
     }
 }
 
-fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
+fn snapshot_tenants(
+    n: &crate::node::Node,
+    tp: &crate::tenancy::TenancyParams,
+) -> TenantNodeSnapshot {
+    let report = n.tenant_report();
+    let per_lq = n.niu.ctrl.rx_cache.per_lq.as_ref();
+    let attr = n.niu.tenant.as_ref();
+    let fwt = n.fw.tenant.as_ref();
+    let lq_base = attr.map_or(crate::tenancy::TENANT_LQ_BASE, |a| a.lq_base) as usize;
+    let tenants = (0..tp.tenants_per_node)
+        .map(|t| {
+            let spec = tp.tenant_spec(t);
+            // A node without a TenantScheduler program (tenancy armed
+            // but some other workload loaded) reports zero occupancy.
+            let sched = report
+                .as_ref()
+                .and_then(|r| r.get(t as usize).copied())
+                .unwrap_or_default();
+            let lq = lq_base + t as usize;
+            let (hit, miss) = attr
+                .map(|a| (&a.hit_latency[t as usize], &a.miss_latency[t as usize]))
+                .map_or((None, None), |(h, m)| (Some(h), Some(m)));
+            TenantSnapshot {
+                id: t as u64,
+                class: spec.class.code() as u64,
+                weight: spec.weight as u64,
+                slices: sched.slices,
+                steps: sched.steps,
+                active_ns: sched.active_ns,
+                sent_msgs: sched.sent_msgs,
+                done: sched.done as u64,
+                rq_hits: per_lq.map_or(0, |p| p.hits[lq]),
+                rq_misses: per_lq.map_or(0, |p| p.misses[lq]),
+                diversions: per_lq.map_or(0, |p| p.diversions[lq]),
+                drained: fwt.map_or(0, |f| f.drained[t as usize].get()),
+                miss_served: fwt.map_or(0, |f| f.miss_served[t as usize].get()),
+                hit_latency_count: hit.map_or(0, |h| h.summary.count),
+                hit_latency_p99_ns: hit.and_then(|h| h.quantile(0.99)).unwrap_or(0),
+                hit_latency_max_ns: hit.map_or(0, |h| h.summary.max),
+                miss_latency_count: miss.map_or(0, |m| m.summary.count),
+                miss_latency_p99_ns: miss.and_then(|m| m.quantile(0.99)).unwrap_or(0),
+                miss_latency_max_ns: miss.map_or(0, |m| m.summary.max),
+            }
+        })
+        .collect();
+    TenantNodeSnapshot {
+        rebinds: fwt.map_or(0, |f| f.rebinds.get()),
+        tenants,
+    }
+}
+
+fn snapshot_node(
+    n: &crate::node::Node,
+    tp: Option<&crate::tenancy::TenancyParams>,
+) -> NodeSnapshot {
     let cs = &n.niu.ctrl.stats;
     let mut classes = [ClassSnapshot::default(); MSG_CLASSES];
     for (i, c) in n.niu.stats.class.iter().enumerate() {
@@ -537,6 +696,7 @@ fn snapshot_node(n: &crate::node::Node) -> NodeSnapshot {
             coll_fanin_stalls: n.fw.coll.fanin_stalls.get(),
             coll_busy_ns: n.fw.coll.busy_ns,
         },
+        tenants: tp.map(|tp| snapshot_tenants(n, tp)),
     }
 }
 
@@ -619,6 +779,19 @@ impl MachineStats {
             w.end_obj();
         }
         w.end_obj();
+        // Emitted only when tenancy is armed, mirroring the qos rule.
+        if let Some(t) = &self.tenancy {
+            w.key("tenancy");
+            w.begin_obj();
+            w.field_u64("tenants_per_node", t.tenants_per_node);
+            w.field_u64("policy", t.policy);
+            w.field_u64("quantum_ns", t.quantum_ns);
+            w.field_u64("confined_plus_one", t.confined_plus_one);
+            w.field_u64("lq_base", t.lq_base);
+            w.field_u64("xlate_base", t.xlate_base);
+            w.field_u64("slice", t.slice);
+            w.end_obj();
+        }
         w.end_obj();
         w.finish()
     }
@@ -747,6 +920,40 @@ fn write_node(w: &mut JsonWriter, n: &NodeSnapshot) {
     w.field_u64("coll_fanin_stalls", n.fw.coll_fanin_stalls);
     w.field_u64("coll_busy_ns", n.fw.coll_busy_ns);
     w.end_obj();
+    // Emitted only when tenancy is armed: untenanted machines keep
+    // their historical byte-identical node objects.
+    if let Some(ts) = &n.tenants {
+        w.key("tenants");
+        w.begin_obj();
+        w.field_u64("rebinds", ts.rebinds);
+        w.key("per_tenant");
+        w.begin_arr();
+        for t in &ts.tenants {
+            w.begin_obj();
+            w.field_u64("id", t.id);
+            w.field_u64("class", t.class);
+            w.field_u64("weight", t.weight);
+            w.field_u64("slices", t.slices);
+            w.field_u64("steps", t.steps);
+            w.field_u64("active_ns", t.active_ns);
+            w.field_u64("sent_msgs", t.sent_msgs);
+            w.field_u64("done", t.done);
+            w.field_u64("rq_hits", t.rq_hits);
+            w.field_u64("rq_misses", t.rq_misses);
+            w.field_u64("diversions", t.diversions);
+            w.field_u64("drained", t.drained);
+            w.field_u64("miss_served", t.miss_served);
+            w.field_u64("hit_latency_count", t.hit_latency_count);
+            w.field_u64("hit_latency_p99_ns", t.hit_latency_p99_ns);
+            w.field_u64("hit_latency_max_ns", t.hit_latency_max_ns);
+            w.field_u64("miss_latency_count", t.miss_latency_count);
+            w.field_u64("miss_latency_p99_ns", t.miss_latency_p99_ns);
+            w.field_u64("miss_latency_max_ns", t.miss_latency_max_ns);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+    }
     w.end_obj();
 }
 

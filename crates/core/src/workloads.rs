@@ -10,7 +10,10 @@ use crate::app::{AppEventKind, Env, Program, Step, StoreData};
 use crate::machine::{Machine, NodeLib};
 use crate::metrics::MsgMicro;
 use crate::params::SystemParams;
+use crate::tenancy::{JobBody, StreamItem, TenancyParams, TenantClass, TenantScheduler};
+use std::collections::VecDeque;
 use sv_niu::msg::MsgHeader;
+use sv_sim::stats::Log2Histogram;
 use sv_sim::Time;
 
 // =========================================================================
@@ -506,6 +509,253 @@ pub fn load_hot_spot(m: &mut Machine, per_sender: u32, hi_probes: u32, payload_l
 }
 
 // =========================================================================
+// Multi-tenant job mix (experiment S10)
+// =========================================================================
+
+/// One tenant's job for the S10 mix, by class convention
+/// ([`TenancyParams::tenant_class`]):
+///
+/// - **Latency**: small paced probes — `Delay(2 µs)` then one 16-byte
+///   message per round. The tail of this class is the study's headline
+///   metric.
+/// - **Bulk**: 88-byte messages back to back (one per round, no pacing).
+/// - **Bursty**: idle 5 µs, then a burst of four 32-byte messages.
+/// - **Misbehaving** (the confined tenant): raw in-slice destinations
+///   through the masked tx queue 3, with one out-of-range destination in
+///   the middle of the stream that trips a protection violation and
+///   shuts the queue down. Capped below the 32-entry queue depth so the
+///   shared mux never waits on a consumer that the shutdown froze.
+fn tenant_job(
+    tp: &TenancyParams,
+    reg: &crate::tenancy::TenantRegistry,
+    node: u16,
+    t: u16,
+    msgs: u32,
+) -> JobBody {
+    let n = reg.nodes as u32;
+    // Destinations cycle over the other nodes, staggered by tenant so
+    // the aggregate traffic is not an accidental permutation.
+    let dest_of = |k: u32| ((node as u32 + 1 + (t as u32 + k) % (n - 1)) % n) as u16;
+    let mut items = VecDeque::new();
+    match tp.tenant_class(t) {
+        TenantClass::Latency => {
+            for k in 0..msgs {
+                items.push_back(StreamItem::Delay(2_000));
+                items.push_back(StreamItem::Msg(BasicMsg::new(
+                    reg.tenant_dest(t, dest_of(k)),
+                    vec![0x4C; 16],
+                )));
+            }
+        }
+        TenantClass::Bulk => {
+            for k in 0..msgs {
+                items.push_back(StreamItem::Msg(BasicMsg::new(
+                    reg.tenant_dest(t, dest_of(k)),
+                    vec![0x42; 88],
+                )));
+            }
+        }
+        TenantClass::Bursty => {
+            let mut k = 0;
+            while k < msgs {
+                items.push_back(StreamItem::Delay(5_000));
+                for _ in 0..(msgs - k).min(4) {
+                    items.push_back(StreamItem::Msg(BasicMsg::new(
+                        reg.tenant_dest(t, dest_of(k)),
+                        vec![0x41; 32],
+                    )));
+                    k += 1;
+                }
+            }
+        }
+        TenantClass::Misbehaving => {
+            let total = msgs.min(24);
+            let bad_at = total / 2;
+            for k in 0..total {
+                // Raw destination: tx queue 3's AND/OR masks confine it
+                // to this tenant's translation slice. `slice - 1` is
+                // never installed (the slice holds `nodes` entries and
+                // `slice > nodes`), so that message faults.
+                let dest = if k == bad_at {
+                    reg.slice - 1
+                } else {
+                    dest_of(k)
+                };
+                items.push_back(StreamItem::Msg(BasicMsg::new(dest, vec![0x4D; 8])));
+            }
+        }
+    }
+    JobBody::Stream(items)
+}
+
+/// Load the S10 tenant job mix onto an already-built machine: one
+/// [`TenantScheduler`] per node multiplexing every tenant's job.
+/// Requires tenancy to be armed ([`crate::MachineBuilder::tenants`]).
+/// Returns the number of Basic messages scheduled machine-wide
+/// (including each confined tenant's post-violation messages, which the
+/// shutdown will strand in tx queue 3).
+pub fn load_tenant_mix(m: &mut Machine, msgs_per_tenant: u32) -> u64 {
+    let tp = m
+        .tenancy()
+        .expect("load_tenant_mix requires MachineBuilder::tenants");
+    let reg = m.tenant_registry().expect("registry follows tenancy");
+    let n = m.nodes.len() as u16;
+    assert!(n >= 2, "the job mix needs a remote destination");
+    let mut scheduled = 0u64;
+    for i in 0..n {
+        let jobs: Vec<JobBody> = (0..reg.count)
+            .map(|t| tenant_job(&tp, &reg, i, t, msgs_per_tenant))
+            .collect();
+        scheduled += jobs
+            .iter()
+            .map(|j| match j {
+                JobBody::Stream(items) => items
+                    .iter()
+                    .filter(|it| matches!(it, StreamItem::Msg(_)))
+                    .count() as u64,
+                JobBody::Child(_) => 0,
+            })
+            .sum::<u64>();
+        let lib = m.lib(i);
+        m.load_program(i, TenantScheduler::new(lib, &tp, jobs));
+    }
+    scheduled
+}
+
+/// What one [`tenant_mix`] run measured, aggregated machine-wide from
+/// the per-tenant attribution (rx-queue-cache counters and
+/// inject→deliver histograms in the NIU, scheduler occupancy in the
+/// per-node reports).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantMixOutcome {
+    /// Time until every node's scheduler finished, ns.
+    pub completion_ns: u64,
+    /// Basic messages tenants completed through the shared tx muxes.
+    pub sent_msgs: u64,
+    /// Deliveries that found their logical rx queue bound to a hardware
+    /// queue.
+    pub rq_hits: u64,
+    /// Deliveries whose logical queue was unbound (firmware path).
+    pub rq_misses: u64,
+    /// Messages diverted to the miss queue.
+    pub diversions: u64,
+    /// `rq_hits / (rq_hits + rq_misses)`, the S10 x-axis companion.
+    pub hit_rate: f64,
+    /// P99 inject→deliver latency over cache-hit deliveries, ns.
+    pub hit_p99_ns: u64,
+    /// P99 inject→deliver latency over cache-miss deliveries, ns.
+    pub miss_p99_ns: u64,
+    /// P99 over all tenant deliveries, ns — the S10 tail metric.
+    pub p99_ns: u64,
+    /// P99 over Latency-class tenants only, ns (the QoS-isolation
+    /// subject).
+    pub latency_class_p99_ns: u64,
+    /// P99 over every other class, ns.
+    pub other_class_p99_ns: u64,
+    /// Protection violations the NIUs raised (the misbehaving tenants).
+    pub tx_violations: u64,
+    /// Hardware-slot rebinds the firmware performed servicing misses.
+    pub rebinds: u64,
+}
+
+fn merge_hist(into: &mut Log2Histogram, h: &Log2Histogram) {
+    for (a, b) in into.buckets.iter_mut().zip(&h.buckets) {
+        *a += b;
+    }
+    into.summary.merge(&h.summary);
+}
+
+/// Aggregate a finished tenant-mix run. Split out of [`tenant_mix`] so
+/// the bench harness and tests can re-measure the same machine after
+/// driving it through different run modes.
+pub fn measure_tenant_mix(m: &Machine) -> TenantMixOutcome {
+    let tp = m.tenancy().expect("tenancy armed");
+    let stats = m.stats();
+    let completion_ns = (0..m.nodes.len() as u16)
+        .map(|i| program_done_time(m, i).ns())
+        .max()
+        .expect("nodes");
+    let (mut sent, mut hits, mut misses, mut div, mut viol, mut rebinds) = (0, 0, 0, 0, 0, 0);
+    for node in &stats.nodes {
+        viol += node.niu.violations;
+        if let Some(tn) = &node.tenants {
+            rebinds += tn.rebinds;
+            for t in &tn.tenants {
+                sent += t.sent_msgs;
+                hits += t.rq_hits;
+                misses += t.rq_misses;
+                div += t.diversions;
+            }
+        }
+    }
+    // P99s come from merging the raw per-tenant histograms (bucket sums
+    // are exact; per-tenant bucketed p99s would not compose).
+    let mut hit_h = Log2Histogram::new();
+    let mut miss_h = Log2Histogram::new();
+    let mut all_h = Log2Histogram::new();
+    let mut lat_h = Log2Histogram::new();
+    let mut rest_h = Log2Histogram::new();
+    for node in &m.nodes {
+        if let Some(attr) = &node.niu.tenant {
+            for t in 0..attr.count {
+                let latency_class = tp.tenant_class(t) == TenantClass::Latency;
+                for h in [
+                    &attr.hit_latency[t as usize],
+                    &attr.miss_latency[t as usize],
+                ] {
+                    merge_hist(&mut all_h, h);
+                    merge_hist(
+                        if latency_class {
+                            &mut lat_h
+                        } else {
+                            &mut rest_h
+                        },
+                        h,
+                    );
+                }
+                merge_hist(&mut hit_h, &attr.hit_latency[t as usize]);
+                merge_hist(&mut miss_h, &attr.miss_latency[t as usize]);
+            }
+        }
+    }
+    let p99 = |h: &Log2Histogram| h.quantile(0.99).unwrap_or(0);
+    TenantMixOutcome {
+        completion_ns,
+        sent_msgs: sent,
+        rq_hits: hits,
+        rq_misses: misses,
+        diversions: div,
+        hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+        hit_p99_ns: p99(&hit_h),
+        miss_p99_ns: p99(&miss_h),
+        p99_ns: p99(&all_h),
+        latency_class_p99_ns: p99(&lat_h),
+        other_class_p99_ns: p99(&rest_h),
+        tx_violations: viol,
+        rebinds,
+    }
+}
+
+/// Build an `n`-node machine with `tenancy` armed, run the S10 job mix
+/// to quiescence and aggregate the per-tenant attribution. The
+/// EXPERIMENTS.md S10 sweep calls this with tenants/node from 4 to 256.
+pub fn tenant_mix(
+    params: SystemParams,
+    n: usize,
+    tenancy: TenancyParams,
+    msgs_per_tenant: u32,
+) -> TenantMixOutcome {
+    let mut m = Machine::builder(n).params(params).tenants(tenancy).build();
+    load_tenant_mix(&mut m, msgs_per_tenant);
+    m.run_to_quiescence();
+    measure_tenant_mix(&m)
+}
+
+// =========================================================================
 // Shared-memory probes (experiment T2)
 // =========================================================================
 
@@ -671,6 +921,27 @@ mod tests {
         // QoS unarmed: the credit machinery must stay silent.
         assert_eq!(out.credit_stalls, 0);
         assert_eq!(out.credit_stall_ns, 0);
+    }
+
+    #[test]
+    fn tenant_mix_attributes_per_tenant() {
+        let tp = TenancyParams {
+            tenants_per_node: 4,
+            confined: Some(3),
+            ..TenancyParams::default()
+        };
+        let out = tenant_mix(SystemParams::default(), 4, tp, 8);
+        assert!(out.sent_msgs > 0);
+        assert!(out.rq_hits + out.rq_misses > 0);
+        // Every logical queue starts unbound, so the cold first
+        // delivery per tenant misses and the firmware rebinds a slot.
+        assert!(out.rq_misses > 0);
+        assert!(out.rebinds > 0);
+        assert!(out.p99_ns > 0);
+        // One confined tenant per node trips exactly one violation,
+        // after which its queue is shut.
+        assert_eq!(out.tx_violations, 4);
+        assert!(out.hit_rate > 0.0 && out.hit_rate < 1.0);
     }
 
     #[test]

@@ -101,6 +101,81 @@ pub struct FwStats {
     pub proto_errors: Counter,
 }
 
+/// Per-tenant firmware state: the sP half of the tenancy subsystem. The
+/// machine reserves a band of hardware rx slots for tenant traffic; the
+/// firmware manages which tenant logical queues are resident in them
+/// (LRU refill on every miss-queue service, the software-managed-TLB
+/// discipline the paper's rx-queue cache implies) and drains arrivals
+/// from resident slots into the software receive queues, so tenants are
+/// *served* by the node rather than each polling an aP-mapped queue.
+#[derive(Debug, Clone)]
+pub struct FwTenant {
+    /// First tenant logical rx queue (tenant `t` owns `lq_base + t`).
+    pub lq_base: u16,
+    /// Tenants on this node.
+    pub count: u16,
+    /// First hardware rx slot managed for tenant caching.
+    pub slot_lo: u8,
+    /// Last (inclusive) managed hardware rx slot.
+    pub slot_hi: u8,
+    /// Logical queue resident per managed slot; `u16::MAX` = unbound.
+    pub slot_lq: Vec<u16>,
+    /// LRU stamp per managed slot.
+    pub slot_tick: Vec<u64>,
+    /// Monotonic use counter feeding the LRU stamps.
+    pub tick: u64,
+    /// Round-robin cursor for draining resident slots.
+    pub drain_rr: u8,
+    /// Rebinds performed (queue-cache management work).
+    pub rebinds: Counter,
+    /// Messages drained from resident hardware slots, per tenant.
+    pub drained: Vec<Counter>,
+    /// Messages serviced via the miss queue, per tenant.
+    pub miss_served: Vec<Counter>,
+    /// Per-tenant residency pin: once bound, a pinned tenant's slot is
+    /// exempt from LRU eviction (unless every slot is pinned). This is
+    /// the QoS half of the queue cache — Latency-class tenants keep
+    /// hardware delivery even when the namespace thrashes the pool.
+    pub pinned: Vec<bool>,
+}
+
+impl FwTenant {
+    /// Fresh tenant state managing hardware slots `slot_lo..=slot_hi`;
+    /// `pinned[t]` marks tenant `t`'s queue eviction-exempt.
+    pub fn new(lq_base: u16, count: u16, slot_lo: u8, slot_hi: u8, pinned: Vec<bool>) -> Self {
+        let n = (slot_hi - slot_lo + 1) as usize;
+        assert_eq!(pinned.len(), count as usize, "one pin flag per tenant");
+        FwTenant {
+            lq_base,
+            count,
+            slot_lo,
+            slot_hi,
+            slot_lq: vec![u16::MAX; n],
+            slot_tick: vec![0; n],
+            tick: 0,
+            drain_rr: 0,
+            rebinds: Counter::default(),
+            drained: vec![Counter::default(); count as usize],
+            miss_served: vec![Counter::default(); count as usize],
+            pinned,
+        }
+    }
+
+    /// Whether managed slot `i` currently holds a pinned tenant's queue.
+    #[inline]
+    fn slot_pinned(&self, i: usize) -> bool {
+        self.tenant_of(self.slot_lq[i])
+            .is_some_and(|t| self.pinned[t])
+    }
+
+    /// Which tenant owns logical queue `lq`, if any.
+    #[inline]
+    pub fn tenant_of(&self, lq: u16) -> Option<usize> {
+        let t = lq.checked_sub(self.lq_base)?;
+        (t < self.count).then_some(t as usize)
+    }
+}
+
 /// One node's firmware.
 #[derive(Debug)]
 pub struct Firmware {
@@ -127,6 +202,8 @@ pub struct Firmware {
     pub sw_rx: HashMap<u16, VecDeque<(u16, Bytes)>>,
     /// NIC-resident collective state and statistics.
     pub coll: crate::coll::CollService,
+    /// Tenancy state; `None` unless the machine armed tenants at build.
+    pub tenant: Option<FwTenant>,
 }
 
 impl Firmware {
@@ -144,7 +221,23 @@ impl Firmware {
             scoma: Default::default(),
             sw_rx: HashMap::new(),
             coll: Default::default(),
+            tenant: None,
         }
+    }
+
+    /// Arm tenancy: manage hardware rx slots `slot_lo..=slot_hi` as an
+    /// LRU cache over the `count` tenant logical queues at `lq_base`,
+    /// with `pinned[t]` exempting tenant `t` from eviction once bound.
+    /// Called once at machine build time.
+    pub fn arm_tenancy(
+        &mut self,
+        lq_base: u16,
+        count: u16,
+        slot_lo: u8,
+        slot_hi: u8,
+        pinned: Vec<bool>,
+    ) {
+        self.tenant = Some(FwTenant::new(lq_base, count, slot_lo, slot_hi, pinned));
     }
 
     /// Charge `base` cycles (after ablation scaling) of sP occupancy
@@ -170,6 +263,15 @@ impl Firmware {
             || self.scoma.has_pending()
             || self.coll.has_pending()
             || self.svc_pending(niu)
+            || self.tenant_slots_pending(niu)
+    }
+
+    /// Whether any tenant-managed hardware slot holds undrained messages.
+    fn tenant_slots_pending(&self, niu: &Niu) -> bool {
+        self.tenant.as_ref().is_some_and(|tn| {
+            (tn.slot_lo..=tn.slot_hi)
+                .any(|s| niu.ctrl.rx.get(s as usize).is_some_and(|q| q.pending() > 0))
+        })
     }
 
     fn svc_pending(&self, niu: &Niu) -> bool {
@@ -195,6 +297,7 @@ impl Firmware {
         let work = niu.sp_requests_pending() > 0
             || self.svc_pending(niu)
             || miss_pending
+            || self.tenant_slots_pending(niu)
             || self.xfer.has_work()
             // Collectives waiting on tree messages need no engagement
             // (arrival wakes us via svc_pending, like scoma); only ones
@@ -243,11 +346,15 @@ impl Firmware {
         if self.step_miss_queue(cycle, niu) {
             return;
         }
-        // 4. Active transfer state machines.
+        // 4. Tenant traffic parked in resident hardware slots.
+        if self.step_tenant_drain(cycle, niu) {
+            return;
+        }
+        // 5. Active transfer state machines.
         if self.step_xfers(cycle, niu) {
             return;
         }
-        // 5. Collective fan-in/fan-out progress.
+        // 6. Collective fan-in/fan-out progress.
         self.step_coll(cycle, niu);
     }
 
@@ -368,8 +475,104 @@ impl Firmware {
         };
         self.stats.miss_msgs.bump();
         self.sw_rx.entry(lq).or_default().push_back((src, data));
-        self.charge(cycle, self.params.miss_service_cycles);
+        let mut cost = self.params.miss_service_cycles;
+        if let Some(tn) = &mut self.tenant {
+            if let Some(t) = tn.tenant_of(lq) {
+                tn.miss_served[t].bump();
+                // Complete the inject→deliver sample the NIU parked when
+                // this message was written into the miss queue (keyed by
+                // the slot index, i.e. the just-consumed pointer value).
+                let slot_idx = niu.ctrl.rx[miss_q.0 as usize].consumer.wrapping_sub(1);
+                if let Some(ta) = &mut niu.tenant {
+                    if let Some((_, sent)) = ta.miss_meta.remove(&slot_idx) {
+                        ta.miss_latency[t].record(cycle.saturating_sub(sent) * sv_niu::CYCLE_NS);
+                    }
+                }
+                // Queue-cache management, the software-managed-TLB refill:
+                // make the missed logical queue resident by evicting the
+                // least-recently-used managed slot, so this tenant's next
+                // arrivals take the hardware hit path.
+                tn.tick += 1;
+                let now = tn.tick;
+                match niu.ctrl.rx_cache.peek(lq) {
+                    Some(hw) => {
+                        // Already resident (the miss predates a refill
+                        // that has since happened): just touch its stamp.
+                        if (tn.slot_lo..=tn.slot_hi).contains(&hw.0) {
+                            tn.slot_tick[(hw.0 - tn.slot_lo) as usize] = now;
+                        }
+                    }
+                    None => {
+                        // LRU over the evictable slots: pinned-bound
+                        // slots (Latency-class residents) are passed
+                        // over so QoS tenants keep hardware delivery
+                        // under thrash — unless every slot is pinned,
+                        // in which case plain LRU is the only option.
+                        let evictable = |tn: &FwTenant, i: usize| !tn.slot_pinned(i);
+                        let all_pinned = (0..tn.slot_lq.len()).all(|i| !evictable(tn, i));
+                        let mut victim = usize::MAX;
+                        for i in 0..tn.slot_lq.len() {
+                            if !all_pinned && !evictable(tn, i) {
+                                continue;
+                            }
+                            if victim == usize::MAX || tn.slot_tick[i] < tn.slot_tick[victim] {
+                                victim = i;
+                            }
+                        }
+                        let hw = QueueId(tn.slot_lo + victim as u8);
+                        if (hw.0 as usize) < niu.params.rx_queues {
+                            tn.slot_lq[victim] = lq;
+                            tn.slot_tick[victim] = now;
+                            tn.rebinds.bump();
+                            niu.sp().bind_rx_queue(lq, hw);
+                            cost += self.params.dispatch_cycles;
+                        }
+                    }
+                }
+            }
+        }
+        self.charge(cycle, cost);
         true
+    }
+
+    /// Drain one message from a tenant-managed hardware slot into the
+    /// software receive queues; returns whether one was handled. Resident
+    /// tenants get hardware delivery (the cache-hit path, no divert), but
+    /// the sP still moves payloads out so the 16-entry slots never back
+    /// up into divert storms.
+    fn step_tenant_drain(&mut self, cycle: u64, niu: &mut Niu) -> bool {
+        let Some(tn) = self.tenant.as_mut() else {
+            return false;
+        };
+        let n = tn.slot_lq.len();
+        if n == 0 {
+            return false;
+        }
+        for k in 0..n {
+            let i = (tn.drain_rr as usize + k) % n;
+            let hw = QueueId(tn.slot_lo + i as u8);
+            let pending = niu
+                .ctrl
+                .rx
+                .get(hw.0 as usize)
+                .is_some_and(|q| q.pending() > 0);
+            if !pending {
+                continue;
+            }
+            let Some((src, lq, data)) = niu.sp().read_msg(hw) else {
+                continue;
+            };
+            tn.drain_rr = ((i + 1) % n) as u8;
+            tn.tick += 1;
+            tn.slot_tick[i] = tn.tick;
+            if let Some(t) = tn.tenant_of(lq) {
+                tn.drained[t].bump();
+            }
+            self.sw_rx.entry(lq).or_default().push_back((src, data));
+            self.charge(cycle, self.params.miss_service_cycles);
+            return true;
+        }
+        false
     }
 
     /// Pop a message from a software (miss-serviced) queue. The caller
@@ -429,6 +632,56 @@ impl StateLoad for FwStats {
     }
 }
 
+impl StateSave for FwTenant {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.lq_base);
+        w.u16(self.count);
+        w.u8(self.slot_lo);
+        w.u8(self.slot_hi);
+        w.save(&self.slot_lq);
+        w.save(&self.slot_tick);
+        w.u64(self.tick);
+        w.u8(self.drain_rr);
+        w.save(&self.rebinds);
+        w.save(&self.drained);
+        w.save(&self.miss_served);
+        w.save(&self.pinned);
+    }
+}
+impl StateLoad for FwTenant {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let tn = FwTenant {
+            lq_base: r.u16()?,
+            count: r.u16()?,
+            slot_lo: r.u8()?,
+            slot_hi: r.u8()?,
+            slot_lq: r.load()?,
+            slot_tick: r.load()?,
+            tick: r.u64()?,
+            drain_rr: r.u8()?,
+            rebinds: r.load()?,
+            drained: r.load()?,
+            miss_served: r.load()?,
+            pinned: r.load()?,
+        };
+        // The drain scan and miss refill index all five vectors by slot
+        // or tenant; forged mismatched lengths would panic there.
+        let slots = (tn.slot_hi as usize)
+            .checked_sub(tn.slot_lo as usize)
+            .map(|d| d + 1);
+        if slots != Some(tn.slot_lq.len())
+            || tn.slot_tick.len() != tn.slot_lq.len()
+            || tn.drained.len() != tn.count as usize
+            || tn.miss_served.len() != tn.count as usize
+            || tn.pinned.len() != tn.count as usize
+        {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(tn)
+    }
+}
+
 impl StateSave for Firmware {
     fn save(&self, w: &mut SnapWriter) {
         w.save(&self.cfg);
@@ -442,6 +695,7 @@ impl StateSave for Firmware {
         w.save(&self.scoma);
         w.save(&self.sw_rx);
         w.save(&self.coll);
+        w.save(&self.tenant);
     }
 }
 impl StateLoad for Firmware {
@@ -458,6 +712,7 @@ impl StateLoad for Firmware {
             scoma: r.load()?,
             sw_rx: r.load()?,
             coll: r.load()?,
+            tenant: r.load()?,
         };
         // Tree arithmetic divides by `nodes` and indexes by rank; a
         // forged snapshot must not smuggle an out-of-range root in. The

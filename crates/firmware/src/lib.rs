@@ -36,5 +36,5 @@ pub mod proto;
 pub mod scoma;
 pub mod xfer;
 
-pub use engine::{Firmware, FwConfig};
+pub use engine::{Firmware, FwConfig, FwTenant};
 pub use params::FwParams;

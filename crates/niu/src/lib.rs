@@ -47,7 +47,7 @@ pub use abiu::{AbiuRequest, ClaimKind, DataMove};
 pub use addrmap::AddressMap;
 pub use cmd::{BlockOp, LocalCmd, RemoteCommand};
 pub use msg::{MsgFlags, MsgHeader, NetPayload};
-pub use niu::{Niu, NiuInterrupt, SpPort};
+pub use niu::{Niu, NiuInterrupt, SpPort, TenantAttr, CYCLE_NS};
 pub use params::NiuParams;
 pub use queues::{QueueId, RxFullPolicy, RxService};
 pub use sram::{ClsSram, ClsState, Sram, SramSel};

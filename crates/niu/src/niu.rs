@@ -31,10 +31,14 @@ use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use sv_arctic::{Packet, Priority};
 use sv_membus::{BusOp, BusOpKind, MasterId, SnoopVerdict};
-use sv_sim::stats::{Counter, Summary};
+use sv_sim::stats::{Counter, Log2Histogram, Summary};
 
 /// Maximum combined payload (message body + TagOn) per packet.
 pub const MAX_PACKET_PAYLOAD: usize = 88;
+
+/// Nanoseconds per 66 MHz bus cycle (the clock every NIU cost is charged
+/// in); tenant latency histograms record in ns so they read directly.
+pub const CYCLE_NS: u64 = 15;
 
 /// Capacity of the remote command queue.
 const REMOTE_Q_CAP: usize = 64;
@@ -123,6 +127,54 @@ pub struct NiuStats {
     /// Packets the reliable layer abandoned after the retransmit cap
     /// (also counted in the owning class's `dropped`).
     pub reliable_dropped: Counter,
+}
+
+/// Per-tenant receive-side attribution, armed only when the machine is
+/// built with tenancy. Tenant `t` owns logical rx queue `lq_base + t`;
+/// arrivals into that queue record their inject→deliver latency here,
+/// split by whether the queue-cache lookup hit a hardware slot (direct
+/// delivery) or took the firmware miss path. The split is the
+/// observable cost of the 16-slot cache fronting a large tenant
+/// namespace — the quantity the S10 scaling study measures.
+#[derive(Debug, Clone, Default)]
+pub struct TenantAttr {
+    /// First logical rx queue owned by a tenant.
+    pub lq_base: u16,
+    /// Tenants on this node.
+    pub count: u16,
+    /// Inject→deliver latency (ns) for arrivals whose queue-cache lookup
+    /// landed in a hardware slot, per tenant.
+    pub hit_latency: Vec<Log2Histogram>,
+    /// Inject→deliver latency (ns) for arrivals that took the miss path,
+    /// per tenant: stamped when the firmware dequeues them from the miss
+    /// queue, so the sP service time is part of the cost.
+    pub miss_latency: Vec<Log2Histogram>,
+    /// Side channel carrying `(logical_q, sent_cycle)` for messages
+    /// parked in the miss queue, keyed by the miss-queue producer index
+    /// their slot was written at. The rx slot encoding keeps only
+    /// `(src, lq, len)`, so the launch stamp would otherwise be lost on
+    /// the miss path. `BTreeMap` for deterministic serialization order.
+    pub miss_meta: BTreeMap<u16, (u16, u64)>,
+}
+
+impl TenantAttr {
+    /// Fresh attribution state for `count` tenants at `lq_base`.
+    pub fn new(lq_base: u16, count: u16) -> Self {
+        TenantAttr {
+            lq_base,
+            count,
+            hit_latency: vec![Log2Histogram::default(); count as usize],
+            miss_latency: vec![Log2Histogram::default(); count as usize],
+            miss_meta: BTreeMap::new(),
+        }
+    }
+
+    /// Which tenant owns logical queue `lq`, if any.
+    #[inline]
+    pub fn tenant_of(&self, lq: u16) -> Option<usize> {
+        let t = lq.checked_sub(self.lq_base)?;
+        (t < self.count).then_some(t as usize)
+    }
 }
 
 /// Per-`(destination, priority)` sender state of the reliable layer: a
@@ -215,6 +267,10 @@ pub struct Niu {
     /// only per-message cost the observability layer adds beyond counter
     /// increments, and switching it off keeps the hot path at one branch.
     pub sample_latency: bool,
+    /// Per-tenant latency attribution; `None` unless the machine armed
+    /// tenancy at build time. Arming implies `sample_latency` (the
+    /// split needs launch stamps).
+    pub tenant: Option<TenantAttr>,
     /// Whole-section dirty flag for the small (non-SRAM) NIU state, set by
     /// the entry points the run loops call. Runtime bookkeeping, never
     /// serialized; fresh and loaded NIUs start conservatively dirty.
@@ -242,6 +298,7 @@ impl Niu {
             notify_head_stalls: 0,
             stats: NiuStats::default(),
             sample_latency: false,
+            tenant: None,
             ckpt_dirty: true,
             params,
             map,
@@ -808,6 +865,17 @@ impl Niu {
         SpPort { niu: self }
     }
 
+    /// Arm per-tenant attribution: tenant `t` of `count` owns logical rx
+    /// queue `lq_base + t`. Called once at machine build time; implies
+    /// latency sampling (the hit/miss split needs launch stamps) and
+    /// per-logical-queue hit/miss counting in the queue cache.
+    pub fn arm_tenancy(&mut self, lq_base: u16, count: u16) {
+        self.ckpt_dirty = true;
+        self.sample_latency = true;
+        self.tenant = Some(TenantAttr::new(lq_base, count));
+        self.ctrl.rx_cache.arm_per_lq();
+    }
+
     // =====================================================================
     // Engines
     // =====================================================================
@@ -1016,6 +1084,7 @@ impl Niu {
                     }
                     self.ctrl.rx[target].diverted.bump();
                     self.ctrl.stats.msgs_diverted.bump();
+                    self.ctrl.rx_cache.note_diversion(logical_q);
                     target = miss_slot;
                 }
             }
@@ -1063,6 +1132,22 @@ impl Niu {
             cs.delivered.bump();
             if sent_cycle != 0 {
                 cs.latency.record(cycle.saturating_sub(sent_cycle));
+            }
+            if let Some(ta) = &mut self.tenant {
+                if let Some(t) = ta.tenant_of(logical_q) {
+                    if sent_cycle != 0 {
+                        if target == miss_slot {
+                            // Latency completes when firmware services the
+                            // miss queue; park the stamp keyed by the slot
+                            // this message landed at (pre-increment
+                            // producer).
+                            ta.miss_meta
+                                .insert(producer.wrapping_sub(1), (logical_q, sent_cycle));
+                        } else {
+                            ta.hit_latency[t].record(cycle.saturating_sub(sent_cycle) * CYCLE_NS);
+                        }
+                    }
+                }
             }
         }
         Deliver::Done(end + overhead)
@@ -2078,6 +2163,34 @@ impl StateLoad for NiuStats {
     }
 }
 
+impl StateSave for TenantAttr {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(self.lq_base);
+        w.u16(self.count);
+        w.save(&self.hit_latency);
+        w.save(&self.miss_latency);
+        w.save(&self.miss_meta);
+    }
+}
+impl StateLoad for TenantAttr {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let ta = TenantAttr {
+            lq_base: r.u16()?,
+            count: r.u16()?,
+            hit_latency: r.load()?,
+            miss_latency: r.load()?,
+            miss_meta: r.load()?,
+        };
+        // `deliver_msg` indexes both vectors by `tenant_of`, which admits
+        // any index below `count`; a forged mismatch would panic there.
+        if ta.hit_latency.len() != ta.count as usize || ta.miss_latency.len() != ta.count as usize {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(ta)
+    }
+}
+
 impl StateSave for RelConn {
     fn save(&self, w: &mut SnapWriter) {
         w.u32(self.next_seq);
@@ -2118,6 +2231,7 @@ impl StateSave for Niu {
         w.u32(self.notify_head_stalls);
         w.save(&self.stats);
         w.save(&self.sample_latency);
+        w.save(&self.tenant);
     }
 }
 impl Niu {
@@ -2203,6 +2317,7 @@ impl StateLoad for Niu {
             notify_head_stalls: r.u32()?,
             stats: r.load()?,
             sample_latency: r.load()?,
+            tenant: r.load()?,
             ckpt_dirty: true,
         };
         n.validate_consistency(at)?;
@@ -2257,6 +2372,7 @@ impl Niu {
         w.u32(self.notify_head_stalls);
         w.save(&self.stats);
         w.save(&self.sample_latency);
+        w.save(&self.tenant);
     }
 
     /// Apply a section produced by [`Niu::save_small`], leaving the SRAM
@@ -2279,6 +2395,7 @@ impl Niu {
         self.notify_head_stalls = r.u32()?;
         self.stats = r.load()?;
         self.sample_latency = r.load()?;
+        self.tenant = r.load()?;
         self.ckpt_dirty = true;
         self.validate_consistency(at)?;
         self.validate_geometry(at)

@@ -108,8 +108,14 @@ impl XlateTable {
         }
     }
 
-    /// Install an entry (privileged: OS/firmware only).
+    /// Install an entry (privileged: OS/firmware only). An index past the
+    /// current capacity grows the table to reach it — consistent with
+    /// [`XlateTable::grow_to`]'s never-shrink contract — instead of
+    /// panicking the way the old direct indexing did.
     pub fn install(&mut self, virt: u16, entry: XlateEntry) {
+        if virt as usize >= self.entries.len() {
+            self.grow_to(virt as usize + 1);
+        }
         self.entries[virt as usize] = entry;
     }
 
@@ -153,6 +159,24 @@ pub struct RxQueueCache {
     pub hits: Counter,
     /// Lookup misses.
     pub misses: Counter,
+    /// Per-logical-queue attribution (hits/misses/diversions), armed only
+    /// under tenancy so the unarmed hot path stays a pair of counter
+    /// bumps.
+    pub per_lq: Option<PerLqStats>,
+}
+
+/// Per-logical-queue cache attribution, recorded only when armed (see
+/// [`RxQueueCache::arm_per_lq`]). Indexed by logical queue number.
+#[derive(Debug, Clone, Default)]
+pub struct PerLqStats {
+    /// Cache hits per logical queue.
+    pub hits: Vec<u64>,
+    /// Cache misses per logical queue.
+    pub misses: Vec<u64>,
+    /// Full-hardware-slot diversions to the miss queue per logical queue
+    /// (the message *hit* the cache but its slot was full under the
+    /// Divert policy).
+    pub diversions: Vec<u64>,
 }
 
 impl RxQueueCache {
@@ -163,7 +187,38 @@ impl RxQueueCache {
             reverse: vec![None; hw],
             hits: Counter::default(),
             misses: Counter::default(),
+            per_lq: None,
         }
+    }
+
+    /// Arm per-logical-queue hit/miss/diversion attribution (one vector
+    /// slot per logical queue). Idempotent; never disarmed once armed so
+    /// counts stay monotonic.
+    pub fn arm_per_lq(&mut self) {
+        if self.per_lq.is_none() {
+            let n = self.bindings.len();
+            self.per_lq = Some(PerLqStats {
+                hits: vec![0; n],
+                misses: vec![0; n],
+                diversions: vec![0; n],
+            });
+        }
+    }
+
+    /// Note a divert-on-full of a message for logical queue `l` (counted
+    /// only when per-lq attribution is armed).
+    pub fn note_diversion(&mut self, l: u16) {
+        if let Some(p) = &mut self.per_lq {
+            if let Some(d) = p.diversions.get_mut(l as usize) {
+                *d += 1;
+            }
+        }
+    }
+
+    /// Forward lookup without touching any counter (firmware uses this to
+    /// decide whether a missed logical queue still needs a rebind).
+    pub fn peek(&self, l: u16) -> Option<QueueId> {
+        self.bindings.get(l as usize).copied().flatten()
     }
 
     /// Bind logical queue `l` to hardware slot `hw`, unbinding whatever
@@ -193,10 +248,20 @@ impl RxQueueCache {
         match r {
             Some(q) => {
                 self.hits.bump();
+                if let Some(p) = &mut self.per_lq {
+                    if let Some(h) = p.hits.get_mut(l as usize) {
+                        *h += 1;
+                    }
+                }
                 Some(q)
             }
             None => {
                 self.misses.bump();
+                if let Some(p) = &mut self.per_lq {
+                    if let Some(m) = p.misses.get_mut(l as usize) {
+                        *m += 1;
+                    }
+                }
                 None
             }
         }
@@ -238,12 +303,36 @@ impl StateLoad for XlateTable {
     }
 }
 
+impl StateSave for PerLqStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.save(&self.hits);
+        w.save(&self.misses);
+        w.save(&self.diversions);
+    }
+}
+impl StateLoad for PerLqStats {
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let at = r.offset();
+        let p = PerLqStats {
+            hits: r.load()?,
+            misses: r.load()?,
+            diversions: r.load()?,
+        };
+        // The three vectors are indexed in lockstep by logical queue.
+        if p.hits.len() != p.misses.len() || p.hits.len() != p.diversions.len() {
+            return Err(SnapshotError::Corrupt { offset: at });
+        }
+        Ok(p)
+    }
+}
+
 impl StateSave for RxQueueCache {
     fn save(&self, w: &mut SnapWriter) {
         w.save(&self.bindings);
         w.save(&self.reverse);
         w.save(&self.hits);
         w.save(&self.misses);
+        w.save(&self.per_lq);
     }
 }
 impl StateLoad for RxQueueCache {
@@ -264,11 +353,21 @@ impl StateLoad for RxQueueCache {
         if bad_binding || bad_reverse {
             return Err(SnapshotError::Corrupt { offset: at });
         }
+        let hits = r.load()?;
+        let misses = r.load()?;
+        let per_lq: Option<PerLqStats> = r.load()?;
+        // An armed attribution vector spans the logical namespace.
+        if let Some(p) = &per_lq {
+            if p.hits.len() != bindings.len() {
+                return Err(SnapshotError::Corrupt { offset: at });
+            }
+        }
         Ok(RxQueueCache {
             bindings,
             reverse,
-            hits: r.load()?,
-            misses: r.load()?,
+            hits,
+            misses,
+            per_lq,
         })
     }
 }
@@ -307,6 +406,59 @@ mod tests {
         assert_eq!(t.faults.get(), 2);
         assert_eq!(t.lookups.get(), 3);
         assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn install_past_capacity_grows_instead_of_panicking() {
+        // Regression: `install` used to index `entries[virt]` directly and
+        // panic on any index past the table's capacity.
+        let mut t = XlateTable::new(16);
+        t.install(
+            100,
+            XlateEntry {
+                valid: true,
+                node: 2,
+                logical_q: 9,
+                high_priority: false,
+            },
+        );
+        assert_eq!(t.len(), 101, "grown exactly to reach the slot");
+        assert_eq!(t.lookup(100).unwrap().logical_q, 9);
+        // Growth never disturbs the existing (invalid) entries.
+        assert!(t.lookup(15).is_none());
+        // In-range installs do not grow.
+        t.install(
+            5,
+            XlateEntry {
+                valid: true,
+                node: 0,
+                logical_q: 1,
+                high_priority: false,
+            },
+        );
+        assert_eq!(t.len(), 101);
+    }
+
+    #[test]
+    fn per_lq_attribution_is_armed_only() {
+        let mut c = RxQueueCache::new(256, 16);
+        c.bind(10, QueueId(2));
+        let _ = c.translate(10);
+        let _ = c.translate(11);
+        assert!(c.per_lq.is_none(), "unarmed: no per-lq state");
+        c.arm_per_lq();
+        let _ = c.translate(10);
+        let _ = c.translate(11);
+        c.note_diversion(10);
+        let p = c.per_lq.as_ref().unwrap();
+        assert_eq!(p.hits[10], 1, "only post-arm lookups counted");
+        assert_eq!(p.misses[11], 1);
+        assert_eq!(p.diversions[10], 1);
+        assert_eq!(c.hits.get(), 2, "aggregate counters unchanged by arming");
+        assert_eq!(c.misses.get(), 2);
+        // Peek never counts.
+        assert_eq!(c.peek(10), Some(QueueId(2)));
+        assert_eq!(c.hits.get(), 2);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub const MAGIC: [u8; 4] = *b"SVCK";
 /// Current snapshot format version. Bump on **any** layout change, even
 /// a reordered field — restores across versions are rejected, never
 /// migrated (see the module docs for why).
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Typed failure surface for snapshot encode/decode.
 ///

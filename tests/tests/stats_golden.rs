@@ -293,6 +293,40 @@ fn golden_stats_qos() {
     check_golden("stats_qos.json", s.to_json());
 }
 
+/// Tenancy: the S10 tenant job mix on a 4-node machine with six tenants
+/// per node (one confined misbehaving) under the weighted scheduler —
+/// covers the machine-level `tenancy` namespace block and every
+/// per-tenant row: scheduler occupancy, rx-queue-cache attribution,
+/// firmware drain/rebind counters and the hit/miss latency split. The
+/// five scenarios above run with tenancy unset and so also pin the
+/// *absence* of both keys: arming tenants must never change legacy
+/// machines' bytes.
+#[test]
+fn golden_stats_tenancy() {
+    let tp = voyager::TenancyParams {
+        tenants_per_node: 6,
+        policy: voyager::SchedPolicy::WeightedTimeSlice { quantum_ns: 20_000 },
+        confined: Some(5),
+    };
+    let mut m = Machine::builder(4).sample_latency(true).tenants(tp).build();
+    voyager::workloads::load_tenant_mix(&mut m, 6);
+    m.run_to_quiescence();
+    let s = m.stats();
+    // Headline invariants before pinning every byte: the namespace block
+    // reflects the params, every tenant ran and sent traffic, and each
+    // node contained exactly one protection violation.
+    let ten = s.tenancy.as_ref().expect("tenancy block");
+    assert_eq!(ten.tenants_per_node, 6);
+    assert_eq!(ten.confined_plus_one, 6, "confined tenant 5 recorded");
+    for n in &s.nodes {
+        let t = n.tenants.as_ref().expect("per-tenant rows");
+        assert_eq!(t.tenants.len(), 6);
+        assert!(t.tenants.iter().all(|r| r.sent_msgs > 0), "node {}", n.node);
+        assert_eq!(n.niu.violations, 1, "node {} contained", n.node);
+    }
+    check_golden("stats_tenancy.json", s.to_json());
+}
+
 /// The golden harness itself must fail closed: a single mutated counter
 /// in otherwise-valid stats JSON has to be rejected, or every scenario
 /// above is a no-op. Flips one digit of a collective counter and checks
